@@ -1,0 +1,83 @@
+// Reproduces Figure "multinode-hpl-runtime-impact": HPL execution time for
+// the five experiment classes across node counts, with 95% CI error bars,
+// driven end-to-end through cluster -> Slurm -> BeeOND -> HPL simulator.
+//
+// Shape targets from the paper (not absolute numbers):
+//   * Single BeeOND @128:            +7-13%  vs Matching Lustre
+//   * Matching BeeOND (no meta) @128: +47-52% vs Matching Lustre
+//   * Matching Lustre ~= daemon-free baseline
+//   * Matching vs Matching-no-meta:  no definitive difference
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workloads/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ofmf::workloads;
+
+  // --quick trims node counts for CI runs; --csv <path> additionally writes
+  // the plotted series (one row per class x node count) for gnuplot/pandas.
+  bool quick = false;
+  std::FILE* csv = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") quick = true;
+    if (arg == "--csv" && i + 1 < argc) {
+      csv = std::fopen(argv[++i], "w");
+      if (csv != nullptr) {
+        std::fprintf(csv, "nodes,class,ior_nodes,mean_s,ci_half_s,overhead_vs_lustre\n");
+      }
+    }
+  }
+  std::vector<int> node_counts = quick ? std::vector<int>{4, 16, 64, 128}
+                                       : std::vector<int>{1, 2, 4, 8, 16, 32, 64, 128};
+
+  std::printf("Figure: HPL execution times with and without co-located IOR (95%% CI)\n");
+  std::printf("%-6s %-28s %-5s %-6s %10s %12s %10s\n", "nodes", "class", "m", "reps",
+              "mean (s)", "95%% CI (s)", "vs Lustre");
+
+  bool bands_ok = true;
+  for (int n : node_counts) {
+    std::map<ExperimentClass, ExperimentResult> results;
+    for (ExperimentClass experiment_class : AllExperimentClasses()) {
+      ExperimentConfig config;
+      config.hpl_nodes = n;
+      // Paper: 7-10 reps, except Matching Lustre at 3.
+      config.repetitions = experiment_class == ExperimentClass::kMatchingLustre ? 3 : 8;
+      config.seed = 2023 + static_cast<std::uint64_t>(n);
+      results.emplace(experiment_class, RunExperiment(experiment_class, config));
+    }
+    const ExperimentResult& baseline = results.at(ExperimentClass::kMatchingLustre);
+    for (const auto& [experiment_class, result] : results) {
+      const double overhead = OverheadVs(result, baseline);
+      std::printf("%-6d %-28s %-5d %-6zu %10.1f   +/- %-7.1f %+9.1f%%\n", n,
+                  to_string(experiment_class), result.ior_nodes,
+                  result.runtimes_seconds.size(), result.ci.mean, result.ci.half_width,
+                  100.0 * overhead);
+      if (csv != nullptr) {
+        std::fprintf(csv, "%d,%s,%d,%.3f,%.3f,%.5f\n", n, to_string(experiment_class),
+                     result.ior_nodes, result.ci.mean, result.ci.half_width, overhead);
+      }
+    }
+    if (n == 128) {
+      const double single =
+          OverheadVs(results.at(ExperimentClass::kSingleBeeond), baseline);
+      const double no_meta =
+          OverheadVs(results.at(ExperimentClass::kMatchingBeeondNoMeta), baseline);
+      const bool single_ok = single >= 0.07 && single <= 0.13;
+      const bool no_meta_ok = no_meta >= 0.47 && no_meta <= 0.52;
+      bands_ok = single_ok && no_meta_ok;
+      std::printf("  -> band check @128: Single BeeOND %+.1f%% (paper 7-13%%) %s; "
+                  "Matching-no-meta %+.1f%% (paper 47-52%%) %s\n",
+                  100 * single, single_ok ? "OK" : "OUT OF BAND", 100 * no_meta,
+                  no_meta_ok ? "OK" : "OUT OF BAND");
+    }
+    std::printf("\n");
+  }
+  if (csv != nullptr) std::fclose(csv);
+  std::printf("%s\n", bands_ok ? "Reproduction bands hold."
+                               : "WARNING: a reproduction band was missed.");
+  return bands_ok ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+// Reproduces the paper's conceptual "Stranded Resources" figure
+// (Stranded_Resources.jpeg: "More Efficiency is Composable HPC Use of
+// Resources") quantitatively: the same hardware serving the same job mix
+// under static whole-node provisioning vs OFMF-managed composition.
+#include <cstdio>
+
+#include "composability/stranded.hpp"
+
+using namespace ofmf::composability;
+
+namespace {
+
+void PrintRow(const ProvisioningOutcome& outcome) {
+  std::printf("%-12s %7d %9d %11.1f%% %12.1f%% %10.1f%% %12.1f\n",
+              outcome.scheme.c_str(), outcome.jobs_placed, outcome.jobs_rejected,
+              100 * outcome.stranded_core_fraction(),
+              100 * outcome.stranded_memory_fraction(),
+              100 * outcome.stranded_gpu_fraction(), outcome.energy_kwh);
+}
+
+}  // namespace
+
+int main() {
+  const auto jobs = DefaultJobMix();
+  std::printf("Figure: stranded resources & energy, static vs composable provisioning\n");
+  std::printf("(job mix: %zu heterogeneous jobs; identical total hardware)\n\n",
+              jobs.size());
+  std::printf("%-12s %7s %9s %12s %13s %11s %12s\n", "scheme", "placed", "rejected",
+              "str.cores", "str.memory", "str.GPUs", "energy kWh");
+
+  bool shape_holds = true;
+  for (int nodes : {16, 24, 32}) {
+    std::printf("--- %d node-equivalents ---\n", nodes);
+    const ProvisioningOutcome fixed = SimulateStatic(jobs, nodes);
+    const ProvisioningOutcome flex = SimulateComposable(jobs, MatchedPool(nodes));
+    PrintRow(fixed);
+    PrintRow(flex);
+    const bool less_stranded =
+        flex.stranded_core_fraction() < fixed.stranded_core_fraction() &&
+        flex.stranded_memory_fraction() < fixed.stranded_memory_fraction() &&
+        flex.stranded_gpu_fraction() < fixed.stranded_gpu_fraction();
+    const bool less_energy = flex.energy_kwh < fixed.energy_kwh;
+    const bool no_worse_placement = flex.jobs_placed >= fixed.jobs_placed;
+    shape_holds = shape_holds && less_stranded && less_energy && no_worse_placement;
+    std::printf("\n");
+  }
+  std::printf("%s\n", shape_holds
+                          ? "Shape holds: composable strands less, saves energy, and "
+                            "places at least as many jobs at every scale."
+                          : "WARNING: the composable advantage did not hold somewhere.");
+  return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,43 @@
+// Reproduces Figure "multinode-95ci-lustre-beeond": the detail view showing
+// that HPL-only jobs (with *idle* BeeOND daemons loaded) run measurably
+// slower than HPL running alongside Lustre-targeted IOR (with *no* BeeOND
+// daemons). Paper band: 0.9-2.5% at 64 nodes, growing with job size.
+#include <cstdio>
+#include <vector>
+
+#include "workloads/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ofmf::workloads;
+
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const std::vector<int> node_counts =
+      quick ? std::vector<int>{16, 64} : std::vector<int>{4, 8, 16, 32, 64, 128};
+
+  std::printf("Figure: idle-BeeOND-daemon overhead (HPL-only vs Matching Lustre)\n");
+  std::printf("%-6s %16s %16s %12s\n", "nodes", "HPL-only (s)", "Lustre+IOR (s)",
+              "overhead");
+
+  double previous_overhead = -1.0;
+  bool monotone = true;
+  bool band64_ok = false;
+  for (int n : node_counts) {
+    ExperimentConfig config;
+    config.hpl_nodes = n;
+    config.repetitions = 10;
+    config.seed = 99 + static_cast<std::uint64_t>(n);
+    const ExperimentResult idle_daemons = RunExperiment(ExperimentClass::kHplOnly, config);
+    config.repetitions = 10;  // more reps than the paper's 3 to tighten CI
+    const ExperimentResult lustre = RunExperiment(ExperimentClass::kMatchingLustre, config);
+    const double overhead = OverheadVs(idle_daemons, lustre);
+    std::printf("%-6d %10.1f +/-%-5.1f %8.1f +/-%-5.1f %+10.2f%%\n", n,
+                idle_daemons.ci.mean, idle_daemons.ci.half_width, lustre.ci.mean,
+                lustre.ci.half_width, 100.0 * overhead);
+    if (n == 64) band64_ok = overhead >= 0.009 && overhead <= 0.025;
+    if (previous_overhead >= 0 && overhead + 0.004 < previous_overhead) monotone = false;
+    previous_overhead = overhead;
+  }
+  std::printf("\nband @64 in 0.9-2.5%%: %s; overhead grows with job size: %s\n",
+              band64_ok ? "OK" : "OUT OF BAND", monotone ? "yes" : "NO");
+  return (band64_ok && monotone) ? 0 : 1;
+}

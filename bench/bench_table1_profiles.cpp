@@ -1,0 +1,29 @@
+// Reproduces Table I: performance profiles, representative benchmarks, and
+// the measured degree of performance isolation between co-located jobs.
+#include <cstdio>
+
+#include "workloads/profiles.hpp"
+
+int main() {
+  using namespace ofmf::workloads;
+
+  std::printf("Table I: performance profiles and isolation between co-located jobs\n");
+  std::printf("%-17s %-50s %-22s %-10s %-18s\n", "Profile", "Description", "Benchmark",
+              "Slowdown", "Isolation");
+  // Expected qualitative bands from the paper.
+  const char* expected[] = {"Strong", "Strong", "Medium-to-Strong", "Weak", "Weak", "Weak"};
+  std::size_t index = 0;
+  bool all_match = true;
+  for (const ProfileResult& result : RunProfileSuite()) {
+    const bool match = result.isolation == expected[index++];
+    all_match = all_match && match;
+    std::printf("%-17s %-50s %-22s %8.1f%%  %-18s%s\n", result.profile.c_str(),
+                result.description.c_str(), result.benchmark.c_str(),
+                100.0 * result.slowdown_fraction(), result.isolation.c_str(),
+                match ? "" : "  <-- differs from paper");
+  }
+  std::printf("\n%s\n", all_match
+                            ? "All six profiles classify into the paper's isolation bands."
+                            : "WARNING: at least one profile missed the paper's band.");
+  return all_match ? 0 : 1;
+}

@@ -1,0 +1,33 @@
+// Reproduces Table III ("IOR Parameters"): the option set the harness feeds
+// to the IOR model, plus the daemon-load figures it induces at the paper's
+// two extreme layouts.
+#include <cstdio>
+
+#include "workloads/ior.hpp"
+
+int main() {
+  using namespace ofmf::workloads;
+
+  const IorParams params;
+  std::printf("Table III: IOR Parameters\n");
+  std::printf("%-11s %-36s %-10s\n", "Parameter", "Description", "Value");
+  for (const IorParamRow& row : IorParamsTable(params)) {
+    std::printf("%-11s %-36s %-10s\n", row.flag.c_str(), row.description.c_str(),
+                row.value.c_str());
+  }
+
+  std::printf("\nInduced BeeOND daemon load (core-equivalents per server):\n");
+  std::printf("%-34s %-12s %-12s\n", "Layout", "per-OST", "per-Meta");
+  struct Layout {
+    const char* name;
+    int ior_nodes;
+    int ost_count;
+  };
+  for (const Layout& layout : {Layout{"Single BeeOND (m=1, 128+1 OSTs)", 1, 129},
+                               Layout{"Matching BeeOND (m=128, 256 OSTs)", 128, 256}}) {
+    std::printf("%-34s %-12.3f %-12.3f\n", layout.name,
+                OstCoreLoad(params, layout.ior_nodes, layout.ost_count),
+                MetaCoreLoad(params, layout.ior_nodes, 1));
+  }
+  return 0;
+}

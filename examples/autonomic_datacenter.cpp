@@ -1,0 +1,123 @@
+// The autonomic loop end-to-end: a cluster publishes its disaggregated pool
+// and telemetry into the OFMF; the Composability Layer composes a system,
+// a MemoryPressureWatcher grows it when telemetry crosses the OOM threshold,
+// and an AutoHealer re-creates a fabric connection after a switch failure.
+// Everything is event-driven through Redfish subscriptions — no component
+// calls another directly.
+//
+//   $ ./examples/autonomic_datacenter
+#include <cstdio>
+#include <memory>
+
+#include "agents/ib_agent.hpp"
+#include "composability/adapter.hpp"
+#include "composability/autonomy.hpp"
+#include "composability/client.hpp"
+#include "composability/manager.hpp"
+#include "common/units.hpp"
+#include "json/serialize.hpp"
+#include "ofmf/service.hpp"
+#include "ofmf/uris.hpp"
+
+using namespace ofmf;
+using json::Json;
+
+int main() {
+  // --- Machine: 4 nodes + a disaggregated pool; redundant IB fabric. ---
+  cluster::ClusterSpec spec;
+  spec.node_count = 4;
+  cluster::Cluster machine(spec);
+  auto& pool = machine.pool();
+  (void)pool.AddDevice({"cpu-0", cluster::ResourceKind::kCpu, 56, "rack0", "", false, 380, 140});
+  (void)pool.AddDevice({"cpu-1", cluster::ResourceKind::kCpu, 56, "rack0", "", false, 380, 140});
+  for (int i = 0; i < 4; ++i) {
+    (void)pool.AddDevice({"cxl-" + std::to_string(i), cluster::ResourceKind::kMemoryCxl,
+                          256 * GiB, "rack1", "", false, 100, 50});
+  }
+
+  fabricsim::FabricGraph graph;
+  (void)graph.AddVertex("spine0", fabricsim::VertexKind::kSwitch, 8);
+  (void)graph.AddVertex("spine1", fabricsim::VertexKind::kSwitch, 8);
+  (void)graph.AddVertex("node001", fabricsim::VertexKind::kDevice, 2);
+  (void)graph.AddVertex("cxl-shelf", fabricsim::VertexKind::kDevice, 2);
+  (void)graph.Connect("node001", 0, "spine0", 0, {50, 200});
+  (void)graph.Connect("cxl-shelf", 0, "spine0", 1, {50, 200});
+  (void)graph.Connect("node001", 1, "spine1", 0, {90, 100});
+  (void)graph.Connect("cxl-shelf", 1, "spine1", 1, {90, 100});
+  fabricsim::IbSubnetManager sm(graph);
+
+  // --- OFMF + agent + adapter. ---
+  core::OfmfService ofmf;
+  if (!ofmf.Bootstrap().ok()) return 1;
+  (void)ofmf.RegisterAgent(std::make_shared<agents::IbAgent>("IB", sm));
+  composability::ClusterAdapter adapter(machine, ofmf);
+  if (!adapter.Publish().ok()) return 1;
+  (void)adapter.PushTelemetry();
+  std::printf("published: %zu resource blocks, cluster power %.0f W\n",
+              adapter.published_blocks(), machine.PowerWatts());
+
+  // --- Composability layer + autonomic controllers. ---
+  composability::OfmfClient client(
+      std::make_unique<http::InProcessClient>(ofmf.Handler()));
+  composability::ComposabilityManager manager(client);
+  composability::MemoryPressureWatcher watcher(client, manager, "memory-pressure",
+                                               /*threshold=*/90.0, /*step=*/256.0);
+  composability::AutoHealer healer(client);
+  if (!watcher.Arm().ok() || !healer.Arm().ok()) return 1;
+
+  composability::CompositionRequest request;
+  request.name = "in-memory-db";
+  request.cores = 48;
+  request.memory_gib = 200;
+  request.policy = composability::Policy::kBestFit;
+  auto composed = manager.Compose(request);
+  if (!composed.ok()) return 1;
+  std::printf("composed %s with %.0f GiB\n\n", composed->system_uri.c_str(),
+              composed->memory_gib);
+
+  // Guard the system's fabric connection.
+  const std::string ep_host = core::FabricUri("IB") + "/Endpoints/node001";
+  const std::string ep_mem = core::FabricUri("IB") + "/Endpoints/cxl-shelf";
+  const Json connection_body = Json::Obj(
+      {{"Name", "db-mem-path"},
+       {"ConnectionType", "Memory"},
+       {"Links", Json::Obj({{"InitiatorEndpoints",
+                             Json::Arr({Json::Obj({{"@odata.id", ep_host}})})},
+                            {"TargetEndpoints",
+                             Json::Arr({Json::Obj({{"@odata.id", ep_mem}})})}})}});
+  const std::string connection_uri =
+      *client.Post(core::FabricUri("IB") + "/Connections", connection_body);
+  (void)healer.GuardConnection(connection_uri, core::FabricUri("IB") + "/Connections",
+                               connection_body);
+
+  // --- Tick 1: memory pressure builds; the watcher expands the system. ---
+  std::printf("[tick 1] workload RSS climbs; node agent reports 94%% utilization\n");
+  (void)ofmf.telemetry().PushReport(
+      "memory-pressure", {{"MemoryUtilizationPercent", 94.0, composed->system_uri}});
+  auto pressure = watcher.Poll();
+  if (pressure.ok()) {
+    for (const std::string& line : pressure->log) std::printf("  watcher: %s\n", line.c_str());
+  }
+  std::printf("  system memory now %.0f GiB\n\n",
+              manager.systems().at(composed->system_uri).memory_gib);
+
+  // --- Tick 2: a spine dies; the healer re-routes the guarded connection. ---
+  std::printf("[tick 2] spine0 fails\n");
+  (void)graph.FailVertex("spine0");
+  auto heal = healer.Poll();
+  if (heal.ok()) {
+    std::printf("  healer: %d alerts, %d checked, %d healed\n", heal->alerts_seen,
+                heal->connections_checked, heal->connections_healed);
+    for (const std::string& line : heal->log) std::printf("  healer: %s\n", line.c_str());
+  }
+
+  // --- Final state. ---
+  (void)adapter.PushTelemetry();
+  const Json report = *ofmf.telemetry().GetReport("pool-utilization");
+  std::printf("\nfinal pool telemetry:\n");
+  for (const Json& value : report.at("MetricValues").as_array()) {
+    std::printf("  %-28s %.2f\n", value.GetString("MetricId").c_str(),
+                value.GetDouble("MetricValue"));
+  }
+  return 0;
+}

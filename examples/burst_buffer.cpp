@@ -1,0 +1,133 @@
+// The spliced paper end-to-end: a Slurm job submitted with the `beeond`
+// constraint gets a private node-local BeeOND filesystem assembled by the
+// prolog, runs HPL next to an IOR-loaded filesystem, and the epilog tears
+// everything down and wipes the SSDs. Prints the cluster/process layouts the
+// paper's figures illustrate.
+//
+//   $ ./examples/burst_buffer
+#include <cstdio>
+
+#include "beeond/beeond.hpp"
+#include "cluster/cluster.hpp"
+#include "common/hostlist.hpp"
+#include "common/units.hpp"
+#include "slurmsim/slurm.hpp"
+#include "workloads/hpl.hpp"
+#include "workloads/interference.hpp"
+#include "workloads/ior.hpp"
+
+using namespace ofmf;
+
+int main() {
+  // Production-like machine: ThunderX2 nodes with 894 GiB XFS partitions.
+  cluster::ClusterSpec spec;
+  spec.node_count = 8;
+  cluster::Cluster machine(spec);
+  for (const std::string& host : machine.Hostnames()) {
+    if (!machine.PrepareNodeStorage(host).ok()) return 1;
+  }
+  std::printf("cluster ready: %zu nodes, SSD partition %s each (XFS, /beeond)\n\n",
+              machine.node_count(), FormatBytes(spec.node.ssd_partition_bytes).c_str());
+
+  SimClock clock;
+  slurmsim::SlurmManager slurm(machine, clock);
+  beeond::BeeondOrchestrator orchestrator(machine);
+
+  slurm.AddProlog([&](const slurmsim::Job& job, const std::string& hostname)
+                      -> slurmsim::ScriptResult {
+    if (!job.HasConstraint("beeond")) return {};
+    const auto hosts = ExpandHostlist(job.env.at("SLURM_NODELIST"));
+    if (!hosts.ok()) return {hosts.status(), 0};
+    if (hostname != LowestHost(*hosts)) return {Status::Ok(), Millis(40)};
+    auto instance = orchestrator.Start("beeond-job" + job.env.at("SLURM_JOB_ID"), *hosts);
+    if (!instance.ok()) return {instance.status(), 0};
+    return {Status::Ok(), instance->assemble_duration};
+  });
+  slurm.AddEpilog([&](const slurmsim::Job& job, const std::string& hostname)
+                      -> slurmsim::ScriptResult {
+    if (!job.HasConstraint("beeond")) return {};
+    const auto hosts = ExpandHostlist(job.env.at("SLURM_NODELIST"));
+    if (!hosts.ok()) return {hosts.status(), 0};
+    if (hostname != LowestHost(*hosts)) return {Status::Ok(), Millis(40)};
+    const Status stopped = orchestrator.Stop("beeond-job" + job.env.at("SLURM_JOB_ID"));
+    return {stopped, Seconds(2.5)};
+  });
+
+  // Submit the allocation: 4 HPL nodes + 4 IOR nodes, beeond constraint on.
+  slurmsim::JobSpec job_spec;
+  job_spec.name = "hpl-vs-ior";
+  job_spec.node_count = 8;
+  job_spec.constraints = {"beeond"};
+  auto job_id = slurm.Submit(job_spec);
+  if (!job_id.ok()) {
+    std::printf("submit failed: %s\n", job_id.status().ToString().c_str());
+    return 1;
+  }
+  const slurmsim::Job job = *slurm.GetJob(*job_id);
+  std::printf("job %llu RUNNING  SLURM_NODELIST=%s  constraints=%s\n",
+              static_cast<unsigned long long>(job.id),
+              job.env.at("SLURM_NODELIST").c_str(),
+              job.env.at("SLURM_JOB_CONSTRAINTS").c_str());
+
+  const std::string fs_id = "beeond-job" + std::to_string(*job_id);
+  const beeond::BeeondInstance instance = *orchestrator.Get(fs_id);
+  std::printf("beeond up in %.2f s (scale-invariant parallel assembly)\n\n",
+              ToSeconds(instance.assemble_duration));
+
+  // Node-role layout (the paper's "Node Local Burst Buffer Architecture").
+  std::printf("node-local filesystem layout:\n");
+  for (const std::string& host : instance.hosts) {
+    std::string roles = "ost client helperd";
+    if (host == instance.mgmtd_host) roles = "mgmtd meta " + roles;
+    std::printf("  %-9s [%s]\n", host.c_str(), roles.c_str());
+  }
+
+  // Process layout (the paper's process-layout figure): HPL on the first 4
+  // nodes, IOR clients on the last 4.
+  const std::vector<std::string> hpl_hosts(job.hosts.begin(), job.hosts.begin() + 4);
+  const std::vector<std::string> ior_hosts(job.hosts.begin() + 4, job.hosts.end());
+  std::printf("\nprocess layout: HPL=%s  IOR=%s\n", CompressHostlist(hpl_hosts).c_str(),
+              CompressHostlist(ior_hosts).c_str());
+
+  // IOR pounds the filesystem (Table III parameters) while HPL computes.
+  const workloads::IorParams ior;
+  const double ost_load = workloads::OstCoreLoad(ior, static_cast<int>(ior_hosts.size()),
+                                                 static_cast<int>(instance.ost_hosts.size()));
+  (void)orchestrator.SetIoLoad(fs_id, ost_load, workloads::MetaCoreLoad(ior, 4, 1));
+  (void)orchestrator.WriteFile(fs_id, ior_hosts.front(), 256 * MiB);
+  std::printf("IOR running: %d procs/node, %llu B sync writes -> %.2f "
+              "core-equivalents stolen per OST daemon\n",
+              ior.procs_per_node, static_cast<unsigned long long>(ior.transfer_bytes),
+              ost_load);
+
+  // HPL feels the interference through the bulk-synchronous max coupling.
+  std::vector<workloads::NodeInterference> interference;
+  for (const std::string& host : hpl_hosts) {
+    interference.push_back(workloads::InterferenceFromNode(**machine.Node(host), 0.36));
+  }
+  Rng rng(42);
+  const double perturbed = workloads::SimulateHplSeconds(interference, rng);
+  Rng rng2(42);
+  const double clean =
+      workloads::SimulateHplSeconds(std::vector<workloads::NodeInterference>(4), rng2);
+  std::printf("HPL runtime: %.0f s vs %.0f s clean  (+%.1f%% from co-located daemons)\n",
+              perturbed, clean, 100.0 * (perturbed - clean) / clean);
+
+  // Stripe balance across OSTs.
+  std::printf("\nOST usage after IOR writes:\n");
+  const auto ost_usage = *orchestrator.OstUsage(fs_id);
+  for (const auto& [host, bytes] : ost_usage) {
+    std::printf("  %-9s %s\n", host.c_str(), FormatBytes(bytes).c_str());
+  }
+
+  // Epilog: teardown, wipe, remount.
+  if (!slurm.Complete(*job_id).ok()) return 1;
+  std::printf("\njob complete; epilog wiped and remounted every SSD:\n");
+  for (const std::string& host : job.hosts) {
+    const cluster::ComputeNode* node = *machine.Node(host);
+    std::printf("  %-9s used=%s daemons=%zu state=%s\n", host.c_str(),
+                FormatBytes(node->ssd().used_bytes()).c_str(), node->Daemons().size(),
+                to_string(node->ssd().state()));
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Quickstart: boot an OFMF in-process, register two technology agents,
+// walk the single Redfish tree they populate, compose a system from the
+// resource-block pool, and tear it down.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+#include <memory>
+
+#include "agents/cxl_agent.hpp"
+#include "agents/ib_agent.hpp"
+#include "composability/client.hpp"
+#include "composability/manager.hpp"
+#include "json/serialize.hpp"
+#include "ofmf/service.hpp"
+#include "ofmf/uris.hpp"
+
+using namespace ofmf;
+
+int main() {
+  // --- 1. A small disaggregated machine: one switch, a host, a CXL MLD. ---
+  fabricsim::FabricGraph graph;
+  (void)graph.AddVertex("leaf-sw", fabricsim::VertexKind::kSwitch, 16);
+  (void)graph.AddVertex("host0", fabricsim::VertexKind::kDevice, 2);
+  (void)graph.AddVertex("cxl-mld0", fabricsim::VertexKind::kDevice, 2);
+  (void)graph.Connect("host0", 0, "leaf-sw", 0);
+  (void)graph.Connect("cxl-mld0", 0, "leaf-sw", 1);
+
+  fabricsim::CxlFabricManager cxl(graph);
+  (void)cxl.RegisterHost("host0");
+  (void)cxl.RegisterMemoryDevice("cxl-mld0", 1024ull << 30, 4);
+  fabricsim::IbSubnetManager ib(graph);
+
+  // --- 2. Boot the OFMF and register one agent per fabric technology. ---
+  core::OfmfService ofmf;
+  if (!ofmf.Bootstrap().ok()) return 1;
+  (void)ofmf.RegisterAgent(std::make_shared<agents::CxlAgent>("CXL", cxl));
+  (void)ofmf.RegisterAgent(std::make_shared<agents::IbAgent>("IB", ib));
+
+  // --- 3. Walk the tree like any Redfish client would. ---
+  composability::OfmfClient client(
+      std::make_unique<http::InProcessClient>(ofmf.Handler()));
+  const json::Json root = *client.Get(core::kServiceRoot);
+  std::printf("service root : %s (Redfish %s)\n", root.GetString("Name").c_str(),
+              root.GetString("RedfishVersion").c_str());
+  const auto fabric_uris = *client.Members(core::kFabrics);
+  for (const std::string& fabric_uri : fabric_uris) {
+    const json::Json fabric = *client.Get(fabric_uri);
+    const auto endpoints = *client.Members(fabric_uri + "/Endpoints");
+    std::printf("fabric       : %-4s type=%-12s endpoints=%zu\n",
+                fabric.GetString("Id").c_str(), fabric.GetString("FabricType").c_str(),
+                endpoints.size());
+    for (const std::string& endpoint_uri : endpoints) {
+      const json::Json endpoint = *client.Get(endpoint_uri);
+      std::printf("  endpoint   : %-10s role=%s\n", endpoint.GetString("Id").c_str(),
+                  endpoint.GetString("EndpointRole").c_str());
+    }
+  }
+
+  // --- 4. Register resource blocks and compose a system. ---
+  core::BlockCapability compute;
+  compute.id = "host0";
+  compute.block_type = "Compute";
+  compute.cores = 56;
+  compute.memory_gib = 128;
+  (void)ofmf.composition().RegisterBlock(compute);
+  core::BlockCapability memory;
+  memory.id = "cxl0";
+  memory.block_type = "Memory";
+  memory.memory_gib = 1024;
+  (void)ofmf.composition().RegisterBlock(memory);
+
+  composability::ComposabilityManager manager(client);
+  composability::CompositionRequest request;
+  request.name = "quickstart-system";
+  request.cores = 32;
+  request.memory_gib = 512;
+  request.policy = composability::Policy::kBestFit;
+  auto composed = manager.Compose(request);
+  if (!composed.ok()) {
+    std::printf("compose failed: %s\n", composed.status().ToString().c_str());
+    return 1;
+  }
+  const json::Json system = *client.Get(composed->system_uri);
+  std::printf("composed     : %s cores=%lld memoryGiB=%.0f blocks=%zu\n",
+              composed->system_uri.c_str(),
+              static_cast<long long>(system.at("ProcessorSummary").GetInt("CoreCount")),
+              system.at("MemorySummary").GetDouble("TotalSystemMemoryGiB"),
+              composed->block_uris.size());
+
+  // --- 5. Tear down; blocks return to the pool. ---
+  (void)manager.Decompose(composed->system_uri);
+  std::printf("decomposed   : %zu blocks free again\n",
+              ofmf.composition().FreeBlockUris().size());
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Serve the OFMF over a real TCP socket and drive it with wire-format HTTP
+// requests from client threads — the interop surface an external tool (curl,
+// the real Swordfish emulator test suites) would hit.
+//
+//   $ ./examples/rest_server          # self-driving demo on an ephemeral port
+//   $ ./examples/rest_server 8080 30  # listen on :8080 for 30 s (curl it)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+
+#include "agents/nvmeof_agent.hpp"
+#include "composability/client.hpp"
+#include "json/serialize.hpp"
+#include "ofmf/service.hpp"
+#include "ofmf/uris.hpp"
+
+using namespace ofmf;
+using json::Json;
+
+int main(int argc, char** argv) {
+  const std::uint16_t port =
+      argc > 1 ? static_cast<std::uint16_t>(std::atoi(argv[1])) : 0;
+  const int linger_seconds = argc > 2 ? std::atoi(argv[2]) : 0;
+
+  // Fabric + NVMe-oF target inventory.
+  fabricsim::FabricGraph graph;
+  (void)graph.AddVertex("tor", fabricsim::VertexKind::kSwitch, 8);
+  (void)graph.AddVertex("node001", fabricsim::VertexKind::kDevice, 1);
+  (void)graph.AddVertex("jbof0", fabricsim::VertexKind::kDevice, 1);
+  (void)graph.Connect("node001", 0, "tor", 0);
+  (void)graph.Connect("jbof0", 0, "tor", 1);
+  fabricsim::NvmeofTargetManager nvme(graph);
+  (void)nvme.CreateSubsystem("nqn.2026-01.org.ofmf:jbof0", "jbof0");
+  (void)nvme.AddNamespace("nqn.2026-01.org.ofmf:jbof0", 1, 16ull << 40);
+  (void)nvme.RegisterHostPort("nqn.2026-01.org.ofmf:node001", "node001");
+
+  core::OfmfService ofmf;
+  if (!ofmf.Bootstrap().ok()) return 1;
+  ofmf.sessions().set_auth_required(true);  // full auth on the wire
+  (void)ofmf.RegisterAgent(std::make_shared<agents::NvmeofAgent>("NVMeoF", nvme));
+
+  http::TcpServer server;
+  if (!server.Start(ofmf.Handler(), port).ok()) {
+    std::fprintf(stderr, "failed to bind port %u\n", port);
+    return 1;
+  }
+  std::printf("OFMF listening on http://127.0.0.1:%u/redfish/v1\n", server.port());
+  std::printf("credentials: admin / ofmf (POST %s)\n\n", core::kSessions);
+
+  if (linger_seconds > 0) {
+    std::printf("serving for %d s; try:\n"
+                "  curl http://127.0.0.1:%u/redfish/v1\n"
+                "  curl -X POST -d '{\"UserName\":\"admin\",\"Password\":\"ofmf\"}' "
+                "http://127.0.0.1:%u%s -i\n",
+                linger_seconds, server.port(), server.port(), core::kSessions);
+    std::this_thread::sleep_for(std::chrono::seconds(linger_seconds));
+    server.Stop();
+    return 0;
+  }
+
+  // Self-driving demo: a wire client logs in and walks the tree.
+  composability::OfmfClient client(std::make_unique<http::TcpClient>(server.port()));
+  const json::Json root = *client.Get(core::kServiceRoot);  // unauthenticated surface
+  std::printf("GET /redfish/v1 -> %s\n", root.GetString("Name").c_str());
+
+  if (!client.Login("admin", "ofmf").ok()) return 1;
+  std::printf("session token: %s...\n", client.token().substr(0, 8).c_str());
+
+  const auto fabric_uris = *client.Members(core::kFabrics);
+  for (const std::string& fabric_uri : fabric_uris) {
+    std::printf("fabric: %s\n", fabric_uri.c_str());
+  }
+  const auto service_uris = *client.Members(core::kStorageServices);
+  for (const std::string& service_uri : service_uris) {
+    const json::Json service = *client.Get(service_uri);
+    std::printf("storage service: %s (%s)\n", service_uri.c_str(),
+                service.GetString("Name").c_str());
+    const auto volume_uris = *client.Members(service_uri + "/Volumes");
+    for (const std::string& volume_uri : volume_uris) {
+      const json::Json volume = *client.Get(volume_uri);
+      std::printf("  volume %s: %lld bytes\n", volume.GetString("Name").c_str(),
+                  static_cast<long long>(volume.GetInt("CapacityBytes")));
+    }
+  }
+
+  // Storage attach over the wire.
+  auto connection = client.Post(
+      core::FabricUri("NVMeoF") + "/Connections",
+      Json::Obj({{"Name", "wire-attach"},
+                 {"ConnectionType", "Storage"},
+                 {"Oem",
+                  Json::Obj({{"Ofmf",
+                              Json::Obj({{"HostNqn", "nqn.2026-01.org.ofmf:node001"},
+                                         {"SubsystemNqn",
+                                          "nqn.2026-01.org.ofmf:jbof0"}})}})}}));
+  if (connection.ok()) {
+    std::printf("storage connection created: %s\n", connection->c_str());
+  }
+  server.Stop();
+  std::printf("server stopped.\n");
+  return 0;
+}

@@ -1,0 +1,237 @@
+#include "agents/cxl_agent.hpp"
+
+#include "agents/port_publisher.hpp"
+
+#include "common/strings.hpp"
+#include "odata/annotations.hpp"
+#include "ofmf/service.hpp"
+#include "ofmf/uris.hpp"
+
+namespace ofmf::agents {
+
+using fabricsim::CxlEvent;
+using json::Json;
+
+CxlAgent::CxlAgent(std::string fabric_id, fabricsim::CxlFabricManager& manager)
+    : fabric_id_(std::move(fabric_id)), manager_(manager) {}
+
+CxlAgent::~CxlAgent() {
+  if (port_sync_token_ != 0) manager_.graph().UnsubscribeLinkChanges(port_sync_token_);
+}
+
+std::string CxlAgent::EndpointUri(const std::string& name) const {
+  return core::FabricUri(fabric_id_) + "/Endpoints/" + name;
+}
+
+Status CxlAgent::PublishInventory(core::OfmfService& ofmf) {
+  ofmf_ = &ofmf;
+  OFMF_RETURN_IF_ERROR(ofmf.CreateFabricSkeleton(fabric_id_, fabric_type(), agent_id()));
+  auto& tree = ofmf.tree();
+  const std::string fabric_uri = core::FabricUri(fabric_id_);
+
+  // Hosts -> initiator endpoints.
+  for (const std::string& host : manager_.ListHosts()) {
+    const std::string uri = EndpointUri(host);
+    OFMF_RETURN_IF_ERROR(tree.Create(
+        uri, "#Endpoint.v1_8_0.Endpoint",
+        Json::Obj({{"Id", host},
+                   {"Name", host},
+                   {"EndpointProtocol", "CXL"},
+                   {"EndpointRole", "Initiator"},
+                   {"Status", Json::Obj({{"State", "Enabled"}, {"Health", "OK"}})},
+                   {"ConnectedEntities",
+                    Json::Arr({Json::Obj({{"EntityType", "Processor"}})})}})));
+    OFMF_RETURN_IF_ERROR(tree.AddMember(fabric_uri + "/Endpoints", uri));
+  }
+  // MLD devices -> target endpoints with one entity per logical device.
+  for (const fabricsim::CxlMemoryDevice& device : manager_.ListMemoryDevices()) {
+    json::Array entities;
+    for (const fabricsim::CxlLogicalDevice& ld : device.logical_devices) {
+      entities.push_back(Json::Obj(
+          {{"EntityType", "MediumScopedMemory"},
+           {"Oem", Json::Obj({{"Ofmf",
+                               Json::Obj({{"LdId", ld.ld_id},
+                                          {"CapacityBytes",
+                                           static_cast<std::int64_t>(ld.capacity_bytes)},
+                                          {"Bound", ld.bound}})}})}}));
+    }
+    const std::string uri = EndpointUri(device.device_name);
+    OFMF_RETURN_IF_ERROR(tree.Create(
+        uri, "#Endpoint.v1_8_0.Endpoint",
+        Json::Obj({{"Id", device.device_name},
+                   {"Name", device.device_name},
+                   {"EndpointProtocol", "CXL"},
+                   {"EndpointRole", "Target"},
+                   {"Status", Json::Obj({{"State", "Enabled"}, {"Health", "OK"}})},
+                   {"ConnectedEntities", Json(std::move(entities))}})));
+    OFMF_RETURN_IF_ERROR(tree.AddMember(fabric_uri + "/Endpoints", uri));
+  }
+  // Switches from the shared graph.
+  for (const std::string& name :
+       manager_.graph().Vertices(fabricsim::VertexKind::kSwitch)) {
+    const std::string uri = fabric_uri + "/Switches/" + name;
+    OFMF_RETURN_IF_ERROR(tree.Create(
+        uri, "#Switch.v1_9_0.Switch",
+        Json::Obj({{"Id", name},
+                   {"Name", name},
+                   {"SwitchType", "CXL"},
+                   {"TotalSwitchWidth", manager_.graph().PortCount(name)},
+                   {"Status", Json::Obj({{"State", "Enabled"}, {"Health", "OK"}})}})));
+    OFMF_RETURN_IF_ERROR(tree.AddMember(fabric_uri + "/Switches", uri));
+    OFMF_RETURN_IF_ERROR(
+        PublishSwitchPorts(ofmf, fabric_uri, manager_.graph(), name, "CXL"));
+  }
+  port_sync_token_ =
+      manager_.graph().SubscribeLinkChanges([this](const fabricsim::LinkChange& change) {
+        if (ofmf_ != nullptr) {
+          SyncPortLinkState(*ofmf_, core::FabricUri(fabric_id_), change);
+        }
+      });
+
+  // Native events -> Redfish events + endpoint status upkeep.
+  manager_.Subscribe([this](const CxlEvent& native) {
+    if (ofmf_ == nullptr) return;
+    core::Event event;
+    event.origin = EndpointUri(native.device);
+    switch (native.kind) {
+      case CxlEvent::Kind::kLdBound:
+        event.event_type = "ResourceUpdated";
+        event.message_id = "Cxl.1.0.LogicalDeviceBound";
+        event.message = native.device + " LD" + std::to_string(native.ld_id) +
+                        " bound to " + native.host;
+        break;
+      case CxlEvent::Kind::kLdUnbound:
+        event.event_type = "ResourceUpdated";
+        event.message_id = "Cxl.1.0.LogicalDeviceUnbound";
+        event.message = native.device + " LD" + std::to_string(native.ld_id) + " unbound";
+        break;
+      case CxlEvent::Kind::kDecoderProgrammed:
+        event.event_type = "ResourceUpdated";
+        event.message_id = "Cxl.1.0.DecoderProgrammed";
+        event.message = "HDM decoder programmed on " + native.host;
+        break;
+      case CxlEvent::Kind::kPortLinkChanged: {
+        event.event_type = native.link_up ? "StatusChange" : "Alert";
+        event.message_id = "Cxl.1.0.PortLinkChanged";
+        event.message = native.device +
+                        (native.link_up ? " link up" : " link down");
+        const std::string uri = EndpointUri(native.device);
+        if (ofmf_->tree().Exists(uri)) {
+          (void)ofmf_->tree().Patch(
+              uri, Json::Obj({{"Status",
+                               Json::Obj({{"State",
+                                           native.link_up ? "Enabled"
+                                                          : "UnavailableOffline"},
+                                          {"Health",
+                                           native.link_up ? "OK" : "Critical"}})}}));
+        }
+        break;
+      }
+    }
+    ofmf_->events().Publish(event);
+  });
+  return Status::Ok();
+}
+
+Result<std::string> CxlAgent::CreateZone(core::OfmfService& ofmf, const json::Json& body) {
+  const std::string fabric_uri = core::FabricUri(fabric_id_);
+  const std::string id = "zone" + std::to_string(next_zone_++);
+  const std::string uri = fabric_uri + "/Zones/" + id;
+  Json payload = body;
+  payload.as_object().Set("Id", id);
+  if (!payload.Contains("ZoneType")) payload.as_object().Set("ZoneType", "ZoneOfEndpoints");
+  OFMF_RETURN_IF_ERROR(ofmf.tree().Create(uri, "#Zone.v1_6_1.Zone", payload));
+  OFMF_RETURN_IF_ERROR(ofmf.tree().AddMember(fabric_uri + "/Zones", uri));
+  return uri;
+}
+
+Result<std::string> CxlAgent::CreateConnection(core::OfmfService& ofmf,
+                                               const json::Json& body) {
+  // Redfish shape: Links.InitiatorEndpoints[0] / Links.TargetEndpoints[0],
+  // optional Oem.Ofmf.LdId (first unbound LD chosen otherwise).
+  auto endpoint_name = [](const Json& refs) -> std::string {
+    if (!refs.is_array() || refs.as_array().empty()) return "";
+    const std::string uri = odata::IdOf(refs.as_array()[0]);
+    const std::size_t slash = uri.rfind('/');
+    return slash == std::string::npos ? uri : uri.substr(slash + 1);
+  };
+  const std::string host = endpoint_name(body.at("Links").at("InitiatorEndpoints"));
+  const std::string device = endpoint_name(body.at("Links").at("TargetEndpoints"));
+  if (host.empty() || device.empty()) {
+    return Status::InvalidArgument(
+        "Connection requires Links.InitiatorEndpoints and Links.TargetEndpoints");
+  }
+
+  // Pick the LD: explicit Oem.Ofmf.LdId or the first unbound one.
+  std::uint16_t ld_id = 0;
+  bool have_ld = false;
+  const Json& oem_ld = body.at("Oem").at("Ofmf").at("LdId");
+  if (oem_ld.is_int()) {
+    ld_id = static_cast<std::uint16_t>(oem_ld.as_int());
+    have_ld = true;
+  } else {
+    for (const fabricsim::CxlMemoryDevice& candidate : manager_.ListMemoryDevices()) {
+      if (candidate.device_name != device) continue;
+      for (const fabricsim::CxlLogicalDevice& ld : candidate.logical_devices) {
+        if (!ld.bound) {
+          ld_id = ld.ld_id;
+          have_ld = true;
+          break;
+        }
+      }
+    }
+  }
+  if (!have_ld) {
+    return Status::ResourceExhausted("no unbound logical device on " + device);
+  }
+
+  // Native operations: bind, then program a decoder covering the LD.
+  OFMF_RETURN_IF_ERROR(manager_.BindLogicalDevice(host, device, ld_id));
+  OFMF_ASSIGN_OR_RETURN(fabricsim::CxlLogicalDevice ld,
+                        manager_.QueryLogicalDevice(device, ld_id));
+  fabricsim::CxlDecoder decoder;
+  decoder.host = host;
+  // Next free HPA slot: one decoder per existing mapping, stacked.
+  decoder.hpa_base = 0x1000'0000'0000ull +
+                     0x100'0000'0000ull * manager_.ListDecoders(host).size();
+  decoder.size_bytes = ld.capacity_bytes;
+  decoder.target_device = device;
+  decoder.target_ld = ld_id;
+  const Status programmed = manager_.ProgramDecoder(decoder);
+  if (!programmed.ok()) {
+    (void)manager_.UnbindLogicalDevice(device, ld_id);
+    return programmed;
+  }
+
+  const std::string fabric_uri = core::FabricUri(fabric_id_);
+  const std::string id = "conn" + std::to_string(next_connection_++);
+  const std::string uri = fabric_uri + "/Connections/" + id;
+  Json payload = body;
+  payload.as_object().Set("Id", id);
+  payload.as_object().Set(
+      "MemoryChunkInfo",
+      Json::Arr({Json::Obj({{"LdId", ld_id},
+                            {"CapacityBytes",
+                             static_cast<std::int64_t>(ld.capacity_bytes)}})}));
+  OFMF_RETURN_IF_ERROR(ofmf.tree().Create(uri, "#Connection.v1_1_0.Connection", payload));
+  OFMF_RETURN_IF_ERROR(ofmf.tree().AddMember(fabric_uri + "/Connections", uri));
+  connections_[uri] = {device, ld_id, host};
+  return uri;
+}
+
+Status CxlAgent::DeleteResource(core::OfmfService& ofmf, const std::string& uri) {
+  const std::string fabric_uri = core::FabricUri(fabric_id_);
+  if (auto it = connections_.find(uri); it != connections_.end()) {
+    OFMF_RETURN_IF_ERROR(manager_.UnbindLogicalDevice(it->second.device, it->second.ld_id));
+    connections_.erase(it);
+    OFMF_RETURN_IF_ERROR(ofmf.tree().RemoveMember(fabric_uri + "/Connections", uri));
+    return ofmf.tree().Delete(uri);
+  }
+  if (strings::StartsWith(uri, fabric_uri + "/Zones/")) {
+    OFMF_RETURN_IF_ERROR(ofmf.tree().RemoveMember(fabric_uri + "/Zones", uri));
+    return ofmf.tree().Delete(uri);
+  }
+  return Status::PermissionDenied("CXL agent owns this resource; cannot delete " + uri);
+}
+
+}  // namespace ofmf::agents

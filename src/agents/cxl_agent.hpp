@@ -1,0 +1,54 @@
+// CXL Agent: Redfish <-> CxlFabricManager translation.
+//   * Endpoints: hosts (Initiator) and MLD memory devices (Target, one
+//     ConnectedEntity per logical device).
+//   * Connection (ConnectionType "Memory"): BindLogicalDevice + an HDM
+//     decoder programming on the native side.
+//   * Zone: a named endpoint group (CXL VCS analogue); recorded in the tree.
+//   * Native CxlEvents surface as Redfish events and keep endpoint Status in
+//     sync with link state.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "fabricsim/cxl.hpp"
+#include "ofmf/agent.hpp"
+
+namespace ofmf::agents {
+
+class CxlAgent : public core::FabricAgent {
+ public:
+  CxlAgent(std::string fabric_id, fabricsim::CxlFabricManager& manager);
+  ~CxlAgent() override;
+
+  std::string agent_id() const override { return "cxl-agent/" + fabric_id_; }
+  std::string fabric_id() const override { return fabric_id_; }
+  std::string fabric_type() const override { return "CXL"; }
+
+  Status PublishInventory(core::OfmfService& ofmf) override;
+  Result<std::string> CreateZone(core::OfmfService& ofmf, const json::Json& body) override;
+  Result<std::string> CreateConnection(core::OfmfService& ofmf,
+                                       const json::Json& body) override;
+  Status DeleteResource(core::OfmfService& ofmf, const std::string& uri) override;
+
+  /// Endpoint URI for a native device/host name.
+  std::string EndpointUri(const std::string& name) const;
+
+ private:
+  struct ConnectionRecord {
+    std::string device;
+    std::uint16_t ld_id = 0;
+    std::string host;
+  };
+
+  std::string fabric_id_;
+  fabricsim::CxlFabricManager& manager_;
+  core::OfmfService* ofmf_ = nullptr;  // bound at PublishInventory
+  std::uint64_t port_sync_token_ = 0;
+  std::map<std::string, ConnectionRecord> connections_;  // uri -> native state
+  std::uint64_t next_zone_ = 1;
+  std::uint64_t next_connection_ = 1;
+};
+
+}  // namespace ofmf::agents

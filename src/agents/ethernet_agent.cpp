@@ -1,0 +1,139 @@
+#include "agents/ethernet_agent.hpp"
+
+#include "common/strings.hpp"
+#include "odata/annotations.hpp"
+#include "ofmf/service.hpp"
+#include "ofmf/uris.hpp"
+
+namespace ofmf::agents {
+
+using fabricsim::EthernetEvent;
+using json::Json;
+
+EthernetAgent::EthernetAgent(std::string fabric_id,
+                             fabricsim::EthernetSwitchManager& manager,
+                             std::map<std::string, std::pair<std::string, int>> uplinks)
+    : fabric_id_(std::move(fabric_id)), manager_(manager), uplinks_(std::move(uplinks)) {}
+
+std::string EthernetAgent::EndpointUri(const std::string& device) const {
+  return core::FabricUri(fabric_id_) + "/Endpoints/" + device;
+}
+
+Status EthernetAgent::PublishInventory(core::OfmfService& ofmf) {
+  ofmf_ = &ofmf;
+  OFMF_RETURN_IF_ERROR(ofmf.CreateFabricSkeleton(fabric_id_, fabric_type(), agent_id()));
+  auto& tree = ofmf.tree();
+  const std::string fabric_uri = core::FabricUri(fabric_id_);
+
+  for (const auto& [device, uplink] : uplinks_) {
+    const std::string uri = EndpointUri(device);
+    OFMF_RETURN_IF_ERROR(tree.Create(
+        uri, "#Endpoint.v1_8_0.Endpoint",
+        Json::Obj({{"Id", device},
+                   {"Name", device + " NIC"},
+                   {"EndpointProtocol", "Ethernet"},
+                   {"EndpointRole", "Both"},
+                   {"Status", Json::Obj({{"State", "Enabled"}, {"Health", "OK"}})},
+                   {"Oem",
+                    Json::Obj({{"Ofmf", Json::Obj({{"UplinkSwitch", uplink.first},
+                                                   {"UplinkPort", uplink.second}})}})}})));
+    OFMF_RETURN_IF_ERROR(tree.AddMember(fabric_uri + "/Endpoints", uri));
+  }
+
+  manager_.Subscribe([this](const EthernetEvent& native) {
+    if (ofmf_ == nullptr || native.kind != EthernetEvent::Kind::kLinkFlap) return;
+    core::Event event;
+    event.event_type = "StatusChange";
+    event.message_id = "Ethernet.1.0.LinkFlap";
+    event.message = "link flap at " + native.switch_name + ":" +
+                    std::to_string(native.port);
+    event.origin = core::FabricUri(fabric_id_);
+    ofmf_->events().Publish(event);
+  });
+  return Status::Ok();
+}
+
+Result<std::string> EthernetAgent::CreateZone(core::OfmfService& ofmf,
+                                              const json::Json& body) {
+  const Json& endpoint_refs = body.at("Links").at("Endpoints");
+  if (!endpoint_refs.is_array() || endpoint_refs.as_array().empty()) {
+    return Status::InvalidArgument("Ethernet zone requires Links.Endpoints");
+  }
+  const std::uint16_t vlan = next_vlan_++;
+  OFMF_RETURN_IF_ERROR(manager_.CreateVlan(vlan, body.GetString("Name", "zone")));
+  for (const Json& ref : endpoint_refs.as_array()) {
+    const std::string uri = odata::IdOf(ref);
+    const std::size_t slash = uri.rfind('/');
+    const std::string device = slash == std::string::npos ? uri : uri.substr(slash + 1);
+    auto uplink = uplinks_.find(device);
+    if (uplink == uplinks_.end()) {
+      (void)manager_.DeleteVlan(vlan);
+      return Status::NotFound("no uplink known for endpoint " + device);
+    }
+    const Status joined = manager_.AddPortToVlan(vlan, uplink->second.first,
+                                                 uplink->second.second, /*tagged=*/false);
+    if (!joined.ok()) {
+      (void)manager_.DeleteVlan(vlan);
+      return joined;
+    }
+  }
+
+  const std::string fabric_uri = core::FabricUri(fabric_id_);
+  const std::string id = "zone" + std::to_string(next_zone_++);
+  const std::string uri = fabric_uri + "/Zones/" + id;
+  Json payload = body;
+  payload.as_object().Set("Id", id);
+  payload.as_object().Set("ZoneType", "ZoneOfEndpoints");
+  payload.as_object().Set("Oem", Json::Obj({{"Ofmf", Json::Obj({{"VlanId", vlan}})}}));
+  OFMF_RETURN_IF_ERROR(ofmf.tree().Create(uri, "#Zone.v1_6_1.Zone", payload));
+  OFMF_RETURN_IF_ERROR(ofmf.tree().AddMember(fabric_uri + "/Zones", uri));
+  zone_vlans_[uri] = vlan;
+  return uri;
+}
+
+Result<std::string> EthernetAgent::CreateConnection(core::OfmfService& ofmf,
+                                                    const json::Json& body) {
+  // An Ethernet "connection" is L2 adjacency inside a zone's VLAN: verify
+  // the two endpoints can exchange frames, then record it.
+  auto device_of = [](const Json& refs) -> std::string {
+    if (!refs.is_array() || refs.as_array().empty()) return "";
+    const std::string uri = odata::IdOf(refs.as_array()[0]);
+    const std::size_t slash = uri.rfind('/');
+    return slash == std::string::npos ? uri : uri.substr(slash + 1);
+  };
+  const std::string a = device_of(body.at("Links").at("InitiatorEndpoints"));
+  const std::string b = device_of(body.at("Links").at("TargetEndpoints"));
+  const std::int64_t vlan = body.at("Oem").at("Ofmf").GetInt("VlanId", 1);
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument("connection requires initiator and target endpoints");
+  }
+  if (!manager_.CanCommunicate(static_cast<std::uint16_t>(vlan), a, b)) {
+    return Status::Unavailable("endpoints cannot communicate in VLAN " +
+                               std::to_string(vlan));
+  }
+  const std::string fabric_uri = core::FabricUri(fabric_id_);
+  const std::string id = "conn" + std::to_string(next_connection_++);
+  const std::string uri = fabric_uri + "/Connections/" + id;
+  Json payload = body;
+  payload.as_object().Set("Id", id);
+  OFMF_RETURN_IF_ERROR(ofmf.tree().Create(uri, "#Connection.v1_1_0.Connection", payload));
+  OFMF_RETURN_IF_ERROR(ofmf.tree().AddMember(fabric_uri + "/Connections", uri));
+  return uri;
+}
+
+Status EthernetAgent::DeleteResource(core::OfmfService& ofmf, const std::string& uri) {
+  const std::string fabric_uri = core::FabricUri(fabric_id_);
+  if (auto it = zone_vlans_.find(uri); it != zone_vlans_.end()) {
+    OFMF_RETURN_IF_ERROR(manager_.DeleteVlan(it->second));
+    zone_vlans_.erase(it);
+    OFMF_RETURN_IF_ERROR(ofmf.tree().RemoveMember(fabric_uri + "/Zones", uri));
+    return ofmf.tree().Delete(uri);
+  }
+  if (strings::StartsWith(uri, fabric_uri + "/Connections/")) {
+    OFMF_RETURN_IF_ERROR(ofmf.tree().RemoveMember(fabric_uri + "/Connections", uri));
+    return ofmf.tree().Delete(uri);
+  }
+  return Status::PermissionDenied("Ethernet agent owns this resource; cannot delete " + uri);
+}
+
+}  // namespace ofmf::agents

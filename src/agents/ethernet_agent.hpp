@@ -1,0 +1,42 @@
+// Ethernet Agent: Redfish <-> EthernetSwitchManager translation. Zones map
+// to VLANs; the agent joins each zone endpoint's uplink port to the VLAN.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "fabricsim/ethernet.hpp"
+#include "ofmf/agent.hpp"
+
+namespace ofmf::agents {
+
+class EthernetAgent : public core::FabricAgent {
+ public:
+  /// `uplinks` maps device vertex -> (switch, port) carrying its traffic.
+  EthernetAgent(std::string fabric_id, fabricsim::EthernetSwitchManager& manager,
+                std::map<std::string, std::pair<std::string, int>> uplinks);
+
+  std::string agent_id() const override { return "eth-agent/" + fabric_id_; }
+  std::string fabric_id() const override { return fabric_id_; }
+  std::string fabric_type() const override { return "Ethernet"; }
+
+  Status PublishInventory(core::OfmfService& ofmf) override;
+  Result<std::string> CreateZone(core::OfmfService& ofmf, const json::Json& body) override;
+  Result<std::string> CreateConnection(core::OfmfService& ofmf,
+                                       const json::Json& body) override;
+  Status DeleteResource(core::OfmfService& ofmf, const std::string& uri) override;
+
+  std::string EndpointUri(const std::string& device) const;
+
+ private:
+  std::string fabric_id_;
+  fabricsim::EthernetSwitchManager& manager_;
+  std::map<std::string, std::pair<std::string, int>> uplinks_;
+  core::OfmfService* ofmf_ = nullptr;
+  std::map<std::string, std::uint16_t> zone_vlans_;  // zone uri -> vlan
+  std::uint16_t next_vlan_ = 100;
+  std::uint64_t next_zone_ = 1;
+  std::uint64_t next_connection_ = 1;
+};
+
+}  // namespace ofmf::agents

@@ -1,0 +1,159 @@
+#include "agents/genz_agent.hpp"
+
+#include "common/strings.hpp"
+#include "odata/annotations.hpp"
+#include "ofmf/service.hpp"
+#include "ofmf/uris.hpp"
+
+namespace ofmf::agents {
+
+using fabricsim::GenzComponentClass;
+using fabricsim::GenzEvent;
+using json::Json;
+
+namespace {
+
+const char* EntityTypeOf(GenzComponentClass cls) {
+  switch (cls) {
+    case GenzComponentClass::kProcessor: return "Processor";
+    case GenzComponentClass::kMemory: return "MediumScopedMemory";
+    case GenzComponentClass::kAccelerator: return "AccelerationFunction";
+    case GenzComponentClass::kIo: return "NetworkController";
+    case GenzComponentClass::kSwitch: return "NetworkController";
+  }
+  return "Processor";
+}
+
+}  // namespace
+
+GenzAgent::GenzAgent(std::string fabric_id, fabricsim::GenzFabricManager& manager)
+    : fabric_id_(std::move(fabric_id)), manager_(manager) {}
+
+std::string GenzAgent::EndpointUri(const std::string& vertex) const {
+  return core::FabricUri(fabric_id_) + "/Endpoints/" + vertex;
+}
+
+Status GenzAgent::PublishInventory(core::OfmfService& ofmf) {
+  ofmf_ = &ofmf;
+  OFMF_RETURN_IF_ERROR(ofmf.CreateFabricSkeleton(fabric_id_, fabric_type(), agent_id()));
+  auto& tree = ofmf.tree();
+  const std::string fabric_uri = core::FabricUri(fabric_id_);
+
+  for (const fabricsim::GenzComponent& component : manager_.Components()) {
+    const bool is_memory = component.component_class == GenzComponentClass::kMemory;
+    const std::string uri = EndpointUri(component.vertex);
+    OFMF_RETURN_IF_ERROR(tree.Create(
+        uri, "#Endpoint.v1_8_0.Endpoint",
+        Json::Obj({{"Id", component.vertex},
+                   {"Name", component.vertex},
+                   {"EndpointProtocol", "GenZ"},
+                   {"EndpointRole", is_memory ? "Target" : "Initiator"},
+                   {"Status", Json::Obj({{"State", "Enabled"}, {"Health", "OK"}})},
+                   {"ConnectedEntities",
+                    Json::Arr({Json::Obj(
+                        {{"EntityType", EntityTypeOf(component.component_class)}})})},
+                   {"Oem",
+                    Json::Obj({{"Ofmf",
+                                Json::Obj({{"Cid", component.cid},
+                                           {"MemoryBytes",
+                                            static_cast<std::int64_t>(
+                                                component.memory_bytes)}})}})}})));
+    OFMF_RETURN_IF_ERROR(tree.AddMember(fabric_uri + "/Endpoints", uri));
+  }
+
+  manager_.Subscribe([this](const GenzEvent& native) {
+    if (ofmf_ == nullptr) return;
+    core::Event event;
+    event.origin = core::FabricUri(fabric_id_);
+    switch (native.kind) {
+      case GenzEvent::Kind::kComponentEnumerated:
+        event.event_type = "ResourceAdded";
+        event.message_id = "GenZ.1.0.ComponentEnumerated";
+        break;
+      case GenzEvent::Kind::kRegionCreated:
+        event.event_type = "ResourceUpdated";
+        event.message_id = "GenZ.1.0.RegionCreated";
+        break;
+      case GenzEvent::Kind::kAccessGranted:
+        event.event_type = "ResourceUpdated";
+        event.message_id = "GenZ.1.0.AccessGranted";
+        break;
+      case GenzEvent::Kind::kAccessRevoked:
+        event.event_type = "ResourceUpdated";
+        event.message_id = "GenZ.1.0.AccessRevoked";
+        break;
+      case GenzEvent::Kind::kInterfaceDown:
+        event.event_type = "Alert";
+        event.message_id = "GenZ.1.0.InterfaceDown";
+        break;
+    }
+    event.message = event.message_id + " (CID " + std::to_string(native.cid) + ")";
+    ofmf_->events().Publish(event);
+  });
+  return Status::Ok();
+}
+
+Result<std::string> GenzAgent::CreateZone(core::OfmfService& ofmf, const json::Json& body) {
+  const std::string fabric_uri = core::FabricUri(fabric_id_);
+  const std::string id = "zone" + std::to_string(next_zone_++);
+  const std::string uri = fabric_uri + "/Zones/" + id;
+  Json payload = body;
+  payload.as_object().Set("Id", id);
+  if (!payload.Contains("ZoneType")) payload.as_object().Set("ZoneType", "ZoneOfEndpoints");
+  OFMF_RETURN_IF_ERROR(ofmf.tree().Create(uri, "#Zone.v1_6_1.Zone", payload));
+  OFMF_RETURN_IF_ERROR(ofmf.tree().AddMember(fabric_uri + "/Zones", uri));
+  return uri;
+}
+
+Result<std::string> GenzAgent::CreateConnection(core::OfmfService& ofmf,
+                                                const json::Json& body) {
+  // Oem.Ofmf: RequesterCid, ResponderCid, OffsetBytes, LengthBytes.
+  const Json& oem = body.at("Oem").at("Ofmf");
+  const auto requester = static_cast<fabricsim::Cid>(oem.GetInt("RequesterCid"));
+  const auto responder = static_cast<fabricsim::Cid>(oem.GetInt("ResponderCid"));
+  const auto offset = static_cast<std::uint64_t>(oem.GetInt("OffsetBytes"));
+  const auto length = static_cast<std::uint64_t>(oem.GetInt("LengthBytes"));
+  if (requester == 0 || responder == 0 || length == 0) {
+    return Status::InvalidArgument(
+        "Gen-Z connection requires Oem.Ofmf.{RequesterCid,ResponderCid,LengthBytes}");
+  }
+  OFMF_ASSIGN_OR_RETURN(fabricsim::RKey rkey,
+                        manager_.CreateRegion(responder, offset, length));
+  const Status granted = manager_.GrantAccess(rkey, requester);
+  if (!granted.ok()) {
+    (void)manager_.DestroyRegion(rkey);
+    return granted;
+  }
+
+  const std::string fabric_uri = core::FabricUri(fabric_id_);
+  const std::string id = "conn" + std::to_string(next_connection_++);
+  const std::string uri = fabric_uri + "/Connections/" + id;
+  Json payload = body;
+  payload.as_object().Set("Id", id);
+  payload.as_object().Set(
+      "MemoryChunkInfo",
+      Json::Arr({Json::Obj({{"RKey", static_cast<std::int64_t>(rkey)},
+                            {"LengthBytes", static_cast<std::int64_t>(length)}})}));
+  OFMF_RETURN_IF_ERROR(ofmf.tree().Create(uri, "#Connection.v1_1_0.Connection", payload));
+  OFMF_RETURN_IF_ERROR(ofmf.tree().AddMember(fabric_uri + "/Connections", uri));
+  connections_[uri] = {rkey, requester};
+  return uri;
+}
+
+Status GenzAgent::DeleteResource(core::OfmfService& ofmf, const std::string& uri) {
+  const std::string fabric_uri = core::FabricUri(fabric_id_);
+  if (auto it = connections_.find(uri); it != connections_.end()) {
+    OFMF_RETURN_IF_ERROR(manager_.RevokeAccess(it->second.rkey, it->second.requester));
+    OFMF_RETURN_IF_ERROR(manager_.DestroyRegion(it->second.rkey));
+    connections_.erase(it);
+    OFMF_RETURN_IF_ERROR(ofmf.tree().RemoveMember(fabric_uri + "/Connections", uri));
+    return ofmf.tree().Delete(uri);
+  }
+  if (strings::StartsWith(uri, fabric_uri + "/Zones/")) {
+    OFMF_RETURN_IF_ERROR(ofmf.tree().RemoveMember(fabric_uri + "/Zones", uri));
+    return ofmf.tree().Delete(uri);
+  }
+  return Status::PermissionDenied("Gen-Z agent owns this resource; cannot delete " + uri);
+}
+
+}  // namespace ofmf::agents

@@ -1,0 +1,43 @@
+// Gen-Z Agent: Redfish <-> GenzFabricManager translation. Connections map
+// to (region, R-Key, access grant) triples; zones are endpoint groups.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "fabricsim/genz.hpp"
+#include "ofmf/agent.hpp"
+
+namespace ofmf::agents {
+
+class GenzAgent : public core::FabricAgent {
+ public:
+  GenzAgent(std::string fabric_id, fabricsim::GenzFabricManager& manager);
+
+  std::string agent_id() const override { return "genz-agent/" + fabric_id_; }
+  std::string fabric_id() const override { return fabric_id_; }
+  std::string fabric_type() const override { return "GenZ"; }
+
+  Status PublishInventory(core::OfmfService& ofmf) override;
+  Result<std::string> CreateZone(core::OfmfService& ofmf, const json::Json& body) override;
+  Result<std::string> CreateConnection(core::OfmfService& ofmf,
+                                       const json::Json& body) override;
+  Status DeleteResource(core::OfmfService& ofmf, const std::string& uri) override;
+
+  std::string EndpointUri(const std::string& vertex) const;
+
+ private:
+  struct ConnectionRecord {
+    fabricsim::RKey rkey = 0;
+    fabricsim::Cid requester = 0;
+  };
+
+  std::string fabric_id_;
+  fabricsim::GenzFabricManager& manager_;
+  core::OfmfService* ofmf_ = nullptr;
+  std::map<std::string, ConnectionRecord> connections_;
+  std::uint64_t next_zone_ = 1;
+  std::uint64_t next_connection_ = 1;
+};
+
+}  // namespace ofmf::agents

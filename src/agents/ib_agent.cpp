@@ -1,0 +1,209 @@
+#include "agents/ib_agent.hpp"
+
+#include "agents/port_publisher.hpp"
+
+#include "common/strings.hpp"
+#include "odata/annotations.hpp"
+#include "ofmf/service.hpp"
+#include "ofmf/uris.hpp"
+
+namespace ofmf::agents {
+
+using fabricsim::IbTrap;
+using json::Json;
+
+IbAgent::IbAgent(std::string fabric_id, fabricsim::IbSubnetManager& sm)
+    : fabric_id_(std::move(fabric_id)), sm_(sm) {}
+
+IbAgent::~IbAgent() {
+  if (port_sync_token_ != 0) sm_.graph().UnsubscribeLinkChanges(port_sync_token_);
+}
+
+std::string IbAgent::EndpointUri(const std::string& node) const {
+  return core::FabricUri(fabric_id_) + "/Endpoints/" + node;
+}
+
+Status IbAgent::PublishInventory(core::OfmfService& ofmf) {
+  ofmf_ = &ofmf;
+  OFMF_RETURN_IF_ERROR(ofmf.CreateFabricSkeleton(fabric_id_, fabric_type(), agent_id()));
+  auto& tree = ofmf.tree();
+  const std::string fabric_uri = core::FabricUri(fabric_id_);
+
+  sm_.SweepSubnet();
+  for (const fabricsim::IbPortInfo& port : sm_.ListPorts()) {
+    if (port.is_switch) {
+      const std::string uri = fabric_uri + "/Switches/" + port.node;
+      OFMF_RETURN_IF_ERROR(tree.Create(
+          uri, "#Switch.v1_9_0.Switch",
+          Json::Obj({{"Id", port.node},
+                     {"Name", port.node},
+                     {"SwitchType", "InfiniBand"},
+                     {"Status", Json::Obj({{"State", "Enabled"}, {"Health", "OK"}})},
+                     {"Oem", Json::Obj({{"Ofmf", Json::Obj({{"Lid", port.lid}})}})}})));
+      OFMF_RETURN_IF_ERROR(tree.AddMember(fabric_uri + "/Switches", uri));
+      OFMF_RETURN_IF_ERROR(
+          PublishSwitchPorts(ofmf, fabric_uri, sm_.graph(), port.node, "InfiniBand"));
+      continue;
+    }
+    const std::string uri = EndpointUri(port.node);
+    OFMF_RETURN_IF_ERROR(tree.Create(
+        uri, "#Endpoint.v1_8_0.Endpoint",
+        Json::Obj({{"Id", port.node},
+                   {"Name", port.node + " HCA"},
+                   {"EndpointProtocol", "InfiniBand"},
+                   {"EndpointRole", "Both"},
+                   {"Status",
+                    Json::Obj({{"State", port.active ? "Enabled" : "UnavailableOffline"},
+                               {"Health", port.active ? "OK" : "Critical"}})},
+                   {"Oem", Json::Obj({{"Ofmf", Json::Obj({{"Lid", port.lid}})}})}})));
+    OFMF_RETURN_IF_ERROR(tree.AddMember(fabric_uri + "/Endpoints", uri));
+  }
+
+  port_sync_token_ =
+      sm_.graph().SubscribeLinkChanges([this](const fabricsim::LinkChange& change) {
+        if (ofmf_ != nullptr) {
+          SyncPortLinkState(*ofmf_, core::FabricUri(fabric_id_), change);
+        }
+      });
+
+  sm_.Subscribe([this](const IbTrap& trap) {
+    if (ofmf_ == nullptr) return;
+    core::Event event;
+    switch (trap.kind) {
+      case IbTrap::Kind::kPortUp:
+        event.event_type = "StatusChange";
+        event.message_id = "Ib.1.0.PortUp";
+        event.message = trap.node + " port active (LID " + std::to_string(trap.lid) + ")";
+        break;
+      case IbTrap::Kind::kPortDown:
+        event.event_type = "Alert";
+        event.message_id = "Ib.1.0.PortDown";
+        event.message = trap.node + " port down (LID " + std::to_string(trap.lid) + ")";
+        break;
+      case IbTrap::Kind::kSweepComplete:
+        event.event_type = "StatusChange";
+        event.message_id = "Ib.1.0.SweepComplete";
+        event.message = "subnet sweep complete";
+        break;
+    }
+    event.origin = trap.node.empty() ? core::FabricUri(fabric_id_) : EndpointUri(trap.node);
+    ofmf_->events().Publish(event);
+    if (trap.kind != IbTrap::Kind::kSweepComplete && ofmf_->tree().Exists(event.origin)) {
+      const bool up = trap.kind == IbTrap::Kind::kPortUp;
+      (void)ofmf_->tree().Patch(
+          event.origin,
+          Json::Obj({{"Status", Json::Obj({{"State", up ? "Enabled" : "UnavailableOffline"},
+                                           {"Health", up ? "OK" : "Critical"}})}}));
+    }
+  });
+  return Status::Ok();
+}
+
+Result<std::string> IbAgent::CreateZone(core::OfmfService& ofmf, const json::Json& body) {
+  // Translate: allocate a P_Key, add every referenced endpoint's LID as a
+  // full member.
+  const Json& endpoint_refs = body.at("Links").at("Endpoints");
+  if (!endpoint_refs.is_array() || endpoint_refs.as_array().empty()) {
+    return Status::InvalidArgument("IB zone requires Links.Endpoints");
+  }
+  const fabricsim::PKey pkey = next_pkey_++;
+  OFMF_RETURN_IF_ERROR(sm_.CreatePartition(pkey));
+  for (const Json& ref : endpoint_refs.as_array()) {
+    const std::string uri = odata::IdOf(ref);
+    const std::size_t slash = uri.rfind('/');
+    const std::string node = slash == std::string::npos ? uri : uri.substr(slash + 1);
+    const Result<fabricsim::Lid> lid = sm_.LidOf(node);
+    if (!lid.ok()) {
+      (void)sm_.RemovePartition(pkey);
+      return Status(lid.status().code(), "endpoint not in subnet: " + node);
+    }
+    OFMF_RETURN_IF_ERROR(sm_.AddPortToPartition(*lid, pkey, /*full_member=*/true));
+  }
+
+  const std::string fabric_uri = core::FabricUri(fabric_id_);
+  const std::string id = "zone" + std::to_string(next_zone_++);
+  const std::string uri = fabric_uri + "/Zones/" + id;
+  Json payload = body;
+  payload.as_object().Set("Id", id);
+  payload.as_object().Set("ZoneType", "ZoneOfEndpoints");
+  payload.as_object().Set("Oem",
+                          Json::Obj({{"Ofmf", Json::Obj({{"PKey", pkey}})}}));
+  OFMF_RETURN_IF_ERROR(ofmf.tree().Create(uri, "#Zone.v1_6_1.Zone", payload));
+  OFMF_RETURN_IF_ERROR(ofmf.tree().AddMember(fabric_uri + "/Zones", uri));
+  zone_pkeys_[uri] = pkey;
+  return uri;
+}
+
+Result<std::string> IbAgent::CreateConnection(core::OfmfService& ofmf,
+                                              const json::Json& body) {
+  auto node_of = [](const Json& refs) -> std::string {
+    if (!refs.is_array() || refs.as_array().empty()) return "";
+    const std::string uri = odata::IdOf(refs.as_array()[0]);
+    const std::size_t slash = uri.rfind('/');
+    return slash == std::string::npos ? uri : uri.substr(slash + 1);
+  };
+  const std::string src = node_of(body.at("Links").at("InitiatorEndpoints"));
+  const std::string dst = node_of(body.at("Links").at("TargetEndpoints"));
+  if (src.empty() || dst.empty()) {
+    return Status::InvalidArgument("connection requires initiator and target endpoints");
+  }
+  OFMF_ASSIGN_OR_RETURN(fabricsim::Lid src_lid, sm_.LidOf(src));
+  OFMF_ASSIGN_OR_RETURN(fabricsim::Lid dst_lid, sm_.LidOf(dst));
+  OFMF_ASSIGN_OR_RETURN(fabricsim::IbPathRecord record,
+                        sm_.QueryPathRecord(src_lid, dst_lid));
+
+  // Optional QoS: Oem.Ofmf.ReserveGbps pins guaranteed bandwidth along the
+  // path (admission-controlled by the fabric).
+  std::uint64_t reservation_id = 0;
+  const double reserve_gbps = body.at("Oem").at("Ofmf").GetDouble("ReserveGbps", 0.0);
+  if (reserve_gbps > 0.0) {
+    OFMF_ASSIGN_OR_RETURN(reservation_id,
+                          sm_.graph().ReserveBandwidth(src, dst, reserve_gbps));
+  }
+
+  const std::string fabric_uri = core::FabricUri(fabric_id_);
+  const std::string id = "conn" + std::to_string(next_connection_++);
+  const std::string uri = fabric_uri + "/Connections/" + id;
+  Json payload = body;
+  payload.as_object().Set("Id", id);
+  Json oem_info = Json::Obj({{"LatencyNs", record.latency_ns},
+                             {"BandwidthGbps", record.bandwidth_gbps},
+                             {"HopCount",
+                              static_cast<std::int64_t>(record.hops.size())}});
+  if (reservation_id != 0) {
+    oem_info.as_object().Set("ReservedGbps", reserve_gbps);
+    oem_info.as_object().Set("ReservationId",
+                             static_cast<std::int64_t>(reservation_id));
+  }
+  payload.as_object().Set("Oem", Json::Obj({{"Ofmf", oem_info}}));
+  const Status created = ofmf.tree().Create(uri, "#Connection.v1_1_0.Connection", payload);
+  if (!created.ok()) {
+    if (reservation_id != 0) (void)sm_.graph().ReleaseBandwidth(reservation_id);
+    return created;
+  }
+  OFMF_RETURN_IF_ERROR(ofmf.tree().AddMember(fabric_uri + "/Connections", uri));
+  if (reservation_id != 0) connection_reservations_[uri] = reservation_id;
+  return uri;
+}
+
+Status IbAgent::DeleteResource(core::OfmfService& ofmf, const std::string& uri) {
+  const std::string fabric_uri = core::FabricUri(fabric_id_);
+  if (auto it = zone_pkeys_.find(uri); it != zone_pkeys_.end()) {
+    OFMF_RETURN_IF_ERROR(sm_.RemovePartition(it->second));
+    zone_pkeys_.erase(it);
+    OFMF_RETURN_IF_ERROR(ofmf.tree().RemoveMember(fabric_uri + "/Zones", uri));
+    return ofmf.tree().Delete(uri);
+  }
+  if (strings::StartsWith(uri, fabric_uri + "/Connections/")) {
+    if (auto it = connection_reservations_.find(uri);
+        it != connection_reservations_.end()) {
+      (void)sm_.graph().ReleaseBandwidth(it->second);
+      connection_reservations_.erase(it);
+    }
+    OFMF_RETURN_IF_ERROR(ofmf.tree().RemoveMember(fabric_uri + "/Connections", uri));
+    return ofmf.tree().Delete(uri);
+  }
+  return Status::PermissionDenied("IB agent owns this resource; cannot delete " + uri);
+}
+
+}  // namespace ofmf::agents

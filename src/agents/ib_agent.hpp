@@ -1,0 +1,48 @@
+// InfiniBand Agent: Redfish <-> IbSubnetManager translation.
+//   * Inventory: sweep the subnet; every HCA becomes an Endpoint (LID in
+//     Oem.Ofmf), switches become Switch resources.
+//   * Zone: an IB partition — the agent allocates a P_Key and programs
+//     full membership for the zone's endpoints.
+//   * Connection (ConnectionType "Network"): validated against the SM's
+//     path-record query (shared partition + live route).
+//   * Traps surface as Redfish events.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "fabricsim/infiniband.hpp"
+#include "ofmf/agent.hpp"
+
+namespace ofmf::agents {
+
+class IbAgent : public core::FabricAgent {
+ public:
+  IbAgent(std::string fabric_id, fabricsim::IbSubnetManager& sm);
+  ~IbAgent() override;
+
+  std::string agent_id() const override { return "ib-agent/" + fabric_id_; }
+  std::string fabric_id() const override { return fabric_id_; }
+  std::string fabric_type() const override { return "InfiniBand"; }
+
+  Status PublishInventory(core::OfmfService& ofmf) override;
+  Result<std::string> CreateZone(core::OfmfService& ofmf, const json::Json& body) override;
+  Result<std::string> CreateConnection(core::OfmfService& ofmf,
+                                       const json::Json& body) override;
+  Status DeleteResource(core::OfmfService& ofmf, const std::string& uri) override;
+
+  std::string EndpointUri(const std::string& node) const;
+
+ private:
+  std::string fabric_id_;
+  fabricsim::IbSubnetManager& sm_;
+  core::OfmfService* ofmf_ = nullptr;
+  std::uint64_t port_sync_token_ = 0;
+  std::map<std::string, fabricsim::PKey> zone_pkeys_;  // zone uri -> pkey
+  std::map<std::string, std::uint64_t> connection_reservations_;  // uri -> resv id
+  fabricsim::PKey next_pkey_ = 0x10;
+  std::uint64_t next_zone_ = 1;
+  std::uint64_t next_connection_ = 1;
+};
+
+}  // namespace ofmf::agents

@@ -1,0 +1,168 @@
+#include "agents/nvmeof_agent.hpp"
+
+#include "common/strings.hpp"
+#include "odata/annotations.hpp"
+#include "ofmf/service.hpp"
+#include "ofmf/uris.hpp"
+#include "redfish/swordfish.hpp"
+
+namespace ofmf::agents {
+
+using fabricsim::NvmeofEvent;
+using json::Json;
+
+NvmeofAgent::NvmeofAgent(std::string fabric_id, fabricsim::NvmeofTargetManager& manager)
+    : fabric_id_(std::move(fabric_id)), manager_(manager) {}
+
+std::string NvmeofAgent::EndpointUri(const std::string& nqn) const {
+  return core::FabricUri(fabric_id_) + "/Endpoints/" +
+         strings::ReplaceAll(nqn, "/", "_");
+}
+
+std::string NvmeofAgent::storage_service_uri() const {
+  return std::string(core::kStorageServices) + "/" + fabric_id_;
+}
+
+Status NvmeofAgent::PublishInventory(core::OfmfService& ofmf) {
+  ofmf_ = &ofmf;
+  OFMF_RETURN_IF_ERROR(ofmf.CreateFabricSkeleton(fabric_id_, fabric_type(), agent_id()));
+  auto& tree = ofmf.tree();
+  const std::string fabric_uri = core::FabricUri(fabric_id_);
+
+  // Swordfish storage service with pools/volumes from subsystems.
+  const std::string service_uri = storage_service_uri();
+  OFMF_RETURN_IF_ERROR(tree.Create(
+      service_uri, "#StorageService.v1_5_0.StorageService",
+      redfish::swordfish::StorageService(fabric_id_, fabric_id_ + " storage", service_uri)));
+  OFMF_RETURN_IF_ERROR(tree.AddMember(core::kStorageServices, service_uri));
+  OFMF_RETURN_IF_ERROR(tree.CreateCollection(
+      service_uri + "/StoragePools", "#StoragePoolCollection.StoragePoolCollection",
+      "Storage Pools"));
+  OFMF_RETURN_IF_ERROR(tree.CreateCollection(
+      service_uri + "/Volumes", "#VolumeCollection.VolumeCollection", "Volumes"));
+
+  for (const fabricsim::NvmeSubsystem& subsystem : manager_.ListSubsystems()) {
+    // Target endpoint for the subsystem.
+    const std::string endpoint_uri = EndpointUri(subsystem.nqn);
+    OFMF_RETURN_IF_ERROR(tree.Create(
+        endpoint_uri, "#Endpoint.v1_8_0.Endpoint",
+        Json::Obj({{"Id", subsystem.nqn},
+                   {"Name", subsystem.nqn},
+                   {"EndpointProtocol", "NVMeOverFabrics"},
+                   {"EndpointRole", "Target"},
+                   {"Status", Json::Obj({{"State", "Enabled"}, {"Health", "OK"}})},
+                   {"ConnectedEntities",
+                    Json::Arr({Json::Obj({{"EntityType", "StorageTarget"}})})}})));
+    OFMF_RETURN_IF_ERROR(tree.AddMember(fabric_uri + "/Endpoints", endpoint_uri));
+
+    // Pool sized by the sum of its namespaces; a volume per namespace.
+    std::uint64_t total = 0;
+    for (const fabricsim::NvmeNamespace& ns : subsystem.namespaces) total += ns.size_bytes;
+    const std::string pool_id = strings::ReplaceAll(subsystem.nqn, "/", "_");
+    const std::string pool_uri = service_uri + "/StoragePools/" + pool_id;
+    OFMF_RETURN_IF_ERROR(tree.Create(pool_uri, "#StoragePool.v1_7_0.StoragePool",
+                                     redfish::swordfish::StoragePool(subsystem.nqn, total, 0)));
+    OFMF_RETURN_IF_ERROR(tree.AddMember(service_uri + "/StoragePools", pool_uri));
+    for (const fabricsim::NvmeNamespace& ns : subsystem.namespaces) {
+      const std::string volume_uri =
+          service_uri + "/Volumes/" + pool_id + "-ns" + std::to_string(ns.nsid);
+      OFMF_RETURN_IF_ERROR(tree.Create(
+          volume_uri, "#Volume.v1_8_0.Volume",
+          redfish::swordfish::Volume("ns" + std::to_string(ns.nsid), ns.size_bytes)));
+      OFMF_RETURN_IF_ERROR(tree.AddMember(service_uri + "/Volumes", volume_uri));
+    }
+  }
+
+  manager_.Subscribe([this](const NvmeofEvent& native) {
+    if (ofmf_ == nullptr) return;
+    core::Event event;
+    event.origin = EndpointUri(native.subsystem_nqn);
+    switch (native.kind) {
+      case NvmeofEvent::Kind::kSubsystemCreated:
+        event.event_type = "ResourceAdded";
+        event.message_id = "Nvmeof.1.0.SubsystemCreated";
+        event.message = "subsystem " + native.subsystem_nqn + " created";
+        break;
+      case NvmeofEvent::Kind::kNamespaceAdded:
+        event.event_type = "ResourceUpdated";
+        event.message_id = "Nvmeof.1.0.NamespaceAdded";
+        event.message = "namespace added to " + native.subsystem_nqn;
+        break;
+      case NvmeofEvent::Kind::kHostConnected:
+        event.event_type = "ResourceUpdated";
+        event.message_id = "Nvmeof.1.0.HostConnected";
+        event.message = native.host_nqn + " connected to " + native.subsystem_nqn;
+        break;
+      case NvmeofEvent::Kind::kHostDisconnected:
+        event.event_type = "ResourceUpdated";
+        event.message_id = "Nvmeof.1.0.HostDisconnected";
+        event.message = native.host_nqn + " disconnected from " + native.subsystem_nqn;
+        break;
+      case NvmeofEvent::Kind::kPathLost:
+        event.event_type = "Alert";
+        event.message_id = "Nvmeof.1.0.PathLost";
+        event.message = "fabric path lost: " + native.host_nqn + " -> " +
+                        native.subsystem_nqn;
+        break;
+    }
+    ofmf_->events().Publish(event);
+  });
+  return Status::Ok();
+}
+
+Result<std::string> NvmeofAgent::CreateZone(core::OfmfService& ofmf,
+                                            const json::Json& body) {
+  const std::string fabric_uri = core::FabricUri(fabric_id_);
+  const std::string id = "zone" + std::to_string(next_zone_++);
+  const std::string uri = fabric_uri + "/Zones/" + id;
+  Json payload = body;
+  payload.as_object().Set("Id", id);
+  if (!payload.Contains("ZoneType")) payload.as_object().Set("ZoneType", "ZoneOfEndpoints");
+  OFMF_RETURN_IF_ERROR(ofmf.tree().Create(uri, "#Zone.v1_6_1.Zone", payload));
+  OFMF_RETURN_IF_ERROR(ofmf.tree().AddMember(fabric_uri + "/Zones", uri));
+  return uri;
+}
+
+Result<std::string> NvmeofAgent::CreateConnection(core::OfmfService& ofmf,
+                                                  const json::Json& body) {
+  // Oem.Ofmf carries the native identities: HostNqn + SubsystemNqn.
+  const Json& oem = body.at("Oem").at("Ofmf");
+  const std::string host_nqn = oem.GetString("HostNqn");
+  const std::string subsystem_nqn = oem.GetString("SubsystemNqn");
+  if (host_nqn.empty() || subsystem_nqn.empty()) {
+    return Status::InvalidArgument(
+        "NVMe-oF connection requires Oem.Ofmf.HostNqn and Oem.Ofmf.SubsystemNqn");
+  }
+  OFMF_RETURN_IF_ERROR(manager_.AllowHost(subsystem_nqn, host_nqn));
+  OFMF_ASSIGN_OR_RETURN(fabricsim::NvmeController controller,
+                        manager_.Connect(host_nqn, subsystem_nqn));
+
+  const std::string fabric_uri = core::FabricUri(fabric_id_);
+  const std::string id = "conn" + std::to_string(next_connection_++);
+  const std::string uri = fabric_uri + "/Connections/" + id;
+  Json payload = body;
+  payload.as_object().Set("Id", id);
+  payload.as_object().Set(
+      "VolumeInfo", Json::Arr({Json::Obj({{"ControllerId", controller.cntlid}})}));
+  OFMF_RETURN_IF_ERROR(ofmf.tree().Create(uri, "#Connection.v1_1_0.Connection", payload));
+  OFMF_RETURN_IF_ERROR(ofmf.tree().AddMember(fabric_uri + "/Connections", uri));
+  connection_controllers_[uri] = controller.cntlid;
+  return uri;
+}
+
+Status NvmeofAgent::DeleteResource(core::OfmfService& ofmf, const std::string& uri) {
+  const std::string fabric_uri = core::FabricUri(fabric_id_);
+  if (auto it = connection_controllers_.find(uri); it != connection_controllers_.end()) {
+    OFMF_RETURN_IF_ERROR(manager_.Disconnect(it->second));
+    connection_controllers_.erase(it);
+    OFMF_RETURN_IF_ERROR(ofmf.tree().RemoveMember(fabric_uri + "/Connections", uri));
+    return ofmf.tree().Delete(uri);
+  }
+  if (strings::StartsWith(uri, fabric_uri + "/Zones/")) {
+    OFMF_RETURN_IF_ERROR(ofmf.tree().RemoveMember(fabric_uri + "/Zones", uri));
+    return ofmf.tree().Delete(uri);
+  }
+  return Status::PermissionDenied("NVMe-oF agent owns this resource; cannot delete " + uri);
+}
+
+}  // namespace ofmf::agents

@@ -1,0 +1,46 @@
+// NVMe-oF Agent: Redfish/Swordfish <-> NvmeofTargetManager translation.
+//   * Inventory: subsystems become Target endpoints AND a Swordfish
+//     StorageService with a StoragePool per subsystem and a Volume per
+//     namespace; registered hosts become Initiator endpoints.
+//   * Connection (ConnectionType "Storage"): AllowHost + fabric Connect,
+//     yielding a native controller.
+//   * Native events (path loss, connects) surface as Redfish events.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "fabricsim/nvmeof.hpp"
+#include "ofmf/agent.hpp"
+
+namespace ofmf::agents {
+
+class NvmeofAgent : public core::FabricAgent {
+ public:
+  NvmeofAgent(std::string fabric_id, fabricsim::NvmeofTargetManager& manager);
+
+  std::string agent_id() const override { return "nvmeof-agent/" + fabric_id_; }
+  std::string fabric_id() const override { return fabric_id_; }
+  std::string fabric_type() const override { return "NVMeOverFabrics"; }
+
+  Status PublishInventory(core::OfmfService& ofmf) override;
+  Result<std::string> CreateZone(core::OfmfService& ofmf, const json::Json& body) override;
+  Result<std::string> CreateConnection(core::OfmfService& ofmf,
+                                       const json::Json& body) override;
+  Status DeleteResource(core::OfmfService& ofmf, const std::string& uri) override;
+
+  /// Endpoint id for an NQN ("nqn.2026-01.org:pool0" -> "nqn.2026-01.org:pool0"
+  /// with '/' escaped away — NQNs are URI-safe already).
+  std::string EndpointUri(const std::string& nqn) const;
+  std::string storage_service_uri() const;
+
+ private:
+  std::string fabric_id_;
+  fabricsim::NvmeofTargetManager& manager_;
+  core::OfmfService* ofmf_ = nullptr;
+  std::map<std::string, std::uint16_t> connection_controllers_;  // uri -> cntlid
+  std::uint64_t next_zone_ = 1;
+  std::uint64_t next_connection_ = 1;
+};
+
+}  // namespace ofmf::agents

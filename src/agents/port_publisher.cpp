@@ -1,0 +1,67 @@
+#include "agents/port_publisher.hpp"
+
+#include "json/value.hpp"
+#include "odata/annotations.hpp"
+
+namespace ofmf::agents {
+
+using json::Json;
+
+std::string PortUri(const std::string& fabric_uri, const std::string& switch_name,
+                    int port) {
+  return fabric_uri + "/Switches/" + switch_name + "/Ports/" + std::to_string(port);
+}
+
+Status PublishSwitchPorts(core::OfmfService& ofmf, const std::string& fabric_uri,
+                          const fabricsim::FabricGraph& graph,
+                          const std::string& switch_name, const std::string& protocol) {
+  auto& tree = ofmf.tree();
+  const std::string ports_uri = fabric_uri + "/Switches/" + switch_name + "/Ports";
+  OFMF_RETURN_IF_ERROR(
+      tree.CreateCollection(ports_uri, "#PortCollection.PortCollection", "Ports"));
+  // Link the collection from the switch resource.
+  const std::string switch_uri = fabric_uri + "/Switches/" + switch_name;
+  if (tree.Exists(switch_uri)) {
+    OFMF_RETURN_IF_ERROR(
+        tree.Patch(switch_uri, Json::Obj({{"Ports", odata::Ref(ports_uri)}})));
+  }
+  for (const fabricsim::LinkState& link : graph.LinksAt(switch_name)) {
+    const bool we_are_a = link.id.a == switch_name;
+    const int port = we_are_a ? link.id.a_port : link.id.b_port;
+    const std::string& peer = we_are_a ? link.id.b : link.id.a;
+    const std::string uri = PortUri(fabric_uri, switch_name, port);
+    OFMF_RETURN_IF_ERROR(tree.Create(
+        uri, "#Port.v1_7_0.Port",
+        Json::Obj({{"Id", std::to_string(port)},
+                   {"Name", switch_name + " port " + std::to_string(port)},
+                   {"PortId", std::to_string(port)},
+                   {"PortProtocol", protocol},
+                   {"CurrentSpeedGbps", link.quality.bandwidth_gbps},
+                   {"MaxSpeedGbps", link.quality.bandwidth_gbps},
+                   {"LinkState", "Enabled"},
+                   {"LinkStatus", link.up ? "LinkUp" : "LinkDown"},
+                   {"Status",
+                    Json::Obj({{"State", "Enabled"},
+                               {"Health", link.up ? "OK" : "Critical"}})},
+                   {"Oem", Json::Obj({{"Ofmf", Json::Obj({{"Peer", peer}})}})}})));
+    OFMF_RETURN_IF_ERROR(tree.AddMember(ports_uri, uri));
+  }
+  return Status::Ok();
+}
+
+void SyncPortLinkState(core::OfmfService& ofmf, const std::string& fabric_uri,
+                       const fabricsim::LinkChange& change) {
+  auto patch_end = [&](const std::string& vertex, int port) {
+    const std::string uri = PortUri(fabric_uri, vertex, port);
+    if (!ofmf.tree().Exists(uri)) return;
+    (void)ofmf.tree().Patch(
+        uri, Json::Obj({{"LinkStatus", change.up ? "LinkUp" : "LinkDown"},
+                        {"Status",
+                         Json::Obj({{"State", "Enabled"},
+                                    {"Health", change.up ? "OK" : "Critical"}})}}));
+  };
+  patch_end(change.id.a, change.id.a_port);
+  patch_end(change.id.b, change.id.b_port);
+}
+
+}  // namespace ofmf::agents

@@ -1,0 +1,28 @@
+// Shared agent helper: publishes per-port Redfish resources for a switch
+// vertex (Ports collection + one Port per wired graph port, with LinkStatus
+// and the peer recorded) and keeps LinkStatus in sync on link changes.
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+#include "fabricsim/graph.hpp"
+#include "ofmf/service.hpp"
+
+namespace ofmf::agents {
+
+/// Creates <fabric>/Switches/<switch>/Ports and a Port resource per wired
+/// port of `switch_name`. `protocol` is the PortProtocol value ("CXL", ...).
+Status PublishSwitchPorts(core::OfmfService& ofmf, const std::string& fabric_uri,
+                          const fabricsim::FabricGraph& graph,
+                          const std::string& switch_name, const std::string& protocol);
+
+/// Patches the Port resources on both ends of `change` (when they exist).
+void SyncPortLinkState(core::OfmfService& ofmf, const std::string& fabric_uri,
+                       const fabricsim::LinkChange& change);
+
+/// Port resource URI for (switch, port index).
+std::string PortUri(const std::string& fabric_uri, const std::string& switch_name,
+                    int port);
+
+}  // namespace ofmf::agents

@@ -1,0 +1,115 @@
+// BeeOND-style ephemeral node-local parallel filesystem, reimplementing the
+// paper's custom start/stop scripts:
+//   * role assignment from the expanded SLURM_NODELIST — the lowest host is
+//     Mgmtd + Metadata + OST + client; every other host is OST + client;
+//   * Mgmtd starts first, then storage servers, metadata, helperd, mount at
+//     /mnt/beeond (each service gets store dir / log file / PID file / port
+//     and runs as a daemon, as in the paper);
+//   * teardown: fuser kill, poll for exit, XFS reformat, remount;
+//   * per-service CPU cost model — idle heartbeats plus load-dependent OST /
+//     metadata service cost — which is what perturbs co-located HPL.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/clock.hpp"
+#include "common/result.hpp"
+
+namespace ofmf::beeond {
+
+enum class Role { kMgmtd, kMeta, kStorage, kHelperd, kClient };
+
+const char* to_string(Role role);
+/// Daemon name used on the compute node ("beeond-ost", ...).
+std::string DaemonName(Role role);
+
+/// Idle CPU cost (core-equivalents) of each daemon — the paper's surprising
+/// "overhead of idle BeeOND daemons" comes from these heartbeats.
+double IdleCoreLoad(Role role);
+
+struct ServiceConfig {
+  Role role;
+  std::string host;
+  std::string store_dir;   // e.g. /beeond/ost
+  std::string log_file;    // e.g. /var/log/beeond-ost.log
+  std::string pid_file;
+  int port = 0;
+  bool daemonized = true;
+};
+
+struct StartOptions {
+  /// Number of metadata servers (the paper's scripts allow altering this;
+  /// the production default is one, on the lowest host).
+  int meta_count = 1;
+  /// Stripe chunk per OST write.
+  std::uint64_t chunk_bytes = 512 * 1024;
+  /// Hosts excluded from OST duty (still clients) — supports the discussion
+  /// section's "let users control where file system processes land".
+  std::vector<std::string> storage_exempt_hosts;
+};
+
+struct BeeondInstance {
+  std::string id;                     // "beeond-job42"
+  std::vector<std::string> hosts;     // expanded, sorted
+  std::string mgmtd_host;
+  std::vector<std::string> meta_hosts;
+  std::vector<std::string> ost_hosts; // stripe order
+  std::string mount_point = "/mnt/beeond";
+  std::uint64_t chunk_bytes = 512 * 1024;
+  SimTime assemble_duration = 0;
+  SimTime teardown_duration = 0;
+  std::vector<ServiceConfig> services;
+  bool mounted = false;
+};
+
+class BeeondOrchestrator {
+ public:
+  explicit BeeondOrchestrator(cluster::Cluster& cluster);
+
+  /// The custom `beeond start` replacement. `hosts` is the expanded job
+  /// allocation; storage on every (non-exempt) host must be prepared
+  /// (mounted /beeond) or the start fails like a hardware fault would.
+  Result<BeeondInstance> Start(const std::string& instance_id,
+                               std::vector<std::string> hosts,
+                               const StartOptions& options = {});
+
+  /// The custom `beeond stop` replacement: kill, poll, reformat, remount.
+  Status Stop(const std::string& instance_id);
+
+  Result<BeeondInstance> Get(const std::string& instance_id) const;
+  std::vector<std::string> InstanceIds() const;
+
+  /// Writes `bytes` from `client_host` through the instance: data is striped
+  /// round-robin across OSTs in `chunk_bytes` units and lands on node SSDs.
+  Status WriteFile(const std::string& instance_id, const std::string& client_host,
+                   std::uint64_t bytes);
+
+  /// Applies an I/O intensity (0 = idle) to the instance's daemons: OSTs and
+  /// metadata servers pick up load-dependent CPU cost. Used by the IOR model.
+  Status SetIoLoad(const std::string& instance_id, double ost_core_load,
+                   double meta_core_load);
+
+  /// Per-OST bytes stored (stripe balance check).
+  Result<std::map<std::string, std::uint64_t>> OstUsage(const std::string& instance_id) const;
+
+  /// Simulated service start/stop latencies (per service, parallel across
+  /// nodes). Exposed for the startup/teardown bench.
+  static SimTime ServiceStartLatency(Role role);
+  static SimTime ServiceStopLatency();
+  static SimTime ReformatLatency();
+
+ private:
+  Status StartServicesOnHost(const BeeondInstance& instance, const std::string& host,
+                             const std::vector<Role>& roles);
+
+  cluster::Cluster& cluster_;
+  std::map<std::string, BeeondInstance> instances_;
+  std::map<std::string, std::map<std::string, std::uint64_t>> ost_usage_;
+};
+
+}  // namespace ofmf::beeond

@@ -1,0 +1,91 @@
+#include "cluster/cluster.hpp"
+
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+
+namespace ofmf::cluster {
+
+Cluster::Cluster(const ClusterSpec& spec) : spec_(spec) {
+  for (int i = 1; i <= spec.node_count; ++i) {
+    const std::string hostname =
+        spec.node_prefix +
+        strings::ZeroPad(static_cast<unsigned long long>(i),
+                         static_cast<std::size_t>(spec.node_number_width));
+    nodes_.emplace(hostname, std::make_unique<ComputeNode>(hostname, spec.node));
+  }
+}
+
+Result<ComputeNode*> Cluster::Node(const std::string& hostname) {
+  auto it = nodes_.find(hostname);
+  if (it == nodes_.end()) return Status::NotFound("no node: " + hostname);
+  return it->second.get();
+}
+
+Result<const ComputeNode*> Cluster::Node(const std::string& hostname) const {
+  auto it = nodes_.find(hostname);
+  if (it == nodes_.end()) return Status::NotFound("no node: " + hostname);
+  return static_cast<const ComputeNode*>(it->second.get());
+}
+
+std::vector<std::string> Cluster::Hostnames() const {
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (const auto& [name, node] : nodes_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> Cluster::AvailableHostnames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, node] : nodes_) {
+    if (!node->drained()) names.push_back(name);
+  }
+  return names;
+}
+
+Status Cluster::PrepareNodeStorage(const std::string& hostname) {
+  OFMF_ASSIGN_OR_RETURN(ComputeNode * node, Node(hostname));
+  Ssd& ssd = node->ssd();
+  // nodeup script sequence: partition if raw, format, udev check, mount.
+  if (ssd.state() == SsdState::kRaw) {
+    OFMF_RETURN_IF_ERROR(ssd.Partition(spec_.node.ssd_partition_bytes));
+  }
+  if (ssd.state() == SsdState::kPartitioned) {
+    OFMF_RETURN_IF_ERROR(ssd.Format("xfs"));
+  }
+  const Result<std::string> udev = ssd.RunUdevRule(spec_.node.ssd_partition_bytes);
+  if (!udev.ok()) {
+    node->SetDrained(true);
+    OFMF_WARN << "nodeup: " << hostname << " failed UDEV check ("
+              << udev.status().message() << "); node drained";
+    return udev.status();
+  }
+  if (ssd.state() != SsdState::kMounted) {
+    const Status mounted = ssd.Mount("/beeond");
+    if (!mounted.ok()) {
+      node->SetDrained(true);
+      return mounted;
+    }
+  }
+  return Status::Ok();
+}
+
+Status Cluster::ReformatNodeStorage(const std::string& hostname) {
+  OFMF_ASSIGN_OR_RETURN(ComputeNode * node, Node(hostname));
+  Ssd& ssd = node->ssd();
+  if (ssd.state() == SsdState::kMounted) {
+    OFMF_RETURN_IF_ERROR(ssd.Unmount());
+  }
+  OFMF_RETURN_IF_ERROR(ssd.Format("xfs"));
+  return ssd.Mount("/beeond");
+}
+
+double Cluster::PowerWatts() const {
+  double watts = pool_.PowerWatts();
+  for (const auto& [name, node] : nodes_) {
+    const bool active = node->DaemonCoreLoad() > 0.0 || node->reserved_memory_bytes() > 0;
+    watts += active ? power_model_.node_active_watts : power_model_.node_idle_watts;
+  }
+  return watts;
+}
+
+}  // namespace ofmf::cluster

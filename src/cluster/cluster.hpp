@@ -1,0 +1,66 @@
+// A simulated HPC machine: named compute nodes (hostlist-compatible naming)
+// plus the disaggregated pools and an energy meter. Both the Slurm simulator
+// (node allocation) and the OFMF agents (inventory publication) sit on top
+// of this.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/energy.hpp"
+#include "cluster/node.hpp"
+#include "cluster/pools.hpp"
+#include "common/result.hpp"
+
+namespace ofmf::cluster {
+
+struct ClusterSpec {
+  int node_count = 16;
+  std::string node_prefix = "node";
+  int node_number_width = 3;  // node001...
+  NodeSpec node;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterSpec& spec);
+
+  const ClusterSpec& spec() const { return spec_; }
+
+  Result<ComputeNode*> Node(const std::string& hostname);
+  Result<const ComputeNode*> Node(const std::string& hostname) const;
+  std::vector<std::string> Hostnames() const;
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Non-drained nodes, in hostname order.
+  std::vector<std::string> AvailableHostnames() const;
+
+  ResourcePool& pool() { return pool_; }
+  const ResourcePool& pool() const { return pool_; }
+  EnergyMeter& energy() { return energy_; }
+  const PowerModel& power_model() const { return power_model_; }
+  void set_power_model(const PowerModel& model) { power_model_ = model; }
+
+  /// Runs the paper's node preparation ("nodeup"): UDEV partition check,
+  /// XFS format, mount at /beeond. On failure the node is drained and the
+  /// failure reason returned.
+  Status PrepareNodeStorage(const std::string& hostname);
+
+  /// Epilog-time wipe: unmount, reformat, remount (fresh for the next job).
+  Status ReformatNodeStorage(const std::string& hostname);
+
+  /// Current IT power: nodes (active if any daemon load or reserved memory)
+  /// plus the disaggregated pool.
+  double PowerWatts() const;
+
+ private:
+  ClusterSpec spec_;
+  std::map<std::string, std::unique_ptr<ComputeNode>> nodes_;
+  ResourcePool pool_;
+  EnergyMeter energy_;
+  PowerModel power_model_;
+};
+
+}  // namespace ofmf::cluster

@@ -1,0 +1,13 @@
+#include "cluster/energy.hpp"
+
+#include <cassert>
+
+namespace ofmf::cluster {
+
+void EnergyMeter::Accrue(double watts, SimTime duration) {
+  assert(watts >= 0.0);
+  if (duration <= 0) return;
+  joules_ += watts * ToSeconds(duration);
+}
+
+}  // namespace ofmf::cluster

@@ -1,0 +1,45 @@
+// Energy accounting. The paper motivates composability with datacenter
+// energy waste; the stranded-resources bench integrates power over simulated
+// time for static vs composable provisioning.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.hpp"
+
+namespace ofmf::cluster {
+
+/// Default power figures (roughly ThunderX2-node-class hardware).
+struct PowerModel {
+  double node_idle_watts = 180.0;
+  double node_active_watts = 420.0;
+  double gpu_idle_watts = 55.0;
+  double gpu_active_watts = 300.0;
+  double dram_watts_per_gib = 0.35;
+  double cxl_mem_idle_watts_per_gib = 0.20;   // powered but unbound
+  double cxl_mem_active_watts_per_gib = 0.40;
+  double nvme_idle_watts = 5.0;
+  double nvme_active_watts = 12.0;
+  /// Facility overhead multiplier (cooling etc.): PUE.
+  double pue = 1.35;
+};
+
+/// Integrates power over simulated time.
+class EnergyMeter {
+ public:
+  /// Accrues `watts` drawn for `duration` of simulated time.
+  void Accrue(double watts, SimTime duration);
+
+  double joules() const { return joules_; }
+  double kwh() const { return joules_ / 3.6e6; }
+
+  /// Facility-side energy (IT energy x PUE).
+  double facility_kwh(const PowerModel& model) const { return kwh() * model.pue; }
+
+  void Reset() { joules_ = 0.0; }
+
+ private:
+  double joules_ = 0.0;
+};
+
+}  // namespace ofmf::cluster

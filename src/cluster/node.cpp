@@ -1,0 +1,67 @@
+#include "cluster/node.hpp"
+
+#include <algorithm>
+
+namespace ofmf::cluster {
+
+ComputeNode::ComputeNode(std::string hostname, const NodeSpec& spec)
+    : hostname_(std::move(hostname)), spec_(spec), ssd_(spec.ssd_raw_bytes) {}
+
+Status ComputeNode::StartDaemon(const std::string& name, double cpu_fraction) {
+  if (cpu_fraction < 0.0) return Status::InvalidArgument("negative CPU fraction");
+  if (daemons_.count(name) != 0) {
+    return Status::AlreadyExists("daemon already running: " + name);
+  }
+  daemons_[name] = cpu_fraction;
+  return Status::Ok();
+}
+
+Status ComputeNode::StopDaemon(const std::string& name) {
+  if (daemons_.erase(name) == 0) return Status::NotFound("no daemon: " + name);
+  return Status::Ok();
+}
+
+Status ComputeNode::SetDaemonLoad(const std::string& name, double cpu_fraction) {
+  auto it = daemons_.find(name);
+  if (it == daemons_.end()) return Status::NotFound("no daemon: " + name);
+  if (cpu_fraction < 0.0) return Status::InvalidArgument("negative CPU fraction");
+  it->second = cpu_fraction;
+  return Status::Ok();
+}
+
+bool ComputeNode::HasDaemon(const std::string& name) const {
+  return daemons_.count(name) != 0;
+}
+
+std::vector<std::string> ComputeNode::Daemons() const {
+  std::vector<std::string> names;
+  names.reserve(daemons_.size());
+  for (const auto& [name, load] : daemons_) names.push_back(name);
+  return names;
+}
+
+double ComputeNode::DaemonCoreLoad() const {
+  double total = 0.0;
+  for (const auto& [name, load] : daemons_) total += load;
+  return total;
+}
+
+double ComputeNode::CpuStealFraction() const {
+  const double fraction = DaemonCoreLoad() / static_cast<double>(spec_.total_cores());
+  return std::clamp(fraction, 0.0, 0.95);
+}
+
+Status ComputeNode::ReserveMemory(std::uint64_t bytes) {
+  if (reserved_memory_bytes_ + bytes > spec_.memory_bytes) {
+    return Status::ResourceExhausted("out of memory on " + hostname_ + " (" +
+                                     std::to_string(free_memory_bytes()) + " bytes free)");
+  }
+  reserved_memory_bytes_ += bytes;
+  return Status::Ok();
+}
+
+void ComputeNode::ReleaseMemory(std::uint64_t bytes) {
+  reserved_memory_bytes_ -= std::min(bytes, reserved_memory_bytes_);
+}
+
+}  // namespace ofmf::cluster

@@ -1,0 +1,76 @@
+// Compute node model matching the paper's production system: dual-socket
+// ThunderX2 (2 x 28 cores), 128 GiB of memory, one 1 TB SATA SSD with an
+// 894 GiB XFS partition, and dual EDR InfiniBand ports. CPU time on a node
+// is shared between the application and any daemons pinned there — the
+// cpu-steal accounting here is what drives the interference study.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/ssd.hpp"
+#include "common/result.hpp"
+#include "common/units.hpp"
+
+namespace ofmf::cluster {
+
+struct NodeSpec {
+  int sockets = 2;
+  int cores_per_socket = 28;
+  std::uint64_t memory_bytes = 128 * GiB;
+  std::uint64_t ssd_raw_bytes = 1000 * GiB;        // "1 TB SATA SSD"
+  std::uint64_t ssd_partition_bytes = 894 * GiB;   // "single 894GB partition"
+  double core_ghz = 2.5;
+  int ib_ports = 2;  // Socket Direct EDR HCA
+
+  int total_cores() const { return sockets * cores_per_socket; }
+};
+
+class ComputeNode {
+ public:
+  ComputeNode(std::string hostname, const NodeSpec& spec = {});
+
+  const std::string& hostname() const { return hostname_; }
+  const NodeSpec& spec() const { return spec_; }
+  Ssd& ssd() { return ssd_; }
+  const Ssd& ssd() const { return ssd_; }
+
+  /// Registers a resident service (daemon) consuming `cpu_fraction` of one
+  /// core-equivalent while active (e.g. a BeeOND OST under IOR load).
+  Status StartDaemon(const std::string& name, double cpu_fraction);
+  Status StopDaemon(const std::string& name);
+  Status SetDaemonLoad(const std::string& name, double cpu_fraction);
+  bool HasDaemon(const std::string& name) const;
+  std::vector<std::string> Daemons() const;
+
+  /// Sum of daemon core-equivalents currently consumed.
+  double DaemonCoreLoad() const;
+
+  /// Fraction of total node CPU stolen from an application that wants every
+  /// core: daemon core-equivalents / total cores, clamped to [0, 0.95].
+  double CpuStealFraction() const;
+
+  /// Memory bookkeeping for running jobs.
+  Status ReserveMemory(std::uint64_t bytes);
+  void ReleaseMemory(std::uint64_t bytes);
+  std::uint64_t reserved_memory_bytes() const { return reserved_memory_bytes_; }
+  std::uint64_t free_memory_bytes() const {
+    return spec_.memory_bytes - reserved_memory_bytes_;
+  }
+
+  /// Node-health drain flag (set by Slurm on prolog/hardware failures).
+  void SetDrained(bool drained) { drained_ = drained; }
+  bool drained() const { return drained_; }
+
+ private:
+  std::string hostname_;
+  NodeSpec spec_;
+  Ssd ssd_;
+  std::map<std::string, double> daemons_;  // name -> core-equivalents
+  std::uint64_t reserved_memory_bytes_ = 0;
+  bool drained_ = false;
+};
+
+}  // namespace ofmf::cluster

@@ -1,0 +1,126 @@
+#include "cluster/pools.hpp"
+
+namespace ofmf::cluster {
+
+const char* to_string(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kCpu: return "CPU";
+    case ResourceKind::kGpu: return "GPU";
+    case ResourceKind::kMemoryDram: return "DRAM";
+    case ResourceKind::kMemoryCxl: return "CXL-Memory";
+    case ResourceKind::kNvme: return "NVMe";
+  }
+  return "?";
+}
+
+Status ResourcePool::AddDevice(PooledDevice device) {
+  if (device.id.empty()) return Status::InvalidArgument("device id must be non-empty");
+  if (devices_.count(device.id) != 0) {
+    return Status::AlreadyExists("device exists: " + device.id);
+  }
+  devices_.emplace(device.id, std::move(device));
+  return Status::Ok();
+}
+
+Status ResourcePool::RemoveDevice(const std::string& id) {
+  auto it = devices_.find(id);
+  if (it == devices_.end()) return Status::NotFound("no device: " + id);
+  if (!it->second.claimed_by.empty()) {
+    return Status::FailedPrecondition("device is claimed by " + it->second.claimed_by);
+  }
+  devices_.erase(it);
+  return Status::Ok();
+}
+
+Result<PooledDevice> ResourcePool::Get(const std::string& id) const {
+  auto it = devices_.find(id);
+  if (it == devices_.end()) return Status::NotFound("no device: " + id);
+  return it->second;
+}
+
+std::vector<PooledDevice> ResourcePool::Devices(std::optional<ResourceKind> kind) const {
+  std::vector<PooledDevice> out;
+  for (const auto& [id, device] : devices_) {
+    if (!kind.has_value() || device.kind == *kind) out.push_back(device);
+  }
+  return out;
+}
+
+std::vector<PooledDevice> ResourcePool::FreeDevices(ResourceKind kind) const {
+  std::vector<PooledDevice> out;
+  for (const auto& [id, device] : devices_) {
+    if (device.kind == kind && device.claimed_by.empty()) out.push_back(device);
+  }
+  return out;
+}
+
+Status ResourcePool::Claim(const std::string& id, const std::string& owner) {
+  if (owner.empty()) return Status::InvalidArgument("owner must be non-empty");
+  auto it = devices_.find(id);
+  if (it == devices_.end()) return Status::NotFound("no device: " + id);
+  if (!it->second.claimed_by.empty()) {
+    return Status::AlreadyExists("device " + id + " already claimed by " +
+                                 it->second.claimed_by);
+  }
+  it->second.claimed_by = owner;
+  it->second.in_use = false;
+  return Status::Ok();
+}
+
+Status ResourcePool::Release(const std::string& id) {
+  auto it = devices_.find(id);
+  if (it == devices_.end()) return Status::NotFound("no device: " + id);
+  if (it->second.claimed_by.empty()) {
+    return Status::FailedPrecondition("device " + id + " is not claimed");
+  }
+  it->second.claimed_by.clear();
+  it->second.in_use = false;
+  return Status::Ok();
+}
+
+std::vector<std::string> ResourcePool::ReleaseAllOf(const std::string& owner) {
+  std::vector<std::string> released;
+  for (auto& [id, device] : devices_) {
+    if (device.claimed_by == owner) {
+      device.claimed_by.clear();
+      device.in_use = false;
+      released.push_back(id);
+    }
+  }
+  return released;
+}
+
+Status ResourcePool::SetInUse(const std::string& id, bool in_use) {
+  auto it = devices_.find(id);
+  if (it == devices_.end()) return Status::NotFound("no device: " + id);
+  if (it->second.claimed_by.empty() && in_use) {
+    return Status::FailedPrecondition("cannot use an unclaimed device: " + id);
+  }
+  it->second.in_use = in_use;
+  return Status::Ok();
+}
+
+ResourcePool::Accounting ResourcePool::Account(ResourceKind kind) const {
+  Accounting accounting;
+  for (const auto& [id, device] : devices_) {
+    if (device.kind != kind) continue;
+    if (device.claimed_by.empty()) {
+      accounting.free += device.capacity;
+    } else if (device.in_use) {
+      accounting.claimed_used += device.capacity;
+    } else {
+      accounting.claimed_idle += device.capacity;
+    }
+  }
+  return accounting;
+}
+
+double ResourcePool::PowerWatts() const {
+  double watts = 0.0;
+  for (const auto& [id, device] : devices_) {
+    watts += device.in_use ? device.active_watts : device.idle_watts;
+  }
+  return watts;
+}
+
+}  // namespace ofmf::cluster

@@ -1,0 +1,105 @@
+#include "cluster/ssd.hpp"
+
+namespace ofmf::cluster {
+
+const char* to_string(SsdState state) {
+  switch (state) {
+    case SsdState::kRaw: return "Raw";
+    case SsdState::kPartitioned: return "Partitioned";
+    case SsdState::kFormatted: return "Formatted";
+    case SsdState::kMounted: return "Mounted";
+    case SsdState::kFailed: return "Failed";
+  }
+  return "?";
+}
+
+Ssd::Ssd(std::uint64_t raw_capacity_bytes) : raw_capacity_bytes_(raw_capacity_bytes) {}
+
+Status Ssd::Partition(std::uint64_t partition_bytes) {
+  if (state_ == SsdState::kFailed) return Status::Unavailable("SSD hardware failed");
+  if (state_ == SsdState::kMounted) {
+    return Status::FailedPrecondition("cannot repartition a mounted device");
+  }
+  if (partition_bytes == 0 || partition_bytes > raw_capacity_bytes_) {
+    return Status::InvalidArgument("partition size exceeds raw capacity");
+  }
+  partition_bytes_ = partition_bytes;
+  state_ = SsdState::kPartitioned;
+  filesystem_.clear();
+  used_bytes_ = 0;
+  return Status::Ok();
+}
+
+Status Ssd::Format(const std::string& filesystem) {
+  if (state_ == SsdState::kFailed) return Status::Unavailable("SSD hardware failed");
+  if (state_ == SsdState::kMounted) {
+    return Status::FailedPrecondition("cannot format a mounted device");
+  }
+  if (state_ == SsdState::kRaw) {
+    return Status::FailedPrecondition("partition the device before formatting");
+  }
+  filesystem_ = filesystem;
+  used_bytes_ = 0;
+  state_ = SsdState::kFormatted;
+  return Status::Ok();
+}
+
+Status Ssd::Mount(const std::string& mount_point) {
+  if (state_ == SsdState::kFailed) return Status::Unavailable("SSD hardware failed");
+  if (state_ != SsdState::kFormatted) {
+    return Status::FailedPrecondition("device must be formatted to mount");
+  }
+  // The paper's BeeOND requirement: the backing filesystem must support
+  // extended attributes; XFS does (and is the RHEL standard).
+  if (filesystem_ != "xfs") {
+    return Status::FailedPrecondition("BeeOND storage requires an xattr-capable "
+                                      "filesystem (xfs); got " + filesystem_);
+  }
+  mount_point_ = mount_point;
+  state_ = SsdState::kMounted;
+  return Status::Ok();
+}
+
+Status Ssd::Unmount() {
+  if (state_ != SsdState::kMounted) {
+    return Status::FailedPrecondition("device is not mounted");
+  }
+  mount_point_.clear();
+  state_ = SsdState::kFormatted;
+  return Status::Ok();
+}
+
+Status Ssd::Write(std::uint64_t bytes) {
+  if (state_ != SsdState::kMounted) {
+    return Status::FailedPrecondition("device is not mounted");
+  }
+  if (used_bytes_ + bytes > partition_bytes_) {
+    return Status::ResourceExhausted("device full");
+  }
+  used_bytes_ += bytes;
+  return Status::Ok();
+}
+
+void Ssd::Erase() { used_bytes_ = 0; }
+
+void Ssd::InjectFailure() { state_ = SsdState::kFailed; }
+
+Result<std::string> Ssd::RunUdevRule(std::uint64_t expected_partition_bytes) const {
+  // The paper's rule: exactly one continuous partition of the expected size
+  // -> expose /dev/beeond_store; otherwise the node must not enter the
+  // Slurm queue.
+  if (state_ == SsdState::kFailed) {
+    return Status::Unavailable("udev: device not responding");
+  }
+  if (state_ == SsdState::kRaw) {
+    return Status::FailedPrecondition("udev: no partition table on device");
+  }
+  if (partition_bytes_ != expected_partition_bytes) {
+    return Status::FailedPrecondition(
+        "udev: partition layout mismatch (found " + std::to_string(partition_bytes_) +
+        " bytes, expected " + std::to_string(expected_partition_bytes) + ")");
+  }
+  return std::string("/dev/beeond_store");
+}
+
+}  // namespace ofmf::cluster

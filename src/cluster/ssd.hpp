@@ -1,0 +1,53 @@
+// Node-local SSD with the lifecycle the paper scripts around: partition ->
+// XFS format -> mount, a UDEV readiness rule exposing /dev/beeond_store, and
+// the epilog-time reformat that wipes user data between allocations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.hpp"
+
+namespace ofmf::cluster {
+
+enum class SsdState { kRaw, kPartitioned, kFormatted, kMounted, kFailed };
+
+const char* to_string(SsdState state);
+
+class Ssd {
+ public:
+  explicit Ssd(std::uint64_t raw_capacity_bytes);
+
+  Status Partition(std::uint64_t partition_bytes);
+  Status Format(const std::string& filesystem);  // only "xfs" is mountable
+  Status Mount(const std::string& mount_point);
+  Status Unmount();
+
+  /// Consumes space on the mounted filesystem.
+  Status Write(std::uint64_t bytes);
+  /// Drops all data (reformat fast-path used by the epilog).
+  void Erase();
+
+  /// Simulated hardware fault: device stops responding until re-created.
+  void InjectFailure();
+
+  /// The paper's UDEV readiness check; returns the symlink path on success.
+  Result<std::string> RunUdevRule(std::uint64_t expected_partition_bytes) const;
+
+  SsdState state() const { return state_; }
+  std::uint64_t raw_capacity_bytes() const { return raw_capacity_bytes_; }
+  std::uint64_t partition_bytes() const { return partition_bytes_; }
+  std::uint64_t used_bytes() const { return used_bytes_; }
+  const std::string& filesystem() const { return filesystem_; }
+  const std::string& mount_point() const { return mount_point_; }
+
+ private:
+  std::uint64_t raw_capacity_bytes_;
+  std::uint64_t partition_bytes_ = 0;
+  std::uint64_t used_bytes_ = 0;
+  std::string filesystem_;
+  std::string mount_point_;
+  SsdState state_ = SsdState::kRaw;
+};
+
+}  // namespace ofmf::cluster

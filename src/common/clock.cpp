@@ -1,0 +1,32 @@
+#include "common/clock.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace ofmf {
+
+void SimClock::Advance(SimTime delta) {
+  assert(delta >= 0 && "SimClock cannot move backwards");
+  now_ += delta;
+}
+
+void SimClock::AdvanceTo(SimTime t) {
+  if (t > now_) now_ = t;
+}
+
+std::string FormatSimTimestamp(SimTime t) {
+  // Simulation epoch is rendered as day 1; good enough for Redfish payloads
+  // (consumers only require monotonicity + the Z suffix).
+  const std::int64_t total_seconds = t / kNanosPerSecond;
+  const std::int64_t secs = total_seconds % 60;
+  const std::int64_t mins = (total_seconds / 60) % 60;
+  const std::int64_t hours = (total_seconds / 3600) % 24;
+  const std::int64_t days = total_seconds / 86400;
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "2026-01-%02lldT%02lld:%02lld:%02lldZ",
+                static_cast<long long>(1 + days % 28), static_cast<long long>(hours),
+                static_cast<long long>(mins), static_cast<long long>(secs));
+  return buffer;
+}
+
+}  // namespace ofmf

@@ -1,0 +1,61 @@
+// Simulated and wall clocks. All simulators advance a SimClock so experiment
+// "runtimes" are deterministic and the whole HPL/IOR study runs in
+// milliseconds of real time.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace ofmf {
+
+/// Simulation time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+constexpr SimTime kNanosPerMicro = 1'000;
+constexpr SimTime kNanosPerMilli = 1'000'000;
+constexpr SimTime kNanosPerSecond = 1'000'000'000;
+
+constexpr SimTime Seconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kNanosPerSecond));
+}
+constexpr SimTime Millis(double ms) {
+  return static_cast<SimTime>(ms * static_cast<double>(kNanosPerMilli));
+}
+constexpr SimTime Micros(double us) {
+  return static_cast<SimTime>(us * static_cast<double>(kNanosPerMicro));
+}
+constexpr double ToSeconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kNanosPerSecond);
+}
+
+/// Monotone simulated clock; only ever advances.
+class SimClock {
+ public:
+  SimTime now() const { return now_; }
+  void Advance(SimTime delta);
+  void AdvanceTo(SimTime t);
+  void Reset() { now_ = 0; }
+
+ private:
+  SimTime now_ = 0;
+};
+
+/// Wall-clock stopwatch for the real benchmarks.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// ISO-8601-ish timestamp for Redfish payloads ("2026-07-06T00:00:12Z" style,
+/// derived from the simulated epoch).
+std::string FormatSimTimestamp(SimTime t);
+
+}  // namespace ofmf

@@ -1,0 +1,176 @@
+#include "common/hostlist.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "common/strings.hpp"
+
+namespace ofmf {
+namespace {
+
+// Splits "a,b[1-3],c" at top-level commas (commas inside brackets bind to the
+// bracket group).
+Result<std::vector<std::string>> SplitTopLevel(const std::string& expr) {
+  std::vector<std::string> terms;
+  std::string current;
+  int depth = 0;
+  for (char c : expr) {
+    if (c == '[') {
+      ++depth;
+      if (depth > 1) return Status::InvalidArgument("nested '[' in hostlist");
+      current.push_back(c);
+    } else if (c == ']') {
+      --depth;
+      if (depth < 0) return Status::InvalidArgument("unbalanced ']' in hostlist");
+      current.push_back(c);
+    } else if (c == ',' && depth == 0) {
+      if (!current.empty()) terms.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (depth != 0) return Status::InvalidArgument("unbalanced '[' in hostlist");
+  if (!current.empty()) terms.push_back(current);
+  return terms;
+}
+
+Result<std::vector<std::string>> ExpandTerm(const std::string& term) {
+  const std::size_t open = term.find('[');
+  if (open == std::string::npos) {
+    if (term.empty()) return Status::InvalidArgument("empty hostlist term");
+    return std::vector<std::string>{term};
+  }
+  const std::size_t close = term.find(']', open);
+  if (close == std::string::npos) {
+    return Status::InvalidArgument("missing ']' in term: " + term);
+  }
+  const std::string prefix = term.substr(0, open);
+  const std::string suffix = term.substr(close + 1);
+  const std::string body = term.substr(open + 1, close - open - 1);
+  if (body.empty()) return Status::InvalidArgument("empty bracket group: " + term);
+  if (suffix.find('[') != std::string::npos) {
+    return Status::InvalidArgument("multiple bracket groups unsupported: " + term);
+  }
+
+  std::vector<std::string> hosts;
+  for (const std::string& piece : strings::SplitKeepEmpty(body, ',')) {
+    const std::size_t dash = piece.find('-');
+    if (dash == std::string::npos) {
+      if (!strings::IsDigits(piece)) {
+        return Status::InvalidArgument("non-numeric range element: " + piece);
+      }
+      hosts.push_back(prefix + piece + suffix);
+      continue;
+    }
+    const std::string lo_str = piece.substr(0, dash);
+    const std::string hi_str = piece.substr(dash + 1);
+    if (!strings::IsDigits(lo_str) || !strings::IsDigits(hi_str)) {
+      return Status::InvalidArgument("bad range: " + piece);
+    }
+    const unsigned long long lo = std::strtoull(lo_str.c_str(), nullptr, 10);
+    const unsigned long long hi = std::strtoull(hi_str.c_str(), nullptr, 10);
+    if (lo > hi) return Status::InvalidArgument("descending range: " + piece);
+    if (hi - lo > 1'000'000) return Status::InvalidArgument("range too large: " + piece);
+    // Zero padding follows the low bound's digit count (Slurm behaviour).
+    const std::size_t width = lo_str.size();
+    for (unsigned long long v = lo; v <= hi; ++v) {
+      hosts.push_back(prefix + strings::ZeroPad(v, width) + suffix);
+    }
+  }
+  return hosts;
+}
+
+struct NumericSuffix {
+  std::string prefix;
+  unsigned long long value = 0;
+  std::size_t width = 0;
+  bool valid = false;
+};
+
+NumericSuffix SplitNumericSuffix(const std::string& host) {
+  NumericSuffix out;
+  std::size_t end = host.size();
+  while (end > 0 && std::isdigit(static_cast<unsigned char>(host[end - 1]))) --end;
+  if (end == host.size()) return out;  // no numeric suffix
+  out.prefix = host.substr(0, end);
+  const std::string digits = host.substr(end);
+  // Cap width to avoid overflow on absurd names.
+  if (digits.size() > 18) return out;
+  out.value = std::strtoull(digits.c_str(), nullptr, 10);
+  out.width = digits.size();
+  out.valid = true;
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> ExpandHostlist(const std::string& expression) {
+  const std::string trimmed(strings::Trim(expression));
+  if (trimmed.empty()) return std::vector<std::string>{};
+  OFMF_ASSIGN_OR_RETURN(std::vector<std::string> terms, SplitTopLevel(trimmed));
+  std::vector<std::string> hosts;
+  for (const std::string& term : terms) {
+    OFMF_ASSIGN_OR_RETURN(std::vector<std::string> expanded, ExpandTerm(term));
+    hosts.insert(hosts.end(), expanded.begin(), expanded.end());
+  }
+  return hosts;
+}
+
+std::string CompressHostlist(std::vector<std::string> hosts) {
+  if (hosts.empty()) return "";
+  std::sort(hosts.begin(), hosts.end());
+  hosts.erase(std::unique(hosts.begin(), hosts.end()), hosts.end());
+
+  // Group by (prefix, width); hosts without a numeric suffix pass through.
+  struct Key {
+    std::string prefix;
+    std::size_t width;
+    bool operator<(const Key& other) const {
+      return std::tie(prefix, width) < std::tie(other.prefix, other.width);
+    }
+  };
+  std::map<Key, std::vector<unsigned long long>> groups;
+  std::vector<std::string> literals;
+  for (const std::string& host : hosts) {
+    const NumericSuffix ns = SplitNumericSuffix(host);
+    if (!ns.valid) {
+      literals.push_back(host);
+    } else {
+      groups[{ns.prefix, ns.width}].push_back(ns.value);
+    }
+  }
+
+  std::vector<std::string> terms = literals;
+  for (auto& [key, values] : groups) {
+    std::sort(values.begin(), values.end());
+    std::vector<std::string> ranges;
+    std::size_t i = 0;
+    while (i < values.size()) {
+      std::size_t j = i;
+      while (j + 1 < values.size() && values[j + 1] == values[j] + 1) ++j;
+      const std::string lo = strings::ZeroPad(values[i], key.width);
+      if (j == i) {
+        ranges.push_back(lo);
+      } else {
+        ranges.push_back(lo + "-" + strings::ZeroPad(values[j], key.width));
+      }
+      i = j + 1;
+    }
+    if (ranges.size() == 1 && ranges[0].find('-') == std::string::npos) {
+      terms.push_back(key.prefix + ranges[0]);
+    } else {
+      terms.push_back(key.prefix + "[" + strings::Join(ranges, ",") + "]");
+    }
+  }
+  std::sort(terms.begin(), terms.end());
+  return strings::Join(terms, ",");
+}
+
+std::string LowestHost(const std::vector<std::string>& hosts) {
+  if (hosts.empty()) return "";
+  return *std::min_element(hosts.begin(), hosts.end());
+}
+
+}  // namespace ofmf

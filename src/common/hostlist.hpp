@@ -1,0 +1,28 @@
+// Slurm-style hostlist expressions: "node[001-004,007],login1". The paper's
+// prolog scripts deconstruct SLURM_NODELIST with `hostlist` to assign BeeOND
+// roles; this module reimplements expand and compress.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace ofmf {
+
+/// Expands a hostlist expression to the full ordered list of host names.
+/// Supports comma-separated terms; each term may contain one bracket group
+/// with comma-separated ranges ("lo-hi") or single values, with zero padding
+/// preserved ("node[001-003]" -> node001,node002,node003).
+Result<std::vector<std::string>> ExpandHostlist(const std::string& expression);
+
+/// Compresses a list of hostnames into a compact hostlist expression. Hosts
+/// sharing a prefix and numeric-suffix width are folded into bracket ranges.
+/// Expansion of the result reproduces the input order-insensitively.
+std::string CompressHostlist(std::vector<std::string> hosts);
+
+/// Convenience: lexicographically-lowest host of an expanded list (the
+/// paper's rule for choosing the Mgmtd/Meta node). Empty string if none.
+std::string LowestHost(const std::vector<std::string>& hosts);
+
+}  // namespace ofmf

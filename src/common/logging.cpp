@@ -1,0 +1,55 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+
+namespace ofmf {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() : level_(LogLevel::kWarn) {
+  sink_ = [](LogLevel level, const std::string& message) {
+    std::fprintf(stderr, "[%s] %s\n", to_string(level), message.c_str());
+  };
+}
+
+void Logger::set_level(LogLevel level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  level_ = level;
+}
+
+LogLevel Logger::level() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return level_;
+}
+
+Logger::Sink Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Sink previous = std::move(sink_);
+  sink_ = std::move(sink);
+  return previous;
+}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  Sink sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (level < level_) return;
+    sink = sink_;
+  }
+  if (sink) sink(level, message);
+}
+
+}  // namespace ofmf

@@ -1,0 +1,72 @@
+// Thread-safe leveled logger. Default sink is stderr; tests may install a
+// capture sink to assert on emitted diagnostics (the Slurm drain path logs,
+// for instance, are part of the paper's error-handling story).
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace ofmf {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError };
+
+const char* to_string(LogLevel level);
+
+/// Process-global logger. Cheap enough for simulation use; callers that log
+/// in hot loops should guard with `Logger::enabled(level)`.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level);
+  LogLevel level() const;
+  bool enabled(LogLevel level) const { return level >= this->level(); }
+
+  /// Replaces the sink; returns the previous one so tests can restore it.
+  Sink set_sink(Sink sink);
+
+  void Log(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  mutable std::mutex mu_;
+  LogLevel level_;
+  Sink sink_;
+};
+
+namespace log_internal {
+/// Builds one log line then emits it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().Log(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace log_internal
+
+#define OFMF_LOG(level)                                         \
+  if (!::ofmf::Logger::instance().enabled(level)) {             \
+  } else                                                        \
+    ::ofmf::log_internal::LogLine(level)
+
+#define OFMF_DEBUG OFMF_LOG(::ofmf::LogLevel::kDebug)
+#define OFMF_INFO OFMF_LOG(::ofmf::LogLevel::kInfo)
+#define OFMF_WARN OFMF_LOG(::ofmf::LogLevel::kWarn)
+#define OFMF_ERROR OFMF_LOG(::ofmf::LogLevel::kError)
+
+}  // namespace ofmf

@@ -1,0 +1,145 @@
+// Lightweight Status / Result<T> error-handling vocabulary used across every
+// module. We avoid exceptions on hot simulation paths; constructors that can
+// fail return Result<T> instead.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ofmf {
+
+/// Error category, roughly mirroring the subset of HTTP/Redfish semantics the
+/// stack needs to round-trip an error from a fabric agent back to a client.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,
+  kFailedPrecondition,  // e.g. ETag mismatch, wrong resource state
+  kResourceExhausted,   // e.g. pool empty, out of capacity
+  kUnavailable,         // e.g. agent down, link dead
+  kTimeout,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Human-readable name for an ErrorCode (stable, used in logs and payloads).
+constexpr const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kTimeout: return "TIMEOUT";
+    case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";
+  }
+  return "UNKNOWN";
+}
+
+/// A status: either OK or an error code plus message.
+class Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+  static Status InvalidArgument(std::string m) { return {ErrorCode::kInvalidArgument, std::move(m)}; }
+  static Status NotFound(std::string m) { return {ErrorCode::kNotFound, std::move(m)}; }
+  static Status AlreadyExists(std::string m) { return {ErrorCode::kAlreadyExists, std::move(m)}; }
+  static Status PermissionDenied(std::string m) { return {ErrorCode::kPermissionDenied, std::move(m)}; }
+  static Status FailedPrecondition(std::string m) { return {ErrorCode::kFailedPrecondition, std::move(m)}; }
+  static Status ResourceExhausted(std::string m) { return {ErrorCode::kResourceExhausted, std::move(m)}; }
+  static Status Unavailable(std::string m) { return {ErrorCode::kUnavailable, std::move(m)}; }
+  static Status Timeout(std::string m) { return {ErrorCode::kTimeout, std::move(m)}; }
+  static Status Internal(std::string m) { return {ErrorCode::kInternal, std::move(m)}; }
+  static Status Unimplemented(std::string m) { return {ErrorCode::kUnimplemented, std::move(m)}; }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(to_string(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// Result<T>: value or Status. Minimal StatusOr-style wrapper.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(data_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(data_);
+  }
+
+  T value_or(T fallback) const {
+    if (ok()) return std::get<T>(data_);
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagate-on-error helper: `OFMF_RETURN_IF_ERROR(expr);`
+#define OFMF_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::ofmf::Status _ofmf_status = (expr);           \
+    if (!_ofmf_status.ok()) return _ofmf_status;    \
+  } while (0)
+
+/// Assign-or-propagate: `OFMF_ASSIGN_OR_RETURN(auto v, MakeThing());`
+#define OFMF_ASSIGN_OR_RETURN(decl, expr)           \
+  auto OFMF_CONCAT_(_ofmf_res_, __LINE__) = (expr); \
+  if (!OFMF_CONCAT_(_ofmf_res_, __LINE__).ok())     \
+    return OFMF_CONCAT_(_ofmf_res_, __LINE__).status(); \
+  decl = std::move(OFMF_CONCAT_(_ofmf_res_, __LINE__)).value()
+
+#define OFMF_CONCAT_INNER_(a, b) a##b
+#define OFMF_CONCAT_(a, b) OFMF_CONCAT_INNER_(a, b)
+
+}  // namespace ofmf

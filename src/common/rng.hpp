@@ -1,0 +1,48 @@
+// Deterministic random number generation for the simulators. xoshiro256**
+// seeded via splitmix64: fast, reproducible across platforms (unlike
+// std::mt19937 + std::normal_distribution whose outputs vary by libstdc++
+// version for some distributions, we implement the transforms ourselves).
+#pragma once
+
+#include <cstdint>
+
+namespace ofmf {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit draw.
+  std::uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t UniformInt(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (deterministic given the stream).
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponential with rate lambda (mean 1/lambda).
+  double Exponential(double lambda);
+
+  /// Log-normal: exp(Normal(mu, sigma)). Heavy-tailed OS-noise draws.
+  double LogNormal(double mu, double sigma);
+
+  /// Bernoulli trial.
+  bool Chance(double probability);
+
+  /// Forks a statistically independent child stream (for per-node streams).
+  Rng Fork();
+
+ private:
+  std::uint64_t state_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace ofmf

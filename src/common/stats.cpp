@@ -1,0 +1,94 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace ofmf {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double StudentT95(std::size_t dof) {
+  // Two-sided 0.95 critical values; entries for dof 1..30, then selected
+  // larger dofs with linear interpolation, converging to the normal 1.960.
+  static constexpr double kTable[31] = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+      2.228,  2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+      2.086,  2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+      2.042};
+  if (dof == 0) return 0.0;
+  if (dof <= 30) return kTable[dof];
+  if (dof >= 1000) return 1.960;
+  // Interpolate on 1/dof between dof=30 (2.042) and dof=1000 (1.960).
+  const double x = 1.0 / static_cast<double>(dof);
+  const double x30 = 1.0 / 30.0;
+  const double x1000 = 1.0 / 1000.0;
+  const double t = (x - x1000) / (x30 - x1000);
+  return 1.960 + t * (2.042 - 1.960);
+}
+
+ConfidenceInterval MeanCi95(const std::vector<double>& samples) {
+  RunningStats stats;
+  for (double s : samples) stats.Add(s);
+  ConfidenceInterval ci;
+  ci.mean = stats.mean();
+  if (stats.count() < 2) return ci;
+  const double sem = stats.stddev() / std::sqrt(static_cast<double>(stats.count()));
+  ci.half_width = StudentT95(stats.count() - 1) * sem;
+  return ci;
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  assert(p >= 0.0 && p <= 100.0);
+  if (samples.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples[0];
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double RelativeOverhead(double a, double b) {
+  assert(b != 0.0);
+  return (a - b) / b;
+}
+
+}  // namespace ofmf

@@ -1,0 +1,52 @@
+// Statistics used by the benchmark harnesses: Welford running moments and
+// Student-t 95% confidence intervals (the paper reports 95% CI error bars).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ofmf {
+
+/// Numerically stable running mean/variance (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided Student-t critical value at 95% confidence for `dof` degrees of
+/// freedom (table-interpolated; exact enough for CI reporting).
+double StudentT95(std::size_t dof);
+
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;  // mean +/- half_width
+  double lo() const { return mean - half_width; }
+  double hi() const { return mean + half_width; }
+};
+
+/// 95% CI of the mean of `samples` (half_width 0 when n < 2).
+ConfidenceInterval MeanCi95(const std::vector<double>& samples);
+
+/// Linear-interpolated percentile (p in [0,100]) of a copy of `samples`.
+double Percentile(std::vector<double> samples, double p);
+
+/// Relative overhead (a - b) / b expressed as a fraction.
+double RelativeOverhead(double a, double b);
+
+}  // namespace ofmf

@@ -1,0 +1,40 @@
+// Small string utilities shared by the hostlist parser, the HTTP stack, and
+// the OData expression grammar.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ofmf::strings {
+
+std::vector<std::string> Split(std::string_view input, char delimiter);
+/// Split but never merges adjacent delimiters; "a,,b" -> {"a","","b"}.
+std::vector<std::string> SplitKeepEmpty(std::string_view input, char delimiter);
+
+std::string_view TrimLeft(std::string_view s);
+std::string_view TrimRight(std::string_view s);
+std::string_view Trim(std::string_view s);
+
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Case-insensitive equality (ASCII), used for HTTP header names.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Zero-pads `value` to at least `width` digits ("7",3 -> "007").
+std::string ZeroPad(unsigned long long value, std::size_t width);
+
+/// Replace every occurrence of `from` in `s` with `to`.
+std::string ReplaceAll(std::string s, std::string_view from, std::string_view to);
+
+/// True if every character is an ASCII digit (and s is non-empty).
+bool IsDigits(std::string_view s);
+
+}  // namespace ofmf::strings

@@ -1,0 +1,36 @@
+// Byte-quantity helpers shared by the cluster/memory/storage models.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ofmf {
+
+constexpr std::uint64_t KiB = 1024ull;
+constexpr std::uint64_t MiB = 1024ull * KiB;
+constexpr std::uint64_t GiB = 1024ull * MiB;
+constexpr std::uint64_t TiB = 1024ull * GiB;
+
+/// "894 GiB"-style human formatting (two significant decimals).
+inline std::string FormatBytes(std::uint64_t bytes) {
+  const char* suffix = "B";
+  double value = static_cast<double>(bytes);
+  if (bytes >= TiB) {
+    value /= static_cast<double>(TiB);
+    suffix = "TiB";
+  } else if (bytes >= GiB) {
+    value /= static_cast<double>(GiB);
+    suffix = "GiB";
+  } else if (bytes >= MiB) {
+    value /= static_cast<double>(MiB);
+    suffix = "MiB";
+  } else if (bytes >= KiB) {
+    value /= static_cast<double>(KiB);
+    suffix = "KiB";
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f %s", value, suffix);
+  return buffer;
+}
+
+}  // namespace ofmf

@@ -1,0 +1,129 @@
+#include "composability/adapter.hpp"
+
+#include "common/strings.hpp"
+#include "common/units.hpp"
+#include "ofmf/uris.hpp"
+
+namespace ofmf::composability {
+
+ClusterAdapter::ClusterAdapter(cluster::Cluster& machine, core::OfmfService& ofmf)
+    : machine_(machine), ofmf_(ofmf) {}
+
+ClusterAdapter::~ClusterAdapter() {
+  if (tree_token_ != 0) ofmf_.tree().Unsubscribe(tree_token_);
+}
+
+std::string ClusterAdapter::BlockUriOf(const std::string& device_id) const {
+  return std::string(core::kResourceBlocks) + "/" + device_id;
+}
+
+core::BlockCapability ClusterAdapter::CapabilityOf(const cluster::PooledDevice& device) {
+  core::BlockCapability capability;
+  capability.id = device.id;
+  capability.locality = device.locality;
+  capability.idle_watts = device.idle_watts;
+  capability.active_watts = device.active_watts;
+  switch (device.kind) {
+    case cluster::ResourceKind::kCpu:
+      capability.block_type = "Compute";
+      capability.cores = static_cast<int>(device.capacity);
+      break;
+    case cluster::ResourceKind::kGpu:
+      capability.block_type = "Processor";
+      capability.gpus = static_cast<int>(device.capacity);
+      break;
+    case cluster::ResourceKind::kMemoryDram:
+    case cluster::ResourceKind::kMemoryCxl:
+      capability.block_type = "Memory";
+      capability.memory_gib = static_cast<double>(device.capacity) /
+                              static_cast<double>(GiB);
+      break;
+    case cluster::ResourceKind::kNvme:
+      capability.block_type = "Storage";
+      capability.storage_gib = static_cast<double>(device.capacity) /
+                               static_cast<double>(GiB);
+      break;
+  }
+  return capability;
+}
+
+Status ClusterAdapter::Publish() {
+  if (published_) return Status::FailedPrecondition("already published");
+  // Pool devices -> ResourceBlocks.
+  for (const cluster::PooledDevice& device : machine_.pool().Devices()) {
+    OFMF_ASSIGN_OR_RETURN(std::string uri,
+                          ofmf_.composition().RegisterBlock(CapabilityOf(device)));
+    device_by_block_[uri] = device.id;
+  }
+  // Compute nodes -> Chassis entries (monitoring surface).
+  for (const std::string& host : machine_.Hostnames()) {
+    const cluster::ComputeNode* node = *machine_.Node(host);
+    const std::string uri = std::string(core::kChassis) + "/" + host;
+    OFMF_RETURN_IF_ERROR(ofmf_.tree().Create(
+        uri, "#Chassis.v1_2_0.Chassis",
+        json::Json::Obj(
+            {{"Id", host},
+             {"Name", host},
+             {"ChassisType", "Sled"},
+             {"PowerState", "On"},
+             {"Status", json::Json::Obj({{"State", node->drained() ? "Disabled"
+                                                                   : "Enabled"},
+                                         {"Health", "OK"}})},
+             {"Oem",
+              json::Json::Obj(
+                  {{"Ofmf",
+                    json::Json::Obj(
+                        {{"Cores", node->spec().total_cores()},
+                         {"MemoryGiB",
+                          static_cast<std::int64_t>(node->spec().memory_bytes / GiB)},
+                         {"SsdState", to_string(node->ssd().state())}})}})}})));
+    OFMF_RETURN_IF_ERROR(ofmf_.tree().AddMember(core::kChassis, uri));
+  }
+  // Mirror composition state back into the pool: when a block we published
+  // flips Composed/Unused, claim/release the underlying pool device.
+  tree_token_ = ofmf_.tree().Subscribe(
+      [this](const redfish::ChangeEvent& change) { OnTreeChange(change); });
+  published_ = true;
+  return Status::Ok();
+}
+
+void ClusterAdapter::OnTreeChange(const redfish::ChangeEvent& change) {
+  if (change.kind != redfish::ChangeKind::kModified) return;
+  auto it = device_by_block_.find(change.uri);
+  if (it == device_by_block_.end()) return;
+  const Result<json::Json> block = ofmf_.tree().Get(change.uri);
+  if (!block.ok()) return;
+  const std::string state =
+      block->at("CompositionStatus").GetString("CompositionState");
+  const Result<cluster::PooledDevice> device = machine_.pool().Get(it->second);
+  if (!device.ok()) return;
+  if (state == "Composed" && device->claimed_by.empty()) {
+    (void)machine_.pool().Claim(it->second, "ofmf-composition");
+    (void)machine_.pool().SetInUse(it->second, true);
+  } else if (state == "Unused" && !device->claimed_by.empty()) {
+    (void)machine_.pool().Release(it->second);
+  }
+}
+
+Status ClusterAdapter::PushTelemetry() {
+  if (!published_) return Status::FailedPrecondition("publish first");
+  std::vector<core::MetricValue> power;
+  power.push_back({"PowerConsumedWatts", machine_.PowerWatts(), core::kChassis});
+  power.push_back({"Pue", machine_.power_model().pue, ""});
+  OFMF_RETURN_IF_ERROR(ofmf_.telemetry().PushReport("cluster-power", power));
+
+  std::vector<core::MetricValue> utilization;
+  for (const cluster::ResourceKind kind :
+       {cluster::ResourceKind::kCpu, cluster::ResourceKind::kGpu,
+        cluster::ResourceKind::kMemoryCxl, cluster::ResourceKind::kNvme}) {
+    const cluster::ResourcePool::Accounting accounting = machine_.pool().Account(kind);
+    if (accounting.total() == 0) continue;
+    utilization.push_back({std::string(to_string(kind)) + "StrandedFraction",
+                           accounting.stranded_fraction(), ""});
+    utilization.push_back({std::string(to_string(kind)) + "FreeCapacity",
+                           static_cast<double>(accounting.free), ""});
+  }
+  return ofmf_.telemetry().PushReport("pool-utilization", utilization);
+}
+
+}  // namespace ofmf::composability

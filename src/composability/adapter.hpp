@@ -1,0 +1,48 @@
+// Cluster adapter: closes the loop between the simulated machine and the
+// OFMF. It publishes the cluster's disaggregated pool as ResourceBlocks
+// (inventory), mirrors pool claim-state back from composition changes, and
+// pushes power/utilization telemetry into the TelemetryService — the
+// "centralized resource monitoring and command control" of the abstract.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "common/result.hpp"
+#include "ofmf/service.hpp"
+
+namespace ofmf::composability {
+
+class ClusterAdapter {
+ public:
+  ClusterAdapter(cluster::Cluster& machine, core::OfmfService& ofmf);
+  ~ClusterAdapter();
+  ClusterAdapter(const ClusterAdapter&) = delete;
+  ClusterAdapter& operator=(const ClusterAdapter&) = delete;
+
+  /// Publishes every pool device as a ResourceBlock and every compute node
+  /// as a Chassis entry; starts mirroring composition state into the pool.
+  Status Publish();
+
+  /// Pushes the current power + stranded-capacity snapshot as MetricReports
+  /// ("cluster-power", "pool-utilization").
+  Status PushTelemetry();
+
+  /// ResourceBlock URI for a pool device id.
+  std::string BlockUriOf(const std::string& device_id) const;
+
+  std::size_t published_blocks() const { return device_by_block_.size(); }
+
+ private:
+  static core::BlockCapability CapabilityOf(const cluster::PooledDevice& device);
+  void OnTreeChange(const redfish::ChangeEvent& change);
+
+  cluster::Cluster& machine_;
+  core::OfmfService& ofmf_;
+  std::map<std::string, std::string> device_by_block_;  // block uri -> device id
+  std::uint64_t tree_token_ = 0;
+  bool published_ = false;
+};
+
+}  // namespace ofmf::composability

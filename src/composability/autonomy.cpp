@@ -1,0 +1,158 @@
+#include "composability/autonomy.hpp"
+
+#include "odata/annotations.hpp"
+#include "ofmf/uris.hpp"
+
+namespace ofmf::composability {
+
+AutoHealer::AutoHealer(OfmfClient& client) : client_(client) {}
+
+Status AutoHealer::Arm() {
+  if (!subscription_uri_.empty()) return Status::FailedPrecondition("already armed");
+  OFMF_ASSIGN_OR_RETURN(
+      std::string uri,
+      client_.Post(core::kSubscriptions,
+                   // StatusChange included: a port *recovering* is exactly
+                   // when a previously failed heal should be retried.
+                   json::Json::Obj({{"Destination", "ofmf-internal://auto-healer"},
+                                    {"Protocol", "OEM"},
+                                    {"Context", "auto-healer"},
+                                    {"EventTypes",
+                                     json::Json::Arr({"Alert", "StatusChange"})}})));
+  subscription_uri_ = uri;
+  return Status::Ok();
+}
+
+Status AutoHealer::GuardConnection(const std::string& connection_uri,
+                                   const std::string& collection_uri,
+                                   json::Json create_body) {
+  if (connection_uri.empty() || collection_uri.empty()) {
+    return Status::InvalidArgument("connection and collection URIs required");
+  }
+  guards_[connection_uri] = Guard{collection_uri, std::move(create_body)};
+  return Status::Ok();
+}
+
+Status AutoHealer::UnguardConnection(const std::string& connection_uri) {
+  if (guards_.erase(connection_uri) == 0) {
+    return Status::NotFound("connection not guarded: " + connection_uri);
+  }
+  return Status::Ok();
+}
+
+bool AutoHealer::ConnectionHealthy(const std::string& connection_uri) {
+  Result<json::Json> connection = client_.Get(connection_uri);
+  if (!connection.ok()) return false;
+  // Check the referenced endpoints' Status in the tree.
+  for (const char* side : {"InitiatorEndpoints", "TargetEndpoints"}) {
+    const json::Json& refs = connection->at("Links").at(side);
+    if (!refs.is_array()) continue;
+    for (const json::Json& ref : refs.as_array()) {
+      const std::string endpoint_uri = odata::IdOf(ref);
+      if (endpoint_uri.empty()) continue;
+      Result<json::Json> endpoint = client_.Get(endpoint_uri);
+      if (!endpoint.ok()) return false;
+      if (endpoint->at("Status").GetString("State") != "Enabled") return false;
+    }
+  }
+  return true;
+}
+
+Result<AutoHealer::HealReport> AutoHealer::Poll() {
+  if (subscription_uri_.empty()) return Status::FailedPrecondition("not armed");
+  HealReport report;
+
+  OFMF_ASSIGN_OR_RETURN(
+      json::Json drained,
+      client_.PostForBody(subscription_uri_ + "/Actions/EventDestination.Drain",
+                          json::Json::MakeObject()));
+  const json::Json& events = drained.at("Events");
+  report.alerts_seen = events.is_array() ? static_cast<int>(events.as_array().size()) : 0;
+  if (report.alerts_seen == 0) return report;
+
+  // Alerts arrived: audit every guarded connection.
+  std::map<std::string, Guard> next_guards;
+  for (auto& [connection_uri, guard] : guards_) {
+    ++report.connections_checked;
+    if (ConnectionHealthy(connection_uri)) {
+      next_guards.emplace(connection_uri, std::move(guard));
+      continue;
+    }
+    report.log.push_back("unhealthy: " + connection_uri);
+    (void)client_.Delete(connection_uri);  // best effort
+    Result<std::string> recreated = client_.Post(guard.collection_uri, guard.body);
+    if (recreated.ok()) {
+      ++report.connections_healed;
+      report.log.push_back("healed as: " + *recreated);
+      next_guards.emplace(*recreated, std::move(guard));
+    } else {
+      ++report.heal_failures;
+      report.log.push_back("heal failed: " + recreated.status().ToString());
+      next_guards.emplace(connection_uri, std::move(guard));  // retry next poll
+    }
+  }
+  guards_ = std::move(next_guards);
+  return report;
+}
+
+MemoryPressureWatcher::MemoryPressureWatcher(OfmfClient& client,
+                                             ComposabilityManager& manager,
+                                             std::string report_id,
+                                             double threshold_percent,
+                                             double expand_step_gib)
+    : client_(client),
+      manager_(manager),
+      report_id_(std::move(report_id)),
+      threshold_percent_(threshold_percent),
+      expand_step_gib_(expand_step_gib) {}
+
+Status MemoryPressureWatcher::Arm() {
+  if (!subscription_uri_.empty()) return Status::FailedPrecondition("already armed");
+  OFMF_ASSIGN_OR_RETURN(
+      std::string uri,
+      client_.Post(core::kSubscriptions,
+                   json::Json::Obj({{"Destination", "ofmf-internal://memory-watcher"},
+                                    {"Protocol", "OEM"},
+                                    {"Context", "memory-watcher"},
+                                    {"EventTypes", json::Json::Arr({"MetricReport"})}})));
+  subscription_uri_ = uri;
+  return Status::Ok();
+}
+
+Result<MemoryPressureWatcher::PressureReport> MemoryPressureWatcher::Poll() {
+  if (subscription_uri_.empty()) return Status::FailedPrecondition("not armed");
+  PressureReport report;
+  OFMF_ASSIGN_OR_RETURN(
+      json::Json drained,
+      client_.PostForBody(subscription_uri_ + "/Actions/EventDestination.Drain",
+                          json::Json::MakeObject()));
+  const json::Json& events = drained.at("Events");
+  report.reports_seen = events.is_array() ? static_cast<int>(events.as_array().size()) : 0;
+  if (report.reports_seen == 0) return report;
+
+  // Read the latest snapshot of the watched report.
+  Result<json::Json> metrics =
+      client_.Get(std::string(core::kMetricReports) + "/" + report_id_);
+  if (!metrics.ok()) return report;  // report vanished; nothing to do
+  const json::Json& values = metrics->at("MetricValues");
+  if (!values.is_array()) return report;
+  for (const json::Json& value : values.as_array()) {
+    if (value.GetString("MetricId") != "MemoryUtilizationPercent") continue;
+    const double percent = value.GetDouble("MetricValue");
+    const std::string system_uri = value.GetString("MetricProperty");
+    if (percent < threshold_percent_ || system_uri.empty()) continue;
+    report.log.push_back(system_uri + " at " + std::to_string(percent) + "%");
+    const Status expanded = manager_.ExpandMemory(system_uri, expand_step_gib_);
+    if (expanded.ok()) {
+      ++report.expansions;
+      report.log.push_back("expanded " + system_uri + " by " +
+                           std::to_string(expand_step_gib_) + " GiB");
+    } else {
+      ++report.expansion_failures;
+      report.log.push_back("expansion failed: " + expanded.ToString());
+    }
+  }
+  return report;
+}
+
+}  // namespace ofmf::composability

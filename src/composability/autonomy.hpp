@@ -1,0 +1,97 @@
+// Autonomic policies of the Composability Layer: the paper's description —
+// "manages hardware resources to best provide run-time computational
+// performance ... by applying policies and updating subscribed clients with
+// events" — realized as two event-driven controllers:
+//
+//   * AutoHealer: guards fabric connections; on Alert events it re-creates
+//     any guarded connection whose fabric path died ("dynamic network
+//     fail-over" without a human in the loop);
+//   * MemoryPressureWatcher: follows MetricReport telemetry for a composed
+//     system and hot-adds CXL memory blocks when utilization crosses a
+//     threshold (the OOM-mitigation loop).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "composability/client.hpp"
+#include "composability/manager.hpp"
+
+namespace ofmf::composability {
+
+class AutoHealer {
+ public:
+  explicit AutoHealer(OfmfClient& client);
+
+  /// Subscribes to Alert events; call once before Poll().
+  Status Arm();
+
+  /// Guards a connection: remembers the collection + body used to create it
+  /// so it can be re-created after a failure.
+  Status GuardConnection(const std::string& connection_uri,
+                         const std::string& collection_uri, json::Json create_body);
+  Status UnguardConnection(const std::string& connection_uri);
+
+  struct HealReport {
+    int alerts_seen = 0;
+    int connections_checked = 0;
+    int connections_healed = 0;
+    int heal_failures = 0;
+    std::vector<std::string> log;
+  };
+
+  /// Drains pending Alerts; if any arrived, verifies every guarded
+  /// connection (GET) and re-creates the dead ones (DELETE best-effort +
+  /// POST of the remembered body). Guard records follow the new URIs.
+  Result<HealReport> Poll();
+
+  std::size_t guarded_count() const { return guards_.size(); }
+
+ private:
+  struct Guard {
+    std::string collection_uri;
+    json::Json body;
+  };
+
+  /// A connection is "healthy" if it exists and its fabric says the
+  /// referenced endpoints are still Enabled.
+  bool ConnectionHealthy(const std::string& connection_uri);
+
+  OfmfClient& client_;
+  std::string subscription_uri_;
+  std::map<std::string, Guard> guards_;  // connection uri -> recreate recipe
+};
+
+class MemoryPressureWatcher {
+ public:
+  /// Watches `report_id` ("memory-pressure" convention: MetricValues carry
+  /// MetricId "MemoryUtilizationPercent" with MetricProperty = system URI).
+  MemoryPressureWatcher(OfmfClient& client, ComposabilityManager& manager,
+                        std::string report_id, double threshold_percent = 90.0,
+                        double expand_step_gib = 256.0);
+
+  /// Subscribes to MetricReport events.
+  Status Arm();
+
+  struct PressureReport {
+    int reports_seen = 0;
+    int expansions = 0;
+    int expansion_failures = 0;
+    std::vector<std::string> log;
+  };
+
+  /// Drains telemetry events; any system above the threshold gets
+  /// `expand_step_gib` more memory through the Composability Manager.
+  Result<PressureReport> Poll();
+
+ private:
+  OfmfClient& client_;
+  ComposabilityManager& manager_;
+  std::string report_id_;
+  double threshold_percent_;
+  double expand_step_gib_;
+  std::string subscription_uri_;
+};
+
+}  // namespace ofmf::composability

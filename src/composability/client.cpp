@@ -1,0 +1,104 @@
+#include "composability/client.hpp"
+
+#include "json/parse.hpp"
+#include "odata/annotations.hpp"
+
+namespace ofmf::composability {
+
+OfmfClient::OfmfClient(std::unique_ptr<http::HttpClient> transport)
+    : transport_(std::move(transport)) {}
+
+http::Request OfmfClient::Decorate(http::Request request) const {
+  if (!token_.empty()) request.headers.Set("X-Auth-Token", token_);
+  return request;
+}
+
+Status OfmfClient::ToStatus(const http::Response& response) {
+  if (response.ok()) return Status::Ok();
+  // Extract the Redfish error message when present.
+  std::string message = "HTTP " + std::to_string(response.status);
+  if (auto body = json::Parse(response.body); body.ok()) {
+    const std::string detail = body->at("error").GetString("message");
+    if (!detail.empty()) message += ": " + detail;
+  }
+  switch (response.status) {
+    case 400: return Status::InvalidArgument(message);
+    case 401:
+    case 403: return Status::PermissionDenied(message);
+    case 404: return Status::NotFound(message);
+    case 409: return Status::AlreadyExists(message);
+    case 412: return Status::FailedPrecondition(message);
+    case 503: return Status::Unavailable(message);
+    case 507: return Status::ResourceExhausted(message);
+    default: return Status::Internal(message);
+  }
+}
+
+Status OfmfClient::Login(const std::string& user, const std::string& password) {
+  auto response = transport_->PostJson(
+      "/redfish/v1/SessionService/Sessions",
+      json::Json::Obj({{"UserName", user}, {"Password", password}}));
+  if (!response.ok()) return response.status();
+  OFMF_RETURN_IF_ERROR(ToStatus(*response));
+  const std::string token = response->headers.GetOr("X-Auth-Token", "");
+  if (token.empty()) return Status::Internal("session response carried no X-Auth-Token");
+  token_ = token;
+  return Status::Ok();
+}
+
+Result<json::Json> OfmfClient::Get(const std::string& uri) {
+  auto response = transport_->Send(Decorate(http::MakeRequest(http::Method::kGet, uri)));
+  if (!response.ok()) return response.status();
+  OFMF_RETURN_IF_ERROR(ToStatus(*response));
+  return json::Parse(response->body);
+}
+
+Result<std::string> OfmfClient::Post(const std::string& uri, const json::Json& body) {
+  auto response =
+      transport_->Send(Decorate(http::MakeJsonRequest(http::Method::kPost, uri, body)));
+  if (!response.ok()) return response.status();
+  OFMF_RETURN_IF_ERROR(ToStatus(*response));
+  const std::string location = response->headers.GetOr("Location", "");
+  if (location.empty()) return Status::Internal("create response carried no Location");
+  return location;
+}
+
+Result<json::Json> OfmfClient::PostForBody(const std::string& uri, const json::Json& body) {
+  auto response =
+      transport_->Send(Decorate(http::MakeJsonRequest(http::Method::kPost, uri, body)));
+  if (!response.ok()) return response.status();
+  OFMF_RETURN_IF_ERROR(ToStatus(*response));
+  if (response->body.empty()) return json::Json::MakeObject();
+  return json::Parse(response->body);
+}
+
+Result<json::Json> OfmfClient::Patch(const std::string& uri, const json::Json& body) {
+  auto response =
+      transport_->Send(Decorate(http::MakeJsonRequest(http::Method::kPatch, uri, body)));
+  if (!response.ok()) return response.status();
+  OFMF_RETURN_IF_ERROR(ToStatus(*response));
+  return json::Parse(response->body);
+}
+
+Status OfmfClient::Delete(const std::string& uri) {
+  auto response =
+      transport_->Send(Decorate(http::MakeRequest(http::Method::kDelete, uri)));
+  if (!response.ok()) return response.status();
+  return ToStatus(*response);
+}
+
+Result<std::vector<std::string>> OfmfClient::Members(const std::string& collection_uri) {
+  OFMF_ASSIGN_OR_RETURN(json::Json collection, Get(collection_uri));
+  const json::Json& members = collection.at("Members");
+  if (!members.is_array()) {
+    return Status::FailedPrecondition(collection_uri + " is not a collection");
+  }
+  std::vector<std::string> uris;
+  for (const json::Json& entry : members.as_array()) {
+    const std::string uri = odata::IdOf(entry);
+    if (!uri.empty()) uris.push_back(uri);
+  }
+  return uris;
+}
+
+}  // namespace ofmf::composability

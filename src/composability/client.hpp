@@ -1,0 +1,45 @@
+// Typed Redfish client used by the Composability Layer. Transport-agnostic:
+// give it an InProcessClient bound to an OfmfService or a TcpClient against
+// a remote one — the paper's point is that clients never see the fabric
+// technology underneath.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "http/server.hpp"
+#include "json/value.hpp"
+
+namespace ofmf::composability {
+
+class OfmfClient {
+ public:
+  explicit OfmfClient(std::unique_ptr<http::HttpClient> transport);
+
+  /// Creates a session and remembers the X-Auth-Token for later requests.
+  Status Login(const std::string& user, const std::string& password);
+
+  Result<json::Json> Get(const std::string& uri);
+  /// POST returning the Location header (created resource URI).
+  Result<std::string> Post(const std::string& uri, const json::Json& body);
+  /// POST returning the response body (actions).
+  Result<json::Json> PostForBody(const std::string& uri, const json::Json& body);
+  Result<json::Json> Patch(const std::string& uri, const json::Json& body);
+  Status Delete(const std::string& uri);
+
+  /// Member URIs of a Redfish collection.
+  Result<std::vector<std::string>> Members(const std::string& collection_uri);
+
+  const std::string& token() const { return token_; }
+
+ private:
+  http::Request Decorate(http::Request request) const;
+  static Status ToStatus(const http::Response& response);
+
+  std::unique_ptr<http::HttpClient> transport_;
+  std::string token_;
+};
+
+}  // namespace ofmf::composability

@@ -1,0 +1,297 @@
+#include "composability/manager.hpp"
+
+#include <algorithm>
+
+#include "odata/annotations.hpp"
+#include "ofmf/uris.hpp"
+
+namespace ofmf::composability {
+
+const char* to_string(Policy policy) {
+  switch (policy) {
+    case Policy::kFirstFit: return "first-fit";
+    case Policy::kBestFit: return "best-fit";
+    case Policy::kLocalityAware: return "locality-aware";
+    case Policy::kEnergyAware: return "energy-aware";
+  }
+  return "?";
+}
+
+ComposabilityManager::ComposabilityManager(OfmfClient& client) : client_(client) {}
+
+Result<std::vector<BlockView>> ComposabilityManager::DiscoverBlocks() {
+  OFMF_ASSIGN_OR_RETURN(std::vector<std::string> uris,
+                        client_.Members(core::kResourceBlocks));
+  std::vector<BlockView> blocks;
+  blocks.reserve(uris.size());
+  for (const std::string& uri : uris) {
+    OFMF_ASSIGN_OR_RETURN(json::Json payload, client_.Get(uri));
+    BlockView view;
+    view.uri = uri;
+    view.capability = core::CapabilityFromPayload(payload);
+    view.state = payload.at("CompositionStatus").GetString("CompositionState");
+    blocks.push_back(std::move(view));
+  }
+  return blocks;
+}
+
+namespace {
+
+struct Need {
+  int cores;
+  double memory_gib;
+  int gpus;
+  double storage_gib;
+
+  bool Satisfied() const {
+    return cores <= 0 && memory_gib <= 1e-9 && gpus <= 0 && storage_gib <= 1e-9;
+  }
+  /// Whether `block` contributes to any outstanding need.
+  bool Wants(const core::BlockCapability& block) const {
+    return (cores > 0 && block.cores > 0) || (memory_gib > 1e-9 && block.memory_gib > 0) ||
+           (gpus > 0 && block.gpus > 0) || (storage_gib > 1e-9 && block.storage_gib > 0);
+  }
+  void Take(const core::BlockCapability& block) {
+    cores -= block.cores;
+    memory_gib -= block.memory_gib;
+    gpus -= block.gpus;
+    storage_gib -= block.storage_gib;
+  }
+};
+
+/// Contribution of a block toward the outstanding need (for best-fit
+/// tightness scoring): useful capacity / total capacity.
+double Usefulness(const Need& need, const core::BlockCapability& block) {
+  double useful = 0.0;
+  double total = 0.0;
+  useful += std::min<double>(std::max(need.cores, 0), block.cores);
+  total += block.cores;
+  useful += std::min(std::max(need.memory_gib, 0.0), block.memory_gib) / 16.0;
+  total += block.memory_gib / 16.0;  // normalize: 16 GiB ~ one core weight
+  useful += std::min<double>(std::max(need.gpus, 0), block.gpus) * 8.0;
+  total += block.gpus * 8.0;
+  useful += std::min(std::max(need.storage_gib, 0.0), block.storage_gib) / 256.0;
+  total += block.storage_gib / 256.0;
+  if (total <= 0) return 0.0;
+  return useful / total;
+}
+
+double CapacityWeight(const core::BlockCapability& block) {
+  return block.cores + block.memory_gib / 16.0 + block.gpus * 8.0 +
+         block.storage_gib / 256.0;
+}
+
+}  // namespace
+
+Result<std::vector<BlockView>> ComposabilityManager::SelectBlocks(
+    const CompositionRequest& request, std::vector<BlockView> free_blocks) const {
+  Need need{request.cores, request.memory_gib, request.gpus, request.storage_gib};
+  if (need.Satisfied()) {
+    return Status::InvalidArgument("composition request asks for no resources");
+  }
+
+  // Policy-specific candidate ordering.
+  switch (request.policy) {
+    case Policy::kFirstFit:
+      // URI order (stable discovery order) — the baseline.
+      std::sort(free_blocks.begin(), free_blocks.end(),
+                [](const BlockView& a, const BlockView& b) { return a.uri < b.uri; });
+      break;
+    case Policy::kBestFit:
+      // Smallest blocks first: minimizes overallocation (stranding).
+      std::sort(free_blocks.begin(), free_blocks.end(),
+                [](const BlockView& a, const BlockView& b) {
+                  return CapacityWeight(a.capability) < CapacityWeight(b.capability);
+                });
+      break;
+    case Policy::kLocalityAware: {
+      const std::string& hint = request.locality_hint;
+      std::stable_sort(free_blocks.begin(), free_blocks.end(),
+                       [&](const BlockView& a, const BlockView& b) {
+                         const bool a_local = a.capability.locality == hint;
+                         const bool b_local = b.capability.locality == hint;
+                         if (a_local != b_local) return a_local;
+                         return CapacityWeight(a.capability) < CapacityWeight(b.capability);
+                       });
+      break;
+    }
+    case Policy::kEnergyAware:
+      // Lowest active watts per unit of capacity first.
+      std::sort(free_blocks.begin(), free_blocks.end(),
+                [](const BlockView& a, const BlockView& b) {
+                  const double wa =
+                      a.capability.active_watts / std::max(1.0, CapacityWeight(a.capability));
+                  const double wb =
+                      b.capability.active_watts / std::max(1.0, CapacityWeight(b.capability));
+                  return wa < wb;
+                });
+      break;
+  }
+
+  std::vector<BlockView> chosen;
+  for (const BlockView& block : free_blocks) {
+    if (need.Satisfied()) break;
+    if (!need.Wants(block.capability)) continue;
+    // Best-fit refinement: skip blocks that are mostly useless for what is
+    // still needed (a huge compute block for a 1-core remainder), unless
+    // nothing better follows — handled by the final completeness check.
+    if (request.policy == Policy::kBestFit && Usefulness(need, block.capability) < 0.05) {
+      continue;
+    }
+    chosen.push_back(block);
+    need.Take(block.capability);
+  }
+  if (!need.Satisfied()) {
+    // Retry without the best-fit usefulness filter before giving up.
+    if (request.policy == Policy::kBestFit) {
+      Need retry{request.cores, request.memory_gib, request.gpus, request.storage_gib};
+      chosen.clear();
+      for (const BlockView& block : free_blocks) {
+        if (retry.Satisfied()) break;
+        if (!retry.Wants(block.capability)) continue;
+        chosen.push_back(block);
+        retry.Take(block.capability);
+      }
+      if (retry.Satisfied()) return chosen;
+    }
+    return Status::ResourceExhausted(
+        "free pool cannot satisfy request '" + request.name + "' (short " +
+        std::to_string(std::max(need.cores, 0)) + " cores, " +
+        std::to_string(std::max(need.memory_gib, 0.0)) + " GiB, " +
+        std::to_string(std::max(need.gpus, 0)) + " GPUs)");
+  }
+  return chosen;
+}
+
+Result<ComposedSystem> ComposabilityManager::Compose(const CompositionRequest& request) {
+  OFMF_ASSIGN_OR_RETURN(std::vector<BlockView> blocks, DiscoverBlocks());
+  std::vector<BlockView> free_blocks;
+  for (BlockView& block : blocks) {
+    if (block.state == "Unused") free_blocks.push_back(std::move(block));
+  }
+  OFMF_ASSIGN_OR_RETURN(std::vector<BlockView> chosen,
+                        SelectBlocks(request, std::move(free_blocks)));
+
+  std::vector<std::string> uris;
+  ComposedSystem record;
+  record.request = request;
+  for (const BlockView& block : chosen) {
+    uris.push_back(block.uri);
+    record.cores += block.capability.cores;
+    record.memory_gib += block.capability.memory_gib;
+    record.gpus += block.capability.gpus;
+    record.storage_gib += block.capability.storage_gib;
+  }
+
+  OFMF_ASSIGN_OR_RETURN(
+      std::string system_uri,
+      client_.Post(core::kSystems,
+                   json::Json::Obj(
+                       {{"Name", request.name},
+                        {"Links", json::Json::Obj({{"ResourceBlocks",
+                                                    odata::RefArray(uris)}})}})));
+  record.system_uri = system_uri;
+  record.block_uris = std::move(uris);
+  systems_[system_uri] = record;
+  return record;
+}
+
+Status ComposabilityManager::Decompose(const std::string& system_uri) {
+  OFMF_RETURN_IF_ERROR(client_.Delete(system_uri));
+  systems_.erase(system_uri);
+  return Status::Ok();
+}
+
+Status ComposabilityManager::ExpandMemory(const std::string& system_uri,
+                                          double additional_gib) {
+  auto it = systems_.find(system_uri);
+  if (it == systems_.end()) {
+    return Status::NotFound("system not managed here: " + system_uri);
+  }
+  OFMF_ASSIGN_OR_RETURN(std::vector<BlockView> blocks, DiscoverBlocks());
+  // Prefer pure memory blocks, smallest first (minimize new stranding).
+  std::vector<BlockView> memory_blocks;
+  for (BlockView& block : blocks) {
+    if (block.state == "Unused" && block.capability.memory_gib > 0 &&
+        block.capability.cores == 0) {
+      memory_blocks.push_back(std::move(block));
+    }
+  }
+  std::sort(memory_blocks.begin(), memory_blocks.end(),
+            [](const BlockView& a, const BlockView& b) {
+              return a.capability.memory_gib < b.capability.memory_gib;
+            });
+  double still_needed = additional_gib;
+  for (const BlockView& block : memory_blocks) {
+    if (still_needed <= 1e-9) break;
+    OFMF_ASSIGN_OR_RETURN(
+        json::Json response,
+        client_.PostForBody(system_uri + "/Actions/ComputerSystem.AddResourceBlock",
+                            json::Json::Obj({{"ResourceBlock", block.uri}})));
+    (void)response;
+    it->second.block_uris.push_back(block.uri);
+    it->second.memory_gib += block.capability.memory_gib;
+    still_needed -= block.capability.memory_gib;
+  }
+  if (still_needed > 1e-9) {
+    return Status::ResourceExhausted("CXL memory pool exhausted; still need " +
+                                     std::to_string(still_needed) + " GiB");
+  }
+  return Status::Ok();
+}
+
+Result<StrandedReport> ComposabilityManager::ComputeStranded() {
+  StrandedReport report;
+  double allocated_cores = 0;
+  double allocated_memory = 0;
+  for (const auto& [uri, system] : systems_) {
+    report.stranded_cores += std::max(0, system.cores - system.request.cores);
+    report.stranded_memory_gib +=
+        std::max(0.0, system.memory_gib - system.request.memory_gib);
+    report.stranded_gpus += std::max(0, system.gpus - system.request.gpus);
+    report.stranded_storage_gib +=
+        std::max(0.0, system.storage_gib - system.request.storage_gib);
+    allocated_cores += system.cores;
+    allocated_memory += system.memory_gib;
+  }
+  OFMF_ASSIGN_OR_RETURN(std::vector<BlockView> blocks, DiscoverBlocks());
+  for (const BlockView& block : blocks) {
+    if (block.state == "Unused") {
+      report.free_cores += block.capability.cores;
+      report.free_memory_gib += block.capability.memory_gib;
+    }
+  }
+  if (allocated_cores > 0) {
+    report.stranded_core_fraction = report.stranded_cores / allocated_cores;
+  }
+  if (allocated_memory > 0) {
+    report.stranded_memory_fraction = report.stranded_memory_gib / allocated_memory;
+  }
+  return report;
+}
+
+Result<std::string> ComposabilityManager::SubscribeEvents(
+    const std::vector<std::string>& event_types) {
+  json::Array types;
+  for (const std::string& type : event_types) types.push_back(type);
+  json::Json body = json::Json::Obj({
+      {"Destination", "ofmf-internal://composability-manager"},
+      {"Protocol", "OEM"},
+      {"Context", "composability"},
+  });
+  if (!types.empty()) body.as_object().Set("EventTypes", json::Json(std::move(types)));
+  return client_.Post(core::kSubscriptions, body);
+}
+
+Result<std::vector<json::Json>> ComposabilityManager::DrainEvents(
+    const std::string& subscription_uri) {
+  OFMF_ASSIGN_OR_RETURN(
+      json::Json response,
+      client_.PostForBody(subscription_uri + "/Actions/EventDestination.Drain",
+                          json::Json::MakeObject()));
+  const json::Json& events = response.at("Events");
+  if (!events.is_array()) return std::vector<json::Json>{};
+  return std::vector<json::Json>(events.as_array().begin(), events.as_array().end());
+}
+
+}  // namespace ofmf::composability

@@ -1,0 +1,93 @@
+// The Composability Manager ("Composability Layer" in the paper's
+// architecture figure): sits between clients and the OFMF, tracks the free
+// resource-block pool, applies placement policies, composes/decomposes
+// systems, grows running systems (OOM mitigation), and follows OFMF events.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "composability/client.hpp"
+#include "ofmf/composition.hpp"
+
+namespace ofmf::composability {
+
+enum class Policy { kFirstFit, kBestFit, kLocalityAware, kEnergyAware };
+
+const char* to_string(Policy policy);
+
+struct CompositionRequest {
+  std::string name = "workload";
+  int cores = 0;
+  double memory_gib = 0.0;
+  int gpus = 0;
+  double storage_gib = 0.0;
+  std::string locality_hint;  // used by kLocalityAware
+  Policy policy = Policy::kFirstFit;
+};
+
+struct BlockView {
+  std::string uri;
+  core::BlockCapability capability;
+  std::string state;  // CompositionState
+};
+
+struct ComposedSystem {
+  std::string system_uri;
+  std::vector<std::string> block_uris;
+  CompositionRequest request;
+  // Allocated totals (>= requested: the overallocation is stranded).
+  int cores = 0;
+  double memory_gib = 0.0;
+  int gpus = 0;
+  double storage_gib = 0.0;
+};
+
+struct StrandedReport {
+  int stranded_cores = 0;
+  double stranded_memory_gib = 0.0;
+  int stranded_gpus = 0;
+  double stranded_storage_gib = 0.0;
+  int free_cores = 0;
+  double free_memory_gib = 0.0;
+  double stranded_core_fraction = 0.0;  // stranded / allocated
+  double stranded_memory_fraction = 0.0;
+};
+
+class ComposabilityManager {
+ public:
+  explicit ComposabilityManager(OfmfClient& client);
+
+  /// Reads the ResourceBlocks collection.
+  Result<std::vector<BlockView>> DiscoverBlocks();
+
+  /// Chooses blocks per the request's policy and composes a system.
+  Result<ComposedSystem> Compose(const CompositionRequest& request);
+
+  Status Decompose(const std::string& system_uri);
+
+  /// Dynamic expansion: adds free Memory blocks until the system has
+  /// `additional_gib` more memory than now. The paper's OOM-mitigation path.
+  Status ExpandMemory(const std::string& system_uri, double additional_gib);
+
+  /// Stranded-resource accounting across this manager's compositions.
+  Result<StrandedReport> ComputeStranded();
+
+  /// Subscribes an internal event queue (Alert + ResourceUpdated); the
+  /// returned URI feeds DrainEvents.
+  Result<std::string> SubscribeEvents(const std::vector<std::string>& event_types);
+  Result<std::vector<json::Json>> DrainEvents(const std::string& subscription_uri);
+
+  const std::map<std::string, ComposedSystem>& systems() const { return systems_; }
+
+ private:
+  /// Greedy block selection per policy; error when the pool cannot satisfy.
+  Result<std::vector<BlockView>> SelectBlocks(const CompositionRequest& request,
+                                              std::vector<BlockView> free_blocks) const;
+
+  OfmfClient& client_;
+  std::map<std::string, ComposedSystem> systems_;  // system uri -> record
+};
+
+}  // namespace ofmf::composability

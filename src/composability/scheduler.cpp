@@ -1,0 +1,217 @@
+#include "composability/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ofmf::composability {
+namespace {
+
+SimTime HoursToSim(double hours) { return Seconds(hours * 3600.0); }
+
+void Finalize(ScheduleOutcome& outcome, double used_core_hours, double capacity_cores) {
+  SimTime makespan = 0;
+  double wait_sum = 0.0;
+  int started = 0;
+  for (const ScheduledJob& job : outcome.jobs) {
+    if (job.end_time > makespan) makespan = job.end_time;
+    if (job.start_time >= 0) {
+      wait_sum += ToSeconds(job.wait_time()) / 3600.0;
+      ++started;
+    }
+  }
+  outcome.makespan_hours = ToSeconds(makespan) / 3600.0;
+  outcome.mean_wait_hours = started > 0 ? wait_sum / started : 0.0;
+  const double capacity_core_hours = capacity_cores * outcome.makespan_hours;
+  outcome.core_utilization =
+      capacity_core_hours > 0 ? used_core_hours / capacity_core_hours : 0.0;
+}
+
+}  // namespace
+
+ComposableScheduler::ComposableScheduler(ComposabilityManager& manager, Policy policy,
+                                         bool backfill)
+    : manager_(manager), policy_(policy), backfill_(backfill) {}
+
+Result<ScheduleOutcome> ComposableScheduler::Run(const std::vector<JobRequirement>& jobs,
+                                                 int total_cores) {
+  ScheduleOutcome outcome;
+  outcome.jobs.reserve(jobs.size());
+  for (const JobRequirement& requirement : jobs) {
+    ScheduledJob job;
+    job.requirement = requirement;
+    outcome.jobs.push_back(job);
+  }
+
+  struct Running {
+    std::size_t index;
+    SimTime finish;
+  };
+  std::vector<Running> running;
+  std::deque<std::size_t> queue;
+  for (std::size_t i = 0; i < outcome.jobs.size(); ++i) queue.push_back(i);
+
+  SimTime now = 0;
+  double used_core_hours = 0.0;
+
+  auto try_place = [&](std::size_t index) -> bool {
+    ScheduledJob& job = outcome.jobs[index];
+    CompositionRequest request;
+    request.name = job.requirement.name;
+    request.cores = job.requirement.cores;
+    request.memory_gib = job.requirement.memory_gib;
+    request.gpus = job.requirement.gpus;
+    request.storage_gib = job.requirement.storage_gib;
+    request.policy = policy_;
+    Result<ComposedSystem> composed = manager_.Compose(request);
+    if (!composed.ok()) return false;
+    job.start_time = now;
+    job.end_time = now + HoursToSim(job.requirement.duration_hours);
+    job.system_uri = composed->system_uri;
+    running.push_back({index, job.end_time});
+    used_core_hours += job.requirement.cores * job.requirement.duration_hours;
+    return true;
+  };
+
+  // Guard against requests that can never fit (avoid infinite loops): probe
+  // once against the empty pool before starting.
+  // (A request failing with an *empty* running set is permanently rejected.)
+  std::size_t stall_guard = 0;
+  while (!queue.empty() || !running.empty()) {
+    // Place as much as the discipline allows.
+    bool placed_any = true;
+    while (placed_any && !queue.empty()) {
+      placed_any = false;
+      // FIFO head first.
+      if (try_place(queue.front())) {
+        queue.pop_front();
+        placed_any = true;
+        continue;
+      }
+      if (running.empty()) {
+        // Head cannot ever run.
+        outcome.jobs[queue.front()].rejected = true;
+        ++outcome.rejected;
+        queue.pop_front();
+        placed_any = true;
+        continue;
+      }
+      if (backfill_) {
+        // Try later jobs without starving the head forever: one pass.
+        for (auto it = queue.begin() + 1; it != queue.end(); ++it) {
+          if (try_place(*it)) {
+            queue.erase(it);
+            placed_any = true;
+            break;
+          }
+        }
+      }
+    }
+    if (running.empty()) {
+      if (queue.empty()) break;
+      if (++stall_guard > outcome.jobs.size() + 1) {
+        return Status::Internal("scheduler stalled");
+      }
+      continue;
+    }
+    stall_guard = 0;
+    // Advance to the next completion and free its blocks.
+    auto next = std::min_element(running.begin(), running.end(),
+                                 [](const Running& a, const Running& b) {
+                                   return a.finish < b.finish;
+                                 });
+    now = std::max(now, next->finish);
+    OFMF_RETURN_IF_ERROR(manager_.Decompose(outcome.jobs[next->index].system_uri));
+    running.erase(next);
+  }
+
+  Finalize(outcome, used_core_hours, total_cores);
+  return outcome;
+}
+
+ScheduleOutcome RunStaticSchedule(const std::vector<JobRequirement>& jobs, int node_count,
+                                  const StaticNodeShape& shape, bool backfill) {
+  ScheduleOutcome outcome;
+  outcome.jobs.reserve(jobs.size());
+  for (const JobRequirement& requirement : jobs) {
+    ScheduledJob job;
+    job.requirement = requirement;
+    outcome.jobs.push_back(job);
+  }
+
+  auto nodes_needed = [&](const JobRequirement& job) {
+    int needed = 1;
+    needed = std::max(needed, static_cast<int>(std::ceil(
+                                  static_cast<double>(job.cores) / shape.cores)));
+    needed = std::max(needed,
+                      static_cast<int>(std::ceil(job.memory_gib / shape.memory_gib)));
+    if (shape.gpus > 0 && job.gpus > 0) {
+      needed = std::max(needed, static_cast<int>(std::ceil(
+                                    static_cast<double>(job.gpus) / shape.gpus)));
+    }
+    return needed;
+  };
+
+  struct Running {
+    std::size_t index;
+    SimTime finish;
+    int nodes;
+  };
+  std::vector<Running> running;
+  std::deque<std::size_t> queue;
+  for (std::size_t i = 0; i < outcome.jobs.size(); ++i) queue.push_back(i);
+
+  int free_nodes = node_count;
+  SimTime now = 0;
+  double used_core_hours = 0.0;
+
+  auto try_place = [&](std::size_t index) -> bool {
+    ScheduledJob& job = outcome.jobs[index];
+    const int needed = nodes_needed(job.requirement);
+    if (needed > node_count) {
+      job.rejected = true;
+      ++outcome.rejected;
+      return true;  // consumed (permanently unplaceable)
+    }
+    if (needed > free_nodes) return false;
+    free_nodes -= needed;
+    job.start_time = now;
+    job.end_time = now + HoursToSim(job.requirement.duration_hours);
+    running.push_back({index, job.end_time, needed});
+    used_core_hours += job.requirement.cores * job.requirement.duration_hours;
+    return true;
+  };
+
+  while (!queue.empty() || !running.empty()) {
+    bool placed_any = true;
+    while (placed_any && !queue.empty()) {
+      placed_any = false;
+      if (try_place(queue.front())) {
+        queue.pop_front();
+        placed_any = true;
+        continue;
+      }
+      if (backfill) {
+        for (auto it = queue.begin() + 1; it != queue.end(); ++it) {
+          if (try_place(*it)) {
+            queue.erase(it);
+            placed_any = true;
+            break;
+          }
+        }
+      }
+    }
+    if (running.empty()) break;  // queue non-empty but nothing runs => done
+    auto next = std::min_element(running.begin(), running.end(),
+                                 [](const Running& a, const Running& b) {
+                                   return a.finish < b.finish;
+                                 });
+    now = std::max(now, next->finish);
+    free_nodes += next->nodes;
+    running.erase(next);
+  }
+
+  Finalize(outcome, used_core_hours, static_cast<double>(node_count) * shape.cores);
+  return outcome;
+}
+
+}  // namespace ofmf::composability

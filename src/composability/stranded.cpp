@@ -1,0 +1,209 @@
+#include "composability/stranded.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "composability/manager.hpp"
+#include "ofmf/service.hpp"
+
+namespace ofmf::composability {
+
+std::vector<JobRequirement> DefaultJobMix() {
+  return {
+      {"hpl-wide", 224, 256.0, 0, 0.0, 4.0},        // CPU-heavy, modest memory
+      {"genomics", 28, 480.0, 0, 512.0, 6.0},       // memory-heavy
+      {"training", 56, 192.0, 8, 1024.0, 8.0},      // GPU job
+      {"cfd", 112, 128.0, 0, 0.0, 3.0},             // CPU-only
+      {"analytics", 28, 96.0, 0, 2048.0, 2.0},      // IO-heavy
+      {"inference", 14, 32.0, 2, 128.0, 12.0},      // small GPU service
+      {"viz", 28, 64.0, 4, 256.0, 1.5},             // burst GPU
+      {"hpl-narrow", 56, 64.0, 0, 0.0, 2.0},
+  };
+}
+
+ProvisioningOutcome SimulateStatic(const std::vector<JobRequirement>& jobs,
+                                   int node_count, const StaticNodeShape& shape,
+                                   const cluster::PowerModel& power) {
+  ProvisioningOutcome outcome;
+  outcome.scheme = "static";
+  int free_nodes = node_count;
+  double busy_node_hours = 0.0;
+  double max_hours = 0.0;
+
+  for (const JobRequirement& job : jobs) {
+    // Whole-node allocation sized by the dominant dimension.
+    int nodes_needed = 0;
+    nodes_needed = std::max(
+        nodes_needed, static_cast<int>(std::ceil(static_cast<double>(job.cores) /
+                                                 shape.cores)));
+    nodes_needed = std::max(
+        nodes_needed, static_cast<int>(std::ceil(job.memory_gib / shape.memory_gib)));
+    if (shape.gpus > 0 && job.gpus > 0) {
+      nodes_needed = std::max(
+          nodes_needed,
+          static_cast<int>(std::ceil(static_cast<double>(job.gpus) / shape.gpus)));
+    }
+    nodes_needed = std::max(nodes_needed, 1);
+    if (nodes_needed > free_nodes) {
+      ++outcome.jobs_rejected;
+      continue;
+    }
+    free_nodes -= nodes_needed;  // jobs held for the whole mix window
+    ++outcome.jobs_placed;
+    const double h = job.duration_hours;
+    outcome.allocated_core_hours += nodes_needed * shape.cores * h;
+    outcome.used_core_hours += job.cores * h;
+    outcome.allocated_memory_gib_hours += nodes_needed * shape.memory_gib * h;
+    outcome.used_memory_gib_hours += job.memory_gib * h;
+    outcome.allocated_gpu_hours += nodes_needed * shape.gpus * h;
+    outcome.used_gpu_hours += job.gpus * h;
+    busy_node_hours += nodes_needed * h;
+    max_hours = std::max(max_hours, h);
+  }
+
+  // Energy: busy nodes at active power for their job's duration, every node
+  // at idle power for the rest of the window.
+  const double window = max_hours;
+  const double idle_node_hours = node_count * window - busy_node_hours;
+  const double it_kwh = (busy_node_hours * shape.active_watts +
+                         std::max(0.0, idle_node_hours) * shape.idle_watts) /
+                        1000.0;
+  outcome.energy_kwh = it_kwh * power.pue;
+  return outcome;
+}
+
+ComposablePoolShape MatchedPool(int node_count, const StaticNodeShape& shape) {
+  ComposablePoolShape pool;
+  pool.cpu_blocks = node_count * 2;  // one block per socket
+  pool.cores_per_block = shape.cores / 2;
+  // Thin near-socket DRAM; the rest of the machine's memory lives in the
+  // CXL pool (same total capacity as the static machine, less bundling).
+  pool.dram_gib_per_cpu_block = shape.memory_gib / 4;
+  pool.memory_blocks = node_count;
+  pool.gib_per_memory_block = shape.memory_gib / 2;
+  pool.gpu_blocks = node_count * shape.gpus;
+  pool.storage_blocks = node_count;
+  pool.gib_per_storage_block = shape.storage_gib;
+  return pool;
+}
+
+ProvisioningOutcome SimulateComposable(const std::vector<JobRequirement>& jobs,
+                                       const ComposablePoolShape& pool,
+                                       const cluster::PowerModel& power) {
+  ProvisioningOutcome outcome;
+  outcome.scheme = "composable";
+
+  // Stand up a real OFMF and register the pool as resource blocks.
+  core::OfmfService ofmf;
+  const Status bootstrapped = ofmf.Bootstrap();
+  assert(bootstrapped.ok());
+  (void)bootstrapped;
+
+  const double cpu_block_active = 180.0;
+  const double cpu_block_idle = 70.0;
+  const double gpu_active = 300.0;
+  const double gpu_idle = 12.0;  // powered off the pool when unclaimed
+  const double mem_block_active = 26.0;
+  const double mem_block_idle = 13.0;
+  const double storage_active = 12.0;
+  const double storage_idle = 5.0;
+
+  for (int i = 0; i < pool.cpu_blocks; ++i) {
+    core::BlockCapability block;
+    block.id = "cpu-" + std::to_string(i);
+    block.block_type = "Compute";
+    block.cores = pool.cores_per_block;
+    block.memory_gib = pool.dram_gib_per_cpu_block;
+    block.locality = "rack" + std::to_string(i / 8);
+    block.active_watts = cpu_block_active;
+    block.idle_watts = cpu_block_idle;
+    const Status registered = ofmf.composition().RegisterBlock(block).status();
+    assert(registered.ok());
+    (void)registered;
+  }
+  for (int i = 0; i < pool.memory_blocks; ++i) {
+    core::BlockCapability block;
+    block.id = "cxl-" + std::to_string(i);
+    block.block_type = "Memory";
+    block.memory_gib = pool.gib_per_memory_block;
+    block.active_watts = mem_block_active;
+    block.idle_watts = mem_block_idle;
+    const Status registered = ofmf.composition().RegisterBlock(block).status();
+    assert(registered.ok());
+    (void)registered;
+  }
+  for (int i = 0; i < pool.gpu_blocks; ++i) {
+    core::BlockCapability block;
+    block.id = "gpu-" + std::to_string(i);
+    block.block_type = "Processor";
+    block.gpus = 1;
+    block.active_watts = gpu_active;
+    block.idle_watts = gpu_idle;
+    const Status registered = ofmf.composition().RegisterBlock(block).status();
+    assert(registered.ok());
+    (void)registered;
+  }
+  for (int i = 0; i < pool.storage_blocks; ++i) {
+    core::BlockCapability block;
+    block.id = "nvme-" + std::to_string(i);
+    block.block_type = "Storage";
+    block.storage_gib = pool.gib_per_storage_block;
+    block.active_watts = storage_active;
+    block.idle_watts = storage_idle;
+    const Status registered = ofmf.composition().RegisterBlock(block).status();
+    assert(registered.ok());
+    (void)registered;
+  }
+
+  OfmfClient client(std::make_unique<http::InProcessClient>(ofmf.Handler()));
+  ComposabilityManager manager(client);
+
+  double max_hours = 0.0;
+  double active_block_watt_hours = 0.0;
+  for (const JobRequirement& job : jobs) {
+    CompositionRequest request;
+    request.name = job.name;
+    request.cores = job.cores;
+    request.memory_gib = job.memory_gib;
+    request.gpus = job.gpus;
+    request.storage_gib = job.storage_gib;
+    request.policy = Policy::kBestFit;
+    const Result<ComposedSystem> composed = manager.Compose(request);
+    if (!composed.ok()) {
+      ++outcome.jobs_rejected;
+      continue;
+    }
+    ++outcome.jobs_placed;
+    const double h = job.duration_hours;
+    outcome.allocated_core_hours += composed->cores * h;
+    outcome.used_core_hours += job.cores * h;
+    outcome.allocated_memory_gib_hours += composed->memory_gib * h;
+    outcome.used_memory_gib_hours += job.memory_gib * h;
+    outcome.allocated_gpu_hours += composed->gpus * h;
+    outcome.used_gpu_hours += job.gpus * h;
+    max_hours = std::max(max_hours, h);
+
+    // Active power of the chosen blocks for the job duration.
+    for (const std::string& block_uri : composed->block_uris) {
+      const auto payload = ofmf.tree().Get(block_uri);
+      if (payload.ok()) {
+        active_block_watt_hours +=
+            core::CapabilityFromPayload(*payload).active_watts * h;
+      }
+    }
+  }
+
+  // Idle power of unclaimed pool blocks across the window.
+  const double window = max_hours;
+  double idle_watts = 0.0;
+  for (const std::string& uri : ofmf.composition().FreeBlockUris()) {
+    const auto payload = ofmf.tree().Get(uri);
+    if (payload.ok()) idle_watts += core::CapabilityFromPayload(*payload).idle_watts;
+  }
+  const double it_kwh = (active_block_watt_hours + idle_watts * window) / 1000.0;
+  outcome.energy_kwh = it_kwh * power.pue;
+  return outcome;
+}
+
+}  // namespace ofmf::composability

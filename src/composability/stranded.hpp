@@ -1,0 +1,90 @@
+// Static-vs-composable provisioning comparison behind the paper's
+// "Stranded Resources" figure: run a job mix against (a) a conventional
+// cluster of identical fully-provisioned nodes and (b) a disaggregated pool
+// managed through the OFMF Composability Manager, and account stranded
+// capacity and facility energy for each.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/energy.hpp"
+#include "common/result.hpp"
+
+namespace ofmf::composability {
+
+struct JobRequirement {
+  std::string name;
+  int cores = 0;
+  double memory_gib = 0.0;
+  int gpus = 0;
+  double storage_gib = 0.0;
+  double duration_hours = 1.0;
+};
+
+/// A representative heterogeneous mix (CPU-heavy, memory-heavy, GPU, IO).
+std::vector<JobRequirement> DefaultJobMix();
+
+struct ProvisioningOutcome {
+  std::string scheme;           // "static" / "composable"
+  int jobs_placed = 0;
+  int jobs_rejected = 0;
+  double allocated_core_hours = 0.0;
+  double used_core_hours = 0.0;
+  double allocated_memory_gib_hours = 0.0;
+  double used_memory_gib_hours = 0.0;
+  double allocated_gpu_hours = 0.0;
+  double used_gpu_hours = 0.0;
+  double energy_kwh = 0.0;      // facility energy (IT x PUE)
+
+  double stranded_core_fraction() const {
+    return allocated_core_hours <= 0
+               ? 0.0
+               : 1.0 - used_core_hours / allocated_core_hours;
+  }
+  double stranded_memory_fraction() const {
+    return allocated_memory_gib_hours <= 0
+               ? 0.0
+               : 1.0 - used_memory_gib_hours / allocated_memory_gib_hours;
+  }
+  double stranded_gpu_fraction() const {
+    return allocated_gpu_hours <= 0 ? 0.0 : 1.0 - used_gpu_hours / allocated_gpu_hours;
+  }
+};
+
+struct StaticNodeShape {
+  int cores = 56;
+  double memory_gib = 128.0;
+  int gpus = 2;              // "all of the options" provisioning
+  double storage_gib = 894.0;
+  double idle_watts = 290.0;  // node + 2 idle GPUs
+  double active_watts = 1020.0;
+};
+
+/// Static provisioning: every job takes whole nodes (enough to cover its
+/// dominant requirement); everything else on those nodes strands.
+ProvisioningOutcome SimulateStatic(const std::vector<JobRequirement>& jobs,
+                                   int node_count, const StaticNodeShape& shape = {},
+                                   const cluster::PowerModel& power = {});
+
+struct ComposablePoolShape {
+  int cpu_blocks = 0;         // filled by MatchedPool()
+  int cores_per_block = 28;   // one socket per block
+  double dram_gib_per_cpu_block = 64.0;
+  int memory_blocks = 0;      // CXL expansion blocks
+  double gib_per_memory_block = 64.0;
+  int gpu_blocks = 0;
+  int storage_blocks = 0;
+  double gib_per_storage_block = 894.0;
+};
+
+/// Pool with the same total capacity as `node_count` static nodes.
+ComposablePoolShape MatchedPool(int node_count, const StaticNodeShape& shape = {});
+
+/// Composable provisioning through a real OFMF + Composability Manager
+/// (in-process transport): jobs claim blocks exactly covering their needs.
+ProvisioningOutcome SimulateComposable(const std::vector<JobRequirement>& jobs,
+                                       const ComposablePoolShape& pool,
+                                       const cluster::PowerModel& power = {});
+
+}  // namespace ofmf::composability

@@ -1,0 +1,180 @@
+#include "fabricsim/cxl.hpp"
+
+#include <algorithm>
+
+namespace ofmf::fabricsim {
+
+CxlFabricManager::CxlFabricManager(FabricGraph& graph) : graph_(graph) {
+  link_token_ = graph_.SubscribeLinkChanges([this](const LinkChange& change) {
+    // Surface link transitions touching a registered CXL device or host.
+    for (const std::string& end : {change.id.a, change.id.b}) {
+      const bool known = devices_.count(end) != 0 ||
+                         std::find(hosts_.begin(), hosts_.end(), end) != hosts_.end();
+      if (known) {
+        CxlEvent event;
+        event.kind = CxlEvent::Kind::kPortLinkChanged;
+        event.device = end;
+        event.link_up = change.up;
+        Emit(event);
+      }
+    }
+  });
+}
+
+CxlFabricManager::~CxlFabricManager() { graph_.UnsubscribeLinkChanges(link_token_); }
+
+Status CxlFabricManager::RegisterMemoryDevice(const std::string& device_name,
+                                              std::uint64_t capacity_bytes,
+                                              std::uint16_t ld_count) {
+  if (!graph_.HasVertex(device_name)) {
+    return Status::NotFound("no fabric vertex for device: " + device_name);
+  }
+  if (ld_count == 0) return Status::InvalidArgument("ld_count must be >= 1");
+  if (devices_.count(device_name) != 0) {
+    return Status::AlreadyExists("device already registered: " + device_name);
+  }
+  CxlMemoryDevice device;
+  device.device_name = device_name;
+  const std::uint64_t per_ld = capacity_bytes / ld_count;
+  for (std::uint16_t i = 0; i < ld_count; ++i) {
+    device.logical_devices.push_back(CxlLogicalDevice{i, per_ld, false, ""});
+  }
+  devices_.emplace(device_name, std::move(device));
+  return Status::Ok();
+}
+
+Status CxlFabricManager::RegisterHost(const std::string& host_name) {
+  if (!graph_.HasVertex(host_name)) {
+    return Status::NotFound("no fabric vertex for host: " + host_name);
+  }
+  if (std::find(hosts_.begin(), hosts_.end(), host_name) != hosts_.end()) {
+    return Status::AlreadyExists("host already registered: " + host_name);
+  }
+  hosts_.push_back(host_name);
+  return Status::Ok();
+}
+
+Status CxlFabricManager::BindLogicalDevice(const std::string& host,
+                                           const std::string& device,
+                                           std::uint16_t ld_id) {
+  if (std::find(hosts_.begin(), hosts_.end(), host) == hosts_.end()) {
+    return Status::NotFound("unknown host: " + host);
+  }
+  auto it = devices_.find(device);
+  if (it == devices_.end()) return Status::NotFound("unknown device: " + device);
+  if (ld_id >= it->second.logical_devices.size()) {
+    return Status::NotFound("no LD " + std::to_string(ld_id) + " on " + device);
+  }
+  CxlLogicalDevice& ld = it->second.logical_devices[ld_id];
+  if (ld.bound) {
+    return Status::FailedPrecondition("LD " + std::to_string(ld_id) + " on " + device +
+                                      " already bound to " + ld.bound_host);
+  }
+  if (!graph_.Reachable(host, device)) {
+    return Status::Unavailable("no live fabric path " + host + " -> " + device);
+  }
+  ld.bound = true;
+  ld.bound_host = host;
+  Emit({CxlEvent::Kind::kLdBound, device, ld_id, host, true});
+  return Status::Ok();
+}
+
+Status CxlFabricManager::UnbindLogicalDevice(const std::string& device,
+                                             std::uint16_t ld_id) {
+  auto it = devices_.find(device);
+  if (it == devices_.end()) return Status::NotFound("unknown device: " + device);
+  if (ld_id >= it->second.logical_devices.size()) {
+    return Status::NotFound("no LD " + std::to_string(ld_id) + " on " + device);
+  }
+  CxlLogicalDevice& ld = it->second.logical_devices[ld_id];
+  if (!ld.bound) {
+    return Status::FailedPrecondition("LD " + std::to_string(ld_id) + " not bound");
+  }
+  const std::string host = ld.bound_host;
+  ld.bound = false;
+  ld.bound_host.clear();
+  ClearDecoders(device, ld_id);
+  Emit({CxlEvent::Kind::kLdUnbound, device, ld_id, host, true});
+  return Status::Ok();
+}
+
+Status CxlFabricManager::ProgramDecoder(const CxlDecoder& decoder) {
+  auto it = devices_.find(decoder.target_device);
+  if (it == devices_.end()) {
+    return Status::NotFound("unknown device: " + decoder.target_device);
+  }
+  if (decoder.target_ld >= it->second.logical_devices.size()) {
+    return Status::NotFound("no such LD on " + decoder.target_device);
+  }
+  const CxlLogicalDevice& ld = it->second.logical_devices[decoder.target_ld];
+  if (!ld.bound || ld.bound_host != decoder.host) {
+    return Status::FailedPrecondition("LD must be bound to host before decoding");
+  }
+  if (decoder.size_bytes == 0 || decoder.size_bytes > ld.capacity_bytes) {
+    return Status::InvalidArgument("decoder size exceeds LD capacity");
+  }
+  // Reject HPA overlap on the same host.
+  for (const CxlDecoder& existing : decoders_) {
+    if (existing.host != decoder.host) continue;
+    const bool overlap = decoder.hpa_base < existing.hpa_base + existing.size_bytes &&
+                         existing.hpa_base < decoder.hpa_base + decoder.size_bytes;
+    if (overlap) return Status::AlreadyExists("HPA range overlaps an existing decoder");
+  }
+  decoders_.push_back(decoder);
+  Emit({CxlEvent::Kind::kDecoderProgrammed, decoder.target_device, decoder.target_ld,
+        decoder.host, true});
+  return Status::Ok();
+}
+
+void CxlFabricManager::ClearDecoders(const std::string& device, std::uint16_t ld_id) {
+  std::erase_if(decoders_, [&](const CxlDecoder& d) {
+    return d.target_device == device && d.target_ld == ld_id;
+  });
+}
+
+std::vector<CxlMemoryDevice> CxlFabricManager::ListMemoryDevices() const {
+  std::vector<CxlMemoryDevice> out;
+  out.reserve(devices_.size());
+  for (const auto& [name, device] : devices_) out.push_back(device);
+  return out;
+}
+
+std::vector<std::string> CxlFabricManager::ListHosts() const { return hosts_; }
+
+std::vector<CxlDecoder> CxlFabricManager::ListDecoders(const std::string& host) const {
+  std::vector<CxlDecoder> out;
+  for (const CxlDecoder& d : decoders_) {
+    if (d.host == host) out.push_back(d);
+  }
+  return out;
+}
+
+Result<CxlLogicalDevice> CxlFabricManager::QueryLogicalDevice(const std::string& device,
+                                                              std::uint16_t ld_id) const {
+  auto it = devices_.find(device);
+  if (it == devices_.end()) return Status::NotFound("unknown device: " + device);
+  if (ld_id >= it->second.logical_devices.size()) {
+    return Status::NotFound("no LD " + std::to_string(ld_id));
+  }
+  return it->second.logical_devices[ld_id];
+}
+
+std::uint64_t CxlFabricManager::UnboundCapacityBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [name, device] : devices_) {
+    for (const CxlLogicalDevice& ld : device.logical_devices) {
+      if (!ld.bound) total += ld.capacity_bytes;
+    }
+  }
+  return total;
+}
+
+void CxlFabricManager::Subscribe(std::function<void(const CxlEvent&)> listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+void CxlFabricManager::Emit(const CxlEvent& event) {
+  for (const auto& listener : listeners_) listener(event);
+}
+
+}  // namespace ofmf::fabricsim

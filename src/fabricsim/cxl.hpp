@@ -1,0 +1,98 @@
+// CXL fabric manager with a CXL-idiomatic native API: physical ports,
+// multi-logical-device (MLD) memory devices exposing logical devices (LD-IDs),
+// virtual CXL switches (VCS) with virtual-to-physical port bindings, and HDM
+// decoder programming. Nothing here speaks Redfish — that translation is the
+// CXL Agent's job, which is exactly the paper's layering.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "fabricsim/graph.hpp"
+
+namespace ofmf::fabricsim {
+
+struct CxlLogicalDevice {
+  std::uint16_t ld_id = 0;
+  std::uint64_t capacity_bytes = 0;
+  bool bound = false;
+  std::string bound_host;  // host device name when bound
+};
+
+struct CxlMemoryDevice {
+  std::string device_name;  // graph vertex
+  std::vector<CxlLogicalDevice> logical_devices;
+};
+
+struct CxlDecoder {
+  std::string host;
+  std::uint64_t hpa_base = 0;  // host physical address base
+  std::uint64_t size_bytes = 0;
+  std::string target_device;
+  std::uint16_t target_ld = 0;
+};
+
+struct CxlEvent {
+  enum class Kind { kLdBound, kLdUnbound, kPortLinkChanged, kDecoderProgrammed };
+  Kind kind;
+  std::string device;
+  std::uint16_t ld_id = 0;
+  std::string host;
+  bool link_up = true;
+};
+
+class CxlFabricManager {
+ public:
+  explicit CxlFabricManager(FabricGraph& graph);
+  ~CxlFabricManager();
+  CxlFabricManager(const CxlFabricManager&) = delete;
+  CxlFabricManager& operator=(const CxlFabricManager&) = delete;
+
+  /// Registers an MLD memory device (graph vertex must exist) carving its
+  /// capacity into `ld_count` equal logical devices.
+  Status RegisterMemoryDevice(const std::string& device_name,
+                              std::uint64_t capacity_bytes, std::uint16_t ld_count);
+
+  /// Registers a host (CPU node) vertex that can bind LDs.
+  Status RegisterHost(const std::string& host_name);
+
+  /// Binds (host <- device/ld). Requires graph reachability host<->device.
+  Status BindLogicalDevice(const std::string& host, const std::string& device,
+                           std::uint16_t ld_id);
+  Status UnbindLogicalDevice(const std::string& device, std::uint16_t ld_id);
+
+  /// Programs an HDM decoder mapping host HPA range onto a bound LD.
+  Status ProgramDecoder(const CxlDecoder& decoder);
+  /// Clears every decoder aimed at (device, ld).
+  void ClearDecoders(const std::string& device, std::uint16_t ld_id);
+
+  std::vector<CxlMemoryDevice> ListMemoryDevices() const;
+  std::vector<std::string> ListHosts() const;
+  std::vector<CxlDecoder> ListDecoders(const std::string& host) const;
+  Result<CxlLogicalDevice> QueryLogicalDevice(const std::string& device,
+                                              std::uint16_t ld_id) const;
+
+  /// Total bytes of unbound LD capacity (the free CXL memory pool).
+  std::uint64_t UnboundCapacityBytes() const;
+
+  void Subscribe(std::function<void(const CxlEvent&)> listener);
+
+  FabricGraph& graph() { return graph_; }
+
+ private:
+  void Emit(const CxlEvent& event);
+
+  FabricGraph& graph_;
+  std::uint64_t link_token_ = 0;
+  std::map<std::string, CxlMemoryDevice> devices_;
+  std::vector<std::string> hosts_;
+  std::vector<CxlDecoder> decoders_;
+  std::vector<std::function<void(const CxlEvent&)>> listeners_;
+};
+
+}  // namespace ofmf::fabricsim

@@ -1,0 +1,128 @@
+#include "fabricsim/ethernet.hpp"
+
+#include <algorithm>
+
+namespace ofmf::fabricsim {
+
+EthernetSwitchManager::EthernetSwitchManager(FabricGraph& graph) : graph_(graph) {
+  vlans_[kDefaultVlan] = Vlan{"default", {}};
+  link_token_ = graph_.SubscribeLinkChanges([this](const LinkChange& change) {
+    EthernetEvent event;
+    event.kind = EthernetEvent::Kind::kLinkFlap;
+    event.switch_name = change.id.a;
+    event.port = change.id.a_port;
+    Emit(event);
+  });
+}
+
+EthernetSwitchManager::~EthernetSwitchManager() {
+  graph_.UnsubscribeLinkChanges(link_token_);
+}
+
+Status EthernetSwitchManager::CreateVlan(std::uint16_t vlan_id, const std::string& name) {
+  if (vlan_id == 0 || vlan_id > 4094) {
+    return Status::InvalidArgument("VLAN id must be 1-4094");
+  }
+  if (vlans_.count(vlan_id) != 0) {
+    return Status::AlreadyExists("VLAN exists: " + std::to_string(vlan_id));
+  }
+  vlans_[vlan_id] = Vlan{name, {}};
+  Emit({EthernetEvent::Kind::kVlanCreated, vlan_id, "", 0});
+  return Status::Ok();
+}
+
+Status EthernetSwitchManager::DeleteVlan(std::uint16_t vlan_id) {
+  if (vlan_id == kDefaultVlan) {
+    return Status::PermissionDenied("default VLAN cannot be deleted");
+  }
+  if (vlans_.erase(vlan_id) == 0) {
+    return Status::NotFound("no VLAN " + std::to_string(vlan_id));
+  }
+  Emit({EthernetEvent::Kind::kVlanDeleted, vlan_id, "", 0});
+  return Status::Ok();
+}
+
+Status EthernetSwitchManager::AddPortToVlan(std::uint16_t vlan_id,
+                                            const std::string& switch_name, int port,
+                                            bool tagged) {
+  auto it = vlans_.find(vlan_id);
+  if (it == vlans_.end()) return Status::NotFound("no VLAN " + std::to_string(vlan_id));
+  if (!graph_.HasVertex(switch_name)) {
+    return Status::NotFound("no switch vertex: " + switch_name);
+  }
+  if (port < 0 || port >= graph_.PortCount(switch_name)) {
+    return Status::InvalidArgument("port out of range on " + switch_name);
+  }
+  for (const VlanMembership& member : it->second.members) {
+    if (member.switch_name == switch_name && member.port == port) {
+      return Status::AlreadyExists("port already in VLAN");
+    }
+  }
+  it->second.members.push_back(VlanMembership{switch_name, port, tagged});
+  Emit({EthernetEvent::Kind::kPortJoined, vlan_id, switch_name, port});
+  return Status::Ok();
+}
+
+Status EthernetSwitchManager::RemovePortFromVlan(std::uint16_t vlan_id,
+                                                 const std::string& switch_name,
+                                                 int port) {
+  auto it = vlans_.find(vlan_id);
+  if (it == vlans_.end()) return Status::NotFound("no VLAN " + std::to_string(vlan_id));
+  auto& members = it->second.members;
+  const std::size_t before = members.size();
+  std::erase_if(members, [&](const VlanMembership& m) {
+    return m.switch_name == switch_name && m.port == port;
+  });
+  if (members.size() == before) return Status::NotFound("port not in VLAN");
+  Emit({EthernetEvent::Kind::kPortLeft, vlan_id, switch_name, port});
+  return Status::Ok();
+}
+
+std::vector<std::uint16_t> EthernetSwitchManager::Vlans() const {
+  std::vector<std::uint16_t> ids;
+  ids.reserve(vlans_.size());
+  for (const auto& [id, vlan] : vlans_) ids.push_back(id);
+  return ids;
+}
+
+Result<std::string> EthernetSwitchManager::VlanName(std::uint16_t vlan_id) const {
+  auto it = vlans_.find(vlan_id);
+  if (it == vlans_.end()) return Status::NotFound("no VLAN " + std::to_string(vlan_id));
+  return it->second.name;
+}
+
+std::vector<VlanMembership> EthernetSwitchManager::VlanPorts(std::uint16_t vlan_id) const {
+  auto it = vlans_.find(vlan_id);
+  if (it == vlans_.end()) return {};
+  return it->second.members;
+}
+
+bool EthernetSwitchManager::DeviceInVlan(const Vlan& vlan, const std::string& device) const {
+  // A device is in the VLAN if any VLAN member port's peer is the device.
+  for (const VlanMembership& member : vlan.members) {
+    const auto peer = graph_.PeerOf(member.switch_name, member.port);
+    if (peer.has_value() && *peer == device) return true;
+  }
+  return false;
+}
+
+bool EthernetSwitchManager::CanCommunicate(std::uint16_t vlan_id,
+                                           const std::string& device_a,
+                                           const std::string& device_b) const {
+  auto it = vlans_.find(vlan_id);
+  if (it == vlans_.end()) return false;
+  if (!DeviceInVlan(it->second, device_a) || !DeviceInVlan(it->second, device_b)) {
+    return false;
+  }
+  return graph_.Reachable(device_a, device_b);
+}
+
+void EthernetSwitchManager::Subscribe(std::function<void(const EthernetEvent&)> listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+void EthernetSwitchManager::Emit(const EthernetEvent& event) {
+  for (const auto& listener : listeners_) listener(event);
+}
+
+}  // namespace ofmf::fabricsim

@@ -1,0 +1,74 @@
+// Ethernet switch-stack manager. Native idiom: VLANs with tagged/untagged
+// port membership, per-switch forwarding databases, and LACP-style port
+// groups — the "everyone has one" management fabric the OFMF also has to
+// cover (its control plane itself rides Ethernet).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "fabricsim/graph.hpp"
+
+namespace ofmf::fabricsim {
+
+struct VlanMembership {
+  std::string switch_name;
+  int port = 0;
+  bool tagged = false;
+};
+
+struct EthernetEvent {
+  enum class Kind { kVlanCreated, kVlanDeleted, kPortJoined, kPortLeft, kLinkFlap };
+  Kind kind;
+  std::uint16_t vlan_id = 0;
+  std::string switch_name;
+  int port = 0;
+};
+
+class EthernetSwitchManager {
+ public:
+  explicit EthernetSwitchManager(FabricGraph& graph);
+  ~EthernetSwitchManager();
+  EthernetSwitchManager(const EthernetSwitchManager&) = delete;
+  EthernetSwitchManager& operator=(const EthernetSwitchManager&) = delete;
+
+  /// VLAN ids 1-4094; VLAN 1 (default) always exists.
+  Status CreateVlan(std::uint16_t vlan_id, const std::string& name);
+  Status DeleteVlan(std::uint16_t vlan_id);
+  Status AddPortToVlan(std::uint16_t vlan_id, const std::string& switch_name, int port,
+                       bool tagged);
+  Status RemovePortFromVlan(std::uint16_t vlan_id, const std::string& switch_name, int port);
+
+  std::vector<std::uint16_t> Vlans() const;
+  Result<std::string> VlanName(std::uint16_t vlan_id) const;
+  std::vector<VlanMembership> VlanPorts(std::uint16_t vlan_id) const;
+
+  /// True when two devices can exchange frames in `vlan_id`: both attach (via
+  /// their uplink port's switch) to the VLAN and a live path exists.
+  bool CanCommunicate(std::uint16_t vlan_id, const std::string& device_a,
+                      const std::string& device_b) const;
+
+  void Subscribe(std::function<void(const EthernetEvent&)> listener);
+
+  static constexpr std::uint16_t kDefaultVlan = 1;
+
+ private:
+  struct Vlan {
+    std::string name;
+    std::vector<VlanMembership> members;
+  };
+  void Emit(const EthernetEvent& event);
+  bool DeviceInVlan(const Vlan& vlan, const std::string& device) const;
+
+  FabricGraph& graph_;
+  std::uint64_t link_token_ = 0;
+  std::map<std::uint16_t, Vlan> vlans_;
+  std::vector<std::function<void(const EthernetEvent&)>> listeners_;
+};
+
+}  // namespace ofmf::fabricsim

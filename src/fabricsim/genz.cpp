@@ -1,0 +1,135 @@
+#include "fabricsim/genz.hpp"
+
+#include <algorithm>
+
+namespace ofmf::fabricsim {
+
+GenzFabricManager::GenzFabricManager(FabricGraph& graph) : graph_(graph) {
+  link_token_ = graph_.SubscribeLinkChanges([this](const LinkChange& change) {
+    if (change.up) return;
+    for (const auto& [cid, component] : components_) {
+      if (component.vertex == change.id.a || component.vertex == change.id.b) {
+        Emit({GenzEvent::Kind::kInterfaceDown, cid, 0});
+      }
+    }
+  });
+}
+
+GenzFabricManager::~GenzFabricManager() { graph_.UnsubscribeLinkChanges(link_token_); }
+
+Result<Cid> GenzFabricManager::EnumerateComponent(const std::string& vertex,
+                                                  GenzComponentClass cls,
+                                                  std::uint64_t memory_bytes) {
+  if (!graph_.HasVertex(vertex)) return Status::NotFound("no fabric vertex: " + vertex);
+  for (const auto& [cid, component] : components_) {
+    if (component.vertex == vertex) {
+      return Status::AlreadyExists("vertex already enumerated: " + vertex);
+    }
+  }
+  if (cls == GenzComponentClass::kMemory && memory_bytes == 0) {
+    return Status::InvalidArgument("memory component needs non-zero capacity");
+  }
+  const Cid cid = next_cid_++;
+  components_[cid] = GenzComponent{cid, vertex, cls, memory_bytes};
+  Emit({GenzEvent::Kind::kComponentEnumerated, cid, 0});
+  return cid;
+}
+
+std::vector<GenzComponent> GenzFabricManager::Components() const {
+  std::vector<GenzComponent> out;
+  out.reserve(components_.size());
+  for (const auto& [cid, component] : components_) out.push_back(component);
+  return out;
+}
+
+Result<GenzComponent> GenzFabricManager::ComponentByCid(Cid cid) const {
+  auto it = components_.find(cid);
+  if (it == components_.end()) return Status::NotFound("no component CID " + std::to_string(cid));
+  return it->second;
+}
+
+Result<RKey> GenzFabricManager::CreateRegion(Cid responder, std::uint64_t offset,
+                                             std::uint64_t length) {
+  auto it = components_.find(responder);
+  if (it == components_.end()) {
+    return Status::NotFound("no component CID " + std::to_string(responder));
+  }
+  if (it->second.component_class != GenzComponentClass::kMemory) {
+    return Status::FailedPrecondition("responder is not a memory component");
+  }
+  if (length == 0 || offset + length > it->second.memory_bytes) {
+    return Status::InvalidArgument("region exceeds responder capacity");
+  }
+  // Reject overlap with existing regions on the same responder.
+  for (const auto& [rkey, region] : regions_) {
+    if (region.responder != responder) continue;
+    if (offset < region.offset + region.length && region.offset < offset + length) {
+      return Status::AlreadyExists("region overlaps existing R-Key region");
+    }
+  }
+  const RKey rkey = next_rkey_++;
+  regions_[rkey] = GenzRegion{rkey, responder, offset, length, {}};
+  Emit({GenzEvent::Kind::kRegionCreated, responder, rkey});
+  return rkey;
+}
+
+Status GenzFabricManager::DestroyRegion(RKey rkey) {
+  if (regions_.erase(rkey) == 0) return Status::NotFound("no region for R-Key");
+  return Status::Ok();
+}
+
+Status GenzFabricManager::GrantAccess(RKey rkey, Cid requester) {
+  auto region_it = regions_.find(rkey);
+  if (region_it == regions_.end()) return Status::NotFound("no region for R-Key");
+  if (components_.count(requester) == 0) {
+    return Status::NotFound("no component CID " + std::to_string(requester));
+  }
+  auto& requesters = region_it->second.requesters;
+  if (std::find(requesters.begin(), requesters.end(), requester) != requesters.end()) {
+    return Status::AlreadyExists("access already granted");
+  }
+  requesters.push_back(requester);
+  Emit({GenzEvent::Kind::kAccessGranted, requester, rkey});
+  return Status::Ok();
+}
+
+Status GenzFabricManager::RevokeAccess(RKey rkey, Cid requester) {
+  auto region_it = regions_.find(rkey);
+  if (region_it == regions_.end()) return Status::NotFound("no region for R-Key");
+  auto& requesters = region_it->second.requesters;
+  const auto found = std::find(requesters.begin(), requesters.end(), requester);
+  if (found == requesters.end()) return Status::NotFound("access not granted");
+  requesters.erase(found);
+  Emit({GenzEvent::Kind::kAccessRevoked, requester, rkey});
+  return Status::Ok();
+}
+
+bool GenzFabricManager::CanAccess(RKey rkey, Cid requester) const {
+  auto region_it = regions_.find(rkey);
+  if (region_it == regions_.end()) return false;
+  const auto& requesters = region_it->second.requesters;
+  if (std::find(requesters.begin(), requesters.end(), requester) == requesters.end()) {
+    return false;
+  }
+  auto responder_it = components_.find(region_it->second.responder);
+  auto requester_it = components_.find(requester);
+  if (responder_it == components_.end() || requester_it == components_.end()) return false;
+  return graph_.Reachable(requester_it->second.vertex, responder_it->second.vertex);
+}
+
+std::vector<GenzRegion> GenzFabricManager::Regions() const {
+  std::vector<GenzRegion> out;
+  out.reserve(regions_.size());
+  for (const auto& [rkey, region] : regions_) out.push_back(region);
+  return out;
+}
+
+void GenzFabricManager::Subscribe(std::function<void(const GenzEvent&)> listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+void GenzFabricManager::Emit(const GenzEvent& event) {
+  for (const auto& listener : listeners_) listener(event);
+}
+
+}  // namespace ofmf::fabricsim

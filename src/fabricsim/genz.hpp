@@ -1,0 +1,88 @@
+// Gen-Z-style memory-semantic fabric manager. Native idiom: components with
+// a Component ID (CID), interfaces, Region Keys (R-Keys) gating access to
+// memory regions, and a requester/responder model. Included because the OFA
+// demos drove a Gen-Z agent through the OFMF, and it exercises yet another
+// native API shape for the agent layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "fabricsim/graph.hpp"
+
+namespace ofmf::fabricsim {
+
+using Cid = std::uint32_t;
+using RKey = std::uint64_t;
+
+enum class GenzComponentClass { kProcessor, kMemory, kSwitch, kAccelerator, kIo };
+
+struct GenzComponent {
+  Cid cid = 0;
+  std::string vertex;
+  GenzComponentClass component_class = GenzComponentClass::kMemory;
+  std::uint64_t memory_bytes = 0;  // responders only
+};
+
+struct GenzRegion {
+  RKey rkey = 0;
+  Cid responder = 0;           // memory component exposing the region
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::vector<Cid> requesters;  // CIDs granted access
+};
+
+struct GenzEvent {
+  enum class Kind { kComponentEnumerated, kRegionCreated, kAccessGranted,
+                    kAccessRevoked, kInterfaceDown };
+  Kind kind;
+  Cid cid = 0;
+  RKey rkey = 0;
+};
+
+class GenzFabricManager {
+ public:
+  explicit GenzFabricManager(FabricGraph& graph);
+  ~GenzFabricManager();
+  GenzFabricManager(const GenzFabricManager&) = delete;
+  GenzFabricManager& operator=(const GenzFabricManager&) = delete;
+
+  /// Enumerates a component on an existing graph vertex; assigns a CID.
+  Result<Cid> EnumerateComponent(const std::string& vertex, GenzComponentClass cls,
+                                 std::uint64_t memory_bytes = 0);
+
+  std::vector<GenzComponent> Components() const;
+  Result<GenzComponent> ComponentByCid(Cid cid) const;
+
+  /// Carves a region out of a memory responder; returns its R-Key.
+  Result<RKey> CreateRegion(Cid responder, std::uint64_t offset, std::uint64_t length);
+  Status DestroyRegion(RKey rkey);
+
+  Status GrantAccess(RKey rkey, Cid requester);
+  Status RevokeAccess(RKey rkey, Cid requester);
+
+  /// True when `requester` can load/store the region: access granted and a
+  /// live fabric path exists.
+  bool CanAccess(RKey rkey, Cid requester) const;
+
+  std::vector<GenzRegion> Regions() const;
+
+  void Subscribe(std::function<void(const GenzEvent&)> listener);
+
+ private:
+  void Emit(const GenzEvent& event);
+
+  FabricGraph& graph_;
+  std::uint64_t link_token_ = 0;
+  std::map<Cid, GenzComponent> components_;
+  std::map<RKey, GenzRegion> regions_;
+  Cid next_cid_ = 0x100;
+  RKey next_rkey_ = 0xA000'0000'0000'0001ull;
+  std::vector<std::function<void(const GenzEvent&)>> listeners_;
+};
+
+}  // namespace ofmf::fabricsim

@@ -1,0 +1,317 @@
+#include "fabricsim/graph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace ofmf::fabricsim {
+
+std::string LinkId::ToString() const {
+  return a + ":" + std::to_string(a_port) + "<->" + b + ":" + std::to_string(b_port);
+}
+
+Status FabricGraph::AddVertex(const std::string& name, VertexKind kind, int port_count) {
+  if (name.empty()) return Status::InvalidArgument("vertex name must be non-empty");
+  if (port_count < 0) return Status::InvalidArgument("port_count must be >= 0");
+  if (vertices_.count(name) != 0) {
+    return Status::AlreadyExists("vertex already exists: " + name);
+  }
+  Vertex vertex{kind, port_count, std::vector<int>(static_cast<std::size_t>(port_count), -1)};
+  vertices_.emplace(name, std::move(vertex));
+  return Status::Ok();
+}
+
+bool FabricGraph::HasVertex(const std::string& name) const {
+  return vertices_.count(name) != 0;
+}
+
+std::vector<std::string> FabricGraph::Vertices(std::optional<VertexKind> kind) const {
+  std::vector<std::string> names;
+  for (const auto& [name, vertex] : vertices_) {
+    if (!kind.has_value() || vertex.kind == *kind) names.push_back(name);
+  }
+  return names;
+}
+
+int FabricGraph::PortCount(const std::string& name) const {
+  auto it = vertices_.find(name);
+  if (it == vertices_.end()) return -1;
+  return it->second.port_count;
+}
+
+Status FabricGraph::Connect(const std::string& a, int port_a, const std::string& b,
+                            int port_b, LinkQuality quality) {
+  auto va = vertices_.find(a);
+  auto vb = vertices_.find(b);
+  if (va == vertices_.end()) return Status::NotFound("unknown vertex: " + a);
+  if (vb == vertices_.end()) return Status::NotFound("unknown vertex: " + b);
+  if (a == b) return Status::InvalidArgument("self-links not allowed: " + a);
+  auto check_port = [](const Vertex& v, int port, const std::string& name) -> Status {
+    if (port < 0 || port >= v.port_count) {
+      return Status::InvalidArgument("port " + std::to_string(port) + " out of range on " + name);
+    }
+    if (v.port_links[static_cast<std::size_t>(port)] != -1) {
+      return Status::AlreadyExists("port " + std::to_string(port) + " already wired on " + name);
+    }
+    return Status::Ok();
+  };
+  OFMF_RETURN_IF_ERROR(check_port(va->second, port_a, a));
+  OFMF_RETURN_IF_ERROR(check_port(vb->second, port_b, b));
+
+  const int index = static_cast<int>(links_.size());
+  links_.push_back(LinkState{LinkId{a, port_a, b, port_b}, quality, true});
+  va->second.port_links[static_cast<std::size_t>(port_a)] = index;
+  vb->second.port_links[static_cast<std::size_t>(port_b)] = index;
+  return Status::Ok();
+}
+
+Status FabricGraph::SetLinkUp(const std::string& vertex, int port, bool up) {
+  auto it = vertices_.find(vertex);
+  if (it == vertices_.end()) return Status::NotFound("unknown vertex: " + vertex);
+  if (port < 0 || port >= it->second.port_count) {
+    return Status::InvalidArgument("port out of range: " + std::to_string(port));
+  }
+  const int index = it->second.port_links[static_cast<std::size_t>(port)];
+  if (index < 0) return Status::NotFound("no link on " + vertex + ":" + std::to_string(port));
+  LinkState& link = links_[static_cast<std::size_t>(index)];
+  if (link.up == up) return Status::Ok();
+  link.up = up;
+  Notify({link.id, up});
+  return Status::Ok();
+}
+
+Status FabricGraph::FailVertex(const std::string& vertex) {
+  auto it = vertices_.find(vertex);
+  if (it == vertices_.end()) return Status::NotFound("unknown vertex: " + vertex);
+  for (int port = 0; port < it->second.port_count; ++port) {
+    const int index = it->second.port_links[static_cast<std::size_t>(port)];
+    if (index < 0) continue;
+    LinkState& link = links_[static_cast<std::size_t>(index)];
+    if (link.up) {
+      link.up = false;
+      Notify({link.id, false});
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<LinkState> FabricGraph::Links() const { return links_; }
+
+std::vector<LinkState> FabricGraph::LinksAt(const std::string& vertex) const {
+  std::vector<LinkState> out;
+  for (const LinkState& link : links_) {
+    if (link.id.a == vertex || link.id.b == vertex) out.push_back(link);
+  }
+  return out;
+}
+
+std::optional<std::string> FabricGraph::PeerOf(const std::string& vertex, int port) const {
+  auto it = vertices_.find(vertex);
+  if (it == vertices_.end() || port < 0 || port >= it->second.port_count) {
+    return std::nullopt;
+  }
+  const int index = it->second.port_links[static_cast<std::size_t>(port)];
+  if (index < 0) return std::nullopt;
+  const LinkState& link = links_[static_cast<std::size_t>(index)];
+  return link.id.a == vertex ? link.id.b : link.id.a;
+}
+
+Result<PathInfo> FabricGraph::ShortestPath(const std::string& from,
+                                           const std::string& to) const {
+  if (vertices_.count(from) == 0) return Status::NotFound("unknown vertex: " + from);
+  if (vertices_.count(to) == 0) return Status::NotFound("unknown vertex: " + to);
+
+  // Adjacency over live links.
+  std::map<std::string, std::vector<const LinkState*>> adjacency;
+  for (const LinkState& link : links_) {
+    if (!link.up) continue;
+    adjacency[link.id.a].push_back(&link);
+    adjacency[link.id.b].push_back(&link);
+  }
+
+  std::map<std::string, double> dist;
+  std::map<std::string, std::pair<std::string, const LinkState*>> prev;
+  using QueueEntry = std::pair<double, std::string>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue;
+  dist[from] = 0.0;
+  queue.push({0.0, from});
+
+  while (!queue.empty()) {
+    const auto [d, name] = queue.top();
+    queue.pop();
+    if (d > dist[name]) continue;
+    if (name == to) break;
+    for (const LinkState* link : adjacency[name]) {
+      const std::string& peer = link->id.a == name ? link->id.b : link->id.a;
+      const double next = d + link->quality.latency_ns;
+      auto found = dist.find(peer);
+      if (found == dist.end() || next < found->second) {
+        dist[peer] = next;
+        prev[peer] = {name, link};
+        queue.push({next, peer});
+      }
+    }
+  }
+
+  if (dist.count(to) == 0) {
+    return Status::NotFound("no live path from " + from + " to " + to);
+  }
+  PathInfo path;
+  path.total_latency_ns = dist[to];
+  path.min_bandwidth_gbps = std::numeric_limits<double>::infinity();
+  std::string cursor = to;
+  while (cursor != from) {
+    path.hops.push_back(cursor);
+    const auto& [parent, link] = prev[cursor];
+    path.min_bandwidth_gbps = std::min(path.min_bandwidth_gbps, link->quality.bandwidth_gbps);
+    cursor = parent;
+  }
+  path.hops.push_back(from);
+  std::reverse(path.hops.begin(), path.hops.end());
+  if (path.hops.size() == 1) path.min_bandwidth_gbps = 0.0;
+  return path;
+}
+
+bool FabricGraph::Reachable(const std::string& from, const std::string& to) const {
+  if (from == to) return vertices_.count(from) != 0;
+  return ShortestPath(from, to).ok();
+}
+
+std::uint64_t FabricGraph::SubscribeLinkChanges(
+    std::function<void(const LinkChange&)> listener) {
+  const std::uint64_t token = next_token_++;
+  listeners_[token] = std::move(listener);
+  return token;
+}
+
+void FabricGraph::UnsubscribeLinkChanges(std::uint64_t token) { listeners_.erase(token); }
+
+int FabricGraph::LinkIndexOf(const LinkId& id) const {
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (links_[i].id == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+double FabricGraph::CommittedOnIndex(int index) const {
+  if (index < 0) return 0.0;
+  const LinkId& id = links_[static_cast<std::size_t>(index)].id;
+  double committed = 0.0;
+  for (const auto& [rid, reservation] : reservations_) {
+    if (reservation.degraded) continue;
+    for (const LinkId& link : reservation.path_links) {
+      if (link == id) committed += reservation.gbps;
+    }
+  }
+  return committed;
+}
+
+Status FabricGraph::PinReservation(Reservation& reservation) {
+  OFMF_ASSIGN_OR_RETURN(PathInfo path, ShortestPath(reservation.from, reservation.to));
+  // Recover the concrete links along the hop sequence and check headroom.
+  std::vector<LinkId> path_links;
+  for (std::size_t i = 0; i + 1 < path.hops.size(); ++i) {
+    const std::string& a = path.hops[i];
+    const std::string& b = path.hops[i + 1];
+    int best = -1;
+    double best_latency = 0.0;
+    for (std::size_t j = 0; j < links_.size(); ++j) {
+      const LinkState& link = links_[j];
+      if (!link.up) continue;
+      const bool connects = (link.id.a == a && link.id.b == b) ||
+                            (link.id.a == b && link.id.b == a);
+      if (!connects) continue;
+      if (best < 0 || link.quality.latency_ns < best_latency) {
+        best = static_cast<int>(j);
+        best_latency = link.quality.latency_ns;
+      }
+    }
+    if (best < 0) return Status::Internal("path hop without a live link");
+    const LinkState& link = links_[static_cast<std::size_t>(best)];
+    const double headroom = link.quality.bandwidth_gbps - CommittedOnIndex(best);
+    if (reservation.gbps > headroom + 1e-9) {
+      return Status::ResourceExhausted(
+          "link " + link.id.ToString() + " has only " + std::to_string(headroom) +
+          " Gbps headroom (requested " + std::to_string(reservation.gbps) + ")");
+    }
+    path_links.push_back(link.id);
+  }
+  reservation.path_links = std::move(path_links);
+  reservation.degraded = false;
+  return Status::Ok();
+}
+
+Result<std::uint64_t> FabricGraph::ReserveBandwidth(const std::string& from,
+                                                    const std::string& to, double gbps) {
+  if (gbps <= 0.0) return Status::InvalidArgument("reservation must be > 0 Gbps");
+  Reservation reservation;
+  reservation.id = next_reservation_;
+  reservation.from = from;
+  reservation.to = to;
+  reservation.gbps = gbps;
+  OFMF_RETURN_IF_ERROR(PinReservation(reservation));
+  ++next_reservation_;
+  const std::uint64_t id = reservation.id;
+  reservations_.emplace(id, std::move(reservation));
+  return id;
+}
+
+Status FabricGraph::ReleaseBandwidth(std::uint64_t reservation_id) {
+  if (reservations_.erase(reservation_id) == 0) {
+    return Status::NotFound("no reservation " + std::to_string(reservation_id));
+  }
+  return Status::Ok();
+}
+
+Result<FabricGraph::Reservation> FabricGraph::GetReservation(
+    std::uint64_t reservation_id) const {
+  auto it = reservations_.find(reservation_id);
+  if (it == reservations_.end()) {
+    return Status::NotFound("no reservation " + std::to_string(reservation_id));
+  }
+  return it->second;
+}
+
+std::vector<FabricGraph::Reservation> FabricGraph::Reservations() const {
+  std::vector<Reservation> out;
+  out.reserve(reservations_.size());
+  for (const auto& [id, reservation] : reservations_) out.push_back(reservation);
+  return out;
+}
+
+double FabricGraph::CommittedGbps(const std::string& vertex, int port) const {
+  auto it = vertices_.find(vertex);
+  if (it == vertices_.end() || port < 0 || port >= it->second.port_count) return 0.0;
+  return CommittedOnIndex(it->second.port_links[static_cast<std::size_t>(port)]);
+}
+
+Status FabricGraph::RepairReservation(std::uint64_t reservation_id) {
+  auto it = reservations_.find(reservation_id);
+  if (it == reservations_.end()) {
+    return Status::NotFound("no reservation " + std::to_string(reservation_id));
+  }
+  if (!it->second.degraded) return Status::Ok();
+  return PinReservation(it->second);
+}
+
+void FabricGraph::Notify(const LinkChange& change) {
+  // Degrade reservations pinned to a link that just died.
+  if (!change.up) {
+    for (auto& [id, reservation] : reservations_) {
+      if (reservation.degraded) continue;
+      for (const LinkId& link : reservation.path_links) {
+        if (link == change.id) {
+          reservation.degraded = true;
+          break;
+        }
+      }
+    }
+  }
+  // Copy: a listener may (un)subscribe re-entrantly.
+  std::vector<std::function<void(const LinkChange&)>> snapshot;
+  snapshot.reserve(listeners_.size());
+  for (const auto& [token, listener] : listeners_) snapshot.push_back(listener);
+  for (const auto& listener : snapshot) listener(change);
+}
+
+}  // namespace ofmf::fabricsim

@@ -1,0 +1,139 @@
+// Physical fabric topology shared by every technology-specific manager:
+// vertices (switches / endpoint devices), ports, and point-to-point links
+// with latency/bandwidth and an up/down state. Path computation avoids dead
+// links, which is what makes OFMF-driven fail-over observable end to end.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace ofmf::fabricsim {
+
+enum class VertexKind { kSwitch, kDevice };
+
+struct LinkQuality {
+  double latency_ns = 100.0;
+  double bandwidth_gbps = 100.0;
+};
+
+struct LinkId {
+  std::string a;
+  int a_port = 0;
+  std::string b;
+  int b_port = 0;
+
+  std::string ToString() const;
+  friend bool operator==(const LinkId&, const LinkId&) = default;
+};
+
+struct LinkState {
+  LinkId id;
+  LinkQuality quality;
+  bool up = true;
+};
+
+struct LinkChange {
+  LinkId id;
+  bool up;
+};
+
+struct PathInfo {
+  std::vector<std::string> hops;  // vertex names, endpoints included
+  double total_latency_ns = 0.0;
+  double min_bandwidth_gbps = 0.0;
+};
+
+class FabricGraph {
+ public:
+  /// Adds a vertex; `port_count` bounds Connect() port indices.
+  Status AddVertex(const std::string& name, VertexKind kind, int port_count);
+
+  bool HasVertex(const std::string& name) const;
+  std::vector<std::string> Vertices(std::optional<VertexKind> kind = std::nullopt) const;
+  int PortCount(const std::string& name) const;  // -1 if unknown
+
+  /// Connects a:port_a <-> b:port_b. Ports must be free and in range.
+  Status Connect(const std::string& a, int port_a, const std::string& b, int port_b,
+                 LinkQuality quality = {});
+
+  /// Marks the link carrying (vertex, port) down/up; fires listeners.
+  Status SetLinkUp(const std::string& vertex, int port, bool up);
+
+  /// Fails every link attached to `vertex` (switch death).
+  Status FailVertex(const std::string& vertex);
+
+  std::vector<LinkState> Links() const;
+  std::vector<LinkState> LinksAt(const std::string& vertex) const;
+
+  /// Lowest-latency path over live links (Dijkstra). NotFound if unreachable.
+  Result<PathInfo> ShortestPath(const std::string& from, const std::string& to) const;
+
+  bool Reachable(const std::string& from, const std::string& to) const;
+
+  /// Peer of (vertex, port) if connected and regardless of link state.
+  std::optional<std::string> PeerOf(const std::string& vertex, int port) const;
+
+  std::uint64_t SubscribeLinkChanges(std::function<void(const LinkChange&)> listener);
+  void UnsubscribeLinkChanges(std::uint64_t token);
+
+  // --- Bandwidth reservations (fabric QoS) -------------------------------
+  // A reservation holds `gbps` on every link of the lowest-latency live path
+  // from `from` to `to` at reservation time. Admission control: a link never
+  // commits more than its capacity. Reservations pin their path; if a link
+  // of the path dies the reservation is marked degraded (capacity released)
+  // until re-reserved.
+
+  struct Reservation {
+    std::uint64_t id = 0;
+    std::string from;
+    std::string to;
+    double gbps = 0.0;
+    std::vector<LinkId> path_links;
+    bool degraded = false;
+  };
+
+  /// Admits and pins a reservation; ResourceExhausted when any path link
+  /// lacks headroom, NotFound when no live path exists.
+  Result<std::uint64_t> ReserveBandwidth(const std::string& from, const std::string& to,
+                                         double gbps);
+  Status ReleaseBandwidth(std::uint64_t reservation_id);
+  Result<Reservation> GetReservation(std::uint64_t reservation_id) const;
+  std::vector<Reservation> Reservations() const;
+
+  /// Committed Gbps on the link carrying (vertex, port); 0 if none.
+  double CommittedGbps(const std::string& vertex, int port) const;
+
+  /// Re-pins a degraded reservation over the current topology (same
+  /// admission rules). No-op for healthy reservations.
+  Status RepairReservation(std::uint64_t reservation_id);
+
+ private:
+  struct Vertex {
+    VertexKind kind;
+    int port_count;
+    // port index -> link index into links_ (-1 free)
+    std::vector<int> port_links;
+  };
+
+  void Notify(const LinkChange& change);
+  /// Index into links_ for a LinkId; -1 when unknown.
+  int LinkIndexOf(const LinkId& id) const;
+  /// Sum of committed bandwidth on links_[index] across healthy reservations.
+  double CommittedOnIndex(int index) const;
+  Status PinReservation(Reservation& reservation);
+
+  std::map<std::string, Vertex> vertices_;
+  std::vector<LinkState> links_;
+  std::map<std::uint64_t, std::function<void(const LinkChange&)>> listeners_;
+  std::uint64_t next_token_ = 1;
+  std::map<std::uint64_t, Reservation> reservations_;
+  std::uint64_t next_reservation_ = 1;
+};
+
+}  // namespace ofmf::fabricsim

@@ -1,0 +1,155 @@
+#include "fabricsim/infiniband.hpp"
+
+namespace ofmf::fabricsim {
+
+IbSubnetManager::IbSubnetManager(FabricGraph& graph) : graph_(graph) {
+  partitions_[kDefaultPKey] = {};
+  link_token_ = graph_.SubscribeLinkChanges([this](const LinkChange& change) {
+    for (const std::string& end : {change.id.a, change.id.b}) {
+      auto it = lids_.find(end);
+      if (it != lids_.end()) {
+        Emit({change.up ? IbTrap::Kind::kPortUp : IbTrap::Kind::kPortDown, end,
+              it->second});
+      }
+    }
+  });
+}
+
+IbSubnetManager::~IbSubnetManager() { graph_.UnsubscribeLinkChanges(link_token_); }
+
+void IbSubnetManager::SweepSubnet() {
+  for (const std::string& vertex : graph_.Vertices()) {
+    if (lids_.count(vertex) == 0) {
+      lids_[vertex] = next_lid_++;
+      // New ports join the default partition as full members (IB default).
+      partitions_[kDefaultPKey][lids_[vertex]] = true;
+    }
+  }
+  Emit({IbTrap::Kind::kSweepComplete, "", 0});
+}
+
+std::vector<IbPortInfo> IbSubnetManager::ListPorts() const {
+  std::vector<IbPortInfo> ports;
+  for (const auto& [node, lid] : lids_) {
+    IbPortInfo info;
+    info.node = node;
+    info.lid = lid;
+    // A port is active if any attached link is up.
+    info.active = false;
+    for (const LinkState& link : graph_.LinksAt(node)) {
+      if (link.up) {
+        info.active = true;
+        break;
+      }
+    }
+    const auto switches = graph_.Vertices(VertexKind::kSwitch);
+    info.is_switch =
+        std::find(switches.begin(), switches.end(), node) != switches.end();
+    ports.push_back(info);
+  }
+  return ports;
+}
+
+Result<Lid> IbSubnetManager::LidOf(const std::string& node) const {
+  auto it = lids_.find(node);
+  if (it == lids_.end()) return Status::NotFound("node not swept: " + node);
+  return it->second;
+}
+
+Result<std::string> IbSubnetManager::NodeOf(Lid lid) const {
+  for (const auto& [node, l] : lids_) {
+    if (l == lid) return node;
+  }
+  return Status::NotFound("no node with LID " + std::to_string(lid));
+}
+
+Status IbSubnetManager::CreatePartition(PKey pkey) {
+  if (partitions_.count(pkey) != 0) {
+    return Status::AlreadyExists("partition exists: " + std::to_string(pkey));
+  }
+  partitions_[pkey] = {};
+  return Status::Ok();
+}
+
+Status IbSubnetManager::RemovePartition(PKey pkey) {
+  if (pkey == kDefaultPKey) {
+    return Status::PermissionDenied("default partition cannot be removed");
+  }
+  if (partitions_.erase(pkey) == 0) {
+    return Status::NotFound("no partition " + std::to_string(pkey));
+  }
+  return Status::Ok();
+}
+
+Status IbSubnetManager::AddPortToPartition(Lid lid, PKey pkey, bool full_member) {
+  auto it = partitions_.find(pkey);
+  if (it == partitions_.end()) return Status::NotFound("no partition " + std::to_string(pkey));
+  OFMF_ASSIGN_OR_RETURN(std::string node, NodeOf(lid));
+  (void)node;
+  it->second[lid] = full_member;
+  return Status::Ok();
+}
+
+Status IbSubnetManager::RemovePortFromPartition(Lid lid, PKey pkey) {
+  auto it = partitions_.find(pkey);
+  if (it == partitions_.end()) return Status::NotFound("no partition " + std::to_string(pkey));
+  if (it->second.erase(lid) == 0) {
+    return Status::NotFound("LID " + std::to_string(lid) + " not in partition");
+  }
+  return Status::Ok();
+}
+
+std::vector<PKey> IbSubnetManager::Partitions() const {
+  std::vector<PKey> keys;
+  keys.reserve(partitions_.size());
+  for (const auto& [pkey, members] : partitions_) keys.push_back(pkey);
+  return keys;
+}
+
+std::vector<std::pair<Lid, bool>> IbSubnetManager::PartitionMembers(PKey pkey) const {
+  std::vector<std::pair<Lid, bool>> members;
+  auto it = partitions_.find(pkey);
+  if (it == partitions_.end()) return members;
+  for (const auto& [lid, full] : it->second) members.emplace_back(lid, full);
+  return members;
+}
+
+Result<IbPathRecord> IbSubnetManager::QueryPathRecord(Lid src, Lid dst) const {
+  OFMF_ASSIGN_OR_RETURN(std::string src_node, NodeOf(src));
+  OFMF_ASSIGN_OR_RETURN(std::string dst_node, NodeOf(dst));
+
+  // Partition rule: some partition must contain both, and at least one end
+  // must be a full member (limited<->limited cannot communicate).
+  bool partition_ok = false;
+  for (const auto& [pkey, members] : partitions_) {
+    auto src_it = members.find(src);
+    auto dst_it = members.find(dst);
+    if (src_it == members.end() || dst_it == members.end()) continue;
+    if (src_it->second || dst_it->second) {
+      partition_ok = true;
+      break;
+    }
+  }
+  if (!partition_ok) {
+    return Status::PermissionDenied("LIDs " + std::to_string(src) + " and " +
+                                    std::to_string(dst) + " share no usable partition");
+  }
+  OFMF_ASSIGN_OR_RETURN(PathInfo path, graph_.ShortestPath(src_node, dst_node));
+  IbPathRecord record;
+  record.src_lid = src;
+  record.dst_lid = dst;
+  record.hops = std::move(path.hops);
+  record.latency_ns = path.total_latency_ns;
+  record.bandwidth_gbps = path.min_bandwidth_gbps;
+  return record;
+}
+
+void IbSubnetManager::Subscribe(std::function<void(const IbTrap&)> listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+void IbSubnetManager::Emit(const IbTrap& trap) {
+  for (const auto& listener : listeners_) listener(trap);
+}
+
+}  // namespace ofmf::fabricsim

@@ -1,0 +1,92 @@
+// InfiniBand-style subnet manager. Native idiom: a subnet sweep discovers
+// ports and assigns LIDs, partitions are 16-bit P_Keys with full/limited
+// membership, and communication requires a path record from the SM between
+// two LIDs sharing a partition. (The paper's production system used
+// 100 Gb/s EDR InfiniBand; this is the manager its agent drives.)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "fabricsim/graph.hpp"
+
+namespace ofmf::fabricsim {
+
+using Lid = std::uint16_t;
+using PKey = std::uint16_t;
+
+struct IbPortInfo {
+  std::string node;  // graph vertex (HCA or switch)
+  Lid lid = 0;
+  bool is_switch = false;
+  bool active = true;
+};
+
+struct IbPathRecord {
+  Lid src_lid = 0;
+  Lid dst_lid = 0;
+  std::vector<std::string> hops;
+  double latency_ns = 0.0;
+  double bandwidth_gbps = 0.0;
+};
+
+struct IbTrap {
+  enum class Kind { kPortUp, kPortDown, kSweepComplete };
+  Kind kind;
+  std::string node;
+  Lid lid = 0;
+};
+
+class IbSubnetManager {
+ public:
+  explicit IbSubnetManager(FabricGraph& graph);
+  ~IbSubnetManager();
+  IbSubnetManager(const IbSubnetManager&) = delete;
+  IbSubnetManager& operator=(const IbSubnetManager&) = delete;
+
+  /// Sweeps the subnet: every graph vertex gets a LID (stable across
+  /// sweeps); newly discovered vertices are appended. Emits kSweepComplete.
+  void SweepSubnet();
+
+  std::vector<IbPortInfo> ListPorts() const;
+  Result<Lid> LidOf(const std::string& node) const;
+  Result<std::string> NodeOf(Lid lid) const;
+
+  /// Creates a partition. P_Key 0x7FFF (default partition) always exists.
+  Status CreatePartition(PKey pkey);
+  Status RemovePartition(PKey pkey);
+  /// full_member=false gives "limited" membership (can talk to full members
+  /// only — the IB rule, enforced by QueryPathRecord).
+  Status AddPortToPartition(Lid lid, PKey pkey, bool full_member);
+  Status RemovePortFromPartition(Lid lid, PKey pkey);
+  std::vector<PKey> Partitions() const;
+  std::vector<std::pair<Lid, bool>> PartitionMembers(PKey pkey) const;
+
+  /// SM path query. Fails unless both LIDs share a partition (with at least
+  /// one full member) and a live route exists.
+  Result<IbPathRecord> QueryPathRecord(Lid src, Lid dst) const;
+
+  void Subscribe(std::function<void(const IbTrap&)> listener);
+
+  FabricGraph& graph() { return graph_; }
+
+  static constexpr PKey kDefaultPKey = 0x7FFF;
+
+ private:
+  void Emit(const IbTrap& trap);
+
+  FabricGraph& graph_;
+  std::uint64_t link_token_ = 0;
+  std::map<std::string, Lid> lids_;
+  Lid next_lid_ = 1;
+  // pkey -> (lid -> full_member)
+  std::map<PKey, std::map<Lid, bool>> partitions_;
+  std::vector<std::function<void(const IbTrap&)>> listeners_;
+};
+
+}  // namespace ofmf::fabricsim

@@ -1,0 +1,160 @@
+#include "fabricsim/nvmeof.hpp"
+
+#include <algorithm>
+
+namespace ofmf::fabricsim {
+
+NvmeofTargetManager::NvmeofTargetManager(FabricGraph& graph) : graph_(graph) {
+  link_token_ = graph_.SubscribeLinkChanges([this](const LinkChange& change) {
+    if (change.up) return;
+    // Declare kPathLost for every live controller whose route died.
+    for (NvmeController& controller : controllers_) {
+      if (!controller.connected) continue;
+      auto host_it = host_ports_.find(controller.host_nqn);
+      auto subsys_it = subsystems_.find(controller.subsystem_nqn);
+      if (host_it == host_ports_.end() || subsys_it == subsystems_.end()) continue;
+      if (!graph_.Reachable(host_it->second, subsys_it->second.target_device)) {
+        controller.connected = false;
+        Emit({NvmeofEvent::Kind::kPathLost, controller.subsystem_nqn, controller.host_nqn});
+      }
+    }
+  });
+}
+
+NvmeofTargetManager::~NvmeofTargetManager() { graph_.UnsubscribeLinkChanges(link_token_); }
+
+Status NvmeofTargetManager::CreateSubsystem(const std::string& nqn,
+                                            const std::string& target_device) {
+  if (nqn.rfind("nqn.", 0) != 0) {
+    return Status::InvalidArgument("subsystem NQN must start with 'nqn.': " + nqn);
+  }
+  if (!graph_.HasVertex(target_device)) {
+    return Status::NotFound("no fabric vertex: " + target_device);
+  }
+  if (subsystems_.count(nqn) != 0) {
+    return Status::AlreadyExists("subsystem exists: " + nqn);
+  }
+  NvmeSubsystem subsystem;
+  subsystem.nqn = nqn;
+  subsystem.target_device = target_device;
+  subsystems_.emplace(nqn, std::move(subsystem));
+  Emit({NvmeofEvent::Kind::kSubsystemCreated, nqn, ""});
+  return Status::Ok();
+}
+
+Status NvmeofTargetManager::DeleteSubsystem(const std::string& nqn) {
+  auto it = subsystems_.find(nqn);
+  if (it == subsystems_.end()) return Status::NotFound("no subsystem: " + nqn);
+  for (const NvmeController& controller : controllers_) {
+    if (controller.connected && controller.subsystem_nqn == nqn) {
+      return Status::FailedPrecondition("subsystem has live controllers: " + nqn);
+    }
+  }
+  subsystems_.erase(it);
+  return Status::Ok();
+}
+
+Status NvmeofTargetManager::AddNamespace(const std::string& nqn, std::uint32_t nsid,
+                                         std::uint64_t size_bytes) {
+  auto it = subsystems_.find(nqn);
+  if (it == subsystems_.end()) return Status::NotFound("no subsystem: " + nqn);
+  if (nsid == 0) return Status::InvalidArgument("nsid 0 is reserved");
+  for (const NvmeNamespace& ns : it->second.namespaces) {
+    if (ns.nsid == nsid) return Status::AlreadyExists("nsid in use: " + std::to_string(nsid));
+  }
+  it->second.namespaces.push_back(NvmeNamespace{nsid, size_bytes, true});
+  Emit({NvmeofEvent::Kind::kNamespaceAdded, nqn, ""});
+  return Status::Ok();
+}
+
+Status NvmeofTargetManager::AllowHost(const std::string& nqn, const std::string& host_nqn) {
+  auto it = subsystems_.find(nqn);
+  if (it == subsystems_.end()) return Status::NotFound("no subsystem: " + nqn);
+  auto& hosts = it->second.allowed_hosts;
+  if (std::find(hosts.begin(), hosts.end(), host_nqn) == hosts.end()) {
+    hosts.push_back(host_nqn);
+  }
+  return Status::Ok();
+}
+
+Status NvmeofTargetManager::SetAllowAnyHost(const std::string& nqn, bool allow) {
+  auto it = subsystems_.find(nqn);
+  if (it == subsystems_.end()) return Status::NotFound("no subsystem: " + nqn);
+  it->second.allow_any_host = allow;
+  return Status::Ok();
+}
+
+Status NvmeofTargetManager::RegisterHostPort(const std::string& host_nqn,
+                                             const std::string& vertex) {
+  if (!graph_.HasVertex(vertex)) return Status::NotFound("no fabric vertex: " + vertex);
+  host_ports_[host_nqn] = vertex;
+  return Status::Ok();
+}
+
+Result<NvmeController> NvmeofTargetManager::Connect(const std::string& host_nqn,
+                                                    const std::string& nqn) {
+  auto subsys_it = subsystems_.find(nqn);
+  if (subsys_it == subsystems_.end()) return Status::NotFound("no subsystem: " + nqn);
+  auto host_it = host_ports_.find(host_nqn);
+  if (host_it == host_ports_.end()) {
+    return Status::NotFound("host port not registered: " + host_nqn);
+  }
+  const NvmeSubsystem& subsystem = subsys_it->second;
+  const auto& allowed = subsystem.allowed_hosts;
+  if (!subsystem.allow_any_host &&
+      std::find(allowed.begin(), allowed.end(), host_nqn) == allowed.end()) {
+    return Status::PermissionDenied("host " + host_nqn + " not allowed on " + nqn);
+  }
+  if (!graph_.Reachable(host_it->second, subsystem.target_device)) {
+    return Status::Unavailable("no live fabric path to target of " + nqn);
+  }
+  NvmeController controller;
+  controller.cntlid = next_cntlid_++;
+  controller.host_nqn = host_nqn;
+  controller.subsystem_nqn = nqn;
+  controllers_.push_back(controller);
+  Emit({NvmeofEvent::Kind::kHostConnected, nqn, host_nqn});
+  return controller;
+}
+
+Status NvmeofTargetManager::Disconnect(std::uint16_t cntlid) {
+  for (NvmeController& controller : controllers_) {
+    if (controller.cntlid == cntlid) {
+      if (!controller.connected) {
+        return Status::FailedPrecondition("controller already disconnected");
+      }
+      controller.connected = false;
+      Emit({NvmeofEvent::Kind::kHostDisconnected, controller.subsystem_nqn,
+            controller.host_nqn});
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("no controller " + std::to_string(cntlid));
+}
+
+std::vector<NvmeSubsystem> NvmeofTargetManager::ListSubsystems() const {
+  std::vector<NvmeSubsystem> out;
+  out.reserve(subsystems_.size());
+  for (const auto& [nqn, subsystem] : subsystems_) out.push_back(subsystem);
+  return out;
+}
+
+Result<NvmeSubsystem> NvmeofTargetManager::GetSubsystem(const std::string& nqn) const {
+  auto it = subsystems_.find(nqn);
+  if (it == subsystems_.end()) return Status::NotFound("no subsystem: " + nqn);
+  return it->second;
+}
+
+std::vector<NvmeController> NvmeofTargetManager::ListControllers() const {
+  return controllers_;
+}
+
+void NvmeofTargetManager::Subscribe(std::function<void(const NvmeofEvent&)> listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+void NvmeofTargetManager::Emit(const NvmeofEvent& event) {
+  for (const auto& listener : listeners_) listener(event);
+}
+
+}  // namespace ofmf::fabricsim

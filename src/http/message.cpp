@@ -1,0 +1,148 @@
+#include "http/message.hpp"
+
+#include "common/strings.hpp"
+#include "http/uri.hpp"
+#include "json/parse.hpp"
+#include "json/serialize.hpp"
+
+namespace ofmf::http {
+
+const char* to_string(Method method) {
+  switch (method) {
+    case Method::kGet: return "GET";
+    case Method::kPost: return "POST";
+    case Method::kPatch: return "PATCH";
+    case Method::kPut: return "PUT";
+    case Method::kDelete: return "DELETE";
+    case Method::kHead: return "HEAD";
+    case Method::kOptions: return "OPTIONS";
+  }
+  return "?";
+}
+
+std::optional<Method> ParseMethod(const std::string& name) {
+  if (name == "GET") return Method::kGet;
+  if (name == "POST") return Method::kPost;
+  if (name == "PATCH") return Method::kPatch;
+  if (name == "PUT") return Method::kPut;
+  if (name == "DELETE") return Method::kDelete;
+  if (name == "HEAD") return Method::kHead;
+  if (name == "OPTIONS") return Method::kOptions;
+  return std::nullopt;
+}
+
+std::string ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 304: return "Not Modified";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 412: return "Precondition Failed";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 507: return "Insufficient Storage";
+    default: return "Status";
+  }
+}
+
+void HeaderMap::Set(const std::string& name, std::string value) {
+  Remove(name);
+  entries_.emplace_back(name, std::move(value));
+}
+
+void HeaderMap::Add(const std::string& name, std::string value) {
+  entries_.emplace_back(name, std::move(value));
+}
+
+std::optional<std::string> HeaderMap::Get(const std::string& name) const {
+  for (const auto& [k, v] : entries_) {
+    if (strings::EqualsIgnoreCase(k, name)) return v;
+  }
+  return std::nullopt;
+}
+
+std::string HeaderMap::GetOr(const std::string& name, const std::string& fallback) const {
+  if (auto v = Get(name)) return *v;
+  return fallback;
+}
+
+bool HeaderMap::Contains(const std::string& name) const {
+  return Get(name).has_value();
+}
+
+void HeaderMap::Remove(const std::string& name) {
+  std::erase_if(entries_, [&](const auto& kv) {
+    return strings::EqualsIgnoreCase(kv.first, name);
+  });
+}
+
+Result<json::Json> Request::JsonBody() const {
+  if (body.empty()) return Status::InvalidArgument("request body is empty");
+  return json::Parse(body);
+}
+
+Request MakeRequest(Method method, const std::string& target) {
+  Request request;
+  request.method = method;
+  request.target = target;
+  const ParsedUri uri = ParseUriTarget(target);
+  request.path = uri.path;
+  request.query = uri.query;
+  return request;
+}
+
+Request MakeJsonRequest(Method method, const std::string& target, const json::Json& body) {
+  Request request = MakeRequest(method, target);
+  request.body = json::Serialize(body);
+  request.headers.Set("Content-Type", "application/json");
+  return request;
+}
+
+Response MakeJsonResponse(int status, const json::Json& body) {
+  Response response;
+  response.status = status;
+  response.body = json::Serialize(body);
+  response.headers.Set("Content-Type", "application/json");
+  return response;
+}
+
+Response MakeTextResponse(int status, std::string text) {
+  Response response;
+  response.status = status;
+  response.body = std::move(text);
+  response.headers.Set("Content-Type", "text/plain");
+  return response;
+}
+
+Response MakeEmptyResponse(int status) {
+  Response response;
+  response.status = status;
+  return response;
+}
+
+int StatusToHttp(const Status& status) {
+  switch (status.code()) {
+    case ErrorCode::kOk: return 200;
+    case ErrorCode::kInvalidArgument: return 400;
+    case ErrorCode::kNotFound: return 404;
+    case ErrorCode::kAlreadyExists: return 409;
+    case ErrorCode::kPermissionDenied: return 403;
+    case ErrorCode::kFailedPrecondition: return 412;
+    case ErrorCode::kResourceExhausted: return 507;
+    case ErrorCode::kUnavailable: return 503;
+    case ErrorCode::kTimeout: return 503;
+    case ErrorCode::kInternal: return 500;
+    case ErrorCode::kUnimplemented: return 501;
+  }
+  return 500;
+}
+
+}  // namespace ofmf::http

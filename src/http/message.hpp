@@ -1,0 +1,77 @@
+// HTTP/1.1 message model: methods, status codes, case-insensitive header
+// map, request/response structs. The Redfish service is expressed entirely
+// in terms of these types, so it runs identically over the in-process
+// transport (tests, simulation) and the real TCP transport (examples).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "json/value.hpp"
+
+namespace ofmf::http {
+
+enum class Method { kGet, kPost, kPatch, kPut, kDelete, kHead, kOptions };
+
+const char* to_string(Method method);
+std::optional<Method> ParseMethod(const std::string& name);
+
+/// Reason phrase for common status codes ("404" -> "Not Found").
+std::string ReasonPhrase(int status);
+
+/// Case-insensitive (per RFC 9110) header multimap with last-write-wins Set.
+class HeaderMap {
+ public:
+  void Set(const std::string& name, std::string value);
+  void Add(const std::string& name, std::string value);
+  /// First value or nullopt.
+  std::optional<std::string> Get(const std::string& name) const;
+  std::string GetOr(const std::string& name, const std::string& fallback) const;
+  bool Contains(const std::string& name) const;
+  void Remove(const std::string& name);
+
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+struct Request {
+  Method method = Method::kGet;
+  std::string target;  // raw request target, e.g. "/redfish/v1?x=1"
+  std::string path;    // decoded path component
+  std::map<std::string, std::string> query;
+  HeaderMap headers;
+  std::string body;
+
+  /// Parses the body as JSON (InvalidArgument on malformed input).
+  Result<json::Json> JsonBody() const;
+};
+
+struct Response {
+  int status = 200;
+  HeaderMap headers;
+  std::string body;
+
+  bool ok() const { return status >= 200 && status < 300; }
+};
+
+/// Builds a request with `target` split into path + query.
+Request MakeRequest(Method method, const std::string& target);
+Request MakeJsonRequest(Method method, const std::string& target, const json::Json& body);
+
+Response MakeJsonResponse(int status, const json::Json& body);
+Response MakeTextResponse(int status, std::string text);
+/// 204-style empty response.
+Response MakeEmptyResponse(int status);
+
+/// Maps an internal Status to the Redfish-appropriate HTTP status code.
+int StatusToHttp(const Status& status);
+
+}  // namespace ofmf::http

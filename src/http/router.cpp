@@ -1,0 +1,98 @@
+#include "http/router.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+#include "http/uri.hpp"
+
+namespace ofmf::http {
+namespace {
+
+std::vector<std::string> SplitPath(const std::string& path) {
+  return strings::Split(NormalizePath(path), '/');
+}
+
+bool IsParam(const std::string& segment) {
+  return segment.size() >= 2 && segment.front() == '{' && segment.back() == '}';
+}
+
+}  // namespace
+
+void Router::Route(Method method, const std::string& path_template, Handler handler) {
+  RouteEntry entry;
+  entry.method = method;
+  entry.segments = SplitPath(path_template);
+  entry.handler = std::move(handler);
+  // Override an identical (method, template) registration.
+  for (RouteEntry& existing : routes_) {
+    if (existing.method == method && existing.segments == entry.segments) {
+      existing.handler = std::move(entry.handler);
+      return;
+    }
+  }
+  routes_.push_back(std::move(entry));
+}
+
+bool Router::MatchSegments(const std::vector<std::string>& segments,
+                           const std::vector<std::string>& path_parts,
+                           PathParams& params) {
+  if (segments.size() != path_parts.size()) return false;
+  PathParams bound;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    if (IsParam(segments[i])) {
+      bound[segments[i].substr(1, segments[i].size() - 2)] = path_parts[i];
+    } else if (segments[i] != path_parts[i]) {
+      return false;
+    }
+  }
+  params = std::move(bound);
+  return true;
+}
+
+Response Router::Dispatch(const Request& request) const {
+  const std::vector<std::string> parts = SplitPath(request.path);
+
+  // Prefer the match with the most literal segments (specificity).
+  const RouteEntry* best = nullptr;
+  PathParams best_params;
+  std::size_t best_literals = 0;
+  std::vector<std::string> allowed;  // methods that matched the path
+
+  for (const RouteEntry& entry : routes_) {
+    PathParams params;
+    if (!MatchSegments(entry.segments, parts, params)) continue;
+    allowed.push_back(to_string(entry.method));
+    if (entry.method != request.method) continue;
+    std::size_t literals = 0;
+    for (const std::string& segment : entry.segments) {
+      if (!IsParam(segment)) ++literals;
+    }
+    if (best == nullptr || literals > best_literals) {
+      best = &entry;
+      best_params = std::move(params);
+      best_literals = literals;
+    }
+  }
+
+  if (best != nullptr) return best->handler(request, best_params);
+
+  if (!allowed.empty()) {
+    std::sort(allowed.begin(), allowed.end());
+    allowed.erase(std::unique(allowed.begin(), allowed.end()), allowed.end());
+    Response response = MakeTextResponse(405, "method not allowed");
+    response.headers.Set("Allow", strings::Join(allowed, ", "));
+    return response;
+  }
+  return MakeTextResponse(404, "no route for " + request.path);
+}
+
+bool Router::Matches(const std::string& path) const {
+  const std::vector<std::string> parts = SplitPath(path);
+  for (const RouteEntry& entry : routes_) {
+    PathParams params;
+    if (MatchSegments(entry.segments, parts, params)) return true;
+  }
+  return false;
+}
+
+}  // namespace ofmf::http

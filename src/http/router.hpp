@@ -1,0 +1,48 @@
+// Path-template router: "/redfish/v1/Systems/{systemId}" binds {systemId}
+// into PathParams. Longest-literal-prefix specificity; 404 vs 405 handled
+// per RFC (405 carries an Allow header).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "http/message.hpp"
+
+namespace ofmf::http {
+
+using PathParams = std::map<std::string, std::string>;
+using Handler = std::function<Response(const Request&, const PathParams&)>;
+
+class Router {
+ public:
+  /// Registers `handler` for (method, template). Later registrations of the
+  /// same pair override earlier ones.
+  void Route(Method method, const std::string& path_template, Handler handler);
+
+  /// Dispatches; 404 if no template matches the path, 405 (with Allow) if a
+  /// template matches but not for this method.
+  Response Dispatch(const Request& request) const;
+
+  /// Matches a path against the route table without invoking the handler;
+  /// used by middleware (auth) to classify the target.
+  bool Matches(const std::string& path) const;
+
+  std::size_t route_count() const { return routes_.size(); }
+
+ private:
+  struct RouteEntry {
+    Method method;
+    std::vector<std::string> segments;  // literal or "{name}"
+    Handler handler;
+  };
+
+  static bool MatchSegments(const std::vector<std::string>& segments,
+                            const std::vector<std::string>& path_parts,
+                            PathParams& params);
+
+  std::vector<RouteEntry> routes_;
+};
+
+}  // namespace ofmf::http

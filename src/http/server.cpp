@@ -1,0 +1,191 @@
+#include "http/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+#include "http/wire.hpp"
+
+namespace ofmf::http {
+
+Result<Response> HttpClient::Get(const std::string& target) {
+  return Send(MakeRequest(Method::kGet, target));
+}
+
+Result<Response> HttpClient::PostJson(const std::string& target, const json::Json& body) {
+  return Send(MakeJsonRequest(Method::kPost, target, body));
+}
+
+Result<Response> HttpClient::PatchJson(const std::string& target, const json::Json& body) {
+  return Send(MakeJsonRequest(Method::kPatch, target, body));
+}
+
+Result<Response> HttpClient::Delete(const std::string& target) {
+  return Send(MakeRequest(Method::kDelete, target));
+}
+
+Result<Response> InProcessClient::Send(const Request& request) {
+  if (!handler_) return Status::Unavailable("no handler bound");
+  return handler_(request);
+}
+
+TcpServer::TcpServer() = default;
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start(ServerHandler handler, std::uint16_t port) {
+  if (running_.load()) return Status::FailedPrecondition("server already running");
+  handler_ = std::move(handler);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Internal("socket(): " + std::string(std::strerror(errno)));
+
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable("bind(): " + std::string(std::strerror(errno)));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("listen(): " + std::string(std::strerror(errno)));
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void TcpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  // Shut down the listener to unblock accept().
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void TcpServer::AcceptLoop() {
+  while (running_.load()) {
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof(peer);
+    const int fd = ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &peer_len);
+    if (fd < 0) {
+      if (!running_.load()) return;
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    connection_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void TcpServer::ServeConnection(int fd) {
+  WireParser parser(WireParser::Mode::kRequest);
+  char buffer[16384];
+  while (running_.load()) {
+    while (!parser.HasMessage()) {
+      const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+      if (n <= 0) {
+        ::close(fd);
+        return;
+      }
+      parser.Feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+      if (parser.Broken()) break;
+    }
+    Result<Request> request = parser.TakeRequest();
+    Response response;
+    bool close_after = false;
+    if (!request.ok()) {
+      response = MakeTextResponse(400, request.status().message());
+      close_after = true;
+    } else {
+      response = handler_(*request);
+      close_after =
+          strings::EqualsIgnoreCase(request->headers.GetOr("Connection", ""), "close");
+    }
+    response.headers.Set("Connection", close_after ? "close" : "keep-alive");
+    const std::string wire = SerializeResponse(response);
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+      const ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        ::close(fd);
+        return;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    if (close_after) break;
+  }
+  ::close(fd);
+}
+
+Result<Response> TcpClient::Send(const Request& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket(): " + std::string(std::strerror(errno)));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Status::Unavailable("connect(): " + std::string(std::strerror(errno)));
+  }
+
+  Request to_send = request;
+  to_send.headers.Set("Host", "127.0.0.1:" + std::to_string(port_));
+  to_send.headers.Set("Connection", "close");
+  const std::string wire = SerializeRequest(to_send);
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return Status::Unavailable("send(): " + std::string(std::strerror(errno)));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  WireParser parser(WireParser::Mode::kResponse);
+  char buffer[16384];
+  while (!parser.HasMessage()) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      ::close(fd);
+      return Status::Unavailable("recv(): " + std::string(std::strerror(errno)));
+    }
+    if (n == 0) break;  // peer closed; parser may or may not hold a message
+    parser.Feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+  }
+  ::close(fd);
+  if (!parser.HasMessage()) return Status::Unavailable("connection closed mid-response");
+  return parser.TakeResponse();
+}
+
+}  // namespace ofmf::http

@@ -1,0 +1,84 @@
+// Transports. HttpClient is the interface the OFMF client library and the
+// Composability Manager program against; InProcessClient binds directly to a
+// handler (tests, simulation), TcpServer/TcpClient speak real HTTP/1.1 over
+// loopback sockets (examples, interop).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.hpp"
+#include "http/message.hpp"
+
+namespace ofmf::http {
+
+using ServerHandler = std::function<Response(const Request&)>;
+
+/// Abstract client: issue one request, get one response.
+class HttpClient {
+ public:
+  virtual ~HttpClient() = default;
+  virtual Result<Response> Send(const Request& request) = 0;
+
+  // Convenience wrappers.
+  Result<Response> Get(const std::string& target);
+  Result<Response> PostJson(const std::string& target, const json::Json& body);
+  Result<Response> PatchJson(const std::string& target, const json::Json& body);
+  Result<Response> Delete(const std::string& target);
+};
+
+/// Zero-copy in-process transport.
+class InProcessClient : public HttpClient {
+ public:
+  explicit InProcessClient(ServerHandler handler) : handler_(std::move(handler)) {}
+  Result<Response> Send(const Request& request) override;
+
+ private:
+  ServerHandler handler_;
+};
+
+/// Blocking TCP server on 127.0.0.1 with a small accept/worker thread set.
+/// Keep-alive supported; one request at a time per connection.
+class TcpServer {
+ public:
+  TcpServer();
+  ~TcpServer();
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds an ephemeral (or given) port and starts the accept thread.
+  Status Start(ServerHandler handler, std::uint16_t port = 0);
+  void Stop();
+
+  std::uint16_t port() const { return port_; }
+  bool running() const { return running_.load(); }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> connection_threads_;
+  std::mutex threads_mu_;
+  ServerHandler handler_;
+};
+
+/// One-connection-per-request blocking client against 127.0.0.1:port.
+class TcpClient : public HttpClient {
+ public:
+  explicit TcpClient(std::uint16_t port) : port_(port) {}
+  Result<Response> Send(const Request& request) override;
+
+ private:
+  std::uint16_t port_;
+};
+
+}  // namespace ofmf::http

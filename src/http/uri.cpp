@@ -1,0 +1,98 @@
+#include "http/uri.hpp"
+
+#include <cctype>
+
+#include "common/strings.hpp"
+
+namespace ofmf::http {
+namespace {
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+bool IsUnreserved(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' || c == '.' ||
+         c == '_' || c == '~' || c == '/';
+}
+
+}  // namespace
+
+std::string PercentDecode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = HexValue(s[i + 1]);
+      const int lo = HexValue(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    if (s[i] == '+') {
+      out.push_back(' ');  // form-encoding convention used in query strings
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+std::string PercentEncode(const std::string& s) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (IsUnreserved(c)) {
+      out.push_back(c);
+    } else {
+      out.push_back('%');
+      out.push_back(kHex[static_cast<unsigned char>(c) >> 4]);
+      out.push_back(kHex[static_cast<unsigned char>(c) & 0xF]);
+    }
+  }
+  return out;
+}
+
+ParsedUri ParseUriTarget(const std::string& target) {
+  ParsedUri uri;
+  const std::size_t qmark = target.find('?');
+  const std::string raw_path = target.substr(0, qmark);
+  uri.path = NormalizePath(PercentDecode(raw_path));
+  if (qmark == std::string::npos) return uri;
+  const std::string raw_query = target.substr(qmark + 1);
+  for (const std::string& pair : strings::Split(raw_query, '&')) {
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      uri.query[PercentDecode(pair)] = "";
+    } else {
+      uri.query[PercentDecode(pair.substr(0, eq))] = PercentDecode(pair.substr(eq + 1));
+    }
+  }
+  return uri;
+}
+
+std::string NormalizePath(const std::string& path) {
+  std::string out;
+  out.reserve(path.size());
+  bool last_was_slash = false;
+  for (char c : path) {
+    if (c == '/') {
+      if (!last_was_slash) out.push_back(c);
+      last_was_slash = true;
+    } else {
+      out.push_back(c);
+      last_was_slash = false;
+    }
+  }
+  if (out.size() > 1 && out.back() == '/') out.pop_back();
+  if (out.empty()) out = "/";
+  return out;
+}
+
+}  // namespace ofmf::http

@@ -1,0 +1,26 @@
+// URI-target parsing and percent encoding (RFC 3986 subset sufficient for
+// Redfish request targets and OData query options).
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace ofmf::http {
+
+struct ParsedUri {
+  std::string path;  // percent-decoded
+  std::map<std::string, std::string> query;  // decoded keys/values
+};
+
+/// Parses an origin-form request target ("/a/b?x=1&y=2").
+ParsedUri ParseUriTarget(const std::string& target);
+
+std::string PercentDecode(const std::string& s);
+/// Encodes everything outside the unreserved set.
+std::string PercentEncode(const std::string& s);
+
+/// Normalizes a path: collapses duplicate '/', strips one trailing '/'.
+/// ("/redfish/v1/" -> "/redfish/v1"; "/" stays "/").
+std::string NormalizePath(const std::string& path);
+
+}  // namespace ofmf::http

@@ -1,0 +1,175 @@
+#include "http/wire.hpp"
+
+#include <cstdlib>
+
+#include "common/strings.hpp"
+#include "http/uri.hpp"
+
+namespace ofmf::http {
+namespace {
+
+void AppendHeaders(std::string& out, const HeaderMap& headers, std::size_t body_size) {
+  bool has_length = false;
+  for (const auto& [name, value] : headers.entries()) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+    if (strings::EqualsIgnoreCase(name, "Content-Length")) has_length = true;
+  }
+  if (!has_length) {
+    out += "Content-Length: " + std::to_string(body_size) + "\r\n";
+  }
+  out += "\r\n";
+}
+
+Result<HeaderMap> ParseHeaderBlock(std::string_view block) {
+  HeaderMap headers;
+  std::size_t pos = 0;
+  while (pos < block.size()) {
+    std::size_t eol = block.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = block.size();
+    const std::string_view line = block.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument("malformed header line");
+    }
+    const std::string name(strings::Trim(line.substr(0, colon)));
+    const std::string value(strings::Trim(line.substr(colon + 1)));
+    if (name.empty()) return Status::InvalidArgument("empty header name");
+    headers.Add(name, value);
+  }
+  return headers;
+}
+
+}  // namespace
+
+std::string SerializeRequest(const Request& request) {
+  std::string out;
+  out += to_string(request.method);
+  out += ' ';
+  out += request.target.empty() ? request.path : request.target;
+  out += " HTTP/1.1\r\n";
+  AppendHeaders(out, request.headers, request.body.size());
+  out += request.body;
+  return out;
+}
+
+std::string SerializeResponse(const Response& response) {
+  std::string out;
+  out += "HTTP/1.1 " + std::to_string(response.status) + " " +
+         ReasonPhrase(response.status) + "\r\n";
+  AppendHeaders(out, response.headers, response.body.size());
+  out += response.body;
+  return out;
+}
+
+void WireParser::Feed(std::string_view bytes) { buffer_.append(bytes); }
+
+bool WireParser::HeadersComplete(std::size_t& header_end,
+                                 std::size_t& content_length) const {
+  header_end = buffer_.find("\r\n\r\n");
+  if (header_end == std::string::npos) return false;
+  content_length = 0;
+  // Scan header block for Content-Length (case-insensitive).
+  const std::string_view block(buffer_.data(), header_end);
+  std::size_t pos = block.find("\r\n");
+  while (pos != std::string_view::npos && pos < block.size()) {
+    std::size_t eol = block.find("\r\n", pos + 2);
+    if (eol == std::string_view::npos) eol = block.size();
+    const std::string_view line = block.substr(pos + 2, eol - pos - 2);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string_view::npos) {
+      const std::string name(strings::Trim(line.substr(0, colon)));
+      if (strings::EqualsIgnoreCase(name, "Content-Length")) {
+        const std::string value(strings::Trim(line.substr(colon + 1)));
+        content_length = std::strtoull(value.c_str(), nullptr, 10);
+      }
+    }
+    pos = eol;
+  }
+  return true;
+}
+
+bool WireParser::HasMessage() const {
+  std::size_t header_end = 0;
+  std::size_t content_length = 0;
+  if (!HeadersComplete(header_end, content_length)) return false;
+  return buffer_.size() >= header_end + 4 + content_length;
+}
+
+Result<Request> WireParser::TakeRequest() {
+  std::size_t header_end = 0;
+  std::size_t content_length = 0;
+  if (!HeadersComplete(header_end, content_length) ||
+      buffer_.size() < header_end + 4 + content_length) {
+    return Status::FailedPrecondition("no complete message buffered");
+  }
+  const std::string head = buffer_.substr(0, header_end);
+  const std::string body = buffer_.substr(header_end + 4, content_length);
+  buffer_.erase(0, header_end + 4 + content_length);
+
+  const std::size_t line_end = head.find("\r\n");
+  const std::string start_line = head.substr(0, line_end);
+  const std::vector<std::string> parts = strings::Split(start_line, ' ');
+  if (parts.size() != 3 || !strings::StartsWith(parts[2], "HTTP/1.")) {
+    broken_ = true;
+    return Status::InvalidArgument("malformed request line: " + start_line);
+  }
+  const std::optional<Method> method = ParseMethod(parts[0]);
+  if (!method) {
+    broken_ = true;
+    return Status::InvalidArgument("unknown method: " + parts[0]);
+  }
+  Request request = MakeRequest(*method, parts[1]);
+  auto headers = ParseHeaderBlock(
+      line_end == std::string::npos ? std::string_view{}
+                                    : std::string_view(head).substr(line_end + 2));
+  if (!headers.ok()) {
+    broken_ = true;
+    return headers.status();
+  }
+  request.headers = std::move(*headers);
+  request.body = body;
+  return request;
+}
+
+Result<Response> WireParser::TakeResponse() {
+  std::size_t header_end = 0;
+  std::size_t content_length = 0;
+  if (!HeadersComplete(header_end, content_length) ||
+      buffer_.size() < header_end + 4 + content_length) {
+    return Status::FailedPrecondition("no complete message buffered");
+  }
+  const std::string head = buffer_.substr(0, header_end);
+  const std::string body = buffer_.substr(header_end + 4, content_length);
+  buffer_.erase(0, header_end + 4 + content_length);
+
+  const std::size_t line_end = head.find("\r\n");
+  const std::string start_line = head.substr(0, line_end);
+  const std::vector<std::string> parts = strings::Split(start_line, ' ');
+  if (parts.size() < 2 || !strings::StartsWith(parts[0], "HTTP/1.")) {
+    broken_ = true;
+    return Status::InvalidArgument("malformed status line: " + start_line);
+  }
+  Response response;
+  response.status = std::atoi(parts[1].c_str());
+  if (response.status < 100 || response.status > 599) {
+    broken_ = true;
+    return Status::InvalidArgument("bad status code: " + parts[1]);
+  }
+  auto headers = ParseHeaderBlock(
+      line_end == std::string::npos ? std::string_view{}
+                                    : std::string_view(head).substr(line_end + 2));
+  if (!headers.ok()) {
+    broken_ = true;
+    return headers.status();
+  }
+  response.headers = std::move(*headers);
+  response.body = body;
+  return response;
+}
+
+}  // namespace ofmf::http

@@ -1,0 +1,45 @@
+// HTTP/1.1 wire serialization and incremental parsing (Content-Length
+// framing; chunked encoding intentionally out of scope — Redfish payloads are
+// always length-framed here).
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+#include "http/message.hpp"
+
+namespace ofmf::http {
+
+std::string SerializeRequest(const Request& request);
+std::string SerializeResponse(const Response& response);
+
+/// Incremental parser usable for both directions. Feed bytes; poll for a
+/// complete message.
+class WireParser {
+ public:
+  enum class Mode { kRequest, kResponse };
+  explicit WireParser(Mode mode) : mode_(mode) {}
+
+  /// Appends raw bytes from the peer.
+  void Feed(std::string_view bytes);
+
+  /// True once a full message (headers + body) is buffered.
+  bool HasMessage() const;
+
+  /// Extracts the parsed request (Mode::kRequest only), consuming its bytes;
+  /// call only when HasMessage(). Leftover bytes stay buffered (pipelining).
+  Result<Request> TakeRequest();
+  Result<Response> TakeResponse();
+
+  /// Parse failure detected (malformed start line / headers).
+  bool Broken() const { return broken_; }
+
+ private:
+  bool HeadersComplete(std::size_t& header_end, std::size_t& content_length) const;
+
+  Mode mode_;
+  std::string buffer_;
+  mutable bool broken_ = false;
+};
+
+}  // namespace ofmf::http

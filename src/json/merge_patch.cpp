@@ -1,0 +1,50 @@
+#include "json/merge_patch.hpp"
+
+namespace ofmf::json {
+
+void MergePatch(Json& target, const Json& patch) {
+  if (!patch.is_object()) {
+    target = patch;
+    return;
+  }
+  if (!target.is_object()) target = Json::MakeObject();
+  Object& obj = target.as_object();
+  for (const auto& [key, value] : patch.as_object()) {
+    if (value.is_null()) {
+      obj.Erase(key);
+    } else if (value.is_object()) {
+      Json* child = obj.Find(key);
+      if (child == nullptr) child = &obj.Set(key, Json::MakeObject());
+      MergePatch(*child, value);
+    } else {
+      obj.Set(key, value);
+    }
+  }
+}
+
+Json DiffToMergePatch(const Json& from, const Json& to) {
+  if (!from.is_object() || !to.is_object()) {
+    return to;  // whole-value replacement
+  }
+  Json patch = Json::MakeObject();
+  Object& out = patch.as_object();
+  for (const auto& [key, to_value] : to.as_object()) {
+    const Json* from_value = from.as_object().Find(key);
+    if (from_value == nullptr) {
+      out.Set(key, to_value);
+    } else if (!(*from_value == to_value)) {
+      if (from_value->is_object() && to_value.is_object()) {
+        out.Set(key, DiffToMergePatch(*from_value, to_value));
+      } else {
+        out.Set(key, to_value);
+      }
+    }
+  }
+  for (const auto& [key, from_value] : from.as_object()) {
+    (void)from_value;
+    if (!to.as_object().Contains(key)) out.Set(key, Json(nullptr));
+  }
+  return patch;
+}
+
+}  // namespace ofmf::json

@@ -1,0 +1,15 @@
+// RFC 7386 JSON Merge Patch — the semantics Redfish PATCH uses: null deletes
+// a member, objects merge recursively, everything else replaces.
+#pragma once
+
+#include "json/value.hpp"
+
+namespace ofmf::json {
+
+/// Applies `patch` to `target` in place.
+void MergePatch(Json& target, const Json& patch);
+
+/// Computes a patch `p` such that MergePatch(from, p) == to for object trees.
+Json DiffToMergePatch(const Json& from, const Json& to);
+
+}  // namespace ofmf::json

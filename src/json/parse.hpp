@@ -1,0 +1,19 @@
+// Recursive-descent JSON parser (RFC 8259). Depth-limited so hostile inputs
+// from the wire cannot blow the stack.
+#pragma once
+
+#include <string_view>
+
+#include "common/result.hpp"
+#include "json/value.hpp"
+
+namespace ofmf::json {
+
+struct ParseOptions {
+  std::size_t max_depth = 128;
+};
+
+/// Parses exactly one JSON document; trailing non-whitespace is an error.
+Result<Json> Parse(std::string_view text, const ParseOptions& options = {});
+
+}  // namespace ofmf::json

@@ -1,0 +1,156 @@
+#include "json/pointer.hpp"
+
+#include <cstdlib>
+
+#include "common/strings.hpp"
+
+namespace ofmf::json {
+namespace {
+
+std::string UnescapeToken(const std::string& token) {
+  std::string out = strings::ReplaceAll(token, "~1", "/");
+  return strings::ReplaceAll(out, "~0", "~");
+}
+
+/// Resolves one step; nullptr if unresolvable.
+const Json* Step(const Json* node, const std::string& token) {
+  if (node->is_object()) {
+    return node->as_object().Find(token);
+  }
+  if (node->is_array()) {
+    if (!strings::IsDigits(token)) return nullptr;
+    const std::size_t index = std::strtoull(token.c_str(), nullptr, 10);
+    const Array& arr = node->as_array();
+    if (index >= arr.size()) return nullptr;
+    return &arr[index];
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> SplitPointer(const std::string& pointer) {
+  if (pointer.empty()) return std::vector<std::string>{};
+  if (pointer[0] != '/') {
+    return Status::InvalidArgument("JSON pointer must start with '/': " + pointer);
+  }
+  std::vector<std::string> tokens;
+  for (const std::string& raw :
+       strings::SplitKeepEmpty(std::string_view(pointer).substr(1), '/')) {
+    tokens.push_back(UnescapeToken(raw));
+  }
+  return tokens;
+}
+
+const Json* ResolvePointerRef(const Json& doc, const std::string& pointer) {
+  Result<std::vector<std::string>> tokens = SplitPointer(pointer);
+  if (!tokens.ok()) return nullptr;
+  const Json* node = &doc;
+  for (const std::string& token : *tokens) {
+    node = Step(node, token);
+    if (node == nullptr) return nullptr;
+  }
+  return node;
+}
+
+Result<Json> ResolvePointer(const Json& doc, const std::string& pointer) {
+  const Json* node = ResolvePointerRef(doc, pointer);
+  if (node == nullptr) return Status::NotFound("pointer not found: " + pointer);
+  return *node;
+}
+
+Status SetPointer(Json& doc, const std::string& pointer, Json value) {
+  OFMF_ASSIGN_OR_RETURN(std::vector<std::string> tokens, SplitPointer(pointer));
+  if (tokens.empty()) {
+    doc = std::move(value);
+    return Status::Ok();
+  }
+  Json* node = &doc;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (node->is_array()) {
+      if (!strings::IsDigits(token)) {
+        return Status::InvalidArgument("non-numeric array index: " + token);
+      }
+      const std::size_t index = std::strtoull(token.c_str(), nullptr, 10);
+      Array& arr = node->as_array();
+      if (index >= arr.size()) {
+        return Status::NotFound("array index out of range: " + token);
+      }
+      node = &arr[index];
+    } else {
+      if (!node->is_object()) *node = Json::MakeObject();
+      Object& obj = node->as_object();
+      Json* child = obj.Find(token);
+      if (child == nullptr) child = &obj.Set(token, Json::MakeObject());
+      node = child;
+    }
+  }
+  const std::string& last = tokens.back();
+  if (node->is_array()) {
+    Array& arr = node->as_array();
+    if (last == "-") {
+      arr.push_back(std::move(value));
+      return Status::Ok();
+    }
+    if (!strings::IsDigits(last)) {
+      return Status::InvalidArgument("non-numeric array index: " + last);
+    }
+    const std::size_t index = std::strtoull(last.c_str(), nullptr, 10);
+    if (index > arr.size()) return Status::NotFound("array index out of range: " + last);
+    if (index == arr.size()) {
+      arr.push_back(std::move(value));
+    } else {
+      arr[index] = std::move(value);
+    }
+    return Status::Ok();
+  }
+  if (!node->is_object()) *node = Json::MakeObject();
+  node->as_object().Set(last, std::move(value));
+  return Status::Ok();
+}
+
+Status RemovePointer(Json& doc, const std::string& pointer) {
+  OFMF_ASSIGN_OR_RETURN(std::vector<std::string> tokens, SplitPointer(pointer));
+  if (tokens.empty()) {
+    return Status::InvalidArgument("cannot remove whole document");
+  }
+  Json* node = &doc;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    Json* next = nullptr;
+    const std::string& token = tokens[i];
+    if (node->is_object()) {
+      next = node->as_object().Find(token);
+    } else if (node->is_array() && strings::IsDigits(token)) {
+      const std::size_t index = std::strtoull(token.c_str(), nullptr, 10);
+      if (index < node->as_array().size()) next = &node->as_array()[index];
+    }
+    if (next == nullptr) return Status::NotFound("pointer not found: " + pointer);
+    node = next;
+  }
+  const std::string& last = tokens.back();
+  if (node->is_object()) {
+    if (!node->as_object().Erase(last)) {
+      return Status::NotFound("member not found: " + last);
+    }
+    return Status::Ok();
+  }
+  if (node->is_array()) {
+    if (!strings::IsDigits(last)) {
+      return Status::InvalidArgument("non-numeric array index: " + last);
+    }
+    const std::size_t index = std::strtoull(last.c_str(), nullptr, 10);
+    Array& arr = node->as_array();
+    if (index >= arr.size()) return Status::NotFound("array index out of range");
+    arr.erase(arr.begin() + static_cast<std::ptrdiff_t>(index));
+    return Status::Ok();
+  }
+  return Status::NotFound("pointer parent is a scalar");
+}
+
+std::string EscapeToken(const std::string& token) {
+  std::string out = strings::ReplaceAll(token, "~", "~0");
+  return strings::ReplaceAll(out, "/", "~1");
+}
+
+}  // namespace ofmf::json

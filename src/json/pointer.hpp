@@ -1,0 +1,34 @@
+// RFC 6901 JSON Pointer: resolution and set-with-create. Redfish actions and
+// the schema validator both address into documents with pointers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "json/value.hpp"
+
+namespace ofmf::json {
+
+/// Splits a pointer ("/Members/0/Name") into decoded reference tokens.
+/// "" (whole document) yields an empty vector. Rejects pointers that do not
+/// start with '/'.
+Result<std::vector<std::string>> SplitPointer(const std::string& pointer);
+
+/// Resolves `pointer` in `doc`; NotFound if any step is missing.
+Result<Json> ResolvePointer(const Json& doc, const std::string& pointer);
+
+/// Const access without copying; nullptr if unresolved.
+const Json* ResolvePointerRef(const Json& doc, const std::string& pointer);
+
+/// Sets the value at `pointer`, creating intermediate objects for missing
+/// object steps. Array steps must be an existing index or "-" (append).
+Status SetPointer(Json& doc, const std::string& pointer, Json value);
+
+/// Removes the value at `pointer` (object member or array element).
+Status RemovePointer(Json& doc, const std::string& pointer);
+
+/// Escapes one reference token per RFC 6901 ("~" -> "~0", "/" -> "~1").
+std::string EscapeToken(const std::string& token);
+
+}  // namespace ofmf::json

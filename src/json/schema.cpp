@@ -1,0 +1,289 @@
+#include "json/schema.hpp"
+
+#include <cmath>
+#include <regex>
+
+#include "common/strings.hpp"
+#include "json/pointer.hpp"
+#include "json/serialize.hpp"
+
+namespace ofmf::json {
+namespace {
+
+constexpr int kMaxSchemaDepth = 64;
+
+bool TypeMatches(const std::string& name, const Json& instance) {
+  if (name == "null") return instance.is_null();
+  if (name == "boolean") return instance.is_bool();
+  if (name == "integer") return instance.is_int();
+  if (name == "number") return instance.is_number();
+  if (name == "string") return instance.is_string();
+  if (name == "array") return instance.is_array();
+  if (name == "object") return instance.is_object();
+  return false;
+}
+
+}  // namespace
+
+SchemaValidator::SchemaValidator(Json schema) : schema_(std::move(schema)) {}
+
+const Json* SchemaValidator::ResolveRef(const std::string& ref) const {
+  if (!strings::StartsWith(ref, "#")) return nullptr;  // remote refs unsupported
+  return ResolvePointerRef(schema_, ref.substr(1));
+}
+
+void SchemaValidator::ValidateNode(const Json& schema, const Json& instance,
+                                   const std::string& pointer,
+                                   std::vector<ValidationError>& errors,
+                                   int depth) const {
+  if (depth > kMaxSchemaDepth) {
+    errors.push_back({pointer, "schema nesting too deep"});
+    return;
+  }
+  // Boolean schemas: true accepts everything, false rejects everything.
+  if (schema.is_bool()) {
+    if (!schema.as_bool()) errors.push_back({pointer, "schema 'false' rejects all values"});
+    return;
+  }
+  if (!schema.is_object()) return;  // non-schema nodes accept
+
+  if (schema.Contains("$ref")) {
+    const Json* target = ResolveRef(schema.at("$ref").as_string());
+    if (target == nullptr) {
+      errors.push_back({pointer, "unresolvable $ref: " + schema.at("$ref").as_string()});
+      return;
+    }
+    ValidateNode(*target, instance, pointer, errors, depth + 1);
+    return;
+  }
+
+  // type
+  if (schema.Contains("type")) {
+    const Json& type = schema.at("type");
+    bool matched = false;
+    if (type.is_string()) {
+      matched = TypeMatches(type.as_string(), instance);
+    } else if (type.is_array()) {
+      for (const Json& t : type.as_array()) {
+        if (t.is_string() && TypeMatches(t.as_string(), instance)) {
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched) {
+      errors.push_back({pointer, "expected type " + Serialize(type) + ", got " +
+                                     std::string(to_string(instance.type()))});
+      return;  // further checks would be noise
+    }
+  }
+
+  // enum
+  if (schema.Contains("enum")) {
+    bool found = false;
+    for (const Json& candidate : schema.at("enum").as_array()) {
+      if (candidate == instance) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      errors.push_back({pointer, "value " + Serialize(instance) + " not in enum " +
+                                     Serialize(schema.at("enum"))});
+    }
+  }
+
+  // const
+  if (schema.Contains("const") && !(schema.at("const") == instance)) {
+    errors.push_back({pointer, "value must equal " + Serialize(schema.at("const"))});
+  }
+
+  // numeric bounds
+  if (instance.is_number()) {
+    const double v = instance.as_double();
+    if (schema.Contains("minimum") && v < schema.at("minimum").as_double()) {
+      errors.push_back({pointer, "below minimum " + Serialize(schema.at("minimum"))});
+    }
+    if (schema.Contains("maximum") && v > schema.at("maximum").as_double()) {
+      errors.push_back({pointer, "above maximum " + Serialize(schema.at("maximum"))});
+    }
+    if (schema.Contains("exclusiveMinimum") && v <= schema.at("exclusiveMinimum").as_double()) {
+      errors.push_back({pointer, "not above exclusiveMinimum"});
+    }
+    if (schema.Contains("exclusiveMaximum") && v >= schema.at("exclusiveMaximum").as_double()) {
+      errors.push_back({pointer, "not below exclusiveMaximum"});
+    }
+    if (schema.Contains("multipleOf")) {
+      const double m = schema.at("multipleOf").as_double();
+      if (m > 0) {
+        const double q = v / m;
+        if (std::abs(q - std::round(q)) > 1e-9) {
+          errors.push_back({pointer, "not a multiple of " + Serialize(schema.at("multipleOf"))});
+        }
+      }
+    }
+  }
+
+  // string constraints
+  if (instance.is_string()) {
+    const std::string& s = instance.as_string();
+    if (schema.Contains("minLength") &&
+        s.size() < static_cast<std::size_t>(schema.at("minLength").as_int())) {
+      errors.push_back({pointer, "string shorter than minLength"});
+    }
+    if (schema.Contains("maxLength") &&
+        s.size() > static_cast<std::size_t>(schema.at("maxLength").as_int())) {
+      errors.push_back({pointer, "string longer than maxLength"});
+    }
+    if (schema.Contains("pattern")) {
+      try {
+        const std::regex re(schema.at("pattern").as_string(), std::regex::ECMAScript);
+        if (!std::regex_search(s, re)) {
+          errors.push_back({pointer, "string does not match pattern " +
+                                         schema.at("pattern").as_string()});
+        }
+      } catch (const std::regex_error&) {
+        errors.push_back({pointer, "invalid pattern in schema"});
+      }
+    }
+  }
+
+  // array constraints
+  if (instance.is_array()) {
+    const Array& arr = instance.as_array();
+    if (schema.Contains("minItems") &&
+        arr.size() < static_cast<std::size_t>(schema.at("minItems").as_int())) {
+      errors.push_back({pointer, "fewer items than minItems"});
+    }
+    if (schema.Contains("maxItems") &&
+        arr.size() > static_cast<std::size_t>(schema.at("maxItems").as_int())) {
+      errors.push_back({pointer, "more items than maxItems"});
+    }
+    if (schema.Contains("items")) {
+      const Json& items = schema.at("items");
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        ValidateNode(items, arr[i], pointer + "/" + std::to_string(i), errors, depth + 1);
+      }
+    }
+  }
+
+  // object constraints
+  if (instance.is_object()) {
+    const Object& obj = instance.as_object();
+    if (schema.Contains("required")) {
+      for (const Json& req : schema.at("required").as_array()) {
+        if (req.is_string() && !obj.Contains(req.as_string())) {
+          errors.push_back({pointer, "missing required property '" + req.as_string() + "'"});
+        }
+      }
+    }
+    const Json& properties = schema.at("properties");
+    for (const auto& [key, value] : obj) {
+      const Json* prop_schema =
+          properties.is_object() ? properties.as_object().Find(key) : nullptr;
+      const std::string child_pointer = pointer + "/" + EscapeToken(key);
+      if (prop_schema != nullptr) {
+        ValidateNode(*prop_schema, value, child_pointer, errors, depth + 1);
+      } else if (schema.Contains("additionalProperties")) {
+        const Json& ap = schema.at("additionalProperties");
+        if (ap.is_bool() && !ap.as_bool()) {
+          errors.push_back({child_pointer, "property '" + key + "' not allowed"});
+        } else if (ap.is_object()) {
+          ValidateNode(ap, value, child_pointer, errors, depth + 1);
+        }
+      }
+    }
+    if (schema.Contains("minProperties") &&
+        obj.size() < static_cast<std::size_t>(schema.at("minProperties").as_int())) {
+      errors.push_back({pointer, "fewer properties than minProperties"});
+    }
+  }
+
+  // combinators
+  if (schema.Contains("anyOf")) {
+    bool any = false;
+    for (const Json& sub : schema.at("anyOf").as_array()) {
+      std::vector<ValidationError> sub_errors;
+      ValidateNode(sub, instance, pointer, sub_errors, depth + 1);
+      if (sub_errors.empty()) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) errors.push_back({pointer, "no anyOf branch matched"});
+  }
+  if (schema.Contains("allOf")) {
+    for (const Json& sub : schema.at("allOf").as_array()) {
+      ValidateNode(sub, instance, pointer, errors, depth + 1);
+    }
+  }
+  if (schema.Contains("oneOf")) {
+    int matches = 0;
+    for (const Json& sub : schema.at("oneOf").as_array()) {
+      std::vector<ValidationError> sub_errors;
+      ValidateNode(sub, instance, pointer, sub_errors, depth + 1);
+      if (sub_errors.empty()) ++matches;
+    }
+    if (matches != 1) {
+      errors.push_back({pointer, "expected exactly one oneOf branch, matched " +
+                                     std::to_string(matches)});
+    }
+  }
+  if (schema.Contains("not")) {
+    std::vector<ValidationError> sub_errors;
+    ValidateNode(schema.at("not"), instance, pointer, sub_errors, depth + 1);
+    if (sub_errors.empty()) errors.push_back({pointer, "matched forbidden 'not' schema"});
+  }
+}
+
+std::vector<ValidationError> SchemaValidator::Validate(const Json& instance) const {
+  std::vector<ValidationError> errors;
+  ValidateNode(schema_, instance, "", errors, 0);
+  return errors;
+}
+
+Status SchemaValidator::Check(const Json& instance) const {
+  const std::vector<ValidationError> errors = Validate(instance);
+  if (errors.empty()) return Status::Ok();
+  const ValidationError& first = errors.front();
+  const std::string where = first.pointer.empty() ? "<root>" : first.pointer;
+  return Status::InvalidArgument("schema violation at " + where + ": " + first.message +
+                                 (errors.size() > 1
+                                      ? " (+" + std::to_string(errors.size() - 1) + " more)"
+                                      : ""));
+}
+
+void SchemaValidator::CollectReadOnly(const Json& schema, const Json& body,
+                                      const std::string& pointer,
+                                      std::vector<ValidationError>& errors,
+                                      int depth) const {
+  if (depth > kMaxSchemaDepth || !schema.is_object()) return;
+  if (schema.Contains("$ref")) {
+    if (const Json* target = ResolveRef(schema.at("$ref").as_string())) {
+      CollectReadOnly(*target, body, pointer, errors, depth + 1);
+    }
+    return;
+  }
+  if (schema.GetBool("readonly", false)) {
+    errors.push_back({pointer, "property is read-only"});
+    return;
+  }
+  if (!body.is_object()) return;
+  const Json& properties = schema.at("properties");
+  if (!properties.is_object()) return;
+  for (const auto& [key, value] : body.as_object()) {
+    if (const Json* prop_schema = properties.as_object().Find(key)) {
+      CollectReadOnly(*prop_schema, value, pointer + "/" + EscapeToken(key), errors,
+                      depth + 1);
+    }
+  }
+}
+
+std::vector<ValidationError> SchemaValidator::ReadOnlyViolations(
+    const Json& patch_body) const {
+  std::vector<ValidationError> errors;
+  CollectReadOnly(schema_, patch_body, "", errors, 0);
+  return errors;
+}
+
+}  // namespace ofmf::json

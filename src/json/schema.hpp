@@ -1,0 +1,50 @@
+// JSON-Schema validator covering the subset Redfish schemas use: type(s),
+// properties / required / additionalProperties, enum, items + length bounds,
+// numeric bounds, string length/pattern, $defs/$ref (local refs only), and
+// the Redfish "readonly" annotation (enforced separately for PATCH bodies).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "json/value.hpp"
+
+namespace ofmf::json {
+
+struct ValidationError {
+  std::string pointer;  // location in the instance document
+  std::string message;
+};
+
+class SchemaValidator {
+ public:
+  /// `schema` must be an object (or boolean, per the spec). Local "$ref"
+  /// values of the form "#/$defs/Name" are resolved against the root schema.
+  explicit SchemaValidator(Json schema);
+
+  /// Full validation; returns every violation found (empty = valid).
+  std::vector<ValidationError> Validate(const Json& instance) const;
+
+  /// Convenience: OK or InvalidArgument with the first violation message.
+  Status Check(const Json& instance) const;
+
+  /// Walks `patch_body` against the schema and reports any member whose
+  /// schema carries `"readonly": true` (Redfish rejects such PATCHes).
+  std::vector<ValidationError> ReadOnlyViolations(const Json& patch_body) const;
+
+  const Json& schema() const { return schema_; }
+
+ private:
+  void ValidateNode(const Json& schema, const Json& instance,
+                    const std::string& pointer,
+                    std::vector<ValidationError>& errors, int depth) const;
+  const Json* ResolveRef(const std::string& ref) const;
+  void CollectReadOnly(const Json& schema, const Json& body,
+                       const std::string& pointer,
+                       std::vector<ValidationError>& errors, int depth) const;
+
+  Json schema_;
+};
+
+}  // namespace ofmf::json

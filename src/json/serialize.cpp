@@ -1,0 +1,126 @@
+#include "json/serialize.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ofmf::json {
+namespace {
+
+void AppendEscaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void AppendDouble(std::string& out, double v) {
+  if (std::isnan(v) || std::isinf(v)) {
+    // JSON has no NaN/Inf; emit null (matches common tooling behaviour).
+    out += "null";
+    return;
+  }
+  char buffer[32];
+  // %.17g round-trips doubles; trim to shortest form that re-parses equal.
+  for (int precision : {15, 16, 17}) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, v);
+    if (std::strtod(buffer, nullptr) == v) break;
+  }
+  out += buffer;
+  // Ensure a serialized double re-parses as a double, not an int.
+  std::string_view written(buffer);
+  if (written.find_first_of(".eE") == std::string_view::npos) out += ".0";
+}
+
+void Write(const Json& value, std::string& out, int indent, int depth) {
+  const bool pretty = indent >= 0;
+  auto newline = [&](int d) {
+    if (!pretty) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (value.type()) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += value.as_bool() ? "true" : "false"; break;
+    case Type::kInt: out += std::to_string(value.as_int()); break;
+    case Type::kDouble: AppendDouble(out, value.as_double()); break;
+    case Type::kString: AppendEscaped(out, value.as_string()); break;
+    case Type::kArray: {
+      const Array& arr = value.as_array();
+      if (arr.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      bool first = true;
+      for (const Json& item : arr) {
+        if (!first) out.push_back(',');
+        first = false;
+        newline(depth + 1);
+        Write(item, out, indent, depth + 1);
+      }
+      newline(depth);
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      const Object& obj = value.as_object();
+      if (obj.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : obj) {
+        if (!first) out.push_back(',');
+        first = false;
+        newline(depth + 1);
+        AppendEscaped(out, k);
+        out.push_back(':');
+        if (pretty) out.push_back(' ');
+        Write(v, out, indent, depth + 1);
+      }
+      newline(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Serialize(const Json& value) {
+  std::string out;
+  Write(value, out, -1, 0);
+  return out;
+}
+
+std::string SerializePretty(const Json& value) {
+  std::string out;
+  Write(value, out, 2, 0);
+  return out;
+}
+
+std::string QuoteString(std::string_view s) {
+  std::string out;
+  AppendEscaped(out, s);
+  return out;
+}
+
+}  // namespace ofmf::json

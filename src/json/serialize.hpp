@@ -1,0 +1,19 @@
+// JSON serialization: compact (wire) and pretty (logs, examples) forms.
+#pragma once
+
+#include <string>
+
+#include "json/value.hpp"
+
+namespace ofmf::json {
+
+/// Compact one-line serialization, round-trips through Parse().
+std::string Serialize(const Json& value);
+
+/// Two-space-indented pretty form.
+std::string SerializePretty(const Json& value);
+
+/// Escapes `s` per RFC 8259 and wraps it in quotes.
+std::string QuoteString(std::string_view s);
+
+}  // namespace ofmf::json

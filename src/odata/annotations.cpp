@@ -1,0 +1,40 @@
+#include "odata/annotations.hpp"
+
+namespace ofmf::odata {
+
+void Stamp(json::Json& resource, const std::string& odata_id,
+           const std::string& odata_type, const std::string& etag) {
+  if (!resource.is_object()) resource = json::Json::MakeObject();
+  // Rebuild with annotations first, preserving the rest of the order.
+  json::Object stamped;
+  stamped.Set("@odata.id", odata_id);
+  stamped.Set("@odata.type", odata_type);
+  if (!etag.empty()) stamped.Set("@odata.etag", etag);
+  for (const auto& [k, v] : resource.as_object()) {
+    if (k == "@odata.id" || k == "@odata.type" || k == "@odata.etag") continue;
+    stamped.Set(k, v);
+  }
+  resource = json::Json(std::move(stamped));
+}
+
+std::string IdOf(const json::Json& resource) {
+  return resource.GetString("@odata.id");
+}
+
+std::string TypeName(const std::string& ns, const std::string& version,
+                     const std::string& type) {
+  return "#" + ns + "." + version + "." + type;
+}
+
+json::Json Ref(const std::string& uri) {
+  return json::Json::Obj({{"@odata.id", uri}});
+}
+
+json::Json RefArray(const std::vector<std::string>& uris) {
+  json::Array refs;
+  refs.reserve(uris.size());
+  for (const std::string& uri : uris) refs.push_back(Ref(uri));
+  return json::Json(std::move(refs));
+}
+
+}  // namespace ofmf::odata

@@ -1,0 +1,30 @@
+// OData control-information annotations as profiled by Redfish: every
+// resource payload carries @odata.id / @odata.type / @odata.etag, and
+// collections carry Members@odata.count plus nextLink paging.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "json/value.hpp"
+
+namespace ofmf::odata {
+
+/// Stamps the three standard annotations onto `resource` (front of object).
+void Stamp(json::Json& resource, const std::string& odata_id,
+           const std::string& odata_type, const std::string& etag);
+
+/// Returns the "@odata.id" of a payload ("" if absent).
+std::string IdOf(const json::Json& resource);
+
+/// Builds "#Namespace.vX_Y_Z.TypeName" from parts.
+std::string TypeName(const std::string& ns, const std::string& version,
+                     const std::string& type);
+
+/// A navigation reference: {"@odata.id": "<uri>"}.
+json::Json Ref(const std::string& uri);
+
+/// An array of navigation references.
+json::Json RefArray(const std::vector<std::string>& uris);
+
+}  // namespace ofmf::odata

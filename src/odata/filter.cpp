@@ -1,0 +1,349 @@
+#include "odata/filter.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+#include "common/strings.hpp"
+
+namespace ofmf::odata {
+namespace {
+
+enum class TokenKind { kIdent, kString, kNumber, kLParen, kRParen, kEnd };
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  double number = 0.0;
+  bool is_int = false;
+  std::int64_t int_value = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= input_.size()) break;
+      const char c = input_[pos_];
+      if (c == '(') {
+        tokens.push_back({TokenKind::kLParen, "("});
+        ++pos_;
+      } else if (c == ')') {
+        tokens.push_back({TokenKind::kRParen, ")"});
+        ++pos_;
+      } else if (c == '\'') {
+        OFMF_ASSIGN_OR_RETURN(Token t, LexString());
+        tokens.push_back(std::move(t));
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+        OFMF_ASSIGN_OR_RETURN(Token t, LexNumber());
+        tokens.push_back(std::move(t));
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '@') {
+        tokens.push_back(LexIdent());
+      } else {
+        return Status::InvalidArgument("unexpected character '" + std::string(1, c) +
+                                       "' at offset " + std::to_string(pos_));
+      }
+    }
+    tokens.push_back({TokenKind::kEnd, ""});
+    return tokens;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Result<Token> LexString() {
+    ++pos_;  // opening quote
+    std::string value;
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_++];
+      if (c == '\'') {
+        // OData escapes a quote by doubling it.
+        if (pos_ < input_.size() && input_[pos_] == '\'') {
+          value.push_back('\'');
+          ++pos_;
+          continue;
+        }
+        return Token{TokenKind::kString, std::move(value)};
+      }
+      value.push_back(c);
+    }
+    return Status::InvalidArgument("unterminated string literal in $filter");
+  }
+
+  Result<Token> LexNumber() {
+    const std::size_t start = pos_;
+    if (input_[pos_] == '-') ++pos_;
+    bool has_digits = false;
+    bool is_double = false;
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        has_digits = true;
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                 (c == '-' && (input_[pos_ - 1] == 'e' || input_[pos_ - 1] == 'E'))) {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (!has_digits) return Status::InvalidArgument("malformed number in $filter");
+    const std::string text = input_.substr(start, pos_ - start);
+    Token token{TokenKind::kNumber, text};
+    if (is_double) {
+      token.number = std::strtod(text.c_str(), nullptr);
+    } else {
+      token.is_int = true;
+      token.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      token.number = static_cast<double>(token.int_value);
+    }
+    return token;
+  }
+
+  Token LexIdent() {
+    const std::size_t start = pos_;
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+          c == '/' || c == '@') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return {TokenKind::kIdent, input_.substr(start, pos_ - start)};
+  }
+
+  const std::string& input_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+// ------------------------------------------------------------------- AST ---
+
+class FilterExpr {
+ public:
+  virtual ~FilterExpr() = default;
+  virtual bool Eval(const json::Json& doc) const = 0;
+};
+
+namespace {
+
+const json::Json* NavigatePath(const json::Json& doc, const std::string& path) {
+  const json::Json* node = &doc;
+  for (const std::string& part : strings::Split(path, '/')) {
+    if (!node->is_object()) return nullptr;
+    node = node->as_object().Find(part);
+    if (node == nullptr) return nullptr;
+  }
+  return node;
+}
+
+enum class CompareOp { kEq, kNe, kGt, kGe, kLt, kLe };
+
+class ComparisonExpr : public FilterExpr {
+ public:
+  ComparisonExpr(std::string path, CompareOp op, json::Json literal)
+      : path_(std::move(path)), op_(op), literal_(std::move(literal)) {}
+
+  bool Eval(const json::Json& doc) const override {
+    const json::Json* node = NavigatePath(doc, path_);
+    const json::Json& value = node != nullptr ? *node : json::NullJson();
+
+    if (op_ == CompareOp::kEq || op_ == CompareOp::kNe) {
+      bool equal;
+      if (value.is_number() && literal_.is_number()) {
+        equal = value.as_double() == literal_.as_double();
+      } else {
+        equal = value == literal_;
+      }
+      return op_ == CompareOp::kEq ? equal : !equal;
+    }
+    // Ordering: numbers compare numerically, strings lexicographically;
+    // mixed/absent operands fail the comparison.
+    if (value.is_number() && literal_.is_number()) {
+      return Order(value.as_double(), literal_.as_double());
+    }
+    if (value.is_string() && literal_.is_string()) {
+      return Order(value.as_string().compare(literal_.as_string()), 0);
+    }
+    return false;
+  }
+
+ private:
+  template <typename T>
+  bool Order(T lhs, T rhs) const {
+    switch (op_) {
+      case CompareOp::kGt: return lhs > rhs;
+      case CompareOp::kGe: return lhs >= rhs;
+      case CompareOp::kLt: return lhs < rhs;
+      case CompareOp::kLe: return lhs <= rhs;
+      default: return false;
+    }
+  }
+
+  std::string path_;
+  CompareOp op_;
+  json::Json literal_;
+};
+
+class NotExpr : public FilterExpr {
+ public:
+  explicit NotExpr(std::unique_ptr<FilterExpr> inner) : inner_(std::move(inner)) {}
+  bool Eval(const json::Json& doc) const override { return !inner_->Eval(doc); }
+
+ private:
+  std::unique_ptr<FilterExpr> inner_;
+};
+
+class BinaryExpr : public FilterExpr {
+ public:
+  BinaryExpr(bool is_and, std::unique_ptr<FilterExpr> lhs, std::unique_ptr<FilterExpr> rhs)
+      : is_and_(is_and), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  bool Eval(const json::Json& doc) const override {
+    if (is_and_) return lhs_->Eval(doc) && rhs_->Eval(doc);
+    return lhs_->Eval(doc) || rhs_->Eval(doc);
+  }
+
+ private:
+  bool is_and_;
+  std::unique_ptr<FilterExpr> lhs_;
+  std::unique_ptr<FilterExpr> rhs_;
+};
+
+// ---------------------------------------------------------------- Parser ---
+
+class FilterParser {
+ public:
+  explicit FilterParser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<FilterExpr>> Run() {
+    OFMF_ASSIGN_OR_RETURN(std::unique_ptr<FilterExpr> expr, ParseOr());
+    if (Current().kind != TokenKind::kEnd) {
+      return Status::InvalidArgument("unexpected trailing tokens in $filter");
+    }
+    return expr;
+  }
+
+ private:
+  const Token& Current() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+
+  bool ConsumeKeyword(const char* keyword) {
+    if (Current().kind == TokenKind::kIdent &&
+        strings::EqualsIgnoreCase(Current().text, keyword)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::unique_ptr<FilterExpr>> ParseOr() {
+    OFMF_ASSIGN_OR_RETURN(std::unique_ptr<FilterExpr> lhs, ParseAnd());
+    while (ConsumeKeyword("or")) {
+      OFMF_ASSIGN_OR_RETURN(std::unique_ptr<FilterExpr> rhs, ParseAnd());
+      lhs = std::make_unique<BinaryExpr>(false, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<FilterExpr>> ParseAnd() {
+    OFMF_ASSIGN_OR_RETURN(std::unique_ptr<FilterExpr> lhs, ParseUnary());
+    while (ConsumeKeyword("and")) {
+      OFMF_ASSIGN_OR_RETURN(std::unique_ptr<FilterExpr> rhs, ParseUnary());
+      lhs = std::make_unique<BinaryExpr>(true, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<FilterExpr>> ParseUnary() {
+    if (ConsumeKeyword("not")) {
+      OFMF_ASSIGN_OR_RETURN(std::unique_ptr<FilterExpr> inner, ParseUnary());
+      return std::unique_ptr<FilterExpr>(std::make_unique<NotExpr>(std::move(inner)));
+    }
+    if (Current().kind == TokenKind::kLParen) {
+      Advance();
+      OFMF_ASSIGN_OR_RETURN(std::unique_ptr<FilterExpr> inner, ParseOr());
+      if (Current().kind != TokenKind::kRParen) {
+        return Status::InvalidArgument("missing ')' in $filter");
+      }
+      Advance();
+      return inner;
+    }
+    return ParseComparison();
+  }
+
+  Result<std::unique_ptr<FilterExpr>> ParseComparison() {
+    if (Current().kind != TokenKind::kIdent) {
+      return Status::InvalidArgument("expected property path in $filter");
+    }
+    const std::string path = Current().text;
+    Advance();
+
+    if (Current().kind != TokenKind::kIdent) {
+      return Status::InvalidArgument("expected comparison operator after '" + path + "'");
+    }
+    const std::string op_text = strings::ToLower(Current().text);
+    CompareOp op;
+    if (op_text == "eq") op = CompareOp::kEq;
+    else if (op_text == "ne") op = CompareOp::kNe;
+    else if (op_text == "gt") op = CompareOp::kGt;
+    else if (op_text == "ge") op = CompareOp::kGe;
+    else if (op_text == "lt") op = CompareOp::kLt;
+    else if (op_text == "le") op = CompareOp::kLe;
+    else return Status::InvalidArgument("unknown operator '" + op_text + "' in $filter");
+    Advance();
+
+    json::Json literal;
+    const Token& value = Current();
+    switch (value.kind) {
+      case TokenKind::kString: literal = json::Json(value.text); break;
+      case TokenKind::kNumber:
+        literal = value.is_int ? json::Json(value.int_value) : json::Json(value.number);
+        break;
+      case TokenKind::kIdent:
+        if (strings::EqualsIgnoreCase(value.text, "true")) literal = json::Json(true);
+        else if (strings::EqualsIgnoreCase(value.text, "false")) literal = json::Json(false);
+        else if (strings::EqualsIgnoreCase(value.text, "null")) literal = json::Json(nullptr);
+        else return Status::InvalidArgument("bad literal '" + value.text + "' in $filter");
+        break;
+      default:
+        return Status::InvalidArgument("expected literal in $filter");
+    }
+    Advance();
+    return std::unique_ptr<FilterExpr>(
+        std::make_unique<ComparisonExpr>(path, op, std::move(literal)));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Filter::Filter(std::unique_ptr<FilterExpr> root) : root_(std::move(root)) {}
+Filter::Filter(Filter&&) noexcept = default;
+Filter& Filter::operator=(Filter&&) noexcept = default;
+Filter::~Filter() = default;
+
+Result<Filter> Filter::Compile(const std::string& expression) {
+  OFMF_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer(expression).Run());
+  OFMF_ASSIGN_OR_RETURN(std::unique_ptr<FilterExpr> root,
+                        FilterParser(std::move(tokens)).Run());
+  return Filter(std::move(root));
+}
+
+bool Filter::Matches(const json::Json& doc) const { return root_->Eval(doc); }
+
+}  // namespace ofmf::odata

@@ -1,0 +1,40 @@
+// $filter expression language (the subset Redfish clients actually use):
+//   expr     := or_expr
+//   or_expr  := and_expr ('or' and_expr)*
+//   and_expr := unary ('and' unary)*
+//   unary    := 'not' unary | '(' expr ')' | comparison
+//   compare  := path op literal
+//   op       := eq | ne | gt | ge | lt | le
+//   path     := Identifier ('/' Identifier)*   (navigates nested objects)
+//   literal  := 'string' | number | true | false | null
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/result.hpp"
+#include "json/value.hpp"
+
+namespace ofmf::odata {
+
+class FilterExpr;
+
+/// Compiled filter; apply to candidate payloads.
+class Filter {
+ public:
+  /// Parses `expression`; InvalidArgument with position info on bad syntax.
+  static Result<Filter> Compile(const std::string& expression);
+
+  Filter(Filter&&) noexcept;
+  Filter& operator=(Filter&&) noexcept;
+  ~Filter();
+
+  /// True if `doc` satisfies the filter. Missing paths compare as null.
+  bool Matches(const json::Json& doc) const;
+
+ private:
+  explicit Filter(std::unique_ptr<FilterExpr> root);
+  std::unique_ptr<FilterExpr> root_;
+};
+
+}  // namespace ofmf::odata

@@ -1,0 +1,100 @@
+#include "odata/query.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/strings.hpp"
+
+namespace ofmf::odata {
+namespace {
+
+Result<std::size_t> ParseCount(const std::string& name, const std::string& value) {
+  if (!strings::IsDigits(value)) {
+    return Status::InvalidArgument("query option " + name + " must be a non-negative integer");
+  }
+  return static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10));
+}
+
+}  // namespace
+
+Result<QueryOptions> ParseQueryOptions(const std::map<std::string, std::string>& query) {
+  QueryOptions options;
+  for (const auto& [key, value] : query) {
+    if (key == "$top") {
+      OFMF_ASSIGN_OR_RETURN(std::size_t top, ParseCount("$top", value));
+      options.top = top;
+    } else if (key == "$skip") {
+      OFMF_ASSIGN_OR_RETURN(std::size_t skip, ParseCount("$skip", value));
+      options.skip = skip;
+    } else if (key == "$select") {
+      for (const std::string& name : strings::Split(value, ',')) {
+        options.select.emplace_back(strings::Trim(name));
+      }
+    } else if (key == "$expand") {
+      // Redfish profiles $expand to ".", "*" or levels; we treat any value
+      // as one-level expansion.
+      options.expand = true;
+    } else if (key == "$filter") {
+      options.filter = value;
+    }
+    // Unknown options ignored.
+  }
+  return options;
+}
+
+void ApplyPaging(json::Json& collection, const QueryOptions& options,
+                 const std::string& self_uri) {
+  if (!collection.is_object()) return;
+  json::Json* members = collection.as_object().Find("Members");
+  if (members == nullptr || !members->is_array()) return;
+  // NOTE: mutate the array fully before touching the parent object — Set()
+  // on the object may reallocate its member storage and dangle `members`.
+  json::Array& arr = members->as_array();
+  const std::size_t total = arr.size();
+
+  const std::size_t begin = std::min(options.skip, total);
+  std::size_t end = total;
+  if (options.top.has_value()) end = std::min(total, begin + *options.top);
+
+  if (begin != 0 || end != total) {
+    json::Array page(arr.begin() + static_cast<std::ptrdiff_t>(begin),
+                     arr.begin() + static_cast<std::ptrdiff_t>(end));
+    arr = std::move(page);
+  }
+  collection.as_object().Set("Members@odata.count", static_cast<std::int64_t>(total));
+  if (begin != 0 || end != total) {
+    if (end < total) {
+      const std::size_t next_skip = end;
+      std::string link = self_uri + "?$skip=" + std::to_string(next_skip);
+      if (options.top.has_value()) link += "&$top=" + std::to_string(*options.top);
+      collection.as_object().Set("@odata.nextLink", link);
+    }
+  }
+}
+
+void ApplySelect(json::Json& resource, const std::vector<std::string>& select) {
+  if (select.empty() || !resource.is_object()) return;
+  json::Object projected;
+  for (const auto& [k, v] : resource.as_object()) {
+    const bool control = strings::StartsWith(k, "@odata.");
+    const bool selected =
+        std::find(select.begin(), select.end(), k) != select.end();
+    if (control || selected) projected.Set(k, v);
+  }
+  resource = json::Json(std::move(projected));
+}
+
+void ApplyExpand(json::Json& collection,
+                 const std::function<Result<json::Json>(const std::string&)>& fetch) {
+  if (!collection.is_object()) return;
+  json::Json* members = collection.as_object().Find("Members");
+  if (members == nullptr || !members->is_array()) return;
+  for (json::Json& entry : members->as_array()) {
+    const std::string uri = entry.GetString("@odata.id");
+    if (uri.empty()) continue;
+    Result<json::Json> expanded = fetch(uri);
+    if (expanded.ok()) entry = std::move(*expanded);
+  }
+}
+
+}  // namespace ofmf::odata

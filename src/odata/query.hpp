@@ -1,0 +1,44 @@
+// OData query options over a materialized collection payload: $top/$skip
+// paging (with @odata.nextLink), $select projection, and $expand (one level:
+// replaces {"@odata.id": u} references with the referenced payloads).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "json/value.hpp"
+
+namespace ofmf::odata {
+
+struct QueryOptions {
+  std::optional<std::size_t> top;
+  std::size_t skip = 0;
+  std::vector<std::string> select;  // top-level property names
+  bool expand = false;
+  std::string filter;  // raw $filter expression ("" = none)
+};
+
+/// Extracts the options this implementation understands from a parsed query
+/// map; unknown options are ignored (per the Redfish forgiveness rule),
+/// malformed values are errors.
+Result<QueryOptions> ParseQueryOptions(const std::map<std::string, std::string>& query);
+
+/// Applies $skip/$top to `collection`'s "Members" array, updating
+/// "Members@odata.count" (total, pre-paging) and adding "@odata.nextLink"
+/// when truncated. `self_uri` is used to build the nextLink.
+void ApplyPaging(json::Json& collection, const QueryOptions& options,
+                 const std::string& self_uri);
+
+/// Applies $select: keeps @odata.* control info plus the selected members.
+void ApplySelect(json::Json& resource, const std::vector<std::string>& select);
+
+/// Applies one-level $expand to the "Members" array using `fetch` to load
+/// each referenced resource (entries whose fetch fails stay as references).
+void ApplyExpand(json::Json& collection,
+                 const std::function<Result<json::Json>(const std::string&)>& fetch);
+
+}  // namespace ofmf::odata

@@ -1,0 +1,44 @@
+// The Agent abstraction: "dedicated light-weight technology-specific Agents"
+// that translate between the OFMF's Redfish view and each fabric manager's
+// native API, and push native events up as Redfish events. The OFMF routes
+// fabric-scoped requests to the agent owning that fabric.
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+#include "json/value.hpp"
+
+namespace ofmf::core {
+
+class OfmfService;
+
+class FabricAgent {
+ public:
+  virtual ~FabricAgent() = default;
+
+  /// Stable agent identity ("cxl-agent-0").
+  virtual std::string agent_id() const = 0;
+  /// Fabric resource id it owns under /redfish/v1/Fabrics/<id>.
+  virtual std::string fabric_id() const = 0;
+  /// Redfish FabricType value ("CXL", "InfiniBand", ...).
+  virtual std::string fabric_type() const = 0;
+
+  /// Discovers native inventory and publishes the fabric subtree
+  /// (Endpoints / Switches / Zones / Connections) into the OFMF tree.
+  virtual Status PublishInventory(OfmfService& ofmf) = 0;
+
+  /// Redfish POST /Fabrics/<id>/Zones -> native configuration; returns the
+  /// created zone URI.
+  virtual Result<std::string> CreateZone(OfmfService& ofmf, const json::Json& body) = 0;
+
+  /// Redfish POST /Fabrics/<id>/Connections -> native configuration (bind,
+  /// partition membership, host allow-list...); returns the connection URI.
+  virtual Result<std::string> CreateConnection(OfmfService& ofmf,
+                                               const json::Json& body) = 0;
+
+  /// Redfish DELETE of a zone/connection owned by this agent.
+  virtual Status DeleteResource(OfmfService& ofmf, const std::string& uri) = 0;
+};
+
+}  // namespace ofmf::core

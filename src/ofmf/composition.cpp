@@ -1,0 +1,238 @@
+#include "ofmf/composition.hpp"
+
+#include "json/pointer.hpp"
+#include "odata/annotations.hpp"
+#include "ofmf/uris.hpp"
+
+namespace ofmf::core {
+
+json::Json BlockCapability::ToPayload() const {
+  return json::Json::Obj({
+      {"Id", id},
+      {"Name", "Resource block " + id},
+      {"ResourceBlockType", json::Json::Arr({block_type})},
+      {"CompositionStatus",
+       json::Json::Obj({{"CompositionState", "Unused"},
+                        {"Reserved", false},
+                        {"MaxCompositions", 1},
+                        {"NumberOfCompositions", 0}})},
+      {"Status", json::Json::Obj({{"State", "Enabled"}, {"Health", "OK"}})},
+      {"Oem",
+       json::Json::Obj({{"Ofmf", json::Json::Obj({{"Cores", cores},
+                                                  {"MemoryGiB", memory_gib},
+                                                  {"Gpus", gpus},
+                                                  {"StorageGiB", storage_gib},
+                                                  {"Locality", locality},
+                                                  {"IdleWatts", idle_watts},
+                                                  {"ActiveWatts", active_watts}})}})},
+  });
+}
+
+BlockCapability CapabilityFromPayload(const json::Json& block) {
+  BlockCapability capability;
+  capability.id = block.GetString("Id");
+  const json::Json& types = block.at("ResourceBlockType");
+  if (types.is_array() && !types.as_array().empty() && types.as_array()[0].is_string()) {
+    capability.block_type = types.as_array()[0].as_string();
+  }
+  const json::Json& oem = block.at("Oem").at("Ofmf");
+  capability.cores = static_cast<int>(oem.GetInt("Cores"));
+  capability.memory_gib = oem.GetDouble("MemoryGiB");
+  capability.gpus = static_cast<int>(oem.GetInt("Gpus"));
+  capability.storage_gib = oem.GetDouble("StorageGiB");
+  capability.locality = oem.GetString("Locality");
+  capability.idle_watts = oem.GetDouble("IdleWatts");
+  capability.active_watts = oem.GetDouble("ActiveWatts");
+  return capability;
+}
+
+CompositionService::CompositionService(redfish::ResourceTree& tree, EventService& events)
+    : tree_(tree), events_(events) {}
+
+Status CompositionService::Bootstrap() {
+  OFMF_RETURN_IF_ERROR(tree_.Create(
+      kCompositionService, "#CompositionService.v1_2_0.CompositionService",
+      json::Json::Obj(
+          {{"Id", "CompositionService"},
+           {"Name", "Composition Service"},
+           {"ServiceEnabled", true},
+           {"AllowOverprovisioning", false},
+           {"AllowZoneAffinity", true},
+           {"ResourceBlocks", json::Json::Obj({{"@odata.id", kResourceBlocks}})}})));
+  return tree_.CreateCollection(
+      kResourceBlocks, "#ResourceBlockCollection.ResourceBlockCollection",
+      "Resource Blocks");
+}
+
+Result<std::string> CompositionService::RegisterBlock(const BlockCapability& capability) {
+  if (capability.id.empty()) return Status::InvalidArgument("block id must be non-empty");
+  const std::string uri = std::string(kResourceBlocks) + "/" + capability.id;
+  OFMF_RETURN_IF_ERROR(
+      tree_.Create(uri, "#ResourceBlock.v1_4_0.ResourceBlock", capability.ToPayload()));
+  OFMF_RETURN_IF_ERROR(tree_.AddMember(kResourceBlocks, uri));
+  return uri;
+}
+
+Status CompositionService::UnregisterBlock(const std::string& block_uri) {
+  OFMF_ASSIGN_OR_RETURN(std::string state, BlockState(block_uri));
+  if (state != "Unused") {
+    return Status::FailedPrecondition("block is " + state + "; decompose first");
+  }
+  OFMF_RETURN_IF_ERROR(tree_.RemoveMember(kResourceBlocks, block_uri));
+  return tree_.Delete(block_uri);
+}
+
+Result<std::string> CompositionService::BlockState(const std::string& block_uri) const {
+  OFMF_ASSIGN_OR_RETURN(json::Json block, tree_.Get(block_uri));
+  return block.at("CompositionStatus").GetString("CompositionState");
+}
+
+Status CompositionService::SetBlockState(const std::string& block_uri,
+                                         const std::string& state) {
+  const int compositions = state == "Composed" ? 1 : 0;
+  return tree_.Patch(
+      block_uri,
+      json::Json::Obj({{"CompositionStatus",
+                        json::Json::Obj({{"CompositionState", state},
+                                         {"NumberOfCompositions", compositions}})}}));
+}
+
+Result<std::string> CompositionService::Compose(
+    const std::string& name, const std::vector<std::string>& block_uris) {
+  if (block_uris.empty()) {
+    return Status::InvalidArgument("composition requires at least one resource block");
+  }
+  // Validate first: all blocks exist and are Unused.
+  for (const std::string& uri : block_uris) {
+    OFMF_ASSIGN_OR_RETURN(std::string state, BlockState(uri));
+    if (state != "Unused") {
+      return Status::FailedPrecondition("block " + uri + " is " + state);
+    }
+  }
+  const std::string id = "composed-" + std::to_string(next_system_id_++);
+  const std::string system_uri = std::string(kSystems) + "/" + id;
+
+  json::Json payload = json::Json::Obj({
+      {"Id", id},
+      {"Name", name},
+      {"SystemType", "Composed"},
+      {"PowerState", "On"},
+      {"Status", json::Json::Obj({{"State", "Enabled"}, {"Health", "OK"}})},
+      {"Links",
+       json::Json::Obj({{"ResourceBlocks", odata::RefArray(block_uris)}})},
+  });
+  OFMF_RETURN_IF_ERROR(tree_.Create(system_uri, "#ComputerSystem.v1_20_0.ComputerSystem",
+                                    std::move(payload)));
+  OFMF_RETURN_IF_ERROR(tree_.AddMember(kSystems, system_uri));
+  for (const std::string& uri : block_uris) {
+    OFMF_RETURN_IF_ERROR(SetBlockState(uri, "Composed"));
+  }
+  OFMF_RETURN_IF_ERROR(RefreshSummaries(system_uri));
+
+  Event event;
+  event.event_type = "ResourceAdded";
+  event.message_id = "CompositionService.1.0.SystemComposed";
+  event.message = "composed system " + id + " from " +
+                  std::to_string(block_uris.size()) + " blocks";
+  event.origin = system_uri;
+  events_.Publish(event);
+  return system_uri;
+}
+
+Status CompositionService::Decompose(const std::string& system_uri) {
+  OFMF_ASSIGN_OR_RETURN(std::vector<std::string> blocks, BlocksOf(system_uri));
+  for (const std::string& block_uri : blocks) {
+    OFMF_RETURN_IF_ERROR(SetBlockState(block_uri, "Unused"));
+  }
+  OFMF_RETURN_IF_ERROR(tree_.RemoveMember(kSystems, system_uri));
+  OFMF_RETURN_IF_ERROR(tree_.Delete(system_uri));
+  Event event;
+  event.event_type = "ResourceRemoved";
+  event.message_id = "CompositionService.1.0.SystemDecomposed";
+  event.message = "decomposed " + system_uri;
+  event.origin = system_uri;
+  events_.Publish(event);
+  return Status::Ok();
+}
+
+Status CompositionService::ExpandSystem(const std::string& system_uri,
+                                        const std::string& block_uri) {
+  OFMF_ASSIGN_OR_RETURN(std::string state, BlockState(block_uri));
+  if (state != "Unused") {
+    return Status::FailedPrecondition("block " + block_uri + " is " + state);
+  }
+  OFMF_ASSIGN_OR_RETURN(json::Json system, tree_.GetRaw(system_uri));
+  const json::Json* blocks = json::ResolvePointerRef(system, "/Links/ResourceBlocks");
+  if (blocks == nullptr || !blocks->is_array()) {
+    return Status::FailedPrecondition(system_uri + " is not a composed system");
+  }
+  json::Json updated_blocks = *blocks;
+  updated_blocks.as_array().push_back(odata::Ref(block_uri));
+  OFMF_RETURN_IF_ERROR(tree_.Patch(
+      system_uri,
+      json::Json::Obj({{"Links", json::Json::Obj({{"ResourceBlocks", updated_blocks}})}})));
+  OFMF_RETURN_IF_ERROR(SetBlockState(block_uri, "Composed"));
+  OFMF_RETURN_IF_ERROR(RefreshSummaries(system_uri));
+
+  Event event;
+  event.event_type = "ResourceUpdated";
+  event.message_id = "CompositionService.1.0.SystemExpanded";
+  event.message = "expanded " + system_uri + " with " + block_uri;
+  event.origin = system_uri;
+  events_.Publish(event);
+  return Status::Ok();
+}
+
+std::vector<std::string> CompositionService::FreeBlockUris() const {
+  std::vector<std::string> free;
+  for (const std::string& uri : tree_.UrisUnder(kResourceBlocks)) {
+    if (uri == kResourceBlocks) continue;
+    const Result<json::Json> block = tree_.Get(uri);
+    if (block.ok() &&
+        block->at("CompositionStatus").GetString("CompositionState") == "Unused") {
+      free.push_back(uri);
+    }
+  }
+  return free;
+}
+
+Result<std::vector<std::string>> CompositionService::BlocksOf(
+    const std::string& system_uri) const {
+  OFMF_ASSIGN_OR_RETURN(json::Json system, tree_.GetRaw(system_uri));
+  const json::Json* blocks = json::ResolvePointerRef(system, "/Links/ResourceBlocks");
+  if (blocks == nullptr || !blocks->is_array()) {
+    return Status::FailedPrecondition(system_uri + " is not a composed system");
+  }
+  std::vector<std::string> uris;
+  for (const json::Json& entry : blocks->as_array()) {
+    const std::string uri = odata::IdOf(entry);
+    if (!uri.empty()) uris.push_back(uri);
+  }
+  return uris;
+}
+
+Status CompositionService::RefreshSummaries(const std::string& system_uri) {
+  OFMF_ASSIGN_OR_RETURN(std::vector<std::string> blocks, BlocksOf(system_uri));
+  int cores = 0;
+  double memory_gib = 0.0;
+  int gpus = 0;
+  double storage_gib = 0.0;
+  for (const std::string& block_uri : blocks) {
+    OFMF_ASSIGN_OR_RETURN(json::Json block, tree_.Get(block_uri));
+    const BlockCapability capability = CapabilityFromPayload(block);
+    cores += capability.cores;
+    memory_gib += capability.memory_gib;
+    gpus += capability.gpus;
+    storage_gib += capability.storage_gib;
+  }
+  return tree_.Patch(
+      system_uri,
+      json::Json::Obj(
+          {{"ProcessorSummary", json::Json::Obj({{"CoreCount", cores}})},
+           {"MemorySummary", json::Json::Obj({{"TotalSystemMemoryGiB", memory_gib}})},
+           {"Oem", json::Json::Obj({{"Ofmf", json::Json::Obj({{"Gpus", gpus},
+                                                              {"StorageGiB",
+                                                               storage_gib}})}})}}));
+}
+
+}  // namespace ofmf::core

@@ -1,0 +1,76 @@
+// Redfish CompositionService: ResourceBlocks registered by agents/adapters,
+// and specific composition — POST a set of block references, get back a
+// Composed ComputerSystem; DELETE it to return the blocks to the free pool.
+// Block capability figures ride in Oem.Ofmf (Cores / MemoryGiB / Gpus /
+// StorageGiB / Locality / power), which is what the Composability Manager's
+// placement policies read.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "json/value.hpp"
+#include "ofmf/events.hpp"
+#include "redfish/tree.hpp"
+
+namespace ofmf::core {
+
+/// Capability summary of one resource block (the Oem.Ofmf payload).
+struct BlockCapability {
+  std::string id;
+  std::string block_type;  // "Compute", "Memory", "Storage", "Expansion"
+  int cores = 0;
+  double memory_gib = 0.0;
+  int gpus = 0;
+  double storage_gib = 0.0;
+  std::string locality;
+  double idle_watts = 0.0;
+  double active_watts = 0.0;
+
+  json::Json ToPayload() const;
+};
+
+/// Parses a ResourceBlock payload back into capability form.
+BlockCapability CapabilityFromPayload(const json::Json& block);
+
+class CompositionService {
+ public:
+  CompositionService(redfish::ResourceTree& tree, EventService& events);
+
+  Status Bootstrap();
+
+  /// Registers a block (CompositionState = Unused). Returns its URI.
+  Result<std::string> RegisterBlock(const BlockCapability& capability);
+  Status UnregisterBlock(const std::string& block_uri);
+
+  /// Composes a system from `block_uris`; all must exist and be Unused.
+  /// Returns the new /redfish/v1/Systems/<id> URI.
+  Result<std::string> Compose(const std::string& name,
+                              const std::vector<std::string>& block_uris);
+
+  /// Frees every block of a composed system and deletes it.
+  Status Decompose(const std::string& system_uri);
+
+  /// Adds `block_uri` to a *running* composed system (dynamic expansion —
+  /// the paper's OOM-mitigation path). The block must be Unused.
+  Status ExpandSystem(const std::string& system_uri, const std::string& block_uri);
+
+  /// Block URIs currently in CompositionState Unused.
+  std::vector<std::string> FreeBlockUris() const;
+  /// Blocks attached to a composed system.
+  Result<std::vector<std::string>> BlocksOf(const std::string& system_uri) const;
+
+  Result<std::string> BlockState(const std::string& block_uri) const;
+
+ private:
+  Status SetBlockState(const std::string& block_uri, const std::string& state);
+  /// Recomputes a composed system's Processor/Memory summaries from blocks.
+  Status RefreshSummaries(const std::string& system_uri);
+
+  redfish::ResourceTree& tree_;
+  EventService& events_;
+  std::uint64_t next_system_id_ = 1;
+};
+
+}  // namespace ofmf::core

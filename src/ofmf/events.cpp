@@ -1,0 +1,181 @@
+#include "ofmf/events.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+#include "ofmf/uris.hpp"
+
+namespace ofmf::core {
+
+json::Json Event::ToJson(std::uint64_t sequence, SimTime timestamp) const {
+  json::Json record = json::Json::Obj({
+      {"@odata.type", "#Event.v1_7_0.Event"},
+      {"Id", std::to_string(sequence)},
+      {"Name", "OFMF Event"},
+      {"Events",
+       json::Json::Arr({json::Json::Obj({
+           {"EventType", event_type},
+           {"EventId", std::to_string(sequence)},
+           {"EventTimestamp", FormatSimTimestamp(timestamp)},
+           {"MessageId", message_id},
+           {"Message", message},
+           {"OriginOfCondition", json::Json::Obj({{"@odata.id", origin}})},
+       })})},
+  });
+  if (!oem.is_null()) {
+    record.as_object().Set("Oem", oem);
+  }
+  return record;
+}
+
+EventService::EventService(redfish::ResourceTree& tree, SimClock& clock)
+    : tree_(tree), clock_(clock) {
+  tree_token_ = tree_.Subscribe(
+      [this](const redfish::ChangeEvent& change) { OnTreeChange(change); });
+}
+
+EventService::~EventService() { tree_.Unsubscribe(tree_token_); }
+
+Status EventService::Bootstrap() {
+  OFMF_RETURN_IF_ERROR(tree_.Create(
+      kEventService, "#EventService.v1_10_0.EventService",
+      json::Json::Obj(
+          {{"Id", "EventService"},
+           {"Name", "Event Service"},
+           {"ServiceEnabled", true},
+           {"DeliveryRetryAttempts", 3},
+           {"EventTypesForSubscription",
+            json::Json::Arr({"StatusChange", "ResourceUpdated", "ResourceAdded",
+                             "ResourceRemoved", "Alert", "MetricReport"})},
+           {"Subscriptions", json::Json::Obj({{"@odata.id", kSubscriptions}})}})));
+  return tree_.CreateCollection(
+      kSubscriptions, "#EventDestinationCollection.EventDestinationCollection",
+      "Event Subscriptions");
+}
+
+Result<std::string> EventService::Subscribe(const json::Json& body) {
+  const std::string destination = body.GetString("Destination");
+  if (destination.empty()) {
+    return Status::InvalidArgument("Destination is required");
+  }
+  Subscription subscription;
+  subscription.destination = destination;
+  subscription.context = body.GetString("Context");
+  if (body.at("EventTypes").is_array()) {
+    for (const json::Json& type : body.at("EventTypes").as_array()) {
+      if (type.is_string()) subscription.event_types.push_back(type.as_string());
+    }
+  }
+  const std::string id = std::to_string(next_id_++);
+  subscription.uri = std::string(kSubscriptions) + "/" + id;
+
+  json::Json payload = body;
+  payload.as_object().Set("Id", id);
+  if (!payload.Contains("Name")) payload.as_object().Set("Name", "Subscription " + id);
+  if (!payload.Contains("SubscriptionType")) {
+    payload.as_object().Set("SubscriptionType", "RedfishEvent");
+  }
+  OFMF_RETURN_IF_ERROR(
+      tree_.Create(subscription.uri, "#EventDestination.v1_12_0.EventDestination", payload));
+  OFMF_RETURN_IF_ERROR(tree_.AddMember(kSubscriptions, subscription.uri));
+  const std::string uri = subscription.uri;
+  subscriptions_.emplace(uri, std::move(subscription));
+  return uri;
+}
+
+Status EventService::Unsubscribe(const std::string& subscription_uri) {
+  auto it = subscriptions_.find(subscription_uri);
+  if (it == subscriptions_.end()) {
+    return Status::NotFound("no subscription at " + subscription_uri);
+  }
+  subscriptions_.erase(it);
+  OFMF_RETURN_IF_ERROR(tree_.RemoveMember(kSubscriptions, subscription_uri));
+  if (tree_.Exists(subscription_uri)) {
+    OFMF_RETURN_IF_ERROR(tree_.Delete(subscription_uri));
+  }
+  return Status::Ok();
+}
+
+void EventService::Publish(const Event& event) {
+  const std::uint64_t sequence = ++sequence_;
+  const json::Json payload = event.ToJson(sequence, clock_.now());
+  for (auto& [uri, subscription] : subscriptions_) {
+    if (!subscription.event_types.empty() &&
+        std::find(subscription.event_types.begin(), subscription.event_types.end(),
+                  event.event_type) == subscription.event_types.end()) {
+      continue;
+    }
+    if (strings::StartsWith(subscription.destination, "ofmf-internal://")) {
+      subscription.queue.push_back(payload);
+      continue;
+    }
+    if (!client_factory_) {
+      ++delivery_failures_;
+      continue;
+    }
+    std::unique_ptr<http::HttpClient> client = client_factory_(subscription.destination);
+    if (client == nullptr) {
+      ++delivery_failures_;
+      continue;
+    }
+    // Retry per the advertised DeliveryRetryAttempts before declaring the
+    // delivery failed.
+    bool delivered = false;
+    for (int attempt = 0; attempt < retry_attempts_; ++attempt) {
+      if (attempt > 0) ++delivery_retries_;
+      const auto response = client->PostJson(subscription.destination, payload);
+      if (response.ok() && response->status < 400) {
+        delivered = true;
+        break;
+      }
+    }
+    if (!delivered) {
+      ++delivery_failures_;
+      OFMF_WARN << "event delivery to " << subscription.destination << " failed after "
+                << retry_attempts_ << " attempts";
+    }
+  }
+}
+
+Result<std::vector<json::Json>> EventService::Drain(const std::string& subscription_uri) {
+  auto it = subscriptions_.find(subscription_uri);
+  if (it == subscriptions_.end()) {
+    return Status::NotFound("no subscription at " + subscription_uri);
+  }
+  std::vector<json::Json> events(it->second.queue.begin(), it->second.queue.end());
+  it->second.queue.clear();
+  return events;
+}
+
+void EventService::OnTreeChange(const redfish::ChangeEvent& change) {
+  // Skip event-service plumbing itself (avoids self-amplification) and
+  // session churn.
+  if (strings::StartsWith(change.uri, kSubscriptions) ||
+      strings::StartsWith(change.uri, kSessions)) {
+    return;
+  }
+  if (in_publish_) return;
+  in_publish_ = true;
+  Event event;
+  switch (change.kind) {
+    case redfish::ChangeKind::kCreated:
+      event.event_type = "ResourceAdded";
+      event.message_id = "ResourceEvent.1.0.ResourceCreated";
+      break;
+    case redfish::ChangeKind::kModified:
+      event.event_type = "ResourceUpdated";
+      event.message_id = "ResourceEvent.1.0.ResourceChanged";
+      break;
+    case redfish::ChangeKind::kDeleted:
+      event.event_type = "ResourceRemoved";
+      event.message_id = "ResourceEvent.1.0.ResourceRemoved";
+      break;
+  }
+  event.message = std::string(to_string(change.kind)) + ": " + change.uri;
+  event.origin = change.uri;
+  Publish(event);
+  in_publish_ = false;
+}
+
+}  // namespace ofmf::core

@@ -1,0 +1,94 @@
+// Redfish EventService: the OFMF's "subscription-based central repository"
+// for state changes. Subscriptions are EventDestination resources; delivery
+// is per-subscription queues (internal destinations, drained by in-process
+// clients like the Composability Manager) or push via an HttpClient factory
+// (wire destinations). Tree mutations are translated into Redfish events
+// automatically.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/result.hpp"
+#include "http/server.hpp"
+#include "json/value.hpp"
+#include "redfish/tree.hpp"
+
+namespace ofmf::core {
+
+struct Event {
+  std::string event_type;  // "ResourceAdded", "Alert", ...
+  std::string message_id;  // "ResourceEvent.1.0.ResourceCreated"
+  std::string message;
+  std::string origin;      // @odata.id of the affected resource
+  json::Json oem;          // free-form extra payload
+
+  json::Json ToJson(std::uint64_t sequence, SimTime timestamp) const;
+};
+
+/// Builds TcpClient-or-other transports for push destinations.
+using ClientFactory = std::function<std::unique_ptr<http::HttpClient>(const std::string&)>;
+
+class EventService {
+ public:
+  EventService(redfish::ResourceTree& tree, SimClock& clock);
+  ~EventService();
+
+  Status Bootstrap();
+
+  /// Creates an EventDestination from a POST body; returns its URI.
+  /// Destination "ofmf-internal://<name>" queues internally; http(s)
+  /// destinations push via the client factory (dropped if none is set).
+  Result<std::string> Subscribe(const json::Json& body);
+  Status Unsubscribe(const std::string& subscription_uri);
+
+  /// Publishes an event to every subscription whose EventTypes match.
+  void Publish(const Event& event);
+
+  /// Drains the internal queue of a subscription (by URI).
+  Result<std::vector<json::Json>> Drain(const std::string& subscription_uri);
+
+  void set_client_factory(ClientFactory factory) { client_factory_ = std::move(factory); }
+
+  /// Number of events ever published (delivered or not).
+  std::uint64_t published_count() const { return sequence_; }
+  std::size_t subscription_count() const { return subscriptions_.size(); }
+
+  /// Delivery failures (push destination unreachable after every retry).
+  std::uint64_t delivery_failures() const { return delivery_failures_; }
+  /// Individual retry attempts that were needed (successful or not).
+  std::uint64_t delivery_retries() const { return delivery_retries_; }
+  /// Push attempts per event per destination (the advertised
+  /// DeliveryRetryAttempts); must be >= 1.
+  void set_retry_attempts(int attempts) { retry_attempts_ = attempts < 1 ? 1 : attempts; }
+
+ private:
+  struct Subscription {
+    std::string uri;
+    std::string destination;
+    std::vector<std::string> event_types;  // empty = all
+    std::string context;
+    std::deque<json::Json> queue;  // internal destinations only
+  };
+
+  void OnTreeChange(const redfish::ChangeEvent& change);
+
+  redfish::ResourceTree& tree_;
+  SimClock& clock_;
+  std::map<std::string, Subscription> subscriptions_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t sequence_ = 0;
+  std::uint64_t delivery_failures_ = 0;
+  std::uint64_t delivery_retries_ = 0;
+  int retry_attempts_ = 3;
+  std::uint64_t tree_token_ = 0;
+  bool in_publish_ = false;  // guards re-entrant tree writes
+  ClientFactory client_factory_;
+};
+
+}  // namespace ofmf::core

@@ -1,0 +1,338 @@
+#include "ofmf/service.hpp"
+
+#include "common/strings.hpp"
+#include "http/uri.hpp"
+#include "json/pointer.hpp"
+#include "odata/annotations.hpp"
+#include "ofmf/uris.hpp"
+#include "redfish/conformance.hpp"
+#include "redfish/errors.hpp"
+
+namespace ofmf::core {
+
+OfmfService::OfmfService()
+    : rest_(tree_, redfish::SchemaRegistry::BuiltIn()),
+      sessions_(tree_),
+      events_(tree_, clock_),
+      tasks_(tree_, clock_),
+      telemetry_(tree_, events_, clock_),
+      composition_(tree_, events_) {}
+
+Status OfmfService::BootstrapServiceRoot() {
+  OFMF_RETURN_IF_ERROR(tree_.Create(
+      kServiceRoot, "#ServiceRoot.v1_15_0.ServiceRoot",
+      json::Json::Obj({
+          {"Id", "RootService"},
+          {"Name", "OpenFabrics Management Framework"},
+          {"RedfishVersion", "1.17.0"},
+          {"UUID", "5cf3e329-57b6-4d92-9a2f-ofmf00000001"},
+          {"Fabrics", odata::Ref(kFabrics)},
+          {"Systems", odata::Ref(kSystems)},
+          {"Chassis", odata::Ref(kChassis)},
+          {"StorageServices", odata::Ref(kStorageServices)},
+          {"SessionService", odata::Ref(kSessionService)},
+          {"EventService", odata::Ref(kEventService)},
+          {"TaskService", odata::Ref(kTaskService)},
+          {"TelemetryService", odata::Ref(kTelemetryService)},
+          {"AggregationService", odata::Ref(kAggregationService)},
+          {"CompositionService", odata::Ref(kCompositionService)},
+      })));
+  OFMF_RETURN_IF_ERROR(
+      tree_.CreateCollection(kFabrics, "#FabricCollection.FabricCollection", "Fabrics"));
+  OFMF_RETURN_IF_ERROR(tree_.CreateCollection(
+      kSystems, "#ComputerSystemCollection.ComputerSystemCollection", "Systems"));
+  OFMF_RETURN_IF_ERROR(tree_.CreateCollection(
+      kChassis, "#ChassisCollection.ChassisCollection", "Chassis"));
+  OFMF_RETURN_IF_ERROR(tree_.CreateCollection(
+      kStorageServices, "#StorageServiceCollection.StorageServiceCollection",
+      "Storage Services"));
+  OFMF_RETURN_IF_ERROR(tree_.Create(
+      kAggregationService, "#AggregationService.v1_0_2.AggregationService",
+      json::Json::Obj({{"Id", "AggregationService"},
+                       {"Name", "Aggregation Service"},
+                       {"ServiceEnabled", true},
+                       {"AggregationSources", odata::Ref(kAggregationSources)}})));
+  return tree_.CreateCollection(
+      kAggregationSources, "#AggregationSourceCollection.AggregationSourceCollection",
+      "Aggregation Sources");
+}
+
+Status OfmfService::Bootstrap() {
+  if (bootstrapped_) return Status::FailedPrecondition("already bootstrapped");
+  OFMF_RETURN_IF_ERROR(BootstrapServiceRoot());
+  OFMF_RETURN_IF_ERROR(sessions_.Bootstrap());
+  OFMF_RETURN_IF_ERROR(events_.Bootstrap());
+  OFMF_RETURN_IF_ERROR(tasks_.Bootstrap());
+  OFMF_RETURN_IF_ERROR(telemetry_.Bootstrap());
+  OFMF_RETURN_IF_ERROR(composition_.Bootstrap());
+  WireRoutes();
+  bootstrapped_ = true;
+  return Status::Ok();
+}
+
+void OfmfService::WireRoutes() {
+  // Event subscriptions.
+  rest_.RegisterFactory(kSubscriptions, "EventDestination",
+                        [this](const json::Json& body) { return events_.Subscribe(body); });
+  rest_.RegisterDeleteHook(kSubscriptions, [this](const std::string& uri) {
+    if (uri == kSubscriptions) {
+      return Status::PermissionDenied("collection cannot be deleted");
+    }
+    return events_.Unsubscribe(uri);
+  });
+  // Drain action for internal (ofmf-internal://) subscription queues, so
+  // transport-agnostic clients can poll their events over plain Redfish.
+  rest_.RegisterAction(
+      "EventDestination.Drain",
+      [this](const std::string& resource_uri, const json::Json&) -> http::Response {
+        Result<std::vector<json::Json>> drained = events_.Drain(resource_uri);
+        if (!drained.ok()) return redfish::ErrorResponse(drained.status());
+        json::Array events(drained->begin(), drained->end());
+        return http::MakeJsonResponse(
+            200, json::Json::Obj({{"Events", json::Json(std::move(events))}}));
+      });
+
+  // Composition: POST Systems with block links; DELETE decomposes.
+  rest_.RegisterFactory(
+      kSystems, "ComputerSystem", [this](const json::Json& body) -> Result<std::string> {
+        const json::Json* blocks =
+            json::ResolvePointerRef(body, "/Links/ResourceBlocks");
+        if (blocks == nullptr || !blocks->is_array() || blocks->as_array().empty()) {
+          return Status::InvalidArgument(
+              "composition requires Links.ResourceBlocks references");
+        }
+        std::vector<std::string> uris;
+        for (const json::Json& entry : blocks->as_array()) {
+          const std::string uri = odata::IdOf(entry);
+          if (uri.empty()) return Status::InvalidArgument("block reference missing @odata.id");
+          uris.push_back(uri);
+        }
+        return composition_.Compose(body.GetString("Name", "composed-system"), uris);
+      });
+  rest_.RegisterDeleteHook(kSystems, [this](const std::string& uri) {
+    if (uri == kSystems) return Status::PermissionDenied("collection cannot be deleted");
+    return composition_.Decompose(uri);
+  });
+
+  // Dynamic expansion action (the OOM-mitigation path).
+  rest_.RegisterAction(
+      "ComputerSystem.AddResourceBlock",
+      [this](const std::string& resource_uri, const json::Json& body) -> http::Response {
+        const std::string block_uri = body.GetString("ResourceBlock");
+        if (block_uri.empty()) {
+          return redfish::ErrorResponse(
+              Status::InvalidArgument("body must carry 'ResourceBlock': <uri>"));
+        }
+        const Status expanded = composition_.ExpandSystem(resource_uri, block_uri);
+        if (!expanded.ok()) return redfish::ErrorResponse(expanded);
+        return http::MakeJsonResponse(200, *tree_.Get(resource_uri));
+      });
+
+  // Session management hooks (creation is special-cased in Handle() because
+  // the response must carry X-Auth-Token).
+  rest_.RegisterDeleteHook(kSessions, [this](const std::string& uri) {
+    if (uri == kSessions) return Status::PermissionDenied("collection cannot be deleted");
+    const std::size_t slash = uri.rfind('/');
+    return sessions_.DeleteSession(uri.substr(slash + 1));
+  });
+
+  // Self-check: POST /redfish/v1/Actions/OfmfService.Audit runs the
+  // whole-tree conformance audit and returns the report.
+  rest_.RegisterAction(
+      "OfmfService.Audit",
+      [this](const std::string&, const json::Json&) -> http::Response {
+        const redfish::ConformanceReport report =
+            redfish::AuditTree(tree_, rest_.schemas());
+        json::Array issues;
+        for (const redfish::ConformanceIssue& issue : report.issues) {
+          issues.push_back(json::Json::Obj({{"Uri", issue.uri},
+                                            {"Pointer", issue.pointer},
+                                            {"Message", issue.message}}));
+        }
+        return http::MakeJsonResponse(
+            200, json::Json::Obj(
+                     {{"ResourcesChecked",
+                       static_cast<std::int64_t>(report.resources_checked)},
+                      {"ResourcesWithSchema",
+                       static_cast<std::int64_t>(report.resources_with_schema)},
+                      {"Clean", report.clean()},
+                      {"Issues", json::Json(std::move(issues))}}));
+      });
+
+  // Authentication middleware.
+  rest_.SetMiddleware([this](const http::Request& request)
+                          -> std::optional<http::Response> {
+    if (!sessions_.auth_required()) return std::nullopt;
+    // Unauthenticated surface: the root document and session creation.
+    if (request.path == kServiceRoot && request.method == http::Method::kGet) {
+      return std::nullopt;
+    }
+    if (request.path == kSessions && request.method == http::Method::kPost) {
+      return std::nullopt;
+    }
+    const std::string token = request.headers.GetOr("X-Auth-Token", "");
+    if (token.empty() || !sessions_.Authenticate(token)) {
+      return redfish::ErrorResponse(401, "Base.1.0.NoValidSession",
+                                    "authenticate via POST " + std::string(kSessions));
+    }
+    return std::nullopt;
+  });
+}
+
+Status OfmfService::CreateFabricSkeleton(const std::string& fabric_id,
+                                         const std::string& fabric_type,
+                                         const std::string& agent_id) {
+  const std::string fabric_uri = FabricUri(fabric_id);
+  OFMF_RETURN_IF_ERROR(tree_.Create(
+      fabric_uri, "#Fabric.v1_3_0.Fabric",
+      json::Json::Obj({
+          {"Id", fabric_id},
+          {"Name", fabric_id + " fabric"},
+          {"FabricType", fabric_type},
+          {"Status", json::Json::Obj({{"State", "Enabled"}, {"Health", "OK"}})},
+          {"Endpoints", odata::Ref(fabric_uri + "/Endpoints")},
+          {"Switches", odata::Ref(fabric_uri + "/Switches")},
+          {"Zones", odata::Ref(fabric_uri + "/Zones")},
+          {"Connections", odata::Ref(fabric_uri + "/Connections")},
+          {"Oem", json::Json::Obj({{"Ofmf", json::Json::Obj({{"Agent", agent_id}})}})},
+      })));
+  OFMF_RETURN_IF_ERROR(tree_.AddMember(kFabrics, fabric_uri));
+  OFMF_RETURN_IF_ERROR(tree_.CreateCollection(
+      fabric_uri + "/Endpoints", "#EndpointCollection.EndpointCollection", "Endpoints"));
+  OFMF_RETURN_IF_ERROR(tree_.CreateCollection(
+      fabric_uri + "/Switches", "#SwitchCollection.SwitchCollection", "Switches"));
+  OFMF_RETURN_IF_ERROR(tree_.CreateCollection(fabric_uri + "/Zones",
+                                              "#ZoneCollection.ZoneCollection", "Zones"));
+  return tree_.CreateCollection(fabric_uri + "/Connections",
+                                "#ConnectionCollection.ConnectionCollection",
+                                "Connections");
+}
+
+Status OfmfService::RegisterAgent(std::shared_ptr<FabricAgent> agent) {
+  if (!bootstrapped_) return Status::FailedPrecondition("bootstrap the service first");
+  const std::string fabric_id = agent->fabric_id();
+  if (agents_by_fabric_.count(fabric_id) != 0) {
+    return Status::AlreadyExists("an agent already owns fabric " + fabric_id);
+  }
+
+  // AggregationSource entry for the agent.
+  const std::string source_uri =
+      std::string(kAggregationSources) + "/" + agent->agent_id();
+  OFMF_RETURN_IF_ERROR(tree_.Create(
+      source_uri, "#AggregationSource.v1_2_0.AggregationSource",
+      json::Json::Obj({{"Id", agent->agent_id()},
+                       {"Name", "Agent " + agent->agent_id()},
+                       {"HostName", "ofmf-agent://" + agent->agent_id()},
+                       {"Links", json::Json::Obj({{"ConnectionMethod",
+                                                   json::Json::Obj({{"FabricId",
+                                                                     fabric_id}})}})}})));
+  OFMF_RETURN_IF_ERROR(tree_.AddMember(kAggregationSources, source_uri));
+
+  OFMF_RETURN_IF_ERROR(agent->PublishInventory(*this));
+
+  // Route fabric-scoped mutations to the agent.
+  const std::string fabric_uri = FabricUri(fabric_id);
+  FabricAgent* raw = agent.get();
+  rest_.RegisterFactory(fabric_uri + "/Zones", "Zone",
+                        [this, raw](const json::Json& body) {
+                          return raw->CreateZone(*this, body);
+                        });
+  rest_.RegisterFactory(fabric_uri + "/Connections", "Connection",
+                        [this, raw](const json::Json& body) {
+                          return raw->CreateConnection(*this, body);
+                        });
+  rest_.RegisterDeleteHook(fabric_uri, [this, raw, fabric_uri](const std::string& uri) {
+    if (uri == fabric_uri) {
+      return Status::PermissionDenied("fabrics are owned by their agent");
+    }
+    return raw->DeleteResource(*this, uri);
+  });
+
+  agents_by_fabric_.emplace(fabric_id, std::move(agent));
+
+  Event event;
+  event.event_type = "ResourceAdded";
+  event.message_id = "AggregationService.1.0.AgentRegistered";
+  event.message = "agent registered for fabric " + fabric_id;
+  event.origin = source_uri;
+  events_.Publish(event);
+  return Status::Ok();
+}
+
+Result<FabricAgent*> OfmfService::AgentForFabric(const std::string& fabric_id) {
+  auto it = agents_by_fabric_.find(fabric_id);
+  if (it == agents_by_fabric_.end()) {
+    return Status::NotFound("no agent for fabric " + fabric_id);
+  }
+  return it->second.get();
+}
+
+std::size_t OfmfService::ProcessPendingWork() {
+  std::size_t ran = 0;
+  while (!pending_work_.empty()) {
+    std::function<void()> work = std::move(pending_work_.front());
+    pending_work_.pop_front();
+    work();
+    ++ran;
+  }
+  return ran;
+}
+
+http::Response OfmfService::Handle(const http::Request& request) {
+  // Asynchronous composition: Redfish's "Prefer: respond-async". The POST
+  // is validated lazily by the deferred composition; the client gets a Task
+  // monitor immediately (202) and polls it.
+  if (request.method == http::Method::kPost &&
+      http::NormalizePath(request.path) == kSystems &&
+      request.headers.GetOr("Prefer", "").find("respond-async") != std::string::npos) {
+    Result<json::Json> body = request.JsonBody();
+    if (!body.ok()) return redfish::ErrorResponse(body.status());
+    Result<std::string> task_uri =
+        tasks_.CreateTask("compose " + body->GetString("Name", "system"));
+    if (!task_uri.ok()) return redfish::ErrorResponse(task_uri.status());
+    (void)tasks_.SetState(*task_uri, TaskState::kRunning);
+    const json::Json captured_body = *body;
+    const std::string captured_task = *task_uri;
+    pending_work_.push_back([this, captured_body, captured_task] {
+      http::Request inner = http::MakeJsonRequest(http::Method::kPost, kSystems,
+                                                  captured_body);
+      const http::Response response = rest_.Handle(inner);
+      if (response.status == 201) {
+        const std::string system_uri = response.headers.GetOr("Location", "");
+        (void)tree_.Patch(
+            captured_task,
+            json::Json::Obj({{"Oem", json::Json::Obj({{"Ofmf",
+                                                       json::Json::Obj(
+                                                           {{"SystemUri",
+                                                             system_uri}})}})}}));
+        (void)tasks_.SetState(captured_task, TaskState::kCompleted,
+                              "composed " + system_uri);
+      } else {
+        (void)tasks_.SetState(captured_task, TaskState::kException,
+                              "composition failed with HTTP " +
+                                  std::to_string(response.status));
+      }
+    });
+    http::Response accepted = http::MakeJsonResponse(202, *tree_.Get(*task_uri));
+    accepted.headers.Set("Location", *task_uri);
+    return accepted;
+  }
+
+  // Session creation: must run before generic dispatch so the response can
+  // carry the X-Auth-Token header.
+  if (request.method == http::Method::kPost &&
+      http::NormalizePath(request.path) == kSessions) {
+    Result<json::Json> body = request.JsonBody();
+    if (!body.ok()) return redfish::ErrorResponse(body.status());
+    Result<SessionInfo> session =
+        sessions_.CreateSession(body->GetString("UserName"), body->GetString("Password"));
+    if (!session.ok()) return redfish::ErrorResponse(session.status());
+    http::Response response = http::MakeJsonResponse(201, *tree_.Get(session->uri));
+    response.headers.Set("Location", session->uri);
+    response.headers.Set("X-Auth-Token", session->token);
+    return response;
+  }
+  return rest_.Handle(request);
+}
+
+}  // namespace ofmf::core

@@ -1,0 +1,86 @@
+// The OpenFabrics Management Framework service: one Redfish tree over every
+// fabric and resource, served through the generic Redfish dispatcher, with
+// SessionService (auth), EventService (subscriptions), TaskService,
+// TelemetryService, AggregationService (agents) and CompositionService
+// wired in. Clients talk to Handler() over the in-process or TCP transport;
+// agents register and publish inventory under /redfish/v1/Fabrics.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/clock.hpp"
+#include "http/server.hpp"
+#include "ofmf/agent.hpp"
+#include "ofmf/composition.hpp"
+#include "ofmf/events.hpp"
+#include "ofmf/sessions.hpp"
+#include "ofmf/tasks.hpp"
+#include "ofmf/telemetry.hpp"
+#include "redfish/service.hpp"
+#include "redfish/tree.hpp"
+
+namespace ofmf::core {
+
+class OfmfService {
+ public:
+  OfmfService();
+
+  /// Builds the service root, collections, and all sub-services. Must be
+  /// called once before handling requests.
+  Status Bootstrap();
+
+  /// Registers an agent: records it under the AggregationService, lets it
+  /// publish its fabric subtree, and routes fabric-scoped mutations to it.
+  Status RegisterAgent(std::shared_ptr<FabricAgent> agent);
+
+  /// Creates the fabric resource + empty sub-collections an agent publishes
+  /// into (helper for agents).
+  Status CreateFabricSkeleton(const std::string& fabric_id, const std::string& fabric_type,
+                              const std::string& agent_id);
+
+  /// Full protocol entry point (auth middleware + session/compose special
+  /// cases + generic Redfish dispatch). POST /redfish/v1/Systems with a
+  /// "Prefer: respond-async" header is accepted as a Task (202 + monitor
+  /// URI); the composition runs at the next ProcessPendingWork().
+  http::Response Handle(const http::Request& request);
+
+  /// Executes deferred (task-backed) operations; returns how many ran.
+  std::size_t ProcessPendingWork();
+  std::size_t pending_work() const { return pending_work_.size(); }
+  http::ServerHandler Handler() {
+    return [this](const http::Request& request) { return Handle(request); };
+  }
+
+  redfish::ResourceTree& tree() { return tree_; }
+  redfish::RedfishService& rest() { return rest_; }
+  SessionService& sessions() { return sessions_; }
+  EventService& events() { return events_; }
+  TaskService& tasks() { return tasks_; }
+  TelemetryService& telemetry() { return telemetry_; }
+  CompositionService& composition() { return composition_; }
+  SimClock& clock() { return clock_; }
+
+  Result<FabricAgent*> AgentForFabric(const std::string& fabric_id);
+
+ private:
+  Status BootstrapServiceRoot();
+  void WireRoutes();
+
+  SimClock clock_;
+  redfish::ResourceTree tree_;
+  redfish::RedfishService rest_;
+  SessionService sessions_;
+  EventService events_;
+  TaskService tasks_;
+  TelemetryService telemetry_;
+  CompositionService composition_;
+  std::map<std::string, std::shared_ptr<FabricAgent>> agents_by_fabric_;
+  std::deque<std::function<void()>> pending_work_;
+  bool bootstrapped_ = false;
+};
+
+}  // namespace ofmf::core

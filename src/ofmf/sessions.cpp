@@ -1,0 +1,77 @@
+#include "ofmf/sessions.hpp"
+
+#include <cstdio>
+
+#include "ofmf/uris.hpp"
+
+namespace ofmf::core {
+namespace {
+
+std::string HexToken(Rng& rng) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%016llx%016llx",
+                static_cast<unsigned long long>(rng.NextU64()),
+                static_cast<unsigned long long>(rng.NextU64()));
+  return buffer;
+}
+
+}  // namespace
+
+SessionService::SessionService(redfish::ResourceTree& tree) : tree_(tree) {
+  users_["admin"] = "ofmf";
+}
+
+Status SessionService::Bootstrap() {
+  OFMF_RETURN_IF_ERROR(tree_.Create(
+      kSessionService, "#SessionService.v1_1_8.SessionService",
+      json::Json::Obj({{"Id", "SessionService"},
+                       {"Name", "Session Service"},
+                       {"ServiceEnabled", true},
+                       {"SessionTimeout", 1800},
+                       {"Sessions", json::Json::Obj({{"@odata.id", kSessions}})}})));
+  return tree_.CreateCollection(kSessions, "#SessionCollection.SessionCollection",
+                                "Sessions");
+}
+
+void SessionService::AddUser(const std::string& user, const std::string& password) {
+  users_[user] = password;
+}
+
+Result<SessionInfo> SessionService::CreateSession(const std::string& user,
+                                                  const std::string& password) {
+  if (user.empty()) return Status::InvalidArgument("UserName must be non-empty");
+  auto it = users_.find(user);
+  if (it == users_.end() || it->second != password) {
+    return Status::PermissionDenied("invalid credentials for user " + user);
+  }
+  SessionInfo session;
+  session.id = std::to_string(next_id_++);
+  session.user = user;
+  session.token = HexToken(rng_);
+  session.uri = std::string(kSessions) + "/" + session.id;
+
+  OFMF_RETURN_IF_ERROR(tree_.Create(
+      session.uri, "#Session.v1_5_0.Session",
+      json::Json::Obj({{"Id", session.id}, {"Name", "Session " + session.id},
+                       {"UserName", user}})));
+  OFMF_RETURN_IF_ERROR(tree_.AddMember(kSessions, session.uri));
+  sessions_by_token_[session.token] = session;
+  return session;
+}
+
+Status SessionService::DeleteSession(const std::string& session_id) {
+  const std::string uri = std::string(kSessions) + "/" + session_id;
+  OFMF_RETURN_IF_ERROR(tree_.Delete(uri));
+  OFMF_RETURN_IF_ERROR(tree_.RemoveMember(kSessions, uri));
+  std::erase_if(sessions_by_token_,
+                [&](const auto& entry) { return entry.second.id == session_id; });
+  return Status::Ok();
+}
+
+std::optional<SessionInfo> SessionService::Authenticate(const std::string& token) const {
+  auto it = sessions_by_token_.find(token);
+  if (it == sessions_by_token_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace ofmf::core

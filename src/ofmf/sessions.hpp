@@ -1,0 +1,55 @@
+// Redfish SessionService: POST to Sessions with UserName/Password yields an
+// X-Auth-Token; when authentication is enabled, every other request must
+// present a live token.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "json/value.hpp"
+#include "redfish/tree.hpp"
+
+namespace ofmf::core {
+
+struct SessionInfo {
+  std::string id;
+  std::string user;
+  std::string token;
+  std::string uri;
+};
+
+class SessionService {
+ public:
+  explicit SessionService(redfish::ResourceTree& tree);
+
+  /// Installs /redfish/v1/SessionService and the Sessions collection.
+  Status Bootstrap();
+
+  /// Validates credentials (any non-empty user with password "ofmf" or a
+  /// user registered via AddUser) and mints a session + token.
+  Result<SessionInfo> CreateSession(const std::string& user, const std::string& password);
+  Status DeleteSession(const std::string& session_id);
+
+  /// Token -> session (nullopt when unknown).
+  std::optional<SessionInfo> Authenticate(const std::string& token) const;
+
+  void AddUser(const std::string& user, const std::string& password);
+
+  bool auth_required() const { return auth_required_; }
+  void set_auth_required(bool required) { auth_required_ = required; }
+
+  std::size_t session_count() const { return sessions_by_token_.size(); }
+
+ private:
+  redfish::ResourceTree& tree_;
+  std::map<std::string, std::string> users_;  // user -> password
+  std::map<std::string, SessionInfo> sessions_by_token_;
+  Rng rng_{0xC0FFEE};
+  std::uint64_t next_id_ = 1;
+  bool auth_required_ = false;
+};
+
+}  // namespace ofmf::core

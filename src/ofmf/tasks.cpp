@@ -1,0 +1,78 @@
+#include "ofmf/tasks.hpp"
+
+#include "ofmf/uris.hpp"
+
+namespace ofmf::core {
+
+const char* to_string(TaskState state) {
+  switch (state) {
+    case TaskState::kNew: return "New";
+    case TaskState::kRunning: return "Running";
+    case TaskState::kCompleted: return "Completed";
+    case TaskState::kException: return "Exception";
+    case TaskState::kCancelled: return "Cancelled";
+  }
+  return "?";
+}
+
+TaskService::TaskService(redfish::ResourceTree& tree, SimClock& clock)
+    : tree_(tree), clock_(clock) {}
+
+Status TaskService::Bootstrap() {
+  OFMF_RETURN_IF_ERROR(tree_.Create(
+      kTaskService, "#TaskService.v1_2_0.TaskService",
+      json::Json::Obj({{"Id", "TaskService"},
+                       {"Name", "Task Service"},
+                       {"ServiceEnabled", true},
+                       {"Tasks", json::Json::Obj({{"@odata.id", kTasks}})}})));
+  return tree_.CreateCollection(kTasks, "#TaskCollection.TaskCollection", "Tasks");
+}
+
+Result<std::string> TaskService::CreateTask(const std::string& name) {
+  const std::string id = std::to_string(next_id_++);
+  const std::string uri = std::string(kTasks) + "/" + id;
+  OFMF_RETURN_IF_ERROR(tree_.Create(
+      uri, "#Task.v1_7_0.Task",
+      json::Json::Obj({{"Id", id},
+                       {"Name", name},
+                       {"TaskState", to_string(TaskState::kNew)},
+                       {"PercentComplete", 0},
+                       {"StartTime", FormatSimTimestamp(clock_.now())},
+                       {"Messages", json::Json::MakeArray()}})));
+  OFMF_RETURN_IF_ERROR(tree_.AddMember(kTasks, uri));
+  return uri;
+}
+
+Status TaskService::SetState(const std::string& task_uri, TaskState state,
+                             const std::string& message) {
+  json::Json patch = json::Json::Obj({{"TaskState", to_string(state)}});
+  if (state == TaskState::kCompleted) {
+    patch.as_object().Set("PercentComplete", 100);
+    patch.as_object().Set("EndTime", FormatSimTimestamp(clock_.now()));
+  }
+  if (!message.empty()) {
+    patch.as_object().Set(
+        "Messages", json::Json::Arr({json::Json::Obj({{"Message", message}})}));
+  }
+  return tree_.Patch(task_uri, patch);
+}
+
+Status TaskService::SetPercentComplete(const std::string& task_uri, int percent) {
+  if (percent < 0 || percent > 100) {
+    return Status::InvalidArgument("percent must be 0-100");
+  }
+  return tree_.Patch(task_uri, json::Json::Obj({{"PercentComplete", percent}}));
+}
+
+Result<TaskState> TaskService::GetState(const std::string& task_uri) const {
+  OFMF_ASSIGN_OR_RETURN(json::Json doc, tree_.Get(task_uri));
+  const std::string state = doc.GetString("TaskState");
+  if (state == "New") return TaskState::kNew;
+  if (state == "Running") return TaskState::kRunning;
+  if (state == "Completed") return TaskState::kCompleted;
+  if (state == "Exception") return TaskState::kException;
+  if (state == "Cancelled") return TaskState::kCancelled;
+  return Status::Internal("unknown TaskState: " + state);
+}
+
+}  // namespace ofmf::core

@@ -1,0 +1,39 @@
+// Redfish TaskService: long-running operations (compositions, fabric
+// reconfiguration) surface as Task resources clients can poll.
+#pragma once
+
+#include <string>
+
+#include "common/clock.hpp"
+#include "common/result.hpp"
+#include "json/value.hpp"
+#include "redfish/tree.hpp"
+
+namespace ofmf::core {
+
+enum class TaskState { kNew, kRunning, kCompleted, kException, kCancelled };
+
+const char* to_string(TaskState state);
+
+class TaskService {
+ public:
+  TaskService(redfish::ResourceTree& tree, SimClock& clock);
+
+  Status Bootstrap();
+
+  /// Creates a Task in kNew; returns its URI.
+  Result<std::string> CreateTask(const std::string& name);
+
+  Status SetState(const std::string& task_uri, TaskState state,
+                  const std::string& message = "");
+  Status SetPercentComplete(const std::string& task_uri, int percent);
+
+  Result<TaskState> GetState(const std::string& task_uri) const;
+
+ private:
+  redfish::ResourceTree& tree_;
+  SimClock& clock_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace ofmf::core

@@ -1,0 +1,72 @@
+#include "ofmf/telemetry.hpp"
+
+#include "ofmf/uris.hpp"
+
+namespace ofmf::core {
+
+TelemetryService::TelemetryService(redfish::ResourceTree& tree, EventService& events,
+                                   SimClock& clock)
+    : tree_(tree), events_(events), clock_(clock) {}
+
+Status TelemetryService::Bootstrap() {
+  OFMF_RETURN_IF_ERROR(tree_.Create(
+      kTelemetryService, "#TelemetryService.v1_3_1.TelemetryService",
+      json::Json::Obj(
+          {{"Id", "TelemetryService"},
+           {"Name", "Telemetry Service"},
+           {"ServiceEnabled", true},
+           {"MetricReports", json::Json::Obj({{"@odata.id", kMetricReports}})}})));
+  return tree_.CreateCollection(
+      kMetricReports, "#MetricReportCollection.MetricReportCollection", "Metric Reports");
+}
+
+Status TelemetryService::PushReport(const std::string& report_id,
+                                    const std::vector<MetricValue>& values) {
+  if (report_id.empty()) return Status::InvalidArgument("report id must be non-empty");
+  const std::string uri = std::string(kMetricReports) + "/" + report_id;
+  json::Array metric_values;
+  for (const MetricValue& value : values) {
+    json::Json entry = json::Json::Obj({{"MetricId", value.metric_id},
+                                        {"MetricValue", value.value},
+                                        {"Timestamp", FormatSimTimestamp(clock_.now())}});
+    if (!value.property.empty()) {
+      entry.as_object().Set("MetricProperty", value.property);
+    }
+    metric_values.push_back(std::move(entry));
+  }
+  json::Json payload = json::Json::Obj({
+      {"Id", report_id},
+      {"Name", "Metric report " + report_id},
+      {"ReportSequence", 0},
+      {"MetricValues", json::Json(std::move(metric_values))},
+  });
+  if (tree_.Exists(uri)) {
+    OFMF_RETURN_IF_ERROR(tree_.Replace(uri, std::move(payload)));
+  } else {
+    OFMF_RETURN_IF_ERROR(
+        tree_.Create(uri, "#MetricReport.v1_4_2.MetricReport", std::move(payload)));
+    OFMF_RETURN_IF_ERROR(tree_.AddMember(kMetricReports, uri));
+  }
+  Event event;
+  event.event_type = "MetricReport";
+  event.message_id = "TelemetryService.1.0.MetricReportUpdated";
+  event.message = "metric report " + report_id + " updated";
+  event.origin = uri;
+  events_.Publish(event);
+  return Status::Ok();
+}
+
+Result<json::Json> TelemetryService::GetReport(const std::string& report_id) const {
+  return tree_.Get(std::string(kMetricReports) + "/" + report_id);
+}
+
+std::vector<std::string> TelemetryService::ReportIds() const {
+  std::vector<std::string> ids;
+  for (const std::string& uri : tree_.UrisUnder(kMetricReports)) {
+    if (uri == kMetricReports) continue;
+    ids.push_back(uri.substr(std::string(kMetricReports).size() + 1));
+  }
+  return ids;
+}
+
+}  // namespace ofmf::core

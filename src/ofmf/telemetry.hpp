@@ -1,0 +1,43 @@
+// TelemetryService: the "subscription-based central repository for telemetry
+// information". Agents push MetricReports (power, port counters, pool
+// utilization); clients read them from the tree or subscribe to
+// MetricReport events.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/result.hpp"
+#include "json/value.hpp"
+#include "ofmf/events.hpp"
+#include "redfish/tree.hpp"
+
+namespace ofmf::core {
+
+struct MetricValue {
+  std::string metric_id;   // "PowerConsumedWatts"
+  double value = 0.0;
+  std::string property;    // origin @odata.id (optional)
+};
+
+class TelemetryService {
+ public:
+  TelemetryService(redfish::ResourceTree& tree, EventService& events, SimClock& clock);
+
+  Status Bootstrap();
+
+  /// Creates-or-replaces the report `report_id` and fires a MetricReport
+  /// event. Repeated pushes to the same id overwrite (latest snapshot).
+  Status PushReport(const std::string& report_id, const std::vector<MetricValue>& values);
+
+  Result<json::Json> GetReport(const std::string& report_id) const;
+  std::vector<std::string> ReportIds() const;
+
+ private:
+  redfish::ResourceTree& tree_;
+  EventService& events_;
+  SimClock& clock_;
+};
+
+}  // namespace ofmf::core

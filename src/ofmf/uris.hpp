@@ -1,0 +1,33 @@
+// Canonical URIs of the OFMF Redfish tree ("a single Redfish tree that
+// includes all the fabrics and resources available").
+#pragma once
+
+#include <string>
+
+namespace ofmf::core {
+
+inline constexpr const char* kServiceRoot = "/redfish/v1";
+inline constexpr const char* kFabrics = "/redfish/v1/Fabrics";
+inline constexpr const char* kSystems = "/redfish/v1/Systems";
+inline constexpr const char* kChassis = "/redfish/v1/Chassis";
+inline constexpr const char* kStorageServices = "/redfish/v1/StorageServices";
+inline constexpr const char* kSessionService = "/redfish/v1/SessionService";
+inline constexpr const char* kSessions = "/redfish/v1/SessionService/Sessions";
+inline constexpr const char* kEventService = "/redfish/v1/EventService";
+inline constexpr const char* kSubscriptions = "/redfish/v1/EventService/Subscriptions";
+inline constexpr const char* kTaskService = "/redfish/v1/TaskService";
+inline constexpr const char* kTasks = "/redfish/v1/TaskService/Tasks";
+inline constexpr const char* kTelemetryService = "/redfish/v1/TelemetryService";
+inline constexpr const char* kMetricReports = "/redfish/v1/TelemetryService/MetricReports";
+inline constexpr const char* kAggregationService = "/redfish/v1/AggregationService";
+inline constexpr const char* kAggregationSources =
+    "/redfish/v1/AggregationService/AggregationSources";
+inline constexpr const char* kCompositionService = "/redfish/v1/CompositionService";
+inline constexpr const char* kResourceBlocks =
+    "/redfish/v1/CompositionService/ResourceBlocks";
+
+inline std::string FabricUri(const std::string& fabric_id) {
+  return std::string(kFabrics) + "/" + fabric_id;
+}
+
+}  // namespace ofmf::core

@@ -1,0 +1,49 @@
+#include "redfish/conformance.hpp"
+
+#include <set>
+
+#include "odata/annotations.hpp"
+
+namespace ofmf::redfish {
+
+ConformanceReport AuditTree(const ResourceTree& tree, const SchemaRegistry& registry) {
+  ConformanceReport report;
+  for (const std::string& uri : tree.UrisUnder("/")) {
+    const Result<json::Json> stamped = tree.Get(uri);
+    const Result<json::Json> raw = tree.GetRaw(uri);
+    if (!stamped.ok() || !raw.ok()) continue;  // deleted concurrently
+    ++report.resources_checked;
+
+    // Schema validation of the stored payload.
+    const std::string type = stamped->GetString("@odata.type");
+    if (const json::SchemaValidator* validator = registry.Find(type)) {
+      ++report.resources_with_schema;
+      for (const json::ValidationError& error : validator->Validate(*raw)) {
+        report.issues.push_back({uri, error.pointer, error.message});
+      }
+    }
+
+    // Collection invariants.
+    const json::Json* members =
+        raw->is_object() ? raw->as_object().Find("Members") : nullptr;
+    if (members != nullptr && members->is_array()) {
+      std::set<std::string> seen;
+      for (const json::Json& entry : members->as_array()) {
+        const std::string member_uri = odata::IdOf(entry);
+        if (member_uri.empty()) {
+          report.issues.push_back({uri, "/Members", "member entry missing @odata.id"});
+          continue;
+        }
+        if (!seen.insert(member_uri).second) {
+          report.issues.push_back({uri, "/Members", "duplicate member " + member_uri});
+        }
+        if (!tree.Exists(member_uri)) {
+          report.issues.push_back({uri, "/Members", "dangling member " + member_uri});
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace ofmf::redfish

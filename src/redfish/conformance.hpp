@@ -1,0 +1,33 @@
+// Whole-tree conformance audit: validates every resource's stored payload
+// against the schema registered for its @odata.type, and checks collection
+// structural invariants (every member reference resolves, no duplicate
+// members). The OFMF runs this as a self-check; tests run it over fully
+// populated services to catch agents publishing schema-invalid payloads.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "redfish/schemas.hpp"
+#include "redfish/tree.hpp"
+
+namespace ofmf::redfish {
+
+struct ConformanceIssue {
+  std::string uri;      // resource at fault
+  std::string pointer;  // location within the payload ("" = whole resource)
+  std::string message;
+};
+
+struct ConformanceReport {
+  std::size_t resources_checked = 0;
+  std::size_t resources_with_schema = 0;
+  std::vector<ConformanceIssue> issues;
+  bool clean() const { return issues.empty(); }
+};
+
+/// Audits every resource in `tree`. Types without a registered schema only
+/// get the structural checks.
+ConformanceReport AuditTree(const ResourceTree& tree, const SchemaRegistry& registry);
+
+}  // namespace ofmf::redfish

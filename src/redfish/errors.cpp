@@ -1,0 +1,55 @@
+#include "redfish/errors.hpp"
+
+namespace ofmf::redfish {
+
+json::Json MakeErrorBody(const std::string& code, const std::string& message,
+                         const std::vector<ExtendedInfo>& extended) {
+  json::Array info;
+  if (extended.empty()) {
+    info.push_back(json::Json::Obj({{"@odata.type", "#Message.v1_1_2.Message"},
+                                    {"MessageId", code},
+                                    {"Message", message},
+                                    {"Severity", "Warning"},
+                                    {"Resolution", "None."}}));
+  }
+  for (const ExtendedInfo& e : extended) {
+    info.push_back(json::Json::Obj({{"@odata.type", "#Message.v1_1_2.Message"},
+                                    {"MessageId", e.message_id},
+                                    {"Message", e.message},
+                                    {"Severity", e.severity},
+                                    {"Resolution", e.resolution}}));
+  }
+  return json::Json::Obj(
+      {{"error", json::Json::Obj({{"code", code},
+                                  {"message", message},
+                                  {"@Message.ExtendedInfo", json::Json(std::move(info))}})}});
+}
+
+std::string BaseMessageId(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "Base.1.0.Success";
+    case ErrorCode::kInvalidArgument: return "Base.1.0.PropertyValueError";
+    case ErrorCode::kNotFound: return "Base.1.0.ResourceMissingAtURI";
+    case ErrorCode::kAlreadyExists: return "Base.1.0.ResourceAlreadyExists";
+    case ErrorCode::kPermissionDenied: return "Base.1.0.InsufficientPrivilege";
+    case ErrorCode::kFailedPrecondition: return "Base.1.0.PreconditionFailed";
+    case ErrorCode::kResourceExhausted: return "Base.1.0.InsufficientResources";
+    case ErrorCode::kUnavailable: return "Base.1.0.ServiceTemporarilyUnavailable";
+    case ErrorCode::kTimeout: return "Base.1.0.OperationTimeout";
+    case ErrorCode::kInternal: return "Base.1.0.InternalError";
+    case ErrorCode::kUnimplemented: return "Base.1.0.ActionNotSupported";
+  }
+  return "Base.1.0.GeneralError";
+}
+
+http::Response ErrorResponse(const Status& status) {
+  return http::MakeJsonResponse(http::StatusToHttp(status),
+                                MakeErrorBody(BaseMessageId(status.code()), status.message()));
+}
+
+http::Response ErrorResponse(int http_status, const std::string& message_id,
+                             const std::string& message) {
+  return http::MakeJsonResponse(http_status, MakeErrorBody(message_id, message));
+}
+
+}  // namespace ofmf::redfish

@@ -1,0 +1,36 @@
+// Redfish standard error payloads (DSP0266 §Error responses, Base message
+// registry). Every non-2xx response from the service carries one of these.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "http/message.hpp"
+#include "json/value.hpp"
+
+namespace ofmf::redfish {
+
+struct ExtendedInfo {
+  std::string message_id;  // e.g. "Base.1.0.PropertyValueNotInList"
+  std::string message;
+  std::string severity = "Warning";
+  std::string resolution;
+};
+
+/// {"error": {"code", "message", "@Message.ExtendedInfo": [...]}}
+json::Json MakeErrorBody(const std::string& code, const std::string& message,
+                         const std::vector<ExtendedInfo>& extended = {});
+
+/// Full HTTP response for an internal Status (maps code -> HTTP status and a
+/// Base registry message id).
+http::Response ErrorResponse(const Status& status);
+
+/// Error response with explicit HTTP status + registry id.
+http::Response ErrorResponse(int http_status, const std::string& message_id,
+                             const std::string& message);
+
+/// Base registry message id for an ErrorCode ("Base.1.0.ResourceMissing"...).
+std::string BaseMessageId(ErrorCode code);
+
+}  // namespace ofmf::redfish

@@ -1,0 +1,385 @@
+#include "redfish/schemas.hpp"
+
+#include <cassert>
+
+#include "common/strings.hpp"
+#include "json/parse.hpp"
+
+namespace ofmf::redfish {
+namespace {
+
+// Shared fragments. Kept as raw JSON text: the closest thing to the .json
+// schema bundles DMTF ships, and trivially diffable against them.
+constexpr const char* kStatusDef = R"({
+  "type": "object",
+  "properties": {
+    "State": {"type": "string",
+              "enum": ["Enabled", "Disabled", "Absent", "StandbyOffline",
+                        "Starting", "UnavailableOffline", "Deferring", "Quiesced"]},
+    "Health": {"type": "string", "enum": ["OK", "Warning", "Critical"]},
+    "HealthRollup": {"type": "string", "enum": ["OK", "Warning", "Critical"]}
+  },
+  "additionalProperties": false
+})";
+
+json::Json WithCommonDefs(const std::string& schema_text) {
+  auto schema = json::Parse(schema_text);
+  assert(schema.ok() && "built-in schema must parse");
+  json::Json defs = schema->at("$defs");
+  if (!defs.is_object()) defs = json::Json::MakeObject();
+  defs.as_object().Set("Status", *json::Parse(kStatusDef));
+  schema->as_object().Set("$defs", defs);
+  return *schema;
+}
+
+}  // namespace
+
+std::string SchemaRegistry::BareName(const std::string& type) {
+  // "#Fabric.v1_3_0.Fabric" -> "Fabric"; bare names pass through.
+  if (type.empty() || type[0] != '#') return type;
+  const std::size_t last_dot = type.rfind('.');
+  if (last_dot == std::string::npos) return type.substr(1);
+  return type.substr(last_dot + 1);
+}
+
+void SchemaRegistry::Register(const std::string& type_name, json::Json schema) {
+  validators_[type_name] = std::make_unique<json::SchemaValidator>(std::move(schema));
+}
+
+const json::SchemaValidator* SchemaRegistry::Find(const std::string& type) const {
+  auto it = validators_.find(BareName(type));
+  if (it == validators_.end()) return nullptr;
+  return it->second.get();
+}
+
+Status SchemaRegistry::ValidateCreate(const std::string& type, const json::Json& body) const {
+  const json::SchemaValidator* validator = Find(type);
+  if (validator == nullptr) return Status::Ok();
+  return validator->Check(body);
+}
+
+Status SchemaRegistry::ValidatePatch(const std::string& type, const json::Json& body) const {
+  const json::SchemaValidator* validator = Find(type);
+  if (validator == nullptr) return Status::Ok();
+  const auto readonly = validator->ReadOnlyViolations(body);
+  if (!readonly.empty()) {
+    return Status::PermissionDenied("cannot PATCH read-only property at " +
+                                    readonly.front().pointer);
+  }
+  // PATCH bodies are partial: validate only present members by dropping
+  // "required" from the check (merge semantics guarantee the rest).
+  json::Json relaxed = validator->schema();
+  if (relaxed.is_object()) relaxed.as_object().Erase("required");
+  return json::SchemaValidator(std::move(relaxed)).Check(body);
+}
+
+std::vector<std::string> SchemaRegistry::TypeNames() const {
+  std::vector<std::string> names;
+  names.reserve(validators_.size());
+  for (const auto& [name, v] : validators_) names.push_back(name);
+  return names;
+}
+
+SchemaRegistry SchemaRegistry::BuiltIn() {
+  SchemaRegistry registry;
+
+  registry.Register("Fabric", WithCommonDefs(R"({
+    "type": "object",
+    "required": ["Name", "FabricType"],
+    "properties": {
+      "Id": {"type": "string", "readonly": true},
+      "Name": {"type": "string", "minLength": 1},
+      "Description": {"type": "string"},
+      "FabricType": {"type": "string",
+        "enum": ["CXL", "GenZ", "InfiniBand", "Ethernet", "NVMeOverFabrics", "PCIe", "OEM"]},
+      "MaxZones": {"type": "integer", "minimum": 0},
+      "Status": {"$ref": "#/$defs/Status"},
+      "Zones": {"type": "object"},
+      "Endpoints": {"type": "object"},
+      "Switches": {"type": "object"},
+      "Connections": {"type": "object"},
+      "UUID": {"type": "string"},
+      "Oem": {"type": "object"}
+    }
+  })"));
+
+  registry.Register("Endpoint", WithCommonDefs(R"({
+    "type": "object",
+    "required": ["Name", "EndpointProtocol"],
+    "properties": {
+      "Id": {"type": "string", "readonly": true},
+      "Name": {"type": "string", "minLength": 1},
+      "Description": {"type": "string"},
+      "EndpointProtocol": {"type": "string",
+        "enum": ["CXL", "GenZ", "InfiniBand", "Ethernet", "NVMeOverFabrics", "PCIe", "OEM"]},
+      "ConnectedEntities": {"type": "array", "items": {
+        "type": "object",
+        "properties": {
+          "EntityType": {"type": "string",
+            "enum": ["Processor", "Memory", "Drive", "StorageInitiator",
+                     "StorageTarget", "NetworkController", "AccelerationFunction",
+                     "MediumScopedMemory", "ComputerSystem"]},
+          "EntityLink": {"type": "object"}
+        }
+      }},
+      "EndpointRole": {"type": "string", "enum": ["Initiator", "Target", "Both"]},
+      "PciId": {"type": "object"},
+      "Status": {"$ref": "#/$defs/Status"},
+      "Links": {"type": "object"},
+      "Oem": {"type": "object"}
+    }
+  })"));
+
+  registry.Register("Zone", WithCommonDefs(R"({
+    "type": "object",
+    "required": ["Name"],
+    "properties": {
+      "Id": {"type": "string", "readonly": true},
+      "Name": {"type": "string", "minLength": 1},
+      "ZoneType": {"type": "string",
+        "enum": ["Default", "ZoneOfEndpoints", "ZoneOfZones", "ZoneOfResourceBlocks"]},
+      "Status": {"$ref": "#/$defs/Status"},
+      "Links": {"type": "object", "properties": {
+        "Endpoints": {"type": "array", "items": {"type": "object"}}
+      }},
+      "Oem": {"type": "object"}
+    }
+  })"));
+
+  registry.Register("Connection", WithCommonDefs(R"({
+    "type": "object",
+    "required": ["Name", "ConnectionType"],
+    "properties": {
+      "Id": {"type": "string", "readonly": true},
+      "Name": {"type": "string", "minLength": 1},
+      "ConnectionType": {"type": "string", "enum": ["Storage", "Memory", "Network"]},
+      "Status": {"$ref": "#/$defs/Status"},
+      "Links": {"type": "object", "properties": {
+        "InitiatorEndpoints": {"type": "array", "items": {"type": "object"}},
+        "TargetEndpoints": {"type": "array", "items": {"type": "object"}}
+      }},
+      "MemoryChunkInfo": {"type": "array", "items": {"type": "object"}},
+      "VolumeInfo": {"type": "array", "items": {"type": "object"}},
+      "Oem": {"type": "object"}
+    }
+  })"));
+
+  registry.Register("Switch", WithCommonDefs(R"({
+    "type": "object",
+    "required": ["Name", "SwitchType"],
+    "properties": {
+      "Id": {"type": "string", "readonly": true},
+      "Name": {"type": "string", "minLength": 1},
+      "SwitchType": {"type": "string",
+        "enum": ["CXL", "GenZ", "InfiniBand", "Ethernet", "NVMeOverFabrics", "PCIe", "OEM"]},
+      "Manufacturer": {"type": "string"},
+      "Model": {"type": "string"},
+      "SerialNumber": {"type": "string", "readonly": true},
+      "TotalSwitchWidth": {"type": "integer", "minimum": 0},
+      "Status": {"$ref": "#/$defs/Status"},
+      "Ports": {"type": "object"},
+      "Oem": {"type": "object"}
+    }
+  })"));
+
+  registry.Register("Port", WithCommonDefs(R"({
+    "type": "object",
+    "required": ["Name"],
+    "properties": {
+      "Id": {"type": "string", "readonly": true},
+      "Name": {"type": "string", "minLength": 1},
+      "PortId": {"type": "string"},
+      "PortProtocol": {"type": "string"},
+      "CurrentSpeedGbps": {"type": "number", "minimum": 0},
+      "MaxSpeedGbps": {"type": "number", "minimum": 0},
+      "Width": {"type": "integer", "minimum": 0},
+      "LinkState": {"type": "string", "enum": ["Enabled", "Disabled"]},
+      "LinkStatus": {"type": "string", "enum": ["LinkUp", "LinkDown", "NoLink"]},
+      "Status": {"$ref": "#/$defs/Status"},
+      "Links": {"type": "object"},
+      "Oem": {"type": "object"}
+    }
+  })"));
+
+  registry.Register("ComputerSystem", WithCommonDefs(R"({
+    "type": "object",
+    "required": ["Name"],
+    "properties": {
+      "Id": {"type": "string", "readonly": true},
+      "Name": {"type": "string", "minLength": 1},
+      "SystemType": {"type": "string",
+        "enum": ["Physical", "Virtual", "Composed", "OS", "PhysicallyPartitioned"]},
+      "PowerState": {"type": "string", "enum": ["On", "Off", "PoweringOn", "PoweringOff"]},
+      "ProcessorSummary": {"type": "object", "properties": {
+        "Count": {"type": "integer", "minimum": 0},
+        "CoreCount": {"type": "integer", "minimum": 0},
+        "Model": {"type": "string"}
+      }},
+      "MemorySummary": {"type": "object", "properties": {
+        "TotalSystemMemoryGiB": {"type": "number", "minimum": 0}
+      }},
+      "Status": {"$ref": "#/$defs/Status"},
+      "Links": {"type": "object"},
+      "Boot": {"type": "object"},
+      "HostName": {"type": "string"},
+      "Oem": {"type": "object"}
+    }
+  })"));
+
+  registry.Register("Chassis", WithCommonDefs(R"({
+    "type": "object",
+    "required": ["Name", "ChassisType"],
+    "properties": {
+      "Id": {"type": "string", "readonly": true},
+      "Name": {"type": "string", "minLength": 1},
+      "ChassisType": {"type": "string",
+        "enum": ["Rack", "Blade", "Enclosure", "Sled", "Drawer", "Module", "Expansion"]},
+      "Manufacturer": {"type": "string"},
+      "Model": {"type": "string"},
+      "PowerState": {"type": "string", "enum": ["On", "Off"]},
+      "Status": {"$ref": "#/$defs/Status"},
+      "Links": {"type": "object"},
+      "Oem": {"type": "object"}
+    }
+  })"));
+
+  registry.Register("Processor", WithCommonDefs(R"({
+    "type": "object",
+    "required": ["Name"],
+    "properties": {
+      "Id": {"type": "string", "readonly": true},
+      "Name": {"type": "string"},
+      "ProcessorType": {"type": "string",
+        "enum": ["CPU", "GPU", "FPGA", "DSP", "Accelerator", "Core", "Thread"]},
+      "TotalCores": {"type": "integer", "minimum": 0},
+      "TotalThreads": {"type": "integer", "minimum": 0},
+      "MaxSpeedMHz": {"type": "number", "minimum": 0},
+      "Manufacturer": {"type": "string"},
+      "Model": {"type": "string"},
+      "Status": {"$ref": "#/$defs/Status"},
+      "Oem": {"type": "object"}
+    }
+  })"));
+
+  registry.Register("Memory", WithCommonDefs(R"({
+    "type": "object",
+    "required": ["Name"],
+    "properties": {
+      "Id": {"type": "string", "readonly": true},
+      "Name": {"type": "string"},
+      "MemoryType": {"type": "string", "enum": ["DRAM", "NVDIMM_N", "NVDIMM_F", "CXL", "HBM"]},
+      "CapacityMiB": {"type": "integer", "minimum": 0},
+      "AllocatedMiB": {"type": "integer", "minimum": 0},
+      "OperatingSpeedMhz": {"type": "integer", "minimum": 0},
+      "Status": {"$ref": "#/$defs/Status"},
+      "Oem": {"type": "object"}
+    }
+  })"));
+
+  registry.Register("StorageService", WithCommonDefs(R"({
+    "type": "object",
+    "required": ["Name"],
+    "properties": {
+      "Id": {"type": "string", "readonly": true},
+      "Name": {"type": "string"},
+      "Status": {"$ref": "#/$defs/Status"},
+      "StoragePools": {"type": "object"},
+      "Volumes": {"type": "object"},
+      "Endpoints": {"type": "object"},
+      "Oem": {"type": "object"}
+    }
+  })"));
+
+  registry.Register("StoragePool", WithCommonDefs(R"({
+    "type": "object",
+    "required": ["Name", "Capacity"],
+    "properties": {
+      "Id": {"type": "string", "readonly": true},
+      "Name": {"type": "string"},
+      "Capacity": {"type": "object", "required": ["Data"], "properties": {
+        "Data": {"type": "object", "properties": {
+          "AllocatedBytes": {"type": "integer", "minimum": 0},
+          "ConsumedBytes": {"type": "integer", "minimum": 0},
+          "GuaranteedBytes": {"type": "integer", "minimum": 0}
+        }}
+      }},
+      "SupportedRAIDTypes": {"type": "array", "items": {"type": "string"}},
+      "Status": {"$ref": "#/$defs/Status"},
+      "Oem": {"type": "object"}
+    }
+  })"));
+
+  registry.Register("Volume", WithCommonDefs(R"({
+    "type": "object",
+    "required": ["Name", "CapacityBytes"],
+    "properties": {
+      "Id": {"type": "string", "readonly": true},
+      "Name": {"type": "string"},
+      "CapacityBytes": {"type": "integer", "minimum": 0},
+      "RAIDType": {"type": "string",
+        "enum": ["RAID0", "RAID1", "RAID5", "RAID6", "RAID10", "None"]},
+      "AccessCapabilities": {"type": "array",
+        "items": {"type": "string", "enum": ["Read", "Write", "WriteOnce", "Append"]}},
+      "OptimumIOSizeBytes": {"type": "integer", "minimum": 0},
+      "Status": {"$ref": "#/$defs/Status"},
+      "Links": {"type": "object"},
+      "Oem": {"type": "object"}
+    }
+  })"));
+
+  registry.Register("EventDestination", WithCommonDefs(R"({
+    "type": "object",
+    "required": ["Destination", "Protocol"],
+    "properties": {
+      "Id": {"type": "string", "readonly": true},
+      "Name": {"type": "string"},
+      "Destination": {"type": "string", "minLength": 1},
+      "Protocol": {"type": "string", "enum": ["Redfish", "SNMPv2c", "SyslogTCP", "OEM"]},
+      "EventTypes": {"type": "array", "items": {"type": "string",
+        "enum": ["StatusChange", "ResourceUpdated", "ResourceAdded",
+                 "ResourceRemoved", "Alert", "MetricReport"]}},
+      "Context": {"type": "string"},
+      "SubscriptionType": {"type": "string", "enum": ["RedfishEvent", "SSE", "OEM"]},
+      "Status": {"$ref": "#/$defs/Status"},
+      "Oem": {"type": "object"}
+    }
+  })"));
+
+  registry.Register("Session", WithCommonDefs(R"({
+    "type": "object",
+    "required": ["UserName"],
+    "properties": {
+      "Id": {"type": "string", "readonly": true},
+      "Name": {"type": "string"},
+      "UserName": {"type": "string", "minLength": 1},
+      "Password": {"type": "string"},
+      "Oem": {"type": "object"}
+    }
+  })"));
+
+  registry.Register("ResourceBlock", WithCommonDefs(R"({
+    "type": "object",
+    "required": ["Name"],
+    "properties": {
+      "Id": {"type": "string", "readonly": true},
+      "Name": {"type": "string"},
+      "ResourceBlockType": {"type": "array", "items": {"type": "string",
+        "enum": ["Compute", "Processor", "Memory", "Network", "Storage", "Expansion"]}},
+      "CompositionStatus": {"type": "object", "properties": {
+        "CompositionState": {"type": "string",
+          "enum": ["Composed", "ComposedAndAvailable", "Composing", "Failed",
+                   "Unused", "Unavailable"]},
+        "Reserved": {"type": "boolean"},
+        "MaxCompositions": {"type": "integer", "minimum": 0},
+        "NumberOfCompositions": {"type": "integer", "minimum": 0}
+      }},
+      "Status": {"$ref": "#/$defs/Status"},
+      "Links": {"type": "object"},
+      "Oem": {"type": "object"}
+    }
+  })"));
+
+  return registry;
+}
+
+}  // namespace ofmf::redfish

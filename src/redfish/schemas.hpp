@@ -1,0 +1,45 @@
+// Schema registry: maps a Redfish @odata.type tag (or its bare type name) to
+// a SchemaValidator. POST/PATCH bodies are validated before they touch the
+// tree; PATCHes additionally honour "readonly" annotations.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "json/schema.hpp"
+
+namespace ofmf::redfish {
+
+class SchemaRegistry {
+ public:
+  /// Registry pre-loaded with the built-in Redfish/Swordfish schema subset
+  /// used by the OFMF model (Fabric, Endpoint, Zone, Connection, Switch,
+  /// Port, ComputerSystem, Chassis, Processor, Memory, StorageService,
+  /// StoragePool, Volume, EventDestination, Session, ResourceBlock).
+  static SchemaRegistry BuiltIn();
+
+  /// Registers/overrides a schema for `type_name` (bare name, no version).
+  void Register(const std::string& type_name, json::Json schema);
+
+  /// Validator for a type ("Fabric" or "#Fabric.v1_3_0.Fabric"); nullptr if
+  /// unknown.
+  const json::SchemaValidator* Find(const std::string& type) const;
+
+  /// Validates `body` against the schema for `type`; unknown types pass
+  /// (Redfish forgiveness for OEM extensions).
+  Status ValidateCreate(const std::string& type, const json::Json& body) const;
+
+  /// PATCH check: schema validation of present members + readonly rejection.
+  Status ValidatePatch(const std::string& type, const json::Json& body) const;
+
+  std::vector<std::string> TypeNames() const;
+
+ private:
+  static std::string BareName(const std::string& type);
+  std::map<std::string, std::unique_ptr<json::SchemaValidator>> validators_;
+};
+
+}  // namespace ofmf::redfish

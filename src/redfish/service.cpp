@@ -1,0 +1,234 @@
+#include "redfish/service.hpp"
+
+#include "common/strings.hpp"
+#include "http/uri.hpp"
+#include "odata/annotations.hpp"
+#include "odata/filter.hpp"
+#include "odata/query.hpp"
+#include "redfish/errors.hpp"
+
+namespace ofmf::redfish {
+namespace {
+
+/// "/a/b/Actions/Ns.Action" -> {"/a/b", "Ns.Action"}; nullopt otherwise.
+std::optional<std::pair<std::string, std::string>> SplitActionTarget(
+    const std::string& path) {
+  const std::size_t marker = path.rfind("/Actions/");
+  if (marker == std::string::npos) return std::nullopt;
+  std::string resource = path.substr(0, marker);
+  std::string action = path.substr(marker + 9);
+  if (action.empty()) return std::nullopt;
+  if (resource.empty()) resource = "/";
+  return std::make_pair(resource, action);
+}
+
+bool IsCollection(const json::Json& doc) {
+  const json::Json* members =
+      doc.is_object() ? doc.as_object().Find("Members") : nullptr;
+  return members != nullptr && members->is_array();
+}
+
+}  // namespace
+
+RedfishService::RedfishService(ResourceTree& tree, SchemaRegistry registry)
+    : tree_(tree), registry_(std::move(registry)) {}
+
+void RedfishService::RegisterFactory(const std::string& collection_uri,
+                                     const std::string& type, Factory factory) {
+  factories_[http::NormalizePath(collection_uri)] = {type, std::move(factory)};
+}
+
+void RedfishService::RegisterAction(const std::string& action_name, ActionHandler handler) {
+  actions_[action_name] = std::move(handler);
+}
+
+void RedfishService::RegisterDeleteHook(const std::string& prefix, DeleteHook hook) {
+  delete_hooks_[http::NormalizePath(prefix)] = std::move(hook);
+}
+
+std::string RedfishService::TypeOf(const std::string& uri) const {
+  Result<json::Json> doc = tree_.Get(uri);
+  if (!doc.ok()) return "";
+  return doc->GetString("@odata.type");
+}
+
+http::Response RedfishService::Handle(const http::Request& request) {
+  if (middleware_) {
+    if (std::optional<http::Response> early = middleware_(request)) return *early;
+  }
+  switch (request.method) {
+    case http::Method::kGet: return HandleGet(request);
+    case http::Method::kHead: return HandleHead(request);
+    case http::Method::kPost: return HandlePost(request);
+    case http::Method::kPatch: return HandlePatch(request);
+    case http::Method::kPut: return HandlePut(request);
+    case http::Method::kDelete: return HandleDelete(request);
+    default:
+      return ErrorResponse(405, "Base.1.0.ActionNotSupported",
+                           "method not supported by this service");
+  }
+}
+
+http::Response RedfishService::HandleGet(const http::Request& request) {
+  Result<json::Json> doc = tree_.Get(request.path);
+  if (!doc.ok()) return ErrorResponse(doc.status());
+
+  auto options = odata::ParseQueryOptions(request.query);
+  if (!options.ok()) return ErrorResponse(options.status());
+
+  json::Json payload = std::move(*doc);
+  const std::string etag = payload.GetString("@odata.etag");
+
+  // Conditional GET.
+  const std::string if_none_match = request.headers.GetOr("If-None-Match", "");
+  if (!if_none_match.empty() && if_none_match == etag) {
+    http::Response not_modified = http::MakeEmptyResponse(304);
+    not_modified.headers.Set("ETag", etag);
+    return not_modified;
+  }
+
+  if (IsCollection(payload)) {
+    // $filter: evaluate against each member's full document.
+    if (!options->filter.empty()) {
+      auto filter = odata::Filter::Compile(options->filter);
+      if (!filter.ok()) return ErrorResponse(filter.status());
+      json::Json* members = payload.as_object().Find("Members");
+      json::Array kept;
+      for (const json::Json& entry : members->as_array()) {
+        Result<json::Json> member_doc = tree_.Get(odata::IdOf(entry));
+        if (member_doc.ok() && filter->Matches(*member_doc)) kept.push_back(entry);
+      }
+      members->as_array() = std::move(kept);
+    }
+    odata::ApplyPaging(payload, *options, request.path);
+    if (options->expand) {
+      odata::ApplyExpand(payload,
+                         [this](const std::string& uri) { return tree_.Get(uri); });
+    }
+  }
+  odata::ApplySelect(payload, options->select);
+
+  http::Response response = http::MakeJsonResponse(200, payload);
+  if (!etag.empty()) response.headers.Set("ETag", etag);
+  response.headers.Set("OData-Version", "4.0");
+  response.headers.Set("Allow", "GET, HEAD, POST, PATCH, PUT, DELETE");
+  return response;
+}
+
+http::Response RedfishService::HandleHead(const http::Request& request) {
+  http::Request as_get = request;
+  as_get.method = http::Method::kGet;
+  http::Response response = HandleGet(as_get);
+  response.body.clear();
+  return response;
+}
+
+http::Response RedfishService::HandlePost(const http::Request& request) {
+  // Action invocation?
+  if (auto action_target = SplitActionTarget(request.path)) {
+    const auto& [resource_uri, action_name] = *action_target;
+    auto it = actions_.find(action_name);
+    if (it == actions_.end()) {
+      return ErrorResponse(400, "Base.1.0.ActionNotSupported",
+                           "unknown action: " + action_name);
+    }
+    if (!tree_.Exists(resource_uri)) {
+      return ErrorResponse(Status::NotFound("no resource at " + resource_uri));
+    }
+    json::Json body = json::Json::MakeObject();
+    if (!request.body.empty()) {
+      Result<json::Json> parsed = request.JsonBody();
+      if (!parsed.ok()) return ErrorResponse(parsed.status());
+      body = std::move(*parsed);
+    }
+    return it->second(resource_uri, body);
+  }
+
+  // Creation via collection factory.
+  auto factory_it = factories_.find(http::NormalizePath(request.path));
+  if (factory_it == factories_.end()) {
+    if (!tree_.Exists(request.path)) {
+      return ErrorResponse(Status::NotFound("no resource at " + request.path));
+    }
+    return ErrorResponse(405, "Base.1.0.ActionNotSupported",
+                         "resource does not support POST");
+  }
+  Result<json::Json> body = request.JsonBody();
+  if (!body.ok()) return ErrorResponse(body.status());
+
+  const auto& [type, factory] = factory_it->second;
+  if (!type.empty()) {
+    const Status valid = registry_.ValidateCreate(type, *body);
+    if (!valid.ok()) return ErrorResponse(valid);
+  }
+  Result<std::string> created_uri = factory(*body);
+  if (!created_uri.ok()) return ErrorResponse(created_uri.status());
+
+  Result<json::Json> created = tree_.Get(*created_uri);
+  http::Response response =
+      http::MakeJsonResponse(201, created.ok() ? *created : json::Json::MakeObject());
+  response.headers.Set("Location", *created_uri);
+  return response;
+}
+
+http::Response RedfishService::HandlePatch(const http::Request& request) {
+  if (!tree_.Exists(request.path)) {
+    return ErrorResponse(Status::NotFound("no resource at " + request.path));
+  }
+  Result<json::Json> body = request.JsonBody();
+  if (!body.ok()) return ErrorResponse(body.status());
+
+  const std::string type = TypeOf(request.path);
+  const Status valid = registry_.ValidatePatch(type, *body);
+  if (!valid.ok()) return ErrorResponse(valid);
+
+  const Status patched =
+      tree_.Patch(request.path, *body, request.headers.GetOr("If-Match", ""));
+  if (!patched.ok()) return ErrorResponse(patched);
+
+  Result<json::Json> updated = tree_.Get(request.path);
+  http::Response response = http::MakeJsonResponse(200, *updated);
+  response.headers.Set("ETag", updated->GetString("@odata.etag"));
+  return response;
+}
+
+http::Response RedfishService::HandlePut(const http::Request& request) {
+  if (!tree_.Exists(request.path)) {
+    return ErrorResponse(Status::NotFound("no resource at " + request.path));
+  }
+  Result<json::Json> body = request.JsonBody();
+  if (!body.ok()) return ErrorResponse(body.status());
+  const std::string type = TypeOf(request.path);
+  const Status valid = registry_.ValidateCreate(type, *body);
+  if (!valid.ok()) return ErrorResponse(valid);
+  const Status replaced = tree_.Replace(request.path, std::move(*body));
+  if (!replaced.ok()) return ErrorResponse(replaced);
+  return http::MakeJsonResponse(200, *tree_.Get(request.path));
+}
+
+http::Response RedfishService::HandleDelete(const http::Request& request) {
+  const std::string path = http::NormalizePath(request.path);
+  if (!tree_.Exists(path)) {
+    return ErrorResponse(Status::NotFound("no resource at " + path));
+  }
+  // Longest-prefix delete hook wins.
+  const DeleteHook* hook = nullptr;
+  std::size_t best_len = 0;
+  for (const auto& [prefix, candidate] : delete_hooks_) {
+    if (strings::StartsWith(path, prefix) && prefix.size() >= best_len) {
+      hook = &candidate;
+      best_len = prefix.size();
+    }
+  }
+  if (hook != nullptr) {
+    const Status allowed = (*hook)(path);
+    if (!allowed.ok()) return ErrorResponse(allowed);
+    // The hook may have deleted the resource (plus dependents) itself.
+    if (!tree_.Exists(path)) return http::MakeEmptyResponse(204);
+  }
+  const Status deleted = tree_.Delete(path);
+  if (!deleted.ok()) return ErrorResponse(deleted);
+  return http::MakeEmptyResponse(204);
+}
+
+}  // namespace ofmf::redfish

@@ -1,0 +1,62 @@
+#include "redfish/swordfish.hpp"
+
+#include "json/pointer.hpp"
+
+namespace ofmf::redfish::swordfish {
+
+json::Json StorageService(const std::string& id, const std::string& name,
+                          const std::string& self_uri) {
+  return json::Json::Obj({
+      {"Id", id},
+      {"Name", name},
+      {"Status", json::Json::Obj({{"State", "Enabled"}, {"Health", "OK"}})},
+      {"StoragePools", json::Json::Obj({{"@odata.id", self_uri + "/StoragePools"}})},
+      {"Volumes", json::Json::Obj({{"@odata.id", self_uri + "/Volumes"}})},
+      {"Endpoints", json::Json::Obj({{"@odata.id", self_uri + "/Endpoints"}})},
+  });
+}
+
+json::Json StoragePool(const std::string& name, std::uint64_t allocated_bytes,
+                       std::uint64_t consumed_bytes) {
+  return json::Json::Obj({
+      {"Name", name},
+      {"Capacity",
+       json::Json::Obj({{"Data", json::Json::Obj({
+                                     {"AllocatedBytes",
+                                      static_cast<std::int64_t>(allocated_bytes)},
+                                     {"ConsumedBytes",
+                                      static_cast<std::int64_t>(consumed_bytes)},
+                                 })}})},
+      {"Status", json::Json::Obj({{"State", "Enabled"}, {"Health", "OK"}})},
+  });
+}
+
+json::Json Volume(const std::string& name, std::uint64_t capacity_bytes,
+                  const std::string& raid_type) {
+  return json::Json::Obj({
+      {"Name", name},
+      {"CapacityBytes", static_cast<std::int64_t>(capacity_bytes)},
+      {"RAIDType", raid_type},
+      {"AccessCapabilities", json::Json::Arr({"Read", "Write"})},
+      {"Status", json::Json::Obj({{"State", "Enabled"}, {"Health", "OK"}})},
+  });
+}
+
+void SetPoolConsumed(json::Json& pool, std::uint64_t consumed_bytes) {
+  (void)json::SetPointer(pool, "/Capacity/Data/ConsumedBytes",
+                         static_cast<std::int64_t>(consumed_bytes));
+}
+
+std::uint64_t PoolAllocatedBytes(const json::Json& pool) {
+  const json::Json* value = json::ResolvePointerRef(pool, "/Capacity/Data/AllocatedBytes");
+  if (value == nullptr || !value->is_int()) return 0;
+  return static_cast<std::uint64_t>(value->as_int());
+}
+
+std::uint64_t PoolConsumedBytes(const json::Json& pool) {
+  const json::Json* value = json::ResolvePointerRef(pool, "/Capacity/Data/ConsumedBytes");
+  if (value == nullptr || !value->is_int()) return 0;
+  return static_cast<std::uint64_t>(value->as_int());
+}
+
+}  // namespace ofmf::redfish::swordfish

@@ -1,0 +1,33 @@
+// SNIA Swordfish payload builders. The paper's OFMF "implements Redfish and
+// Swordfish through the implementation of a Swordfish Endpoint Emulator";
+// these helpers are how the storage agents and the BeeOND-backed storage
+// service publish their inventory into the tree.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "json/value.hpp"
+
+namespace ofmf::redfish::swordfish {
+
+/// StorageService payload (children wired as collection refs by the caller).
+json::Json StorageService(const std::string& id, const std::string& name,
+                          const std::string& self_uri);
+
+/// StoragePool with a Capacity.Data block.
+json::Json StoragePool(const std::string& name, std::uint64_t allocated_bytes,
+                       std::uint64_t consumed_bytes);
+
+/// Volume carved out of a pool.
+json::Json Volume(const std::string& name, std::uint64_t capacity_bytes,
+                  const std::string& raid_type = "None");
+
+/// Updates the consumed-bytes figure of a StoragePool payload in place.
+void SetPoolConsumed(json::Json& pool, std::uint64_t consumed_bytes);
+
+/// Reads Capacity.Data.AllocatedBytes (0 when absent).
+std::uint64_t PoolAllocatedBytes(const json::Json& pool);
+std::uint64_t PoolConsumedBytes(const json::Json& pool);
+
+}  // namespace ofmf::redfish::swordfish

@@ -1,0 +1,230 @@
+#include "redfish/tree.hpp"
+
+#include "http/uri.hpp"
+#include "json/merge_patch.hpp"
+#include "odata/annotations.hpp"
+
+namespace ofmf::redfish {
+
+const char* to_string(ChangeKind kind) {
+  switch (kind) {
+    case ChangeKind::kCreated: return "ResourceCreated";
+    case ChangeKind::kModified: return "ResourceChanged";
+    case ChangeKind::kDeleted: return "ResourceRemoved";
+  }
+  return "?";
+}
+
+std::string ResourceTree::MakeETag(std::uint64_t version) {
+  return "W/\"" + std::to_string(version) + "\"";
+}
+
+Status ResourceTree::Create(const std::string& uri, const std::string& odata_type,
+                            json::Json payload) {
+  const std::string key = http::NormalizePath(uri);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.count(key) != 0) {
+      return Status::AlreadyExists("resource already exists: " + key);
+    }
+    if (!payload.is_object()) payload = json::Json::MakeObject();
+    entries_[key] = Entry{std::move(payload), odata_type, 1};
+  }
+  Notify({ChangeKind::kCreated, key, odata_type});
+  return Status::Ok();
+}
+
+Status ResourceTree::CreateCollection(const std::string& uri, const std::string& odata_type,
+                                      const std::string& name) {
+  json::Json payload = json::Json::Obj({{"Name", name}, {"Members", json::Json::MakeArray()}});
+  return Create(uri, odata_type, std::move(payload));
+}
+
+Result<json::Json> ResourceTree::Get(const std::string& uri) const {
+  const std::string key = http::NormalizePath(uri);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return Status::NotFound("no resource at " + key);
+  json::Json doc = it->second.payload;
+  odata::Stamp(doc, key, it->second.odata_type, MakeETag(it->second.version));
+  return doc;
+}
+
+Result<json::Json> ResourceTree::GetRaw(const std::string& uri) const {
+  const std::string key = http::NormalizePath(uri);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return Status::NotFound("no resource at " + key);
+  return it->second.payload;
+}
+
+bool ResourceTree::Exists(const std::string& uri) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(http::NormalizePath(uri)) != 0;
+}
+
+std::string ResourceTree::ETagOf(const std::string& uri) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(http::NormalizePath(uri));
+  if (it == entries_.end()) return "";
+  return MakeETag(it->second.version);
+}
+
+Status ResourceTree::Patch(const std::string& uri, const json::Json& merge_patch,
+                           const std::string& if_match) {
+  const std::string key = http::NormalizePath(uri);
+  std::string type;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return Status::NotFound("no resource at " + key);
+    if (!if_match.empty() && if_match != MakeETag(it->second.version)) {
+      return Status::FailedPrecondition("ETag mismatch for " + key + ": expected " +
+                                        MakeETag(it->second.version) + ", got " + if_match);
+    }
+    json::MergePatch(it->second.payload, merge_patch);
+    ++it->second.version;
+    type = it->second.odata_type;
+  }
+  Notify({ChangeKind::kModified, key, type});
+  return Status::Ok();
+}
+
+Status ResourceTree::Replace(const std::string& uri, json::Json payload) {
+  const std::string key = http::NormalizePath(uri);
+  std::string type;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return Status::NotFound("no resource at " + key);
+    it->second.payload = std::move(payload);
+    ++it->second.version;
+    type = it->second.odata_type;
+  }
+  Notify({ChangeKind::kModified, key, type});
+  return Status::Ok();
+}
+
+Status ResourceTree::Delete(const std::string& uri) {
+  const std::string key = http::NormalizePath(uri);
+  std::string type;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return Status::NotFound("no resource at " + key);
+    type = it->second.odata_type;
+    entries_.erase(it);
+  }
+  Notify({ChangeKind::kDeleted, key, type});
+  return Status::Ok();
+}
+
+Status ResourceTree::AddMember(const std::string& collection_uri,
+                               const std::string& member_uri) {
+  const std::string key = http::NormalizePath(collection_uri);
+  const std::string member = http::NormalizePath(member_uri);
+  std::string type;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return Status::NotFound("no collection at " + key);
+    json::Json* members = it->second.payload.as_object().Find("Members");
+    if (members == nullptr || !members->is_array()) {
+      return Status::FailedPrecondition(key + " is not a collection");
+    }
+    for (const json::Json& entry : members->as_array()) {
+      if (odata::IdOf(entry) == member) return Status::Ok();  // idempotent
+    }
+    members->as_array().push_back(odata::Ref(member));
+    ++it->second.version;
+    type = it->second.odata_type;
+  }
+  Notify({ChangeKind::kModified, key, type});
+  return Status::Ok();
+}
+
+Status ResourceTree::RemoveMember(const std::string& collection_uri,
+                                  const std::string& member_uri) {
+  const std::string key = http::NormalizePath(collection_uri);
+  const std::string member = http::NormalizePath(member_uri);
+  std::string type;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return Status::NotFound("no collection at " + key);
+    json::Json* members = it->second.payload.as_object().Find("Members");
+    if (members == nullptr || !members->is_array()) {
+      return Status::FailedPrecondition(key + " is not a collection");
+    }
+    json::Array& arr = members->as_array();
+    const std::size_t before = arr.size();
+    std::erase_if(arr, [&](const json::Json& entry) { return odata::IdOf(entry) == member; });
+    if (arr.size() == before) {
+      return Status::NotFound(member + " not a member of " + key);
+    }
+    ++it->second.version;
+    type = it->second.odata_type;
+  }
+  Notify({ChangeKind::kModified, key, type});
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> ResourceTree::Members(
+    const std::string& collection_uri) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(http::NormalizePath(collection_uri));
+  if (it == entries_.end()) return Status::NotFound("no collection at " + collection_uri);
+  const json::Json* members = it->second.payload.as_object().Find("Members");
+  if (members == nullptr || !members->is_array()) {
+    return Status::FailedPrecondition(collection_uri + " is not a collection");
+  }
+  std::vector<std::string> uris;
+  for (const json::Json& entry : members->as_array()) {
+    const std::string uri = odata::IdOf(entry);
+    if (!uri.empty()) uris.push_back(uri);
+  }
+  return uris;
+}
+
+std::vector<std::string> ResourceTree::UrisUnder(const std::string& prefix) const {
+  const std::string key = http::NormalizePath(prefix);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> uris;
+  for (auto it = entries_.lower_bound(key); it != entries_.end(); ++it) {
+    if (it->first.compare(0, key.size(), key) != 0) break;
+    // Require an exact match or a path-segment boundary.
+    if (it->first.size() == key.size() || it->first[key.size()] == '/' || key == "/") {
+      uris.push_back(it->first);
+    }
+  }
+  return uris;
+}
+
+std::size_t ResourceTree::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::uint64_t ResourceTree::Subscribe(ChangeListener listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t token = next_listener_token_++;
+  listeners_[token] = std::move(listener);
+  return token;
+}
+
+void ResourceTree::Unsubscribe(std::uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listeners_.erase(token);
+}
+
+void ResourceTree::Notify(const ChangeEvent& event) {
+  std::vector<ChangeListener> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.reserve(listeners_.size());
+    for (const auto& [token, listener] : listeners_) snapshot.push_back(listener);
+  }
+  for (const ChangeListener& listener : snapshot) listener(event);
+}
+
+}  // namespace ofmf::redfish

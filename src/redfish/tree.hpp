@@ -1,0 +1,98 @@
+// The Redfish resource tree: a versioned, observable store of JSON resource
+// documents keyed by URI. The paper's OFMF represents "an HPC disaggregated
+// infrastructure under a single Redfish tree that includes all the fabrics
+// and resources available" — this is that tree.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "json/value.hpp"
+
+namespace ofmf::redfish {
+
+enum class ChangeKind { kCreated, kModified, kDeleted };
+
+const char* to_string(ChangeKind kind);
+
+struct ChangeEvent {
+  ChangeKind kind;
+  std::string uri;
+  std::string odata_type;
+};
+
+using ChangeListener = std::function<void(const ChangeEvent&)>;
+
+/// Thread-safe resource store. ETags are weak validators W/"<version>" where
+/// the version increments on every mutation of that resource.
+class ResourceTree {
+ public:
+  /// Creates a resource. `odata_type` is the "#Ns.vX_Y_Z.Type" tag; the tree
+  /// stamps @odata.id/@odata.type/@odata.etag on reads.
+  Status Create(const std::string& uri, const std::string& odata_type, json::Json payload);
+
+  /// Creates a resource collection ("Members": []).
+  Status CreateCollection(const std::string& uri, const std::string& odata_type,
+                          const std::string& name);
+
+  /// Full stamped document (copy).
+  Result<json::Json> Get(const std::string& uri) const;
+
+  /// Raw payload without annotations (copy).
+  Result<json::Json> GetRaw(const std::string& uri) const;
+
+  bool Exists(const std::string& uri) const;
+
+  /// Current ETag ("" if absent).
+  std::string ETagOf(const std::string& uri) const;
+
+  /// Applies an RFC 7386 merge patch. If `if_match` is non-empty it must
+  /// equal the current ETag (FailedPrecondition otherwise).
+  Status Patch(const std::string& uri, const json::Json& merge_patch,
+               const std::string& if_match = "");
+
+  /// Replaces the payload wholesale (PUT semantics), keeping the type.
+  Status Replace(const std::string& uri, json::Json payload);
+
+  Status Delete(const std::string& uri);
+
+  /// Adds / removes a {"@odata.id": member_uri} entry in `collection_uri`'s
+  /// Members array. Duplicate adds are idempotent.
+  Status AddMember(const std::string& collection_uri, const std::string& member_uri);
+  Status RemoveMember(const std::string& collection_uri, const std::string& member_uri);
+
+  /// Member URIs of a collection.
+  Result<std::vector<std::string>> Members(const std::string& collection_uri) const;
+
+  /// All URIs with the given prefix (sorted).
+  std::vector<std::string> UrisUnder(const std::string& prefix) const;
+
+  std::size_t size() const;
+
+  /// Registers a change listener (fired synchronously after each mutation,
+  /// outside the tree lock). Returns a token for Unsubscribe.
+  std::uint64_t Subscribe(ChangeListener listener);
+  void Unsubscribe(std::uint64_t token);
+
+ private:
+  struct Entry {
+    json::Json payload;
+    std::string odata_type;
+    std::uint64_t version = 1;
+  };
+
+  void Notify(const ChangeEvent& event);
+  static std::string MakeETag(std::uint64_t version);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  std::map<std::uint64_t, ChangeListener> listeners_;
+  std::uint64_t next_listener_token_ = 1;
+};
+
+}  // namespace ofmf::redfish

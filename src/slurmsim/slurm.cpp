@@ -1,0 +1,221 @@
+#include "slurmsim/slurm.hpp"
+
+#include <algorithm>
+
+#include "common/hostlist.hpp"
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+
+namespace ofmf::slurmsim {
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kPending: return "PENDING";
+    case JobState::kConfiguring: return "CONFIGURING";
+    case JobState::kRunning: return "RUNNING";
+    case JobState::kCompleting: return "COMPLETING";
+    case JobState::kCompleted: return "COMPLETED";
+    case JobState::kFailed: return "FAILED";
+    case JobState::kCancelled: return "CANCELLED";
+  }
+  return "?";
+}
+
+SlurmManager::SlurmManager(cluster::Cluster& cluster, SimClock& clock)
+    : cluster_(cluster), clock_(clock) {}
+
+void SlurmManager::AddProlog(NodeScript script) { prologs_.push_back(std::move(script)); }
+void SlurmManager::AddEpilog(NodeScript script) { epilogs_.push_back(std::move(script)); }
+
+Result<std::vector<std::string>> SlurmManager::AllocateNodes(int count) {
+  if (count <= 0) return Status::InvalidArgument("node_count must be >= 1");
+  std::vector<std::string> available = cluster_.AvailableHostnames();
+  const std::set<std::string> busy = BusyHosts();
+  std::erase_if(available, [&](const std::string& host) { return busy.count(host) != 0; });
+  if (static_cast<int>(available.size()) < count) {
+    return Status::ResourceExhausted("not enough idle nodes: need " + std::to_string(count) +
+                                     ", have " + std::to_string(available.size()));
+  }
+  // Contiguous affinity: hostnames are sorted; take the first window whose
+  // names are consecutive in the full (sorted) cluster ordering, falling
+  // back to the first `count` idle nodes when no contiguous window exists.
+  const std::vector<std::string> all = cluster_.Hostnames();
+  std::map<std::string, std::size_t> position;
+  for (std::size_t i = 0; i < all.size(); ++i) position[all[i]] = i;
+  for (std::size_t start = 0; start + static_cast<std::size_t>(count) <= available.size();
+       ++start) {
+    bool contiguous = true;
+    for (int offset = 1; offset < count; ++offset) {
+      if (position[available[start + static_cast<std::size_t>(offset)]] !=
+          position[available[start]] + static_cast<std::size_t>(offset)) {
+        contiguous = false;
+        break;
+      }
+    }
+    if (contiguous) {
+      return std::vector<std::string>(
+          available.begin() + static_cast<std::ptrdiff_t>(start),
+          available.begin() + static_cast<std::ptrdiff_t>(start) + count);
+    }
+  }
+  return std::vector<std::string>(available.begin(), available.begin() + count);
+}
+
+Result<SimTime> SlurmManager::RunScriptsParallel(const std::vector<NodeScript>& scripts,
+                                                 Job& job, std::string* failing_host) {
+  // Scripts run concurrently on every node; each node runs the registered
+  // scripts sequentially. The job-level cost is the slowest node.
+  SimTime max_duration = 0;
+  for (const std::string& host : job.hosts) {
+    SimTime node_duration = 0;
+    for (const NodeScript& script : scripts) {
+      const ScriptResult result = script(job, host);
+      node_duration += result.duration;
+      if (!result.status.ok()) {
+        if (failing_host != nullptr) *failing_host = host;
+        return result.status;
+      }
+    }
+    max_duration = std::max(max_duration, node_duration);
+  }
+  return max_duration;
+}
+
+Result<JobId> SlurmManager::Submit(const JobSpec& spec) {
+  OFMF_ASSIGN_OR_RETURN(std::vector<std::string> hosts, AllocateNodes(spec.node_count));
+
+  Job job;
+  job.id = next_id_++;
+  job.spec = spec;
+  job.hosts = std::move(hosts);
+  job.submit_time = clock_.now();
+  job.state = JobState::kConfiguring;
+
+  // slurmstepd-style environment.
+  job.env["SLURM_JOB_ID"] = std::to_string(job.id);
+  job.env["SLURM_JOB_NAME"] = spec.name;
+  job.env["SLURM_JOB_USER"] = spec.user;
+  job.env["SLURM_NNODES"] = std::to_string(spec.node_count);
+  job.env["SLURM_NODELIST"] = CompressHostlist(job.hosts);
+  std::vector<std::string> constraints(spec.constraints.begin(), spec.constraints.end());
+  job.env["SLURM_JOB_CONSTRAINTS"] = strings::Join(constraints, ",");
+
+  std::string failing_host;
+  Result<SimTime> prolog = RunScriptsParallel(prologs_, job, &failing_host);
+  if (!prolog.ok()) {
+    // The paper's fault path: notify Slurm, log, drain the node for
+    // inspection, fail the job.
+    job.state = JobState::kFailed;
+    job.failure_reason = "prolog failed on " + failing_host + ": " +
+                         prolog.status().message();
+    if (auto node = cluster_.Node(failing_host); node.ok()) {
+      (*node)->SetDrained(true);
+    }
+    const std::string line = "job " + std::to_string(job.id) + ": " + job.failure_reason +
+                             "; node " + failing_host + " drained";
+    log_.push_back(line);
+    OFMF_WARN << "slurm: " << line;
+    jobs_.emplace(job.id, std::move(job));
+    return Status::Unavailable(log_.back());
+  }
+  job.prolog_duration = *prolog;
+  clock_.Advance(*prolog);
+  job.start_time = clock_.now();
+  job.state = JobState::kRunning;
+  const JobId id = job.id;
+  jobs_.emplace(id, std::move(job));
+  return id;
+}
+
+Status SlurmManager::Complete(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return Status::NotFound("no job " + std::to_string(id));
+  Job& job = it->second;
+  if (job.state != JobState::kRunning) {
+    return Status::FailedPrecondition("job " + std::to_string(id) + " is " +
+                                      to_string(job.state));
+  }
+  job.state = JobState::kCompleting;
+  std::string failing_host;
+  Result<SimTime> epilog = RunScriptsParallel(epilogs_, job, &failing_host);
+  if (!epilog.ok()) {
+    job.state = JobState::kFailed;
+    job.failure_reason = "epilog failed on " + failing_host + ": " +
+                         epilog.status().message();
+    if (auto node = cluster_.Node(failing_host); node.ok()) {
+      (*node)->SetDrained(true);
+    }
+    log_.push_back("job " + std::to_string(id) + ": " + job.failure_reason);
+    OFMF_WARN << "slurm: " << log_.back();
+    job.end_time = clock_.now();
+    return Status::Unavailable(job.failure_reason);
+  }
+  job.epilog_duration = *epilog;
+  clock_.Advance(*epilog);
+  job.end_time = clock_.now();
+  job.state = JobState::kCompleted;
+  return Status::Ok();
+}
+
+Status SlurmManager::Cancel(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return Status::NotFound("no job " + std::to_string(id));
+  Job& job = it->second;
+  if (job.state != JobState::kRunning && job.state != JobState::kPending &&
+      job.state != JobState::kConfiguring) {
+    return Status::FailedPrecondition("job not cancellable in state " +
+                                      std::string(to_string(job.state)));
+  }
+  job.state = JobState::kCancelled;
+  job.end_time = clock_.now();
+  return Status::Ok();
+}
+
+Status SlurmManager::FailNode(const std::string& hostname, const std::string& reason) {
+  OFMF_ASSIGN_OR_RETURN(cluster::ComputeNode * node, cluster_.Node(hostname));
+  node->SetDrained(true);
+  bool affected = false;
+  for (auto& [id, job] : jobs_) {
+    if (job.state != JobState::kRunning && job.state != JobState::kConfiguring) continue;
+    if (std::find(job.hosts.begin(), job.hosts.end(), hostname) == job.hosts.end()) {
+      continue;
+    }
+    affected = true;
+    job.state = JobState::kFailed;
+    job.end_time = clock_.now();
+    job.failure_reason = "NODE_FAIL " + hostname + ": " + reason;
+    const std::string line = "job " + std::to_string(id) + ": " + job.failure_reason;
+    log_.push_back(line);
+    OFMF_WARN << "slurm: " << line;
+  }
+  if (!affected) {
+    log_.push_back("node " + hostname + " drained (" + reason + "); no jobs affected");
+  }
+  return Status::Ok();
+}
+
+Result<Job> SlurmManager::GetJob(JobId id) const {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return Status::NotFound("no job " + std::to_string(id));
+  return it->second;
+}
+
+std::vector<Job> SlurmManager::Jobs() const {
+  std::vector<Job> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(job);
+  return out;
+}
+
+std::set<std::string> SlurmManager::BusyHosts() const {
+  std::set<std::string> busy;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state == JobState::kRunning || job.state == JobState::kConfiguring ||
+        job.state == JobState::kCompleting) {
+      busy.insert(job.hosts.begin(), job.hosts.end());
+    }
+  }
+  return busy;
+}
+
+}  // namespace ofmf::slurmsim

@@ -1,0 +1,203 @@
+#include "workloads/experiment.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "beeond/beeond.hpp"
+#include "cluster/cluster.hpp"
+#include "common/clock.hpp"
+#include "common/hostlist.hpp"
+#include "slurmsim/slurm.hpp"
+
+namespace ofmf::workloads {
+
+const char* to_string(ExperimentClass experiment_class) {
+  switch (experiment_class) {
+    case ExperimentClass::kHplOnly: return "HPL-Only";
+    case ExperimentClass::kMatchingLustre: return "Matching Lustre";
+    case ExperimentClass::kSingleBeeond: return "Single BeeOND";
+    case ExperimentClass::kMatchingBeeond: return "Matching BeeOND";
+    case ExperimentClass::kMatchingBeeondNoMeta: return "Matching BeeOND (no meta)";
+  }
+  return "?";
+}
+
+std::vector<ExperimentClass> AllExperimentClasses() {
+  return {ExperimentClass::kHplOnly, ExperimentClass::kMatchingLustre,
+          ExperimentClass::kSingleBeeond, ExperimentClass::kMatchingBeeond,
+          ExperimentClass::kMatchingBeeondNoMeta};
+}
+
+namespace {
+
+struct Layout {
+  int ior_nodes = 0;
+  bool use_beeond = true;
+  bool skip_meta_node = false;  // k=1: dedicated task on the meta node
+};
+
+Layout LayoutFor(ExperimentClass experiment_class, int n) {
+  switch (experiment_class) {
+    case ExperimentClass::kHplOnly: return {0, true, false};
+    case ExperimentClass::kMatchingLustre: return {n, false, false};
+    case ExperimentClass::kSingleBeeond: return {1, true, false};
+    case ExperimentClass::kMatchingBeeond: return {n, true, false};
+    case ExperimentClass::kMatchingBeeondNoMeta: return {n, true, true};
+  }
+  return {};
+}
+
+/// Sum of idle daemon core-load on a host given its BeeOND roles.
+double IdleLoadOnHost(const beeond::BeeondInstance& instance, const std::string& host) {
+  double load = 0.0;
+  if (instance.mgmtd_host == host) load += beeond::IdleCoreLoad(beeond::Role::kMgmtd);
+  if (std::find(instance.meta_hosts.begin(), instance.meta_hosts.end(), host) !=
+      instance.meta_hosts.end()) {
+    load += beeond::IdleCoreLoad(beeond::Role::kMeta);
+  }
+  if (std::find(instance.ost_hosts.begin(), instance.ost_hosts.end(), host) !=
+      instance.ost_hosts.end()) {
+    load += beeond::IdleCoreLoad(beeond::Role::kStorage);
+  }
+  load += beeond::IdleCoreLoad(beeond::Role::kHelperd);
+  load += beeond::IdleCoreLoad(beeond::Role::kClient);
+  return load;
+}
+
+}  // namespace
+
+ExperimentResult RunExperiment(ExperimentClass experiment_class,
+                               const ExperimentConfig& config) {
+  const int n = config.hpl_nodes;
+  assert(n >= 1);
+  const Layout layout = LayoutFor(experiment_class, n);
+  const int allocation = n + layout.ior_nodes + (layout.skip_meta_node ? 1 : 0);
+
+  // Build the machine a little bigger than the allocation.
+  cluster::ClusterSpec cluster_spec;
+  cluster_spec.node_count = allocation + 2;
+  cluster::Cluster machine(cluster_spec);
+  for (const std::string& host : machine.Hostnames()) {
+    const Status prepared = machine.PrepareNodeStorage(host);
+    assert(prepared.ok());
+    (void)prepared;
+  }
+
+  SimClock clock;
+  slurmsim::SlurmManager slurm(machine, clock);
+  beeond::BeeondOrchestrator orchestrator(machine);
+
+  // The paper's prolog: if the job carries the `beeond` constraint, assemble
+  // a private filesystem over the allocation (all scripts parallel).
+  std::string beeond_id;
+  slurm.AddProlog([&](const slurmsim::Job& job, const std::string& hostname)
+                      -> slurmsim::ScriptResult {
+    if (!job.HasConstraint("beeond")) return {};
+    // Only the lowest host drives orchestration (idempotent across the
+    // parallel per-node scripts, like the paper's role-parser).
+    const auto hosts = ExpandHostlist(job.env.at("SLURM_NODELIST"));
+    if (!hosts.ok()) return {hosts.status(), 0};
+    if (hostname != LowestHost(*hosts)) return {Status::Ok(), Millis(40)};
+    beeond_id = "beeond-job" + job.env.at("SLURM_JOB_ID");
+    auto instance = orchestrator.Start(beeond_id, *hosts);
+    if (!instance.ok()) return {instance.status(), 0};
+    return {Status::Ok(), instance->assemble_duration};
+  });
+  slurm.AddEpilog([&](const slurmsim::Job& job, const std::string& hostname)
+                      -> slurmsim::ScriptResult {
+    if (!job.HasConstraint("beeond") || beeond_id.empty()) return {};
+    const auto hosts = ExpandHostlist(job.env.at("SLURM_NODELIST"));
+    if (!hosts.ok()) return {hosts.status(), 0};
+    if (hostname != LowestHost(*hosts)) return {Status::Ok(), Millis(40)};
+    const auto instance = orchestrator.Get(beeond_id);
+    const Status stopped = orchestrator.Stop(beeond_id);
+    if (!stopped.ok()) return {stopped, 0};
+    const auto after = orchestrator.Get(beeond_id);
+    (void)after;
+    return {Status::Ok(), orchestrator.ReformatLatency() + Millis(500)};
+  });
+
+  slurmsim::JobSpec job_spec;
+  job_spec.name = std::string(to_string(experiment_class)) + "-" + std::to_string(n);
+  job_spec.node_count = allocation;
+  if (layout.use_beeond) job_spec.constraints.insert("beeond");
+  const Result<slurmsim::JobId> job_id = slurm.Submit(job_spec);
+  assert(job_id.ok());
+  const slurmsim::Job job = *slurm.GetJob(*job_id);
+
+  // Partition the allocation: [meta-exempt task node][HPL nodes][IOR nodes].
+  std::vector<std::string> hosts = job.hosts;
+  std::sort(hosts.begin(), hosts.end());
+  std::size_t cursor = layout.skip_meta_node ? 1 : 0;
+  const std::vector<std::string> hpl_hosts(hosts.begin() + static_cast<std::ptrdiff_t>(cursor),
+                                           hosts.begin() + static_cast<std::ptrdiff_t>(cursor) +
+                                               n);
+  cursor += static_cast<std::size_t>(n);
+  const std::vector<std::string> ior_hosts(
+      hosts.begin() + static_cast<std::ptrdiff_t>(cursor),
+      hosts.begin() + static_cast<std::ptrdiff_t>(cursor) + layout.ior_nodes);
+
+  ExperimentResult result;
+  result.experiment_class = experiment_class;
+  result.hpl_nodes = n;
+  result.ior_nodes = layout.ior_nodes;
+  result.allocation_nodes = allocation;
+
+  // Apply IOR service load to the BeeOND daemons (IOR against external
+  // Lustre leaves compute nodes untouched — its servers live elsewhere).
+  if (layout.use_beeond && layout.ior_nodes > 0) {
+    const auto instance = orchestrator.Get(beeond_id);
+    assert(instance.ok());
+    const int ost_count = static_cast<int>(instance->ost_hosts.size());
+    const double ost_load = OstCoreLoad(config.ior, layout.ior_nodes, ost_count);
+    const double meta_load = MetaCoreLoad(config.ior, layout.ior_nodes,
+                                          static_cast<int>(instance->meta_hosts.size()));
+    const Status loaded = orchestrator.SetIoLoad(beeond_id, ost_load, meta_load);
+    assert(loaded.ok());
+    (void)loaded;
+  }
+  if (layout.use_beeond) {
+    const auto instance = orchestrator.Get(beeond_id);
+    result.assemble_seconds = ToSeconds(instance->assemble_duration);
+  }
+
+  // Interference inputs for the HPL nodes from live daemon state.
+  std::vector<NodeInterference> interference;
+  interference.reserve(hpl_hosts.size());
+  for (const std::string& host : hpl_hosts) {
+    const auto node = machine.Node(host);
+    assert(node.ok());
+    double idle = 0.0;
+    if (layout.use_beeond) {
+      const auto instance = orchestrator.Get(beeond_id);
+      idle = IdleLoadOnHost(*instance, host);
+    }
+    interference.push_back(InterferenceFromNode(**node, idle, config.model));
+  }
+
+  // Repetitions: fresh RNG stream per rep, same daemon state.
+  Rng master(config.seed ^ (static_cast<std::uint64_t>(experiment_class) << 32) ^
+             static_cast<std::uint64_t>(n));
+  for (int rep = 0; rep < config.repetitions; ++rep) {
+    Rng rep_rng = master.Fork();
+    result.runtimes_seconds.push_back(
+        SimulateHplSeconds(interference, rep_rng, config.hpl));
+  }
+  result.ci = MeanCi95(result.runtimes_seconds);
+
+  const Status completed = slurm.Complete(*job_id);
+  assert(completed.ok());
+  (void)completed;
+  if (layout.use_beeond) {
+    // Teardown cost recorded by the epilog path.
+    const slurmsim::Job finished = *slurm.GetJob(*job_id);
+    result.teardown_seconds = ToSeconds(finished.epilog_duration);
+  }
+  return result;
+}
+
+double OverheadVs(const ExperimentResult& result, const ExperimentResult& baseline) {
+  return RelativeOverhead(result.ci.mean, baseline.ci.mean);
+}
+
+}  // namespace ofmf::workloads

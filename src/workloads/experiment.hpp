@@ -1,0 +1,58 @@
+// The paper's experimental procedure, end to end: an n-node HPL task and an
+// m-node IOR task placed on non-overlapping node sets of one Slurm
+// allocation, with BeeOND daemons assembled (or not) by the job prolog.
+// Five experiment classes reproduce Figure "multinode-hpl-runtime-impact"
+// and the variance detail figure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "workloads/hpl.hpp"
+#include "workloads/interference.hpp"
+#include "workloads/ior.hpp"
+
+namespace ofmf::workloads {
+
+enum class ExperimentClass {
+  kHplOnly,             // k=0, m=0: BeeOND daemons idle, no IOR
+  kMatchingLustre,      // k=0, m=n: no BeeOND at all; IOR -> external Lustre
+  kSingleBeeond,        // k=0, m=1
+  kMatchingBeeond,      // k=0, m=n
+  kMatchingBeeondNoMeta // k=1, m=n: HPL avoids the metadata/mgmt node
+};
+
+const char* to_string(ExperimentClass experiment_class);
+std::vector<ExperimentClass> AllExperimentClasses();
+
+struct ExperimentConfig {
+  int hpl_nodes = 16;
+  int repetitions = 8;       // paper: 7-10 (3 for Matching Lustre)
+  std::uint64_t seed = 2023;
+  HplSimConfig hpl;
+  IorParams ior;
+  InterferenceModel model;
+};
+
+struct ExperimentResult {
+  ExperimentClass experiment_class;
+  int hpl_nodes = 0;
+  int ior_nodes = 0;
+  int allocation_nodes = 0;
+  std::vector<double> runtimes_seconds;
+  ConfidenceInterval ci;
+  /// Simulated BeeOND assembly / teardown cost (0 for Matching Lustre).
+  double assemble_seconds = 0.0;
+  double teardown_seconds = 0.0;
+};
+
+/// Runs one experiment class at one node count through the full substrate
+/// stack (cluster -> slurm -> beeond -> interference -> HPL simulator).
+ExperimentResult RunExperiment(ExperimentClass experiment_class,
+                               const ExperimentConfig& config);
+
+/// Relative overhead of `result` vs a baseline result at the same n.
+double OverheadVs(const ExperimentResult& result, const ExperimentResult& baseline);
+
+}  // namespace ofmf::workloads

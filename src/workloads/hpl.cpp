@@ -1,0 +1,69 @@
+#include "workloads/hpl.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ofmf::workloads {
+
+HplParams HplParamsForNodes(int node_count) {
+  assert(node_count >= 1 && node_count <= 1024 &&
+         (node_count & (node_count - 1)) == 0 && "node_count must be a power of two");
+  constexpr std::int64_t kBaseN = 91048;
+  HplParams params;
+  params.node_count = node_count;
+  params.n_rows = static_cast<std::int64_t>(
+      std::llround(static_cast<double>(kBaseN) * std::cbrt(static_cast<double>(node_count))));
+  // Grid: start at 7 x 8 (one 56-core node); each doubling doubles the
+  // smaller dimension (ties double P), keeping P*Q = 56 * nodes.
+  int p = 7;
+  int q = 8;
+  for (int n = 1; n < node_count; n *= 2) {
+    if (p <= q) {
+      p *= 2;
+    } else {
+      q *= 2;
+    }
+  }
+  params.grid_p = p;
+  params.grid_q = q;
+  return params;
+}
+
+std::vector<HplParams> HplParamsTable() {
+  std::vector<HplParams> table;
+  for (int n = 1; n <= 128; n *= 2) table.push_back(HplParamsForNodes(n));
+  return table;
+}
+
+double SimulateHplSeconds(const std::vector<NodeInterference>& nodes, Rng& rng,
+                          const HplSimConfig& config) {
+  assert(!nodes.empty());
+  const double node_count = static_cast<double>(nodes.size());
+  // Deterministic communication cost per iteration (grows mildly with
+  // scale; cancels out of same-node-count comparisons).
+  const double comm = config.base_iteration_seconds * config.comm_fraction_per_log2 *
+                      std::log2(node_count + 1.0);
+
+  double total = 0.0;
+  for (int iteration = 0; iteration < config.iterations; ++iteration) {
+    double slowest = 0.0;
+    for (const NodeInterference& node : nodes) {
+      const double steal = std::clamp(node.cpu_steal, 0.0, 0.95);
+      double t = config.base_iteration_seconds / (1.0 - steal);
+      t *= 1.0 + std::abs(rng.Normal(0.0, config.jitter_sigma));
+      if (node.burst_probability > 0.0 && rng.Chance(node.burst_probability)) {
+        // Bounded burst: a service stall costs between half and the full
+        // burst fraction of the base step (fsync flush, heartbeat storm).
+        const double burst = config.base_iteration_seconds * node.burst_fraction *
+                             rng.Uniform(0.5, 1.0);
+        t += burst;
+      }
+      slowest = std::max(slowest, t);
+    }
+    total += slowest + comm;
+  }
+  return total;
+}
+
+}  // namespace ofmf::workloads

@@ -1,0 +1,54 @@
+// HPL model. Two halves:
+//  1. Parameter extrapolation reproducing Table II exactly: starting from a
+//     well-performing single-node size (N1 = 91048 on a 128 GiB node,
+//     7 x 8 grid over 56 ranks), N(n) = round(N1 * n^(1/3)) keeps per-node
+//     work — and thus wall-clock — approximately constant, and each node-
+//     count doubling doubles the smaller grid dimension.
+//  2. A bulk-synchronous runtime simulator: the job advances in panel
+//     iterations; each iteration costs the MAX across nodes of
+//     (base / (1 - cpu_steal)) * (1 + jitter) + optional noise burst.
+//     The max-of-nodes coupling is the daemon-interference amplification
+//     mechanism the paper cites.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+
+namespace ofmf::workloads {
+
+struct HplParams {
+  int node_count = 1;
+  std::int64_t n_rows = 0;  // problem size N
+  int grid_p = 0;
+  int grid_q = 0;
+  int ranks() const { return grid_p * grid_q; }
+};
+
+/// Table II generator. `node_count` must be a power of two in [1, 1024].
+HplParams HplParamsForNodes(int node_count);
+
+/// The full paper table (node counts 1..128).
+std::vector<HplParams> HplParamsTable();
+
+/// Per-node interference inputs for one simulated HPL run.
+struct NodeInterference {
+  double cpu_steal = 0.0;          // fraction of node CPU stolen by daemons
+  double burst_probability = 0.0;  // per-iteration chance of a noise burst
+  double burst_fraction = 0.0;     // burst length as a fraction of base time
+};
+
+struct HplSimConfig {
+  int iterations = 120;               // panel steps simulated
+  double base_iteration_seconds = 7.5;  // tuned for a ~15 min solo run
+  double jitter_sigma = 0.003;        // baseline OS jitter (fraction)
+  double comm_fraction_per_log2 = 0.012;  // deterministic comm growth
+};
+
+/// Simulates one run; `nodes` holds one entry per HPL node.
+double SimulateHplSeconds(const std::vector<NodeInterference>& nodes, Rng& rng,
+                          const HplSimConfig& config = {});
+
+}  // namespace ofmf::workloads

@@ -1,0 +1,32 @@
+#include "workloads/interference.hpp"
+
+#include <algorithm>
+
+namespace ofmf::workloads {
+
+NodeInterference ComputeInterference(double idle_load, double io_load, int total_cores,
+                                     const InterferenceModel& model) {
+  NodeInterference out;
+  const double total_load = std::max(0.0, idle_load) + std::max(0.0, io_load);
+  out.cpu_steal = std::clamp(total_load / static_cast<double>(total_cores), 0.0, 0.95);
+
+  const double p = model.idle_burst_rate * idle_load + model.io_burst_rate * io_load;
+  out.burst_probability = std::clamp(p, 0.0, model.max_burst_probability);
+
+  const double idle_part =
+      model.idle_burst_fraction * (idle_load / (idle_load + model.io_saturation_half_load));
+  const double io_part =
+      model.io_burst_fraction * (io_load / (io_load + model.io_saturation_half_load));
+  out.burst_fraction = (idle_load > 0.0 ? idle_part : 0.0) + (io_load > 0.0 ? io_part : 0.0);
+  return out;
+}
+
+NodeInterference InterferenceFromNode(const cluster::ComputeNode& node, double idle_load,
+                                      const InterferenceModel& model) {
+  const double total = node.DaemonCoreLoad();
+  const double io_load = std::max(0.0, total - idle_load);
+  return ComputeInterference(std::min(idle_load, total), io_load,
+                             node.spec().total_cores(), model);
+}
+
+}  // namespace ofmf::workloads

@@ -1,0 +1,38 @@
+// Translation from daemon CPU state on a node to the HPL simulator's
+// NodeInterference inputs. The constants here are the calibration knobs for
+// the reproduction bands (see DESIGN.md "Calibration targets").
+#pragma once
+
+#include "cluster/node.hpp"
+#include "workloads/hpl.hpp"
+
+namespace ofmf::workloads {
+
+struct InterferenceModel {
+  /// Burst probability per core-equivalent of *idle* daemon load
+  /// (heartbeats, timers).
+  double idle_burst_rate = 0.05;
+  /// Burst probability per core-equivalent of I/O service load; capped.
+  double io_burst_rate = 1.0;
+  double max_burst_probability = 0.9;
+  /// Burst sizes (fraction of a base iteration). Idle bursts are small;
+  /// I/O bursts (fsync stalls) are big but roughly load-independent once
+  /// the daemon is loaded — hence the saturating form.
+  double idle_burst_fraction = 0.028;
+  double io_burst_fraction = 0.105;
+  double io_saturation_half_load = 0.05;
+};
+
+/// Computes interference inputs from explicit load figures.
+/// `idle_load` / `io_load` are daemon core-equivalents on the node;
+/// `total_cores` is the node's core count.
+NodeInterference ComputeInterference(double idle_load, double io_load, int total_cores,
+                                     const InterferenceModel& model = {});
+
+/// Reads the node's current daemon state. `io_load` must be supplied by the
+/// caller (the node only knows total load; the split drives burst shape), so
+/// this overload treats everything above `idle_load` as I/O service load.
+NodeInterference InterferenceFromNode(const cluster::ComputeNode& node, double idle_load,
+                                      const InterferenceModel& model = {});
+
+}  // namespace ofmf::workloads

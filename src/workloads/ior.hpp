@@ -1,0 +1,47 @@
+// IOR model: the paper's Table III parameter set (many tiny synchronous
+// writes, file-per-process, fsync after every write, designed to be "as
+// disruptive to object storage daemons as possible") and the translation of
+// an IOR task into daemon CPU load on the BeeOND servers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ofmf::workloads {
+
+struct IorParams {
+  int procs_per_node = 56;            // [srun] -n
+  std::uint64_t transfer_bytes = 512;  // -t
+  int max_run_minutes = 20;           // -T
+  int stonewall_seconds = 60;         // -D
+  std::int64_t repetitions = 1048576; // -i
+  bool sync_after_phase = true;       // -e
+  bool reorder_tasks = true;          // -C
+  bool write_test = true;             // -w
+  std::string access = "POSIX";       // -a
+  int segments = 1024;                // -s
+  bool file_per_process = true;       // -F
+  bool sync_every_write = true;       // -Y
+};
+
+/// The exact Table III rows (parameter flag, description, value) for the
+/// bench harness to print.
+struct IorParamRow {
+  std::string flag;
+  std::string description;
+  std::string value;
+};
+std::vector<IorParamRow> IorParamsTable(const IorParams& params = {});
+
+/// Steady-state OST service CPU cost (core-equivalents per OST) for an IOR
+/// task of `ior_nodes` nodes striped across `ost_count` OSTs. Synchronous
+/// 512-byte writes are pure per-op overhead, so cost scales with the per-OST
+/// op arrival rate.
+double OstCoreLoad(const IorParams& params, int ior_nodes, int ost_count);
+
+/// Metadata server CPU cost: file-per-process creates + sync bookkeeping
+/// scale with total client procs against the (single) metadata server.
+double MetaCoreLoad(const IorParams& params, int ior_nodes, int meta_count);
+
+}  // namespace ofmf::workloads

@@ -1,0 +1,135 @@
+#include "workloads/mitigations.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ofmf::workloads {
+
+const char* to_string(Mitigation mitigation) {
+  switch (mitigation) {
+    case Mitigation::kNone: return "none";
+    case Mitigation::kCoreSpecialization: return "core-specialization";
+    case Mitigation::kCpuQuota: return "cpu-quota";
+    case Mitigation::kPlacementExemption: return "placement-exemption";
+    case Mitigation::kDedicatedServiceNodes: return "dedicated-service-nodes";
+  }
+  return "?";
+}
+
+std::vector<Mitigation> AllMitigations() {
+  return {Mitigation::kNone, Mitigation::kCoreSpecialization, Mitigation::kCpuQuota,
+          Mitigation::kPlacementExemption, Mitigation::kDedicatedServiceNodes};
+}
+
+namespace {
+
+double MeanHplSeconds(const std::vector<NodeInterference>& nodes,
+                      const MitigationConfig& config, std::uint64_t salt) {
+  Rng master(config.seed ^ salt);
+  double total = 0.0;
+  for (int rep = 0; rep < config.repetitions; ++rep) {
+    Rng rng = master.Fork();
+    total += SimulateHplSeconds(nodes, rng, config.hpl);
+  }
+  return total / config.repetitions;
+}
+
+}  // namespace
+
+MitigationOutcome EvaluateMitigation(Mitigation mitigation,
+                                     const MitigationConfig& config) {
+  MitigationOutcome outcome;
+  outcome.mitigation = mitigation;
+
+  const int n = config.hpl_nodes;
+  const int allocation_osts = config.hpl_nodes + config.ior_nodes;
+  const double full_ost_load =
+      OstCoreLoad(config.ior, config.ior_nodes, allocation_osts);
+
+  // Clean reference: no daemons at all.
+  const std::vector<NodeInterference> clean(static_cast<std::size_t>(n));
+  const double clean_seconds = MeanHplSeconds(clean, config, 0xC1EA);
+
+  // Effective compute slowdown from losing cores to the fence (core
+  // specialization) enters multiplicatively: HPL only has 56-r workers.
+  double core_fence_factor = 1.0;
+  double idle_load = config.idle_daemon_load;
+  double io_load = full_ost_load;
+  double burst_suppression = 1.0;  // 1 = bursts unchanged, 0 = gone
+
+  switch (mitigation) {
+    case Mitigation::kNone:
+      break;
+
+    case Mitigation::kCoreSpecialization: {
+      // Daemons pinned to `reserved_cores`; they no longer steal or preempt
+      // compute cores (no bursts on the compute partition), but HPL runs on
+      // fewer cores. Saturation: if the daemons need more than the fence,
+      // the storage path throttles instead of spilling onto compute.
+      const double fence = static_cast<double>(config.reserved_cores);
+      const double demand = idle_load + io_load;
+      outcome.storage_throughput = std::min(1.0, fence / std::max(demand, 1e-9));
+      core_fence_factor = static_cast<double>(config.total_cores) /
+                          static_cast<double>(config.total_cores - config.reserved_cores);
+      idle_load = 0.0;
+      io_load = 0.0;
+      burst_suppression = 0.05;  // residual shared-LLC/membw interference
+      outcome.capacity_cost =
+          fence / static_cast<double>(config.total_cores);
+      break;
+    }
+
+    case Mitigation::kCpuQuota: {
+      // cgroup cap: daemons consume at most quota_cores; demand above the
+      // cap becomes storage backlog (self-regulating client throttling).
+      const double demand = idle_load + io_load;
+      const double granted = std::min(demand, config.quota_cores);
+      outcome.storage_throughput = granted / std::max(demand, 1e-9);
+      const double scale = granted / std::max(demand, 1e-9);
+      idle_load *= scale;
+      io_load *= scale;
+      burst_suppression = scale;  // fewer service slots -> fewer stalls
+      outcome.capacity_cost = 0.0;
+      break;
+    }
+
+    case Mitigation::kPlacementExemption: {
+      // HPL nodes run clients only; OSTs live on the IOR nodes, which now
+      // absorb the whole load (fine — they are not compute-critical). The
+      // exempt nodes' SSDs are lost to the filesystem.
+      idle_load = 0.10;  // helperd + client only
+      io_load = 0.0;
+      burst_suppression = 0.2;
+      outcome.storage_throughput =
+          static_cast<double>(config.ior_nodes) / allocation_osts;  // fewer OSTs
+      outcome.capacity_cost =
+          static_cast<double>(n) / allocation_osts;  // stranded SSD fraction
+      break;
+    }
+
+    case Mitigation::kDedicatedServiceNodes: {
+      // Grow the job by `service_nodes` running every service; compute nodes
+      // stay clean, storage keeps full capacity (service nodes host OSTs fed
+      // by NVMe-oF re-export of the compute nodes' SSDs).
+      idle_load = 0.0;
+      io_load = 0.0;
+      burst_suppression = 0.0;
+      outcome.storage_throughput = 1.0;
+      outcome.capacity_cost =
+          static_cast<double>(config.service_nodes) / static_cast<double>(n);
+      break;
+    }
+  }
+
+  std::vector<NodeInterference> nodes(static_cast<std::size_t>(n));
+  for (NodeInterference& node : nodes) {
+    node = ComputeInterference(idle_load, io_load, config.total_cores, config.model);
+    node.burst_probability *= burst_suppression;
+  }
+  const double mitigated_seconds =
+      MeanHplSeconds(nodes, config, 0x717A) * core_fence_factor;
+  outcome.hpl_slowdown = (mitigated_seconds - clean_seconds) / clean_seconds;
+  return outcome;
+}
+
+}  // namespace ofmf::workloads

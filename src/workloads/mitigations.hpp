@@ -1,0 +1,68 @@
+// The Discussion section's interference-mitigation strategies, implemented:
+//   * core specialization — pin daemons to r reserved cores; compute loses
+//     those cores but stops being preempted;
+//   * CPU quota — cgroup-style cap on daemon core consumption; compute is
+//     protected but the storage path backs up;
+//   * placement exemption — HPL nodes carry no OST (clients only); the
+//     remaining OSTs absorb the whole I/O load and node-local SSD capacity
+//     on exempt nodes is lost (unless re-exported via NVMe-oF);
+//   * dedicated service nodes — grow the allocation by s extra nodes that
+//     run all filesystem services.
+// Each strategy reports its compute protection, storage cost and capacity
+// cost, so "multiple, possibly conflicting mitigations" can be compared —
+// exactly what the paper asks deployments to offer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workloads/hpl.hpp"
+#include "workloads/interference.hpp"
+#include "workloads/ior.hpp"
+
+namespace ofmf::workloads {
+
+enum class Mitigation {
+  kNone,
+  kCoreSpecialization,
+  kCpuQuota,
+  kPlacementExemption,
+  kDedicatedServiceNodes,
+};
+
+const char* to_string(Mitigation mitigation);
+std::vector<Mitigation> AllMitigations();
+
+struct MitigationConfig {
+  int hpl_nodes = 16;
+  int ior_nodes = 16;            // matching layout
+  int total_cores = 56;
+  double idle_daemon_load = 0.36;  // core-equivalents of idle BeeOND services
+  IorParams ior;
+
+  // Strategy knobs.
+  int reserved_cores = 2;        // core specialization: cores fenced off
+  double quota_cores = 4.0;      // CPU quota: daemon cap (core-equivalents)
+  int service_nodes = 4;         // dedicated service nodes added to the job
+
+  int repetitions = 6;
+  std::uint64_t seed = 11;
+  HplSimConfig hpl;
+  InterferenceModel model;
+};
+
+struct MitigationOutcome {
+  Mitigation mitigation;
+  /// HPL runtime relative to a clean (daemon-free) run of the same size.
+  double hpl_slowdown = 0.0;
+  /// Storage service throughput relative to the unmitigated case (1.0 = no
+  /// storage cost; quotas/backlog push it below 1).
+  double storage_throughput = 1.0;
+  /// Extra hardware consumed, as a fraction of the HPL allocation (extra
+  /// nodes, lost SSDs, fenced cores).
+  double capacity_cost = 0.0;
+};
+
+MitigationOutcome EvaluateMitigation(Mitigation mitigation, const MitigationConfig& config);
+
+}  // namespace ofmf::workloads

@@ -1,0 +1,99 @@
+#include "workloads/profiles.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "workloads/hpl.hpp"
+#include "workloads/ior.hpp"
+
+namespace ofmf::workloads {
+
+std::string ClassifyIsolation(double slowdown_fraction) {
+  if (slowdown_fraction < 0.05) return "Strong";
+  if (slowdown_fraction < 0.20) return "Medium-to-Strong";
+  return "Weak";
+}
+
+namespace {
+
+/// CPU-bound: per-node compute with no shared resources; a neighbour job
+/// only adds scheduler jitter.
+ProfileResult CpuBound(Rng& rng) {
+  ProfileResult result{"CPU-bound", "Heavy use of CPU and accelerators", "HPL", 0, 0, ""};
+  std::vector<NodeInterference> solo(4);
+  Rng solo_rng = rng.Fork();
+  const double solo_time = SimulateHplSeconds(solo, solo_rng, {40, 1.0, 0.003, 0.0});
+  // Neighbour on *other* nodes: no steal, no bursts, just ambient jitter.
+  std::vector<NodeInterference> contended(4);
+  for (auto& node : contended) node.burst_probability = 0.01, node.burst_fraction = 0.01;
+  Rng cont_rng = rng.Fork();
+  const double contended_time = SimulateHplSeconds(contended, cont_rng, {40, 1.0, 0.003, 0.0});
+  result.solo_score = 1.0 / solo_time;
+  result.contended_score = 1.0 / contended_time;
+  return result;
+}
+
+/// Memory-bound: node-local memory bandwidth; neighbours on other nodes
+/// cannot touch it (disaggregated CXL pools would change this).
+ProfileResult MemoryBound(Rng& rng) {
+  ProfileResult result{"Memory-bound", "Reads and writes to main memory",
+                       "STREAM, HPCG", 0, 0, ""};
+  const double peak_gbs = 240.0;  // dual-socket ThunderX2-class triad
+  result.solo_score = peak_gbs * (1.0 - 0.01 * rng.NextDouble());
+  result.contended_score = peak_gbs * (1.0 - 0.02 - 0.01 * rng.NextDouble());
+  return result;
+}
+
+/// Network-bound: shared switch trunks. A neighbour pushing traffic over the
+/// same core links taxes collective latency measurably but not fatally.
+ProfileResult NetworkBound(Rng& rng) {
+  ProfileResult result{"Network-bound", "Sending and receiving data among nodes in a task",
+                       "Intel MPI Benchmarks", 0, 0, ""};
+  const double link_gbps = 100.0;
+  // Solo: full trunk. Contended: fair-share with one neighbour on ~20% of
+  // the traffic matrix crossing the shared core.
+  result.solo_score = link_gbps * (0.97 + 0.02 * rng.NextDouble());
+  const double crossing_fraction = 0.20;
+  const double shared = link_gbps * (1.0 - crossing_fraction) +
+                        (link_gbps / 2.0) * crossing_fraction;
+  result.contended_score = shared * (0.97 + 0.02 * rng.NextDouble());
+  return result;
+}
+
+/// Shared-filesystem profiles: service capacity is split across every job
+/// hammering the same daemons. `weight` scales how much of the bottleneck
+/// resource the contender takes.
+ProfileResult SharedFsProfile(Rng& rng, const std::string& name,
+                              const std::string& description,
+                              const std::string& benchmark, double contender_share) {
+  ProfileResult result{name, description, benchmark, 0, 0, ""};
+  const double capacity_kiops = 350.0;
+  result.solo_score = capacity_kiops * (0.98 + 0.04 * rng.NextDouble());
+  result.contended_score =
+      capacity_kiops * (1.0 - contender_share) * (0.98 + 0.04 * rng.NextDouble());
+  return result;
+}
+
+}  // namespace
+
+std::vector<ProfileResult> RunProfileSuite(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ProfileResult> results;
+  results.push_back(CpuBound(rng));
+  results.push_back(MemoryBound(rng));
+  results.push_back(NetworkBound(rng));
+  results.push_back(SharedFsProfile(rng, "IOPs-bound",
+                                    "Many small reads/writes to a few files", "IOR-hard",
+                                    0.45));
+  results.push_back(SharedFsProfile(rng, "Bandwidth-bound",
+                                    "Large reads/writes to a few files", "IOR-easy", 0.40));
+  results.push_back(SharedFsProfile(rng, "Metadata-bound",
+                                    "Many small reads/writes to many files", "mdtest",
+                                    0.55));
+  for (ProfileResult& result : results) {
+    result.isolation = ClassifyIsolation(result.slowdown_fraction());
+  }
+  return results;
+}
+
+}  // namespace ofmf::workloads

@@ -1,0 +1,31 @@
+// Table I: performance profiles, their representative benchmarks, and the
+// degree of isolation HPC users can expect. Each profile runs a small model
+// kernel solo and again with a contending neighbour job on the shared
+// substrate; the measured slowdown is classified into the paper's
+// Strong / Medium-to-Strong / Weak bands.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ofmf::workloads {
+
+struct ProfileResult {
+  std::string profile;       // "CPU-bound"
+  std::string description;
+  std::string benchmark;     // "HPL"
+  double solo_score = 0.0;   // profile-specific throughput metric
+  double contended_score = 0.0;
+  double slowdown_fraction() const {
+    return solo_score <= 0.0 ? 0.0 : (solo_score - contended_score) / solo_score;
+  }
+  std::string isolation;     // classified band
+};
+
+/// Classification thresholds on contention slowdown.
+std::string ClassifyIsolation(double slowdown_fraction);
+
+/// Runs all six profiles with a fixed seed.
+std::vector<ProfileResult> RunProfileSuite(std::uint64_t seed = 7);
+
+}  // namespace ofmf::workloads

@@ -1,0 +1,185 @@
+// ClusterAdapter tests (cluster pool <-> OFMF mirroring, telemetry) plus
+// whole-tree referential-integrity property checks over a fully populated
+// service.
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include "common/strings.hpp"
+#include "common/units.hpp"
+#include "composability/adapter.hpp"
+#include "composability/client.hpp"
+#include "composability/manager.hpp"
+#include "json/serialize.hpp"
+#include "ofmf/service.hpp"
+#include "ofmf/uris.hpp"
+
+namespace ofmf::composability {
+namespace {
+
+using cluster::PooledDevice;
+using cluster::ResourceKind;
+using json::Json;
+
+class AdapterTest : public ::testing::Test {
+ protected:
+  AdapterTest() {
+    cluster::ClusterSpec spec;
+    spec.node_count = 3;
+    machine_ = std::make_unique<cluster::Cluster>(spec);
+    auto& pool = machine_->pool();
+    EXPECT_TRUE(pool.AddDevice({"cpu-0", ResourceKind::kCpu, 28, "rack0", "", false,
+                                180, 70}).ok());
+    EXPECT_TRUE(pool.AddDevice({"cpu-1", ResourceKind::kCpu, 28, "rack0", "", false,
+                                180, 70}).ok());
+    EXPECT_TRUE(pool.AddDevice({"gpu-0", ResourceKind::kGpu, 2, "rack0", "", false,
+                                600, 110}).ok());
+    EXPECT_TRUE(pool.AddDevice({"cxl-0", ResourceKind::kMemoryCxl, 256 * GiB, "rack1",
+                                "", false, 100, 50}).ok());
+    EXPECT_TRUE(pool.AddDevice({"nvme-0", ResourceKind::kNvme, 894 * GiB, "rack1", "",
+                                false, 12, 5}).ok());
+    EXPECT_TRUE(ofmf_.Bootstrap().ok());
+    adapter_ = std::make_unique<ClusterAdapter>(*machine_, ofmf_);
+  }
+
+  std::unique_ptr<cluster::Cluster> machine_;
+  core::OfmfService ofmf_;
+  std::unique_ptr<ClusterAdapter> adapter_;
+};
+
+TEST_F(AdapterTest, PublishCreatesBlocksAndChassis) {
+  ASSERT_TRUE(adapter_->Publish().ok());
+  EXPECT_EQ(adapter_->published_blocks(), 5u);
+  EXPECT_EQ(adapter_->Publish().code(), ErrorCode::kFailedPrecondition);
+
+  // Block capabilities reflect pool device kinds.
+  const Json cpu = *ofmf_.tree().Get(adapter_->BlockUriOf("cpu-0"));
+  EXPECT_EQ(core::CapabilityFromPayload(cpu).cores, 28);
+  EXPECT_EQ(core::CapabilityFromPayload(cpu).block_type, "Compute");
+  const Json cxl = *ofmf_.tree().Get(adapter_->BlockUriOf("cxl-0"));
+  EXPECT_DOUBLE_EQ(core::CapabilityFromPayload(cxl).memory_gib, 256);
+  const Json nvme = *ofmf_.tree().Get(adapter_->BlockUriOf("nvme-0"));
+  EXPECT_DOUBLE_EQ(core::CapabilityFromPayload(nvme).storage_gib, 894);
+  const Json gpu = *ofmf_.tree().Get(adapter_->BlockUriOf("gpu-0"));
+  EXPECT_EQ(core::CapabilityFromPayload(gpu).gpus, 2);
+
+  // Chassis per node.
+  const auto chassis = ofmf_.tree().Members(core::kChassis);
+  ASSERT_TRUE(chassis.ok());
+  EXPECT_EQ(chassis->size(), 3u);
+  const Json node = *ofmf_.tree().Get((*chassis)[0]);
+  EXPECT_EQ(node.GetString("ChassisType"), "Sled");
+  EXPECT_EQ(node.at("Oem").at("Ofmf").GetInt("Cores"), 56);
+}
+
+TEST_F(AdapterTest, CompositionStateMirrorsIntoPool) {
+  ASSERT_TRUE(adapter_->Publish().ok());
+  OfmfClient client(std::make_unique<http::InProcessClient>(ofmf_.Handler()));
+  ComposabilityManager manager(client);
+
+  CompositionRequest request;
+  request.name = "mirrored";
+  request.cores = 40;
+  request.memory_gib = 100;
+  auto composed = manager.Compose(request);
+  ASSERT_TRUE(composed.ok()) << composed.status().ToString();
+
+  // The underlying pool devices are now claimed and in use.
+  int claimed = 0;
+  for (const PooledDevice& device : machine_->pool().Devices()) {
+    if (!device.claimed_by.empty()) {
+      ++claimed;
+      EXPECT_EQ(device.claimed_by, "ofmf-composition");
+      EXPECT_TRUE(device.in_use);
+    }
+  }
+  EXPECT_EQ(claimed, static_cast<int>(composed->block_uris.size()));
+
+  // Decompose releases them.
+  ASSERT_TRUE(manager.Decompose(composed->system_uri).ok());
+  for (const PooledDevice& device : machine_->pool().Devices()) {
+    EXPECT_TRUE(device.claimed_by.empty()) << device.id;
+  }
+}
+
+TEST_F(AdapterTest, TelemetrySnapshots) {
+  EXPECT_EQ(adapter_->PushTelemetry().code(), ErrorCode::kFailedPrecondition);
+  ASSERT_TRUE(adapter_->Publish().ok());
+  ASSERT_TRUE(adapter_->PushTelemetry().ok());
+
+  const Json power = *ofmf_.telemetry().GetReport("cluster-power");
+  const auto& values = power.at("MetricValues").as_array();
+  ASSERT_GE(values.size(), 2u);
+  EXPECT_EQ(values[0].GetString("MetricId"), "PowerConsumedWatts");
+  EXPECT_GT(values[0].GetDouble("MetricValue"), 0.0);
+
+  const Json pool = *ofmf_.telemetry().GetReport("pool-utilization");
+  bool saw_cpu_free = false;
+  for (const Json& value : pool.at("MetricValues").as_array()) {
+    if (value.GetString("MetricId") == "CPUFreeCapacity") {
+      saw_cpu_free = true;
+      EXPECT_DOUBLE_EQ(value.GetDouble("MetricValue"), 56.0);
+    }
+  }
+  EXPECT_TRUE(saw_cpu_free);
+
+  // Repeated pushes overwrite, not accumulate.
+  ASSERT_TRUE(adapter_->PushTelemetry().ok());
+  EXPECT_EQ(ofmf_.telemetry().ReportIds().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-tree referential integrity: every @odata.id reachable from the
+// service root resolves; every collection member exists; every resource
+// carries the mandatory annotations. Run over a fully populated service.
+// ---------------------------------------------------------------------------
+void CollectRefs(const Json& node, std::vector<std::string>& refs) {
+  if (node.is_object()) {
+    for (const auto& [key, value] : node.as_object()) {
+      if (key == "@odata.id" && value.is_string()) refs.push_back(value.as_string());
+      CollectRefs(value, refs);
+    }
+  } else if (node.is_array()) {
+    for (const Json& item : node.as_array()) CollectRefs(item, refs);
+  }
+}
+
+TEST_F(AdapterTest, TreeReferentialIntegrity) {
+  ASSERT_TRUE(adapter_->Publish().ok());
+  ASSERT_TRUE(adapter_->PushTelemetry().ok());
+  OfmfClient client(std::make_unique<http::InProcessClient>(ofmf_.Handler()));
+  ComposabilityManager manager(client);
+  CompositionRequest request;
+  request.cores = 20;
+  request.memory_gib = 32;
+  ASSERT_TRUE(manager.Compose(request).ok());
+
+  std::size_t visited = 0;
+  for (const std::string& uri : ofmf_.tree().UrisUnder("/")) {
+    const auto doc = ofmf_.tree().Get(uri);
+    ASSERT_TRUE(doc.ok()) << uri;
+    ++visited;
+    // Mandatory annotations.
+    EXPECT_EQ(doc->GetString("@odata.id"), uri);
+    EXPECT_TRUE(strings::StartsWith(doc->GetString("@odata.type"), "#")) << uri;
+    EXPECT_FALSE(doc->GetString("@odata.etag").empty()) << uri;
+    // Every reference resolves.
+    std::vector<std::string> refs;
+    CollectRefs(*doc, refs);
+    for (const std::string& ref : refs) {
+      EXPECT_TRUE(ofmf_.tree().Exists(ref)) << uri << " -> dangling " << ref;
+    }
+  }
+  EXPECT_GE(visited, 25u);  // the populated service is substantial
+}
+
+TEST_F(AdapterTest, EveryResourceServesOverRest) {
+  ASSERT_TRUE(adapter_->Publish().ok());
+  OfmfClient client(std::make_unique<http::InProcessClient>(ofmf_.Handler()));
+  for (const std::string& uri : ofmf_.tree().UrisUnder("/")) {
+    const auto doc = client.Get(uri);
+    EXPECT_TRUE(doc.ok()) << uri << ": " << doc.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace ofmf::composability

@@ -1,0 +1,241 @@
+// Tests for the Composability Layer's autonomic controllers: AutoHealer
+// (Alert-driven connection re-creation over a real agent/fabric stack) and
+// MemoryPressureWatcher (telemetry-driven OOM expansion).
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include "agents/ib_agent.hpp"
+#include "composability/autonomy.hpp"
+#include "composability/client.hpp"
+#include "composability/manager.hpp"
+#include "json/parse.hpp"
+#include "ofmf/service.hpp"
+#include "ofmf/uris.hpp"
+
+namespace ofmf::composability {
+namespace {
+
+using json::Json;
+using ::testing::HasSubstr;
+
+class AutoHealerTest : public ::testing::Test {
+ protected:
+  AutoHealerTest() {
+    // Redundant two-switch fabric.
+    EXPECT_TRUE(graph_.AddVertex("sw0", fabricsim::VertexKind::kSwitch, 8).ok());
+    EXPECT_TRUE(graph_.AddVertex("sw1", fabricsim::VertexKind::kSwitch, 8).ok());
+    EXPECT_TRUE(graph_.AddVertex("n1", fabricsim::VertexKind::kDevice, 2).ok());
+    EXPECT_TRUE(graph_.AddVertex("n2", fabricsim::VertexKind::kDevice, 2).ok());
+    EXPECT_TRUE(graph_.Connect("n1", 0, "sw0", 0, {50, 200}).ok());
+    EXPECT_TRUE(graph_.Connect("n2", 0, "sw0", 1, {50, 200}).ok());
+    EXPECT_TRUE(graph_.Connect("n1", 1, "sw1", 0, {90, 100}).ok());
+    EXPECT_TRUE(graph_.Connect("n2", 1, "sw1", 1, {90, 100}).ok());
+    sm_ = std::make_unique<fabricsim::IbSubnetManager>(graph_);
+    EXPECT_TRUE(ofmf_.Bootstrap().ok());
+    EXPECT_TRUE(ofmf_.RegisterAgent(std::make_shared<agents::IbAgent>("IB", *sm_)).ok());
+    client_ = std::make_unique<OfmfClient>(
+        std::make_unique<http::InProcessClient>(ofmf_.Handler()));
+  }
+
+  Json ConnectionBody() const {
+    const std::string ep1 = core::FabricUri("IB") + "/Endpoints/n1";
+    const std::string ep2 = core::FabricUri("IB") + "/Endpoints/n2";
+    return Json::Obj(
+        {{"Name", "mpi"},
+         {"ConnectionType", "Network"},
+         {"Links", Json::Obj({{"InitiatorEndpoints",
+                               Json::Arr({Json::Obj({{"@odata.id", ep1}})})},
+                              {"TargetEndpoints",
+                               Json::Arr({Json::Obj({{"@odata.id", ep2}})})}})}});
+  }
+
+  fabricsim::FabricGraph graph_;
+  std::unique_ptr<fabricsim::IbSubnetManager> sm_;
+  core::OfmfService ofmf_;
+  std::unique_ptr<OfmfClient> client_;
+};
+
+TEST_F(AutoHealerTest, MustArmBeforePollAndOnlyOnce) {
+  AutoHealer healer(*client_);
+  EXPECT_EQ(healer.Poll().status().code(), ErrorCode::kFailedPrecondition);
+  ASSERT_TRUE(healer.Arm().ok());
+  EXPECT_EQ(healer.Arm().code(), ErrorCode::kFailedPrecondition);
+  EXPECT_TRUE(healer.Poll().ok());
+}
+
+TEST_F(AutoHealerTest, NoAlertsMeansNoWork) {
+  AutoHealer healer(*client_);
+  ASSERT_TRUE(healer.Arm().ok());
+  const std::string conn_uri =
+      *client_->Post(core::FabricUri("IB") + "/Connections", ConnectionBody());
+  ASSERT_TRUE(healer.GuardConnection(conn_uri, core::FabricUri("IB") + "/Connections",
+                                     ConnectionBody())
+                  .ok());
+  // Drain the creation noise first (connection create emits tree events,
+  // but those are not Alerts).
+  auto report = healer.Poll();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->alerts_seen, 0);
+  EXPECT_EQ(report->connections_checked, 0);
+}
+
+TEST_F(AutoHealerTest, HealsConnectionAfterEndpointFailure) {
+  AutoHealer healer(*client_);
+  ASSERT_TRUE(healer.Arm().ok());
+  const std::string conn_uri =
+      *client_->Post(core::FabricUri("IB") + "/Connections", ConnectionBody());
+  ASSERT_TRUE(healer.GuardConnection(conn_uri, core::FabricUri("IB") + "/Connections",
+                                     ConnectionBody())
+                  .ok());
+
+  // Primary port of n1 dies -> trap -> Alert -> endpoint marked offline.
+  // The backup link (n1:1 via sw1) stays alive, so a re-created connection
+  // can route around the fault.
+  ASSERT_TRUE(graph_.SetLinkUp("n1", 0, false).ok());
+
+  auto report = healer.Poll();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report->alerts_seen, 1);
+  EXPECT_EQ(report->connections_checked, 1);
+  EXPECT_EQ(report->connections_healed, 1);
+  EXPECT_EQ(report->heal_failures, 0);
+  EXPECT_EQ(healer.guarded_count(), 1u);
+
+  // The old URI is gone; a new connection exists with backup-path latency.
+  EXPECT_FALSE(client_->Get(conn_uri).ok());
+  auto members = client_->Members(core::FabricUri("IB") + "/Connections");
+  ASSERT_TRUE(members.ok());
+  ASSERT_EQ(members->size(), 1u);
+  const Json healed = *client_->Get((*members)[0]);
+  EXPECT_DOUBLE_EQ(healed.at("Oem").at("Ofmf").GetDouble("LatencyNs"), 180.0);
+}
+
+TEST_F(AutoHealerTest, HealFailureKeepsGuardForRetry) {
+  AutoHealer healer(*client_);
+  ASSERT_TRUE(healer.Arm().ok());
+  const std::string conn_uri =
+      *client_->Post(core::FabricUri("IB") + "/Connections", ConnectionBody());
+  ASSERT_TRUE(healer.GuardConnection(conn_uri, core::FabricUri("IB") + "/Connections",
+                                     ConnectionBody())
+                  .ok());
+  // Kill the whole fabric: no path remains, healing must fail.
+  ASSERT_TRUE(graph_.FailVertex("sw0").ok());
+  ASSERT_TRUE(graph_.FailVertex("sw1").ok());
+  auto report = healer.Poll();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->connections_healed, 0);
+  EXPECT_EQ(report->heal_failures, 1);
+  EXPECT_EQ(healer.guarded_count(), 1u);  // kept for retry
+
+  // Fabric returns; next Alert-triggering flap lets the retry succeed.
+  ASSERT_TRUE(graph_.SetLinkUp("n1", 1, true).ok());
+  ASSERT_TRUE(graph_.SetLinkUp("n2", 1, true).ok());
+  auto retry = healer.Poll();
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(retry->connections_healed, 1);
+}
+
+TEST_F(AutoHealerTest, GuardBookkeeping) {
+  AutoHealer healer(*client_);
+  EXPECT_FALSE(healer.GuardConnection("", "/c", Json::MakeObject()).ok());
+  ASSERT_TRUE(healer.GuardConnection("/x", "/c", Json::MakeObject()).ok());
+  EXPECT_EQ(healer.guarded_count(), 1u);
+  EXPECT_TRUE(healer.UnguardConnection("/x").ok());
+  EXPECT_EQ(healer.UnguardConnection("/x").code(), ErrorCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+
+class MemoryWatcherTest : public ::testing::Test {
+ protected:
+  MemoryWatcherTest() {
+    EXPECT_TRUE(ofmf_.Bootstrap().ok());
+    client_ = std::make_unique<OfmfClient>(
+        std::make_unique<http::InProcessClient>(ofmf_.Handler()));
+    manager_ = std::make_unique<ComposabilityManager>(*client_);
+
+    core::BlockCapability compute;
+    compute.id = "cpu0";
+    compute.block_type = "Compute";
+    compute.cores = 56;
+    compute.memory_gib = 128;
+    EXPECT_TRUE(ofmf_.composition().RegisterBlock(compute).ok());
+    for (int i = 0; i < 3; ++i) {
+      core::BlockCapability memory;
+      memory.id = "cxl" + std::to_string(i);
+      memory.block_type = "Memory";
+      memory.memory_gib = 256;
+      EXPECT_TRUE(ofmf_.composition().RegisterBlock(memory).ok());
+    }
+    CompositionRequest request;
+    request.name = "db";
+    request.cores = 40;
+    request.memory_gib = 64;
+    system_uri_ = manager_->Compose(request)->system_uri;
+  }
+
+  void PushPressure(double percent) {
+    ASSERT_TRUE(ofmf_.telemetry()
+                    .PushReport("memory-pressure",
+                                {{"MemoryUtilizationPercent", percent, system_uri_}})
+                    .ok());
+  }
+
+  core::OfmfService ofmf_;
+  std::unique_ptr<OfmfClient> client_;
+  std::unique_ptr<ComposabilityManager> manager_;
+  std::string system_uri_;
+};
+
+TEST_F(MemoryWatcherTest, ExpandsAboveThresholdOnly) {
+  MemoryPressureWatcher watcher(*client_, *manager_, "memory-pressure", 90.0, 256.0);
+  ASSERT_TRUE(watcher.Arm().ok());
+
+  PushPressure(70.0);
+  auto calm = watcher.Poll();
+  ASSERT_TRUE(calm.ok());
+  EXPECT_EQ(calm->reports_seen, 1);
+  EXPECT_EQ(calm->expansions, 0);
+  EXPECT_DOUBLE_EQ(manager_->systems().at(system_uri_).memory_gib, 128);
+
+  PushPressure(95.0);
+  auto hot = watcher.Poll();
+  ASSERT_TRUE(hot.ok());
+  EXPECT_EQ(hot->expansions, 1);
+  EXPECT_DOUBLE_EQ(manager_->systems().at(system_uri_).memory_gib, 128 + 256);
+  const Json system = *client_->Get(system_uri_);
+  EXPECT_DOUBLE_EQ(system.at("MemorySummary").GetDouble("TotalSystemMemoryGiB"), 384);
+}
+
+TEST_F(MemoryWatcherTest, RepeatedPressureKeepsExpandingUntilPoolDry) {
+  MemoryPressureWatcher watcher(*client_, *manager_, "memory-pressure", 90.0, 256.0);
+  ASSERT_TRUE(watcher.Arm().ok());
+  for (int i = 0; i < 3; ++i) {
+    PushPressure(99.0);
+    auto report = watcher.Poll();
+    ASSERT_TRUE(report.ok());
+    if (i < 3 - 1 + 1) {
+      // 3 CXL blocks of 256 GiB: first three polls expand, then dry.
+    }
+  }
+  EXPECT_DOUBLE_EQ(manager_->systems().at(system_uri_).memory_gib, 128 + 3 * 256);
+  PushPressure(99.0);
+  auto dry = watcher.Poll();
+  ASSERT_TRUE(dry.ok());
+  EXPECT_EQ(dry->expansions, 0);
+  EXPECT_EQ(dry->expansion_failures, 1);
+}
+
+TEST_F(MemoryWatcherTest, ArmRequiredAndIdempotenceRules) {
+  MemoryPressureWatcher watcher(*client_, *manager_, "memory-pressure");
+  EXPECT_EQ(watcher.Poll().status().code(), ErrorCode::kFailedPrecondition);
+  ASSERT_TRUE(watcher.Arm().ok());
+  EXPECT_EQ(watcher.Arm().code(), ErrorCode::kFailedPrecondition);
+  // No telemetry yet: nothing seen.
+  auto report = watcher.Poll();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->reports_seen, 0);
+}
+
+}  // namespace
+}  // namespace ofmf::composability

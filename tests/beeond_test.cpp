@@ -1,0 +1,216 @@
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include "beeond/beeond.hpp"
+#include "cluster/cluster.hpp"
+#include "common/units.hpp"
+
+namespace ofmf::beeond {
+namespace {
+
+using ::testing::ElementsAre;
+using ::testing::HasSubstr;
+
+class BeeondTest : public ::testing::Test {
+ protected:
+  BeeondTest() {
+    cluster::ClusterSpec spec;
+    spec.node_count = 6;
+    machine_ = std::make_unique<cluster::Cluster>(spec);
+    for (const std::string& host : machine_->Hostnames()) {
+      EXPECT_TRUE(machine_->PrepareNodeStorage(host).ok());
+    }
+    orchestrator_ = std::make_unique<BeeondOrchestrator>(*machine_);
+  }
+
+  std::vector<std::string> Hosts(int n) {
+    auto all = machine_->Hostnames();
+    return {all.begin(), all.begin() + n};
+  }
+
+  std::unique_ptr<cluster::Cluster> machine_;
+  std::unique_ptr<BeeondOrchestrator> orchestrator_;
+};
+
+TEST_F(BeeondTest, RoleAssignmentMatchesPaper) {
+  auto instance = orchestrator_->Start("fs1", Hosts(4));
+  ASSERT_TRUE(instance.ok());
+  // Lowest host: Mgmtd + Meta + OST + client; every host: OST + client.
+  EXPECT_EQ(instance->mgmtd_host, "node001");
+  EXPECT_THAT(instance->meta_hosts, ElementsAre("node001"));
+  EXPECT_THAT(instance->ost_hosts,
+              ElementsAre("node001", "node002", "node003", "node004"));
+  EXPECT_EQ(instance->mount_point, "/mnt/beeond");
+  EXPECT_TRUE(instance->mounted);
+
+  const cluster::ComputeNode* lowest = *machine_->Node("node001");
+  EXPECT_TRUE(lowest->HasDaemon("fs1/beeond-mgmtd"));
+  EXPECT_TRUE(lowest->HasDaemon("fs1/beeond-meta"));
+  EXPECT_TRUE(lowest->HasDaemon("fs1/beeond-ost"));
+  EXPECT_TRUE(lowest->HasDaemon("fs1/beeond-helperd"));
+  EXPECT_TRUE(lowest->HasDaemon("fs1/beeond-client"));
+  const cluster::ComputeNode* other = *machine_->Node("node003");
+  EXPECT_FALSE(other->HasDaemon("fs1/beeond-mgmtd"));
+  EXPECT_TRUE(other->HasDaemon("fs1/beeond-ost"));
+  EXPECT_TRUE(other->HasDaemon("fs1/beeond-client"));
+}
+
+TEST_F(BeeondTest, ServiceConfigsCarryPaperParameters) {
+  auto instance = orchestrator_->Start("fs1", Hosts(2));
+  ASSERT_TRUE(instance.ok());
+  bool saw_mgmtd = false;
+  for (const ServiceConfig& config : instance->services) {
+    EXPECT_FALSE(config.store_dir.empty());
+    EXPECT_THAT(config.log_file, HasSubstr("/var/log/"));
+    EXPECT_THAT(config.pid_file, HasSubstr("/var/run/"));
+    EXPECT_GT(config.port, 0);
+    EXPECT_TRUE(config.daemonized);
+    if (config.role == Role::kMgmtd) {
+      saw_mgmtd = true;
+      EXPECT_EQ(config.host, "node001");
+    }
+  }
+  EXPECT_TRUE(saw_mgmtd);
+}
+
+TEST_F(BeeondTest, AssemblyIsScaleInvariantAndUnder3s) {
+  auto small = orchestrator_->Start("small", Hosts(2));
+  ASSERT_TRUE(small.ok());
+  const std::vector<std::string> all = Hosts(6);
+  auto big = orchestrator_->Start("big", {all.begin() + 2, all.end()});
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(small->assemble_duration, big->assemble_duration);
+  EXPECT_LT(ToSeconds(small->assemble_duration), 3.0);
+}
+
+TEST_F(BeeondTest, StartValidation) {
+  EXPECT_FALSE(orchestrator_->Start("x", {}).ok());
+  StartOptions zero_meta;
+  zero_meta.meta_count = 0;
+  EXPECT_FALSE(orchestrator_->Start("x", Hosts(2), zero_meta).ok());
+  StartOptions too_many_meta;
+  too_many_meta.meta_count = 5;
+  EXPECT_FALSE(orchestrator_->Start("x", Hosts(2), too_many_meta).ok());
+  ASSERT_TRUE(orchestrator_->Start("x", Hosts(2)).ok());
+  EXPECT_EQ(orchestrator_->Start("x", Hosts(2)).status().code(),
+            ErrorCode::kAlreadyExists);
+  // Every host exempt from storage -> no OSTs.
+  StartOptions all_exempt;
+  all_exempt.storage_exempt_hosts = Hosts(2);
+  EXPECT_FALSE(orchestrator_->Start("y", Hosts(2), all_exempt).ok());
+}
+
+TEST_F(BeeondTest, UnsortedAndDuplicateHostsNormalized) {
+  auto instance =
+      orchestrator_->Start("dup", {"node003", "node001", "node003", "node002"});
+  ASSERT_TRUE(instance.ok());
+  EXPECT_THAT(instance->hosts, ElementsAre("node001", "node002", "node003"));
+  EXPECT_EQ(instance->mgmtd_host, "node001");
+  EXPECT_EQ(instance->ost_hosts.size(), 3u);
+}
+
+TEST_F(BeeondTest, UnpreparedStorageFailsAndRollsBack) {
+  // Break node002's backing store.
+  ASSERT_TRUE((*machine_->Node("node002"))->ssd().Unmount().ok());
+  const auto failed = orchestrator_->Start("fs1", Hosts(3));
+  EXPECT_EQ(failed.status().code(), ErrorCode::kFailedPrecondition);
+  // No daemons may leak from the partial assembly.
+  for (const std::string& host : Hosts(3)) {
+    EXPECT_TRUE((*machine_->Node(host))->Daemons().empty()) << host;
+  }
+}
+
+TEST_F(BeeondTest, MultipleMetadataServersSupported) {
+  StartOptions options;
+  options.meta_count = 3;
+  auto instance = orchestrator_->Start("multi", Hosts(4), options);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_THAT(instance->meta_hosts, ElementsAre("node001", "node002", "node003"));
+  EXPECT_TRUE((*machine_->Node("node002"))->HasDaemon("multi/beeond-meta"));
+}
+
+TEST_F(BeeondTest, StorageExemptHostsAreClientsOnly) {
+  StartOptions options;
+  options.storage_exempt_hosts = {"node002"};
+  auto instance = orchestrator_->Start("exempt", Hosts(3), options);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_THAT(instance->ost_hosts, ElementsAre("node001", "node003"));
+  EXPECT_FALSE((*machine_->Node("node002"))->HasDaemon("exempt/beeond-ost"));
+  EXPECT_TRUE((*machine_->Node("node002"))->HasDaemon("exempt/beeond-client"));
+}
+
+TEST_F(BeeondTest, WriteStripesEvenlyAcrossOsts) {
+  auto instance = orchestrator_->Start("fs1", Hosts(4));
+  ASSERT_TRUE(instance.ok());
+  const std::uint64_t total = 64 * instance->chunk_bytes;
+  ASSERT_TRUE(orchestrator_->WriteFile("fs1", "node002", total).ok());
+  const auto usage = orchestrator_->OstUsage("fs1");
+  ASSERT_TRUE(usage.ok());
+  std::uint64_t sum = 0;
+  for (const auto& [host, bytes] : *usage) {
+    // 64 chunks over 4 OSTs: exactly 16 chunks each.
+    EXPECT_EQ(bytes, 16 * instance->chunk_bytes) << host;
+    sum += bytes;
+  }
+  EXPECT_EQ(sum, total);
+  // Data actually landed on the node SSDs.
+  EXPECT_EQ((*machine_->Node("node001"))->ssd().used_bytes(), 16 * instance->chunk_bytes);
+}
+
+TEST_F(BeeondTest, WriteValidation) {
+  ASSERT_TRUE(orchestrator_->Start("fs1", Hosts(2)).ok());
+  EXPECT_EQ(orchestrator_->WriteFile("nope", "node001", 10).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(orchestrator_->WriteFile("fs1", "node005", 10).code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_F(BeeondTest, IoLoadRaisesDaemonCost) {
+  ASSERT_TRUE(orchestrator_->Start("fs1", Hosts(3)).ok());
+  const double idle = (*machine_->Node("node002"))->DaemonCoreLoad();
+  ASSERT_TRUE(orchestrator_->SetIoLoad("fs1", 8.0, 1.0).ok());
+  const double loaded = (*machine_->Node("node002"))->DaemonCoreLoad();
+  EXPECT_NEAR(loaded - idle, 8.0, 1e-9);
+  // Meta host carries the meta load too.
+  const double meta_loaded = (*machine_->Node("node001"))->DaemonCoreLoad();
+  EXPECT_GT(meta_loaded, loaded);
+  // Back to idle.
+  ASSERT_TRUE(orchestrator_->SetIoLoad("fs1", 0.0, 0.0).ok());
+  EXPECT_NEAR((*machine_->Node("node002"))->DaemonCoreLoad(), idle, 1e-9);
+  EXPECT_EQ(orchestrator_->SetIoLoad("ghost", 1, 1).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(BeeondTest, StopKillsDaemonsWipesAndRemounts) {
+  auto instance = orchestrator_->Start("fs1", Hosts(3));
+  ASSERT_TRUE(instance.ok());
+  ASSERT_TRUE(orchestrator_->WriteFile("fs1", "node001", 10 * MiB).ok());
+  ASSERT_TRUE(orchestrator_->Stop("fs1").ok());
+  EXPECT_EQ(orchestrator_->Stop("fs1").code(), ErrorCode::kNotFound);
+  EXPECT_FALSE(orchestrator_->Get("fs1").ok());
+  for (const std::string& host : Hosts(3)) {
+    const cluster::ComputeNode* node = *machine_->Node(host);
+    EXPECT_TRUE(node->Daemons().empty()) << host;
+    // Storage wiped (the paper's security property) and remounted for the
+    // next allocation.
+    EXPECT_EQ(node->ssd().used_bytes(), 0u) << host;
+    EXPECT_EQ(node->ssd().state(), cluster::SsdState::kMounted) << host;
+  }
+}
+
+TEST_F(BeeondTest, TwoInstancesCoexistOnDisjointHosts) {
+  ASSERT_TRUE(orchestrator_->Start("a", Hosts(3)).ok());
+  auto all = machine_->Hostnames();
+  ASSERT_TRUE(
+      orchestrator_->Start("b", {all.begin() + 3, all.end()}).ok());
+  EXPECT_THAT(orchestrator_->InstanceIds(), ElementsAre("a", "b"));
+  ASSERT_TRUE(orchestrator_->Stop("a").ok());
+  EXPECT_THAT(orchestrator_->InstanceIds(), ElementsAre("b"));
+}
+
+TEST(BeeondNamesTest, RoleStrings) {
+  EXPECT_STREQ(to_string(Role::kMgmtd), "Mgmtd");
+  EXPECT_EQ(DaemonName(Role::kStorage), "beeond-ost");
+  EXPECT_GT(IdleCoreLoad(Role::kStorage), IdleCoreLoad(Role::kMgmtd));
+}
+
+}  // namespace
+}  // namespace ofmf::beeond

@@ -1,0 +1,290 @@
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/energy.hpp"
+#include "cluster/node.hpp"
+#include "cluster/pools.hpp"
+#include "cluster/ssd.hpp"
+#include "common/units.hpp"
+
+namespace ofmf::cluster {
+namespace {
+
+using ::testing::ElementsAre;
+using ::testing::HasSubstr;
+
+// ------------------------------------------------------------------- SSD ---
+
+TEST(SsdTest, LifecycleHappyPath) {
+  Ssd ssd(1000 * GiB);
+  EXPECT_EQ(ssd.state(), SsdState::kRaw);
+  ASSERT_TRUE(ssd.Partition(894 * GiB).ok());
+  EXPECT_EQ(ssd.state(), SsdState::kPartitioned);
+  ASSERT_TRUE(ssd.Format("xfs").ok());
+  EXPECT_EQ(ssd.state(), SsdState::kFormatted);
+  ASSERT_TRUE(ssd.Mount("/beeond").ok());
+  EXPECT_EQ(ssd.state(), SsdState::kMounted);
+  EXPECT_EQ(ssd.mount_point(), "/beeond");
+  ASSERT_TRUE(ssd.Write(10 * GiB).ok());
+  EXPECT_EQ(ssd.used_bytes(), 10 * GiB);
+  ASSERT_TRUE(ssd.Unmount().ok());
+  EXPECT_EQ(ssd.state(), SsdState::kFormatted);
+}
+
+TEST(SsdTest, OrderingViolationsRejected) {
+  Ssd ssd(100);
+  EXPECT_EQ(ssd.Format("xfs").code(), ErrorCode::kFailedPrecondition);  // no partition
+  EXPECT_EQ(ssd.Mount("/x").code(), ErrorCode::kFailedPrecondition);    // not formatted
+  ASSERT_TRUE(ssd.Partition(100).ok());
+  EXPECT_FALSE(ssd.Partition(1000).ok());  // exceeds raw capacity
+  ASSERT_TRUE(ssd.Format("xfs").ok());
+  ASSERT_TRUE(ssd.Mount("/x").ok());
+  EXPECT_EQ(ssd.Partition(50).code(), ErrorCode::kFailedPrecondition);  // mounted
+  EXPECT_EQ(ssd.Format("xfs").code(), ErrorCode::kFailedPrecondition);  // mounted
+  EXPECT_EQ(ssd.Unmount().ok(), true);
+  EXPECT_EQ(ssd.Unmount().code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST(SsdTest, NonXfsRefusesToMount) {
+  Ssd ssd(100);
+  ASSERT_TRUE(ssd.Partition(100).ok());
+  ASSERT_TRUE(ssd.Format("ext4").ok());
+  const Status mounted = ssd.Mount("/beeond");
+  EXPECT_EQ(mounted.code(), ErrorCode::kFailedPrecondition);
+  EXPECT_THAT(mounted.message(), HasSubstr("xattr"));
+}
+
+TEST(SsdTest, WriteBoundsAndErase) {
+  Ssd ssd(100);
+  ASSERT_TRUE(ssd.Partition(100).ok());
+  ASSERT_TRUE(ssd.Format("xfs").ok());
+  ASSERT_TRUE(ssd.Mount("/x").ok());
+  ASSERT_TRUE(ssd.Write(80).ok());
+  EXPECT_EQ(ssd.Write(30).code(), ErrorCode::kResourceExhausted);
+  ssd.Erase();
+  EXPECT_EQ(ssd.used_bytes(), 0u);
+  ASSERT_TRUE(ssd.Write(100).ok());
+}
+
+TEST(SsdTest, UdevRuleMatchesPaperBehaviour) {
+  Ssd ssd(1000 * GiB);
+  EXPECT_FALSE(ssd.RunUdevRule(894 * GiB).ok());  // raw device
+  ASSERT_TRUE(ssd.Partition(894 * GiB).ok());
+  auto symlink = ssd.RunUdevRule(894 * GiB);
+  ASSERT_TRUE(symlink.ok());
+  EXPECT_EQ(*symlink, "/dev/beeond_store");
+  // Wrong layout -> failure (node must not enter the queue).
+  EXPECT_EQ(ssd.RunUdevRule(500 * GiB).status().code(), ErrorCode::kFailedPrecondition);
+  ssd.InjectFailure();
+  EXPECT_EQ(ssd.RunUdevRule(894 * GiB).status().code(), ErrorCode::kUnavailable);
+}
+
+TEST(SsdTest, FailedDeviceRejectsEverything) {
+  Ssd ssd(100);
+  ssd.InjectFailure();
+  EXPECT_EQ(ssd.Partition(100).code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(ssd.Format("xfs").code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(to_string(ssd.state()), std::string("Failed"));
+}
+
+// ------------------------------------------------------------------ Node ---
+
+TEST(NodeTest, SpecDefaultsMatchPaperHardware) {
+  ComputeNode node("node001");
+  EXPECT_EQ(node.spec().total_cores(), 56);  // dual-socket ThunderX2
+  EXPECT_EQ(node.spec().memory_bytes, 128 * GiB);
+  EXPECT_EQ(node.spec().ssd_partition_bytes, 894 * GiB);
+  EXPECT_EQ(node.spec().ib_ports, 2);
+  EXPECT_EQ(node.hostname(), "node001");
+}
+
+TEST(NodeTest, DaemonAccounting) {
+  ComputeNode node("n1");
+  ASSERT_TRUE(node.StartDaemon("beeond-ost", 0.18).ok());
+  ASSERT_TRUE(node.StartDaemon("beeond-client", 0.05).ok());
+  EXPECT_EQ(node.StartDaemon("beeond-ost", 0.1).code(), ErrorCode::kAlreadyExists);
+  EXPECT_FALSE(node.StartDaemon("neg", -1.0).ok());
+  EXPECT_DOUBLE_EQ(node.DaemonCoreLoad(), 0.23);
+  EXPECT_NEAR(node.CpuStealFraction(), 0.23 / 56.0, 1e-12);
+  EXPECT_TRUE(node.HasDaemon("beeond-ost"));
+  EXPECT_THAT(node.Daemons(), ElementsAre("beeond-client", "beeond-ost"));
+
+  ASSERT_TRUE(node.SetDaemonLoad("beeond-ost", 16.0).ok());
+  EXPECT_DOUBLE_EQ(node.DaemonCoreLoad(), 16.05);
+  EXPECT_EQ(node.SetDaemonLoad("ghost", 1.0).code(), ErrorCode::kNotFound);
+
+  ASSERT_TRUE(node.StopDaemon("beeond-ost").ok());
+  EXPECT_EQ(node.StopDaemon("beeond-ost").code(), ErrorCode::kNotFound);
+  EXPECT_DOUBLE_EQ(node.DaemonCoreLoad(), 0.05);
+}
+
+TEST(NodeTest, CpuStealClampedAt95Percent) {
+  ComputeNode node("n1");
+  ASSERT_TRUE(node.StartDaemon("hog", 1000.0).ok());
+  EXPECT_DOUBLE_EQ(node.CpuStealFraction(), 0.95);
+}
+
+TEST(NodeTest, MemoryReservationOomPath) {
+  ComputeNode node("n1");
+  ASSERT_TRUE(node.ReserveMemory(100 * GiB).ok());
+  EXPECT_EQ(node.free_memory_bytes(), 28 * GiB);
+  const Status oom = node.ReserveMemory(40 * GiB);
+  EXPECT_EQ(oom.code(), ErrorCode::kResourceExhausted);
+  node.ReleaseMemory(50 * GiB);
+  EXPECT_TRUE(node.ReserveMemory(40 * GiB).ok());
+  node.ReleaseMemory(10000 * GiB);  // over-release clamps to zero
+  EXPECT_EQ(node.reserved_memory_bytes(), 0u);
+}
+
+// ----------------------------------------------------------------- Pools ---
+
+PooledDevice Gpu(const std::string& id, const std::string& locality = "rack1") {
+  return PooledDevice{id, ResourceKind::kGpu, 1, locality, "", false, 300.0, 55.0};
+}
+
+TEST(PoolTest, ClaimReleaseLifecycle) {
+  ResourcePool pool;
+  ASSERT_TRUE(pool.AddDevice(Gpu("gpu0")).ok());
+  ASSERT_TRUE(pool.AddDevice(Gpu("gpu1")).ok());
+  EXPECT_EQ(pool.AddDevice(Gpu("gpu0")).code(), ErrorCode::kAlreadyExists);
+  EXPECT_FALSE(pool.AddDevice(PooledDevice{}).ok());  // empty id
+
+  ASSERT_TRUE(pool.Claim("gpu0", "jobA").ok());
+  EXPECT_EQ(pool.Claim("gpu0", "jobB").code(), ErrorCode::kAlreadyExists);
+  EXPECT_FALSE(pool.Claim("gpu1", "").ok());
+  EXPECT_EQ(pool.FreeDevices(ResourceKind::kGpu).size(), 1u);
+
+  ASSERT_TRUE(pool.Release("gpu0").ok());
+  EXPECT_EQ(pool.Release("gpu0").code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(pool.Release("nope").code(), ErrorCode::kNotFound);
+}
+
+TEST(PoolTest, RemoveOnlyWhenFree) {
+  ResourcePool pool;
+  ASSERT_TRUE(pool.AddDevice(Gpu("gpu0")).ok());
+  ASSERT_TRUE(pool.Claim("gpu0", "job").ok());
+  EXPECT_EQ(pool.RemoveDevice("gpu0").code(), ErrorCode::kFailedPrecondition);
+  ASSERT_TRUE(pool.Release("gpu0").ok());
+  EXPECT_TRUE(pool.RemoveDevice("gpu0").ok());
+  EXPECT_EQ(pool.RemoveDevice("gpu0").code(), ErrorCode::kNotFound);
+}
+
+TEST(PoolTest, ReleaseAllOfOwner) {
+  ResourcePool pool;
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(pool.AddDevice(Gpu("gpu" + std::to_string(i))).ok());
+  ASSERT_TRUE(pool.Claim("gpu0", "jobA").ok());
+  ASSERT_TRUE(pool.Claim("gpu1", "jobA").ok());
+  ASSERT_TRUE(pool.Claim("gpu2", "jobB").ok());
+  const auto released = pool.ReleaseAllOf("jobA");
+  EXPECT_THAT(released, ElementsAre("gpu0", "gpu1"));
+  EXPECT_EQ(pool.FreeDevices(ResourceKind::kGpu).size(), 3u);
+}
+
+TEST(PoolTest, StrandedAccounting) {
+  ResourcePool pool;
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(pool.AddDevice(Gpu("gpu" + std::to_string(i))).ok());
+  ASSERT_TRUE(pool.Claim("gpu0", "job").ok());
+  ASSERT_TRUE(pool.Claim("gpu1", "job").ok());
+  ASSERT_TRUE(pool.SetInUse("gpu0", true).ok());
+  EXPECT_EQ(pool.SetInUse("gpu3", true).code(), ErrorCode::kFailedPrecondition);
+
+  const auto accounting = pool.Account(ResourceKind::kGpu);
+  EXPECT_EQ(accounting.free, 2u);
+  EXPECT_EQ(accounting.claimed_used, 1u);
+  EXPECT_EQ(accounting.claimed_idle, 1u);  // gpu1 is stranded
+  EXPECT_DOUBLE_EQ(accounting.stranded_fraction(), 0.25);
+  EXPECT_EQ(accounting.total(), 4u);
+}
+
+TEST(PoolTest, PowerModel) {
+  ResourcePool pool;
+  ASSERT_TRUE(pool.AddDevice(Gpu("gpu0")).ok());
+  ASSERT_TRUE(pool.AddDevice(Gpu("gpu1")).ok());
+  EXPECT_DOUBLE_EQ(pool.PowerWatts(), 110.0);  // both idle
+  ASSERT_TRUE(pool.Claim("gpu0", "job").ok());
+  ASSERT_TRUE(pool.SetInUse("gpu0", true).ok());
+  EXPECT_DOUBLE_EQ(pool.PowerWatts(), 355.0);  // one active, one idle
+}
+
+TEST(PoolTest, KindNames) {
+  EXPECT_STREQ(to_string(ResourceKind::kMemoryCxl), "CXL-Memory");
+  EXPECT_STREQ(to_string(ResourceKind::kNvme), "NVMe");
+}
+
+// ---------------------------------------------------------------- Energy ---
+
+TEST(EnergyTest, MeterIntegratesPower) {
+  EnergyMeter meter;
+  meter.Accrue(1000.0, Seconds(3600));  // 1 kW for an hour
+  EXPECT_NEAR(meter.kwh(), 1.0, 1e-9);
+  EXPECT_NEAR(meter.joules(), 3.6e6, 1e-3);
+  PowerModel model;
+  EXPECT_NEAR(meter.facility_kwh(model), 1.35, 1e-9);
+  meter.Accrue(500.0, 0);  // zero duration: no-op
+  EXPECT_NEAR(meter.kwh(), 1.0, 1e-9);
+  meter.Reset();
+  EXPECT_EQ(meter.joules(), 0.0);
+}
+
+// --------------------------------------------------------------- Cluster ---
+
+TEST(ClusterTest, NodeNamingAndLookup) {
+  ClusterSpec spec;
+  spec.node_count = 3;
+  Cluster machine(spec);
+  EXPECT_THAT(machine.Hostnames(), ElementsAre("node001", "node002", "node003"));
+  EXPECT_TRUE(machine.Node("node002").ok());
+  EXPECT_FALSE(machine.Node("node009").ok());
+  EXPECT_EQ(machine.node_count(), 3u);
+}
+
+TEST(ClusterTest, PrepareNodeStorageHappyPath) {
+  ClusterSpec spec;
+  spec.node_count = 2;
+  Cluster machine(spec);
+  ASSERT_TRUE(machine.PrepareNodeStorage("node001").ok());
+  const ComputeNode* node = *machine.Node("node001");
+  EXPECT_EQ(node->ssd().state(), SsdState::kMounted);
+  EXPECT_EQ(node->ssd().mount_point(), "/beeond");
+  EXPECT_FALSE(node->drained());
+  // Idempotent.
+  EXPECT_TRUE(machine.PrepareNodeStorage("node001").ok());
+}
+
+TEST(ClusterTest, UdevFailureDrainsNode) {
+  ClusterSpec spec;
+  spec.node_count = 2;
+  Cluster machine(spec);
+  (*machine.Node("node002"))->ssd().InjectFailure();
+  EXPECT_FALSE(machine.PrepareNodeStorage("node002").ok());
+  EXPECT_TRUE((*machine.Node("node002"))->drained());
+  EXPECT_THAT(machine.AvailableHostnames(), ElementsAre("node001"));
+}
+
+TEST(ClusterTest, ReformatWipesData) {
+  ClusterSpec spec;
+  spec.node_count = 1;
+  Cluster machine(spec);
+  ASSERT_TRUE(machine.PrepareNodeStorage("node001").ok());
+  ComputeNode* node = *machine.Node("node001");
+  ASSERT_TRUE(node->ssd().Write(5 * GiB).ok());
+  ASSERT_TRUE(machine.ReformatNodeStorage("node001").ok());
+  EXPECT_EQ(node->ssd().used_bytes(), 0u);
+  EXPECT_EQ(node->ssd().state(), SsdState::kMounted);
+}
+
+TEST(ClusterTest, PowerReflectsActivity) {
+  ClusterSpec spec;
+  spec.node_count = 2;
+  Cluster machine(spec);
+  const double idle = machine.PowerWatts();
+  EXPECT_DOUBLE_EQ(idle, 2 * machine.power_model().node_idle_watts);
+  ASSERT_TRUE((*machine.Node("node001"))->StartDaemon("d", 0.5).ok());
+  EXPECT_DOUBLE_EQ(machine.PowerWatts(),
+                   machine.power_model().node_active_watts +
+                       machine.power_model().node_idle_watts);
+}
+
+}  // namespace
+}  // namespace ofmf::cluster

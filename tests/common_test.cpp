@@ -1,0 +1,446 @@
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "common/clock.hpp"
+#include "common/hostlist.hpp"
+#include "common/logging.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "common/threadpool.hpp"
+#include "common/units.hpp"
+
+namespace ofmf {
+namespace {
+
+using ::testing::ElementsAre;
+using ::testing::HasSubstr;
+
+// ---------------------------------------------------------------- Result ---
+
+TEST(ResultTest, OkValueRoundTrips) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, ErrorCarriesCodeAndMessage) {
+  Result<int> r(Status::NotFound("no such node"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+  EXPECT_THAT(r.status().message(), HasSubstr("no such node"));
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValuesWork) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> taken = std::move(r).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+Status FailingStep() { return Status::Timeout("agent did not answer"); }
+Status UsesReturnIfError() {
+  OFMF_RETURN_IF_ERROR(FailingStep());
+  return Status::Ok();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(UsesReturnIfError().code(), ErrorCode::kTimeout);
+}
+
+Result<int> MakeInt(bool ok) {
+  if (ok) return 5;
+  return Status::Internal("boom");
+}
+Status UsesAssignOrReturn(bool ok, int* out) {
+  OFMF_ASSIGN_OR_RETURN(int v, MakeInt(ok));
+  *out = v;
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnBothPaths) {
+  int out = 0;
+  EXPECT_TRUE(UsesAssignOrReturn(true, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(UsesAssignOrReturn(false, &out).code(), ErrorCode::kInternal);
+}
+
+TEST(ResultTest, ErrorCodeNamesAreStable) {
+  EXPECT_STREQ(to_string(ErrorCode::kResourceExhausted), "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(to_string(ErrorCode::kOk), "OK");
+}
+
+// --------------------------------------------------------------- Strings ---
+
+TEST(StringsTest, SplitDropsEmptySegments) {
+  EXPECT_THAT(strings::Split("a,b,,c", ','), ElementsAre("a", "b", "c"));
+  EXPECT_THAT(strings::Split("", ','), ElementsAre());
+}
+
+TEST(StringsTest, SplitKeepEmptyPreserves) {
+  EXPECT_THAT(strings::SplitKeepEmpty("a,,c", ','), ElementsAre("a", "", "c"));
+  EXPECT_THAT(strings::SplitKeepEmpty("", ','), ElementsAre(""));
+}
+
+TEST(StringsTest, TrimVariants) {
+  EXPECT_EQ(strings::Trim("  x \t\n"), "x");
+  EXPECT_EQ(strings::TrimLeft("  x "), "x ");
+  EXPECT_EQ(strings::TrimRight("  x "), "  x");
+  EXPECT_EQ(strings::Trim("   "), "");
+}
+
+TEST(StringsTest, CaseConversionAndCompare) {
+  EXPECT_EQ(strings::ToLower("Content-TYPE"), "content-type");
+  EXPECT_EQ(strings::ToUpper("abc"), "ABC");
+  EXPECT_TRUE(strings::EqualsIgnoreCase("ETag", "etag"));
+  EXPECT_FALSE(strings::EqualsIgnoreCase("ETag", "etags"));
+}
+
+TEST(StringsTest, AffixChecks) {
+  EXPECT_TRUE(strings::StartsWith("/redfish/v1/Systems", "/redfish/v1"));
+  EXPECT_FALSE(strings::StartsWith("/red", "/redfish"));
+  EXPECT_TRUE(strings::EndsWith("node001", "001"));
+}
+
+TEST(StringsTest, JoinZeroPadReplace) {
+  EXPECT_EQ(strings::Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(strings::Join({}, ","), "");
+  EXPECT_EQ(strings::ZeroPad(7, 3), "007");
+  EXPECT_EQ(strings::ZeroPad(1234, 3), "1234");
+  EXPECT_EQ(strings::ReplaceAll("a~b~c", "~", "~0"), "a~0b~0c");
+}
+
+TEST(StringsTest, IsDigits) {
+  EXPECT_TRUE(strings::IsDigits("0123"));
+  EXPECT_FALSE(strings::IsDigits(""));
+  EXPECT_FALSE(strings::IsDigits("12a"));
+}
+
+// ------------------------------------------------------------------- Rng ---
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntWithinBoundsAndCoversRange) {
+  Rng rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.UniformInt(3, 8);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyCorrect) {
+  Rng rng(2026);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.Normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanIsOneOverLambda) {
+  Rng rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.Exponential(4.0));
+  EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+}
+
+TEST(RngTest, LogNormalIsPositive) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.LogNormal(0.0, 1.0), 0.0);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(42);
+  Rng child = parent.Fork();
+  // The child stream should not reproduce the parent's continuing stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (parent.NextU64() == child.NextU64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+// ----------------------------------------------------------------- Stats ---
+
+TEST(StatsTest, WelfordMatchesDirectComputation) {
+  RunningStats s;
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double x : xs) s.Add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(StatsTest, MergeEqualsSequential) {
+  RunningStats a, b, both;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Normal(0, 1);
+    (i % 2 ? a : b).Add(x);
+    both.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_NEAR(a.mean(), both.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), both.variance(), 1e-9);
+}
+
+TEST(StatsTest, StudentTTableSpotChecks) {
+  EXPECT_NEAR(StudentT95(1), 12.706, 1e-3);
+  EXPECT_NEAR(StudentT95(9), 2.262, 1e-3);
+  EXPECT_NEAR(StudentT95(30), 2.042, 1e-3);
+  EXPECT_NEAR(StudentT95(100000), 1.960, 1e-3);
+  // Monotone decreasing.
+  for (std::size_t dof = 1; dof < 200; ++dof) {
+    EXPECT_GE(StudentT95(dof), StudentT95(dof + 1) - 1e-12) << dof;
+  }
+}
+
+TEST(StatsTest, MeanCi95CoversKnownCase) {
+  // n=4 samples with mean 10, stddev 2 -> half width = t(3)*2/sqrt(4)=3.182.
+  const ConfidenceInterval ci = MeanCi95({8.0, 10.0, 10.0, 12.0});
+  EXPECT_DOUBLE_EQ(ci.mean, 10.0);
+  EXPECT_NEAR(ci.half_width, 3.182 * 1.63299 / 2.0, 1e-3);
+  EXPECT_LT(ci.lo(), ci.hi());
+}
+
+TEST(StatsTest, SingleSampleHasZeroWidth) {
+  const ConfidenceInterval ci = MeanCi95({5.0});
+  EXPECT_EQ(ci.mean, 5.0);
+  EXPECT_EQ(ci.half_width, 0.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 25), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 90), 4.6);
+}
+
+TEST(StatsTest, RelativeOverhead) {
+  EXPECT_NEAR(RelativeOverhead(110.0, 100.0), 0.10, 1e-12);
+  EXPECT_NEAR(RelativeOverhead(95.0, 100.0), -0.05, 1e-12);
+}
+
+// -------------------------------------------------------------- Hostlist ---
+
+TEST(HostlistTest, ExpandSimpleRange) {
+  auto hosts = ExpandHostlist("node[001-003]");
+  ASSERT_TRUE(hosts.ok());
+  EXPECT_THAT(*hosts, ElementsAre("node001", "node002", "node003"));
+}
+
+TEST(HostlistTest, ExpandMixedTerms) {
+  auto hosts = ExpandHostlist("login1,node[01-02,05],gpu7");
+  ASSERT_TRUE(hosts.ok());
+  EXPECT_THAT(*hosts, ElementsAre("login1", "node01", "node02", "node05", "gpu7"));
+}
+
+TEST(HostlistTest, ExpandWithSuffix) {
+  auto hosts = ExpandHostlist("n[1-2]-ib");
+  ASSERT_TRUE(hosts.ok());
+  EXPECT_THAT(*hosts, ElementsAre("n1-ib", "n2-ib"));
+}
+
+TEST(HostlistTest, ExpandErrors) {
+  EXPECT_FALSE(ExpandHostlist("node[3-1]").ok());
+  EXPECT_FALSE(ExpandHostlist("node[1-2").ok());
+  EXPECT_FALSE(ExpandHostlist("node]1[").ok());
+  EXPECT_FALSE(ExpandHostlist("node[a-b]").ok());
+  EXPECT_FALSE(ExpandHostlist("node[[1]]").ok());
+}
+
+TEST(HostlistTest, EmptyExpressionIsEmptyList) {
+  auto hosts = ExpandHostlist("  ");
+  ASSERT_TRUE(hosts.ok());
+  EXPECT_TRUE(hosts->empty());
+}
+
+TEST(HostlistTest, CompressFoldsRuns) {
+  EXPECT_EQ(CompressHostlist({"node001", "node002", "node003", "node007"}),
+            "node[001-003,007]");
+}
+
+TEST(HostlistTest, CompressSingletonStaysBare) {
+  EXPECT_EQ(CompressHostlist({"node5"}), "node5");
+  EXPECT_EQ(CompressHostlist({"login"}), "login");
+}
+
+TEST(HostlistTest, CompressDeduplicates) {
+  EXPECT_EQ(CompressHostlist({"n1", "n1", "n2"}), "n[1-2]");
+}
+
+TEST(HostlistTest, CompressKeepsDistinctZeroPadWidthsApart) {
+  // n1 and n01 are different hosts; they must not fold into one range.
+  const std::string compressed = CompressHostlist({"n1", "n01", "n2", "n02"});
+  auto round = ExpandHostlist(compressed);
+  ASSERT_TRUE(round.ok());
+  std::vector<std::string> sorted = *round;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_THAT(sorted, ElementsAre("n01", "n02", "n1", "n2"));
+}
+
+TEST(HostlistTest, LowestHostMatchesPaperRule) {
+  auto hosts = ExpandHostlist("node[010-012,002]");
+  ASSERT_TRUE(hosts.ok());
+  EXPECT_EQ(LowestHost(*hosts), "node002");
+  EXPECT_EQ(LowestHost({}), "");
+}
+
+// Property: expand(compress(expand(e))) == sorted expand(e).
+class HostlistRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(HostlistRoundTrip, CompressExpandIsIdentity) {
+  auto hosts = ExpandHostlist(GetParam());
+  ASSERT_TRUE(hosts.ok()) << GetParam();
+  std::vector<std::string> sorted = *hosts;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  auto round = ExpandHostlist(CompressHostlist(*hosts));
+  ASSERT_TRUE(round.ok());
+  std::vector<std::string> round_sorted = *round;
+  std::sort(round_sorted.begin(), round_sorted.end());
+  EXPECT_EQ(round_sorted, sorted) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, HostlistRoundTrip,
+    ::testing::Values("node[001-128]", "a1,a2,a3", "gpu[1-4],cpu[01-16],login",
+                      "n[1,3,5,7,9]", "single", "x[09-11]",
+                      "rack1-node[1-3],rack2-node[1-3]"));
+
+// ----------------------------------------------------------------- Clock ---
+
+TEST(ClockTest, SimClockAdvances) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  clock.Advance(Seconds(1.5));
+  EXPECT_EQ(clock.now(), 1'500'000'000);
+  clock.AdvanceTo(Seconds(1.0));  // backwards AdvanceTo is a no-op
+  EXPECT_EQ(clock.now(), 1'500'000'000);
+  clock.AdvanceTo(Seconds(2.0));
+  EXPECT_EQ(clock.now(), 2'000'000'000);
+}
+
+TEST(ClockTest, ConversionHelpers) {
+  EXPECT_EQ(Seconds(2.0), 2 * kNanosPerSecond);
+  EXPECT_EQ(Millis(1.0), kNanosPerMilli);
+  EXPECT_EQ(Micros(1.0), kNanosPerMicro);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(3.25)), 3.25);
+}
+
+TEST(ClockTest, TimestampFormat) {
+  const std::string ts = FormatSimTimestamp(Seconds(3661));
+  EXPECT_THAT(ts, HasSubstr("T01:01:01Z"));
+  // Monotone in time.
+  EXPECT_LT(FormatSimTimestamp(Seconds(1)), FormatSimTimestamp(Seconds(2)));
+}
+
+// ---------------------------------------------------------------- Logger ---
+
+TEST(LoggerTest, CaptureSinkSeesMessagesAtOrAboveLevel) {
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  Logger& logger = Logger::instance();
+  const LogLevel old_level = logger.level();
+  auto old_sink = logger.set_sink([&](LogLevel level, const std::string& message) {
+    captured.emplace_back(level, message);
+  });
+  logger.set_level(LogLevel::kInfo);
+
+  OFMF_DEBUG << "hidden";
+  OFMF_INFO << "hello " << 42;
+  OFMF_ERROR << "bad";
+
+  logger.set_sink(std::move(old_sink));
+  logger.set_level(old_level);
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].second, "hello 42");
+  EXPECT_EQ(captured[1].first, LogLevel::kError);
+}
+
+// ------------------------------------------------------------ ThreadPool ---
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsValues) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, DrainWaitsForCompletion) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&] { done.fetch_add(1); });
+  }
+  pool.Drain();
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  EXPECT_EQ(pool.Submit([] { return 1; }).get(), 1);
+}
+
+// ----------------------------------------------------------------- Units ---
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512.00 B");
+  EXPECT_EQ(FormatBytes(2 * KiB), "2.00 KiB");
+  EXPECT_EQ(FormatBytes(894 * GiB), "894.00 GiB");
+  EXPECT_EQ(FormatBytes(3 * TiB / 2), "1.50 TiB");
+}
+
+}  // namespace
+}  // namespace ofmf

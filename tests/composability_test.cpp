@@ -1,0 +1,295 @@
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include "composability/client.hpp"
+#include "composability/manager.hpp"
+#include "composability/stranded.hpp"
+#include "json/parse.hpp"
+#include "ofmf/service.hpp"
+#include "ofmf/uris.hpp"
+
+namespace ofmf::composability {
+namespace {
+
+using core::BlockCapability;
+using json::Json;
+
+BlockCapability Block(const std::string& id, const std::string& type, int cores,
+                      double mem, int gpus = 0, double storage = 0,
+                      const std::string& locality = "rack0", double active_w = 100,
+                      double idle_w = 40) {
+  BlockCapability block;
+  block.id = id;
+  block.block_type = type;
+  block.cores = cores;
+  block.memory_gib = mem;
+  block.gpus = gpus;
+  block.storage_gib = storage;
+  block.locality = locality;
+  block.active_watts = active_w;
+  block.idle_watts = idle_w;
+  return block;
+}
+
+class ComposabilityTest : public ::testing::Test {
+ protected:
+  ComposabilityTest() {
+    EXPECT_TRUE(ofmf_.Bootstrap().ok());
+    client_ = std::make_unique<OfmfClient>(
+        std::make_unique<http::InProcessClient>(ofmf_.Handler()));
+    manager_ = std::make_unique<ComposabilityManager>(*client_);
+  }
+
+  void Register(const BlockCapability& block) {
+    ASSERT_TRUE(ofmf_.composition().RegisterBlock(block).ok());
+  }
+
+  core::OfmfService ofmf_;
+  std::unique_ptr<OfmfClient> client_;
+  std::unique_ptr<ComposabilityManager> manager_;
+};
+
+// ------------------------------------------------------------- OfmfClient ---
+
+TEST_F(ComposabilityTest, ClientLoginAttachesToken) {
+  ofmf_.sessions().set_auth_required(true);
+  // Unauthenticated request fails...
+  EXPECT_EQ(client_->Get(core::kFabrics).status().code(), ErrorCode::kPermissionDenied);
+  // ...login succeeds and the token is reused.
+  ASSERT_TRUE(client_->Login("admin", "ofmf").ok());
+  EXPECT_FALSE(client_->token().empty());
+  EXPECT_TRUE(client_->Get(core::kFabrics).ok());
+  EXPECT_FALSE(client_->Login("admin", "nope").ok());
+}
+
+TEST_F(ComposabilityTest, ClientErrorMapping) {
+  EXPECT_EQ(client_->Get("/redfish/v1/Missing").status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(client_->Delete("/redfish/v1/Missing").code(), ErrorCode::kNotFound);
+  auto members = client_->Members(core::kFabrics);
+  ASSERT_TRUE(members.ok());
+  EXPECT_TRUE(members->empty());
+  EXPECT_FALSE(client_->Members(core::kServiceRoot).ok());  // not a collection
+}
+
+// ------------------------------------------------------------- Discovery ---
+
+TEST_F(ComposabilityTest, DiscoverBlocksSeesStateAndCapability) {
+  Register(Block("cpu-0", "Compute", 28, 64));
+  Register(Block("gpu-0", "Processor", 0, 16, 1));
+  auto blocks = manager_->DiscoverBlocks();
+  ASSERT_TRUE(blocks.ok());
+  ASSERT_EQ(blocks->size(), 2u);
+  EXPECT_EQ((*blocks)[0].capability.id, "cpu-0");
+  EXPECT_EQ((*blocks)[0].state, "Unused");
+  EXPECT_EQ((*blocks)[1].capability.gpus, 1);
+}
+
+// ------------------------------------------------------------- Compose ---
+
+TEST_F(ComposabilityTest, ComposeFirstFitCoversRequest) {
+  Register(Block("cpu-0", "Compute", 28, 64));
+  Register(Block("cpu-1", "Compute", 28, 64));
+  Register(Block("cpu-2", "Compute", 28, 64));
+  CompositionRequest request;
+  request.name = "hpl";
+  request.cores = 50;
+  request.memory_gib = 100;
+  auto composed = manager_->Compose(request);
+  ASSERT_TRUE(composed.ok()) << composed.status().ToString();
+  EXPECT_EQ(composed->block_uris.size(), 2u);
+  EXPECT_EQ(composed->cores, 56);
+  EXPECT_DOUBLE_EQ(composed->memory_gib, 128);
+  // The composed system exists in the tree with summaries.
+  auto system = client_->Get(composed->system_uri);
+  ASSERT_TRUE(system.ok());
+  EXPECT_EQ(system->at("ProcessorSummary").GetInt("CoreCount"), 56);
+}
+
+TEST_F(ComposabilityTest, ComposeFailsWhenPoolShort) {
+  Register(Block("cpu-0", "Compute", 28, 64));
+  CompositionRequest request;
+  request.cores = 100;
+  const auto composed = manager_->Compose(request);
+  EXPECT_EQ(composed.status().code(), ErrorCode::kResourceExhausted);
+  // Nothing was claimed.
+  EXPECT_EQ(ofmf_.composition().FreeBlockUris().size(), 1u);
+}
+
+TEST_F(ComposabilityTest, EmptyRequestRejected) {
+  Register(Block("cpu-0", "Compute", 28, 64));
+  EXPECT_EQ(manager_->Compose(CompositionRequest{}).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(ComposabilityTest, BestFitMinimizesOverallocation) {
+  Register(Block("big", "Compute", 112, 256));
+  Register(Block("small-0", "Compute", 14, 32));
+  Register(Block("small-1", "Compute", 14, 32));
+  CompositionRequest request;
+  request.cores = 24;
+  request.memory_gib = 48;
+  request.policy = Policy::kBestFit;
+  auto composed = manager_->Compose(request);
+  ASSERT_TRUE(composed.ok());
+  // Best fit picks the two small blocks (28 cores) over the 112-core block.
+  EXPECT_EQ(composed->cores, 28);
+
+  ASSERT_TRUE(manager_->Decompose(composed->system_uri).ok());
+  request.policy = Policy::kFirstFit;
+  auto first_fit = manager_->Compose(request);
+  ASSERT_TRUE(first_fit.ok());
+  // First fit takes "big" (collection order) and strands 88 cores.
+  EXPECT_EQ(first_fit->cores, 112);
+}
+
+TEST_F(ComposabilityTest, LocalityAwarePrefersHintedRack) {
+  Register(Block("far", "Compute", 28, 64, 0, 0, "rack9"));
+  Register(Block("near", "Compute", 28, 64, 0, 0, "rack1"));
+  CompositionRequest request;
+  request.cores = 20;
+  request.memory_gib = 32;
+  request.locality_hint = "rack1";
+  request.policy = Policy::kLocalityAware;
+  auto composed = manager_->Compose(request);
+  ASSERT_TRUE(composed.ok());
+  ASSERT_EQ(composed->block_uris.size(), 1u);
+  EXPECT_THAT(composed->block_uris[0], ::testing::HasSubstr("near"));
+}
+
+TEST_F(ComposabilityTest, EnergyAwarePrefersEfficientBlocks) {
+  Register(Block("hungry", "Compute", 28, 64, 0, 0, "rack0", 400));
+  Register(Block("frugal", "Compute", 28, 64, 0, 0, "rack0", 120));
+  CompositionRequest request;
+  request.cores = 20;
+  request.memory_gib = 32;
+  request.policy = Policy::kEnergyAware;
+  auto composed = manager_->Compose(request);
+  ASSERT_TRUE(composed.ok());
+  ASSERT_EQ(composed->block_uris.size(), 1u);
+  EXPECT_THAT(composed->block_uris[0], ::testing::HasSubstr("frugal"));
+}
+
+TEST_F(ComposabilityTest, GpuAndStorageDimensionsCovered) {
+  Register(Block("cpu-0", "Compute", 28, 64));
+  Register(Block("gpu-0", "Processor", 0, 0, 4));
+  Register(Block("nvme-0", "Storage", 0, 0, 0, 894));
+  CompositionRequest request;
+  request.cores = 14;
+  request.memory_gib = 32;
+  request.gpus = 2;
+  request.storage_gib = 500;
+  auto composed = manager_->Compose(request);
+  ASSERT_TRUE(composed.ok());
+  EXPECT_EQ(composed->block_uris.size(), 3u);
+  EXPECT_EQ(composed->gpus, 4);
+  EXPECT_DOUBLE_EQ(composed->storage_gib, 894);
+}
+
+// ------------------------------------------------------- Dynamic expansion ---
+
+TEST_F(ComposabilityTest, ExpandMemoryAddsCxlBlocks) {
+  Register(Block("cpu-0", "Compute", 28, 64));
+  Register(Block("cxl-0", "Memory", 0, 64));
+  Register(Block("cxl-1", "Memory", 0, 64));
+  CompositionRequest request;
+  request.name = "oom-prone";
+  request.cores = 20;
+  request.memory_gib = 32;
+  auto composed = manager_->Compose(request);
+  ASSERT_TRUE(composed.ok());
+  EXPECT_DOUBLE_EQ(composed->memory_gib, 64);
+
+  // The job nears OOM: grow by 100 GiB -> both CXL blocks attach.
+  ASSERT_TRUE(manager_->ExpandMemory(composed->system_uri, 100).ok());
+  const auto& record = manager_->systems().at(composed->system_uri);
+  EXPECT_DOUBLE_EQ(record.memory_gib, 192);
+  EXPECT_EQ(record.block_uris.size(), 3u);
+  const Json system = *client_->Get(composed->system_uri);
+  EXPECT_DOUBLE_EQ(system.at("MemorySummary").GetDouble("TotalSystemMemoryGiB"), 192);
+
+  // Pool exhausted on further growth.
+  EXPECT_EQ(manager_->ExpandMemory(composed->system_uri, 1000).code(),
+            ErrorCode::kResourceExhausted);
+  EXPECT_EQ(manager_->ExpandMemory("/redfish/v1/Systems/ghost", 1).code(),
+            ErrorCode::kNotFound);
+}
+
+// --------------------------------------------------------- Decompose/free ---
+
+TEST_F(ComposabilityTest, DecomposeFreesBlocks) {
+  Register(Block("cpu-0", "Compute", 28, 64));
+  CompositionRequest request;
+  request.cores = 10;
+  request.memory_gib = 10;
+  auto composed = manager_->Compose(request);
+  ASSERT_TRUE(composed.ok());
+  EXPECT_TRUE(ofmf_.composition().FreeBlockUris().empty());
+  ASSERT_TRUE(manager_->Decompose(composed->system_uri).ok());
+  EXPECT_EQ(ofmf_.composition().FreeBlockUris().size(), 1u);
+  EXPECT_TRUE(manager_->systems().empty());
+}
+
+// ------------------------------------------------------------- Stranded ---
+
+TEST_F(ComposabilityTest, StrandedReportTracksOverallocation) {
+  Register(Block("cpu-0", "Compute", 28, 64));
+  Register(Block("cpu-1", "Compute", 28, 64));
+  CompositionRequest request;
+  request.cores = 30;  // needs both blocks (56 cores) -> 26 stranded
+  request.memory_gib = 64;
+  auto composed = manager_->Compose(request);
+  ASSERT_TRUE(composed.ok());
+  auto report = manager_->ComputeStranded();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->stranded_cores, 26);
+  EXPECT_DOUBLE_EQ(report->stranded_memory_gib, 64);
+  EXPECT_NEAR(report->stranded_core_fraction, 26.0 / 56.0, 1e-9);
+  EXPECT_EQ(report->free_cores, 0);
+}
+
+// ---------------------------------------------------------------- Events ---
+
+TEST_F(ComposabilityTest, EventSubscriptionRoundTrip) {
+  auto sub_uri = manager_->SubscribeEvents({"ResourceAdded"});
+  ASSERT_TRUE(sub_uri.ok());
+  Register(Block("cpu-0", "Compute", 28, 64));
+  auto events = manager_->DrainEvents(*sub_uri);
+  ASSERT_TRUE(events.ok());
+  EXPECT_GE(events->size(), 1u);  // block registration event
+  auto empty = manager_->DrainEvents(*sub_uri);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+// -------------------------------------------------- Static vs composable ---
+
+TEST(StrandedSimTest, ComposableStrandsLessAndUsesLessEnergy) {
+  const auto jobs = DefaultJobMix();
+  const int nodes = 24;
+  const ProvisioningOutcome fixed = SimulateStatic(jobs, nodes);
+  const ProvisioningOutcome composable = SimulateComposable(jobs, MatchedPool(nodes));
+
+  EXPECT_EQ(fixed.jobs_placed + fixed.jobs_rejected, static_cast<int>(jobs.size()));
+  EXPECT_EQ(composable.jobs_placed, static_cast<int>(jobs.size()));
+  // The paper's conceptual figure: composable strands (far) less...
+  EXPECT_LT(composable.stranded_core_fraction(), fixed.stranded_core_fraction());
+  EXPECT_LT(composable.stranded_memory_fraction(), fixed.stranded_memory_fraction());
+  EXPECT_LT(composable.stranded_gpu_fraction(), fixed.stranded_gpu_fraction());
+  // ...and burns less facility energy for the same work.
+  EXPECT_LT(composable.energy_kwh, fixed.energy_kwh);
+  EXPECT_GT(composable.energy_kwh, 0.0);
+}
+
+TEST(StrandedSimTest, StaticRejectsWhenNodesRunOut) {
+  const auto jobs = DefaultJobMix();
+  const ProvisioningOutcome tiny = SimulateStatic(jobs, 4);
+  EXPECT_GT(tiny.jobs_rejected, 0);
+}
+
+TEST(StrandedSimTest, PolicyNames) {
+  EXPECT_STREQ(to_string(Policy::kBestFit), "best-fit");
+  EXPECT_STREQ(to_string(Policy::kEnergyAware), "energy-aware");
+}
+
+}  // namespace
+}  // namespace ofmf::composability

@@ -1,0 +1,551 @@
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include "fabricsim/cxl.hpp"
+#include "fabricsim/ethernet.hpp"
+#include "fabricsim/genz.hpp"
+#include "fabricsim/graph.hpp"
+#include "fabricsim/infiniband.hpp"
+#include "fabricsim/nvmeof.hpp"
+
+namespace ofmf::fabricsim {
+namespace {
+
+using ::testing::ElementsAre;
+
+// A two-switch dumbbell used across manager tests:
+//   hostA -- sw0 -- sw1 -- memB
+//              \____/         (redundant second trunk for failover)
+struct Dumbbell {
+  FabricGraph graph;
+  Dumbbell() {
+    EXPECT_TRUE(graph.AddVertex("sw0", VertexKind::kSwitch, 8).ok());
+    EXPECT_TRUE(graph.AddVertex("sw1", VertexKind::kSwitch, 8).ok());
+    EXPECT_TRUE(graph.AddVertex("hostA", VertexKind::kDevice, 2).ok());
+    EXPECT_TRUE(graph.AddVertex("memB", VertexKind::kDevice, 2).ok());
+    EXPECT_TRUE(graph.Connect("hostA", 0, "sw0", 0, {100, 100}).ok());
+    EXPECT_TRUE(graph.Connect("sw0", 1, "sw1", 1, {50, 200}).ok());
+    EXPECT_TRUE(graph.Connect("sw0", 2, "sw1", 2, {80, 100}).ok());  // backup trunk
+    EXPECT_TRUE(graph.Connect("sw1", 0, "memB", 0, {100, 100}).ok());
+  }
+};
+
+// ----------------------------------------------------------------- Graph ---
+
+TEST(GraphTest, VertexAndConnectValidation) {
+  FabricGraph graph;
+  EXPECT_TRUE(graph.AddVertex("a", VertexKind::kDevice, 2).ok());
+  EXPECT_EQ(graph.AddVertex("a", VertexKind::kDevice, 2).code(), ErrorCode::kAlreadyExists);
+  EXPECT_FALSE(graph.AddVertex("", VertexKind::kDevice, 1).ok());
+  EXPECT_FALSE(graph.AddVertex("neg", VertexKind::kDevice, -1).ok());
+  EXPECT_TRUE(graph.AddVertex("b", VertexKind::kSwitch, 2).ok());
+
+  EXPECT_EQ(graph.Connect("a", 0, "missing", 0).code(), ErrorCode::kNotFound);
+  EXPECT_FALSE(graph.Connect("a", 5, "b", 0).ok());   // port out of range
+  EXPECT_FALSE(graph.Connect("a", 0, "a", 1).ok());   // self link
+  EXPECT_TRUE(graph.Connect("a", 0, "b", 0).ok());
+  EXPECT_EQ(graph.Connect("a", 0, "b", 1).code(), ErrorCode::kAlreadyExists);  // port busy
+  EXPECT_EQ(graph.PortCount("a"), 2);
+  EXPECT_EQ(graph.PortCount("nope"), -1);
+  EXPECT_EQ(graph.PeerOf("a", 0), "b");
+  EXPECT_FALSE(graph.PeerOf("a", 1).has_value());
+}
+
+TEST(GraphTest, ShortestPathPrefersLowLatency) {
+  Dumbbell d;
+  auto path = d.graph.ShortestPath("hostA", "memB");
+  ASSERT_TRUE(path.ok());
+  // 100 + 50 + 100 via the fast trunk.
+  EXPECT_DOUBLE_EQ(path->total_latency_ns, 250.0);
+  EXPECT_THAT(path->hops, ElementsAre("hostA", "sw0", "sw1", "memB"));
+  EXPECT_DOUBLE_EQ(path->min_bandwidth_gbps, 100.0);
+}
+
+TEST(GraphTest, FailoverReroutesOverBackupTrunk) {
+  Dumbbell d;
+  ASSERT_TRUE(d.graph.SetLinkUp("sw0", 1, false).ok());  // kill fast trunk
+  auto path = d.graph.ShortestPath("hostA", "memB");
+  ASSERT_TRUE(path.ok());
+  EXPECT_DOUBLE_EQ(path->total_latency_ns, 280.0);  // 100 + 80 + 100
+  // Kill the backup too: unreachable.
+  ASSERT_TRUE(d.graph.SetLinkUp("sw0", 2, false).ok());
+  EXPECT_FALSE(d.graph.Reachable("hostA", "memB"));
+  // Restore.
+  ASSERT_TRUE(d.graph.SetLinkUp("sw0", 1, true).ok());
+  EXPECT_TRUE(d.graph.Reachable("hostA", "memB"));
+}
+
+TEST(GraphTest, LinkChangeNotifications) {
+  Dumbbell d;
+  std::vector<std::string> events;
+  const auto token = d.graph.SubscribeLinkChanges([&](const LinkChange& change) {
+    events.push_back(change.id.ToString() + (change.up ? " up" : " down"));
+  });
+  ASSERT_TRUE(d.graph.SetLinkUp("sw0", 1, false).ok());
+  ASSERT_TRUE(d.graph.SetLinkUp("sw0", 1, false).ok());  // no-op, no event
+  ASSERT_TRUE(d.graph.SetLinkUp("sw0", 1, true).ok());
+  d.graph.UnsubscribeLinkChanges(token);
+  ASSERT_TRUE(d.graph.SetLinkUp("sw0", 1, false).ok());
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_THAT(events[0], ::testing::HasSubstr("down"));
+  EXPECT_THAT(events[1], ::testing::HasSubstr("up"));
+}
+
+TEST(GraphTest, FailVertexDownsAllLinks) {
+  Dumbbell d;
+  ASSERT_TRUE(d.graph.FailVertex("sw1").ok());
+  EXPECT_FALSE(d.graph.Reachable("hostA", "memB"));
+  int down = 0;
+  for (const LinkState& link : d.graph.Links()) down += !link.up;
+  EXPECT_EQ(down, 3);  // both trunks + memB uplink
+}
+
+TEST(GraphTest, ReachableSelfAndUnknown) {
+  Dumbbell d;
+  EXPECT_TRUE(d.graph.Reachable("hostA", "hostA"));
+  EXPECT_FALSE(d.graph.Reachable("hostA", "ghost"));
+  EXPECT_FALSE(d.graph.ShortestPath("ghost", "hostA").ok());
+}
+
+TEST(GraphTest, VerticesFilterByKind) {
+  Dumbbell d;
+  EXPECT_THAT(d.graph.Vertices(VertexKind::kSwitch), ElementsAre("sw0", "sw1"));
+  EXPECT_THAT(d.graph.Vertices(VertexKind::kDevice), ElementsAre("hostA", "memB"));
+  EXPECT_EQ(d.graph.Vertices().size(), 4u);
+}
+
+// ------------------------------------------------------ QoS reservations ---
+
+TEST(QosTest, AdmissionControlEnforcesLinkCapacity) {
+  Dumbbell d;
+  // Fast trunk has 200 Gbps; host/mem uplinks 100 Gbps -> path cap 100.
+  auto first = d.graph.ReserveBandwidth("hostA", "memB", 60.0);
+  ASSERT_TRUE(first.ok());
+  // Another 60 exceeds the 100 Gbps uplink.
+  EXPECT_EQ(d.graph.ReserveBandwidth("hostA", "memB", 60.0).status().code(),
+            ErrorCode::kResourceExhausted);
+  // 40 fits exactly.
+  auto second = d.graph.ReserveBandwidth("hostA", "memB", 40.0);
+  ASSERT_TRUE(second.ok());
+  EXPECT_DOUBLE_EQ(d.graph.CommittedGbps("hostA", 0), 100.0);
+  // Releasing frees headroom.
+  ASSERT_TRUE(d.graph.ReleaseBandwidth(*first).ok());
+  EXPECT_DOUBLE_EQ(d.graph.CommittedGbps("hostA", 0), 40.0);
+  EXPECT_TRUE(d.graph.ReserveBandwidth("hostA", "memB", 60.0).ok());
+  EXPECT_EQ(d.graph.ReleaseBandwidth(*first).code(), ErrorCode::kNotFound);
+}
+
+TEST(QosTest, ReservationPinsTheLowLatencyPath) {
+  Dumbbell d;
+  auto id = d.graph.ReserveBandwidth("hostA", "memB", 10.0);
+  ASSERT_TRUE(id.ok());
+  const auto reservation = d.graph.GetReservation(*id);
+  ASSERT_TRUE(reservation.ok());
+  ASSERT_EQ(reservation->path_links.size(), 3u);
+  // Fast trunk (sw0:1 <-> sw1:1) carries it, not the backup.
+  EXPECT_DOUBLE_EQ(d.graph.CommittedGbps("sw0", 1), 10.0);
+  EXPECT_DOUBLE_EQ(d.graph.CommittedGbps("sw0", 2), 0.0);
+  EXPECT_FALSE(reservation->degraded);
+}
+
+TEST(QosTest, LinkFailureDegradesAndRepairRepins) {
+  Dumbbell d;
+  auto id = d.graph.ReserveBandwidth("hostA", "memB", 10.0);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(d.graph.SetLinkUp("sw0", 1, false).ok());  // kill the pinned trunk
+  EXPECT_TRUE(d.graph.GetReservation(*id)->degraded);
+  // Degraded reservations hold no capacity.
+  EXPECT_DOUBLE_EQ(d.graph.CommittedGbps("hostA", 0), 0.0);
+  // Repair re-pins over the backup trunk.
+  ASSERT_TRUE(d.graph.RepairReservation(*id).ok());
+  const auto repaired = d.graph.GetReservation(*id);
+  EXPECT_FALSE(repaired->degraded);
+  EXPECT_DOUBLE_EQ(d.graph.CommittedGbps("sw0", 2), 10.0);
+  // Repair of a healthy reservation is a no-op.
+  EXPECT_TRUE(d.graph.RepairReservation(*id).ok());
+  EXPECT_EQ(d.graph.RepairReservation(999).code(), ErrorCode::kNotFound);
+}
+
+TEST(QosTest, ValidationAndUnreachable) {
+  Dumbbell d;
+  EXPECT_FALSE(d.graph.ReserveBandwidth("hostA", "memB", 0.0).ok());
+  EXPECT_FALSE(d.graph.ReserveBandwidth("hostA", "ghost", 1.0).ok());
+  ASSERT_TRUE(d.graph.SetLinkUp("sw0", 1, false).ok());
+  ASSERT_TRUE(d.graph.SetLinkUp("sw0", 2, false).ok());
+  EXPECT_EQ(d.graph.ReserveBandwidth("hostA", "memB", 1.0).status().code(),
+            ErrorCode::kNotFound);
+  EXPECT_TRUE(d.graph.Reservations().empty());
+}
+
+// ------------------------------------------------------------------- CXL ---
+
+class CxlTest : public ::testing::Test {
+ protected:
+  CxlTest() : manager_(d_.graph) {
+    EXPECT_TRUE(manager_.RegisterMemoryDevice("memB", 1024, 4).ok());
+    EXPECT_TRUE(manager_.RegisterHost("hostA").ok());
+  }
+  Dumbbell d_;
+  CxlFabricManager manager_;
+};
+
+TEST_F(CxlTest, RegistrationValidation) {
+  EXPECT_EQ(manager_.RegisterMemoryDevice("memB", 1, 1).code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(manager_.RegisterMemoryDevice("ghost", 1, 1).code(), ErrorCode::kNotFound);
+  EXPECT_FALSE(manager_.RegisterMemoryDevice("sw0", 1, 0).ok());
+  EXPECT_EQ(manager_.RegisterHost("hostA").code(), ErrorCode::kAlreadyExists);
+  const auto devices = manager_.ListMemoryDevices();
+  ASSERT_EQ(devices.size(), 1u);
+  EXPECT_EQ(devices[0].logical_devices.size(), 4u);
+  EXPECT_EQ(devices[0].logical_devices[0].capacity_bytes, 256u);
+}
+
+TEST_F(CxlTest, BindUnbindLifecycle) {
+  EXPECT_TRUE(manager_.BindLogicalDevice("hostA", "memB", 0).ok());
+  EXPECT_EQ(manager_.BindLogicalDevice("hostA", "memB", 0).code(),
+            ErrorCode::kFailedPrecondition);  // double bind
+  auto ld = manager_.QueryLogicalDevice("memB", 0);
+  ASSERT_TRUE(ld.ok());
+  EXPECT_TRUE(ld->bound);
+  EXPECT_EQ(ld->bound_host, "hostA");
+  EXPECT_EQ(manager_.UnboundCapacityBytes(), 768u);
+
+  EXPECT_TRUE(manager_.UnbindLogicalDevice("memB", 0).ok());
+  EXPECT_EQ(manager_.UnbindLogicalDevice("memB", 0).code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(manager_.UnboundCapacityBytes(), 1024u);
+}
+
+TEST_F(CxlTest, BindRequiresLivePath) {
+  ASSERT_TRUE(d_.graph.SetLinkUp("sw0", 1, false).ok());
+  ASSERT_TRUE(d_.graph.SetLinkUp("sw0", 2, false).ok());
+  EXPECT_EQ(manager_.BindLogicalDevice("hostA", "memB", 0).code(),
+            ErrorCode::kUnavailable);
+}
+
+TEST_F(CxlTest, DecoderProgrammingRules) {
+  ASSERT_TRUE(manager_.BindLogicalDevice("hostA", "memB", 0).ok());
+  CxlDecoder decoder{"hostA", 0x1000, 128, "memB", 0};
+  EXPECT_TRUE(manager_.ProgramDecoder(decoder).ok());
+  // Overlapping HPA on same host rejected.
+  CxlDecoder overlap{"hostA", 0x1040, 128, "memB", 0};
+  EXPECT_EQ(manager_.ProgramDecoder(overlap).code(), ErrorCode::kAlreadyExists);
+  // Unbound LD rejected.
+  CxlDecoder unbound{"hostA", 0x9000, 64, "memB", 1};
+  EXPECT_EQ(manager_.ProgramDecoder(unbound).code(), ErrorCode::kFailedPrecondition);
+  // Too large rejected.
+  CxlDecoder huge{"hostA", 0x20000, 512, "memB", 0};
+  EXPECT_FALSE(manager_.ProgramDecoder(huge).ok());
+  EXPECT_EQ(manager_.ListDecoders("hostA").size(), 1u);
+  // Unbind clears decoders.
+  ASSERT_TRUE(manager_.UnbindLogicalDevice("memB", 0).ok());
+  EXPECT_TRUE(manager_.ListDecoders("hostA").empty());
+}
+
+TEST_F(CxlTest, EventsEmitted) {
+  std::vector<CxlEvent::Kind> kinds;
+  manager_.Subscribe([&](const CxlEvent& event) { kinds.push_back(event.kind); });
+  ASSERT_TRUE(manager_.BindLogicalDevice("hostA", "memB", 2).ok());
+  ASSERT_TRUE(d_.graph.SetLinkUp("memB", 0, false).ok());
+  ASSERT_TRUE(manager_.UnbindLogicalDevice("memB", 2).ok());
+  EXPECT_THAT(kinds, ElementsAre(CxlEvent::Kind::kLdBound,
+                                 CxlEvent::Kind::kPortLinkChanged,
+                                 CxlEvent::Kind::kLdUnbound));
+}
+
+// ------------------------------------------------------------ InfiniBand ---
+
+class IbTest : public ::testing::Test {
+ protected:
+  IbTest() : sm_(d_.graph) { sm_.SweepSubnet(); }
+  Dumbbell d_;
+  IbSubnetManager sm_;
+};
+
+TEST_F(IbTest, SweepAssignsStableLids) {
+  const auto lid_a = sm_.LidOf("hostA");
+  ASSERT_TRUE(lid_a.ok());
+  sm_.SweepSubnet();  // re-sweep keeps LIDs
+  EXPECT_EQ(*sm_.LidOf("hostA"), *lid_a);
+  EXPECT_EQ(sm_.ListPorts().size(), 4u);
+  EXPECT_EQ(*sm_.NodeOf(*lid_a), "hostA");
+  EXPECT_FALSE(sm_.NodeOf(9999).ok());
+
+  // New vertex appears on next sweep.
+  ASSERT_TRUE(d_.graph.AddVertex("hostC", VertexKind::kDevice, 1).ok());
+  EXPECT_FALSE(sm_.LidOf("hostC").ok());
+  sm_.SweepSubnet();
+  EXPECT_TRUE(sm_.LidOf("hostC").ok());
+}
+
+TEST_F(IbTest, DefaultPartitionAllowsTraffic) {
+  const Lid a = *sm_.LidOf("hostA");
+  const Lid b = *sm_.LidOf("memB");
+  auto record = sm_.QueryPathRecord(a, b);
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->hops.front(), "hostA");
+  EXPECT_EQ(record->hops.back(), "memB");
+  EXPECT_GT(record->bandwidth_gbps, 0);
+}
+
+TEST_F(IbTest, PartitionIsolation) {
+  const Lid a = *sm_.LidOf("hostA");
+  const Lid b = *sm_.LidOf("memB");
+  // Remove both from default partition -> no shared partition.
+  ASSERT_TRUE(sm_.RemovePortFromPartition(a, IbSubnetManager::kDefaultPKey).ok());
+  EXPECT_EQ(sm_.QueryPathRecord(a, b).status().code(), ErrorCode::kPermissionDenied);
+
+  // Private partition with both as full members restores traffic.
+  ASSERT_TRUE(sm_.CreatePartition(0x10).ok());
+  ASSERT_TRUE(sm_.AddPortToPartition(a, 0x10, true).ok());
+  ASSERT_TRUE(sm_.AddPortToPartition(b, 0x10, true).ok());
+  EXPECT_TRUE(sm_.QueryPathRecord(a, b).ok());
+}
+
+TEST_F(IbTest, LimitedMembersCannotTalkToEachOther) {
+  const Lid a = *sm_.LidOf("hostA");
+  const Lid b = *sm_.LidOf("memB");
+  ASSERT_TRUE(sm_.RemovePortFromPartition(a, IbSubnetManager::kDefaultPKey).ok());
+  ASSERT_TRUE(sm_.RemovePortFromPartition(b, IbSubnetManager::kDefaultPKey).ok());
+  ASSERT_TRUE(sm_.CreatePartition(0x20).ok());
+  ASSERT_TRUE(sm_.AddPortToPartition(a, 0x20, false).ok());
+  ASSERT_TRUE(sm_.AddPortToPartition(b, 0x20, false).ok());
+  EXPECT_EQ(sm_.QueryPathRecord(a, b).status().code(), ErrorCode::kPermissionDenied);
+  // Upgrade one to full: allowed.
+  ASSERT_TRUE(sm_.AddPortToPartition(a, 0x20, true).ok());
+  EXPECT_TRUE(sm_.QueryPathRecord(a, b).ok());
+}
+
+TEST_F(IbTest, PartitionManagementErrors) {
+  EXPECT_EQ(sm_.CreatePartition(IbSubnetManager::kDefaultPKey).code(),
+            ErrorCode::kAlreadyExists);
+  EXPECT_EQ(sm_.RemovePartition(IbSubnetManager::kDefaultPKey).code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(sm_.RemovePartition(0x99).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(sm_.AddPortToPartition(1, 0x99, true).code(), ErrorCode::kNotFound);
+  ASSERT_TRUE(sm_.CreatePartition(0x30).ok());
+  EXPECT_EQ(sm_.RemovePortFromPartition(*sm_.LidOf("hostA"), 0x30).code(),
+            ErrorCode::kNotFound);
+  EXPECT_TRUE(sm_.RemovePartition(0x30).ok());
+}
+
+TEST_F(IbTest, TrapsOnLinkChange) {
+  std::vector<IbTrap::Kind> kinds;
+  sm_.Subscribe([&](const IbTrap& trap) { kinds.push_back(trap.kind); });
+  ASSERT_TRUE(d_.graph.SetLinkUp("hostA", 0, false).ok());
+  ASSERT_TRUE(d_.graph.SetLinkUp("hostA", 0, true).ok());
+  sm_.SweepSubnet();
+  // hostA + sw0 traps per transition, then sweep-complete.
+  EXPECT_EQ(kinds.size(), 5u);
+  EXPECT_EQ(kinds.back(), IbTrap::Kind::kSweepComplete);
+  const auto record =
+      sm_.QueryPathRecord(*sm_.LidOf("hostA"), *sm_.LidOf("memB"));
+  EXPECT_TRUE(record.ok());
+}
+
+TEST_F(IbTest, PathFailsWhenFabricCut) {
+  ASSERT_TRUE(d_.graph.SetLinkUp("sw0", 1, false).ok());
+  ASSERT_TRUE(d_.graph.SetLinkUp("sw0", 2, false).ok());
+  EXPECT_EQ(sm_.QueryPathRecord(*sm_.LidOf("hostA"), *sm_.LidOf("memB")).status().code(),
+            ErrorCode::kNotFound);
+}
+
+// --------------------------------------------------------------- NVMe-oF ---
+
+class NvmeofTest : public ::testing::Test {
+ protected:
+  NvmeofTest() : manager_(d_.graph) {
+    EXPECT_TRUE(manager_.CreateSubsystem(kNqn, "memB").ok());
+    EXPECT_TRUE(manager_.RegisterHostPort(kHost, "hostA").ok());
+  }
+  static constexpr const char* kNqn = "nqn.2026-01.org.ofmf:pool0";
+  static constexpr const char* kHost = "nqn.2026-01.org.ofmf:hostA";
+  Dumbbell d_;
+  NvmeofTargetManager manager_;
+};
+
+TEST_F(NvmeofTest, SubsystemValidation) {
+  EXPECT_EQ(manager_.CreateSubsystem(kNqn, "memB").code(), ErrorCode::kAlreadyExists);
+  EXPECT_FALSE(manager_.CreateSubsystem("bad-name", "memB").ok());
+  EXPECT_EQ(manager_.CreateSubsystem("nqn.x", "ghost").code(), ErrorCode::kNotFound);
+  EXPECT_TRUE(manager_.GetSubsystem(kNqn).ok());
+  EXPECT_FALSE(manager_.GetSubsystem("nqn.none").ok());
+}
+
+TEST_F(NvmeofTest, NamespaceManagement) {
+  EXPECT_TRUE(manager_.AddNamespace(kNqn, 1, 4096).ok());
+  EXPECT_EQ(manager_.AddNamespace(kNqn, 1, 4096).code(), ErrorCode::kAlreadyExists);
+  EXPECT_FALSE(manager_.AddNamespace(kNqn, 0, 4096).ok());
+  EXPECT_EQ(manager_.GetSubsystem(kNqn)->namespaces.size(), 1u);
+}
+
+TEST_F(NvmeofTest, AccessControlEnforced) {
+  EXPECT_EQ(manager_.Connect(kHost, kNqn).status().code(), ErrorCode::kPermissionDenied);
+  ASSERT_TRUE(manager_.AllowHost(kNqn, kHost).ok());
+  auto controller = manager_.Connect(kHost, kNqn);
+  ASSERT_TRUE(controller.ok());
+  EXPECT_EQ(controller->host_nqn, kHost);
+  EXPECT_TRUE(controller->connected);
+
+  // allow_any_host bypasses the list.
+  ASSERT_TRUE(manager_.RegisterHostPort("nqn.other", "hostA").ok());
+  EXPECT_FALSE(manager_.Connect("nqn.other", kNqn).ok());
+  ASSERT_TRUE(manager_.SetAllowAnyHost(kNqn, true).ok());
+  EXPECT_TRUE(manager_.Connect("nqn.other", kNqn).ok());
+}
+
+TEST_F(NvmeofTest, ConnectNeedsLivePath) {
+  ASSERT_TRUE(manager_.AllowHost(kNqn, kHost).ok());
+  ASSERT_TRUE(d_.graph.SetLinkUp("memB", 0, false).ok());
+  EXPECT_EQ(manager_.Connect(kHost, kNqn).status().code(), ErrorCode::kUnavailable);
+}
+
+TEST_F(NvmeofTest, PathLossEventsMarkControllers) {
+  ASSERT_TRUE(manager_.AllowHost(kNqn, kHost).ok());
+  ASSERT_TRUE(manager_.Connect(kHost, kNqn).ok());
+  std::vector<NvmeofEvent::Kind> kinds;
+  manager_.Subscribe([&](const NvmeofEvent& event) { kinds.push_back(event.kind); });
+  ASSERT_TRUE(d_.graph.SetLinkUp("memB", 0, false).ok());
+  ASSERT_THAT(kinds, ElementsAre(NvmeofEvent::Kind::kPathLost));
+  const auto controllers = manager_.ListControllers();
+  ASSERT_EQ(controllers.size(), 1u);
+  EXPECT_FALSE(controllers[0].connected);
+}
+
+TEST_F(NvmeofTest, DeleteSubsystemBlockedByLiveControllers) {
+  ASSERT_TRUE(manager_.AllowHost(kNqn, kHost).ok());
+  auto controller = manager_.Connect(kHost, kNqn);
+  ASSERT_TRUE(controller.ok());
+  EXPECT_EQ(manager_.DeleteSubsystem(kNqn).code(), ErrorCode::kFailedPrecondition);
+  ASSERT_TRUE(manager_.Disconnect(controller->cntlid).ok());
+  EXPECT_EQ(manager_.Disconnect(controller->cntlid).code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_TRUE(manager_.DeleteSubsystem(kNqn).ok());
+}
+
+// -------------------------------------------------------------- Ethernet ---
+
+class EthernetTest : public ::testing::Test {
+ protected:
+  EthernetTest() : manager_(d_.graph) {}
+  Dumbbell d_;
+  EthernetSwitchManager manager_;
+};
+
+TEST_F(EthernetTest, VlanLifecycle) {
+  EXPECT_TRUE(manager_.CreateVlan(100, "compute").ok());
+  EXPECT_EQ(manager_.CreateVlan(100, "dup").code(), ErrorCode::kAlreadyExists);
+  EXPECT_FALSE(manager_.CreateVlan(0, "bad").ok());
+  EXPECT_FALSE(manager_.CreateVlan(4095, "bad").ok());
+  EXPECT_EQ(*manager_.VlanName(100), "compute");
+  EXPECT_THAT(manager_.Vlans(), ElementsAre(1, 100));
+  EXPECT_EQ(manager_.DeleteVlan(1).code(), ErrorCode::kPermissionDenied);
+  EXPECT_TRUE(manager_.DeleteVlan(100).ok());
+  EXPECT_EQ(manager_.DeleteVlan(100).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(EthernetTest, MembershipAndCommunication) {
+  ASSERT_TRUE(manager_.CreateVlan(10, "beeond").ok());
+  // hostA uplinks via sw0:0; memB via sw1:0.
+  ASSERT_TRUE(manager_.AddPortToVlan(10, "sw0", 0, false).ok());
+  EXPECT_FALSE(manager_.CanCommunicate(10, "hostA", "memB"));  // memB not joined
+  ASSERT_TRUE(manager_.AddPortToVlan(10, "sw1", 0, true).ok());
+  EXPECT_TRUE(manager_.CanCommunicate(10, "hostA", "memB"));
+  EXPECT_EQ(manager_.AddPortToVlan(10, "sw0", 0, false).code(),
+            ErrorCode::kAlreadyExists);
+  EXPECT_EQ(manager_.VlanPorts(10).size(), 2u);
+
+  // Cutting the fabric breaks communication even with membership.
+  ASSERT_TRUE(d_.graph.SetLinkUp("sw0", 1, false).ok());
+  ASSERT_TRUE(d_.graph.SetLinkUp("sw0", 2, false).ok());
+  EXPECT_FALSE(manager_.CanCommunicate(10, "hostA", "memB"));
+
+  ASSERT_TRUE(manager_.RemovePortFromVlan(10, "sw1", 0).ok());
+  EXPECT_EQ(manager_.RemovePortFromVlan(10, "sw1", 0).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(EthernetTest, MembershipValidation) {
+  ASSERT_TRUE(manager_.CreateVlan(10, "x").ok());
+  EXPECT_EQ(manager_.AddPortToVlan(99, "sw0", 0, false).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(manager_.AddPortToVlan(10, "ghost", 0, false).code(), ErrorCode::kNotFound);
+  EXPECT_FALSE(manager_.AddPortToVlan(10, "sw0", 99, false).ok());
+}
+
+TEST_F(EthernetTest, LinkFlapEvents) {
+  int flaps = 0;
+  manager_.Subscribe([&](const EthernetEvent& event) {
+    if (event.kind == EthernetEvent::Kind::kLinkFlap) ++flaps;
+  });
+  ASSERT_TRUE(d_.graph.SetLinkUp("sw0", 1, false).ok());
+  ASSERT_TRUE(d_.graph.SetLinkUp("sw0", 1, true).ok());
+  EXPECT_EQ(flaps, 2);
+}
+
+// ----------------------------------------------------------------- Gen-Z ---
+
+class GenzTest : public ::testing::Test {
+ protected:
+  GenzTest() : manager_(d_.graph) {
+    requester_ = *manager_.EnumerateComponent("hostA", GenzComponentClass::kProcessor);
+    responder_ = *manager_.EnumerateComponent("memB", GenzComponentClass::kMemory, 4096);
+  }
+  Dumbbell d_;
+  GenzFabricManager manager_;
+  Cid requester_ = 0;
+  Cid responder_ = 0;
+};
+
+TEST_F(GenzTest, EnumerationRules) {
+  EXPECT_EQ(manager_.EnumerateComponent("hostA", GenzComponentClass::kProcessor)
+                .status()
+                .code(),
+            ErrorCode::kAlreadyExists);
+  EXPECT_FALSE(manager_.EnumerateComponent("ghost", GenzComponentClass::kMemory, 1).ok());
+  EXPECT_FALSE(manager_.EnumerateComponent("sw0", GenzComponentClass::kMemory, 0).ok());
+  EXPECT_EQ(manager_.Components().size(), 2u);
+  EXPECT_TRUE(manager_.ComponentByCid(requester_).ok());
+  EXPECT_FALSE(manager_.ComponentByCid(0xDEAD).ok());
+}
+
+TEST_F(GenzTest, RegionLifecycleAndOverlap) {
+  auto rkey = manager_.CreateRegion(responder_, 0, 1024);
+  ASSERT_TRUE(rkey.ok());
+  EXPECT_EQ(manager_.CreateRegion(responder_, 512, 1024).status().code(),
+            ErrorCode::kAlreadyExists);  // overlap
+  EXPECT_TRUE(manager_.CreateRegion(responder_, 1024, 1024).ok());
+  EXPECT_FALSE(manager_.CreateRegion(responder_, 4000, 1000).ok());  // beyond capacity
+  EXPECT_FALSE(manager_.CreateRegion(requester_, 0, 64).ok());       // not memory
+  EXPECT_EQ(manager_.Regions().size(), 2u);
+  EXPECT_TRUE(manager_.DestroyRegion(*rkey).ok());
+  EXPECT_EQ(manager_.DestroyRegion(*rkey).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(GenzTest, AccessControlAndPath) {
+  const RKey rkey = *manager_.CreateRegion(responder_, 0, 2048);
+  EXPECT_FALSE(manager_.CanAccess(rkey, requester_));
+  ASSERT_TRUE(manager_.GrantAccess(rkey, requester_).ok());
+  EXPECT_EQ(manager_.GrantAccess(rkey, requester_).code(), ErrorCode::kAlreadyExists);
+  EXPECT_TRUE(manager_.CanAccess(rkey, requester_));
+
+  // Fabric cut denies access despite the grant.
+  ASSERT_TRUE(d_.graph.SetLinkUp("sw0", 1, false).ok());
+  ASSERT_TRUE(d_.graph.SetLinkUp("sw0", 2, false).ok());
+  EXPECT_FALSE(manager_.CanAccess(rkey, requester_));
+  ASSERT_TRUE(d_.graph.SetLinkUp("sw0", 1, true).ok());
+  EXPECT_TRUE(manager_.CanAccess(rkey, requester_));
+
+  ASSERT_TRUE(manager_.RevokeAccess(rkey, requester_).ok());
+  EXPECT_EQ(manager_.RevokeAccess(rkey, requester_).code(), ErrorCode::kNotFound);
+  EXPECT_FALSE(manager_.CanAccess(rkey, requester_));
+}
+
+TEST_F(GenzTest, InterfaceDownEvents) {
+  std::vector<Cid> affected;
+  manager_.Subscribe([&](const GenzEvent& event) {
+    if (event.kind == GenzEvent::Kind::kInterfaceDown) affected.push_back(event.cid);
+  });
+  ASSERT_TRUE(d_.graph.SetLinkUp("memB", 0, false).ok());
+  EXPECT_THAT(affected, ElementsAre(responder_));
+}
+
+}  // namespace
+}  // namespace ofmf::fabricsim

@@ -1,0 +1,451 @@
+// End-to-end flows across the whole stack: Composability Manager client ->
+// OFMF (REST) -> technology agent -> simulated fabric manager, plus the
+// spliced paper's Slurm/BeeOND burst-buffer lifecycle and the fail-over
+// story, all through public APIs only.
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include "agents/cxl_agent.hpp"
+#include "agents/ib_agent.hpp"
+#include "agents/nvmeof_agent.hpp"
+#include "beeond/beeond.hpp"
+#include "cluster/cluster.hpp"
+#include "common/hostlist.hpp"
+#include "common/units.hpp"
+#include "composability/adapter.hpp"
+#include "composability/client.hpp"
+#include "composability/manager.hpp"
+#include "json/parse.hpp"
+#include "json/pointer.hpp"
+#include "json/serialize.hpp"
+#include "ofmf/service.hpp"
+#include "ofmf/uris.hpp"
+#include "slurmsim/slurm.hpp"
+#include "workloads/experiment.hpp"
+
+namespace ofmf {
+namespace {
+
+using json::Json;
+using json::Parse;
+using ::testing::HasSubstr;
+
+// ---------------------------------------------------------------------------
+// Scenario 1: dynamic memory expansion driven end-to-end over the wire.
+// A composed system nears OOM; the Composability Manager hot-adds CXL blocks
+// and the CXL agent binds logical devices natively.
+// ---------------------------------------------------------------------------
+TEST(EndToEnd, OomMitigationThroughCxlAgentOverTcp) {
+  // Fabric: host + 2 GiB MLD with 4 LDs.
+  fabricsim::FabricGraph graph;
+  ASSERT_TRUE(graph.AddVertex("sw0", fabricsim::VertexKind::kSwitch, 8).ok());
+  ASSERT_TRUE(graph.AddVertex("host0", fabricsim::VertexKind::kDevice, 1).ok());
+  ASSERT_TRUE(graph.AddVertex("cxl-mem0", fabricsim::VertexKind::kDevice, 1).ok());
+  ASSERT_TRUE(graph.Connect("host0", 0, "sw0", 0).ok());
+  ASSERT_TRUE(graph.Connect("cxl-mem0", 0, "sw0", 1).ok());
+  fabricsim::CxlFabricManager cxl(graph);
+  ASSERT_TRUE(cxl.RegisterHost("host0").ok());
+  ASSERT_TRUE(cxl.RegisterMemoryDevice("cxl-mem0", 2048, 4).ok());
+
+  core::OfmfService ofmf;
+  ASSERT_TRUE(ofmf.Bootstrap().ok());
+  ASSERT_TRUE(ofmf.RegisterAgent(std::make_shared<agents::CxlAgent>("CXL", cxl)).ok());
+
+  // Compute + CXL memory blocks in the composition pool.
+  core::BlockCapability compute;
+  compute.id = "host0";
+  compute.block_type = "Compute";
+  compute.cores = 56;
+  compute.memory_gib = 128;
+  ASSERT_TRUE(ofmf.composition().RegisterBlock(compute).ok());
+  for (int i = 0; i < 2; ++i) {
+    core::BlockCapability memory;
+    memory.id = "cxl-ld" + std::to_string(i);
+    memory.block_type = "Memory";
+    memory.memory_gib = 512;
+    ASSERT_TRUE(ofmf.composition().RegisterBlock(memory).ok());
+  }
+
+  // Serve over real TCP; the manager is a remote client.
+  http::TcpServer server;
+  ASSERT_TRUE(server.Start(ofmf.Handler()).ok());
+  composability::OfmfClient client(
+      std::make_unique<http::TcpClient>(server.port()));
+  composability::ComposabilityManager manager(client);
+
+  composability::CompositionRequest request;
+  request.name = "in-memory-db";
+  request.cores = 40;
+  request.memory_gib = 100;
+  auto composed = manager.Compose(request);
+  ASSERT_TRUE(composed.ok()) << composed.status().ToString();
+
+  // Compose already pulled one CXL block for its 100 GiB ask; the system
+  // nears OOM and grows by another 500 GiB -> the second CXL block attaches.
+  ASSERT_TRUE(manager.ExpandMemory(composed->system_uri, 500).ok());
+  auto system = client.Get(composed->system_uri);
+  ASSERT_TRUE(system.ok());
+  EXPECT_DOUBLE_EQ(system->at("MemorySummary").GetDouble("TotalSystemMemoryGiB"), 1152);
+
+  // Attach the fabric-level memory connection through the agent.
+  auto connection = client.Post(
+      core::FabricUri("CXL") + "/Connections",
+      Json::Obj({{"Name", "db-mem"},
+                 {"ConnectionType", "Memory"},
+                 {"Links",
+                  Json::Obj({{"InitiatorEndpoints",
+                              Json::Arr({Json::Obj({{"@odata.id",
+                                                     core::FabricUri("CXL") +
+                                                         "/Endpoints/host0"}})})},
+                             {"TargetEndpoints",
+                              Json::Arr({Json::Obj({{"@odata.id",
+                                                     core::FabricUri("CXL") +
+                                                         "/Endpoints/cxl-mem0"}})})}})}}));
+  ASSERT_TRUE(connection.ok()) << connection.status().ToString();
+  EXPECT_EQ(cxl.UnboundCapacityBytes(), 1536u);  // one of four LDs bound
+
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2: link failure -> Alert event -> client re-zones around it.
+// ---------------------------------------------------------------------------
+TEST(EndToEnd, FailoverEventFlowThroughIbAgent) {
+  fabricsim::FabricGraph graph;
+  ASSERT_TRUE(graph.AddVertex("sw0", fabricsim::VertexKind::kSwitch, 8).ok());
+  ASSERT_TRUE(graph.AddVertex("sw1", fabricsim::VertexKind::kSwitch, 8).ok());
+  ASSERT_TRUE(graph.AddVertex("n1", fabricsim::VertexKind::kDevice, 2).ok());
+  ASSERT_TRUE(graph.AddVertex("n2", fabricsim::VertexKind::kDevice, 2).ok());
+  // Primary path via sw0, backup via sw1.
+  ASSERT_TRUE(graph.Connect("n1", 0, "sw0", 0, {50, 200}).ok());
+  ASSERT_TRUE(graph.Connect("n2", 0, "sw0", 1, {50, 200}).ok());
+  ASSERT_TRUE(graph.Connect("n1", 1, "sw1", 0, {90, 100}).ok());
+  ASSERT_TRUE(graph.Connect("n2", 1, "sw1", 1, {90, 100}).ok());
+  fabricsim::IbSubnetManager sm(graph);
+
+  core::OfmfService ofmf;
+  ASSERT_TRUE(ofmf.Bootstrap().ok());
+  ASSERT_TRUE(ofmf.RegisterAgent(std::make_shared<agents::IbAgent>("IB", sm)).ok());
+
+  composability::OfmfClient client(
+      std::make_unique<http::InProcessClient>(ofmf.Handler()));
+  composability::ComposabilityManager manager(client);
+  auto sub = manager.SubscribeEvents({"Alert"});
+  ASSERT_TRUE(sub.ok());
+
+  const std::string ep1 = core::FabricUri("IB") + "/Endpoints/n1";
+  const std::string ep2 = core::FabricUri("IB") + "/Endpoints/n2";
+  auto connection = client.Post(
+      core::FabricUri("IB") + "/Connections",
+      Json::Obj({{"Name", "mpi"},
+                 {"ConnectionType", "Network"},
+                 {"Links", Json::Obj({{"InitiatorEndpoints",
+                                       Json::Arr({Json::Obj({{"@odata.id", ep1}})})},
+                                      {"TargetEndpoints",
+                                       Json::Arr({Json::Obj({{"@odata.id", ep2}})})}})}}));
+  ASSERT_TRUE(connection.ok());
+  const Json before = *client.Get(*connection);
+  EXPECT_DOUBLE_EQ(before.at("Oem").at("Ofmf").GetDouble("LatencyNs"), 100.0);
+
+  // Kill the primary switch. The SM traps, the agent raises Alerts.
+  ASSERT_TRUE(graph.FailVertex("sw0").ok());
+  auto alerts = manager.DrainEvents(*sub);
+  ASSERT_TRUE(alerts.ok());
+  EXPECT_GE(alerts->size(), 1u);
+
+  // Client heals: drop the dead connection, create a new one; the SM path
+  // record now routes via the backup switch at higher latency.
+  ASSERT_TRUE(client.Delete(*connection).ok());
+  auto healed = client.Post(
+      core::FabricUri("IB") + "/Connections",
+      Json::Obj({{"Name", "mpi-failover"},
+                 {"ConnectionType", "Network"},
+                 {"Links", Json::Obj({{"InitiatorEndpoints",
+                                       Json::Arr({Json::Obj({{"@odata.id", ep1}})})},
+                                      {"TargetEndpoints",
+                                       Json::Arr({Json::Obj({{"@odata.id", ep2}})})}})}}));
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  const Json after = *client.Get(*healed);
+  EXPECT_DOUBLE_EQ(after.at("Oem").at("Ofmf").GetDouble("LatencyNs"), 180.0);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 3: the spliced paper's full burst-buffer lifecycle — Slurm job
+// with the `beeond` constraint assembles a private filesystem in the prolog,
+// the job writes data, the epilog tears down + wipes, and the NVMe-oF agent
+// publishes the node-local storage as a composable Swordfish service.
+// ---------------------------------------------------------------------------
+class BurstBufferFlow : public ::testing::Test {
+ protected:
+  BurstBufferFlow() {
+    cluster::ClusterSpec spec;
+    spec.node_count = 4;
+    machine_ = std::make_unique<cluster::Cluster>(spec);
+    for (const std::string& host : machine_->Hostnames()) {
+      EXPECT_TRUE(machine_->PrepareNodeStorage(host).ok());
+    }
+    slurm_ = std::make_unique<slurmsim::SlurmManager>(*machine_, clock_);
+    orchestrator_ = std::make_unique<beeond::BeeondOrchestrator>(*machine_);
+
+    slurm_->AddProlog([this](const slurmsim::Job& job, const std::string& hostname)
+                          -> slurmsim::ScriptResult {
+      if (!job.HasConstraint("beeond")) return {};
+      const auto hosts = ExpandHostlist(job.env.at("SLURM_NODELIST"));
+      if (!hosts.ok()) return {hosts.status(), 0};
+      if (hostname != LowestHost(*hosts)) return {Status::Ok(), Millis(40)};
+      auto instance =
+          orchestrator_->Start("beeond-job" + job.env.at("SLURM_JOB_ID"), *hosts);
+      if (!instance.ok()) return {instance.status(), 0};
+      return {Status::Ok(), instance->assemble_duration};
+    });
+    slurm_->AddEpilog([this](const slurmsim::Job& job, const std::string& hostname)
+                          -> slurmsim::ScriptResult {
+      if (!job.HasConstraint("beeond")) return {};
+      const auto hosts = ExpandHostlist(job.env.at("SLURM_NODELIST"));
+      if (!hosts.ok()) return {hosts.status(), 0};
+      if (hostname != LowestHost(*hosts)) return {Status::Ok(), Millis(40)};
+      const Status stopped =
+          orchestrator_->Stop("beeond-job" + job.env.at("SLURM_JOB_ID"));
+      return {stopped, Seconds(2.5)};
+    });
+  }
+
+  SimClock clock_;
+  std::unique_ptr<cluster::Cluster> machine_;
+  std::unique_ptr<slurmsim::SlurmManager> slurm_;
+  std::unique_ptr<beeond::BeeondOrchestrator> orchestrator_;
+};
+
+TEST_F(BurstBufferFlow, FullLifecycleWithDataWipe) {
+  slurmsim::JobSpec spec;
+  spec.name = "hpl+ior";
+  spec.node_count = 4;
+  spec.constraints = {"beeond"};
+  auto job_id = slurm_->Submit(spec);
+  ASSERT_TRUE(job_id.ok()) << job_id.status().ToString();
+
+  const std::string fs_id = "beeond-job" + std::to_string(*job_id);
+  auto instance = orchestrator_->Get(fs_id);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->mgmtd_host, "node001");
+  EXPECT_EQ(instance->ost_hosts.size(), 4u);
+  EXPECT_LT(ToSeconds(instance->assemble_duration), 3.0);
+
+  // The running job writes through the filesystem.
+  ASSERT_TRUE(orchestrator_->WriteFile(fs_id, "node002", 64 * MiB).ok());
+  EXPECT_GT((*machine_->Node("node003"))->ssd().used_bytes(), 0u);
+
+  // Completion tears everything down and wipes data (security property).
+  ASSERT_TRUE(slurm_->Complete(*job_id).ok());
+  EXPECT_FALSE(orchestrator_->Get(fs_id).ok());
+  for (const std::string& host : machine_->Hostnames()) {
+    EXPECT_EQ((*machine_->Node(host))->ssd().used_bytes(), 0u) << host;
+    EXPECT_TRUE((*machine_->Node(host))->Daemons().empty()) << host;
+  }
+}
+
+TEST_F(BurstBufferFlow, JobWithoutConstraintSkipsBeeond) {
+  slurmsim::JobSpec spec;
+  spec.node_count = 2;
+  auto job_id = slurm_->Submit(spec);
+  ASSERT_TRUE(job_id.ok());
+  EXPECT_TRUE(orchestrator_->InstanceIds().empty());
+  const slurmsim::Job job = *slurm_->GetJob(*job_id);
+  for (const std::string& host : job.hosts) {
+    EXPECT_TRUE((*machine_->Node(host))->Daemons().empty());
+  }
+}
+
+TEST_F(BurstBufferFlow, SsdFaultFailsPrologAndDrainsNode) {
+  // Break node002's device so the BeeOND assembly fails like hardware would.
+  ASSERT_TRUE((*machine_->Node("node002"))->ssd().Unmount().ok());
+  slurmsim::JobSpec spec;
+  spec.node_count = 3;
+  spec.constraints = {"beeond"};
+  const auto submitted = slurm_->Submit(spec);
+  EXPECT_FALSE(submitted.ok());
+  EXPECT_TRUE((*machine_->Node("node001"))->drained());  // orchestrating host reported
+  EXPECT_FALSE(slurm_->log().empty());
+  // No daemons leaked anywhere.
+  for (const std::string& host : machine_->Hostnames()) {
+    EXPECT_TRUE((*machine_->Node(host))->Daemons().empty()) << host;
+  }
+}
+
+TEST_F(BurstBufferFlow, BackToBackJobsReuseNodes) {
+  for (int round = 0; round < 3; ++round) {
+    slurmsim::JobSpec spec;
+    spec.node_count = 4;
+    spec.constraints = {"beeond"};
+    auto job_id = slurm_->Submit(spec);
+    ASSERT_TRUE(job_id.ok()) << "round " << round;
+    ASSERT_TRUE(
+        orchestrator_->WriteFile("beeond-job" + std::to_string(*job_id), "node001", MiB)
+            .ok());
+    ASSERT_TRUE(slurm_->Complete(*job_id).ok()) << "round " << round;
+  }
+  EXPECT_TRUE(orchestrator_->InstanceIds().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 4: node-local SSDs published through the OFMF as a Swordfish
+// storage service (the composable burst-buffer pool the OFMF abstract
+// motivates), then consumed by a storage connection.
+// ---------------------------------------------------------------------------
+TEST(EndToEnd, NodeLocalStorageAsComposableSwordfishService) {
+  fabricsim::FabricGraph graph;
+  ASSERT_TRUE(graph.AddVertex("sw0", fabricsim::VertexKind::kSwitch, 8).ok());
+  ASSERT_TRUE(graph.AddVertex("node001", fabricsim::VertexKind::kDevice, 1).ok());
+  ASSERT_TRUE(graph.AddVertex("node002", fabricsim::VertexKind::kDevice, 1).ok());
+  ASSERT_TRUE(graph.Connect("node001", 0, "sw0", 0).ok());
+  ASSERT_TRUE(graph.Connect("node002", 0, "sw0", 1).ok());
+  fabricsim::NvmeofTargetManager nvme(graph);
+  // node002 exports its 894 GiB partition over the fabric (the discussion
+  // section's NVMe-oF sharing idea for storage-exempt nodes).
+  const std::string nqn = "nqn.2026-01.org.ofmf:node002-beeond";
+  ASSERT_TRUE(nvme.CreateSubsystem(nqn, "node002").ok());
+  ASSERT_TRUE(nvme.AddNamespace(nqn, 1, 894ull * GiB).ok());
+  ASSERT_TRUE(nvme.RegisterHostPort("nqn.host:node001", "node001").ok());
+
+  core::OfmfService ofmf;
+  ASSERT_TRUE(ofmf.Bootstrap().ok());
+  ASSERT_TRUE(
+      ofmf.RegisterAgent(std::make_shared<agents::NvmeofAgent>("NVMeoF", nvme)).ok());
+
+  composability::OfmfClient client(
+      std::make_unique<http::InProcessClient>(ofmf.Handler()));
+  // The Swordfish pool reflects the SSD partition size.
+  auto pools =
+      client.Members(std::string(core::kStorageServices) + "/NVMeoF/StoragePools");
+  ASSERT_TRUE(pools.ok());
+  ASSERT_EQ(pools->size(), 1u);
+  const Json pool = *client.Get((*pools)[0]);
+  EXPECT_EQ(
+      static_cast<std::uint64_t>(
+          json::ResolvePointerRef(pool, "/Capacity/Data/AllocatedBytes")->as_int()),
+      894ull * GiB);
+
+  // Attach node001 to it through the agent.
+  auto connection = client.Post(
+      core::FabricUri("NVMeoF") + "/Connections",
+      Json::Obj({{"Name", "remote-burst-buffer"},
+                 {"ConnectionType", "Storage"},
+                 {"Oem", Json::Obj({{"Ofmf",
+                                     Json::Obj({{"HostNqn", "nqn.host:node001"},
+                                                {"SubsystemNqn", nqn}})}})}}));
+  ASSERT_TRUE(connection.ok()) << connection.status().ToString();
+  EXPECT_EQ(nvme.ListControllers().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 4b: the burst buffer as a *composable resource managed through
+// the OFMF*. The cluster adapter publishes per-node NVMe blocks; each Slurm
+// job's prolog composes a storage system over the OFMF REST API sized to
+// the allocation, starts BeeOND on it, and the epilog decomposes —
+// returning the SSDs to the datacenter pool between jobs.
+// ---------------------------------------------------------------------------
+TEST(EndToEnd, ComposableBurstBufferThroughOfmf) {
+  cluster::ClusterSpec spec;
+  spec.node_count = 4;
+  cluster::Cluster machine(spec);
+  for (const std::string& host : machine.Hostnames()) {
+    ASSERT_TRUE(machine.PrepareNodeStorage(host).ok());
+    ASSERT_TRUE(machine.pool()
+                    .AddDevice({"nvme-" + host, cluster::ResourceKind::kNvme,
+                                894ull * GiB, host, "", false, 12, 5})
+                    .ok());
+  }
+
+  core::OfmfService ofmf;
+  ASSERT_TRUE(ofmf.Bootstrap().ok());
+  composability::ClusterAdapter adapter(machine, ofmf);
+  ASSERT_TRUE(adapter.Publish().ok());
+  composability::OfmfClient client(
+      std::make_unique<http::InProcessClient>(ofmf.Handler()));
+  composability::ComposabilityManager manager(client);
+
+  SimClock clock;
+  slurmsim::SlurmManager slurm(machine, clock);
+  beeond::BeeondOrchestrator orchestrator(machine);
+  std::map<std::string, std::string> storage_system_by_job;  // job id -> system uri
+
+  slurm.AddProlog([&](const slurmsim::Job& job, const std::string& hostname)
+                      -> slurmsim::ScriptResult {
+    if (!job.HasConstraint("beeond")) return {};
+    const auto hosts = ExpandHostlist(job.env.at("SLURM_NODELIST"));
+    if (!hosts.ok()) return {hosts.status(), 0};
+    if (hostname != LowestHost(*hosts)) return {Status::Ok(), Millis(40)};
+    // Compose the job's burst-buffer storage through the OFMF: one NVMe
+    // block per allocated node.
+    composability::CompositionRequest request;
+    request.name = "burst-buffer-job" + job.env.at("SLURM_JOB_ID");
+    request.storage_gib = 894.0 * static_cast<double>(hosts->size());
+    auto composed = manager.Compose(request);
+    if (!composed.ok()) return {composed.status(), 0};
+    storage_system_by_job[job.env.at("SLURM_JOB_ID")] = composed->system_uri;
+    auto instance =
+        orchestrator.Start("beeond-job" + job.env.at("SLURM_JOB_ID"), *hosts);
+    if (!instance.ok()) return {instance.status(), 0};
+    return {Status::Ok(), instance->assemble_duration};
+  });
+  slurm.AddEpilog([&](const slurmsim::Job& job, const std::string& hostname)
+                      -> slurmsim::ScriptResult {
+    if (!job.HasConstraint("beeond")) return {};
+    const auto hosts = ExpandHostlist(job.env.at("SLURM_NODELIST"));
+    if (!hosts.ok()) return {hosts.status(), 0};
+    if (hostname != LowestHost(*hosts)) return {Status::Ok(), Millis(40)};
+    const Status stopped = orchestrator.Stop("beeond-job" + job.env.at("SLURM_JOB_ID"));
+    if (!stopped.ok()) return {stopped, 0};
+    const std::string system_uri = storage_system_by_job[job.env.at("SLURM_JOB_ID")];
+    return {manager.Decompose(system_uri), Seconds(2.0)};
+  });
+
+  // Job 1: the whole machine.
+  slurmsim::JobSpec job_spec;
+  job_spec.node_count = 4;
+  job_spec.constraints = {"beeond"};
+  auto job1 = slurm.Submit(job_spec);
+  ASSERT_TRUE(job1.ok()) << job1.status().ToString();
+
+  // While running: all four NVMe blocks composed, mirrored into the pool.
+  EXPECT_TRUE(ofmf.composition().FreeBlockUris().empty());
+  for (const cluster::PooledDevice& device : machine.pool().Devices()) {
+    EXPECT_EQ(device.claimed_by, "ofmf-composition") << device.id;
+  }
+  const std::string system_uri =
+      storage_system_by_job[std::to_string(*job1)];
+  const json::Json system = *client.Get(system_uri);
+  EXPECT_DOUBLE_EQ(system.at("Oem").at("Ofmf").GetDouble("StorageGiB"), 4 * 894.0);
+
+  // Completion decomposes; blocks return for the next job.
+  ASSERT_TRUE(slurm.Complete(*job1).ok());
+  EXPECT_EQ(ofmf.composition().FreeBlockUris().size(), 4u);
+  for (const cluster::PooledDevice& device : machine.pool().Devices()) {
+    EXPECT_TRUE(device.claimed_by.empty()) << device.id;
+  }
+
+  // Job 2 reuses the same pool immediately.
+  auto job2 = slurm.Submit(job_spec);
+  ASSERT_TRUE(job2.ok());
+  EXPECT_TRUE(ofmf.composition().FreeBlockUris().empty());
+  ASSERT_TRUE(slurm.Complete(*job2).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 5: experiment harness sanity under the full stack (ties the
+// workloads module to the integration level).
+// ---------------------------------------------------------------------------
+TEST(EndToEnd, ExperimentHarnessMatchesDirectOrchestration) {
+  workloads::ExperimentConfig config;
+  config.hpl_nodes = 4;
+  config.repetitions = 3;
+  const auto result =
+      workloads::RunExperiment(workloads::ExperimentClass::kMatchingBeeond, config);
+  EXPECT_EQ(result.allocation_nodes, 8);
+  EXPECT_GT(result.assemble_seconds, 0.0);
+  EXPECT_LT(result.assemble_seconds, 3.0);
+  EXPECT_GT(result.ci.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace ofmf

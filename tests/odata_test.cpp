@@ -1,0 +1,240 @@
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include "json/parse.hpp"
+#include "json/serialize.hpp"
+#include "odata/annotations.hpp"
+#include "odata/filter.hpp"
+#include "odata/query.hpp"
+
+namespace ofmf::odata {
+namespace {
+
+using json::Json;
+using json::Parse;
+using json::Serialize;
+using ::testing::HasSubstr;
+
+// ----------------------------------------------------------- Annotations ---
+
+TEST(AnnotationsTest, StampPutsControlInfoFirst) {
+  Json doc = Json::Obj({{"Name", "sys0"}, {"Id", "0"}});
+  Stamp(doc, "/redfish/v1/Systems/0", "#ComputerSystem.v1_20_0.ComputerSystem", "W/\"3\"");
+  const auto& obj = doc.as_object();
+  auto it = obj.begin();
+  EXPECT_EQ(it->first, "@odata.id");
+  EXPECT_EQ((it + 1)->first, "@odata.type");
+  EXPECT_EQ((it + 2)->first, "@odata.etag");
+  EXPECT_EQ(doc.GetString("@odata.id"), "/redfish/v1/Systems/0");
+  EXPECT_EQ(doc.GetString("Name"), "sys0");
+}
+
+TEST(AnnotationsTest, RestampReplacesOldAnnotations) {
+  Json doc = Json::Obj({{"Name", "x"}});
+  Stamp(doc, "/a", "#T.v1_0_0.T", "W/\"1\"");
+  Stamp(doc, "/a", "#T.v1_0_0.T", "W/\"2\"");
+  EXPECT_EQ(doc.GetString("@odata.etag"), "W/\"2\"");
+  EXPECT_EQ(doc.as_object().size(), 4u);  // no duplicates
+}
+
+TEST(AnnotationsTest, StampOnNonObjectCreatesObject) {
+  Json doc = Json(42);
+  Stamp(doc, "/x", "#T.v1_0_0.T", "");
+  EXPECT_TRUE(doc.is_object());
+  EXPECT_FALSE(doc.Contains("@odata.etag"));  // empty etag omitted
+}
+
+TEST(AnnotationsTest, IdOfAndRefs) {
+  EXPECT_EQ(IdOf(Ref("/redfish/v1")), "/redfish/v1");
+  EXPECT_EQ(IdOf(Json(3)), "");
+  const Json refs = RefArray({"/a", "/b"});
+  ASSERT_EQ(refs.as_array().size(), 2u);
+  EXPECT_EQ(refs.as_array()[1].GetString("@odata.id"), "/b");
+  EXPECT_EQ(TypeName("Fabric", "v1_3_0", "Fabric"), "#Fabric.v1_3_0.Fabric");
+}
+
+// ----------------------------------------------------------------- Query ---
+
+std::map<std::string, std::string> Q(
+    std::initializer_list<std::pair<const std::string, std::string>> items) {
+  return std::map<std::string, std::string>(items);
+}
+
+TEST(QueryTest, ParseAllOptions) {
+  auto opts = ParseQueryOptions(
+      Q({{"$top", "5"}, {"$skip", "10"}, {"$select", "Name, Status"},
+         {"$expand", "."}, {"$filter", "Name eq 'x'"}, {"unknown", "ignored"}}));
+  ASSERT_TRUE(opts.ok());
+  EXPECT_EQ(*opts->top, 5u);
+  EXPECT_EQ(opts->skip, 10u);
+  EXPECT_THAT(opts->select, ::testing::ElementsAre("Name", "Status"));
+  EXPECT_TRUE(opts->expand);
+  EXPECT_EQ(opts->filter, "Name eq 'x'");
+}
+
+TEST(QueryTest, MalformedCountsRejected) {
+  EXPECT_FALSE(ParseQueryOptions(Q({{"$top", "abc"}})).ok());
+  EXPECT_FALSE(ParseQueryOptions(Q({{"$skip", "-1"}})).ok());
+}
+
+Json Collection(int n) {
+  json::Array members;
+  for (int i = 0; i < n; ++i) members.push_back(Ref("/m/" + std::to_string(i)));
+  return Json::Obj({{"Members", Json(std::move(members))}});
+}
+
+TEST(QueryTest, PagingWindowAndNextLink) {
+  Json c = Collection(10);
+  QueryOptions opts;
+  opts.skip = 2;
+  opts.top = 3;
+  ApplyPaging(c, opts, "/redfish/v1/Systems");
+  EXPECT_EQ(c.GetInt("Members@odata.count"), 10);
+  ASSERT_EQ(c.at("Members").as_array().size(), 3u);
+  EXPECT_EQ(c.at("Members").as_array()[0].GetString("@odata.id"), "/m/2");
+  EXPECT_EQ(c.GetString("@odata.nextLink"), "/redfish/v1/Systems?$skip=5&$top=3");
+}
+
+TEST(QueryTest, PagingLastPageHasNoNextLink) {
+  Json c = Collection(4);
+  QueryOptions opts;
+  opts.skip = 2;
+  opts.top = 5;
+  ApplyPaging(c, opts, "/u");
+  EXPECT_EQ(c.at("Members").as_array().size(), 2u);
+  EXPECT_FALSE(c.Contains("@odata.nextLink"));
+}
+
+TEST(QueryTest, PagingSkipBeyondEndYieldsEmpty) {
+  Json c = Collection(3);
+  QueryOptions opts;
+  opts.skip = 7;
+  ApplyPaging(c, opts, "/u");
+  EXPECT_TRUE(c.at("Members").as_array().empty());
+  EXPECT_EQ(c.GetInt("Members@odata.count"), 3);
+}
+
+TEST(QueryTest, NoOptionsStillStampsCount) {
+  Json c = Collection(2);
+  ApplyPaging(c, QueryOptions{}, "/u");
+  EXPECT_EQ(c.GetInt("Members@odata.count"), 2);
+  EXPECT_EQ(c.at("Members").as_array().size(), 2u);
+}
+
+TEST(QueryTest, SelectKeepsControlInfo) {
+  Json doc = *Parse(R"({"@odata.id":"/x","@odata.type":"#T","Name":"n","Big":1,"Other":2})");
+  ApplySelect(doc, {"Name"});
+  EXPECT_TRUE(doc.Contains("@odata.id"));
+  EXPECT_TRUE(doc.Contains("Name"));
+  EXPECT_FALSE(doc.Contains("Big"));
+  EXPECT_FALSE(doc.Contains("Other"));
+}
+
+TEST(QueryTest, EmptySelectIsNoOp) {
+  Json doc = *Parse(R"({"a":1,"b":2})");
+  ApplySelect(doc, {});
+  EXPECT_EQ(doc.as_object().size(), 2u);
+}
+
+TEST(QueryTest, ExpandReplacesRefsAndToleratesFailures) {
+  Json c = Collection(3);
+  ApplyExpand(c, [](const std::string& uri) -> Result<Json> {
+    if (uri == "/m/1") return Status::NotFound("gone");
+    return Json::Obj({{"@odata.id", uri}, {"Loaded", true}});
+  });
+  const auto& members = c.at("Members").as_array();
+  EXPECT_TRUE(members[0].GetBool("Loaded"));
+  EXPECT_FALSE(members[1].Contains("Loaded"));  // stayed a reference
+  EXPECT_TRUE(members[2].GetBool("Loaded"));
+}
+
+// ---------------------------------------------------------------- Filter ---
+
+const Json kDoc = *Parse(R"({
+  "Name": "node007",
+  "CapacityGiB": 894,
+  "Enabled": true,
+  "Status": {"State": "Enabled", "HealthRollup": "OK"},
+  "Utilization": 0.25
+})");
+
+bool Match(const std::string& expr) {
+  auto filter = Filter::Compile(expr);
+  EXPECT_TRUE(filter.ok()) << expr << ": " << filter.status().ToString();
+  return filter.ok() && filter->Matches(kDoc);
+}
+
+TEST(FilterTest, Comparisons) {
+  EXPECT_TRUE(Match("Name eq 'node007'"));
+  EXPECT_FALSE(Match("Name eq 'other'"));
+  EXPECT_TRUE(Match("Name ne 'other'"));
+  EXPECT_TRUE(Match("CapacityGiB gt 800"));
+  EXPECT_FALSE(Match("CapacityGiB gt 894"));
+  EXPECT_TRUE(Match("CapacityGiB ge 894"));
+  EXPECT_TRUE(Match("CapacityGiB lt 1000"));
+  EXPECT_TRUE(Match("CapacityGiB le 894"));
+  EXPECT_TRUE(Match("Utilization lt 0.5"));
+  EXPECT_TRUE(Match("Enabled eq true"));
+  EXPECT_FALSE(Match("Enabled eq false"));
+}
+
+TEST(FilterTest, NestedPathNavigation) {
+  EXPECT_TRUE(Match("Status/State eq 'Enabled'"));
+  EXPECT_FALSE(Match("Status/State eq 'Disabled'"));
+  EXPECT_TRUE(Match("Status/HealthRollup eq 'OK'"));
+}
+
+TEST(FilterTest, MissingPathComparesAsNull) {
+  EXPECT_TRUE(Match("Missing eq null"));
+  EXPECT_FALSE(Match("Missing eq 'x'"));
+  EXPECT_TRUE(Match("Missing ne 'x'"));
+  EXPECT_FALSE(Match("Missing gt 1"));  // ordering against null fails
+}
+
+TEST(FilterTest, BooleanAlgebraAndPrecedence) {
+  EXPECT_TRUE(Match("Name eq 'node007' and CapacityGiB gt 100"));
+  EXPECT_FALSE(Match("Name eq 'x' and CapacityGiB gt 100"));
+  EXPECT_TRUE(Match("Name eq 'x' or CapacityGiB gt 100"));
+  // 'and' binds tighter than 'or': false or (true and true) = true.
+  EXPECT_TRUE(Match("Name eq 'x' or Enabled eq true and CapacityGiB gt 100"));
+  // Parentheses override: (false or true) and false = false.
+  EXPECT_FALSE(Match("(Name eq 'x' or Enabled eq true) and CapacityGiB gt 10000"));
+  EXPECT_TRUE(Match("not Name eq 'x'"));
+  EXPECT_FALSE(Match("not not Name eq 'x'"));
+}
+
+TEST(FilterTest, StringOrdering) {
+  EXPECT_TRUE(Match("Name gt 'node006'"));
+  EXPECT_TRUE(Match("Name lt 'node008'"));
+}
+
+TEST(FilterTest, QuoteEscaping) {
+  auto filter = Filter::Compile("Name eq 'it''s'");
+  ASSERT_TRUE(filter.ok());
+  EXPECT_TRUE(filter->Matches(Json::Obj({{"Name", "it's"}})));
+}
+
+TEST(FilterTest, IntDoubleCrossCompare) {
+  auto filter = Filter::Compile("Utilization eq 0.25");
+  ASSERT_TRUE(filter.ok());
+  EXPECT_TRUE(filter->Matches(kDoc));
+  auto int_filter = Filter::Compile("CapacityGiB eq 894.0");
+  ASSERT_TRUE(int_filter.ok());
+  EXPECT_TRUE(int_filter->Matches(kDoc));
+}
+
+class FilterRejects : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FilterRejects, BadExpression) {
+  EXPECT_FALSE(Filter::Compile(GetParam()).ok()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, FilterRejects,
+                         ::testing::Values("", "Name", "Name eq", "eq 'x'",
+                                           "Name badop 'x'", "Name eq 'unterminated",
+                                           "(Name eq 'x'", "Name eq 'x' extra",
+                                           "Name eq 'x' and", "42 eq Name",
+                                           "Name eq 'x' && Name eq 'y'"));
+
+}  // namespace
+}  // namespace ofmf::odata

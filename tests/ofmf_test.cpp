@@ -1,0 +1,582 @@
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include "http/server.hpp"
+#include "json/parse.hpp"
+#include "json/serialize.hpp"
+#include "ofmf/service.hpp"
+#include "ofmf/uris.hpp"
+
+namespace ofmf::core {
+namespace {
+
+using json::Json;
+using json::Parse;
+using ::testing::HasSubstr;
+
+class OfmfTest : public ::testing::Test {
+ protected:
+  OfmfTest() { EXPECT_TRUE(ofmf_.Bootstrap().ok()); }
+
+  http::Response Do(http::Method method, const std::string& target) {
+    return ofmf_.Handle(http::MakeRequest(method, target));
+  }
+  http::Response DoJson(http::Method method, const std::string& target, const Json& body) {
+    return ofmf_.Handle(http::MakeJsonRequest(method, target, body));
+  }
+
+  OfmfService ofmf_;
+};
+
+// ------------------------------------------------------------ Bootstrap ---
+
+TEST_F(OfmfTest, ServiceRootLinksEveryService) {
+  const Json root = *Parse(Do(http::Method::kGet, kServiceRoot).body);
+  EXPECT_EQ(root.GetString("Name"), "OpenFabrics Management Framework");
+  for (const char* key : {"Fabrics", "Systems", "Chassis", "StorageServices",
+                          "SessionService", "EventService", "TaskService",
+                          "TelemetryService", "AggregationService", "CompositionService"}) {
+    EXPECT_FALSE(root.at(key).GetString("@odata.id").empty()) << key;
+    // Every linked service answers GET.
+    const std::string uri = root.at(key).GetString("@odata.id");
+    EXPECT_EQ(Do(http::Method::kGet, uri).status, 200) << uri;
+  }
+}
+
+TEST_F(OfmfTest, DoubleBootstrapRejected) {
+  EXPECT_EQ(ofmf_.Bootstrap().code(), ErrorCode::kFailedPrecondition);
+}
+
+// -------------------------------------------------------------- Sessions ---
+
+TEST_F(OfmfTest, SessionLoginFlow) {
+  const http::Response created =
+      DoJson(http::Method::kPost, kSessions,
+             Json::Obj({{"UserName", "admin"}, {"Password", "ofmf"}}));
+  EXPECT_EQ(created.status, 201);
+  const std::string token = created.headers.GetOr("X-Auth-Token", "");
+  EXPECT_EQ(token.size(), 32u);
+  const std::string location = created.headers.GetOr("Location", "");
+  EXPECT_THAT(location, HasSubstr("/SessionService/Sessions/"));
+  EXPECT_TRUE(ofmf_.sessions().Authenticate(token).has_value());
+  EXPECT_EQ(ofmf_.sessions().session_count(), 1u);
+
+  // Wrong credentials rejected.
+  EXPECT_EQ(DoJson(http::Method::kPost, kSessions,
+                   Json::Obj({{"UserName", "admin"}, {"Password", "wrong"}}))
+                .status,
+            403);
+  EXPECT_EQ(DoJson(http::Method::kPost, kSessions, Json::Obj({{"UserName", ""}})).status,
+            400);
+}
+
+TEST_F(OfmfTest, AuthMiddlewareGatesEverythingButRootAndLogin) {
+  ofmf_.sessions().set_auth_required(true);
+  EXPECT_EQ(Do(http::Method::kGet, kServiceRoot).status, 200);
+  EXPECT_EQ(Do(http::Method::kGet, kFabrics).status, 401);
+
+  const http::Response created =
+      DoJson(http::Method::kPost, kSessions,
+             Json::Obj({{"UserName", "admin"}, {"Password", "ofmf"}}));
+  ASSERT_EQ(created.status, 201);
+  http::Request authed = http::MakeRequest(http::Method::kGet, kFabrics);
+  authed.headers.Set("X-Auth-Token", created.headers.GetOr("X-Auth-Token", ""));
+  EXPECT_EQ(ofmf_.Handle(authed).status, 200);
+
+  authed.headers.Set("X-Auth-Token", "bogus");
+  EXPECT_EQ(ofmf_.Handle(authed).status, 401);
+}
+
+TEST_F(OfmfTest, SessionDeleteInvalidatesToken) {
+  const http::Response created =
+      DoJson(http::Method::kPost, kSessions,
+             Json::Obj({{"UserName", "admin"}, {"Password", "ofmf"}}));
+  const std::string token = created.headers.GetOr("X-Auth-Token", "");
+  const std::string location = created.headers.GetOr("Location", "");
+  EXPECT_EQ(Do(http::Method::kDelete, location).status, 204);
+  EXPECT_FALSE(ofmf_.sessions().Authenticate(token).has_value());
+  EXPECT_FALSE(ofmf_.tree().Exists(location));
+}
+
+TEST_F(OfmfTest, CustomUsersCanLogin) {
+  ofmf_.sessions().AddUser("operator", "s3cret");
+  EXPECT_EQ(DoJson(http::Method::kPost, kSessions,
+                   Json::Obj({{"UserName", "operator"}, {"Password", "s3cret"}}))
+                .status,
+            201);
+}
+
+// ---------------------------------------------------------------- Events ---
+
+TEST_F(OfmfTest, InternalSubscriptionReceivesTreeEvents) {
+  const http::Response sub = DoJson(
+      http::Method::kPost, kSubscriptions,
+      Json::Obj({{"Destination", "ofmf-internal://watcher"},
+                 {"Protocol", "OEM"},
+                 {"EventTypes", Json::Arr({"ResourceAdded", "ResourceRemoved"})}}));
+  ASSERT_EQ(sub.status, 201);
+  const std::string sub_uri = sub.headers.GetOr("Location", "");
+
+  // A tree mutation produces a matching event...
+  ASSERT_TRUE(ofmf_.tree().Create("/redfish/v1/Chassis/c1", "#Chassis.v1_2_0.Chassis",
+                                  Json::Obj({{"Name", "c1"}})).ok());
+  // ...and a filtered-out type does not (modification != added/removed).
+  ASSERT_TRUE(ofmf_.tree().Patch("/redfish/v1/Chassis/c1", Json::Obj({{"x", 1}})).ok());
+
+  const http::Response drained = DoJson(
+      http::Method::kPost, sub_uri + "/Actions/EventDestination.Drain", Json::MakeObject());
+  ASSERT_EQ(drained.status, 200);
+  const Json events = Parse(drained.body)->at("Events");
+  ASSERT_EQ(events.as_array().size(), 1u);
+  const Json& record = events.as_array()[0].at("Events").as_array()[0];
+  EXPECT_EQ(record.GetString("EventType"), "ResourceAdded");
+  EXPECT_EQ(record.at("OriginOfCondition").GetString("@odata.id"),
+            "/redfish/v1/Chassis/c1");
+
+  // Queue is now empty.
+  const http::Response empty = DoJson(
+      http::Method::kPost, sub_uri + "/Actions/EventDestination.Drain", Json::MakeObject());
+  EXPECT_TRUE(Parse(empty.body)->at("Events").as_array().empty());
+}
+
+TEST_F(OfmfTest, SubscriptionWithoutTypeFilterSeesEverything) {
+  auto sub_uri = ofmf_.events().Subscribe(
+      *Parse(R"({"Destination":"ofmf-internal://all","Protocol":"OEM"})"));
+  ASSERT_TRUE(sub_uri.ok());
+  ASSERT_TRUE(ofmf_.tree().Create("/redfish/v1/Chassis/c2", "#Chassis.v1_2_0.Chassis",
+                                  Json::Obj({{"Name", "c2"}})).ok());
+  ASSERT_TRUE(ofmf_.tree().Patch("/redfish/v1/Chassis/c2", Json::Obj({{"y", 1}})).ok());
+  ASSERT_TRUE(ofmf_.tree().Delete("/redfish/v1/Chassis/c2").ok());
+  auto events = ofmf_.events().Drain(*sub_uri);
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ(events->size(), 3u);
+}
+
+TEST_F(OfmfTest, UnsubscribeStopsDeliveryAndCleansTree) {
+  auto sub_uri = ofmf_.events().Subscribe(
+      *Parse(R"({"Destination":"ofmf-internal://gone","Protocol":"OEM"})"));
+  ASSERT_TRUE(sub_uri.ok());
+  EXPECT_EQ(Do(http::Method::kDelete, *sub_uri).status, 204);
+  EXPECT_FALSE(ofmf_.tree().Exists(*sub_uri));
+  EXPECT_FALSE(ofmf_.events().Drain(*sub_uri).ok());
+  EXPECT_EQ(ofmf_.events().subscription_count(), 0u);
+}
+
+TEST_F(OfmfTest, SubscriptionRequiresDestination) {
+  EXPECT_EQ(DoJson(http::Method::kPost, kSubscriptions,
+                   Json::Obj({{"Protocol", "Redfish"}}))
+                .status,
+            400);
+}
+
+TEST_F(OfmfTest, PushDeliveryFailuresCounted) {
+  ASSERT_TRUE(ofmf_.events()
+                  .Subscribe(*Parse(
+                      R"({"Destination":"http://10.0.0.1/sink","Protocol":"Redfish"})"))
+                  .ok());
+  // No client factory installed -> delivery failure counted.
+  Event event;
+  event.event_type = "Alert";
+  event.message_id = "Test.1.0.Alert";
+  event.origin = kServiceRoot;
+  ofmf_.events().Publish(event);
+  EXPECT_EQ(ofmf_.events().delivery_failures(), 1u);
+}
+
+// ----------------------------------------------------------------- Tasks ---
+
+TEST_F(OfmfTest, TaskLifecycle) {
+  auto task_uri = ofmf_.tasks().CreateTask("compose system");
+  ASSERT_TRUE(task_uri.ok());
+  EXPECT_EQ(*ofmf_.tasks().GetState(*task_uri), TaskState::kNew);
+  ASSERT_TRUE(ofmf_.tasks().SetState(*task_uri, TaskState::kRunning).ok());
+  ASSERT_TRUE(ofmf_.tasks().SetPercentComplete(*task_uri, 50).ok());
+  EXPECT_FALSE(ofmf_.tasks().SetPercentComplete(*task_uri, 200).ok());
+  ASSERT_TRUE(ofmf_.tasks().SetState(*task_uri, TaskState::kCompleted, "done").ok());
+  const Json doc = *Parse(Do(http::Method::kGet, *task_uri).body);
+  EXPECT_EQ(doc.GetString("TaskState"), "Completed");
+  EXPECT_EQ(doc.GetInt("PercentComplete"), 100);
+  EXPECT_TRUE(doc.Contains("EndTime"));
+  // Listed in the collection.
+  const Json collection = *Parse(Do(http::Method::kGet, kTasks).body);
+  EXPECT_EQ(collection.GetInt("Members@odata.count"), 1);
+}
+
+// -------------------------------------------------------------- Telemetry ---
+
+TEST_F(OfmfTest, TelemetryReportsRoundTrip) {
+  ASSERT_TRUE(ofmf_.telemetry()
+                  .PushReport("power", {{"PowerConsumedWatts", 4200.0, "/redfish/v1/Chassis"},
+                                        {"Pue", 1.35, ""}})
+                  .ok());
+  const Json report = *Parse(Do(http::Method::kGet,
+                                std::string(kMetricReports) + "/power")
+                                 .body);
+  ASSERT_EQ(report.at("MetricValues").as_array().size(), 2u);
+  EXPECT_EQ(report.at("MetricValues").as_array()[0].GetString("MetricId"),
+            "PowerConsumedWatts");
+  EXPECT_DOUBLE_EQ(report.at("MetricValues").as_array()[0].GetDouble("MetricValue"),
+                   4200.0);
+
+  // Overwrite keeps a single report.
+  ASSERT_TRUE(ofmf_.telemetry().PushReport("power", {{"PowerConsumedWatts", 10.0, ""}}).ok());
+  EXPECT_EQ(ofmf_.telemetry().ReportIds().size(), 1u);
+  EXPECT_EQ(ofmf_.telemetry().GetReport("power")->at("MetricValues").as_array().size(), 1u);
+  EXPECT_FALSE(ofmf_.telemetry().PushReport("", {}).ok());
+}
+
+TEST_F(OfmfTest, TelemetryEmitsMetricReportEvents) {
+  auto sub = ofmf_.events().Subscribe(*Parse(
+      R"({"Destination":"ofmf-internal://metrics","Protocol":"OEM",
+          "EventTypes":["MetricReport"]})"));
+  ASSERT_TRUE(sub.ok());
+  ASSERT_TRUE(ofmf_.telemetry().PushReport("r1", {{"X", 1.0, ""}}).ok());
+  auto events = ofmf_.events().Drain(*sub);
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), 1u);
+}
+
+TEST_F(OfmfTest, OptionsMethodNotSupported) {
+  EXPECT_EQ(Do(http::Method::kOptions, kServiceRoot).status, 405);
+}
+
+TEST_F(OfmfTest, TelemetryMissingReportIsNotFound) {
+  EXPECT_EQ(ofmf_.telemetry().GetReport("ghost").status().code(), ErrorCode::kNotFound);
+  EXPECT_TRUE(ofmf_.telemetry().ReportIds().empty());
+}
+
+// ------------------------------------------------------------ Composition ---
+
+BlockCapability MakeComputeBlock(const std::string& id, int cores, double mem) {
+  BlockCapability block;
+  block.id = id;
+  block.block_type = "Compute";
+  block.cores = cores;
+  block.memory_gib = mem;
+  return block;
+}
+
+TEST_F(OfmfTest, ComposeAndDecomposeViaRest) {
+  ASSERT_TRUE(ofmf_.composition().RegisterBlock(MakeComputeBlock("b0", 28, 64)).ok());
+  ASSERT_TRUE(ofmf_.composition().RegisterBlock(MakeComputeBlock("b1", 28, 64)).ok());
+
+  const http::Response composed = DoJson(
+      http::Method::kPost, kSystems,
+      Json::Obj({{"Name", "my-system"},
+                 {"Links",
+                  Json::Obj({{"ResourceBlocks",
+                              Json::Arr({Json::Obj({{"@odata.id",
+                                                     std::string(kResourceBlocks) +
+                                                         "/b0"}}),
+                                         Json::Obj({{"@odata.id",
+                                                     std::string(kResourceBlocks) +
+                                                         "/b1"}})})}})}}));
+  ASSERT_EQ(composed.status, 201);
+  const std::string system_uri = composed.headers.GetOr("Location", "");
+  const Json system = *Parse(Do(http::Method::kGet, system_uri).body);
+  EXPECT_EQ(system.GetString("SystemType"), "Composed");
+  EXPECT_EQ(system.at("ProcessorSummary").GetInt("CoreCount"), 56);
+  EXPECT_DOUBLE_EQ(system.at("MemorySummary").GetDouble("TotalSystemMemoryGiB"), 128.0);
+
+  // Blocks now Composed; composing them again fails.
+  EXPECT_EQ(*ofmf_.composition().BlockState(std::string(kResourceBlocks) + "/b0"),
+            "Composed");
+  EXPECT_TRUE(ofmf_.composition().FreeBlockUris().empty());
+  const http::Response again = DoJson(
+      http::Method::kPost, kSystems,
+      Json::Obj({{"Name", "again"},
+                 {"Links", Json::Obj({{"ResourceBlocks",
+                                       Json::Arr({Json::Obj(
+                                           {{"@odata.id", std::string(kResourceBlocks) +
+                                                              "/b0"}})})}})}}));
+  EXPECT_EQ(again.status, 412);
+
+  // DELETE decomposes and frees the blocks.
+  EXPECT_EQ(Do(http::Method::kDelete, system_uri).status, 204);
+  EXPECT_FALSE(ofmf_.tree().Exists(system_uri));
+  EXPECT_EQ(ofmf_.composition().FreeBlockUris().size(), 2u);
+}
+
+TEST_F(OfmfTest, ComposeValidatesBody) {
+  EXPECT_EQ(DoJson(http::Method::kPost, kSystems, Json::Obj({{"Name", "x"}})).status, 400);
+  EXPECT_EQ(DoJson(http::Method::kPost, kSystems,
+                   Json::Obj({{"Name", "x"},
+                              {"Links",
+                               Json::Obj({{"ResourceBlocks",
+                                           Json::Arr({Json::Obj(
+                                               {{"@odata.id", "/nope"}})})}})}}))
+                .status,
+            404);
+}
+
+TEST_F(OfmfTest, ExpandSystemAction) {
+  ASSERT_TRUE(ofmf_.composition().RegisterBlock(MakeComputeBlock("b0", 28, 64)).ok());
+  BlockCapability mem;
+  mem.id = "cxl0";
+  mem.block_type = "Memory";
+  mem.memory_gib = 256;
+  ASSERT_TRUE(ofmf_.composition().RegisterBlock(mem).ok());
+
+  auto system_uri = ofmf_.composition().Compose(
+      "expandable", {std::string(kResourceBlocks) + "/b0"});
+  ASSERT_TRUE(system_uri.ok());
+
+  const http::Response expanded = DoJson(
+      http::Method::kPost, *system_uri + "/Actions/ComputerSystem.AddResourceBlock",
+      Json::Obj({{"ResourceBlock", std::string(kResourceBlocks) + "/cxl0"}}));
+  ASSERT_EQ(expanded.status, 200);
+  const Json system = *Parse(expanded.body);
+  EXPECT_DOUBLE_EQ(system.at("MemorySummary").GetDouble("TotalSystemMemoryGiB"), 320.0);
+  EXPECT_EQ(ofmf_.composition().BlocksOf(*system_uri)->size(), 2u);
+
+  // Missing body parameter.
+  EXPECT_EQ(DoJson(http::Method::kPost,
+                   *system_uri + "/Actions/ComputerSystem.AddResourceBlock",
+                   Json::MakeObject())
+                .status,
+            400);
+}
+
+TEST_F(OfmfTest, UnregisterBlockRules) {
+  ASSERT_TRUE(ofmf_.composition().RegisterBlock(MakeComputeBlock("b0", 28, 64)).ok());
+  const std::string block_uri = std::string(kResourceBlocks) + "/b0";
+  auto system = ofmf_.composition().Compose("sys", {block_uri});
+  ASSERT_TRUE(system.ok());
+  EXPECT_EQ(ofmf_.composition().UnregisterBlock(block_uri).code(),
+            ErrorCode::kFailedPrecondition);
+  ASSERT_TRUE(ofmf_.composition().Decompose(*system).ok());
+  EXPECT_TRUE(ofmf_.composition().UnregisterBlock(block_uri).ok());
+  EXPECT_FALSE(ofmf_.tree().Exists(block_uri));
+}
+
+TEST_F(OfmfTest, CompositionEventsPublished) {
+  auto sub = ofmf_.events().Subscribe(*Parse(
+      R"({"Destination":"ofmf-internal://compose","Protocol":"OEM"})"));
+  ASSERT_TRUE(sub.ok());
+  ASSERT_TRUE(ofmf_.composition().RegisterBlock(MakeComputeBlock("b0", 28, 64)).ok());
+  auto system = ofmf_.composition().Compose("sys", {std::string(kResourceBlocks) + "/b0"});
+  ASSERT_TRUE(system.ok());
+  auto events = ofmf_.events().Drain(*sub);
+  ASSERT_TRUE(events.ok());
+  bool saw_composed = false;
+  for (const Json& event : *events) {
+    const Json& record = event.at("Events").as_array()[0];
+    if (record.GetString("MessageId") == "CompositionService.1.0.SystemComposed") {
+      saw_composed = true;
+    }
+  }
+  EXPECT_TRUE(saw_composed);
+}
+
+// -------------------------------------------------------------- Capability ---
+
+TEST(BlockCapabilityTest, PayloadRoundTrip) {
+  BlockCapability block;
+  block.id = "gpu-7";
+  block.block_type = "Processor";
+  block.cores = 0;
+  block.memory_gib = 16;
+  block.gpus = 1;
+  block.storage_gib = 0;
+  block.locality = "rack3";
+  block.idle_watts = 55;
+  block.active_watts = 300;
+  const BlockCapability round = CapabilityFromPayload(block.ToPayload());
+  EXPECT_EQ(round.id, block.id);
+  EXPECT_EQ(round.block_type, block.block_type);
+  EXPECT_EQ(round.gpus, 1);
+  EXPECT_DOUBLE_EQ(round.memory_gib, 16);
+  EXPECT_EQ(round.locality, "rack3");
+  EXPECT_DOUBLE_EQ(round.active_watts, 300);
+}
+
+// ---------------------------------------------------- Async composition ---
+
+TEST_F(OfmfTest, AsyncComposeReturnsTaskAndCompletesOnTick) {
+  ASSERT_TRUE(ofmf_.composition().RegisterBlock(MakeComputeBlock("b0", 28, 64)).ok());
+  http::Request request = http::MakeJsonRequest(
+      http::Method::kPost, kSystems,
+      Json::Obj({{"Name", "async-system"},
+                 {"Links", Json::Obj({{"ResourceBlocks",
+                                       Json::Arr({Json::Obj(
+                                           {{"@odata.id", std::string(kResourceBlocks) +
+                                                              "/b0"}})})}})}}));
+  request.headers.Set("Prefer", "respond-async");
+  const http::Response accepted = ofmf_.Handle(request);
+  ASSERT_EQ(accepted.status, 202);
+  const std::string task_uri = accepted.headers.GetOr("Location", "");
+  ASSERT_THAT(task_uri, HasSubstr("/TaskService/Tasks/"));
+  EXPECT_EQ(*ofmf_.tasks().GetState(task_uri), TaskState::kRunning);
+  // Nothing composed yet; work is queued.
+  EXPECT_EQ(ofmf_.pending_work(), 1u);
+  EXPECT_TRUE(ofmf_.composition().FreeBlockUris().size() == 1);
+
+  EXPECT_EQ(ofmf_.ProcessPendingWork(), 1u);
+  EXPECT_EQ(*ofmf_.tasks().GetState(task_uri), TaskState::kCompleted);
+  const Json task = *Parse(Do(http::Method::kGet, task_uri).body);
+  const std::string system_uri = task.at("Oem").at("Ofmf").GetString("SystemUri");
+  ASSERT_FALSE(system_uri.empty());
+  EXPECT_TRUE(ofmf_.tree().Exists(system_uri));
+  EXPECT_EQ(Parse(Do(http::Method::kGet, system_uri).body)->GetString("Name"),
+            "async-system");
+}
+
+TEST_F(OfmfTest, AsyncComposeFailureMarksTaskException) {
+  http::Request request = http::MakeJsonRequest(
+      http::Method::kPost, kSystems,
+      Json::Obj({{"Name", "doomed"},
+                 {"Links", Json::Obj({{"ResourceBlocks",
+                                       Json::Arr({Json::Obj(
+                                           {{"@odata.id", "/no/such/block"}})})}})}}));
+  request.headers.Set("Prefer", "respond-async");
+  const http::Response accepted = ofmf_.Handle(request);
+  ASSERT_EQ(accepted.status, 202);
+  const std::string task_uri = accepted.headers.GetOr("Location", "");
+  EXPECT_EQ(ofmf_.ProcessPendingWork(), 1u);
+  EXPECT_EQ(*ofmf_.tasks().GetState(task_uri), TaskState::kException);
+}
+
+TEST_F(OfmfTest, SyncComposeUnaffectedByPreferHeaderAbsence) {
+  ASSERT_TRUE(ofmf_.composition().RegisterBlock(MakeComputeBlock("b0", 28, 64)).ok());
+  const http::Response response = DoJson(
+      http::Method::kPost, kSystems,
+      Json::Obj({{"Name", "sync"},
+                 {"Links", Json::Obj({{"ResourceBlocks",
+                                       Json::Arr({Json::Obj(
+                                           {{"@odata.id", std::string(kResourceBlocks) +
+                                                              "/b0"}})})}})}}));
+  EXPECT_EQ(response.status, 201);
+  EXPECT_EQ(ofmf_.pending_work(), 0u);
+}
+
+// ------------------------------------------------------------ Self-audit ---
+
+TEST_F(OfmfTest, AuditActionReportsCleanService) {
+  ASSERT_TRUE(ofmf_.composition().RegisterBlock(MakeComputeBlock("b0", 28, 64)).ok());
+  const http::Response response =
+      DoJson(http::Method::kPost,
+             std::string(kServiceRoot) + "/Actions/OfmfService.Audit",
+             Json::MakeObject());
+  ASSERT_EQ(response.status, 200);
+  const Json report = *Parse(response.body);
+  EXPECT_TRUE(report.GetBool("Clean"));
+  EXPECT_GT(report.GetInt("ResourcesChecked"), 15);
+  EXPECT_GT(report.GetInt("ResourcesWithSchema"), 0);
+  EXPECT_TRUE(report.at("Issues").as_array().empty());
+}
+
+TEST_F(OfmfTest, AuditActionFlagsInjectedViolations) {
+  // Inject a schema-invalid resource directly into the tree (bypassing the
+  // validated POST path, as a buggy agent might).
+  ASSERT_TRUE(ofmf_.tree()
+                  .Create("/redfish/v1/Fabrics/bad", "#Fabric.v1_3_0.Fabric",
+                          Json::Obj({{"Name", "bad"}, {"FabricType", "NotAFabric"}}))
+                  .ok());
+  ASSERT_TRUE(ofmf_.tree().AddMember(kFabrics, "/redfish/v1/Fabrics/bad").ok());
+  // And a dangling collection member.
+  ASSERT_TRUE(ofmf_.tree().AddMember(kFabrics, "/redfish/v1/Fabrics/ghost").ok());
+
+  const http::Response response =
+      DoJson(http::Method::kPost,
+             std::string(kServiceRoot) + "/Actions/OfmfService.Audit",
+             Json::MakeObject());
+  const Json report = *Parse(response.body);
+  EXPECT_FALSE(report.GetBool("Clean"));
+  ASSERT_GE(report.at("Issues").as_array().size(), 2u);
+  bool saw_enum = false;
+  bool saw_dangling = false;
+  for (const Json& issue : report.at("Issues").as_array()) {
+    const std::string message = issue.GetString("Message");
+    if (message.find("enum") != std::string::npos) saw_enum = true;
+    if (message.find("dangling") != std::string::npos) saw_dangling = true;
+  }
+  EXPECT_TRUE(saw_enum);
+  EXPECT_TRUE(saw_dangling);
+}
+
+// -------------------------------------------------- Push event delivery ---
+
+TEST_F(OfmfTest, PushDeliveryThroughClientFactory) {
+  // A second OFMF-ish sink service receives pushed events.
+  std::vector<Json> received;
+  http::ServerHandler sink = [&](const http::Request& request) {
+    received.push_back(*Parse(request.body));
+    return http::MakeEmptyResponse(204);
+  };
+  ofmf_.events().set_client_factory(
+      [&](const std::string&) -> std::unique_ptr<http::HttpClient> {
+        return std::make_unique<http::InProcessClient>(sink);
+      });
+  ASSERT_TRUE(ofmf_.events()
+                  .Subscribe(*Parse(
+                      R"({"Destination":"http://sink/events","Protocol":"Redfish",
+                          "EventTypes":["Alert"]})"))
+                  .ok());
+  Event event;
+  event.event_type = "Alert";
+  event.message_id = "Test.1.0.Pushed";
+  event.message = "pushed";
+  event.origin = kServiceRoot;
+  ofmf_.events().Publish(event);
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].at("Events").as_array()[0].GetString("MessageId"),
+            "Test.1.0.Pushed");
+  EXPECT_EQ(ofmf_.events().delivery_failures(), 0u);
+}
+
+TEST_F(OfmfTest, PushDeliveryRetriesFlakySink) {
+  int calls = 0;
+  http::ServerHandler flaky = [&](const http::Request&) {
+    ++calls;
+    // Fail twice, then accept.
+    return calls < 3 ? http::MakeTextResponse(503, "busy")
+                     : http::MakeEmptyResponse(204);
+  };
+  ofmf_.events().set_client_factory(
+      [&](const std::string&) -> std::unique_ptr<http::HttpClient> {
+        return std::make_unique<http::InProcessClient>(flaky);
+      });
+  ASSERT_TRUE(ofmf_.events()
+                  .Subscribe(*Parse(
+                      R"({"Destination":"http://flaky/events","Protocol":"Redfish"})"))
+                  .ok());
+  Event event;
+  event.event_type = "Alert";
+  event.message_id = "Test.1.0.Retry";
+  event.origin = kServiceRoot;
+  ofmf_.events().Publish(event);
+  EXPECT_EQ(calls, 3);  // two failures + final success
+  EXPECT_EQ(ofmf_.events().delivery_failures(), 0u);
+  EXPECT_EQ(ofmf_.events().delivery_retries(), 2u);
+
+  // A sink that never recovers exhausts the attempts and counts a failure.
+  calls = -100;  // stays < 3 for the whole retry budget
+  ofmf_.events().Publish(event);
+  EXPECT_EQ(ofmf_.events().delivery_failures(), 1u);
+
+  // Retry budget is configurable and clamped to >= 1.
+  ofmf_.events().set_retry_attempts(0);
+  calls = -100;
+  ofmf_.events().Publish(event);
+  EXPECT_EQ(calls, -99);  // exactly one attempt
+}
+
+// ----------------------------------------------------------- Wire access ---
+
+TEST_F(OfmfTest, FullServiceOverTcp) {
+  http::TcpServer server;
+  ASSERT_TRUE(server.Start(ofmf_.Handler()).ok());
+  http::TcpClient client(server.port());
+  auto root = client.Get(kServiceRoot);
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(Parse(root->body)->GetString("Name"), "OpenFabrics Management Framework");
+  auto session = client.PostJson(
+      kSessions, Json::Obj({{"UserName", "admin"}, {"Password", "ofmf"}}));
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(session->status, 201);
+  EXPECT_FALSE(session->headers.GetOr("X-Auth-Token", "").empty());
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace ofmf::core

@@ -1,0 +1,496 @@
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include "http/server.hpp"
+#include "json/parse.hpp"
+#include "json/serialize.hpp"
+#include "redfish/errors.hpp"
+#include "redfish/schemas.hpp"
+#include "redfish/service.hpp"
+#include "redfish/swordfish.hpp"
+#include "redfish/tree.hpp"
+
+namespace ofmf::redfish {
+namespace {
+
+using json::Json;
+using json::Parse;
+using ::testing::HasSubstr;
+
+// ------------------------------------------------------------------ Tree ---
+
+TEST(TreeTest, CreateGetStampsAnnotations) {
+  ResourceTree tree;
+  ASSERT_TRUE(tree.Create("/redfish/v1/Fabrics/CXL", "#Fabric.v1_3_0.Fabric",
+                          Json::Obj({{"Name", "cxl"}}))
+                  .ok());
+  auto doc = tree.Get("/redfish/v1/Fabrics/CXL");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->GetString("@odata.id"), "/redfish/v1/Fabrics/CXL");
+  EXPECT_EQ(doc->GetString("@odata.type"), "#Fabric.v1_3_0.Fabric");
+  EXPECT_EQ(doc->GetString("@odata.etag"), "W/\"1\"");
+  EXPECT_EQ(doc->GetString("Name"), "cxl");
+  // Raw payload has no annotations.
+  EXPECT_FALSE(tree.GetRaw("/redfish/v1/Fabrics/CXL")->Contains("@odata.id"));
+}
+
+TEST(TreeTest, DuplicateCreateRejected) {
+  ResourceTree tree;
+  ASSERT_TRUE(tree.Create("/a", "#T.v1_0_0.T", Json::MakeObject()).ok());
+  EXPECT_EQ(tree.Create("/a", "#T.v1_0_0.T", Json::MakeObject()).code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST(TreeTest, PatchBumpsEtagAndMerges) {
+  ResourceTree tree;
+  ASSERT_TRUE(tree.Create("/a", "#T.v1_0_0.T",
+                          Json::Obj({{"x", 1}, {"nested", Json::Obj({{"keep", 1}, {"drop", 2}})}}))
+                  .ok());
+  ASSERT_TRUE(
+      tree.Patch("/a", *Parse(R"({"x":2,"nested":{"drop":null},"new":"v"})")).ok());
+  auto doc = tree.Get("/a");
+  EXPECT_EQ(doc->GetInt("x"), 2);
+  EXPECT_EQ(doc->GetString("new"), "v");
+  EXPECT_TRUE(doc->at("nested").Contains("keep"));
+  EXPECT_FALSE(doc->at("nested").Contains("drop"));
+  EXPECT_EQ(doc->GetString("@odata.etag"), "W/\"2\"");
+}
+
+TEST(TreeTest, PatchWithIfMatch) {
+  ResourceTree tree;
+  ASSERT_TRUE(tree.Create("/a", "#T.v1_0_0.T", Json::Obj({{"x", 1}})).ok());
+  EXPECT_EQ(tree.Patch("/a", Json::Obj({{"x", 2}}), "W/\"999\"").code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_TRUE(tree.Patch("/a", Json::Obj({{"x", 2}}), "W/\"1\"").ok());
+  EXPECT_TRUE(tree.Patch("/a", Json::Obj({{"x", 3}}), tree.ETagOf("/a")).ok());
+  EXPECT_EQ(tree.Get("/a")->GetInt("x"), 3);
+}
+
+TEST(TreeTest, DeleteAndMissingLookups) {
+  ResourceTree tree;
+  ASSERT_TRUE(tree.Create("/a", "#T.v1_0_0.T", Json::MakeObject()).ok());
+  EXPECT_TRUE(tree.Exists("/a"));
+  ASSERT_TRUE(tree.Delete("/a").ok());
+  EXPECT_FALSE(tree.Exists("/a"));
+  EXPECT_EQ(tree.Get("/a").status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(tree.Delete("/a").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(tree.Patch("/a", Json::MakeObject()).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(tree.ETagOf("/a"), "");
+}
+
+TEST(TreeTest, CollectionMembership) {
+  ResourceTree tree;
+  ASSERT_TRUE(tree.CreateCollection("/c", "#XCollection.XCollection", "Xs").ok());
+  ASSERT_TRUE(tree.AddMember("/c", "/c/1").ok());
+  ASSERT_TRUE(tree.AddMember("/c", "/c/2").ok());
+  ASSERT_TRUE(tree.AddMember("/c", "/c/1").ok());  // idempotent
+  auto members = tree.Members("/c");
+  ASSERT_TRUE(members.ok());
+  EXPECT_THAT(*members, ::testing::ElementsAre("/c/1", "/c/2"));
+  ASSERT_TRUE(tree.RemoveMember("/c", "/c/1").ok());
+  EXPECT_EQ(tree.RemoveMember("/c", "/c/1").code(), ErrorCode::kNotFound);
+  EXPECT_THAT(*tree.Members("/c"), ::testing::ElementsAre("/c/2"));
+}
+
+TEST(TreeTest, MembersOnNonCollectionFails) {
+  ResourceTree tree;
+  ASSERT_TRUE(tree.Create("/plain", "#T.v1_0_0.T", Json::Obj({{"a", 1}})).ok());
+  EXPECT_EQ(tree.Members("/plain").status().code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(tree.AddMember("/plain", "/x").code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST(TreeTest, UrisUnderRespectsSegmentBoundaries) {
+  ResourceTree tree;
+  for (const char* uri : {"/redfish/v1", "/redfish/v1/Systems", "/redfish/v1/Systems/1",
+                          "/redfish/v1/SystemsOther"}) {
+    ASSERT_TRUE(tree.Create(uri, "#T.v1_0_0.T", Json::MakeObject()).ok());
+  }
+  EXPECT_THAT(tree.UrisUnder("/redfish/v1/Systems"),
+              ::testing::ElementsAre("/redfish/v1/Systems", "/redfish/v1/Systems/1"));
+  EXPECT_EQ(tree.UrisUnder("/").size(), 4u);
+  EXPECT_EQ(tree.size(), 4u);
+}
+
+TEST(TreeTest, ChangeListenersFireAndUnsubscribe) {
+  ResourceTree tree;
+  std::vector<std::string> events;
+  const std::uint64_t token = tree.Subscribe([&](const ChangeEvent& event) {
+    events.push_back(std::string(to_string(event.kind)) + " " + event.uri);
+  });
+  ASSERT_TRUE(tree.Create("/a", "#T.v1_0_0.T", Json::MakeObject()).ok());
+  ASSERT_TRUE(tree.Patch("/a", Json::Obj({{"x", 1}})).ok());
+  ASSERT_TRUE(tree.Delete("/a").ok());
+  tree.Unsubscribe(token);
+  ASSERT_TRUE(tree.Create("/b", "#T.v1_0_0.T", Json::MakeObject()).ok());
+  EXPECT_THAT(events, ::testing::ElementsAre("ResourceCreated /a", "ResourceChanged /a",
+                                             "ResourceRemoved /a"));
+}
+
+TEST(TreeTest, ReplaceKeepsTypeAndBumpsVersion) {
+  ResourceTree tree;
+  ASSERT_TRUE(tree.Create("/a", "#T.v1_0_0.T", Json::Obj({{"x", 1}})).ok());
+  ASSERT_TRUE(tree.Replace("/a", Json::Obj({{"y", 2}})).ok());
+  auto doc = tree.Get("/a");
+  EXPECT_FALSE(doc->Contains("x"));
+  EXPECT_EQ(doc->GetInt("y"), 2);
+  EXPECT_EQ(doc->GetString("@odata.type"), "#T.v1_0_0.T");
+  EXPECT_EQ(doc->GetString("@odata.etag"), "W/\"2\"");
+}
+
+TEST(TreeTest, TrailingSlashNormalized) {
+  ResourceTree tree;
+  ASSERT_TRUE(tree.Create("/a/b/", "#T.v1_0_0.T", Json::MakeObject()).ok());
+  EXPECT_TRUE(tree.Exists("/a/b"));
+  EXPECT_TRUE(tree.Get("/a/b/").ok());
+}
+
+// ---------------------------------------------------------------- Errors ---
+
+TEST(ErrorsTest, PayloadShape) {
+  const Json body = MakeErrorBody("Base.1.0.GeneralError", "something failed");
+  EXPECT_EQ(body.at("error").GetString("code"), "Base.1.0.GeneralError");
+  EXPECT_EQ(body.at("error").GetString("message"), "something failed");
+  ASSERT_EQ(body.at("error").at("@Message.ExtendedInfo").as_array().size(), 1u);
+}
+
+TEST(ErrorsTest, StatusMapping) {
+  const http::Response response = ErrorResponse(Status::NotFound("gone"));
+  EXPECT_EQ(response.status, 404);
+  const Json body = *Parse(response.body);
+  EXPECT_EQ(body.at("error").GetString("code"), "Base.1.0.ResourceMissingAtURI");
+  EXPECT_THAT(body.at("error").GetString("message"), HasSubstr("gone"));
+}
+
+TEST(ErrorsTest, ExtendedInfoEntries) {
+  const Json body = MakeErrorBody("Base.1.0.GeneralError", "multi",
+                                  {{"Base.1.0.PropertyMissing", "Name is required",
+                                    "Critical", "Supply Name"},
+                                   {"Base.1.0.PropertyValueError", "bad value",
+                                    "Warning", "Fix value"}});
+  const auto& info = body.at("error").at("@Message.ExtendedInfo").as_array();
+  ASSERT_EQ(info.size(), 2u);
+  EXPECT_EQ(info[0].GetString("Severity"), "Critical");
+  EXPECT_EQ(info[1].GetString("MessageId"), "Base.1.0.PropertyValueError");
+}
+
+// --------------------------------------------------------------- Schemas ---
+
+TEST(SchemaRegistryTest, BuiltInTypesPresent) {
+  const SchemaRegistry registry = SchemaRegistry::BuiltIn();
+  for (const char* type : {"Fabric", "Endpoint", "Zone", "Connection", "Switch", "Port",
+                           "ComputerSystem", "Chassis", "Processor", "Memory",
+                           "StorageService", "StoragePool", "Volume", "EventDestination",
+                           "Session", "ResourceBlock"}) {
+    EXPECT_NE(registry.Find(type), nullptr) << type;
+  }
+  EXPECT_EQ(registry.Find("NoSuchType"), nullptr);
+}
+
+TEST(SchemaRegistryTest, VersionedTypeTagResolves) {
+  const SchemaRegistry registry = SchemaRegistry::BuiltIn();
+  EXPECT_NE(registry.Find("#Fabric.v1_3_0.Fabric"), nullptr);
+  EXPECT_NE(registry.Find("#Zone.v1_6_1.Zone"), nullptr);
+}
+
+TEST(SchemaRegistryTest, ValidateCreateEnforcesRequired) {
+  const SchemaRegistry registry = SchemaRegistry::BuiltIn();
+  EXPECT_TRUE(registry
+                  .ValidateCreate("Fabric", *Parse(R"({"Name":"f","FabricType":"CXL"})"))
+                  .ok());
+  EXPECT_FALSE(registry.ValidateCreate("Fabric", *Parse(R"({"Name":"f"})")).ok());
+  EXPECT_FALSE(
+      registry.ValidateCreate("Fabric", *Parse(R"({"Name":"f","FabricType":"Carrier"})"))
+          .ok());
+  // Unknown types pass (OEM forgiveness).
+  EXPECT_TRUE(registry.ValidateCreate("OemWidget", *Parse(R"({"anything":1})")).ok());
+}
+
+TEST(SchemaRegistryTest, ValidatePatchSkipsRequiredButChecksValues) {
+  const SchemaRegistry registry = SchemaRegistry::BuiltIn();
+  // Partial body without required members is fine for PATCH...
+  EXPECT_TRUE(registry.ValidatePatch("Fabric", *Parse(R"({"MaxZones":8})")).ok());
+  // ...but bad values are still rejected.
+  EXPECT_FALSE(registry.ValidatePatch("Fabric", *Parse(R"({"MaxZones":-1})")).ok());
+}
+
+TEST(SchemaRegistryTest, ValidatePatchRejectsReadOnly) {
+  const SchemaRegistry registry = SchemaRegistry::BuiltIn();
+  const Status status = registry.ValidatePatch("Fabric", *Parse(R"({"Id":"new-id"})"));
+  EXPECT_EQ(status.code(), ErrorCode::kPermissionDenied);
+}
+
+TEST(SchemaRegistryTest, StatusFragmentShared) {
+  const SchemaRegistry registry = SchemaRegistry::BuiltIn();
+  EXPECT_FALSE(registry
+                   .ValidateCreate("Port", *Parse(R"({"Name":"p1",
+                     "Status":{"State":"NotAState"}})"))
+                   .ok());
+  EXPECT_TRUE(registry
+                  .ValidateCreate("Port", *Parse(R"({"Name":"p1",
+                    "Status":{"State":"Enabled","Health":"OK"}})"))
+                  .ok());
+}
+
+// --------------------------------------------------------------- Service ---
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest() : service_(tree_, SchemaRegistry::BuiltIn()) {
+    EXPECT_TRUE(tree_.Create("/redfish/v1", "#ServiceRoot.v1_15_0.ServiceRoot",
+                             Json::Obj({{"Name", "root"}}))
+                    .ok());
+    EXPECT_TRUE(tree_.CreateCollection("/redfish/v1/Fabrics",
+                                       "#FabricCollection.FabricCollection", "Fabrics")
+                    .ok());
+    service_.RegisterFactory(
+        "/redfish/v1/Fabrics", "Fabric", [this](const Json& body) -> Result<std::string> {
+          const std::string uri = "/redfish/v1/Fabrics/" + body.GetString("Name");
+          OFMF_RETURN_IF_ERROR(tree_.Create(uri, "#Fabric.v1_3_0.Fabric", body));
+          OFMF_RETURN_IF_ERROR(tree_.AddMember("/redfish/v1/Fabrics", uri));
+          return uri;
+        });
+  }
+
+  http::Response Do(http::Method method, const std::string& target) {
+    return service_.Handle(http::MakeRequest(method, target));
+  }
+  http::Response DoJson(http::Method method, const std::string& target, const Json& body) {
+    return service_.Handle(http::MakeJsonRequest(method, target, body));
+  }
+
+  ResourceTree tree_;
+  RedfishService service_;
+};
+
+TEST_F(ServiceTest, GetServiceRoot) {
+  const http::Response response = Do(http::Method::kGet, "/redfish/v1");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.headers.Get("OData-Version"), "4.0");
+  const Json body = *Parse(response.body);
+  EXPECT_EQ(body.GetString("Name"), "root");
+}
+
+TEST_F(ServiceTest, GetMissingIs404WithRedfishError) {
+  const http::Response response = Do(http::Method::kGet, "/redfish/v1/Nope");
+  EXPECT_EQ(response.status, 404);
+  EXPECT_EQ(Parse(response.body)->at("error").GetString("code"),
+            "Base.1.0.ResourceMissingAtURI");
+}
+
+TEST_F(ServiceTest, PostCreatesViaFactory) {
+  const http::Response response =
+      DoJson(http::Method::kPost, "/redfish/v1/Fabrics",
+             Json::Obj({{"Name", "cxl0"}, {"FabricType", "CXL"}}));
+  EXPECT_EQ(response.status, 201);
+  EXPECT_EQ(response.headers.Get("Location"), "/redfish/v1/Fabrics/cxl0");
+  EXPECT_TRUE(tree_.Exists("/redfish/v1/Fabrics/cxl0"));
+  const Json collection = *Parse(Do(http::Method::kGet, "/redfish/v1/Fabrics").body);
+  EXPECT_EQ(collection.GetInt("Members@odata.count"), 1);
+}
+
+TEST_F(ServiceTest, PostInvalidBodyRejectedBySchema) {
+  const http::Response response = DoJson(http::Method::kPost, "/redfish/v1/Fabrics",
+                                         Json::Obj({{"Name", "missing-type"}}));
+  EXPECT_EQ(response.status, 400);
+  EXPECT_THAT(Parse(response.body)->at("error").GetString("message"),
+              HasSubstr("FabricType"));
+  EXPECT_FALSE(tree_.Exists("/redfish/v1/Fabrics/missing-type"));
+}
+
+TEST_F(ServiceTest, PostMalformedJsonRejected) {
+  http::Request request = http::MakeRequest(http::Method::kPost, "/redfish/v1/Fabrics");
+  request.body = "{not json";
+  EXPECT_EQ(service_.Handle(request).status, 400);
+}
+
+TEST_F(ServiceTest, PostToNonCollection405) {
+  const http::Response response =
+      DoJson(http::Method::kPost, "/redfish/v1", Json::Obj({{"a", 1}}));
+  EXPECT_EQ(response.status, 405);
+}
+
+TEST_F(ServiceTest, PatchValidatesAndBumpsEtag) {
+  DoJson(http::Method::kPost, "/redfish/v1/Fabrics",
+         Json::Obj({{"Name", "f"}, {"FabricType", "CXL"}}));
+  const http::Response ok_patch = DoJson(http::Method::kPatch, "/redfish/v1/Fabrics/f",
+                                         Json::Obj({{"MaxZones", 16}}));
+  EXPECT_EQ(ok_patch.status, 200);
+  EXPECT_EQ(Parse(ok_patch.body)->GetInt("MaxZones"), 16);
+  EXPECT_EQ(ok_patch.headers.Get("ETag"), "W/\"2\"");
+
+  const http::Response readonly_patch = DoJson(
+      http::Method::kPatch, "/redfish/v1/Fabrics/f", Json::Obj({{"Id", "hack"}}));
+  EXPECT_EQ(readonly_patch.status, 403);
+}
+
+TEST_F(ServiceTest, PatchIfMatchPreconditions) {
+  DoJson(http::Method::kPost, "/redfish/v1/Fabrics",
+         Json::Obj({{"Name", "f"}, {"FabricType", "CXL"}}));
+  http::Request request = http::MakeJsonRequest(
+      http::Method::kPatch, "/redfish/v1/Fabrics/f", Json::Obj({{"MaxZones", 4}}));
+  request.headers.Set("If-Match", "W/\"42\"");
+  EXPECT_EQ(service_.Handle(request).status, 412);
+  request.headers.Set("If-Match", tree_.ETagOf("/redfish/v1/Fabrics/f"));
+  EXPECT_EQ(service_.Handle(request).status, 200);
+}
+
+TEST_F(ServiceTest, ConditionalGetWith304) {
+  http::Request request = http::MakeRequest(http::Method::kGet, "/redfish/v1");
+  http::Response first = service_.Handle(request);
+  const std::string etag = first.headers.GetOr("ETag", "");
+  ASSERT_FALSE(etag.empty());
+  request.headers.Set("If-None-Match", etag);
+  const http::Response second = service_.Handle(request);
+  EXPECT_EQ(second.status, 304);
+  EXPECT_TRUE(second.body.empty());
+}
+
+TEST_F(ServiceTest, DeleteWithHookVeto) {
+  DoJson(http::Method::kPost, "/redfish/v1/Fabrics",
+         Json::Obj({{"Name", "prot"}, {"FabricType", "CXL"}}));
+  service_.RegisterDeleteHook("/redfish/v1/Fabrics", [](const std::string&) {
+    return Status::PermissionDenied("fabrics are permanent");
+  });
+  EXPECT_EQ(Do(http::Method::kDelete, "/redfish/v1/Fabrics/prot").status, 403);
+  EXPECT_TRUE(tree_.Exists("/redfish/v1/Fabrics/prot"));
+}
+
+TEST_F(ServiceTest, DeleteRemoves) {
+  DoJson(http::Method::kPost, "/redfish/v1/Fabrics",
+         Json::Obj({{"Name", "gone"}, {"FabricType", "CXL"}}));
+  EXPECT_EQ(Do(http::Method::kDelete, "/redfish/v1/Fabrics/gone").status, 204);
+  EXPECT_FALSE(tree_.Exists("/redfish/v1/Fabrics/gone"));
+}
+
+TEST_F(ServiceTest, ActionDispatch) {
+  service_.RegisterAction("Fabric.Reset",
+                          [](const std::string& uri, const Json& body) {
+                            return http::MakeJsonResponse(
+                                200, Json::Obj({{"Target", uri},
+                                                {"Type", body.GetString("ResetType")}}));
+                          });
+  DoJson(http::Method::kPost, "/redfish/v1/Fabrics",
+         Json::Obj({{"Name", "f"}, {"FabricType", "CXL"}}));
+  const http::Response response =
+      DoJson(http::Method::kPost, "/redfish/v1/Fabrics/f/Actions/Fabric.Reset",
+             Json::Obj({{"ResetType", "ForceRestart"}}));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(Parse(response.body)->GetString("Target"), "/redfish/v1/Fabrics/f");
+  EXPECT_EQ(Parse(response.body)->GetString("Type"), "ForceRestart");
+
+  EXPECT_EQ(DoJson(http::Method::kPost, "/redfish/v1/Fabrics/f/Actions/No.Such",
+                   Json::MakeObject())
+                .status,
+            400);
+  EXPECT_EQ(DoJson(http::Method::kPost, "/redfish/v1/Fabrics/nope/Actions/Fabric.Reset",
+                   Json::MakeObject())
+                .status,
+            404);
+}
+
+TEST_F(ServiceTest, CollectionQueryOptionsEndToEnd) {
+  for (int i = 0; i < 5; ++i) {
+    DoJson(http::Method::kPost, "/redfish/v1/Fabrics",
+           Json::Obj({{"Name", "f" + std::to_string(i)},
+                      {"FabricType", i % 2 == 0 ? "CXL" : "Ethernet"}}));
+  }
+  const Json page =
+      *Parse(Do(http::Method::kGet, "/redfish/v1/Fabrics?$skip=1&$top=2").body);
+  EXPECT_EQ(page.GetInt("Members@odata.count"), 5);
+  EXPECT_EQ(page.at("Members").as_array().size(), 2u);
+  EXPECT_THAT(page.GetString("@odata.nextLink"), HasSubstr("$skip=3"));
+
+  const Json filtered = *Parse(
+      Do(http::Method::kGet, "/redfish/v1/Fabrics?$filter=FabricType%20eq%20%27CXL%27")
+          .body);
+  EXPECT_EQ(filtered.at("Members").as_array().size(), 3u);
+
+  const Json expanded =
+      *Parse(Do(http::Method::kGet, "/redfish/v1/Fabrics?$expand=.").body);
+  EXPECT_EQ(expanded.at("Members").as_array()[0].GetString("FabricType"), "CXL");
+
+  const Json selected = *Parse(
+      Do(http::Method::kGet, "/redfish/v1/Fabrics/f0?$select=Name").body);
+  EXPECT_TRUE(selected.Contains("Name"));
+  EXPECT_FALSE(selected.Contains("FabricType"));
+  EXPECT_TRUE(selected.Contains("@odata.id"));
+}
+
+TEST_F(ServiceTest, MiddlewareShortCircuits) {
+  service_.SetMiddleware([](const http::Request& request)
+                             -> std::optional<http::Response> {
+    if (!request.headers.Contains("X-Auth-Token")) {
+      return ErrorResponse(401, "Base.1.0.NoValidSession", "authenticate first");
+    }
+    return std::nullopt;
+  });
+  EXPECT_EQ(Do(http::Method::kGet, "/redfish/v1").status, 401);
+  http::Request authed = http::MakeRequest(http::Method::kGet, "/redfish/v1");
+  authed.headers.Set("X-Auth-Token", "t");
+  EXPECT_EQ(service_.Handle(authed).status, 200);
+}
+
+TEST_F(ServiceTest, HeadMirrorsGetWithoutBody) {
+  const http::Response response = Do(http::Method::kHead, "/redfish/v1");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_TRUE(response.body.empty());
+  EXPECT_TRUE(response.headers.Contains("ETag"));
+}
+
+TEST_F(ServiceTest, PutReplaces) {
+  DoJson(http::Method::kPost, "/redfish/v1/Fabrics",
+         Json::Obj({{"Name", "f"}, {"FabricType", "CXL"}, {"MaxZones", 4}}));
+  const http::Response response =
+      DoJson(http::Method::kPut, "/redfish/v1/Fabrics/f",
+             Json::Obj({{"Name", "f"}, {"FabricType", "Ethernet"}}));
+  EXPECT_EQ(response.status, 200);
+  const Json doc = *Parse(response.body);
+  EXPECT_EQ(doc.GetString("FabricType"), "Ethernet");
+  EXPECT_FALSE(doc.Contains("MaxZones"));
+}
+
+TEST_F(ServiceTest, WorksOverTcpTransport) {
+  http::TcpServer server;
+  ASSERT_TRUE(server.Start(service_.Handler()).ok());
+  http::TcpClient client(server.port());
+  auto response = client.PostJson("/redfish/v1/Fabrics",
+                                  Json::Obj({{"Name", "wire"}, {"FabricType", "GenZ"}}));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 201);
+  auto fetched = client.Get("/redfish/v1/Fabrics/wire");
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(Parse(fetched->body)->GetString("FabricType"), "GenZ");
+  server.Stop();
+}
+
+// ------------------------------------------------------------- Swordfish ---
+
+TEST(SwordfishTest, PayloadBuilders) {
+  const Json service = swordfish::StorageService("beeond", "BeeOND", "/redfish/v1/SS/beeond");
+  EXPECT_EQ(service.GetString("Id"), "beeond");
+  EXPECT_EQ(service.at("StoragePools").GetString("@odata.id"),
+            "/redfish/v1/SS/beeond/StoragePools");
+
+  Json pool = swordfish::StoragePool("pool0", 1000, 250);
+  EXPECT_EQ(swordfish::PoolAllocatedBytes(pool), 1000u);
+  EXPECT_EQ(swordfish::PoolConsumedBytes(pool), 250u);
+  swordfish::SetPoolConsumed(pool, 700);
+  EXPECT_EQ(swordfish::PoolConsumedBytes(pool), 700u);
+
+  const Json volume = swordfish::Volume("v0", 4096, "RAID0");
+  EXPECT_EQ(volume.GetInt("CapacityBytes"), 4096);
+  EXPECT_EQ(volume.GetString("RAIDType"), "RAID0");
+
+  // Builders satisfy the built-in schemas.
+  const SchemaRegistry registry = SchemaRegistry::BuiltIn();
+  EXPECT_TRUE(registry.ValidateCreate("StoragePool", pool).ok());
+  EXPECT_TRUE(registry.ValidateCreate("Volume", volume).ok());
+}
+
+TEST(SwordfishTest, AccessorsOnMalformedPayloads) {
+  EXPECT_EQ(swordfish::PoolAllocatedBytes(Json::MakeObject()), 0u);
+  EXPECT_EQ(swordfish::PoolConsumedBytes(Json(5)), 0u);
+}
+
+}  // namespace
+}  // namespace ofmf::redfish

@@ -1,0 +1,173 @@
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include "composability/client.hpp"
+#include "composability/scheduler.hpp"
+#include "ofmf/service.hpp"
+
+namespace ofmf::composability {
+namespace {
+
+JobRequirement J(const std::string& name, int cores, double mem, double hours,
+                 int gpus = 0) {
+  JobRequirement job;
+  job.name = name;
+  job.cores = cores;
+  job.memory_gib = mem;
+  job.gpus = gpus;
+  job.duration_hours = hours;
+  return job;
+}
+
+// ---------------------------------------------------------------- Static ---
+
+TEST(StaticScheduleTest, SerializesWhenMachineTooSmall) {
+  // 2 nodes; every job needs 2 nodes -> strictly serial.
+  const std::vector<JobRequirement> jobs = {J("a", 112, 64, 1.0), J("b", 112, 64, 2.0),
+                                            J("c", 112, 64, 1.5)};
+  const ScheduleOutcome outcome = RunStaticSchedule(jobs, 2);
+  EXPECT_EQ(outcome.rejected, 0);
+  EXPECT_NEAR(outcome.makespan_hours, 4.5, 1e-9);
+  // b waits 1 h, c waits 3 h.
+  EXPECT_NEAR(ToSeconds(outcome.jobs[1].wait_time()) / 3600.0, 1.0, 1e-9);
+  EXPECT_NEAR(ToSeconds(outcome.jobs[2].wait_time()) / 3600.0, 3.0, 1e-9);
+}
+
+TEST(StaticScheduleTest, ParallelWhenItFits) {
+  const std::vector<JobRequirement> jobs = {J("a", 56, 64, 2.0), J("b", 56, 64, 2.0)};
+  const ScheduleOutcome outcome = RunStaticSchedule(jobs, 2);
+  EXPECT_NEAR(outcome.makespan_hours, 2.0, 1e-9);
+  EXPECT_NEAR(outcome.mean_wait_hours, 0.0, 1e-9);
+}
+
+TEST(StaticScheduleTest, BackfillOvertakesBlockedHead) {
+  // Head needs the whole 2-node machine; one node busy -> without backfill
+  // the small job waits behind it.
+  const std::vector<JobRequirement> jobs = {J("long", 56, 64, 4.0),
+                                            J("wide", 112, 64, 1.0),
+                                            J("small", 28, 32, 1.0)};
+  const ScheduleOutcome fifo = RunStaticSchedule(jobs, 2, {}, /*backfill=*/false);
+  const ScheduleOutcome backfilled = RunStaticSchedule(jobs, 2, {}, /*backfill=*/true);
+  // With backfill, "small" starts at t=0 next to "long".
+  EXPECT_EQ(backfilled.jobs[2].start_time, 0);
+  EXPECT_GT(fifo.jobs[2].start_time, 0);
+  EXPECT_LE(backfilled.makespan_hours, fifo.makespan_hours + 1e-9);
+}
+
+TEST(StaticScheduleTest, ImpossibleJobRejectedNotStalled) {
+  const std::vector<JobRequirement> jobs = {J("huge", 1120, 64, 1.0), J("ok", 28, 32, 1.0)};
+  const ScheduleOutcome outcome = RunStaticSchedule(jobs, 2);
+  EXPECT_EQ(outcome.rejected, 1);
+  EXPECT_TRUE(outcome.jobs[0].rejected);
+  EXPECT_EQ(outcome.jobs[1].start_time, 0);
+}
+
+TEST(StaticScheduleTest, GpuDimensionDrivesNodeCount) {
+  // 8 GPUs needed, 2 per node -> 4 nodes even though cores fit in one.
+  const std::vector<JobRequirement> jobs = {J("gpu", 8, 16, 1.0, 8)};
+  const ScheduleOutcome small = RunStaticSchedule(jobs, 2);
+  EXPECT_EQ(small.rejected, 1);
+  const ScheduleOutcome big = RunStaticSchedule(jobs, 4);
+  EXPECT_EQ(big.rejected, 0);
+}
+
+// ------------------------------------------------------------ Composable ---
+
+class ComposableSchedulerTest : public ::testing::Test {
+ protected:
+  ComposableSchedulerTest() {
+    EXPECT_TRUE(ofmf_.Bootstrap().ok());
+    client_ = std::make_unique<OfmfClient>(
+        std::make_unique<http::InProcessClient>(ofmf_.Handler()));
+    manager_ = std::make_unique<ComposabilityManager>(*client_);
+    // 4 compute blocks of 28 cores / 64 GiB.
+    for (int i = 0; i < 4; ++i) {
+      core::BlockCapability block;
+      block.id = "cpu-" + std::to_string(i);
+      block.block_type = "Compute";
+      block.cores = 28;
+      block.memory_gib = 64;
+      EXPECT_TRUE(ofmf_.composition().RegisterBlock(block).ok());
+    }
+  }
+
+  core::OfmfService ofmf_;
+  std::unique_ptr<OfmfClient> client_;
+  std::unique_ptr<ComposabilityManager> manager_;
+};
+
+TEST_F(ComposableSchedulerTest, RunsStreamToCompletionAndFreesPool) {
+  const std::vector<JobRequirement> jobs = {J("a", 56, 100, 1.0), J("b", 56, 100, 2.0),
+                                            J("c", 28, 32, 0.5), J("d", 112, 200, 1.0)};
+  ComposableScheduler scheduler(*manager_, Policy::kBestFit, true);
+  auto outcome = scheduler.Run(jobs, 112);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->rejected, 0);
+  for (const ScheduledJob& job : outcome->jobs) {
+    EXPECT_GE(job.start_time, 0) << job.requirement.name;
+    EXPECT_GT(job.end_time, job.start_time) << job.requirement.name;
+  }
+  EXPECT_GT(outcome->makespan_hours, 0.0);
+  EXPECT_GT(outcome->core_utilization, 0.0);
+  EXPECT_LE(outcome->core_utilization, 1.0);
+  // Every block returned to the pool.
+  EXPECT_EQ(ofmf_.composition().FreeBlockUris().size(), 4u);
+  EXPECT_TRUE(manager_->systems().empty());
+}
+
+TEST_F(ComposableSchedulerTest, ParallelJobsOverlap) {
+  const std::vector<JobRequirement> jobs = {J("a", 28, 32, 2.0), J("b", 28, 32, 2.0)};
+  ComposableScheduler scheduler(*manager_, Policy::kBestFit, true);
+  auto outcome = scheduler.Run(jobs, 112);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->jobs[0].start_time, 0);
+  EXPECT_EQ(outcome->jobs[1].start_time, 0);
+  EXPECT_NEAR(outcome->makespan_hours, 2.0, 1e-9);
+}
+
+TEST_F(ComposableSchedulerTest, QueuesWhenPoolBusy) {
+  // Each job takes the whole pool.
+  const std::vector<JobRequirement> jobs = {J("a", 112, 256, 1.0), J("b", 112, 256, 1.0)};
+  ComposableScheduler scheduler(*manager_, Policy::kBestFit, true);
+  auto outcome = scheduler.Run(jobs, 112);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_NEAR(outcome->makespan_hours, 2.0, 1e-9);
+  EXPECT_NEAR(ToSeconds(outcome->jobs[1].wait_time()) / 3600.0, 1.0, 1e-9);
+}
+
+TEST_F(ComposableSchedulerTest, UnsatisfiableJobRejected) {
+  const std::vector<JobRequirement> jobs = {J("impossible", 1000, 64, 1.0),
+                                            J("fine", 28, 32, 1.0)};
+  ComposableScheduler scheduler(*manager_, Policy::kBestFit, true);
+  auto outcome = scheduler.Run(jobs, 112);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->rejected, 1);
+  EXPECT_TRUE(outcome->jobs[0].rejected);
+  EXPECT_FALSE(outcome->jobs[1].rejected);
+  EXPECT_EQ(ofmf_.composition().FreeBlockUris().size(), 4u);
+}
+
+TEST_F(ComposableSchedulerTest, BackfillImprovesOrEqualsFifo) {
+  const std::vector<JobRequirement> jobs = {J("long", 56, 128, 4.0),
+                                            J("wide", 112, 256, 1.0),
+                                            J("small", 28, 32, 1.0)};
+  ComposableScheduler fifo(*manager_, Policy::kBestFit, /*backfill=*/false);
+  auto fifo_outcome = fifo.Run(jobs, 112);
+  ASSERT_TRUE(fifo_outcome.ok());
+  ComposableScheduler backfilled(*manager_, Policy::kBestFit, /*backfill=*/true);
+  auto backfill_outcome = backfilled.Run(jobs, 112);
+  ASSERT_TRUE(backfill_outcome.ok());
+  EXPECT_LE(backfill_outcome->makespan_hours, fifo_outcome->makespan_hours + 1e-9);
+  EXPECT_EQ(backfill_outcome->jobs[2].start_time, 0);  // small backfilled at t=0
+}
+
+TEST_F(ComposableSchedulerTest, EmptyStreamIsTrivial) {
+  ComposableScheduler scheduler(*manager_, Policy::kBestFit, true);
+  auto outcome = scheduler.Run({}, 112);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->makespan_hours, 0.0);
+  EXPECT_EQ(outcome->rejected, 0);
+}
+
+}  // namespace
+}  // namespace ofmf::composability

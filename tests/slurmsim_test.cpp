@@ -1,0 +1,241 @@
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "common/hostlist.hpp"
+#include "slurmsim/slurm.hpp"
+
+namespace ofmf::slurmsim {
+namespace {
+
+using ::testing::ElementsAre;
+using ::testing::HasSubstr;
+
+class SlurmTest : public ::testing::Test {
+ protected:
+  SlurmTest() {
+    cluster::ClusterSpec spec;
+    spec.node_count = 8;
+    machine_ = std::make_unique<cluster::Cluster>(spec);
+    slurm_ = std::make_unique<SlurmManager>(*machine_, clock_);
+  }
+
+  SimClock clock_;
+  std::unique_ptr<cluster::Cluster> machine_;
+  std::unique_ptr<SlurmManager> slurm_;
+};
+
+TEST_F(SlurmTest, SubmitAllocatesContiguousNodesAndEnv) {
+  JobSpec spec;
+  spec.name = "hpl";
+  spec.node_count = 4;
+  spec.constraints = {"beeond"};
+  auto id = slurm_->Submit(spec);
+  ASSERT_TRUE(id.ok());
+  const Job job = *slurm_->GetJob(*id);
+  EXPECT_EQ(job.state, JobState::kRunning);
+  EXPECT_THAT(job.hosts, ElementsAre("node001", "node002", "node003", "node004"));
+  EXPECT_EQ(job.env.at("SLURM_NODELIST"), "node[001-004]");
+  EXPECT_EQ(job.env.at("SLURM_JOB_CONSTRAINTS"), "beeond");
+  EXPECT_EQ(job.env.at("SLURM_NNODES"), "4");
+  EXPECT_EQ(job.env.at("SLURM_JOB_ID"), std::to_string(*id));
+}
+
+TEST_F(SlurmTest, SecondJobGetsDisjointNodes) {
+  JobSpec spec;
+  spec.node_count = 3;
+  auto first = slurm_->Submit(spec);
+  ASSERT_TRUE(first.ok());
+  auto second = slurm_->Submit(spec);
+  ASSERT_TRUE(second.ok());
+  const Job job2 = *slurm_->GetJob(*second);
+  EXPECT_THAT(job2.hosts, ElementsAre("node004", "node005", "node006"));
+  EXPECT_EQ(slurm_->BusyHosts().size(), 6u);
+}
+
+TEST_F(SlurmTest, AllocationExhaustion) {
+  JobSpec spec;
+  spec.node_count = 8;
+  ASSERT_TRUE(slurm_->Submit(spec).ok());
+  spec.node_count = 1;
+  EXPECT_EQ(slurm_->Submit(spec).status().code(), ErrorCode::kResourceExhausted);
+  JobSpec zero;
+  zero.node_count = 0;
+  EXPECT_FALSE(slurm_->Submit(zero).ok());
+}
+
+TEST_F(SlurmTest, DrainedNodesSkipped) {
+  (*machine_->Node("node001"))->SetDrained(true);
+  JobSpec spec;
+  spec.node_count = 2;
+  auto id = slurm_->Submit(spec);
+  ASSERT_TRUE(id.ok());
+  EXPECT_THAT(slurm_->GetJob(*id)->hosts, ElementsAre("node002", "node003"));
+}
+
+TEST_F(SlurmTest, PrologsRunPerNodeInParallelCostingTheMax) {
+  std::vector<std::string> prolog_hosts;
+  slurm_->AddProlog([&](const Job&, const std::string& host) -> ScriptResult {
+    prolog_hosts.push_back(host);
+    // node002 is slow; the job should pay only the max, not the sum.
+    return {Status::Ok(), host == "node002" ? Millis(500) : Millis(100)};
+  });
+  JobSpec spec;
+  spec.node_count = 3;
+  const SimTime before = clock_.now();
+  auto id = slurm_->Submit(spec);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(prolog_hosts.size(), 3u);
+  EXPECT_EQ(slurm_->GetJob(*id)->prolog_duration, Millis(500));
+  EXPECT_EQ(clock_.now() - before, Millis(500));
+}
+
+TEST_F(SlurmTest, ConstraintDrivenPrologMatchesPaperToggle) {
+  int beeond_starts = 0;
+  slurm_->AddProlog([&](const Job& job, const std::string&) -> ScriptResult {
+    if (job.HasConstraint("beeond")) ++beeond_starts;
+    return {};
+  });
+  JobSpec plain;
+  plain.node_count = 2;
+  ASSERT_TRUE(slurm_->Submit(plain).ok());
+  EXPECT_EQ(beeond_starts, 0);
+  JobSpec with_constraint;
+  with_constraint.node_count = 2;
+  with_constraint.constraints = {"beeond"};
+  ASSERT_TRUE(slurm_->Submit(with_constraint).ok());
+  EXPECT_EQ(beeond_starts, 2);  // once per allocated node
+}
+
+TEST_F(SlurmTest, PrologFailureDrainsNodeFailsJobAndLogs) {
+  slurm_->AddProlog([&](const Job&, const std::string& host) -> ScriptResult {
+    if (host == "node002") return {Status::Unavailable("udev rule failed"), 0};
+    return {};
+  });
+  JobSpec spec;
+  spec.node_count = 3;
+  const auto submitted = slurm_->Submit(spec);
+  EXPECT_FALSE(submitted.ok());
+  EXPECT_TRUE((*machine_->Node("node002"))->drained());
+  ASSERT_EQ(slurm_->log().size(), 1u);
+  EXPECT_THAT(slurm_->log()[0], HasSubstr("node002"));
+  EXPECT_THAT(slurm_->log()[0], HasSubstr("drained"));
+  const auto jobs = slurm_->Jobs();
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].state, JobState::kFailed);
+  EXPECT_THAT(jobs[0].failure_reason, HasSubstr("udev"));
+  // The failed job holds no nodes.
+  EXPECT_TRUE(slurm_->BusyHosts().empty());
+}
+
+TEST_F(SlurmTest, CompleteRunsEpilogAndFreesNodes) {
+  int epilogs = 0;
+  slurm_->AddEpilog([&](const Job&, const std::string&) -> ScriptResult {
+    ++epilogs;
+    return {Status::Ok(), Millis(200)};
+  });
+  JobSpec spec;
+  spec.node_count = 2;
+  auto id = slurm_->Submit(spec);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(slurm_->Complete(*id).ok());
+  EXPECT_EQ(epilogs, 2);
+  const Job job = *slurm_->GetJob(*id);
+  EXPECT_EQ(job.state, JobState::kCompleted);
+  EXPECT_EQ(job.epilog_duration, Millis(200));
+  EXPECT_TRUE(slurm_->BusyHosts().empty());
+  // Completing twice fails.
+  EXPECT_EQ(slurm_->Complete(*id).code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(SlurmTest, EpilogFailureDrainsAndFails) {
+  slurm_->AddEpilog([&](const Job&, const std::string& host) -> ScriptResult {
+    if (host == "node001") return {Status::Internal("reformat failed"), 0};
+    return {};
+  });
+  JobSpec spec;
+  spec.node_count = 2;
+  auto id = slurm_->Submit(spec);
+  ASSERT_TRUE(id.ok());
+  EXPECT_FALSE(slurm_->Complete(*id).ok());
+  EXPECT_EQ(slurm_->GetJob(*id)->state, JobState::kFailed);
+  EXPECT_TRUE((*machine_->Node("node001"))->drained());
+}
+
+TEST_F(SlurmTest, CancelAndLookupErrors) {
+  JobSpec spec;
+  spec.node_count = 1;
+  auto id = slurm_->Submit(spec);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(slurm_->Cancel(*id).ok());
+  EXPECT_EQ(slurm_->GetJob(*id)->state, JobState::kCancelled);
+  EXPECT_EQ(slurm_->Cancel(*id).code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(slurm_->Cancel(999).code(), ErrorCode::kNotFound);
+  EXPECT_FALSE(slurm_->GetJob(999).ok());
+  EXPECT_EQ(slurm_->Complete(999).code(), ErrorCode::kNotFound);
+  EXPECT_TRUE(slurm_->BusyHosts().empty());
+}
+
+TEST_F(SlurmTest, InteractiveJobsShareTheSamePath) {
+  JobSpec spec;
+  spec.node_count = 1;
+  spec.interactive = true;
+  spec.constraints = {"beeond"};
+  auto id = slurm_->Submit(spec);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(slurm_->GetJob(*id)->state, JobState::kRunning);
+}
+
+TEST_F(SlurmTest, NodelistRoundTripsThroughHostlist) {
+  JobSpec spec;
+  spec.node_count = 5;
+  auto id = slurm_->Submit(spec);
+  ASSERT_TRUE(id.ok());
+  const Job job = *slurm_->GetJob(*id);
+  const auto expanded = ExpandHostlist(job.env.at("SLURM_NODELIST"));
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_EQ(*expanded, job.hosts);
+  EXPECT_EQ(LowestHost(*expanded), "node001");
+}
+
+TEST_F(SlurmTest, NodeFailureKillsRunningJobsAndDrains) {
+  JobSpec spec;
+  spec.node_count = 3;
+  auto victim = slurm_->Submit(spec);
+  ASSERT_TRUE(victim.ok());
+  spec.node_count = 2;
+  auto survivor = slurm_->Submit(spec);
+  ASSERT_TRUE(survivor.ok());
+
+  ASSERT_TRUE(slurm_->FailNode("node002", "ECC storm").ok());
+  EXPECT_EQ(slurm_->GetJob(*victim)->state, JobState::kFailed);
+  EXPECT_THAT(slurm_->GetJob(*victim)->failure_reason, HasSubstr("NODE_FAIL node002"));
+  EXPECT_EQ(slurm_->GetJob(*survivor)->state, JobState::kRunning);  // disjoint nodes
+  EXPECT_TRUE((*machine_->Node("node002"))->drained());
+  // The failed job's nodes are free again; the drained one is excluded.
+  JobSpec refill;
+  refill.node_count = 2;
+  auto refill_id = slurm_->Submit(refill);
+  ASSERT_TRUE(refill_id.ok());
+  const Job refill_job = *slurm_->GetJob(*refill_id);
+  for (const std::string& host : refill_job.hosts) {
+    EXPECT_NE(host, "node002");
+  }
+  // Completing the dead job is rejected.
+  EXPECT_EQ(slurm_->Complete(*victim).code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(SlurmTest, FailNodeWithoutJobsJustDrains) {
+  ASSERT_TRUE(slurm_->FailNode("node007", "preventive").ok());
+  EXPECT_TRUE((*machine_->Node("node007"))->drained());
+  EXPECT_FALSE(slurm_->log().empty());
+  EXPECT_EQ(slurm_->FailNode("ghost", "x").code(), ErrorCode::kNotFound);
+}
+
+TEST(SlurmStateTest, Names) {
+  EXPECT_STREQ(to_string(JobState::kRunning), "RUNNING");
+  EXPECT_STREQ(to_string(JobState::kFailed), "FAILED");
+}
+
+}  // namespace
+}  // namespace ofmf::slurmsim

@@ -1,0 +1,206 @@
+// Concurrency and robustness: the ResourceTree and the full OFMF service
+// hammered from parallel clients (in-process and TCP), event-flood
+// behaviour, and hostile wire input. Sized for a small CI box.
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/threadpool.hpp"
+#include "composability/client.hpp"
+#include "json/parse.hpp"
+#include "ofmf/service.hpp"
+#include "ofmf/uris.hpp"
+#include "redfish/tree.hpp"
+
+namespace ofmf {
+namespace {
+
+using json::Json;
+
+TEST(TreeConcurrency, ParallelPatchesAllLand) {
+  redfish::ResourceTree tree;
+  ASSERT_TRUE(tree.Create("/r", "#T.v1_0_0.T", Json::Obj({{"count", 0}})).ok());
+  constexpr int kThreads = 8;
+  constexpr int kPatchesPerThread = 200;
+  {
+    ThreadPool pool(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      pool.Submit([&tree, t] {
+        for (int i = 0; i < kPatchesPerThread; ++i) {
+          const std::string key = "t" + std::to_string(t) + "-" + std::to_string(i);
+          ASSERT_TRUE(tree.Patch("/r", Json::Obj({{key, 1}})).ok());
+        }
+      });
+    }
+    pool.Drain();
+  }
+  // Every patch merged; version counted every mutation.
+  const Json doc = *tree.Get("/r");
+  EXPECT_EQ(doc.as_object().size(),
+            static_cast<std::size_t>(kThreads * kPatchesPerThread) + 4);  // +count +3 annot
+  EXPECT_EQ(tree.ETagOf("/r"), "W/\"" + std::to_string(kThreads * kPatchesPerThread + 1) +
+                                   "\"");
+}
+
+TEST(TreeConcurrency, ParallelCreateDeleteDisjointUris) {
+  redfish::ResourceTree tree;
+  constexpr int kThreads = 8;
+  {
+    ThreadPool pool(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      pool.Submit([&tree, t] {
+        for (int i = 0; i < 100; ++i) {
+          const std::string uri = "/x/" + std::to_string(t) + "/" + std::to_string(i);
+          ASSERT_TRUE(tree.Create(uri, "#T.v1_0_0.T", Json::Obj({{"i", i}})).ok());
+          if (i % 2 == 0) {
+            ASSERT_TRUE(tree.Delete(uri).ok());
+          }
+        }
+      });
+    }
+    pool.Drain();
+  }
+  EXPECT_EQ(tree.size(), 8u * 50u);
+}
+
+TEST(TreeConcurrency, ListenersSafeUnderConcurrentMutation) {
+  redfish::ResourceTree tree;
+  std::atomic<int> events{0};
+  const auto token = tree.Subscribe([&](const redfish::ChangeEvent&) {
+    events.fetch_add(1);
+  });
+  {
+    ThreadPool pool(4);
+    for (int t = 0; t < 4; ++t) {
+      pool.Submit([&tree, t] {
+        for (int i = 0; i < 100; ++i) {
+          ASSERT_TRUE(tree.Create("/n/" + std::to_string(t) + "/" + std::to_string(i),
+                                  "#T.v1_0_0.T", Json::MakeObject())
+                          .ok());
+        }
+      });
+    }
+    pool.Drain();
+  }
+  tree.Unsubscribe(token);
+  EXPECT_EQ(events.load(), 400);
+}
+
+TEST(OfmfStress, ParallelTcpClientsMixedWorkload) {
+  core::OfmfService ofmf;
+  ASSERT_TRUE(ofmf.Bootstrap().ok());
+  for (int i = 0; i < 16; ++i) {
+    core::BlockCapability block;
+    block.id = "blk" + std::to_string(i);
+    block.block_type = "Compute";
+    block.cores = 8;
+    block.memory_gib = 16;
+    ASSERT_TRUE(ofmf.composition().RegisterBlock(block).ok());
+  }
+  http::TcpServer server;
+  ASSERT_TRUE(server.Start(ofmf.Handler()).ok());
+
+  std::atomic<int> failures{0};
+  std::atomic<int> composed{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 6; ++c) {
+    clients.emplace_back([&, c] {
+      composability::OfmfClient client(
+          std::make_unique<http::TcpClient>(server.port()));
+      for (int i = 0; i < 20; ++i) {
+        if (!client.Get(core::kServiceRoot).ok()) failures.fetch_add(1);
+        if (!client.Get(core::kResourceBlocks).ok()) failures.fetch_add(1);
+        // Half the clients also try to compose/decompose; contention on the
+        // same blocks is expected and must fail cleanly, never corrupt.
+        if (c % 2 == 0) {
+          auto system = client.Post(
+              core::kSystems,
+              Json::Obj({{"Name", "stress"},
+                         {"Links",
+                          Json::Obj({{"ResourceBlocks",
+                                      Json::Arr({Json::Obj(
+                                          {{"@odata.id",
+                                            std::string(core::kResourceBlocks) + "/blk" +
+                                                std::to_string((c + i) % 16)}})})}})}}));
+          if (system.ok()) {
+            composed.fetch_add(1);
+            if (!client.Delete(*system).ok()) failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.Stop();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(composed.load(), 0);
+  // All blocks must be free again (no leaked claims).
+  EXPECT_EQ(ofmf.composition().FreeBlockUris().size(), 16u);
+}
+
+TEST(OfmfStress, EventFloodDrainsCompletely) {
+  core::OfmfService ofmf;
+  ASSERT_TRUE(ofmf.Bootstrap().ok());
+  auto sub = ofmf.events().Subscribe(*json::Parse(
+      R"({"Destination":"ofmf-internal://flood","Protocol":"OEM"})"));
+  ASSERT_TRUE(sub.ok());
+  constexpr int kEvents = 5000;
+  for (int i = 0; i < kEvents; ++i) {
+    core::Event event;
+    event.event_type = "Alert";
+    event.message_id = "Stress.1.0.E";
+    event.message = "event " + std::to_string(i);
+    event.origin = core::kServiceRoot;
+    ofmf.events().Publish(event);
+  }
+  auto drained = ofmf.events().Drain(*sub);
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(drained->size(), static_cast<std::size_t>(kEvents));
+  // Ordered delivery.
+  EXPECT_EQ((*drained)[0].at("Events").as_array()[0].GetString("Message"), "event 0");
+  EXPECT_EQ((*drained)[kEvents - 1].at("Events").as_array()[0].GetString("Message"),
+            "event " + std::to_string(kEvents - 1));
+}
+
+TEST(WireHostility, GarbageInputNeverCrashesServer) {
+  core::OfmfService ofmf;
+  ASSERT_TRUE(ofmf.Bootstrap().ok());
+  http::TcpServer server;
+  ASSERT_TRUE(server.Start(ofmf.Handler()).ok());
+
+  // Raw garbage over the socket; then a well-formed request must still work.
+  {
+    http::TcpClient probe(server.port());
+    // Malformed JSON body to a POST endpoint.
+    http::Request bad = http::MakeRequest(http::Method::kPost, core::kSessions);
+    bad.body = "\x01\x02{{{{ not json";
+    auto response = probe.Send(bad);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->status, 400);
+  }
+  {
+    http::TcpClient ok_client(server.port());
+    auto response = ok_client.Get(core::kServiceRoot);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->status, 200);
+  }
+  server.Stop();
+}
+
+TEST(WireHostility, DeeplyNestedJsonBodyRejectedNotCrashed) {
+  core::OfmfService ofmf;
+  ASSERT_TRUE(ofmf.Bootstrap().ok());
+  std::string deep = "{\"UserName\":";
+  for (int i = 0; i < 300; ++i) deep += "[";
+  for (int i = 0; i < 300; ++i) deep += "]";
+  deep += "}";
+  http::Request request = http::MakeRequest(http::Method::kPost, core::kSessions);
+  request.body = deep;
+  const http::Response response = ofmf.Handle(request);
+  EXPECT_EQ(response.status, 400);
+}
+
+}  // namespace
+}  // namespace ofmf
