@@ -1,0 +1,276 @@
+// Read-path fast lane measurement: mixed GET/PATCH workloads at multiple
+// reader thread counts over the in-process and TCP transports, plus the
+// 10^4-resource repeated-collection-GET workload with the serialized-response
+// cache on and off. Emits machine-readable BENCH_read_path.json (ops/s,
+// p50/p99 latency, cache hit rate) so future PRs can track the trajectory.
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/stats.hpp"
+#include "composability/client.hpp"
+#include "http/server.hpp"
+#include "json/serialize.hpp"
+#include "ofmf/service.hpp"
+#include "ofmf/uris.hpp"
+
+using namespace ofmf;
+using json::Json;
+
+namespace {
+
+constexpr int kResources = 10000;
+
+struct WorkloadResult {
+  int threads = 1;
+  double ops_per_s = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double cache_hit_rate = 0.0;
+};
+
+Json ToJson(const WorkloadResult& r) {
+  return Json::Obj({{"threads", r.threads},
+                    {"ops_per_s", r.ops_per_s},
+                    {"p50_ms", r.p50_ms},
+                    {"p99_ms", r.p99_ms},
+                    {"cache_hit_rate", r.cache_hit_rate}});
+}
+
+std::string LeafUri(const std::string& endpoints_uri, int i) {
+  return endpoints_uri + "/ep" + std::to_string(i);
+}
+
+/// Builds an OFMF with one fabric of `kResources` endpoints.
+std::unique_ptr<core::OfmfService> BuildService(std::string& endpoints_uri) {
+  auto ofmf = std::make_unique<core::OfmfService>();
+  if (!ofmf->Bootstrap().ok()) return nullptr;
+  if (!ofmf->CreateFabricSkeleton("Big", "Ethernet", "bench-agent").ok()) return nullptr;
+  endpoints_uri = core::FabricUri("Big") + "/Endpoints";
+  for (int i = 0; i < kResources; ++i) {
+    const std::string uri = LeafUri(endpoints_uri, i);
+    (void)ofmf->tree().Create(
+        uri, "#Endpoint.v1_8_0.Endpoint",
+        Json::Obj({{"Id", "ep" + std::to_string(i)},
+                   {"Name", "endpoint " + std::to_string(i)},
+                   {"EndpointProtocol", "Ethernet"},
+                   {"Status", Json::Obj({{"State", "Enabled"}, {"Health", "OK"}})}}));
+    (void)ofmf->tree().AddMember(endpoints_uri, uri);
+  }
+  return ofmf;
+}
+
+/// `iters` sequential GETs of `target`; returns per-op latencies (ms).
+std::vector<double> TimedGets(http::HttpClient& client, const std::string& target,
+                              int iters) {
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(static_cast<std::size_t>(iters));
+  for (int i = 0; i < iters; ++i) {
+    Stopwatch op;
+    auto response = client.Send(http::MakeRequest(http::Method::kGet, target));
+    latencies_ms.push_back(op.ElapsedSeconds() * 1000.0);
+    if (!response.ok() || response->status != 200) {
+      std::fprintf(stderr, "GET %s failed\n", target.c_str());
+      std::exit(1);
+    }
+  }
+  return latencies_ms;
+}
+
+WorkloadResult Summarize(int threads, std::vector<double> latencies_ms,
+                         double wall_seconds, double hit_rate) {
+  WorkloadResult result;
+  result.threads = threads;
+  result.ops_per_s =
+      wall_seconds <= 0 ? 0.0 : static_cast<double>(latencies_ms.size()) / wall_seconds;
+  result.p50_ms = Percentile(latencies_ms, 50.0);
+  result.p99_ms = Percentile(std::move(latencies_ms), 99.0);
+  result.cache_hit_rate = hit_rate;
+  return result;
+}
+
+/// Mixed workload: each of `threads` workers issues `ops_per_thread`
+/// requests against its own client; a request is a PATCH with probability
+/// `patch_percent`/100, else a GET of a random leaf.
+WorkloadResult RunMixed(core::OfmfService& ofmf, const std::string& endpoints_uri,
+                        int threads, int ops_per_thread, int patch_percent,
+                        const std::function<std::unique_ptr<http::HttpClient>()>&
+                            make_client) {
+  const redfish::ResponseCacheStats before = ofmf.rest().response_cache().stats();
+  std::vector<std::vector<double>> per_thread(static_cast<std::size_t>(threads));
+  std::vector<std::thread> workers;
+  Stopwatch wall;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      std::unique_ptr<http::HttpClient> client = make_client();
+      std::mt19937 rng(static_cast<unsigned>(1234 + t));
+      std::uniform_int_distribution<int> pick(0, kResources - 1);
+      std::uniform_int_distribution<int> coin(0, 99);
+      auto& samples = per_thread[static_cast<std::size_t>(t)];
+      samples.reserve(static_cast<std::size_t>(ops_per_thread));
+      for (int i = 0; i < ops_per_thread; ++i) {
+        const std::string uri = LeafUri(endpoints_uri, pick(rng));
+        Stopwatch op;
+        if (coin(rng) < patch_percent) {
+          (void)client->Send(http::MakeJsonRequest(
+              http::Method::kPatch, uri,
+              Json::Obj({{"Name", "patched " + std::to_string(i)}})));
+        } else {
+          (void)client->Send(http::MakeRequest(http::Method::kGet, uri));
+        }
+        samples.push_back(op.ElapsedSeconds() * 1000.0);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double wall_seconds = wall.ElapsedSeconds();
+
+  std::vector<double> all;
+  for (auto& samples : per_thread) all.insert(all.end(), samples.begin(), samples.end());
+  const redfish::ResponseCacheStats after = ofmf.rest().response_cache().stats();
+  const std::uint64_t hits = after.hits - before.hits;
+  const std::uint64_t lookups = hits + (after.misses - before.misses);
+  const double hit_rate =
+      lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);
+  return Summarize(threads, std::move(all), wall_seconds, hit_rate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_read_path.json";
+  std::string endpoints_uri;
+  std::unique_ptr<core::OfmfService> ofmf = BuildService(endpoints_uri);
+  if (ofmf == nullptr) return 1;
+  redfish::ResponseCache& cache = ofmf->rest().response_cache();
+  http::InProcessClient inproc(ofmf->Handler());
+
+  Json results = Json::MakeObject();
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  std::printf("read-path fast lane: %d resources, in-process + TCP transports\n",
+              kResources);
+  std::printf("hardware threads: %u (reader scaling is bounded by this; on one\n"
+              "core, flat throughput across thread counts is the no-contention\n"
+              "ideal -- lock contention would show as degradation)\n\n",
+              hw_threads);
+  results.as_object().Set("hardware_threads", Json(static_cast<double>(hw_threads)));
+
+  // --- Repeated collection GET, cache off vs on (the 10^4-member body). ---
+  constexpr int kColdIters = 20;
+  constexpr int kWarmIters = 200;
+  cache.set_enabled(false);
+  Stopwatch cold_wall;
+  std::vector<double> cold = TimedGets(inproc, endpoints_uri, kColdIters);
+  const double cold_seconds = cold_wall.ElapsedSeconds();
+  const WorkloadResult uncached = Summarize(1, std::move(cold), cold_seconds, 0.0);
+
+  cache.set_enabled(true);
+  (void)TimedGets(inproc, endpoints_uri, 1);  // prime
+  const redfish::ResponseCacheStats warm_before = cache.stats();
+  Stopwatch warm_wall;
+  std::vector<double> warm = TimedGets(inproc, endpoints_uri, kWarmIters);
+  const double warm_seconds = warm_wall.ElapsedSeconds();
+  const redfish::ResponseCacheStats warm_after = cache.stats();
+  const double warm_hit_rate =
+      static_cast<double>(warm_after.hits - warm_before.hits) /
+      static_cast<double>(kWarmIters);
+  const WorkloadResult cached = Summarize(1, std::move(warm), warm_seconds, warm_hit_rate);
+
+  const double speedup =
+      cached.ops_per_s <= 0 ? 0.0 : cached.ops_per_s / (uncached.ops_per_s <= 0
+                                                            ? 1.0
+                                                            : uncached.ops_per_s);
+  std::printf("collection GET (%d members), in-process:\n", kResources);
+  std::printf("  uncached: %9.1f ops/s  p50 %7.3f ms  p99 %7.3f ms\n",
+              uncached.ops_per_s, uncached.p50_ms, uncached.p99_ms);
+  std::printf("  cached:   %9.1f ops/s  p50 %7.3f ms  p99 %7.3f ms  hit rate %.3f\n",
+              cached.ops_per_s, cached.p50_ms, cached.p99_ms, cached.cache_hit_rate);
+  std::printf("  speedup:  %.1fx %s\n\n", speedup,
+              speedup >= 5.0 ? "(>= 5x target met)" : "(BELOW 5x target)");
+  results.as_object().Set(
+      "collection_10k",
+      Json::Obj({{"members", kResources},
+                 {"uncached", ToJson(uncached)},
+                 {"cached", ToJson(cached)},
+                 {"speedup", speedup}}));
+
+  // --- Leaf GETs at growing reader counts (shared-lock + cache scaling). ---
+  const auto make_inproc = [&]() -> std::unique_ptr<http::HttpClient> {
+    return std::make_unique<http::InProcessClient>(ofmf->Handler());
+  };
+  std::printf("leaf GET only, in-process (cache on):\n");
+  Json leaf_get = Json::MakeArray();
+  for (int threads : {1, 2, 4, 8}) {
+    cache.Clear();
+    const WorkloadResult r =
+        RunMixed(*ofmf, endpoints_uri, threads, 20000 / threads, 0, make_inproc);
+    std::printf("  %d thread(s): %9.1f ops/s  p50 %7.4f ms  p99 %7.4f ms  hits %.3f\n",
+                threads, r.ops_per_s, r.p50_ms, r.p99_ms, r.cache_hit_rate);
+    leaf_get.as_array().push_back(ToJson(r));
+  }
+  results.as_object().Set("leaf_get_inproc", std::move(leaf_get));
+
+  std::printf("\nmixed 95%% GET / 5%% PATCH, in-process (cache on):\n");
+  Json leaf_mixed = Json::MakeArray();
+  for (int threads : {1, 2, 4, 8}) {
+    cache.Clear();
+    const WorkloadResult r =
+        RunMixed(*ofmf, endpoints_uri, threads, 20000 / threads, 5, make_inproc);
+    std::printf("  %d thread(s): %9.1f ops/s  p50 %7.4f ms  p99 %7.4f ms  hits %.3f\n",
+                threads, r.ops_per_s, r.p50_ms, r.p99_ms, r.cache_hit_rate);
+    leaf_mixed.as_array().push_back(ToJson(r));
+  }
+  results.as_object().Set("leaf_mixed_inproc", std::move(leaf_mixed));
+
+  // --- Same mixed workload over the TCP transport. ---
+  http::TcpServer server;
+  if (!server.Start(ofmf->Handler()).ok()) return 1;
+  const auto make_tcp = [&]() -> std::unique_ptr<http::HttpClient> {
+    return std::make_unique<http::TcpClient>(server.port());
+  };
+  std::printf("\nmixed 95%% GET / 5%% PATCH, TCP loopback (cache on):\n");
+  Json tcp_mixed = Json::MakeArray();
+  for (int threads : {1, 4}) {
+    cache.Clear();
+    const WorkloadResult r =
+        RunMixed(*ofmf, endpoints_uri, threads, 400, 5, make_tcp);
+    std::printf("  %d thread(s): %9.1f ops/s  p50 %7.4f ms  p99 %7.4f ms  hits %.3f\n",
+                threads, r.ops_per_s, r.p50_ms, r.p99_ms, r.cache_hit_rate);
+    tcp_mixed.as_array().push_back(ToJson(r));
+  }
+  server.Stop();
+  results.as_object().Set("leaf_mixed_tcp", std::move(tcp_mixed));
+
+  // --- Client-side conditional GET: a manager poll loop riding 304s. ---
+  {
+    composability::OfmfClient client(
+        std::make_unique<http::InProcessClient>(ofmf->Handler()));
+    constexpr int kPolls = 500;
+    Stopwatch poll_wall;
+    for (int i = 0; i < kPolls; ++i) {
+      if (!client.Get(endpoints_uri).ok()) return 1;
+    }
+    const double poll_seconds = poll_wall.ElapsedSeconds();
+    const double not_modified_rate =
+        static_cast<double>(client.etag_cache_hits()) / static_cast<double>(kPolls);
+    std::printf("\nclient poll loop (%d GETs of the %d-member collection): "
+                "%.1f ops/s, %.3f answered 304\n",
+                kPolls, kResources, kPolls / poll_seconds, not_modified_rate);
+    results.as_object().Set(
+        "client_etag_cache",
+        Json::Obj({{"polls", kPolls},
+                   {"ops_per_s", kPolls / poll_seconds},
+                   {"not_modified_rate", not_modified_rate}}));
+  }
+
+  std::ofstream out(out_path);
+  out << json::SerializePretty(results) << "\n";
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -46,11 +46,46 @@ Status OfmfClient::Login(const std::string& user, const std::string& password) {
   return Status::Ok();
 }
 
+void OfmfClient::ClearEtagCache() {
+  etag_cache_.clear();
+  etag_cache_order_.clear();
+}
+
+void OfmfClient::Remember(const std::string& target, std::string etag,
+                          const json::Json& body) {
+  auto it = etag_cache_.find(target);
+  if (it != etag_cache_.end()) {
+    it->second = CachedGet{std::move(etag), body};
+    return;
+  }
+  while (etag_cache_.size() >= kMaxCachedGets && !etag_cache_order_.empty()) {
+    etag_cache_.erase(etag_cache_order_.front());
+    etag_cache_order_.pop_front();
+  }
+  etag_cache_order_.push_back(target);
+  etag_cache_[target] = CachedGet{std::move(etag), body};
+}
+
 Result<json::Json> OfmfClient::Get(const std::string& uri) {
-  auto response = transport_->Send(Decorate(http::MakeRequest(http::Method::kGet, uri)));
+  http::Request request = Decorate(http::MakeRequest(http::Method::kGet, uri));
+  auto cached = etag_cache_.find(uri);
+  if (cached != etag_cache_.end()) {
+    request.headers.Set("If-None-Match", cached->second.etag);
+  }
+  auto response = transport_->Send(request);
   if (!response.ok()) return response.status();
+  if (response->status == 304 && cached != etag_cache_.end()) {
+    ++etag_cache_hits_;
+    return cached->second.body;
+  }
   OFMF_RETURN_IF_ERROR(ToStatus(*response));
-  return json::Parse(response->body);
+  ++etag_cache_misses_;
+  Result<json::Json> body = json::Parse(response->body);
+  if (body.ok()) {
+    const std::string etag = response->headers.GetOr("ETag", "");
+    if (!etag.empty()) Remember(uri, etag, *body);
+  }
+  return body;
 }
 
 Result<std::string> OfmfClient::Post(const std::string& uri, const json::Json& body) {

@@ -2,8 +2,18 @@
 // give it an InProcessClient bound to an OfmfService or a TcpClient against
 // a remote one — the paper's point is that clients never see the fabric
 // technology underneath.
+//
+// GETs ride conditional requests: the client remembers the ETag and parsed
+// body of each URI it reads, sends If-None-Match on the next read, and on
+// 304 Not Modified reuses the cached body — so manager poll loops cost the
+// server a snapshot lookup instead of a serialization, and cost the client
+// nothing to reparse. Like the rest of this class, the cache is not
+// synchronized; use one OfmfClient per thread.
 #pragma once
 
+#include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -34,12 +44,31 @@ class OfmfClient {
 
   const std::string& token() const { return token_; }
 
+  /// Conditional-GET bookkeeping: how many GETs were answered from the
+  /// client cache via 304, and how many URIs are currently cached.
+  std::uint64_t etag_cache_hits() const { return etag_cache_hits_; }
+  std::uint64_t etag_cache_misses() const { return etag_cache_misses_; }
+  std::size_t etag_cache_size() const { return etag_cache_.size(); }
+  void ClearEtagCache();
+
  private:
+  struct CachedGet {
+    std::string etag;
+    json::Json body;
+  };
+
   http::Request Decorate(http::Request request) const;
   static Status ToStatus(const http::Response& response);
+  void Remember(const std::string& target, std::string etag, const json::Json& body);
+
+  static constexpr std::size_t kMaxCachedGets = 1024;
 
   std::unique_ptr<http::HttpClient> transport_;
   std::string token_;
+  std::map<std::string, CachedGet> etag_cache_;
+  std::deque<std::string> etag_cache_order_;  // FIFO eviction
+  std::uint64_t etag_cache_hits_ = 0;
+  std::uint64_t etag_cache_misses_ = 0;
 };
 
 }  // namespace ofmf::composability

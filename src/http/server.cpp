@@ -173,6 +173,8 @@ Result<Response> TcpClient::Send(const Request& request) {
   }
 
   WireParser parser(WireParser::Mode::kResponse);
+  // A HEAD response advertises the GET's Content-Length but carries no body.
+  parser.set_bodyless_response(request.method == Method::kHead);
   char buffer[16384];
   while (!parser.HasMessage()) {
     const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);

@@ -62,7 +62,8 @@ class TcpServer {
   void AcceptLoop();
   void ServeConnection(int fd);
 
-  int listen_fd_ = -1;
+  // Atomic: Stop() closes and resets the fd while AcceptLoop blocks on it.
+  std::atomic<int> listen_fd_{-1};
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::thread accept_thread_;

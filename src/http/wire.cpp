@@ -97,6 +97,7 @@ bool WireParser::HasMessage() const {
   std::size_t header_end = 0;
   std::size_t content_length = 0;
   if (!HeadersComplete(header_end, content_length)) return false;
+  if (mode_ == Mode::kResponse && bodyless_response_) content_length = 0;
   return buffer_.size() >= header_end + 4 + content_length;
 }
 
@@ -139,8 +140,11 @@ Result<Request> WireParser::TakeRequest() {
 Result<Response> WireParser::TakeResponse() {
   std::size_t header_end = 0;
   std::size_t content_length = 0;
-  if (!HeadersComplete(header_end, content_length) ||
-      buffer_.size() < header_end + 4 + content_length) {
+  if (!HeadersComplete(header_end, content_length)) {
+    return Status::FailedPrecondition("no complete message buffered");
+  }
+  if (bodyless_response_) content_length = 0;  // HEAD: headers only
+  if (buffer_.size() < header_end + 4 + content_length) {
     return Status::FailedPrecondition("no complete message buffered");
   }
   const std::string head = buffer_.substr(0, header_end);

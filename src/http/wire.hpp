@@ -20,6 +20,11 @@ class WireParser {
   enum class Mode { kRequest, kResponse };
   explicit WireParser(Mode mode) : mode_(mode) {}
 
+  /// HEAD-response mode (RFC 9110 §9.3.2): the peer sends Content-Length
+  /// describing the GET body but no body octets follow the header block.
+  /// Set before Feed() when the request that elicited the response was HEAD.
+  void set_bodyless_response(bool bodyless) { bodyless_response_ = bodyless; }
+
   /// Appends raw bytes from the peer.
   void Feed(std::string_view bytes);
 
@@ -39,6 +44,7 @@ class WireParser {
 
   Mode mode_;
   std::string buffer_;
+  bool bodyless_response_ = false;
   mutable bool broken_ = false;
 };
 

@@ -55,6 +55,7 @@ Status EventService::Bootstrap() {
 }
 
 Result<std::string> EventService::Subscribe(const json::Json& body) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const std::string destination = body.GetString("Destination");
   if (destination.empty()) {
     return Status::InvalidArgument("Destination is required");
@@ -85,6 +86,7 @@ Result<std::string> EventService::Subscribe(const json::Json& body) {
 }
 
 Status EventService::Unsubscribe(const std::string& subscription_uri) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = subscriptions_.find(subscription_uri);
   if (it == subscriptions_.end()) {
     return Status::NotFound("no subscription at " + subscription_uri);
@@ -98,6 +100,7 @@ Status EventService::Unsubscribe(const std::string& subscription_uri) {
 }
 
 void EventService::Publish(const Event& event) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const std::uint64_t sequence = ++sequence_;
   const json::Json payload = event.ToJson(sequence, clock_.now());
   for (auto& [uri, subscription] : subscriptions_) {
@@ -139,6 +142,7 @@ void EventService::Publish(const Event& event) {
 }
 
 Result<std::vector<json::Json>> EventService::Drain(const std::string& subscription_uri) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = subscriptions_.find(subscription_uri);
   if (it == subscriptions_.end()) {
     return Status::NotFound("no subscription at " + subscription_uri);
@@ -155,6 +159,7 @@ void EventService::OnTreeChange(const redfish::ChangeEvent& change) {
       strings::StartsWith(change.uri, kSessions)) {
     return;
   }
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (in_publish_) return;
   in_publish_ = true;
   Event event;

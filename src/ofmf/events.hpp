@@ -6,10 +6,12 @@
 // automatically.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -56,13 +58,16 @@ class EventService {
   void set_client_factory(ClientFactory factory) { client_factory_ = std::move(factory); }
 
   /// Number of events ever published (delivered or not).
-  std::uint64_t published_count() const { return sequence_; }
-  std::size_t subscription_count() const { return subscriptions_.size(); }
+  std::uint64_t published_count() const { return sequence_.load(); }
+  std::size_t subscription_count() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return subscriptions_.size();
+  }
 
   /// Delivery failures (push destination unreachable after every retry).
-  std::uint64_t delivery_failures() const { return delivery_failures_; }
+  std::uint64_t delivery_failures() const { return delivery_failures_.load(); }
   /// Individual retry attempts that were needed (successful or not).
-  std::uint64_t delivery_retries() const { return delivery_retries_; }
+  std::uint64_t delivery_retries() const { return delivery_retries_.load(); }
   /// Push attempts per event per destination (the advertised
   /// DeliveryRetryAttempts); must be >= 1.
   void set_retry_attempts(int attempts) { retry_attempts_ = attempts < 1 ? 1 : attempts; }
@@ -80,14 +85,19 @@ class EventService {
 
   redfish::ResourceTree& tree_;
   SimClock& clock_;
+  // Tree mutations notify listeners outside the tree's write lock, so
+  // concurrent writers reach this service in parallel; recursive because a
+  // push delivery can loop back through our own HTTP handler and re-enter
+  // Publish on the same thread (see in_publish_).
+  mutable std::recursive_mutex mu_;
   std::map<std::string, Subscription> subscriptions_;
   std::uint64_t next_id_ = 1;
-  std::uint64_t sequence_ = 0;
-  std::uint64_t delivery_failures_ = 0;
-  std::uint64_t delivery_retries_ = 0;
+  std::atomic<std::uint64_t> sequence_{0};
+  std::atomic<std::uint64_t> delivery_failures_{0};
+  std::atomic<std::uint64_t> delivery_retries_{0};
   int retry_attempts_ = 3;
   std::uint64_t tree_token_ = 0;
-  bool in_publish_ = false;  // guards re-entrant tree writes
+  bool in_publish_ = false;  // guards re-entrant tree writes; under mu_
   ClientFactory client_factory_;
 };
 

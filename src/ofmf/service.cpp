@@ -163,8 +163,10 @@ void OfmfService::WireRoutes() {
   rest_.SetMiddleware([this](const http::Request& request)
                           -> std::optional<http::Response> {
     if (!sessions_.auth_required()) return std::nullopt;
-    // Unauthenticated surface: the root document and session creation.
-    if (request.path == kServiceRoot && request.method == http::Method::kGet) {
+    // Unauthenticated surface: the root document (GET or HEAD, per RFC 9110
+    // HEAD is GET minus the body) and session creation.
+    if (request.path == kServiceRoot && (request.method == http::Method::kGet ||
+                                         request.method == http::Method::kHead)) {
       return std::nullopt;
     }
     if (request.path == kSessions && request.method == http::Method::kPost) {
@@ -279,6 +281,14 @@ std::size_t OfmfService::ProcessPendingWork() {
 }
 
 http::Response OfmfService::Handle(const http::Request& request) {
+  // Lazy refresh of the read-path cache counters: reading the ResponseCache
+  // MetricReport first syncs it from the live cache (no-op when the counters
+  // have not moved since the last sync; other telemetry reads are untouched).
+  if ((request.method == http::Method::kGet || request.method == http::Method::kHead) &&
+      http::NormalizePath(request.path) == TelemetryService::ResponseCacheReportUri()) {
+    (void)telemetry_.UpdateResponseCacheReport(rest_.response_cache().stats());
+  }
+
   // Asynchronous composition: Redfish's "Prefer: respond-async". The POST
   // is validated lazily by the deferred composition; the client gets a Task
   // monitor immediately (202) and polls it.

@@ -56,6 +56,51 @@ Status TelemetryService::PushReport(const std::string& report_id,
   return Status::Ok();
 }
 
+std::string TelemetryService::ResponseCacheReportUri() {
+  return std::string(kMetricReports) + "/ResponseCache";
+}
+
+Status TelemetryService::UpdateResponseCacheReport(
+    const redfish::ResponseCacheStats& stats) {
+  std::lock_guard<std::mutex> lock(cache_report_mu_);
+  if (cache_report_exists_ && stats.hits == last_cache_stats_.hits &&
+      stats.misses == last_cache_stats_.misses &&
+      stats.evictions == last_cache_stats_.evictions &&
+      stats.invalidations == last_cache_stats_.invalidations) {
+    return Status::Ok();
+  }
+  const std::string uri = ResponseCacheReportUri();
+  const std::string timestamp = FormatSimTimestamp(clock_.now());
+  const auto counter = [&](const char* id, double value) {
+    return json::Json::Obj({{"MetricId", id},
+                            {"MetricValue", value},
+                            {"MetricProperty", "/redfish/v1 read path"},
+                            {"Timestamp", timestamp}});
+  };
+  json::Json payload = json::Json::Obj({
+      {"Id", "ResponseCache"},
+      {"Name", "Read-path serialized-response cache counters"},
+      {"ReportSequence", 0},
+      {"MetricValues",
+       json::Json::Arr({counter("CacheHits", static_cast<double>(stats.hits)),
+                        counter("CacheMisses", static_cast<double>(stats.misses)),
+                        counter("CacheEvictions", static_cast<double>(stats.evictions)),
+                        counter("CacheInvalidations",
+                                static_cast<double>(stats.invalidations)),
+                        counter("CacheHitRate", stats.hit_rate())})},
+  });
+  if (cache_report_exists_ || tree_.Exists(uri)) {
+    OFMF_RETURN_IF_ERROR(tree_.Replace(uri, std::move(payload)));
+  } else {
+    OFMF_RETURN_IF_ERROR(
+        tree_.Create(uri, "#MetricReport.v1_4_2.MetricReport", std::move(payload)));
+    OFMF_RETURN_IF_ERROR(tree_.AddMember(kMetricReports, uri));
+  }
+  cache_report_exists_ = true;
+  last_cache_stats_ = stats;
+  return Status::Ok();
+}
+
 Result<json::Json> TelemetryService::GetReport(const std::string& report_id) const {
   return tree_.Get(std::string(kMetricReports) + "/" + report_id);
 }

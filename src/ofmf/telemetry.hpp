@@ -4,6 +4,7 @@
 // MetricReport events.
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "common/result.hpp"
 #include "json/value.hpp"
 #include "ofmf/events.hpp"
+#include "redfish/cache.hpp"
 #include "redfish/tree.hpp"
 
 namespace ofmf::core {
@@ -34,10 +36,24 @@ class TelemetryService {
   Result<json::Json> GetReport(const std::string& report_id) const;
   std::vector<std::string> ReportIds() const;
 
+  /// Creates-or-replaces the "ResponseCache" MetricReport with the read-path
+  /// cache counters (hits, misses, evictions, invalidations, hit rate).
+  /// Quiet: no-op when the counters are unchanged since the last push, and
+  /// never fires a MetricReport event (the report mirrors service-internal
+  /// state rather than hardware telemetry).
+  Status UpdateResponseCacheReport(const redfish::ResponseCacheStats& stats);
+
+  /// URI of the read-path cache report.
+  static std::string ResponseCacheReportUri();
+
  private:
   redfish::ResourceTree& tree_;
   EventService& events_;
   SimClock& clock_;
+
+  std::mutex cache_report_mu_;
+  redfish::ResponseCacheStats last_cache_stats_;
+  bool cache_report_exists_ = false;
 };
 
 }  // namespace ofmf::core

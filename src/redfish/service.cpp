@@ -2,6 +2,7 @@
 
 #include "common/strings.hpp"
 #include "http/uri.hpp"
+#include "json/serialize.hpp"
 #include "odata/annotations.hpp"
 #include "odata/filter.hpp"
 #include "odata/query.hpp"
@@ -28,10 +29,43 @@ bool IsCollection(const json::Json& doc) {
   return members != nullptr && members->is_array();
 }
 
+/// RFC 9110 If-None-Match: comma-separated list of entity tags, or "*".
+bool ETagMatches(const std::string& if_none_match, const std::string& etag) {
+  if (etag.empty()) return false;
+  if (strings::Trim(if_none_match) == "*") return true;
+  std::size_t pos = 0;
+  while (pos <= if_none_match.size()) {
+    std::size_t comma = if_none_match.find(',', pos);
+    if (comma == std::string::npos) comma = if_none_match.size();
+    if (strings::Trim(std::string_view(if_none_match).substr(pos, comma - pos)) == etag) {
+      return true;
+    }
+    pos = comma + 1;
+  }
+  return false;
+}
+
+http::Response NotModifiedResponse(const std::string& etag) {
+  http::Response not_modified = http::MakeEmptyResponse(304);
+  not_modified.headers.Set("ETag", etag);
+  return not_modified;
+}
+
+void SetGetHeaders(http::Response& response, const std::string& etag) {
+  if (!etag.empty()) response.headers.Set("ETag", etag);
+  response.headers.Set("OData-Version", "4.0");
+  response.headers.Set("Allow", "GET, HEAD, POST, PATCH, PUT, DELETE");
+}
+
 }  // namespace
 
 RedfishService::RedfishService(ResourceTree& tree, SchemaRegistry registry)
-    : tree_(tree), registry_(std::move(registry)) {}
+    : tree_(tree), registry_(std::move(registry)) {
+  cache_subscription_ = tree_.Subscribe(
+      [this](const ChangeEvent& event) { cache_.Invalidate(event.uri); });
+}
+
+RedfishService::~RedfishService() { tree_.Unsubscribe(cache_subscription_); }
 
 void RedfishService::RegisterFactory(const std::string& collection_uri,
                                      const std::string& type, Factory factory) {
@@ -69,57 +103,133 @@ http::Response RedfishService::Handle(const http::Request& request) {
   }
 }
 
-http::Response RedfishService::HandleGet(const http::Request& request) {
-  Result<json::Json> doc = tree_.Get(request.path);
-  if (!doc.ok()) return ErrorResponse(doc.status());
-
-  auto options = odata::ParseQueryOptions(request.query);
-  if (!options.ok()) return ErrorResponse(options.status());
-
-  json::Json payload = std::move(*doc);
-  const std::string etag = payload.GetString("@odata.etag");
-
-  // Conditional GET.
-  const std::string if_none_match = request.headers.GetOr("If-None-Match", "");
-  if (!if_none_match.empty() && if_none_match == etag) {
-    http::Response not_modified = http::MakeEmptyResponse(304);
-    not_modified.headers.Set("ETag", etag);
-    return not_modified;
-  }
+Result<json::Json> RedfishService::BuildGetPayload(const std::string& path,
+                                                   const ResourceTree::SnapshotPtr& snapshot,
+                                                   const odata::QueryOptions& options,
+                                                   bool& cacheable) {
+  cacheable = true;
+  json::Json payload = snapshot->payload;
+  odata::Stamp(payload, path, snapshot->odata_type, snapshot->etag);
 
   if (IsCollection(payload)) {
+    // Member documents pulled into the body from outside this collection's
+    // subtree escape ancestor-based invalidation; such bodies stay uncached.
+    const std::string subtree = path + "/";
+    const auto covered = [&](const std::string& member_uri) {
+      return strings::StartsWith(member_uri, subtree);
+    };
     // $filter: evaluate against each member's full document.
-    if (!options->filter.empty()) {
-      auto filter = odata::Filter::Compile(options->filter);
-      if (!filter.ok()) return ErrorResponse(filter.status());
+    if (!options.filter.empty()) {
+      auto filter = odata::Filter::Compile(options.filter);
+      if (!filter.ok()) return filter.status();
       json::Json* members = payload.as_object().Find("Members");
       json::Array kept;
       for (const json::Json& entry : members->as_array()) {
-        Result<json::Json> member_doc = tree_.Get(odata::IdOf(entry));
+        const std::string member_uri = odata::IdOf(entry);
+        if (!covered(member_uri)) cacheable = false;
+        Result<json::Json> member_doc = tree_.Get(member_uri);
         if (member_doc.ok() && filter->Matches(*member_doc)) kept.push_back(entry);
       }
       members->as_array() = std::move(kept);
     }
-    odata::ApplyPaging(payload, *options, request.path);
-    if (options->expand) {
-      odata::ApplyExpand(payload,
-                         [this](const std::string& uri) { return tree_.Get(uri); });
+    odata::ApplyPaging(payload, options, path);
+    if (options.expand) {
+      odata::ApplyExpand(payload, [&](const std::string& uri) {
+        if (!covered(uri)) cacheable = false;
+        return tree_.Get(uri);
+      });
     }
   }
-  odata::ApplySelect(payload, options->select);
+  odata::ApplySelect(payload, options.select);
+  return payload;
+}
 
-  http::Response response = http::MakeJsonResponse(200, payload);
-  if (!etag.empty()) response.headers.Set("ETag", etag);
-  response.headers.Set("OData-Version", "4.0");
-  response.headers.Set("Allow", "GET, HEAD, POST, PATCH, PUT, DELETE");
+http::Response RedfishService::HandleGet(const http::Request& request) {
+  const std::string path = http::NormalizePath(request.path);
+  // Generation fence *before* the snapshot: an invalidation racing this read
+  // rejects the cache insert below, so a cached body always matches the
+  // member state its ETag was current for.
+  const std::uint64_t read_generation = cache_.BeginRead(path);
+  const ResourceTree::SnapshotPtr snapshot = tree_.GetSnapshot(path);
+  if (snapshot == nullptr) return ErrorResponse(Status::NotFound("no resource at " + path));
+
+  auto options = odata::ParseQueryOptions(request.query);
+  if (!options.ok()) return ErrorResponse(options.status());
+
+  const std::string& etag = snapshot->etag;
+
+  // Conditional GET.
+  const std::string if_none_match = request.headers.GetOr("If-None-Match", "");
+  if (!if_none_match.empty() && ETagMatches(if_none_match, etag)) {
+    return NotModifiedResponse(etag);
+  }
+
+  const std::string query = NormalizeQuery(request.query);
+  if (std::optional<std::string> cached = cache_.Lookup(path, etag, query)) {
+    http::Response response;
+    response.status = 200;
+    response.body = std::move(*cached);
+    response.headers.Set("Content-Type", "application/json");
+    SetGetHeaders(response, etag);
+    return response;
+  }
+
+  bool cacheable = true;
+  Result<json::Json> payload = BuildGetPayload(path, snapshot, *options, cacheable);
+  if (!payload.ok()) return ErrorResponse(payload.status());
+
+  std::string body = json::Serialize(*payload);
+  if (cacheable) cache_.Insert(path, etag, query, body, read_generation);
+
+  http::Response response;
+  response.status = 200;
+  response.body = std::move(body);
+  response.headers.Set("Content-Type", "application/json");
+  SetGetHeaders(response, etag);
   return response;
 }
 
 http::Response RedfishService::HandleHead(const http::Request& request) {
-  http::Request as_get = request;
-  as_get.method = http::Method::kGet;
-  http::Response response = HandleGet(as_get);
-  response.body.clear();
+  const std::string path = http::NormalizePath(request.path);
+  const ResourceTree::SnapshotPtr snapshot = tree_.GetSnapshot(path);
+  if (snapshot == nullptr) {
+    http::Response error = ErrorResponse(Status::NotFound("no resource at " + path));
+    error.body.clear();
+    return error;
+  }
+  auto options = odata::ParseQueryOptions(request.query);
+  if (!options.ok()) {
+    http::Response error = ErrorResponse(options.status());
+    error.body.clear();
+    return error;
+  }
+  const std::string& etag = snapshot->etag;
+  const std::string if_none_match = request.headers.GetOr("If-None-Match", "");
+  if (!if_none_match.empty() && ETagMatches(if_none_match, etag)) {
+    return NotModifiedResponse(etag);
+  }
+
+  // Answer from the cached serialized form when possible: Content-Length
+  // without building or serializing a body that would be thrown away.
+  const std::string query = NormalizeQuery(request.query);
+  std::size_t content_length = 0;
+  if (std::optional<std::string> cached = cache_.Lookup(path, etag, query)) {
+    content_length = cached->size();
+  } else {
+    http::Request as_get = request;
+    as_get.method = http::Method::kGet;
+    http::Response full = HandleGet(as_get);  // also seeds the cache
+    if (full.status != 200) {
+      full.body.clear();
+      return full;
+    }
+    content_length = full.body.size();
+  }
+  http::Response response;
+  response.status = 200;
+  response.headers.Set("Content-Type", "application/json");
+  response.headers.Set("Content-Length", std::to_string(content_length));
+  SetGetHeaders(response, etag);
   return response;
 }
 

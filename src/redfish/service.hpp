@@ -12,6 +12,8 @@
 
 #include "http/message.hpp"
 #include "http/server.hpp"
+#include "odata/query.hpp"
+#include "redfish/cache.hpp"
 #include "redfish/schemas.hpp"
 #include "redfish/tree.hpp"
 
@@ -33,6 +35,9 @@ using DeleteHook = std::function<Status(const std::string& uri)>;
 class RedfishService {
  public:
   RedfishService(ResourceTree& tree, SchemaRegistry registry);
+  ~RedfishService();
+  RedfishService(const RedfishService&) = delete;
+  RedfishService& operator=(const RedfishService&) = delete;
 
   /// POST to `collection_uri` creates via `factory` (factory owns tree
   /// writes; service validates against `type` first when non-empty).
@@ -59,6 +64,11 @@ class RedfishService {
   ResourceTree& tree() { return tree_; }
   const SchemaRegistry& schemas() const { return registry_; }
 
+  /// Serialized-response cache on the GET/HEAD path (invalidated via the
+  /// tree's change listener; disable for uncached baselines).
+  ResponseCache& response_cache() { return cache_; }
+  const ResponseCache& response_cache() const { return cache_; }
+
  private:
   http::Response HandleGet(const http::Request& request);
   http::Response HandleHead(const http::Request& request);
@@ -70,8 +80,18 @@ class RedfishService {
   /// Type tag of a tree resource ("" when absent).
   std::string TypeOf(const std::string& uri) const;
 
+  /// Builds the stamped (and query-shaped) document for a GET of `snapshot`;
+  /// sets `cacheable` false when the body embeds state from outside the
+  /// resource's own subtree (then ancestor invalidation cannot cover it).
+  Result<json::Json> BuildGetPayload(const std::string& path,
+                                     const ResourceTree::SnapshotPtr& snapshot,
+                                     const odata::QueryOptions& options,
+                                     bool& cacheable);
+
   ResourceTree& tree_;
   SchemaRegistry registry_;
+  ResponseCache cache_;
+  std::uint64_t cache_subscription_ = 0;
   std::map<std::string, std::pair<std::string, Factory>> factories_;
   std::map<std::string, ActionHandler> actions_;
   std::map<std::string, DeleteHook> delete_hooks_;

@@ -19,16 +19,28 @@ std::string ResourceTree::MakeETag(std::uint64_t version) {
   return "W/\"" + std::to_string(version) + "\"";
 }
 
+ResourceTree::SnapshotPtr ResourceTree::MakeSnapshot(json::Json payload,
+                                                     std::string odata_type,
+                                                     std::uint64_t version) {
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->payload = std::move(payload);
+  snapshot->odata_type = std::move(odata_type);
+  snapshot->version = version;
+  snapshot->etag = MakeETag(version);
+  return snapshot;
+}
+
 Status ResourceTree::Create(const std::string& uri, const std::string& odata_type,
                             json::Json payload) {
   const std::string key = http::NormalizePath(uri);
+  if (!payload.is_object()) payload = json::Json::MakeObject();
+  SnapshotPtr snapshot = MakeSnapshot(std::move(payload), odata_type, 1);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock lock(mu_);
     if (entries_.count(key) != 0) {
       return Status::AlreadyExists("resource already exists: " + key);
     }
-    if (!payload.is_object()) payload = json::Json::MakeObject();
-    entries_[key] = Entry{std::move(payload), odata_type, 1};
+    entries_[key] = std::move(snapshot);
   }
   Notify({ChangeKind::kCreated, key, odata_type});
   return Status::Ok();
@@ -40,34 +52,41 @@ Status ResourceTree::CreateCollection(const std::string& uri, const std::string&
   return Create(uri, odata_type, std::move(payload));
 }
 
+ResourceTree::SnapshotPtr ResourceTree::GetSnapshot(const std::string& uri) const {
+  const std::string key = http::NormalizePath(uri);
+  std::shared_lock lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  return it->second;
+}
+
 Result<json::Json> ResourceTree::Get(const std::string& uri) const {
   const std::string key = http::NormalizePath(uri);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) return Status::NotFound("no resource at " + key);
-  json::Json doc = it->second.payload;
-  odata::Stamp(doc, key, it->second.odata_type, MakeETag(it->second.version));
+  SnapshotPtr snapshot = GetSnapshot(key);
+  if (snapshot == nullptr) return Status::NotFound("no resource at " + key);
+  // Copy + stamp outside the lock; the snapshot is immutable.
+  json::Json doc = snapshot->payload;
+  odata::Stamp(doc, key, snapshot->odata_type, snapshot->etag);
   return doc;
 }
 
 Result<json::Json> ResourceTree::GetRaw(const std::string& uri) const {
-  const std::string key = http::NormalizePath(uri);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) return Status::NotFound("no resource at " + key);
-  return it->second.payload;
+  SnapshotPtr snapshot = GetSnapshot(uri);
+  if (snapshot == nullptr) {
+    return Status::NotFound("no resource at " + http::NormalizePath(uri));
+  }
+  return snapshot->payload;
 }
 
 bool ResourceTree::Exists(const std::string& uri) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return entries_.count(http::NormalizePath(uri)) != 0;
+  const std::string key = http::NormalizePath(uri);
+  std::shared_lock lock(mu_);
+  return entries_.count(key) != 0;
 }
 
 std::string ResourceTree::ETagOf(const std::string& uri) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(http::NormalizePath(uri));
-  if (it == entries_.end()) return "";
-  return MakeETag(it->second.version);
+  SnapshotPtr snapshot = GetSnapshot(uri);
+  return snapshot == nullptr ? "" : snapshot->etag;
 }
 
 Status ResourceTree::Patch(const std::string& uri, const json::Json& merge_patch,
@@ -75,16 +94,18 @@ Status ResourceTree::Patch(const std::string& uri, const json::Json& merge_patch
   const std::string key = http::NormalizePath(uri);
   std::string type;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock lock(mu_);
     auto it = entries_.find(key);
     if (it == entries_.end()) return Status::NotFound("no resource at " + key);
-    if (!if_match.empty() && if_match != MakeETag(it->second.version)) {
+    const Snapshot& current = *it->second;
+    if (!if_match.empty() && if_match != current.etag) {
       return Status::FailedPrecondition("ETag mismatch for " + key + ": expected " +
-                                        MakeETag(it->second.version) + ", got " + if_match);
+                                        current.etag + ", got " + if_match);
     }
-    json::MergePatch(it->second.payload, merge_patch);
-    ++it->second.version;
-    type = it->second.odata_type;
+    json::Json next = current.payload;
+    json::MergePatch(next, merge_patch);
+    it->second = MakeSnapshot(std::move(next), current.odata_type, current.version + 1);
+    type = it->second->odata_type;
   }
   Notify({ChangeKind::kModified, key, type});
   return Status::Ok();
@@ -94,12 +115,12 @@ Status ResourceTree::Replace(const std::string& uri, json::Json payload) {
   const std::string key = http::NormalizePath(uri);
   std::string type;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock lock(mu_);
     auto it = entries_.find(key);
     if (it == entries_.end()) return Status::NotFound("no resource at " + key);
-    it->second.payload = std::move(payload);
-    ++it->second.version;
-    type = it->second.odata_type;
+    const Snapshot& current = *it->second;
+    it->second = MakeSnapshot(std::move(payload), current.odata_type, current.version + 1);
+    type = it->second->odata_type;
   }
   Notify({ChangeKind::kModified, key, type});
   return Status::Ok();
@@ -109,10 +130,10 @@ Status ResourceTree::Delete(const std::string& uri) {
   const std::string key = http::NormalizePath(uri);
   std::string type;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock lock(mu_);
     auto it = entries_.find(key);
     if (it == entries_.end()) return Status::NotFound("no resource at " + key);
-    type = it->second.odata_type;
+    type = it->second->odata_type;
     entries_.erase(it);
   }
   Notify({ChangeKind::kDeleted, key, type});
@@ -125,19 +146,22 @@ Status ResourceTree::AddMember(const std::string& collection_uri,
   const std::string member = http::NormalizePath(member_uri);
   std::string type;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock lock(mu_);
     auto it = entries_.find(key);
     if (it == entries_.end()) return Status::NotFound("no collection at " + key);
-    json::Json* members = it->second.payload.as_object().Find("Members");
+    const Snapshot& current = *it->second;
+    const json::Json* members =
+        current.payload.is_object() ? current.payload.as_object().Find("Members") : nullptr;
     if (members == nullptr || !members->is_array()) {
       return Status::FailedPrecondition(key + " is not a collection");
     }
     for (const json::Json& entry : members->as_array()) {
       if (odata::IdOf(entry) == member) return Status::Ok();  // idempotent
     }
-    members->as_array().push_back(odata::Ref(member));
-    ++it->second.version;
-    type = it->second.odata_type;
+    json::Json next = current.payload;
+    next.as_object().Find("Members")->as_array().push_back(odata::Ref(member));
+    it->second = MakeSnapshot(std::move(next), current.odata_type, current.version + 1);
+    type = it->second->odata_type;
   }
   Notify({ChangeKind::kModified, key, type});
   return Status::Ok();
@@ -149,21 +173,24 @@ Status ResourceTree::RemoveMember(const std::string& collection_uri,
   const std::string member = http::NormalizePath(member_uri);
   std::string type;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock lock(mu_);
     auto it = entries_.find(key);
     if (it == entries_.end()) return Status::NotFound("no collection at " + key);
-    json::Json* members = it->second.payload.as_object().Find("Members");
+    const Snapshot& current = *it->second;
+    const json::Json* members =
+        current.payload.is_object() ? current.payload.as_object().Find("Members") : nullptr;
     if (members == nullptr || !members->is_array()) {
       return Status::FailedPrecondition(key + " is not a collection");
     }
-    json::Array& arr = members->as_array();
+    json::Json next = current.payload;
+    json::Array& arr = next.as_object().Find("Members")->as_array();
     const std::size_t before = arr.size();
     std::erase_if(arr, [&](const json::Json& entry) { return odata::IdOf(entry) == member; });
     if (arr.size() == before) {
       return Status::NotFound(member + " not a member of " + key);
     }
-    ++it->second.version;
-    type = it->second.odata_type;
+    it->second = MakeSnapshot(std::move(next), current.odata_type, current.version + 1);
+    type = it->second->odata_type;
   }
   Notify({ChangeKind::kModified, key, type});
   return Status::Ok();
@@ -171,10 +198,11 @@ Status ResourceTree::RemoveMember(const std::string& collection_uri,
 
 Result<std::vector<std::string>> ResourceTree::Members(
     const std::string& collection_uri) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(http::NormalizePath(collection_uri));
-  if (it == entries_.end()) return Status::NotFound("no collection at " + collection_uri);
-  const json::Json* members = it->second.payload.as_object().Find("Members");
+  SnapshotPtr snapshot = GetSnapshot(collection_uri);
+  if (snapshot == nullptr) return Status::NotFound("no collection at " + collection_uri);
+  const json::Json* members = snapshot->payload.is_object()
+                                  ? snapshot->payload.as_object().Find("Members")
+                                  : nullptr;
   if (members == nullptr || !members->is_array()) {
     return Status::FailedPrecondition(collection_uri + " is not a collection");
   }
@@ -188,7 +216,7 @@ Result<std::vector<std::string>> ResourceTree::Members(
 
 std::vector<std::string> ResourceTree::UrisUnder(const std::string& prefix) const {
   const std::string key = http::NormalizePath(prefix);
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock lock(mu_);
   std::vector<std::string> uris;
   for (auto it = entries_.lower_bound(key); it != entries_.end(); ++it) {
     if (it->first.compare(0, key.size(), key) != 0) break;
@@ -201,26 +229,26 @@ std::vector<std::string> ResourceTree::UrisUnder(const std::string& prefix) cons
 }
 
 std::size_t ResourceTree::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock lock(mu_);
   return entries_.size();
 }
 
 std::uint64_t ResourceTree::Subscribe(ChangeListener listener) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(listeners_mu_);
   const std::uint64_t token = next_listener_token_++;
   listeners_[token] = std::move(listener);
   return token;
 }
 
 void ResourceTree::Unsubscribe(std::uint64_t token) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(listeners_mu_);
   listeners_.erase(token);
 }
 
 void ResourceTree::Notify(const ChangeEvent& event) {
   std::vector<ChangeListener> snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(listeners_mu_);
     snapshot.reserve(listeners_.size());
     for (const auto& [token, listener] : listeners_) snapshot.push_back(listener);
   }

@@ -2,12 +2,20 @@
 // documents keyed by URI. The paper's OFMF represents "an HPC disaggregated
 // infrastructure under a single Redfish tree that includes all the fabrics
 // and resources available" — this is that tree.
+//
+// Concurrency model: entries are immutable snapshots held by shared_ptr, the
+// map is guarded by a shared_mutex. Readers take a shared lock only long
+// enough to copy a refcounted pointer out; mutations take the exclusive lock
+// and swap in a freshly built snapshot (copy-on-write), so a reader holding
+// a snapshot never observes a half-applied patch.
 #pragma once
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -32,6 +40,16 @@ using ChangeListener = std::function<void(const ChangeEvent&)>;
 /// the version increments on every mutation of that resource.
 class ResourceTree {
  public:
+  /// One immutable version of a resource. Handed out by refcount; never
+  /// mutated after publication.
+  struct Snapshot {
+    json::Json payload;
+    std::string odata_type;
+    std::uint64_t version = 1;
+    std::string etag;  // W/"<version>", precomputed
+  };
+  using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
   /// Creates a resource. `odata_type` is the "#Ns.vX_Y_Z.Type" tag; the tree
   /// stamps @odata.id/@odata.type/@odata.etag on reads.
   Status Create(const std::string& uri, const std::string& odata_type, json::Json payload);
@@ -39,6 +57,10 @@ class ResourceTree {
   /// Creates a resource collection ("Members": []).
   Status CreateCollection(const std::string& uri, const std::string& odata_type,
                           const std::string& name);
+
+  /// Refcounted immutable snapshot (nullptr when absent). O(log n) lookup
+  /// under a shared lock; no payload copy.
+  SnapshotPtr GetSnapshot(const std::string& uri) const;
 
   /// Full stamped document (copy).
   Result<json::Json> Get(const std::string& uri) const;
@@ -80,17 +102,18 @@ class ResourceTree {
   void Unsubscribe(std::uint64_t token);
 
  private:
-  struct Entry {
-    json::Json payload;
-    std::string odata_type;
-    std::uint64_t version = 1;
-  };
-
   void Notify(const ChangeEvent& event);
   static std::string MakeETag(std::uint64_t version);
+  static SnapshotPtr MakeSnapshot(json::Json payload, std::string odata_type,
+                                  std::uint64_t version);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
+  mutable std::shared_mutex mu_;
+  std::map<std::string, SnapshotPtr> entries_;
+
+  // Listener bookkeeping uses its own lock so subscription management never
+  // contends with resource reads and listeners can (un)subscribe from inside
+  // tree operations without lock-order coupling.
+  mutable std::mutex listeners_mu_;
   std::map<std::uint64_t, ChangeListener> listeners_;
   std::uint64_t next_listener_token_ = 1;
 };
