@@ -1,0 +1,162 @@
+// Compose-path fault recovery: compose/decompose cycles through the full
+// resilience stack (OfmfClient -> RetryingClient -> FaultyClient) at 0%, 5%
+// and 15% injected transport-fault rates. Reports compose p50/p99 latency
+// and end-to-end success rate per rate, plus how many lost POST responses
+// the server-side idempotency cache absorbed. Emits machine-readable
+// BENCH_fault_recovery.json so future PRs can track the trajectory.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/faults.hpp"
+#include "common/stats.hpp"
+#include "composability/client.hpp"
+#include "http/resilience.hpp"
+#include "json/serialize.hpp"
+#include "ofmf/service.hpp"
+#include "ofmf/uris.hpp"
+
+using namespace ofmf;
+using json::Json;
+
+namespace {
+
+constexpr int kBlocks = 8;
+constexpr int kCyclesPerRate = 300;
+
+struct RateResult {
+  double fault_rate = 0.0;
+  int attempts = 0;
+  int successes = 0;
+  double success_rate = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t faults_fired = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t replayed_posts = 0;
+};
+
+Json ToJson(const RateResult& r) {
+  return Json::Obj({{"fault_rate", r.fault_rate},
+                    {"attempts", r.attempts},
+                    {"successes", r.successes},
+                    {"success_rate", r.success_rate},
+                    {"compose_p50_ms", r.p50_ms},
+                    {"compose_p99_ms", r.p99_ms},
+                    {"faults_fired", static_cast<double>(r.faults_fired)},
+                    {"retries", static_cast<double>(r.retries)},
+                    {"replayed_posts", static_cast<double>(r.replayed_posts)}});
+}
+
+std::unique_ptr<core::OfmfService> BuildService(std::vector<std::string>& blocks) {
+  auto ofmf = std::make_unique<core::OfmfService>();
+  if (!ofmf->Bootstrap().ok()) return nullptr;
+  for (int i = 0; i < kBlocks; ++i) {
+    core::BlockCapability block;
+    block.id = "cpu" + std::to_string(i);
+    block.block_type = "Compute";
+    block.cores = 8;
+    block.memory_gib = 32;
+    auto uri = ofmf->composition().RegisterBlock(block);
+    if (!uri.ok()) return nullptr;
+    blocks.push_back(*uri);
+  }
+  return ofmf;
+}
+
+RateResult RunAtRate(core::OfmfService& ofmf, const std::vector<std::string>& blocks,
+                     double fault_rate, std::uint64_t seed) {
+  auto faults = std::make_shared<FaultInjector>(seed);
+  if (fault_rate > 0.0) {
+    faults->ArmProbability("http.client", FaultKind::kDropConnection, fault_rate / 2);
+    faults->ArmProbability("http.response", FaultKind::kDropResponse, fault_rate / 2);
+  }
+  http::RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.base_backoff_ms = 1;
+  policy.max_backoff_ms = 8;
+  policy.deadline_ms = 500;
+  auto retrying = std::make_unique<http::RetryingClient>(
+      std::make_unique<http::FaultyClient>(
+          std::make_unique<http::FaultyClient>(
+              std::make_unique<http::InProcessClient>(ofmf.Handler()), faults,
+              "http.client"),
+          faults, "http.response"),
+      policy);
+  http::RetryingClient* retry_stats = retrying.get();
+  composability::OfmfClient client(std::move(retrying));
+
+  const std::uint64_t replay_before = ofmf.CollectResilience().replayed_posts;
+  RateResult result;
+  result.fault_rate = fault_rate;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(kCyclesPerRate);
+  for (int i = 0; i < kCyclesPerRate; ++i) {
+    const std::string& block = blocks[static_cast<std::size_t>(i % kBlocks)];
+    ++result.attempts;
+    Stopwatch op;
+    auto system = client.Post(
+        core::kSystems,
+        Json::Obj({{"Name", "bench" + std::to_string(i)},
+                   {"Links",
+                    Json::Obj({{"ResourceBlocks",
+                                Json::Arr({Json::Obj({{"@odata.id", block}})})}})}}));
+    latencies_ms.push_back(op.ElapsedSeconds() * 1000.0);
+    if (system.ok()) {
+      ++result.successes;
+      (void)client.Delete(*system);
+    }
+  }
+  // Quiesce and sweep anything a lost response left behind so the next rate
+  // starts from a full free pool.
+  faults->set_enabled(false);
+  if (auto systems = ofmf.tree().Members(core::kSystems); systems.ok()) {
+    for (const std::string& uri : *systems) (void)client.Delete(uri);
+  }
+
+  result.success_rate =
+      result.attempts == 0
+          ? 0.0
+          : static_cast<double>(result.successes) / result.attempts;
+  result.p50_ms = Percentile(latencies_ms, 50.0);
+  result.p99_ms = Percentile(std::move(latencies_ms), 99.0);
+  result.faults_fired = faults->total_fires();
+  result.retries = retry_stats->stats().retries;
+  result.replayed_posts = ofmf.CollectResilience().replayed_posts - replay_before;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_fault_recovery.json";
+  std::vector<std::string> blocks;
+  std::unique_ptr<core::OfmfService> ofmf = BuildService(blocks);
+  if (ofmf == nullptr) return 1;
+
+  std::printf("compose fault recovery: %d compose/decompose cycles per rate\n\n",
+              kCyclesPerRate);
+  Json results = Json::MakeObject();
+  json::Array rates;
+  for (const double rate : {0.0, 0.05, 0.15}) {
+    const RateResult r =
+        RunAtRate(*ofmf, blocks, rate, 0xFA15EBA5Eull + static_cast<std::uint64_t>(rate * 100));
+    std::printf("fault rate %4.0f%%: success %6.2f%%  p50 %7.3f ms  p99 %7.3f ms  "
+                "(faults %llu, retries %llu, replays %llu)\n",
+                rate * 100, r.success_rate * 100, r.p50_ms, r.p99_ms,
+                static_cast<unsigned long long>(r.faults_fired),
+                static_cast<unsigned long long>(r.retries),
+                static_cast<unsigned long long>(r.replayed_posts));
+    rates.push_back(ToJson(r));
+  }
+  results.as_object().Set("rates", Json(std::move(rates)));
+  results.as_object().Set("cycles_per_rate", Json(static_cast<double>(kCyclesPerRate)));
+
+  std::ofstream out(out_path);
+  out << json::SerializePretty(results) << "\n";
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

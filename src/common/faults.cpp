@@ -1,0 +1,125 @@
+#include "common/faults.hpp"
+
+#include <algorithm>
+
+namespace ofmf {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kDropConnection: return "drop-connection";
+    case FaultKind::kDropResponse: return "drop-response";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kErrorStatus: return "error-status";
+    case FaultKind::kCrash: return "crash";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+FaultInjector::PointState& FaultInjector::PointAt(const std::string& point) {
+  return points_[point];  // default-constructed (unarmed) on first touch
+}
+
+void FaultInjector::ArmProbability(const std::string& point, FaultKind kind,
+                                   double probability) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Rule rule;
+  rule.mode = Mode::kProbability;
+  rule.kind = kind;
+  rule.probability = probability;
+  PointAt(point).rule = rule;
+}
+
+void FaultInjector::ArmNthCall(const std::string& point, FaultKind kind,
+                               std::uint64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Rule rule;
+  rule.mode = Mode::kNth;
+  rule.kind = kind;
+  rule.from_call = nth;
+  PointAt(point).rule = rule;
+}
+
+void FaultInjector::ArmWindow(const std::string& point, FaultKind kind,
+                              std::uint64_t from_call, std::uint64_t to_call) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Rule rule;
+  rule.mode = Mode::kWindow;
+  rule.kind = kind;
+  rule.from_call = from_call;
+  rule.to_call = to_call;
+  PointAt(point).rule = rule;
+}
+
+void FaultInjector::ArmSchedule(const std::string& point, FaultKind kind,
+                                std::vector<std::uint64_t> call_numbers) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Rule rule;
+  rule.mode = Mode::kSchedule;
+  rule.kind = kind;
+  rule.schedule = std::move(call_numbers);
+  std::sort(rule.schedule.begin(), rule.schedule.end());
+  PointAt(point).rule = rule;
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it != points_.end()) it->second.rule = Rule{};
+}
+
+FaultDecision FaultInjector::Evaluate(const std::string& point) {
+  if (!enabled()) return {};
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = PointAt(point);
+  const std::uint64_t call = ++state.calls;
+  const Rule& rule = state.rule;
+
+  bool fire = false;
+  switch (rule.mode) {
+    case Mode::kUnarmed:
+      break;
+    case Mode::kProbability:
+      fire = rng_.Chance(rule.probability);
+      break;
+    case Mode::kNth:
+      fire = call == rule.from_call;
+      break;
+    case Mode::kWindow:
+      fire = call >= rule.from_call && call < rule.to_call;
+      break;
+    case Mode::kSchedule:
+      fire = std::binary_search(rule.schedule.begin(), rule.schedule.end(), call);
+      break;
+  }
+  if (!fire) return {};
+
+  ++state.fires;
+  ++total_fires_;
+  FaultDecision decision;
+  decision.kind = rule.kind;
+  decision.delay_ms = delay_ms_;
+  decision.http_status = error_status_;
+  return decision;
+}
+
+std::uint64_t FaultInjector::calls(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.calls;
+}
+
+std::uint64_t FaultInjector::fires(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+std::uint64_t FaultInjector::total_fires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_fires_;
+}
+
+}  // namespace ofmf

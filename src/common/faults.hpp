@@ -1,0 +1,112 @@
+// Deterministic fault injection. A FaultInjector owns a set of named fault
+// points ("http.client", "agent.IB", "fabric.flap", ...); code under test
+// calls Evaluate(point) at each potential failure site and acts on the
+// returned decision. Rules are seeded (common/rng) so a chaos schedule
+// replays identically run to run, and every probe is counted so tests can
+// assert exactly how many faults fired.
+//
+// Pay-for-what-you-use: production paths hold a shared_ptr<FaultInjector>
+// that is nullptr by default; decorators skip evaluation entirely when no
+// injector is attached, and a globally disabled injector answers kNone
+// without taking the lock on the rule table.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ofmf {
+
+enum class FaultKind {
+  kNone = 0,
+  kDropConnection,  // request never reaches the peer (connect refused/reset)
+  kDropResponse,    // request applied by the peer, response lost on the way back
+  kDelay,           // request delayed by delay_ms before proceeding
+  kErrorStatus,     // peer answers error_status (503 by default) without acting
+  kCrash,           // process/agent death: hard-unavailable until the rule ends
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  int delay_ms = 0;       // meaningful for kDelay
+  int http_status = 503;  // meaningful for kErrorStatus
+
+  bool fired() const { return kind != FaultKind::kNone; }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 0xC0FFEEull);
+
+  /// Bernoulli rule: each call fires `kind` with `probability`.
+  void ArmProbability(const std::string& point, FaultKind kind, double probability);
+
+  /// Fires exactly once, on the `nth` call (1-based) after arming.
+  void ArmNthCall(const std::string& point, FaultKind kind, std::uint64_t nth);
+
+  /// Fires on every call numbered in [from_call, to_call) (1-based). Models
+  /// a crash window: down for a stretch of calls, then recovered.
+  void ArmWindow(const std::string& point, FaultKind kind, std::uint64_t from_call,
+                 std::uint64_t to_call);
+
+  /// Fires on exactly the listed 1-based call numbers (a chaos script).
+  void ArmSchedule(const std::string& point, FaultKind kind,
+                   std::vector<std::uint64_t> call_numbers);
+
+  /// Removes the rule; the point keeps its call/fire counters.
+  void Disarm(const std::string& point);
+
+  /// Global kill switch (default on). Off => every Evaluate answers kNone.
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void set_delay_ms(int delay_ms) { delay_ms_ = delay_ms; }
+  void set_error_status(int status) { error_status_ = status; }
+
+  /// Counts the call against `point` and applies its rule. Unarmed points
+  /// are still counted (so schedules can be written against observed call
+  /// numbers). Thread-safe.
+  FaultDecision Evaluate(const std::string& point);
+
+  std::uint64_t calls(const std::string& point) const;
+  std::uint64_t fires(const std::string& point) const;
+  std::uint64_t total_fires() const;
+
+ private:
+  enum class Mode { kUnarmed, kProbability, kNth, kWindow, kSchedule };
+
+  struct Rule {
+    Mode mode = Mode::kUnarmed;
+    FaultKind kind = FaultKind::kNone;
+    double probability = 0.0;
+    std::uint64_t from_call = 0;  // kNth uses from_call only
+    std::uint64_t to_call = 0;
+    std::vector<std::uint64_t> schedule;  // sorted
+  };
+
+  struct PointState {
+    Rule rule;
+    std::uint64_t calls = 0;
+    std::uint64_t fires = 0;
+  };
+
+  PointState& PointAt(const std::string& point);
+
+  std::atomic<bool> enabled_{true};
+  int delay_ms_ = 1;
+  int error_status_ = 503;
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  std::map<std::string, PointState> points_;
+  std::uint64_t total_fires_ = 0;
+};
+
+}  // namespace ofmf

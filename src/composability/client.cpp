@@ -1,5 +1,7 @@
 #include "composability/client.hpp"
 
+#include <atomic>
+
 #include "json/parse.hpp"
 #include "odata/annotations.hpp"
 
@@ -28,7 +30,10 @@ Status OfmfClient::ToStatus(const http::Response& response) {
     case 404: return Status::NotFound(message);
     case 409: return Status::AlreadyExists(message);
     case 412: return Status::FailedPrecondition(message);
+    case 429: return Status::Unavailable(message);
+    case 502:
     case 503: return Status::Unavailable(message);
+    case 504: return Status::Timeout(message);
     case 507: return Status::ResourceExhausted(message);
     default: return Status::Internal(message);
   }
@@ -49,6 +54,24 @@ Status OfmfClient::Login(const std::string& user, const std::string& password) {
 void OfmfClient::ClearEtagCache() {
   etag_cache_.clear();
   etag_cache_order_.clear();
+}
+
+void OfmfClient::Forget(const std::string& uri) {
+  const auto drop = [this](const std::string& key) {
+    if (etag_cache_.erase(key) != 0) {
+      // Keep the FIFO free of the dead key so a later re-insert does not
+      // leave a duplicate deque entry (which would over-evict on wrap).
+      std::erase(etag_cache_order_, key);
+    }
+  };
+  drop(uri);
+  const std::size_t slash = uri.rfind('/');
+  if (slash != std::string::npos && slash > 0) drop(uri.substr(0, slash));
+}
+
+std::string OfmfClient::NextRequestId() {
+  static std::atomic<std::uint64_t> counter{0};
+  return "ofmf-req-" + std::to_string(counter.fetch_add(1, std::memory_order_relaxed) + 1);
 }
 
 void OfmfClient::Remember(const std::string& target, std::string etag,
@@ -89,20 +112,26 @@ Result<json::Json> OfmfClient::Get(const std::string& uri) {
 }
 
 Result<std::string> OfmfClient::Post(const std::string& uri, const json::Json& body) {
-  auto response =
-      transport_->Send(Decorate(http::MakeJsonRequest(http::Method::kPost, uri, body)));
+  http::Request request = Decorate(http::MakeJsonRequest(http::Method::kPost, uri, body));
+  request.headers.Set("X-Request-Id", NextRequestId());
+  auto response = transport_->Send(request);
   if (!response.ok()) return response.status();
   OFMF_RETURN_IF_ERROR(ToStatus(*response));
+  Forget(uri);  // the collection's Members changed
   const std::string location = response->headers.GetOr("Location", "");
   if (location.empty()) return Status::Internal("create response carried no Location");
   return location;
 }
 
 Result<json::Json> OfmfClient::PostForBody(const std::string& uri, const json::Json& body) {
-  auto response =
-      transport_->Send(Decorate(http::MakeJsonRequest(http::Method::kPost, uri, body)));
+  http::Request request = Decorate(http::MakeJsonRequest(http::Method::kPost, uri, body));
+  request.headers.Set("X-Request-Id", NextRequestId());
+  auto response = transport_->Send(request);
   if (!response.ok()) return response.status();
   OFMF_RETURN_IF_ERROR(ToStatus(*response));
+  // Actions mutate the resource they hang off: invalidate that resource.
+  const std::size_t marker = uri.rfind("/Actions/");
+  Forget(marker == std::string::npos ? uri : uri.substr(0, marker));
   if (response->body.empty()) return json::Json::MakeObject();
   return json::Parse(response->body);
 }
@@ -112,6 +141,7 @@ Result<json::Json> OfmfClient::Patch(const std::string& uri, const json::Json& b
       transport_->Send(Decorate(http::MakeJsonRequest(http::Method::kPatch, uri, body)));
   if (!response.ok()) return response.status();
   OFMF_RETURN_IF_ERROR(ToStatus(*response));
+  Forget(uri);
   return json::Parse(response->body);
 }
 
@@ -119,7 +149,9 @@ Status OfmfClient::Delete(const std::string& uri) {
   auto response =
       transport_->Send(Decorate(http::MakeRequest(http::Method::kDelete, uri)));
   if (!response.ok()) return response.status();
-  return ToStatus(*response);
+  const Status status = ToStatus(*response);
+  if (status.ok()) Forget(uri);
+  return status;
 }
 
 Result<std::vector<std::string>> OfmfClient::Members(const std::string& collection_uri) {

@@ -60,6 +60,14 @@ class OfmfClient {
   http::Request Decorate(http::Request request) const;
   static Status ToStatus(const http::Response& response);
   void Remember(const std::string& target, std::string etag, const json::Json& body);
+  /// Drops `uri` and its parent collection from the ETag cache. Called after
+  /// this client's own successful mutations: ETag versions are per-resource,
+  /// so a delete-then-recreate at the same URI restarts at W/"1" and a stale
+  /// cached tag could spuriously match (304) a different resource's body.
+  void Forget(const std::string& uri);
+  /// Process-unique idempotency key stamped on every POST (X-Request-Id);
+  /// lets the server dedupe a retried POST whose first response was lost.
+  static std::string NextRequestId();
 
   static constexpr std::size_t kMaxCachedGets = 1024;
 

@@ -197,7 +197,11 @@ Result<ComposedSystem> ComposabilityManager::Compose(const CompositionRequest& r
 }
 
 Status ComposabilityManager::Decompose(const std::string& system_uri) {
-  OFMF_RETURN_IF_ERROR(client_.Delete(system_uri));
+  // Idempotent: NotFound means a previous attempt (whose response may have
+  // been lost in flight) already decomposed the system — converge by just
+  // dropping the local record.
+  const Status deleted = client_.Delete(system_uri);
+  if (!deleted.ok() && deleted.code() != ErrorCode::kNotFound) return deleted;
   systems_.erase(system_uri);
   return Status::Ok();
 }

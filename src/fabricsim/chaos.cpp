@@ -1,0 +1,30 @@
+#include "fabricsim/chaos.hpp"
+
+namespace ofmf::fabricsim {
+
+LinkFlapper::LinkFlapper(FabricGraph& graph, std::shared_ptr<FaultInjector> faults,
+                         std::string point)
+    : graph_(graph), faults_(std::move(faults)), point_(std::move(point)) {}
+
+void LinkFlapper::Heal() {
+  if (!downed_) return;
+  (void)graph_.SetLinkUp(downed_->a, downed_->a_port, true);
+  downed_.reset();
+}
+
+bool LinkFlapper::Tick() {
+  Heal();
+  if (faults_ == nullptr || !faults_->enabled()) return false;
+  if (!faults_->Evaluate(point_).fired()) return false;
+  for (const LinkState& link : graph_.Links()) {
+    if (!link.up) continue;
+    if (graph_.SetLinkUp(link.id.a, link.id.a_port, false).ok()) {
+      downed_ = link.id;
+      ++flaps_;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ofmf::fabricsim

@@ -1,0 +1,42 @@
+// Fault-injector-driven link flapping for FabricGraph. Each Tick() first
+// heals the link it took down on a previous tick (a flap, not a permanent
+// cut), then asks the injector whether to fail another one — so at most one
+// link is chaos-downed at any time and the graph always recovers, which is
+// what lets chaos tests assert eventual re-convergence.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/faults.hpp"
+#include "fabricsim/graph.hpp"
+
+namespace ofmf::fabricsim {
+
+class LinkFlapper {
+ public:
+  LinkFlapper(FabricGraph& graph, std::shared_ptr<FaultInjector> faults,
+              std::string point = "fabric.flap");
+
+  /// One chaos step: restore the previously flapped link (if any), then
+  /// evaluate the fault point and take the first live link down when it
+  /// fires. Returns true when a link went down this tick.
+  bool Tick();
+
+  /// Heals the outstanding flap without consuming a fault-point call.
+  void Heal();
+
+  std::uint64_t flaps() const { return flaps_; }
+  const std::optional<LinkId>& downed_link() const { return downed_; }
+
+ private:
+  FabricGraph& graph_;
+  std::shared_ptr<FaultInjector> faults_;
+  std::string point_;
+  std::optional<LinkId> downed_;
+  std::uint64_t flaps_ = 0;
+};
+
+}  // namespace ofmf::fabricsim

@@ -45,9 +45,12 @@ std::string ReasonPhrase(int status) {
     case 405: return "Method Not Allowed";
     case 409: return "Conflict";
     case 412: return "Precondition Failed";
+    case 429: return "Too Many Requests";
     case 500: return "Internal Server Error";
     case 501: return "Not Implemented";
+    case 502: return "Bad Gateway";
     case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
     case 507: return "Insufficient Storage";
     default: return "Status";
   }
@@ -138,7 +141,7 @@ int StatusToHttp(const Status& status) {
     case ErrorCode::kFailedPrecondition: return 412;
     case ErrorCode::kResourceExhausted: return 507;
     case ErrorCode::kUnavailable: return 503;
-    case ErrorCode::kTimeout: return 503;
+    case ErrorCode::kTimeout: return 504;
     case ErrorCode::kInternal: return 500;
     case ErrorCode::kUnimplemented: return 501;
   }

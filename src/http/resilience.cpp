@@ -1,0 +1,134 @@
+#include "http/resilience.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "common/clock.hpp"
+
+namespace ofmf::http {
+
+FaultyClient::FaultyClient(std::unique_ptr<HttpClient> inner,
+                           std::shared_ptr<FaultInjector> faults, std::string point)
+    : inner_(std::move(inner)), faults_(std::move(faults)), point_(std::move(point)) {}
+
+Result<Response> FaultyClient::Send(const Request& request) {
+  if (faults_ == nullptr || !faults_->enabled()) return inner_->Send(request);
+  const FaultDecision decision = faults_->Evaluate(point_);
+  switch (decision.kind) {
+    case FaultKind::kNone:
+      break;
+    case FaultKind::kDropConnection:
+    case FaultKind::kCrash:
+      return Status::Unavailable("injected fault at " + point_ + ": " +
+                                 to_string(decision.kind));
+    case FaultKind::kDropResponse: {
+      // The peer applies the request; the response is lost on the wire. This
+      // is the case that makes idempotency keys load-bearing.
+      (void)inner_->Send(request);
+      return Status::Unavailable("injected fault at " + point_ + ": response lost");
+    }
+    case FaultKind::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(decision.delay_ms));
+      break;
+    case FaultKind::kErrorStatus: {
+      Response overloaded = MakeTextResponse(decision.http_status,
+                                             "injected fault at " + point_);
+      overloaded.headers.Set("Retry-After", "0");
+      return overloaded;
+    }
+  }
+  return inner_->Send(request);
+}
+
+RetryingClient::RetryingClient(std::unique_ptr<HttpClient> inner, RetryPolicy policy)
+    : inner_(std::move(inner)), policy_(policy), rng_(policy.jitter_seed) {}
+
+bool RetryingClient::MethodIdempotent(Method method) {
+  switch (method) {
+    case Method::kGet:
+    case Method::kHead:
+    case Method::kPut:
+    case Method::kDelete:
+    case Method::kOptions:
+      return true;
+    case Method::kPost:
+    case Method::kPatch:
+      return false;
+  }
+  return false;
+}
+
+bool RetryingClient::RetryableStatus(int status) {
+  return status == 429 || status == 502 || status == 503 || status == 504;
+}
+
+Result<Response> RetryingClient::Send(const Request& request) {
+  // Non-idempotent requests retry only under an idempotency key the server
+  // can dedupe on; everything else gets exactly one attempt.
+  const bool safe_to_retry =
+      MethodIdempotent(request.method) || request.headers.Contains("X-Request-Id");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests;
+  }
+
+  Stopwatch budget;
+  for (int attempt = 1;; ++attempt) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.attempts;
+      if (attempt > 1) ++stats_.retries;
+    }
+    Result<Response> result = inner_->Send(request);
+
+    bool transient = false;
+    int retry_after_ms = 0;
+    if (!result.ok()) {
+      const ErrorCode code = result.status().code();
+      transient = code == ErrorCode::kUnavailable || code == ErrorCode::kTimeout;
+      if (transient) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.transport_errors;
+      }
+    } else if (RetryableStatus(result->status)) {
+      transient = true;
+      retry_after_ms = std::atoi(result->headers.GetOr("Retry-After", "0").c_str()) * 1000;
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.retryable_statuses;
+    }
+    if (!transient || !safe_to_retry) return result;
+    if (attempt >= policy_.max_attempts) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.exhausted_attempts;
+      return result;
+    }
+
+    // Exponential backoff, full jitter: Uniform(0, min(max, base * 2^k)).
+    const double cap = std::min<double>(
+        policy_.max_backoff_ms,
+        static_cast<double>(policy_.base_backoff_ms) * static_cast<double>(1 << (attempt - 1)));
+    int sleep_ms;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      sleep_ms = static_cast<int>(rng_.Uniform(0.0, cap + 1.0));
+    }
+    sleep_ms = std::max(sleep_ms, retry_after_ms);
+
+    const double elapsed_ms = budget.ElapsedSeconds() * 1000.0;
+    if (elapsed_ms + sleep_ms >= policy_.deadline_ms) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.deadline_exhausted;
+      return result;
+    }
+    if (sleep_ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+}
+
+RetryStats RetryingClient::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace ofmf::http

@@ -1,8 +1,11 @@
 #include "http/server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -153,7 +156,41 @@ Result<Response> TcpClient::Send(const Request& request) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port_);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+
+  if (timeout_ms_ > 0) {
+    // Bounded connect: non-blocking connect + poll, then back to blocking
+    // with SO_RCVTIMEO/SO_SNDTIMEO covering the request/response exchange.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      if (errno != EINPROGRESS) {
+        ::close(fd);
+        return Status::Unavailable("connect(): " + std::string(std::strerror(errno)));
+      }
+      pollfd waiter{fd, POLLOUT, 0};
+      const int ready = ::poll(&waiter, 1, timeout_ms_);
+      if (ready == 0) {
+        ::close(fd);
+        return Status::Timeout("connect(): timed out after " +
+                               std::to_string(timeout_ms_) + " ms");
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (ready < 0 ||
+          ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) < 0 || so_error != 0) {
+        ::close(fd);
+        return Status::Unavailable("connect(): " +
+                                   std::string(std::strerror(so_error != 0 ? so_error
+                                                                           : errno)));
+      }
+    }
+    ::fcntl(fd, F_SETFL, flags);
+    timeval tv{};
+    tv.tv_sec = timeout_ms_ / 1000;
+    tv.tv_usec = (timeout_ms_ % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  } else if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     ::close(fd);
     return Status::Unavailable("connect(): " + std::string(std::strerror(errno)));
   }
@@ -179,7 +216,12 @@ Result<Response> TcpClient::Send(const Request& request) {
   while (!parser.HasMessage()) {
     const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
     if (n < 0) {
+      const bool timed_out = errno == EAGAIN || errno == EWOULDBLOCK;
       ::close(fd);
+      if (timed_out) {
+        return Status::Timeout("recv(): timed out after " + std::to_string(timeout_ms_) +
+                               " ms");
+      }
       return Status::Unavailable("recv(): " + std::string(std::strerror(errno)));
     }
     if (n == 0) break;  // peer closed; parser may or may not hold a message

@@ -73,13 +73,21 @@ class TcpServer {
 };
 
 /// One-connection-per-request blocking client against 127.0.0.1:port.
+/// Connect/send/recv are bounded by `timeout_ms` so a hung or half-dead
+/// server yields Status::Timeout instead of wedging the caller forever
+/// (0 disables the bound).
 class TcpClient : public HttpClient {
  public:
-  explicit TcpClient(std::uint16_t port) : port_(port) {}
+  explicit TcpClient(std::uint16_t port, int timeout_ms = 30000)
+      : port_(port), timeout_ms_(timeout_ms) {}
   Result<Response> Send(const Request& request) override;
+
+  void set_timeout_ms(int timeout_ms) { timeout_ms_ = timeout_ms; }
+  int timeout_ms() const { return timeout_ms_; }
 
  private:
   std::uint16_t port_;
+  int timeout_ms_;
 };
 
 }  // namespace ofmf::http

@@ -1,0 +1,70 @@
+#include "ofmf/breaker.hpp"
+
+namespace ofmf::core {
+
+const char* to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "Closed";
+    case BreakerState::kOpen: return "Open";
+    case BreakerState::kHalfOpen: return "HalfOpen";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config) : config_(config) {}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+    case BreakerState::kHalfOpen:
+      return true;
+    case BreakerState::kOpen:
+      ++stats_.rejected;
+      if (++rejections_while_open_ >= config_.open_cooldown_calls) {
+        state_ = BreakerState::kHalfOpen;
+      }
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.successes;
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::kHalfOpen) {
+    state_ = BreakerState::kClosed;
+    ++stats_.closes;
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.failures;
+  if (state_ == BreakerState::kHalfOpen) {
+    // Failed probe: back to fully open for another cooldown.
+    state_ = BreakerState::kOpen;
+    rejections_while_open_ = 0;
+    ++stats_.opens;
+    return;
+  }
+  if (state_ == BreakerState::kClosed &&
+      ++consecutive_failures_ >= config_.failure_threshold) {
+    state_ = BreakerState::kOpen;
+    rejections_while_open_ = 0;
+    ++stats_.opens;
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+BreakerStats CircuitBreaker::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace ofmf::core

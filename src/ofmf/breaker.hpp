@@ -1,0 +1,58 @@
+// Per-agent circuit breaker. Consecutive transport-level failures
+// (Unavailable / Timeout — client errors are neutral) open the breaker;
+// while open, agent calls are rejected immediately and the fabric's subtree
+// is served stale with degraded Status instead of being deleted. The
+// breaker is count-based rather than clock-based so it stays deterministic
+// under SimClock: after `open_cooldown_calls` rejected calls it half-opens
+// and lets one probe through; a successful probe closes it, a failed one
+// re-opens it.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace ofmf::core {
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* to_string(BreakerState state);
+
+struct BreakerConfig {
+  int failure_threshold = 3;    // consecutive failures that open the breaker
+  int open_cooldown_calls = 5;  // rejected calls before half-opening a probe
+};
+
+struct BreakerStats {
+  std::uint64_t successes = 0;  // recorded agent successes
+  std::uint64_t failures = 0;   // recorded agent health failures
+  std::uint64_t rejected = 0;   // calls refused while open
+  std::uint64_t opens = 0;      // Closed/HalfOpen -> Open transitions
+  std::uint64_t closes = 0;     // HalfOpen -> Closed transitions
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerConfig config = {});
+
+  /// Admission check. Closed and HalfOpen admit the call; Open rejects it
+  /// (counted), flipping to HalfOpen once the cooldown budget is spent so
+  /// the next call probes the agent.
+  bool Allow();
+
+  void RecordSuccess();
+  void RecordFailure();
+
+  BreakerState state() const;
+  BreakerStats stats() const;
+
+ private:
+  BreakerConfig config_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int rejections_while_open_ = 0;
+  BreakerStats stats_;
+};
+
+}  // namespace ofmf::core

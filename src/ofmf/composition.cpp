@@ -97,20 +97,74 @@ Status CompositionService::SetBlockState(const std::string& block_uri,
                                          {"NumberOfCompositions", compositions}})}}));
 }
 
+Status CompositionService::ClaimBlock(const std::string& block_uri) {
+  // CAS loop: read the block's state together with its ETag, then patch it
+  // to Composed conditional on that ETag. A concurrent claimant advances the
+  // version and our patch fails FailedPrecondition; reread and re-decide.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    OFMF_ASSIGN_OR_RETURN(json::Json block, tree_.Get(block_uri));
+    const std::string state =
+        block.at("CompositionStatus").GetString("CompositionState");
+    if (state != "Unused") {
+      return Status::FailedPrecondition("block " + block_uri + " is " + state);
+    }
+    const std::string etag = block.GetString("@odata.etag");
+    const Status claimed = tree_.Patch(
+        block_uri,
+        json::Json::Obj({{"CompositionStatus",
+                          json::Json::Obj({{"CompositionState", "Composed"},
+                                           {"NumberOfCompositions", 1}})}}),
+        etag);
+    if (claimed.ok()) return Status::Ok();
+    if (claimed.code() != ErrorCode::kFailedPrecondition) return claimed;
+  }
+  return Status::FailedPrecondition("block " + block_uri +
+                                    " is contended; claim lost repeatedly");
+}
+
+void CompositionService::ReleaseBlocks(const std::vector<std::string>& block_uris) {
+  for (const std::string& uri : block_uris) {
+    (void)SetBlockState(uri, "Unused");
+  }
+}
+
 Result<std::string> CompositionService::Compose(
     const std::string& name, const std::vector<std::string>& block_uris) {
   if (block_uris.empty()) {
     return Status::InvalidArgument("composition requires at least one resource block");
   }
-  // Validate first: all blocks exist and are Unused.
-  for (const std::string& uri : block_uris) {
-    OFMF_ASSIGN_OR_RETURN(std::string state, BlockState(uri));
-    if (state != "Unused") {
-      return Status::FailedPrecondition("block " + uri + " is " + state);
+  for (std::size_t i = 0; i < block_uris.size(); ++i) {
+    for (std::size_t j = i + 1; j < block_uris.size(); ++j) {
+      if (block_uris[i] == block_uris[j]) {
+        return Status::InvalidArgument("block " + block_uris[i] + " listed twice");
+      }
     }
   }
+
+  // Claim phase: CAS each block Unused -> Composed. On the first failure,
+  // everything already claimed is rolled back and the error surfaces; no
+  // partially composed state survives.
+  std::vector<std::string> claimed;
+  claimed.reserve(block_uris.size());
+  for (const std::string& uri : block_uris) {
+    const Status claim = ClaimBlock(uri);
+    if (!claim.ok()) {
+      ReleaseBlocks(claimed);
+      return claim;
+    }
+    claimed.push_back(uri);
+  }
+
   const std::string id = "composed-" + std::to_string(next_system_id_++);
   const std::string system_uri = std::string(kSystems) + "/" + id;
+  const auto abort_compose = [&](const Status& failure) {
+    if (tree_.Exists(system_uri)) {
+      (void)tree_.RemoveMember(kSystems, system_uri);
+      (void)tree_.Delete(system_uri);
+    }
+    ReleaseBlocks(claimed);
+    return failure;
+  };
 
   json::Json payload = json::Json::Obj({
       {"Id", id},
@@ -121,13 +175,13 @@ Result<std::string> CompositionService::Compose(
       {"Links",
        json::Json::Obj({{"ResourceBlocks", odata::RefArray(block_uris)}})},
   });
-  OFMF_RETURN_IF_ERROR(tree_.Create(system_uri, "#ComputerSystem.v1_20_0.ComputerSystem",
-                                    std::move(payload)));
-  OFMF_RETURN_IF_ERROR(tree_.AddMember(kSystems, system_uri));
-  for (const std::string& uri : block_uris) {
-    OFMF_RETURN_IF_ERROR(SetBlockState(uri, "Composed"));
-  }
-  OFMF_RETURN_IF_ERROR(RefreshSummaries(system_uri));
+  const Status created = tree_.Create(
+      system_uri, "#ComputerSystem.v1_20_0.ComputerSystem", std::move(payload));
+  if (!created.ok()) return abort_compose(created);
+  const Status membered = tree_.AddMember(kSystems, system_uri);
+  if (!membered.ok()) return abort_compose(membered);
+  const Status summarized = RefreshSummaries(system_uri);
+  if (!summarized.ok()) return abort_compose(summarized);
 
   Event event;
   event.event_type = "ResourceAdded";
@@ -140,9 +194,16 @@ Result<std::string> CompositionService::Compose(
 }
 
 Status CompositionService::Decompose(const std::string& system_uri) {
-  OFMF_ASSIGN_OR_RETURN(std::vector<std::string> blocks, BlocksOf(system_uri));
-  for (const std::string& block_uri : blocks) {
-    OFMF_RETURN_IF_ERROR(SetBlockState(block_uri, "Unused"));
+  Result<std::vector<std::string>> blocks = BlocksOf(system_uri);
+  if (!blocks.ok()) {
+    // Already gone: the desired end state holds, so a replayed DELETE (lost
+    // response, retrying client) converges instead of erroring.
+    if (blocks.status().code() == ErrorCode::kNotFound) return Status::Ok();
+    return blocks.status();
+  }
+  for (const std::string& block_uri : *blocks) {
+    const Status freed = SetBlockState(block_uri, "Unused");
+    if (!freed.ok() && freed.code() != ErrorCode::kNotFound) return freed;
   }
   OFMF_RETURN_IF_ERROR(tree_.RemoveMember(kSystems, system_uri));
   OFMF_RETURN_IF_ERROR(tree_.Delete(system_uri));
@@ -157,22 +218,31 @@ Status CompositionService::Decompose(const std::string& system_uri) {
 
 Status CompositionService::ExpandSystem(const std::string& system_uri,
                                         const std::string& block_uri) {
-  OFMF_ASSIGN_OR_RETURN(std::string state, BlockState(block_uri));
-  if (state != "Unused") {
-    return Status::FailedPrecondition("block " + block_uri + " is " + state);
-  }
   OFMF_ASSIGN_OR_RETURN(json::Json system, tree_.GetRaw(system_uri));
   const json::Json* blocks = json::ResolvePointerRef(system, "/Links/ResourceBlocks");
   if (blocks == nullptr || !blocks->is_array()) {
     return Status::FailedPrecondition(system_uri + " is not a composed system");
   }
+  // Claim before linking, so a concurrent compose can never take the same
+  // block; unwind the claim if attaching it to the system fails.
+  OFMF_RETURN_IF_ERROR(ClaimBlock(block_uri));
   json::Json updated_blocks = *blocks;
   updated_blocks.as_array().push_back(odata::Ref(block_uri));
-  OFMF_RETURN_IF_ERROR(tree_.Patch(
+  const Status linked = tree_.Patch(
       system_uri,
-      json::Json::Obj({{"Links", json::Json::Obj({{"ResourceBlocks", updated_blocks}})}})));
-  OFMF_RETURN_IF_ERROR(SetBlockState(block_uri, "Composed"));
-  OFMF_RETURN_IF_ERROR(RefreshSummaries(system_uri));
+      json::Json::Obj({{"Links", json::Json::Obj({{"ResourceBlocks", updated_blocks}})}}));
+  if (!linked.ok()) {
+    (void)SetBlockState(block_uri, "Unused");
+    return linked;
+  }
+  const Status summarized = RefreshSummaries(system_uri);
+  if (!summarized.ok()) {
+    (void)tree_.Patch(system_uri, json::Json::Obj({{"Links",
+                                                    json::Json::Obj(
+                                                        {{"ResourceBlocks", *blocks}})}}));
+    (void)SetBlockState(block_uri, "Unused");
+    return summarized;
+  }
 
   Event event;
   event.event_type = "ResourceUpdated";

@@ -45,11 +45,18 @@ class CompositionService {
   Status UnregisterBlock(const std::string& block_uri);
 
   /// Composes a system from `block_uris`; all must exist and be Unused.
-  /// Returns the new /redfish/v1/Systems/<id> URI.
+  /// Transactional: blocks are claimed one at a time with an ETag-guarded
+  /// compare-and-swap (so two racing compositions can never both take the
+  /// same block), and any failure after the first claim rolls back every
+  /// block already claimed plus the partially built system. Returns the new
+  /// /redfish/v1/Systems/<id> URI.
   Result<std::string> Compose(const std::string& name,
                               const std::vector<std::string>& block_uris);
 
-  /// Frees every block of a composed system and deletes it.
+  /// Frees every block of a composed system and deletes it. Idempotent:
+  /// decomposing a system that no longer exists succeeds (the desired end
+  /// state already holds), so a client retrying a DELETE whose response was
+  /// lost converges instead of erroring.
   Status Decompose(const std::string& system_uri);
 
   /// Adds `block_uri` to a *running* composed system (dynamic expansion —
@@ -65,6 +72,12 @@ class CompositionService {
 
  private:
   Status SetBlockState(const std::string& block_uri, const std::string& state);
+  /// Atomically claims an Unused block (CAS on the block's ETag); retries a
+  /// few times on CAS races, fails FailedPrecondition when the block is
+  /// taken or contended.
+  Status ClaimBlock(const std::string& block_uri);
+  /// Rollback helper: returns each claimed block to Unused.
+  void ReleaseBlocks(const std::vector<std::string>& block_uris);
   /// Recomputes a composed system's Processor/Memory summaries from blocks.
   Status RefreshSummaries(const std::string& system_uri);
 

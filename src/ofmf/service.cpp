@@ -1,5 +1,8 @@
 #include "ofmf/service.hpp"
 
+#include <chrono>
+#include <thread>
+
 #include "common/strings.hpp"
 #include "http/uri.hpp"
 #include "json/pointer.hpp"
@@ -232,23 +235,30 @@ Status OfmfService::RegisterAgent(std::shared_ptr<FabricAgent> agent) {
 
   OFMF_RETURN_IF_ERROR(agent->PublishInventory(*this));
 
-  // Route fabric-scoped mutations to the agent.
+  // Route fabric-scoped mutations to the agent, guarded by its circuit
+  // breaker and (when an injector is attached) the "agent.<id>" fault point.
+  breakers_by_fabric_.emplace(fabric_id, std::make_unique<CircuitBreaker>());
   const std::string fabric_uri = FabricUri(fabric_id);
   FabricAgent* raw = agent.get();
   rest_.RegisterFactory(fabric_uri + "/Zones", "Zone",
-                        [this, raw](const json::Json& body) {
-                          return raw->CreateZone(*this, body);
+                        [this, raw, fabric_id](const json::Json& body) {
+                          return GuardedAgentCreate(
+                              fabric_id, [&] { return raw->CreateZone(*this, body); });
                         });
-  rest_.RegisterFactory(fabric_uri + "/Connections", "Connection",
-                        [this, raw](const json::Json& body) {
-                          return raw->CreateConnection(*this, body);
-                        });
-  rest_.RegisterDeleteHook(fabric_uri, [this, raw, fabric_uri](const std::string& uri) {
-    if (uri == fabric_uri) {
-      return Status::PermissionDenied("fabrics are owned by their agent");
-    }
-    return raw->DeleteResource(*this, uri);
-  });
+  rest_.RegisterFactory(
+      fabric_uri + "/Connections", "Connection",
+      [this, raw, fabric_id](const json::Json& body) {
+        return GuardedAgentCreate(fabric_id,
+                                  [&] { return raw->CreateConnection(*this, body); });
+      });
+  rest_.RegisterDeleteHook(
+      fabric_uri, [this, raw, fabric_uri, fabric_id](const std::string& uri) {
+        if (uri == fabric_uri) {
+          return Status::PermissionDenied("fabrics are owned by their agent");
+        }
+        return GuardedAgentDelete(fabric_id,
+                                  [&] { return raw->DeleteResource(*this, uri); });
+      });
 
   agents_by_fabric_.emplace(fabric_id, std::move(agent));
 
@@ -269,6 +279,158 @@ Result<FabricAgent*> OfmfService::AgentForFabric(const std::string& fabric_id) {
   return it->second.get();
 }
 
+Result<CircuitBreaker*> OfmfService::BreakerForFabric(const std::string& fabric_id) {
+  auto it = breakers_by_fabric_.find(fabric_id);
+  if (it == breakers_by_fabric_.end()) {
+    return Status::NotFound("no breaker for fabric " + fabric_id);
+  }
+  return it->second.get();
+}
+
+bool OfmfService::FabricDegraded(const std::string& fabric_id) const {
+  std::lock_guard<std::mutex> lock(degraded_mu_);
+  return degraded_uris_.count(fabric_id) != 0;
+}
+
+ResilienceSnapshot OfmfService::CollectResilience() const {
+  ResilienceSnapshot snapshot;
+  for (const auto& [fabric_id, breaker] : breakers_by_fabric_) {
+    ResilienceSnapshot::FabricBreaker entry;
+    entry.fabric_id = fabric_id;
+    entry.state = breaker->state();
+    entry.stats = breaker->stats();
+    entry.degraded = FabricDegraded(fabric_id);
+    snapshot.breakers.push_back(std::move(entry));
+  }
+  {
+    std::lock_guard<std::mutex> lock(replay_mu_);
+    snapshot.replayed_posts = replay_hits_;
+  }
+  return snapshot;
+}
+
+Status OfmfService::InjectedAgentFault(const std::string& fabric_id) {
+  if (faults_ == nullptr || !faults_->enabled()) return Status::Ok();
+  const FaultDecision decision = faults_->Evaluate("agent." + fabric_id);
+  switch (decision.kind) {
+    case FaultKind::kNone:
+      return Status::Ok();
+    case FaultKind::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(decision.delay_ms));
+      return Status::Ok();
+    case FaultKind::kDropConnection:
+    case FaultKind::kDropResponse:
+    case FaultKind::kErrorStatus:
+    case FaultKind::kCrash:
+      return Status::Unavailable("agent for fabric " + fabric_id +
+                                 " unreachable (injected " +
+                                 std::string(to_string(decision.kind)) + ")");
+  }
+  return Status::Ok();
+}
+
+void OfmfService::NoteAgentOutcome(const std::string& fabric_id, const Status& status) {
+  auto it = breakers_by_fabric_.find(fabric_id);
+  if (it == breakers_by_fabric_.end()) return;
+  CircuitBreaker& breaker = *it->second;
+  const BreakerState before = breaker.state();
+  // Only transport-level failures are agent-health signals; a client error
+  // (bad zone spec, unknown endpoint) says nothing about the agent's health.
+  const bool health_failure = status.code() == ErrorCode::kUnavailable ||
+                              status.code() == ErrorCode::kTimeout;
+  if (health_failure) {
+    breaker.RecordFailure();
+  } else {
+    breaker.RecordSuccess();
+  }
+  const BreakerState after = breaker.state();
+  if (before != BreakerState::kOpen && after == BreakerState::kOpen) {
+    DegradeFabric(fabric_id);
+  } else if (before != BreakerState::kClosed && after == BreakerState::kClosed) {
+    RestoreFabric(fabric_id);
+  }
+}
+
+Result<std::string> OfmfService::GuardedAgentCreate(
+    const std::string& fabric_id, const std::function<Result<std::string>()>& call) {
+  auto breaker = BreakerForFabric(fabric_id);
+  if (breaker.ok() && !(*breaker)->Allow()) {
+    return Status::Unavailable("circuit open for fabric " + fabric_id +
+                               "; serving degraded inventory");
+  }
+  const Status injected = InjectedAgentFault(fabric_id);
+  if (!injected.ok()) {
+    NoteAgentOutcome(fabric_id, injected);
+    return injected;
+  }
+  Result<std::string> result = call();
+  NoteAgentOutcome(fabric_id, result.status());
+  return result;
+}
+
+Status OfmfService::GuardedAgentDelete(const std::string& fabric_id,
+                                       const std::function<Status()>& call) {
+  auto breaker = BreakerForFabric(fabric_id);
+  if (breaker.ok() && !(*breaker)->Allow()) {
+    return Status::Unavailable("circuit open for fabric " + fabric_id +
+                               "; serving degraded inventory");
+  }
+  const Status injected = InjectedAgentFault(fabric_id);
+  if (!injected.ok()) {
+    NoteAgentOutcome(fabric_id, injected);
+    return injected;
+  }
+  const Status result = call();
+  NoteAgentOutcome(fabric_id, result);
+  return result;
+}
+
+void OfmfService::DegradeFabric(const std::string& fabric_id) {
+  const std::string fabric_uri = FabricUri(fabric_id);
+  const json::Json degraded_status = json::Json::Obj(
+      {{"Status", json::Json::Obj({{"State", "UnavailableOffline"},
+                                   {"Health", "Critical"}})}});
+  std::vector<std::string> touched;
+  for (const std::string& uri : tree_.UrisUnder(fabric_uri)) {
+    const Result<json::Json> doc = tree_.GetRaw(uri);
+    if (!doc.ok() || !doc->is_object() || !doc->as_object().Contains("Status")) continue;
+    if (tree_.Patch(uri, degraded_status).ok()) touched.push_back(uri);
+  }
+  {
+    std::lock_guard<std::mutex> lock(degraded_mu_);
+    degraded_uris_[fabric_id] = std::move(touched);
+  }
+  Event event;
+  event.event_type = "StatusChange";
+  event.message_id = "AggregationService.1.0.FabricDegraded";
+  event.message = "circuit opened for fabric " + fabric_id +
+                  "; inventory marked Critical and served stale";
+  event.origin = fabric_uri;
+  events_.Publish(event);
+}
+
+void OfmfService::RestoreFabric(const std::string& fabric_id) {
+  std::vector<std::string> touched;
+  {
+    std::lock_guard<std::mutex> lock(degraded_mu_);
+    auto it = degraded_uris_.find(fabric_id);
+    if (it == degraded_uris_.end()) return;
+    touched = std::move(it->second);
+    degraded_uris_.erase(it);
+  }
+  const json::Json healthy_status = json::Json::Obj(
+      {{"Status", json::Json::Obj({{"State", "Enabled"}, {"Health", "OK"}})}});
+  for (const std::string& uri : touched) {
+    (void)tree_.Patch(uri, healthy_status);
+  }
+  Event event;
+  event.event_type = "StatusChange";
+  event.message_id = "AggregationService.1.0.FabricRestored";
+  event.message = "circuit closed for fabric " + fabric_id + "; inventory restored";
+  event.origin = FabricUri(fabric_id);
+  events_.Publish(event);
+}
+
 std::size_t OfmfService::ProcessPendingWork() {
   std::size_t ran = 0;
   while (!pending_work_.empty()) {
@@ -281,12 +443,47 @@ std::size_t OfmfService::ProcessPendingWork() {
 }
 
 http::Response OfmfService::Handle(const http::Request& request) {
+  // Idempotency dedupe: a retried POST carrying the same X-Request-Id as an
+  // earlier *successful* attempt gets that attempt's response replayed
+  // instead of re-executing (the first response was lost on the wire, not
+  // unproduced). Failures are never cached, so a genuine retry re-executes.
+  const std::string request_id = request.method == http::Method::kPost
+                                     ? request.headers.GetOr("X-Request-Id", "")
+                                     : "";
+  if (!request_id.empty()) {
+    std::lock_guard<std::mutex> lock(replay_mu_);
+    auto it = replayed_posts_.find(request_id);
+    if (it != replayed_posts_.end()) {
+      ++replay_hits_;
+      return it->second;
+    }
+  }
+  http::Response response = Dispatch(request);
+  if (!request_id.empty() && response.status >= 200 && response.status < 300) {
+    std::lock_guard<std::mutex> lock(replay_mu_);
+    if (replayed_posts_.emplace(request_id, response).second) {
+      replay_order_.push_back(request_id);
+      while (replay_order_.size() > kMaxReplayEntries) {
+        replayed_posts_.erase(replay_order_.front());
+        replay_order_.pop_front();
+      }
+    }
+  }
+  return response;
+}
+
+http::Response OfmfService::Dispatch(const http::Request& request) {
   // Lazy refresh of the read-path cache counters: reading the ResponseCache
   // MetricReport first syncs it from the live cache (no-op when the counters
   // have not moved since the last sync; other telemetry reads are untouched).
   if ((request.method == http::Method::kGet || request.method == http::Method::kHead) &&
       http::NormalizePath(request.path) == TelemetryService::ResponseCacheReportUri()) {
     (void)telemetry_.UpdateResponseCacheReport(rest_.response_cache().stats());
+  }
+  // Same lazy pattern for the breaker/retry counters.
+  if ((request.method == http::Method::kGet || request.method == http::Method::kHead) &&
+      http::NormalizePath(request.path) == TelemetryService::ResilienceReportUri()) {
+    (void)telemetry_.UpdateResilienceReport(CollectResilience());
   }
 
   // Asynchronous composition: Redfish's "Prefer: respond-async". The POST

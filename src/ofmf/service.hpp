@@ -10,11 +10,15 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/clock.hpp"
+#include "common/faults.hpp"
 #include "http/server.hpp"
 #include "ofmf/agent.hpp"
+#include "ofmf/breaker.hpp"
 #include "ofmf/composition.hpp"
 #include "ofmf/events.hpp"
 #include "ofmf/sessions.hpp"
@@ -66,9 +70,42 @@ class OfmfService {
 
   Result<FabricAgent*> AgentForFabric(const std::string& fabric_id);
 
+  /// Attaches a fault injector. Agent calls then probe point
+  /// "agent.<fabric_id>" before reaching the agent (nullptr detaches).
+  void set_fault_injector(std::shared_ptr<FaultInjector> faults) {
+    faults_ = std::move(faults);
+  }
+  const std::shared_ptr<FaultInjector>& fault_injector() const { return faults_; }
+
+  /// The circuit breaker guarding an agent's fabric (created on
+  /// RegisterAgent). NotFound when no agent owns the fabric.
+  Result<CircuitBreaker*> BreakerForFabric(const std::string& fabric_id);
+
+  /// True while the fabric's subtree is marked Critical/UnavailableOffline.
+  bool FabricDegraded(const std::string& fabric_id) const;
+
+  /// Current breaker + replay counters (feeds the Resilience MetricReport).
+  ResilienceSnapshot CollectResilience() const;
+
  private:
   Status BootstrapServiceRoot();
   void WireRoutes();
+  http::Response Dispatch(const http::Request& request);
+
+  /// Runs one agent call under its breaker and fault point; records the
+  /// outcome and degrades/restores the fabric on breaker transitions.
+  Result<std::string> GuardedAgentCreate(const std::string& fabric_id,
+                                         const std::function<Result<std::string>()>& call);
+  Status GuardedAgentDelete(const std::string& fabric_id,
+                            const std::function<Status()>& call);
+  Status InjectedAgentFault(const std::string& fabric_id);
+  void NoteAgentOutcome(const std::string& fabric_id, const Status& status);
+
+  /// Marks every resource in the fabric subtree Critical/UnavailableOffline
+  /// (served stale instead of deleted) and remembers exactly which URIs it
+  /// touched so Restore un-degrades only those.
+  void DegradeFabric(const std::string& fabric_id);
+  void RestoreFabric(const std::string& fabric_id);
 
   SimClock clock_;
   redfish::ResourceTree tree_;
@@ -81,6 +118,20 @@ class OfmfService {
   std::map<std::string, std::shared_ptr<FabricAgent>> agents_by_fabric_;
   std::deque<std::function<void()>> pending_work_;
   bool bootstrapped_ = false;
+
+  std::shared_ptr<FaultInjector> faults_;
+  std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers_by_fabric_;
+  mutable std::mutex degraded_mu_;
+  std::map<std::string, std::vector<std::string>> degraded_uris_;  // fabric -> uris
+
+  // Idempotent-POST replay cache: X-Request-Id -> successful response.
+  // Bounded FIFO; only 2xx responses are recorded so a failed attempt never
+  // blocks its own retry from re-executing.
+  static constexpr std::size_t kMaxReplayEntries = 512;
+  mutable std::mutex replay_mu_;
+  std::map<std::string, http::Response> replayed_posts_;
+  std::deque<std::string> replay_order_;
+  std::uint64_t replay_hits_ = 0;
 };
 
 }  // namespace ofmf::core

@@ -101,6 +101,78 @@ Status TelemetryService::UpdateResponseCacheReport(
   return Status::Ok();
 }
 
+std::string TelemetryService::ResilienceReportUri() {
+  return std::string(kMetricReports) + "/Resilience";
+}
+
+Status TelemetryService::UpdateResilienceReport(const ResilienceSnapshot& snapshot) {
+  // Fingerprint excludes timestamps so an unchanged snapshot leaves the
+  // report's version (and every cached response of it) alone.
+  std::string fingerprint = std::to_string(snapshot.replayed_posts);
+  for (const ResilienceSnapshot::FabricBreaker& breaker : snapshot.breakers) {
+    fingerprint += "|" + breaker.fabric_id + ":" + to_string(breaker.state) + ":" +
+                   std::to_string(breaker.stats.successes) + ":" +
+                   std::to_string(breaker.stats.failures) + ":" +
+                   std::to_string(breaker.stats.rejected) + ":" +
+                   std::to_string(breaker.stats.opens) + ":" +
+                   std::to_string(breaker.stats.closes) + ":" +
+                   (breaker.degraded ? "1" : "0");
+  }
+  std::lock_guard<std::mutex> lock(resilience_report_mu_);
+  if (resilience_report_exists_ && fingerprint == last_resilience_fingerprint_) {
+    return Status::Ok();
+  }
+
+  const std::string timestamp = FormatSimTimestamp(clock_.now());
+  const auto counter = [&](const std::string& id, double value,
+                           const std::string& property) {
+    return json::Json::Obj({{"MetricId", id},
+                            {"MetricValue", value},
+                            {"MetricProperty", property},
+                            {"Timestamp", timestamp}});
+  };
+  json::Array values;
+  values.push_back(counter("ReplayedPosts", static_cast<double>(snapshot.replayed_posts),
+                           "idempotency replay cache"));
+  json::Array breakers;
+  for (const ResilienceSnapshot::FabricBreaker& breaker : snapshot.breakers) {
+    const std::string property = FabricUri(breaker.fabric_id);
+    values.push_back(counter("BreakerSuccesses." + breaker.fabric_id,
+                             static_cast<double>(breaker.stats.successes), property));
+    values.push_back(counter("BreakerFailures." + breaker.fabric_id,
+                             static_cast<double>(breaker.stats.failures), property));
+    values.push_back(counter("BreakerRejected." + breaker.fabric_id,
+                             static_cast<double>(breaker.stats.rejected), property));
+    values.push_back(counter("BreakerOpens." + breaker.fabric_id,
+                             static_cast<double>(breaker.stats.opens), property));
+    values.push_back(counter("BreakerCloses." + breaker.fabric_id,
+                             static_cast<double>(breaker.stats.closes), property));
+    breakers.push_back(json::Json::Obj({{"FabricId", breaker.fabric_id},
+                                        {"State", to_string(breaker.state)},
+                                        {"Degraded", breaker.degraded}}));
+  }
+  json::Json payload = json::Json::Obj({
+      {"Id", "Resilience"},
+      {"Name", "Circuit breaker and retry counters"},
+      {"ReportSequence", 0},
+      {"MetricValues", json::Json(std::move(values))},
+      {"Oem",
+       json::Json::Obj({{"Ofmf", json::Json::Obj({{"Breakers",
+                                                   json::Json(std::move(breakers))}})}})},
+  });
+  const std::string uri = ResilienceReportUri();
+  if (resilience_report_exists_ || tree_.Exists(uri)) {
+    OFMF_RETURN_IF_ERROR(tree_.Replace(uri, std::move(payload)));
+  } else {
+    OFMF_RETURN_IF_ERROR(
+        tree_.Create(uri, "#MetricReport.v1_4_2.MetricReport", std::move(payload)));
+    OFMF_RETURN_IF_ERROR(tree_.AddMember(kMetricReports, uri));
+  }
+  resilience_report_exists_ = true;
+  last_resilience_fingerprint_ = std::move(fingerprint);
+  return Status::Ok();
+}
+
 Result<json::Json> TelemetryService::GetReport(const std::string& report_id) const {
   return tree_.Get(std::string(kMetricReports) + "/" + report_id);
 }

@@ -11,6 +11,7 @@
 #include "common/clock.hpp"
 #include "common/result.hpp"
 #include "json/value.hpp"
+#include "ofmf/breaker.hpp"
 #include "ofmf/events.hpp"
 #include "redfish/cache.hpp"
 #include "redfish/tree.hpp"
@@ -21,6 +22,19 @@ struct MetricValue {
   std::string metric_id;   // "PowerConsumedWatts"
   double value = 0.0;
   std::string property;    // origin @odata.id (optional)
+};
+
+/// Point-in-time view of the service's resilience machinery: one breaker
+/// per registered agent plus the idempotent-POST replay counter.
+struct ResilienceSnapshot {
+  struct FabricBreaker {
+    std::string fabric_id;
+    BreakerState state = BreakerState::kClosed;
+    BreakerStats stats;
+    bool degraded = false;  // fabric subtree currently marked Critical
+  };
+  std::vector<FabricBreaker> breakers;
+  std::uint64_t replayed_posts = 0;  // POSTs answered from the replay cache
 };
 
 class TelemetryService {
@@ -46,6 +60,14 @@ class TelemetryService {
   /// URI of the read-path cache report.
   static std::string ResponseCacheReportUri();
 
+  /// Creates-or-replaces the "Resilience" MetricReport with per-agent
+  /// breaker state/counters and the POST replay-cache counter. Quiet like
+  /// UpdateResponseCacheReport: no event, no-op when nothing moved.
+  Status UpdateResilienceReport(const ResilienceSnapshot& snapshot);
+
+  /// URI of the resilience (breaker/retry) report.
+  static std::string ResilienceReportUri();
+
  private:
   redfish::ResourceTree& tree_;
   EventService& events_;
@@ -54,6 +76,10 @@ class TelemetryService {
   std::mutex cache_report_mu_;
   redfish::ResponseCacheStats last_cache_stats_;
   bool cache_report_exists_ = false;
+
+  std::mutex resilience_report_mu_;
+  std::string last_resilience_fingerprint_;
+  bool resilience_report_exists_ = false;
 };
 
 }  // namespace ofmf::core

@@ -43,13 +43,20 @@ std::string BaseMessageId(ErrorCode code) {
 }
 
 http::Response ErrorResponse(const Status& status) {
-  return http::MakeJsonResponse(http::StatusToHttp(status),
-                                MakeErrorBody(BaseMessageId(status.code()), status.message()));
+  http::Response response = http::MakeJsonResponse(
+      http::StatusToHttp(status),
+      MakeErrorBody(BaseMessageId(status.code()), status.message()));
+  // RFC 7231 permits Retry-After on any response; advertise it on 503 so
+  // retrying clients know the condition is transient and worth backing off on.
+  if (response.status == 503) response.headers.Set("Retry-After", "1");
+  return response;
 }
 
 http::Response ErrorResponse(int http_status, const std::string& message_id,
                              const std::string& message) {
-  return http::MakeJsonResponse(http_status, MakeErrorBody(message_id, message));
+  http::Response response = http::MakeJsonResponse(http_status, MakeErrorBody(message_id, message));
+  if (response.status == 503) response.headers.Set("Retry-After", "1");
+  return response;
 }
 
 }  // namespace ofmf::redfish

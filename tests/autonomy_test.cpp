@@ -135,6 +135,41 @@ TEST_F(AutoHealerTest, HealFailureKeepsGuardForRetry) {
   EXPECT_EQ(retry->connections_healed, 1);
 }
 
+TEST_F(AutoHealerTest, TransientAgentFaultHealRetriesAndSucceeds) {
+  auto faults = std::make_shared<FaultInjector>();
+  ofmf_.set_fault_injector(faults);
+  AutoHealer healer(*client_);
+  ASSERT_TRUE(healer.Arm().ok());
+  const std::string conn_uri =  // agent call 1
+      *client_->Post(core::FabricUri("IB") + "/Connections", ConnectionBody());
+  ASSERT_TRUE(healer.GuardConnection(conn_uri, core::FabricUri("IB") + "/Connections",
+                                     ConnectionBody())
+                  .ok());
+  // The first heal's delete (agent call 2) lands but its re-create (call 3)
+  // hits a crashed agent: half-healed, the guard must survive for a retry.
+  faults->ArmNthCall("agent.IB", FaultKind::kCrash, 3);
+  ASSERT_TRUE(graph_.SetLinkUp("n1", 0, false).ok());
+  auto report = healer.Poll();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->connections_healed, 0);
+  EXPECT_EQ(report->heal_failures, 1);
+  EXPECT_EQ(healer.guarded_count(), 1u);
+  // One transient failure stays below the breaker threshold.
+  EXPECT_EQ((*ofmf_.BreakerForFabric("IB"))->state(), core::BreakerState::kClosed);
+
+  // The link-restore trap raises a fresh Alert; this time the old URI 404s
+  // without an agent round-trip and the re-create (call 4) goes through.
+  ASSERT_TRUE(graph_.SetLinkUp("n1", 0, true).ok());
+  auto retry = healer.Poll();
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(retry->connections_healed, 1);
+  EXPECT_EQ(retry->heal_failures, 0);
+  auto members = client_->Members(core::FabricUri("IB") + "/Connections");
+  ASSERT_TRUE(members.ok());
+  EXPECT_EQ(members->size(), 1u);
+  EXPECT_EQ(faults->calls("agent.IB"), 4u);
+}
+
 TEST_F(AutoHealerTest, GuardBookkeeping) {
   AutoHealer healer(*client_);
   EXPECT_FALSE(healer.GuardConnection("", "/c", Json::MakeObject()).ok());

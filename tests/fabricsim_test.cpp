@@ -1,6 +1,8 @@
 #include <gmock/gmock.h>
 #include <gtest/gtest.h>
 
+#include "common/faults.hpp"
+#include "fabricsim/chaos.hpp"
 #include "fabricsim/cxl.hpp"
 #include "fabricsim/ethernet.hpp"
 #include "fabricsim/genz.hpp"
@@ -98,6 +100,79 @@ TEST(GraphTest, FailVertexDownsAllLinks) {
   int down = 0;
   for (const LinkState& link : d.graph.Links()) down += !link.up;
   EXPECT_EQ(down, 3);  // both trunks + memB uplink
+}
+
+// ----------------------------------------------------------- LinkFlapper ---
+
+// Dumbbell variant whose FIRST link is the fast trunk, so the flapper's
+// "take down the first live link" lands on the path tests can reroute
+// around instead of severing a leaf.
+struct TrunkFirstDumbbell {
+  FabricGraph graph;
+  TrunkFirstDumbbell() {
+    EXPECT_TRUE(graph.AddVertex("sw0", VertexKind::kSwitch, 8).ok());
+    EXPECT_TRUE(graph.AddVertex("sw1", VertexKind::kSwitch, 8).ok());
+    EXPECT_TRUE(graph.AddVertex("hostA", VertexKind::kDevice, 2).ok());
+    EXPECT_TRUE(graph.AddVertex("memB", VertexKind::kDevice, 2).ok());
+    EXPECT_TRUE(graph.Connect("sw0", 1, "sw1", 1, {50, 200}).ok());  // fast trunk
+    EXPECT_TRUE(graph.Connect("sw0", 2, "sw1", 2, {80, 100}).ok());  // backup trunk
+    EXPECT_TRUE(graph.Connect("hostA", 0, "sw0", 0, {100, 100}).ok());
+    EXPECT_TRUE(graph.Connect("sw1", 0, "memB", 0, {100, 100}).ok());
+  }
+};
+
+TEST(LinkFlapperTest, FlapReroutesOverBackupTrunkAndHealRestores) {
+  TrunkFirstDumbbell d;
+  auto faults = std::make_shared<FaultInjector>();
+  faults->ArmNthCall("fabric.flap", FaultKind::kDropConnection, 1);
+  LinkFlapper flapper(d.graph, faults);
+
+  ASSERT_TRUE(flapper.Tick());  // fast trunk goes down
+  ASSERT_TRUE(flapper.downed_link().has_value());
+  auto rerouted = d.graph.ShortestPath("hostA", "memB");
+  ASSERT_TRUE(rerouted.ok());
+  EXPECT_DOUBLE_EQ(rerouted->total_latency_ns, 280.0);  // 100 + 80 + 100
+
+  flapper.Heal();
+  EXPECT_FALSE(flapper.downed_link().has_value());
+  auto restored = d.graph.ShortestPath("hostA", "memB");
+  ASSERT_TRUE(restored.ok());
+  EXPECT_DOUBLE_EQ(restored->total_latency_ns, 250.0);  // fast trunk again
+  EXPECT_EQ(flapper.flaps(), 1u);
+}
+
+TEST(LinkFlapperTest, AtMostOneLinkDownAcrossScheduledFlaps) {
+  TrunkFirstDumbbell d;
+  auto faults = std::make_shared<FaultInjector>();
+  faults->ArmSchedule("fabric.flap", FaultKind::kDropConnection, {1, 2, 4});
+  LinkFlapper flapper(d.graph, faults);
+
+  for (int tick = 1; tick <= 5; ++tick) {
+    flapper.Tick();
+    int down = 0;
+    for (const LinkState& link : d.graph.Links()) down += !link.up;
+    EXPECT_LE(down, 1) << "tick " << tick;
+    EXPECT_TRUE(d.graph.Reachable("hostA", "memB")) << "tick " << tick;
+  }
+  // Schedule exhausted: the last Tick healed the tick-4 flap and downed
+  // nothing new.
+  EXPECT_EQ(flapper.flaps(), 3u);
+  int down = 0;
+  for (const LinkState& link : d.graph.Links()) down += !link.up;
+  EXPECT_EQ(down, 0);
+}
+
+TEST(LinkFlapperTest, NullOrDisabledInjectorNeverFlaps) {
+  TrunkFirstDumbbell d;
+  LinkFlapper unarmed(d.graph, nullptr);
+  EXPECT_FALSE(unarmed.Tick());
+
+  auto faults = std::make_shared<FaultInjector>();
+  faults->ArmProbability("fabric.flap", FaultKind::kDropConnection, 1.0);
+  faults->set_enabled(false);
+  LinkFlapper disabled(d.graph, faults);
+  EXPECT_FALSE(disabled.Tick());
+  EXPECT_EQ(disabled.flaps(), 0u);
 }
 
 TEST(GraphTest, ReachableSelfAndUnknown) {
