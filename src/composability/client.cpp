@@ -1,14 +1,30 @@
 #include "composability/client.hpp"
 
-#include <atomic>
+#include <cstdio>
+#include <random>
 
 #include "json/parse.hpp"
 #include "odata/annotations.hpp"
 
 namespace ofmf::composability {
 
+namespace {
+// Entropy for the per-client request-id prefix. Not the deterministic
+// common/rng: idempotency keys must differ across processes that share a
+// binary and a seed, which is exactly what a fixed-seed stream cannot do.
+std::string RandomIdPrefix() {
+  std::random_device entropy;
+  const std::uint64_t bits =
+      (static_cast<std::uint64_t>(entropy()) << 32) ^ entropy();
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(bits));
+  return hex;
+}
+}  // namespace
+
 OfmfClient::OfmfClient(std::unique_ptr<http::HttpClient> transport)
-    : transport_(std::move(transport)) {}
+    : transport_(std::move(transport)), request_id_prefix_(RandomIdPrefix()) {}
 
 http::Request OfmfClient::Decorate(http::Request request) const {
   if (!token_.empty()) request.headers.Set("X-Auth-Token", token_);
@@ -70,8 +86,7 @@ void OfmfClient::Forget(const std::string& uri) {
 }
 
 std::string OfmfClient::NextRequestId() {
-  static std::atomic<std::uint64_t> counter{0};
-  return "ofmf-req-" + std::to_string(counter.fetch_add(1, std::memory_order_relaxed) + 1);
+  return "ofmf-req-" + request_id_prefix_ + "-" + std::to_string(++request_counter_);
 }
 
 void OfmfClient::Remember(const std::string& target, std::string etag,

@@ -65,14 +65,20 @@ class OfmfClient {
   /// so a delete-then-recreate at the same URI restarts at W/"1" and a stale
   /// cached tag could spuriously match (304) a different resource's body.
   void Forget(const std::string& uri);
-  /// Process-unique idempotency key stamped on every POST (X-Request-Id);
-  /// lets the server dedupe a retried POST whose first response was lost.
-  static std::string NextRequestId();
+  /// Collision-resistant idempotency key stamped on every POST
+  /// (X-Request-Id); lets the server dedupe a retried POST whose first
+  /// response was lost. A per-client random 64-bit prefix keeps ids from
+  /// two processes (or two clients in one process) from colliding, so the
+  /// server's replay cache can never answer one client with another's
+  /// cached response.
+  std::string NextRequestId();
 
   static constexpr std::size_t kMaxCachedGets = 1024;
 
   std::unique_ptr<http::HttpClient> transport_;
   std::string token_;
+  std::string request_id_prefix_;       // random, fixed at construction
+  std::uint64_t request_counter_ = 0;   // per-client monotonic suffix
   std::map<std::string, CachedGet> etag_cache_;
   std::deque<std::string> etag_cache_order_;  // FIFO eviction
   std::uint64_t etag_cache_hits_ = 0;

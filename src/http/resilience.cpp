@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <thread>
 
@@ -106,9 +107,11 @@ Result<Response> RetryingClient::Send(const Request& request) {
     }
 
     // Exponential backoff, full jitter: Uniform(0, min(max, base * 2^k)).
+    // ldexp keeps large attempt counts defined (saturates toward +inf and
+    // the min() caps it) where an int shift by >= 31 would be UB.
     const double cap = std::min<double>(
         policy_.max_backoff_ms,
-        static_cast<double>(policy_.base_backoff_ms) * static_cast<double>(1 << (attempt - 1)));
+        std::ldexp(static_cast<double>(policy_.base_backoff_ms), attempt - 1));
     int sleep_ms;
     {
       std::lock_guard<std::mutex> lock(mu_);

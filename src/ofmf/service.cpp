@@ -1,6 +1,8 @@
 #include "ofmf/service.hpp"
 
 #include <chrono>
+#include <iterator>
+#include <set>
 #include <thread>
 
 #include "common/strings.hpp"
@@ -162,26 +164,25 @@ void OfmfService::WireRoutes() {
                       {"Issues", json::Json(std::move(issues))}}));
       });
 
-  // Authentication middleware.
-  rest_.SetMiddleware([this](const http::Request& request)
-                          -> std::optional<http::Response> {
-    if (!sessions_.auth_required()) return std::nullopt;
-    // Unauthenticated surface: the root document (GET or HEAD, per RFC 9110
-    // HEAD is GET minus the body) and session creation.
-    if (request.path == kServiceRoot && (request.method == http::Method::kGet ||
-                                         request.method == http::Method::kHead)) {
-      return std::nullopt;
-    }
-    if (request.path == kSessions && request.method == http::Method::kPost) {
-      return std::nullopt;
-    }
-    const std::string token = request.headers.GetOr("X-Auth-Token", "");
-    if (token.empty() || !sessions_.Authenticate(token)) {
-      return redfish::ErrorResponse(401, "Base.1.0.NoValidSession",
-                                    "authenticate via POST " + std::string(kSessions));
-    }
+}
+
+std::optional<http::Response> OfmfService::Authenticate(const http::Request& request) {
+  if (!sessions_.auth_required()) return std::nullopt;
+  // Unauthenticated surface: the root document (GET or HEAD, per RFC 9110
+  // HEAD is GET minus the body) and session creation.
+  if (request.path == kServiceRoot && (request.method == http::Method::kGet ||
+                                       request.method == http::Method::kHead)) {
     return std::nullopt;
-  });
+  }
+  if (request.path == kSessions && request.method == http::Method::kPost) {
+    return std::nullopt;
+  }
+  const std::string token = request.headers.GetOr("X-Auth-Token", "");
+  if (token.empty() || !sessions_.Authenticate(token)) {
+    return redfish::ErrorResponse(401, "Base.1.0.NoValidSession",
+                                  "authenticate via POST " + std::string(kSessions));
+  }
+  return std::nullopt;
 }
 
 Status OfmfService::CreateFabricSkeleton(const std::string& fabric_id,
@@ -237,7 +238,10 @@ Status OfmfService::RegisterAgent(std::shared_ptr<FabricAgent> agent) {
 
   // Route fabric-scoped mutations to the agent, guarded by its circuit
   // breaker and (when an injector is attached) the "agent.<id>" fault point.
-  breakers_by_fabric_.emplace(fabric_id, std::make_unique<CircuitBreaker>());
+  {
+    std::lock_guard<std::mutex> lock(breakers_mu_);
+    breakers_by_fabric_.emplace(fabric_id, std::make_unique<CircuitBreaker>());
+  }
   const std::string fabric_uri = FabricUri(fabric_id);
   FabricAgent* raw = agent.get();
   rest_.RegisterFactory(fabric_uri + "/Zones", "Zone",
@@ -280,6 +284,7 @@ Result<FabricAgent*> OfmfService::AgentForFabric(const std::string& fabric_id) {
 }
 
 Result<CircuitBreaker*> OfmfService::BreakerForFabric(const std::string& fabric_id) {
+  std::lock_guard<std::mutex> lock(breakers_mu_);
   auto it = breakers_by_fabric_.find(fabric_id);
   if (it == breakers_by_fabric_.end()) {
     return Status::NotFound("no breaker for fabric " + fabric_id);
@@ -294,13 +299,16 @@ bool OfmfService::FabricDegraded(const std::string& fabric_id) const {
 
 ResilienceSnapshot OfmfService::CollectResilience() const {
   ResilienceSnapshot snapshot;
-  for (const auto& [fabric_id, breaker] : breakers_by_fabric_) {
-    ResilienceSnapshot::FabricBreaker entry;
-    entry.fabric_id = fabric_id;
-    entry.state = breaker->state();
-    entry.stats = breaker->stats();
-    entry.degraded = FabricDegraded(fabric_id);
-    snapshot.breakers.push_back(std::move(entry));
+  {
+    std::lock_guard<std::mutex> lock(breakers_mu_);
+    for (const auto& [fabric_id, breaker] : breakers_by_fabric_) {
+      ResilienceSnapshot::FabricBreaker entry;
+      entry.fabric_id = fabric_id;
+      entry.state = breaker->state();
+      entry.stats = breaker->stats();
+      entry.degraded = FabricDegraded(fabric_id);
+      snapshot.breakers.push_back(std::move(entry));
+    }
   }
   {
     std::lock_guard<std::mutex> lock(replay_mu_);
@@ -330,9 +338,14 @@ Status OfmfService::InjectedAgentFault(const std::string& fabric_id) {
 }
 
 void OfmfService::NoteAgentOutcome(const std::string& fabric_id, const Status& status) {
-  auto it = breakers_by_fabric_.find(fabric_id);
-  if (it == breakers_by_fabric_.end()) return;
-  CircuitBreaker& breaker = *it->second;
+  CircuitBreaker* found = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(breakers_mu_);
+    auto it = breakers_by_fabric_.find(fabric_id);
+    if (it == breakers_by_fabric_.end()) return;
+    found = it->second.get();
+  }
+  CircuitBreaker& breaker = *found;
   const BreakerState before = breaker.state();
   // Only transport-level failures are agent-health signals; a client error
   // (bad zone spec, unknown endpoint) says nothing about the agent's health.
@@ -390,15 +403,34 @@ void OfmfService::DegradeFabric(const std::string& fabric_id) {
   const json::Json degraded_status = json::Json::Obj(
       {{"Status", json::Json::Obj({{"State", "UnavailableOffline"},
                                    {"Health", "Critical"}})}});
-  std::vector<std::string> touched;
+  // A failed half-open probe re-opens the breaker and lands here again
+  // while the subtree is still degraded; the first snapshot is the real
+  // pre-outage state, so never re-snapshot a URI already recorded.
+  std::set<std::string> already_saved;
+  {
+    std::lock_guard<std::mutex> lock(degraded_mu_);
+    auto it = degraded_uris_.find(fabric_id);
+    if (it != degraded_uris_.end()) {
+      for (const auto& [uri, status] : it->second) already_saved.insert(uri);
+    }
+  }
+  std::vector<std::pair<std::string, json::Json>> touched;
   for (const std::string& uri : tree_.UrisUnder(fabric_uri)) {
+    if (already_saved.count(uri) != 0) continue;
     const Result<json::Json> doc = tree_.GetRaw(uri);
     if (!doc.ok() || !doc->is_object() || !doc->as_object().Contains("Status")) continue;
-    if (tree_.Patch(uri, degraded_status).ok()) touched.push_back(uri);
+    // Snapshot the pre-degradation Status so Restore puts back the real
+    // health (a port a flapper had marked down must come back down, not OK).
+    json::Json original = doc->at("Status");
+    if (tree_.Patch(uri, degraded_status).ok()) {
+      touched.emplace_back(uri, std::move(original));
+    }
   }
   {
     std::lock_guard<std::mutex> lock(degraded_mu_);
-    degraded_uris_[fabric_id] = std::move(touched);
+    auto& saved = degraded_uris_[fabric_id];
+    saved.insert(saved.end(), std::make_move_iterator(touched.begin()),
+                 std::make_move_iterator(touched.end()));
   }
   Event event;
   event.event_type = "StatusChange";
@@ -410,7 +442,7 @@ void OfmfService::DegradeFabric(const std::string& fabric_id) {
 }
 
 void OfmfService::RestoreFabric(const std::string& fabric_id) {
-  std::vector<std::string> touched;
+  std::vector<std::pair<std::string, json::Json>> touched;
   {
     std::lock_guard<std::mutex> lock(degraded_mu_);
     auto it = degraded_uris_.find(fabric_id);
@@ -418,10 +450,8 @@ void OfmfService::RestoreFabric(const std::string& fabric_id) {
     touched = std::move(it->second);
     degraded_uris_.erase(it);
   }
-  const json::Json healthy_status = json::Json::Obj(
-      {{"Status", json::Json::Obj({{"State", "Enabled"}, {"Health", "OK"}})}});
-  for (const std::string& uri : touched) {
-    (void)tree_.Patch(uri, healthy_status);
+  for (const auto& [uri, original_status] : touched) {
+    (void)tree_.Patch(uri, json::Json::Obj({{"Status", original_status}}));
   }
   Event event;
   event.event_type = "StatusChange";
@@ -443,26 +473,47 @@ std::size_t OfmfService::ProcessPendingWork() {
 }
 
 http::Response OfmfService::Handle(const http::Request& request) {
+  // Auth runs first: the replay cache below must never answer an
+  // unauthenticated request with another principal's cached response.
+  if (std::optional<http::Response> denied = Authenticate(request)) return *denied;
+
   // Idempotency dedupe: a retried POST carrying the same X-Request-Id as an
   // earlier *successful* attempt gets that attempt's response replayed
   // instead of re-executing (the first response was lost on the wire, not
   // unproduced). Failures are never cached, so a genuine retry re-executes.
+  // The cache key is scoped by the authenticated token so one session can
+  // never replay another's responses, and entries remember (path, body hash)
+  // so a colliding id with a different request is rejected, not replayed.
   const std::string request_id = request.method == http::Method::kPost
                                      ? request.headers.GetOr("X-Request-Id", "")
                                      : "";
-  if (!request_id.empty()) {
+  const std::string replay_key =
+      request_id.empty()
+          ? std::string()
+          : request.headers.GetOr("X-Auth-Token", "") + "\n" + request_id;
+  const std::size_t body_hash =
+      request_id.empty() ? 0 : std::hash<std::string>{}(request.body);
+  if (!replay_key.empty()) {
     std::lock_guard<std::mutex> lock(replay_mu_);
-    auto it = replayed_posts_.find(request_id);
+    auto it = replayed_posts_.find(replay_key);
     if (it != replayed_posts_.end()) {
+      if (it->second.path != request.path || it->second.body_hash != body_hash) {
+        return redfish::ErrorResponse(
+            400, "Base.1.0.ActionParameterValueConflict",
+            "X-Request-Id '" + request_id +
+                "' was already used for a different request");
+      }
       ++replay_hits_;
-      return it->second;
+      return it->second.response;
     }
   }
   http::Response response = Dispatch(request);
-  if (!request_id.empty() && response.status >= 200 && response.status < 300) {
+  if (!replay_key.empty() && response.status >= 200 && response.status < 300) {
     std::lock_guard<std::mutex> lock(replay_mu_);
-    if (replayed_posts_.emplace(request_id, response).second) {
-      replay_order_.push_back(request_id);
+    if (replayed_posts_
+            .emplace(replay_key, ReplayEntry{request.path, body_hash, response})
+            .second) {
+      replay_order_.push_back(replay_key);
       while (replay_order_.size() > kMaxReplayEntries) {
         replayed_posts_.erase(replay_order_.front());
         replay_order_.pop_front();

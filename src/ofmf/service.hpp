@@ -11,7 +11,9 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -92,6 +94,11 @@ class OfmfService {
   void WireRoutes();
   http::Response Dispatch(const http::Request& request);
 
+  /// Authentication gate, run by Handle() before anything else (including
+  /// the replay-cache lookup, so a cached response can never leak past a
+  /// missing 401). Returns the error response when the request is denied.
+  std::optional<http::Response> Authenticate(const http::Request& request);
+
   /// Runs one agent call under its breaker and fault point; records the
   /// outcome and degrades/restores the fabric on breaker transitions.
   Result<std::string> GuardedAgentCreate(const std::string& fabric_id,
@@ -120,16 +127,29 @@ class OfmfService {
   bool bootstrapped_ = false;
 
   std::shared_ptr<FaultInjector> faults_;
+  // Breakers are created by RegisterAgent and never erased, so the
+  // CircuitBreaker pointers handed out stay valid; the mutex guards the map
+  // itself against an agent registering while readers iterate or look up.
+  mutable std::mutex breakers_mu_;
   std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers_by_fabric_;
   mutable std::mutex degraded_mu_;
-  std::map<std::string, std::vector<std::string>> degraded_uris_;  // fabric -> uris
+  // fabric -> (uri, pre-degradation Status) so Restore puts back what was
+  // actually there, not a blanket Enabled/OK.
+  std::map<std::string, std::vector<std::pair<std::string, json::Json>>> degraded_uris_;
 
-  // Idempotent-POST replay cache: X-Request-Id -> successful response.
-  // Bounded FIFO; only 2xx responses are recorded so a failed attempt never
-  // blocks its own retry from re-executing.
+  // Idempotent-POST replay cache: (auth principal, X-Request-Id) ->
+  // successful response. Bounded FIFO; only 2xx responses are recorded so a
+  // failed attempt never blocks its own retry from re-executing. Entries
+  // remember the request's path and body hash: a same-key lookup with a
+  // different request is rejected rather than replayed.
+  struct ReplayEntry {
+    std::string path;
+    std::size_t body_hash = 0;
+    http::Response response;
+  };
   static constexpr std::size_t kMaxReplayEntries = 512;
   mutable std::mutex replay_mu_;
-  std::map<std::string, http::Response> replayed_posts_;
+  std::map<std::string, ReplayEntry> replayed_posts_;
   std::deque<std::string> replay_order_;
   std::uint64_t replay_hits_ = 0;
 };

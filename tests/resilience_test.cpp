@@ -456,6 +456,120 @@ TEST_F(ResilientServiceTest, FailedPostsAreNotReplayCached) {
   EXPECT_EQ(ofmf_.Handle(good).status, 201);
 }
 
+TEST_F(ResilientServiceTest, ReplayCacheNeverBypassesAuth) {
+  ofmf_.sessions().set_auth_required(true);
+  const http::Response session = ofmf_.Handle(http::MakeJsonRequest(
+      http::Method::kPost, core::kSessions,
+      Json::Obj({{"UserName", "admin"}, {"Password", "ofmf"}})));
+  ASSERT_EQ(session.status, 201);
+  const std::string token = session.headers.GetOr("X-Auth-Token", "");
+
+  http::Request compose = http::MakeJsonRequest(
+      http::Method::kPost, core::kSystems,
+      Json::Obj({{"Name", "secret"},
+                 {"Links", Json::Obj({{"ResourceBlocks",
+                                       Json::Arr({Json::Obj(
+                                           {{"@odata.id", BlockUri(0)}})})}})}}));
+  compose.headers.Set("X-Request-Id", "guessable-1");
+  compose.headers.Set("X-Auth-Token", token);
+  ASSERT_EQ(ofmf_.Handle(compose).status, 201);
+
+  // An unauthenticated request with the (guessable) same id must hit the
+  // 401, not the replay cache: auth runs before the dedupe lookup.
+  http::Request stolen = compose;
+  stolen.headers.Remove("X-Auth-Token");
+  const http::Response denied = ofmf_.Handle(stolen);
+  EXPECT_EQ(denied.status, 401);
+  EXPECT_EQ(denied.headers.GetOr("Location", ""), "");
+
+  // A *different* session reusing the id gets its own execution (the cache
+  // is keyed by token), not the first session's cached Location.
+  const http::Response other = ofmf_.Handle(http::MakeJsonRequest(
+      http::Method::kPost, core::kSessions,
+      Json::Obj({{"UserName", "admin"}, {"Password", "ofmf"}})));
+  ASSERT_EQ(other.status, 201);
+  http::Request cross = http::MakeJsonRequest(
+      http::Method::kPost, core::kSystems,
+      Json::Obj({{"Name", "mine"},
+                 {"Links", Json::Obj({{"ResourceBlocks",
+                                       Json::Arr({Json::Obj(
+                                           {{"@odata.id", BlockUri(1)}})})}})}}));
+  cross.headers.Set("X-Request-Id", "guessable-1");
+  cross.headers.Set("X-Auth-Token", other.headers.GetOr("X-Auth-Token", ""));
+  const http::Response fresh = ofmf_.Handle(cross);
+  ASSERT_EQ(fresh.status, 201);
+  EXPECT_NE(fresh.headers.GetOr("Location", ""),
+            ofmf_.Handle(compose).headers.GetOr("Location", ""));
+  EXPECT_EQ(ofmf_.tree().Members(core::kSystems)->size(), 2u);
+}
+
+TEST_F(ResilientServiceTest, ReplayWithDifferentBodyIsRejectedNotReplayed) {
+  http::Request first = http::MakeJsonRequest(
+      http::Method::kPost, core::kSystems,
+      Json::Obj({{"Name", "one"},
+                 {"Links", Json::Obj({{"ResourceBlocks",
+                                       Json::Arr({Json::Obj(
+                                           {{"@odata.id", BlockUri(0)}})})}})}}));
+  first.headers.Set("X-Request-Id", "reused");
+  ASSERT_EQ(ofmf_.Handle(first).status, 201);
+  // Same key, different request: answering with the cached 201 would hand
+  // back the wrong system, so the service refuses outright.
+  http::Request second = http::MakeJsonRequest(
+      http::Method::kPost, core::kSystems,
+      Json::Obj({{"Name", "two"},
+                 {"Links", Json::Obj({{"ResourceBlocks",
+                                       Json::Arr({Json::Obj(
+                                           {{"@odata.id", BlockUri(1)}})})}})}}));
+  second.headers.Set("X-Request-Id", "reused");
+  EXPECT_EQ(ofmf_.Handle(second).status, 400);
+  EXPECT_EQ(ofmf_.tree().Members(core::kSystems)->size(), 1u);
+}
+
+TEST_F(ResilientServiceTest, RequestIdsDistinctAcrossClients) {
+  // Two clients (think: two manager processes against one TCP service) must
+  // never emit colliding idempotency keys, or the server would replay one
+  // client's response for the other's unrelated POST.
+  auto inner_a = std::make_unique<ScriptedClient>();
+  auto inner_b = std::make_unique<ScriptedClient>();
+  ScriptedClient* raw_a = inner_a.get();
+  ScriptedClient* raw_b = inner_b.get();
+  composability::OfmfClient a(std::move(inner_a));
+  composability::OfmfClient b(std::move(inner_b));
+  (void)a.Post("/x", Json::MakeObject());
+  (void)b.Post("/x", Json::MakeObject());
+  const std::string id_a = raw_a->last_request_.headers.GetOr("X-Request-Id", "");
+  const std::string id_b = raw_b->last_request_.headers.GetOr("X-Request-Id", "");
+  EXPECT_FALSE(id_a.empty());
+  EXPECT_FALSE(id_b.empty());
+  EXPECT_NE(id_a, id_b);  // both are this process's first POST
+}
+
+TEST_F(ResilientServiceTest, RestorePutsBackPreOutageStatusNotBlanketOk) {
+  // n2 was legitimately unhealthy before the outage; recovery must not
+  // launder it to OK.
+  const std::string sick_uri = core::FabricUri("IB") + "/Endpoints/n2";
+  ASSERT_TRUE(ofmf_.tree()
+                  .Patch(sick_uri, Json::Obj({{"Status",
+                                               Json::Obj({{"State", "Enabled"},
+                                                          {"Health", "Warning"}})}}))
+                  .ok());
+  faults_->ArmWindow("agent.IB", FaultKind::kCrash, 1, 6);
+  const std::string connections_uri = core::FabricUri("IB") + "/Connections";
+  core::CircuitBreaker* breaker = *ofmf_.BreakerForFabric("IB");
+  int calls = 0;
+  while (breaker->state() != core::BreakerState::kClosed && calls < 60) {
+    ++calls;
+    (void)client_->Post(connections_uri, ConnectionBody());
+  }
+  ASSERT_EQ(breaker->state(), core::BreakerState::kClosed);
+  ASSERT_FALSE(ofmf_.FabricDegraded("IB"));
+  const Json healthy = *client_->Get(core::FabricUri("IB") + "/Endpoints/n1");
+  EXPECT_EQ(healthy.at("Status").GetString("Health"), "OK");
+  const Json sick = *client_->Get(sick_uri);
+  EXPECT_EQ(sick.at("Status").GetString("State"), "Enabled");
+  EXPECT_EQ(sick.at("Status").GetString("Health"), "Warning");
+}
+
 TEST_F(ResilientServiceTest, LostResponseRetryConvergesToOneSystem) {
   // Full decorated stack: OfmfClient -> RetryingClient -> FaultyClient ->
   // in-process service. The compose response is lost on the wire; the
