@@ -2,12 +2,20 @@
 // requests from client threads — the interop surface an external tool (curl,
 // the real Swordfish emulator test suites) would hit.
 //
-//   $ ./examples/rest_server          # self-driving demo on an ephemeral port
-//   $ ./examples/rest_server 8080 30  # listen on :8080 for 30 s (curl it)
+//   $ ./examples/rest_server                        # self-driving demo, ephemeral port
+//   $ ./examples/rest_server 8080 30                # listen on :8080 for 30 s (curl it)
+//   $ ./examples/rest_server 8080 0 --store-dir /var/lib/ofmf
+//       # durable: journal + snapshots in /var/lib/ofmf, serve until
+//       # SIGINT/SIGTERM, flush the store, exit. Start it again with the same
+//       # --store-dir and the tree (sessions included) comes back.
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <thread>
 
 #include "agents/nvmeof_agent.hpp"
@@ -15,14 +23,34 @@
 #include "json/serialize.hpp"
 #include "ofmf/service.hpp"
 #include "ofmf/uris.hpp"
+#include "store/store.hpp"
 
 using namespace ofmf;
 using json::Json;
 
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleStopSignal(int) { g_stop = 1; }
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const std::uint16_t port =
-      argc > 1 ? static_cast<std::uint16_t>(std::atoi(argv[1])) : 0;
-  const int linger_seconds = argc > 2 ? std::atoi(argv[2]) : 0;
+  std::uint16_t port = 0;
+  int linger_seconds = 0;
+  std::string store_dir;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--store-dir") == 0 && i + 1 < argc) {
+      store_dir = argv[++i];
+    } else if (positional == 0) {
+      port = static_cast<std::uint16_t>(std::atoi(argv[i]));
+      ++positional;
+    } else if (positional == 1) {
+      linger_seconds = std::atoi(argv[i]);
+      ++positional;
+    }
+  }
 
   // Fabric + NVMe-oF target inventory.
   fabricsim::FabricGraph graph;
@@ -38,8 +66,41 @@ int main(int argc, char** argv) {
 
   core::OfmfService ofmf;
   if (!ofmf.Bootstrap().ok()) return 1;
+
+  // Durability first (recovers any previous run), then agents re-publish
+  // their live inventory, then reconciliation settles what survived.
+  if (!store_dir.empty()) {
+    store::StoreOptions options;
+    options.dir = store_dir;
+    auto persistent = store::PersistentStore::Open(options);
+    if (!persistent.ok()) {
+      std::fprintf(stderr, "cannot open store %s: %s\n", store_dir.c_str(),
+                   persistent.status().message().c_str());
+      return 1;
+    }
+    auto report = ofmf.EnableDurability(std::move(*persistent));
+    if (!report.ok()) {
+      std::fprintf(stderr, "recovery failed: %s\n", report.status().message().c_str());
+      return 1;
+    }
+    std::printf("store %s: snapshot=%s, %zu journal records replayed, "
+                "%zu resources, %zu sessions (%.1f ms)\n",
+                store_dir.c_str(), report->had_snapshot ? "yes" : "no",
+                report->records_replayed, report->resources, report->sessions,
+                report->recover_seconds * 1000.0);
+  }
   ofmf.sessions().set_auth_required(true);  // full auth on the wire
   (void)ofmf.RegisterAgent(std::make_shared<agents::NvmeofAgent>("NVMeoF", nvme));
+  if (ofmf.durable()) {
+    auto reconciled = ofmf.ReconcileWithAgents();
+    if (reconciled.ok() &&
+        (reconciled->resources_marked_absent != 0 || reconciled->systems_rolled_back != 0)) {
+      std::printf("reconcile: %zu resources marked Absent, %zu systems adopted, "
+                  "%zu rolled back, %zu claims released\n",
+                  reconciled->resources_marked_absent, reconciled->systems_adopted,
+                  reconciled->systems_rolled_back, reconciled->claims_released);
+    }
+  }
 
   http::TcpServer server;
   if (!server.Start(ofmf.Handler(), port).ok()) {
@@ -49,14 +110,30 @@ int main(int argc, char** argv) {
   std::printf("OFMF listening on http://127.0.0.1:%u/redfish/v1\n", server.port());
   std::printf("credentials: admin / ofmf (POST %s)\n\n", core::kSessions);
 
-  if (linger_seconds > 0) {
-    std::printf("serving for %d s; try:\n"
-                "  curl http://127.0.0.1:%u/redfish/v1\n"
+  if (linger_seconds > 0 || !store_dir.empty()) {
+    std::signal(SIGINT, HandleStopSignal);
+    std::signal(SIGTERM, HandleStopSignal);
+    if (linger_seconds > 0) {
+      std::printf("serving for %d s; try:\n", linger_seconds);
+    } else {
+      std::printf("serving until SIGINT/SIGTERM; try:\n");
+    }
+    std::printf("  curl http://127.0.0.1:%u/redfish/v1\n"
                 "  curl -X POST -d '{\"UserName\":\"admin\",\"Password\":\"ofmf\"}' "
                 "http://127.0.0.1:%u%s -i\n",
-                linger_seconds, server.port(), server.port(), core::kSessions);
-    std::this_thread::sleep_for(std::chrono::seconds(linger_seconds));
+                server.port(), server.port(), core::kSessions);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(linger_seconds);
+    while (g_stop == 0 &&
+           (linger_seconds == 0 || std::chrono::steady_clock::now() < deadline)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
     server.Stop();
+    if (ofmf.durable()) {
+      const Status flushed = ofmf.FlushStore();
+      std::printf("%s: store flushed %s\n", g_stop != 0 ? "signal" : "timeout",
+                  flushed.ok() ? "cleanly" : flushed.message().c_str());
+    }
     return 0;
   }
 
@@ -98,6 +175,7 @@ int main(int argc, char** argv) {
   if (connection.ok()) {
     std::printf("storage connection created: %s\n", connection->c_str());
   }
+  if (ofmf.durable()) (void)ofmf.FlushStore();
   server.Stop();
   std::printf("server stopped.\n");
   return 0;

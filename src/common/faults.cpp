@@ -12,6 +12,8 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kDelay: return "delay";
     case FaultKind::kErrorStatus: return "error-status";
     case FaultKind::kCrash: return "crash";
+    case FaultKind::kTornWrite: return "torn-write";
+    case FaultKind::kShortFsync: return "short-fsync";
   }
   return "?";
 }
@@ -35,22 +37,26 @@ void FaultInjector::ArmProbability(const std::string& point, FaultKind kind,
 void FaultInjector::ArmNthCall(const std::string& point, FaultKind kind,
                                std::uint64_t nth) {
   std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = PointAt(point);
   Rule rule;
   rule.mode = Mode::kNth;
   rule.kind = kind;
-  rule.from_call = nth;
-  PointAt(point).rule = rule;
+  // Counted from the moment of arming: calls the point absorbed before this
+  // rule existed must not consume the trigger.
+  rule.from_call = state.calls + nth;
+  state.rule = rule;
 }
 
 void FaultInjector::ArmWindow(const std::string& point, FaultKind kind,
                               std::uint64_t from_call, std::uint64_t to_call) {
   std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = PointAt(point);
   Rule rule;
   rule.mode = Mode::kWindow;
   rule.kind = kind;
-  rule.from_call = from_call;
-  rule.to_call = to_call;
-  PointAt(point).rule = rule;
+  rule.from_call = state.calls + from_call;
+  rule.to_call = state.calls + to_call;
+  state.rule = rule;
 }
 
 void FaultInjector::ArmSchedule(const std::string& point, FaultKind kind,

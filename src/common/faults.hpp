@@ -29,6 +29,8 @@ enum class FaultKind {
   kDelay,           // request delayed by delay_ms before proceeding
   kErrorStatus,     // peer answers error_status (503 by default) without acting
   kCrash,           // process/agent death: hard-unavailable until the rule ends
+  kTornWrite,       // storage: a write persists only a prefix before power loss
+  kShortFsync,      // storage: fsync silently skipped; data stays in page cache
 };
 
 const char* to_string(FaultKind kind);
@@ -51,12 +53,14 @@ class FaultInjector {
   /// Fires exactly once, on the `nth` call (1-based) after arming.
   void ArmNthCall(const std::string& point, FaultKind kind, std::uint64_t nth);
 
-  /// Fires on every call numbered in [from_call, to_call) (1-based). Models
-  /// a crash window: down for a stretch of calls, then recovered.
+  /// Fires on every call numbered in [from_call, to_call), counted 1-based
+  /// from the moment of arming. Models a crash window: down for a stretch of
+  /// calls, then recovered.
   void ArmWindow(const std::string& point, FaultKind kind, std::uint64_t from_call,
                  std::uint64_t to_call);
 
-  /// Fires on exactly the listed 1-based call numbers (a chaos script).
+  /// Fires on exactly the listed call numbers, against the point's absolute
+  /// lifetime call counter (a chaos script pinned to a trace).
   void ArmSchedule(const std::string& point, FaultKind kind,
                    std::vector<std::uint64_t> call_numbers);
 

@@ -39,6 +39,9 @@ Result<Response> FaultyClient::Send(const Request& request) {
       overloaded.headers.Set("Retry-After", "0");
       return overloaded;
     }
+    case FaultKind::kTornWrite:
+    case FaultKind::kShortFsync:
+      break;  // storage-only faults; meaningless on the wire
   }
   return inner_->Send(request);
 }

@@ -62,13 +62,13 @@ void ApplyPaging(json::Json& collection, const QueryOptions& options,
     arr = std::move(page);
   }
   collection.as_object().Set("Members@odata.count", static_cast<std::int64_t>(total));
-  if (begin != 0 || end != total) {
-    if (end < total) {
-      const std::size_t next_skip = end;
-      std::string link = self_uri + "?$skip=" + std::to_string(next_skip);
-      if (options.top.has_value()) link += "&$top=" + std::to_string(*options.top);
-      collection.as_object().Set("@odata.nextLink", link);
-    }
+  // No nextLink for $top=0: the page can never advance past `begin`, so the
+  // link would send a paging client into an infinite zero-progress loop.
+  if (end < total && (!options.top.has_value() || *options.top > 0)) {
+    const std::size_t next_skip = end;
+    std::string link = self_uri + "?$skip=" + std::to_string(next_skip);
+    if (options.top.has_value()) link += "&$top=" + std::to_string(*options.top);
+    collection.as_object().Set("@odata.nextLink", link);
   }
 }
 

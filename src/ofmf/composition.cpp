@@ -1,5 +1,9 @@
 #include "ofmf/composition.hpp"
 
+#include <cstdlib>
+#include <set>
+
+#include "common/strings.hpp"
 #include "json/pointer.hpp"
 #include "odata/annotations.hpp"
 #include "ofmf/uris.hpp"
@@ -279,6 +283,68 @@ Result<std::vector<std::string>> CompositionService::BlocksOf(
     if (!uri.empty()) uris.push_back(uri);
   }
   return uris;
+}
+
+Result<CompositionService::CompositionRecovery> CompositionService::RecoverConsistency() {
+  CompositionRecovery recovery;
+
+  std::vector<std::string> systems;
+  std::uint64_t max_id = 0;
+  for (const std::string& uri : tree_.UrisUnder(kSystems)) {
+    if (uri == kSystems) continue;
+    const std::size_t slash = uri.rfind('/');
+    const std::string id = uri.substr(slash + 1);
+    if (strings::StartsWith(id, "composed-")) {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(id.c_str() + 9, &end, 10);
+      if (end != nullptr && *end == '\0' && n > max_id) max_id = n;
+    }
+    systems.push_back(uri);
+  }
+  if (max_id >= next_system_id_) next_system_id_ = max_id + 1;
+
+  std::set<std::string> held;  // block URIs owned by an adopted system
+  for (const std::string& system_uri : systems) {
+    const Result<json::Json> system = tree_.GetRaw(system_uri);
+    if (!system.ok() || system->GetString("SystemType") != "Composed") continue;
+    const Result<std::vector<std::string>> blocks = BlocksOf(system_uri);
+    bool intact = blocks.ok() && !blocks->empty();
+    if (intact) {
+      for (const std::string& block_uri : *blocks) {
+        const Result<std::string> state = BlockState(block_uri);
+        if (!state.ok() || *state != "Composed") {
+          intact = false;
+          break;
+        }
+      }
+    }
+    if (intact) {
+      ++recovery.systems_adopted;
+      for (const std::string& block_uri : *blocks) held.insert(block_uri);
+      continue;
+    }
+    // Half-composed (crashed mid-Compose, or a block vanished with its
+    // fabric): free what it did claim and delete it, the failed-Compose
+    // unwind replayed at recovery time.
+    if (blocks.ok()) {
+      for (const std::string& block_uri : *blocks) {
+        if (tree_.Exists(block_uri)) (void)SetBlockState(block_uri, "Unused");
+      }
+    }
+    (void)tree_.RemoveMember(kSystems, system_uri);
+    OFMF_RETURN_IF_ERROR(tree_.Delete(system_uri));
+    ++recovery.systems_rolled_back;
+  }
+
+  for (const std::string& block_uri : tree_.UrisUnder(kResourceBlocks)) {
+    if (block_uri == kResourceBlocks || held.count(block_uri) != 0) continue;
+    const Result<std::string> state = BlockState(block_uri);
+    if (state.ok() && *state == "Composed") {
+      OFMF_RETURN_IF_ERROR(SetBlockState(block_uri, "Unused"));
+      ++recovery.claims_released;
+    }
+  }
+  return recovery;
 }
 
 Status CompositionService::RefreshSummaries(const std::string& system_uri) {

@@ -70,6 +70,25 @@ class CompositionService {
 
   Result<std::string> BlockState(const std::string& block_uri) const;
 
+  /// Outcome of the post-recovery consistency pass.
+  struct CompositionRecovery {
+    std::size_t systems_adopted = 0;      // every block claim verified held
+    std::size_t systems_rolled_back = 0;  // half-composed; blocks freed, system gone
+    std::size_t claims_released = 0;      // Composed blocks no system references
+  };
+
+  /// Post-crash-recovery pass, run before traffic is admitted:
+  ///  1. re-syncs the system-id counter past every recovered "composed-<n>"
+  ///     (otherwise the next Compose collides with a recovered system),
+  ///  2. adopts composed systems whose blocks all exist and hold their
+  ///     Composed claim; rolls back any other (a crash between claim and
+  ///     create, or a block the fabric no longer provides) by freeing its
+  ///     surviving blocks and deleting the system — the same unwind a failed
+  ///     Compose performs,
+  ///  3. releases Composed claims no surviving system references (a crash
+  ///     between claim and system creation leaks exactly this way).
+  Result<CompositionRecovery> RecoverConsistency();
+
  private:
   Status SetBlockState(const std::string& block_uri, const std::string& state);
   /// Atomically claims an Unused block (CAS on the block's ETag); retries a

@@ -1,6 +1,7 @@
 #include "ofmf/events.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/logging.hpp"
 #include "common/strings.hpp"
@@ -83,6 +84,32 @@ Result<std::string> EventService::Subscribe(const json::Json& body) {
   const std::string uri = subscription.uri;
   subscriptions_.emplace(uri, std::move(subscription));
   return uri;
+}
+
+std::size_t EventService::AdoptSubscriptionsFromTree() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  subscriptions_.clear();
+  const Result<std::vector<std::string>> members = tree_.Members(kSubscriptions);
+  if (!members.ok()) return 0;
+  for (const std::string& uri : *members) {
+    const Result<json::Json> payload = tree_.GetRaw(uri);
+    if (!payload.ok()) continue;
+    Subscription subscription;
+    subscription.uri = uri;
+    subscription.destination = payload->GetString("Destination");
+    subscription.context = payload->GetString("Context");
+    if (payload->at("EventTypes").is_array()) {
+      for (const json::Json& type : payload->at("EventTypes").as_array()) {
+        if (type.is_string()) subscription.event_types.push_back(type.as_string());
+      }
+    }
+    char* end = nullptr;
+    const unsigned long long id =
+        std::strtoull(payload->GetString("Id").c_str(), &end, 10);
+    if (end != nullptr && *end == '\0' && id >= next_id_) next_id_ = id + 1;
+    subscriptions_.emplace(uri, std::move(subscription));
+  }
+  return subscriptions_.size();
 }
 
 Status EventService::Unsubscribe(const std::string& subscription_uri) {

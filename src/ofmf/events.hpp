@@ -49,6 +49,13 @@ class EventService {
   Result<std::string> Subscribe(const json::Json& body);
   Status Unsubscribe(const std::string& subscription_uri);
 
+  /// Rebuilds the subscription table from the EventDestination resources in
+  /// the tree (after crash recovery; the payloads hold everything needed).
+  /// Undrained internal queues do not survive a restart — they are process
+  /// memory, exactly like a push destination's in-flight socket. Returns the
+  /// number of subscriptions adopted.
+  std::size_t AdoptSubscriptionsFromTree();
+
   /// Publishes an event to every subscription whose EventTypes match.
   void Publish(const Event& event);
 

@@ -203,15 +203,22 @@ Status OfmfService::CreateFabricSkeleton(const std::string& fabric_id,
           {"Oem", json::Json::Obj({{"Ofmf", json::Json::Obj({{"Agent", agent_id}})}})},
       })));
   OFMF_RETURN_IF_ERROR(tree_.AddMember(kFabrics, fabric_uri));
-  OFMF_RETURN_IF_ERROR(tree_.CreateCollection(
+  // After crash recovery the sub-collections already exist with their member
+  // lists; recreating them (even adopt-in-place) would wipe the membership,
+  // so only materialize the ones actually missing.
+  const auto ensure_collection = [&](const std::string& uri, const char* type,
+                                     const char* name) -> Status {
+    if (tree_.Exists(uri)) return Status::Ok();
+    return tree_.CreateCollection(uri, type, name);
+  };
+  OFMF_RETURN_IF_ERROR(ensure_collection(
       fabric_uri + "/Endpoints", "#EndpointCollection.EndpointCollection", "Endpoints"));
-  OFMF_RETURN_IF_ERROR(tree_.CreateCollection(
+  OFMF_RETURN_IF_ERROR(ensure_collection(
       fabric_uri + "/Switches", "#SwitchCollection.SwitchCollection", "Switches"));
-  OFMF_RETURN_IF_ERROR(tree_.CreateCollection(fabric_uri + "/Zones",
-                                              "#ZoneCollection.ZoneCollection", "Zones"));
-  return tree_.CreateCollection(fabric_uri + "/Connections",
-                                "#ConnectionCollection.ConnectionCollection",
-                                "Connections");
+  OFMF_RETURN_IF_ERROR(ensure_collection(fabric_uri + "/Zones",
+                                         "#ZoneCollection.ZoneCollection", "Zones"));
+  return ensure_collection(fabric_uri + "/Connections",
+                           "#ConnectionCollection.ConnectionCollection", "Connections");
 }
 
 Status OfmfService::RegisterAgent(std::shared_ptr<FabricAgent> agent) {
@@ -333,6 +340,9 @@ Status OfmfService::InjectedAgentFault(const std::string& fabric_id) {
       return Status::Unavailable("agent for fabric " + fabric_id +
                                  " unreachable (injected " +
                                  std::string(to_string(decision.kind)) + ")");
+    case FaultKind::kTornWrite:
+    case FaultKind::kShortFsync:
+      return Status::Ok();  // storage-only faults; no agent-path meaning
   }
   return Status::Ok();
 }
@@ -461,6 +471,113 @@ void OfmfService::RestoreFabric(const std::string& fabric_id) {
   events_.Publish(event);
 }
 
+Result<store::RecoveryReport> OfmfService::EnableDurability(
+    std::shared_ptr<store::PersistentStore> store) {
+  if (!bootstrapped_) return Status::FailedPrecondition("bootstrap the service first");
+  if (store_ != nullptr) return Status::FailedPrecondition("durability already enabled");
+  if (store == nullptr) return Status::InvalidArgument("store must be non-null");
+  store_ = std::move(store);
+
+  OFMF_ASSIGN_OR_RETURN(store::PersistentStore::RecoveredState recovered,
+                        store_->Recover(tree_));
+  const bool restarted =
+      recovered.report.had_snapshot || recovered.report.records_replayed > 0;
+  if (restarted) {
+    // The tree is now the pre-crash one; rebuild everything derived from it.
+    for (const store::DurableSession& session : recovered.sessions) {
+      sessions_.RestoreSession({session.id, session.user, session.token,
+                                std::string(kSessions) + "/" + session.id});
+    }
+    (void)events_.AdoptSubscriptionsFromTree();
+    // Cached responses were built from the pre-recovery (bootstrap) tree and
+    // ImportState fires no change events, so invalidate wholesale.
+    rest_.response_cache().Clear();
+    // Agents re-registering will Create() resources that already exist in
+    // the recovered tree; adopt-in-place until ReconcileWithAgents() runs.
+    tree_.set_recovery_adopt(true);
+  }
+
+  // From here on every mutation is journaled. The callback runs under the
+  // tree's exclusive lock: it must not re-enter the tree (recovery_adopt()
+  // is a bare atomic read, LogMutation never touches the tree).
+  tree_.SetMutationLog([this](const redfish::ResourceTree::Mutation& mutation) {
+    if (tree_.recovery_adopt() && mutation.kind != redfish::ChangeKind::kDeleted) {
+      std::lock_guard<std::mutex> lock(adopt_mu_);
+      adopted_uris_.insert(mutation.uri);
+    }
+    store_->LogMutation(mutation);
+  });
+
+  // Baseline: fold the recovered (or freshly bootstrapped) tree and any
+  // surviving journal history into one snapshot + fresh generation.
+  OFMF_RETURN_IF_ERROR(CompactStore());
+  return recovered.report;
+}
+
+Result<ReconcileReport> OfmfService::ReconcileWithAgents() {
+  if (store_ == nullptr) return Status::FailedPrecondition("durability is not enabled");
+  ReconcileReport report;
+
+  // Resources in a re-registered agent's fabric that the agent did not
+  // re-publish no longer exist on the hardware: mark them Absent (keep the
+  // document — a client holding the URI should see *why* it is dead, and an
+  // agent that reports it again later re-adopts it in place). Fabrics whose
+  // agent has not come back are left untouched, exactly like a degraded
+  // fabric: served stale.
+  // The pass only makes sense after an actual recovery: recovery_adopt is
+  // what routed agent re-publications into adopted_uris_. On a fresh boot it
+  // was never set, adopted_uris_ is empty, and marking would declare the
+  // agent's brand-new inventory dead.
+  if (tree_.recovery_adopt()) {
+    const json::Json absent =
+        json::Json::Obj({{"Status", json::Json::Obj({{"State", "Absent"}})}});
+    for (const auto& [fabric_id, agent] : agents_by_fabric_) {
+      for (const std::string& uri : tree_.UrisUnder(FabricUri(fabric_id))) {
+        {
+          std::lock_guard<std::mutex> lock(adopt_mu_);
+          if (adopted_uris_.count(uri) != 0) continue;
+        }
+        const Result<json::Json> doc = tree_.GetRaw(uri);
+        if (!doc.ok() || !doc->is_object() || !doc->as_object().Contains("Status")) {
+          continue;  // collections and the like carry no Status to mark
+        }
+        if (doc->at("Status").GetString("State") == "Absent") continue;
+        if (tree_.Patch(uri, absent).ok()) ++report.resources_marked_absent;
+      }
+    }
+  }
+
+  OFMF_ASSIGN_OR_RETURN(CompositionService::CompositionRecovery recovered,
+                        composition_.RecoverConsistency());
+  report.systems_adopted = recovered.systems_adopted;
+  report.systems_rolled_back = recovered.systems_rolled_back;
+  report.claims_released = recovered.claims_released;
+
+  tree_.set_recovery_adopt(false);
+  {
+    std::lock_guard<std::mutex> lock(adopt_mu_);
+    adopted_uris_.clear();
+  }
+  // The reconciled tree is the new baseline; snapshot it so the next restart
+  // replays reconciliation's outcome, not the pre-crash limbo.
+  OFMF_RETURN_IF_ERROR(CompactStore());
+  return report;
+}
+
+Status OfmfService::FlushStore() {
+  if (store_ == nullptr) return Status::Ok();
+  return store_->Flush();
+}
+
+Status OfmfService::CompactStore() {
+  if (store_ == nullptr) return Status::FailedPrecondition("durability is not enabled");
+  std::vector<store::DurableSession> sessions;
+  for (const SessionInfo& session : sessions_.ExportSessions()) {
+    sessions.push_back({session.id, session.user, session.token});
+  }
+  return store_->Compact([this] { return tree_.ExportState(); }, sessions);
+}
+
 std::size_t OfmfService::ProcessPendingWork() {
   std::size_t ran = 0;
   while (!pending_work_.empty()) {
@@ -508,6 +625,12 @@ http::Response OfmfService::Handle(const http::Request& request) {
     }
   }
   http::Response response = Dispatch(request);
+  // Durability upkeep rides the write path only: reads stay on the PR 1
+  // fast lane (shared-lock tree + response cache) and never touch the store.
+  if (store_ != nullptr && request.method != http::Method::kGet &&
+      request.method != http::Method::kHead && store_->compaction_due()) {
+    (void)CompactStore();
+  }
   if (!replay_key.empty() && response.status >= 200 && response.status < 300) {
     std::lock_guard<std::mutex> lock(replay_mu_);
     if (replayed_posts_
@@ -585,6 +708,11 @@ http::Response OfmfService::Dispatch(const http::Request& request) {
     Result<SessionInfo> session =
         sessions_.CreateSession(body->GetString("UserName"), body->GetString("Password"));
     if (!session.ok()) return redfish::ErrorResponse(session.status());
+    if (store_ != nullptr) {
+      // The Session resource is journaled via the tree; the token is a
+      // secret the tree never carries, so it gets its own journal record.
+      store_->LogSession({session->id, session->user, session->token});
+    }
     http::Response response = http::MakeJsonResponse(201, *tree_.Get(session->uri));
     response.headers.Set("Location", session->uri);
     response.headers.Set("X-Auth-Token", session->token);

@@ -12,6 +12,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -28,8 +29,17 @@
 #include "ofmf/telemetry.hpp"
 #include "redfish/service.hpp"
 #include "redfish/tree.hpp"
+#include "store/store.hpp"
 
 namespace ofmf::core {
+
+/// Outcome of the post-recovery reconciliation pass (ReconcileWithAgents).
+struct ReconcileReport {
+  std::size_t resources_marked_absent = 0;  // recovered but no agent reports them
+  std::size_t systems_adopted = 0;
+  std::size_t systems_rolled_back = 0;
+  std::size_t claims_released = 0;
+};
 
 class OfmfService {
  public:
@@ -71,6 +81,38 @@ class OfmfService {
   SimClock& clock() { return clock_; }
 
   Result<FabricAgent*> AgentForFabric(const std::string& fabric_id);
+
+  // ------------------------------------------------------------ durability --
+  // Startup ordering: Bootstrap() -> EnableDurability() -> RegisterAgent()
+  // for every surviving agent -> ReconcileWithAgents() -> serve traffic.
+
+  /// Attaches a persistent store. When the store directory holds data from a
+  /// previous run, the tree is rebuilt from snapshot + journal *replacing*
+  /// the bootstrapped tree, sessions and event subscriptions are re-adopted,
+  /// and the tree enters recovery-adopt mode so agents can re-publish their
+  /// live inventory over the recovered resources. Afterwards every tree
+  /// mutation is journaled and a baseline snapshot is compacted. Returns the
+  /// recovery report (empty-dir case: had_snapshot=false, 0 records).
+  Result<store::RecoveryReport> EnableDurability(
+      std::shared_ptr<store::PersistentStore> store);
+
+  /// Post-recovery pass, run after every surviving agent re-registered:
+  /// fabric resources no agent re-published are marked Status.State=Absent
+  /// (the hardware stopped reporting them; clients see that, not a silent
+  /// hole), composed systems whose block claims all hold are adopted,
+  /// half-composed systems are rolled back and leaked block claims released
+  /// (CompositionService::RecoverConsistency), recovery-adopt mode ends, and
+  /// the reconciled tree is compacted as the new durability baseline.
+  Result<ReconcileReport> ReconcileWithAgents();
+
+  /// Commits buffered journal records now (group commit or shutdown flush).
+  Status FlushStore();
+
+  /// Snapshots the current tree + sessions and rotates the journal.
+  Status CompactStore();
+
+  bool durable() const { return store_ != nullptr; }
+  const std::shared_ptr<store::PersistentStore>& store() const { return store_; }
 
   /// Attaches a fault injector. Agent calls then probe point
   /// "agent.<fabric_id>" before reaching the agent (nullptr detaches).
@@ -127,6 +169,11 @@ class OfmfService {
   bool bootstrapped_ = false;
 
   std::shared_ptr<FaultInjector> faults_;
+  std::shared_ptr<store::PersistentStore> store_;
+  // URIs an agent re-published while the tree was in recovery-adopt mode;
+  // ReconcileWithAgents marks everything else in that agent's fabric Absent.
+  mutable std::mutex adopt_mu_;
+  std::set<std::string> adopted_uris_;
   // Breakers are created by RegisterAgent and never erased, so the
   // CircuitBreaker pointers handed out stay valid; the mutex guards the map
   // itself against an agent registering while readers iterate or look up.

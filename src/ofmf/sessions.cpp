@@ -1,6 +1,7 @@
 #include "ofmf/sessions.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "ofmf/uris.hpp"
 
@@ -66,6 +67,25 @@ Status SessionService::DeleteSession(const std::string& session_id) {
   std::erase_if(sessions_by_token_,
                 [&](const auto& entry) { return entry.second.id == session_id; });
   return Status::Ok();
+}
+
+std::vector<SessionInfo> SessionService::ExportSessions() const {
+  std::vector<SessionInfo> sessions;
+  sessions.reserve(sessions_by_token_.size());
+  for (const auto& [token, session] : sessions_by_token_) sessions.push_back(session);
+  return sessions;
+}
+
+void SessionService::RestoreSession(const SessionInfo& session) {
+  if (session.id.empty() || session.token.empty()) return;
+  char* end = nullptr;
+  const unsigned long long numeric = std::strtoull(session.id.c_str(), &end, 10);
+  if (end != nullptr && *end == '\0' && numeric >= next_id_) next_id_ = numeric + 1;
+  const std::string uri = std::string(kSessions) + "/" + session.id;
+  if (!tree_.Exists(uri)) return;
+  SessionInfo adopted = session;
+  adopted.uri = uri;
+  sessions_by_token_[adopted.token] = std::move(adopted);
 }
 
 std::optional<SessionInfo> SessionService::Authenticate(const std::string& token) const {

@@ -6,6 +6,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/result.hpp"
 #include "common/rng.hpp"
@@ -37,6 +38,16 @@ class SessionService {
   std::optional<SessionInfo> Authenticate(const std::string& token) const;
 
   void AddUser(const std::string& user, const std::string& password);
+
+  /// Every live session, tokens included (feeds the durability snapshot;
+  /// tokens never appear in the Redfish tree itself).
+  std::vector<SessionInfo> ExportSessions() const;
+
+  /// Adopts a session recovered from the journal/snapshot. The token only
+  /// authenticates again if the Session resource survived in the tree — a
+  /// session deleted before the crash replays its deletion and stays dead.
+  /// Bumps the id counter past the adopted id so new sessions never collide.
+  void RestoreSession(const SessionInfo& session);
 
   bool auth_required() const { return auth_required_; }
   void set_auth_required(bool required) { auth_required_ = required; }

@@ -30,19 +30,44 @@ ResourceTree::SnapshotPtr ResourceTree::MakeSnapshot(json::Json payload,
   return snapshot;
 }
 
+void ResourceTree::SetMutationLog(MutationLog log) {
+  std::unique_lock lock(mu_);
+  mutation_log_ = std::move(log);
+}
+
+void ResourceTree::LogLocked(ChangeKind kind, const std::string& uri, SnapshotPtr after) {
+  if (mutation_log_) mutation_log_({kind, uri, std::move(after)});
+}
+
 Status ResourceTree::Create(const std::string& uri, const std::string& odata_type,
                             json::Json payload) {
   const std::string key = http::NormalizePath(uri);
   if (!payload.is_object()) payload = json::Json::MakeObject();
-  SnapshotPtr snapshot = MakeSnapshot(std::move(payload), odata_type, 1);
+  ChangeKind kind = ChangeKind::kCreated;
+  std::string type = odata_type;
   {
     std::unique_lock lock(mu_);
-    if (entries_.count(key) != 0) {
-      return Status::AlreadyExists("resource already exists: " + key);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      if (!recovery_adopt()) {
+        return Status::AlreadyExists("resource already exists: " + key);
+      }
+      // Adoption: the agent re-reports a resource the recovered tree already
+      // holds. Take the fresh payload (live state wins) but keep advancing
+      // the version so stale ETags cannot validate against the new state.
+      const Snapshot& current = *it->second;
+      it->second = MakeSnapshot(std::move(payload), current.odata_type,
+                                current.version + 1);
+      kind = ChangeKind::kModified;
+      type = it->second->odata_type;
+      LogLocked(kind, key, it->second);
+    } else {
+      SnapshotPtr snapshot = MakeSnapshot(std::move(payload), odata_type, 1);
+      LogLocked(kind, key, snapshot);
+      entries_[key] = std::move(snapshot);
     }
-    entries_[key] = std::move(snapshot);
   }
-  Notify({ChangeKind::kCreated, key, odata_type});
+  Notify({kind, key, type});
   return Status::Ok();
 }
 
@@ -106,6 +131,7 @@ Status ResourceTree::Patch(const std::string& uri, const json::Json& merge_patch
     json::MergePatch(next, merge_patch);
     it->second = MakeSnapshot(std::move(next), current.odata_type, current.version + 1);
     type = it->second->odata_type;
+    LogLocked(ChangeKind::kModified, key, it->second);
   }
   Notify({ChangeKind::kModified, key, type});
   return Status::Ok();
@@ -121,6 +147,7 @@ Status ResourceTree::Replace(const std::string& uri, json::Json payload) {
     const Snapshot& current = *it->second;
     it->second = MakeSnapshot(std::move(payload), current.odata_type, current.version + 1);
     type = it->second->odata_type;
+    LogLocked(ChangeKind::kModified, key, it->second);
   }
   Notify({ChangeKind::kModified, key, type});
   return Status::Ok();
@@ -135,6 +162,7 @@ Status ResourceTree::Delete(const std::string& uri) {
     if (it == entries_.end()) return Status::NotFound("no resource at " + key);
     type = it->second->odata_type;
     entries_.erase(it);
+    LogLocked(ChangeKind::kDeleted, key, nullptr);
   }
   Notify({ChangeKind::kDeleted, key, type});
   return Status::Ok();
@@ -162,6 +190,7 @@ Status ResourceTree::AddMember(const std::string& collection_uri,
     next.as_object().Find("Members")->as_array().push_back(odata::Ref(member));
     it->second = MakeSnapshot(std::move(next), current.odata_type, current.version + 1);
     type = it->second->odata_type;
+    LogLocked(ChangeKind::kModified, key, it->second);
   }
   Notify({ChangeKind::kModified, key, type});
   return Status::Ok();
@@ -191,6 +220,7 @@ Status ResourceTree::RemoveMember(const std::string& collection_uri,
     }
     it->second = MakeSnapshot(std::move(next), current.odata_type, current.version + 1);
     type = it->second->odata_type;
+    LogLocked(ChangeKind::kModified, key, it->second);
   }
   Notify({ChangeKind::kModified, key, type});
   return Status::Ok();
@@ -243,6 +273,60 @@ std::uint64_t ResourceTree::Subscribe(ChangeListener listener) {
 void ResourceTree::Unsubscribe(std::uint64_t token) {
   std::lock_guard<std::mutex> lock(listeners_mu_);
   listeners_.erase(token);
+}
+
+Status ResourceTree::RestorePut(const std::string& uri, const std::string& odata_type,
+                                json::Json payload, std::uint64_t version) {
+  const std::string key = http::NormalizePath(uri);
+  if (!payload.is_object()) payload = json::Json::MakeObject();
+  if (version == 0) version = 1;
+  std::unique_lock lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end() && it->second->version > version) {
+    return Status::Ok();  // a newer record already landed; last-version-wins
+  }
+  entries_[key] = MakeSnapshot(std::move(payload), odata_type, version);
+  return Status::Ok();
+}
+
+Status ResourceTree::RestoreDelete(const std::string& uri) {
+  const std::string key = http::NormalizePath(uri);
+  std::unique_lock lock(mu_);
+  entries_.erase(key);
+  return Status::Ok();
+}
+
+json::Json ResourceTree::ExportState() const {
+  json::Array resources;
+  std::shared_lock lock(mu_);
+  for (const auto& [uri, snapshot] : entries_) {
+    resources.push_back(json::Json::Obj({{"uri", uri},
+                                         {"type", snapshot->odata_type},
+                                         {"ver", snapshot->version},
+                                         {"doc", snapshot->payload}}));
+  }
+  return json::Json::Obj({{"resources", json::Json(std::move(resources))}});
+}
+
+Status ResourceTree::ImportState(const json::Json& state) {
+  const json::Json& resources = state.at("resources");
+  if (!resources.is_array()) {
+    return Status::InvalidArgument("state document missing 'resources' array");
+  }
+  std::map<std::string, SnapshotPtr> rebuilt;
+  for (const json::Json& entry : resources.as_array()) {
+    const std::string uri = entry.GetString("uri");
+    if (uri.empty() || !entry.at("doc").is_object()) {
+      return Status::InvalidArgument("malformed state entry (uri/doc)");
+    }
+    const std::uint64_t version =
+        static_cast<std::uint64_t>(entry.GetInt("ver", 1));
+    rebuilt[uri] =
+        MakeSnapshot(entry.at("doc"), entry.GetString("type"), version == 0 ? 1 : version);
+  }
+  std::unique_lock lock(mu_);
+  entries_ = std::move(rebuilt);
+  return Status::Ok();
 }
 
 void ResourceTree::Notify(const ChangeEvent& event) {

@@ -10,6 +10,8 @@
 // a snapshot never observes a half-applied patch.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -49,6 +51,31 @@ class ResourceTree {
     std::string etag;  // W/"<version>", precomputed
   };
   using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
+  /// One applied mutation as seen by the durability layer: the kind, the URI,
+  /// and the resulting snapshot (`after` is nullptr for deletes). Unlike
+  /// ChangeEvents — fired outside the lock for read-path latency — the
+  /// mutation log is invoked while the writer still holds the exclusive lock,
+  /// so log order is exactly apply order (a write-ahead journal depends on
+  /// that). The callback must not re-enter the tree.
+  struct Mutation {
+    ChangeKind kind;
+    std::string uri;
+    SnapshotPtr after;  // nullptr for kDeleted
+  };
+  using MutationLog = std::function<void(const Mutation&)>;
+
+  /// Installs (or clears, with nullptr) the single mutation-log sink. The
+  /// recovery paths (Restore*/ImportState) never feed the log.
+  void SetMutationLog(MutationLog log);
+
+  /// Recovery-adoption mode: while enabled, Create() of an existing URI
+  /// behaves like Replace() (new payload, version bumped, kModified) instead
+  /// of failing AlreadyExists. Lets agents re-publish live inventory into a
+  /// tree rebuilt from a snapshot+journal, so the recovered resources they
+  /// still report are re-adopted in place.
+  void set_recovery_adopt(bool adopt) { recovery_adopt_.store(adopt, std::memory_order_relaxed); }
+  bool recovery_adopt() const { return recovery_adopt_.load(std::memory_order_relaxed); }
 
   /// Creates a resource. `odata_type` is the "#Ns.vX_Y_Z.Type" tag; the tree
   /// stamps @odata.id/@odata.type/@odata.etag on reads.
@@ -101,14 +128,43 @@ class ResourceTree {
   std::uint64_t Subscribe(ChangeListener listener);
   void Unsubscribe(std::uint64_t token);
 
+  // ------------------------------------------------------------ durability --
+  // Recovery-side primitives: they bypass listeners and the mutation log (the
+  // journal must not re-journal its own replay) and preserve exact versions
+  // so ETags — and everything keyed on them (ETag-CAS claims, client caches)
+  // — survive a restart.
+
+  /// Re-materializes a resource at an exact version. Last-version-wins: a
+  /// replayed record older than the entry already present is a no-op, which
+  /// makes journal replay idempotent over a snapshot that already contains
+  /// the record's effect.
+  Status RestorePut(const std::string& uri, const std::string& odata_type,
+                    json::Json payload, std::uint64_t version);
+
+  /// Replays a deletion; succeeds whether or not the entry exists.
+  Status RestoreDelete(const std::string& uri);
+
+  /// Serializes every entry (uri, type, version, payload) to a deterministic
+  /// JSON document — the snapshot-compaction payload. Sorted by URI.
+  json::Json ExportState() const;
+
+  /// Wholesale-replaces the tree from an ExportState() document. Fires no
+  /// listeners and feeds no mutation log; callers must invalidate derived
+  /// caches themselves.
+  Status ImportState(const json::Json& state);
+
  private:
   void Notify(const ChangeEvent& event);
+  /// Fires the mutation log; must be called with `mu_` held exclusively.
+  void LogLocked(ChangeKind kind, const std::string& uri, SnapshotPtr after);
   static std::string MakeETag(std::uint64_t version);
   static SnapshotPtr MakeSnapshot(json::Json payload, std::string odata_type,
                                   std::uint64_t version);
 
   mutable std::shared_mutex mu_;
   std::map<std::string, SnapshotPtr> entries_;
+  MutationLog mutation_log_;  // written under exclusive mu_, read under it too
+  std::atomic<bool> recovery_adopt_{false};
 
   // Listener bookkeeping uses its own lock so subscription management never
   // contends with resource reads and listeners can (un)subscribe from inside

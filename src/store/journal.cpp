@@ -1,0 +1,175 @@
+#include "store/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+namespace ofmf::store {
+namespace {
+
+std::array<std::uint32_t, 256> BuildCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void PutU32Le(std::string& out, std::uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xFF));
+  out.push_back(static_cast<char>((value >> 8) & 0xFF));
+  out.push_back(static_cast<char>((value >> 16) & 0xFF));
+  out.push_back(static_cast<char>((value >> 24) & 0xFF));
+}
+
+std::uint32_t GetU32Le(const char* bytes) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[0])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[1])) << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[2])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[3])) << 24);
+}
+
+Status WriteFully(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t wrote = ::write(fd, data, n);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("journal write failed: ") + std::strerror(errno));
+    }
+    data += wrote;
+    n -= static_cast<std::size_t>(wrote);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::uint32_t Crc32(std::string_view bytes) {
+  static const std::array<std::uint32_t, 256> table = BuildCrcTable();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : bytes) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Journal::Journal(std::string path, int fd, std::uint64_t size)
+    : path_(std::move(path)), fd_(fd), size_(size) {}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<Journal>> Journal::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot open journal " + path + ": " + std::strerror(errno));
+  }
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    ::close(fd);
+    return Status::Internal("cannot seek journal " + path);
+  }
+  std::uint64_t size = static_cast<std::uint64_t>(end);
+  if (size == 0) {
+    const Status wrote = WriteFully(fd, kMagic, kMagicSize);
+    if (!wrote.ok()) {
+      ::close(fd);
+      return wrote;
+    }
+    if (::fsync(fd) != 0) {
+      ::close(fd);
+      return Status::Internal("cannot fsync new journal " + path);
+    }
+    size = kMagicSize;
+  } else {
+    char header[kMagicSize] = {};
+    const ssize_t got = ::pread(fd, header, kMagicSize, 0);
+    if (got != static_cast<ssize_t>(kMagicSize) ||
+        std::memcmp(header, kMagic, kMagicSize) != 0) {
+      ::close(fd);
+      return Status::Internal("journal " + path + " has a bad magic header");
+    }
+  }
+  return std::unique_ptr<Journal>(new Journal(path, fd, size));
+}
+
+Status Journal::AppendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("journal closed");
+  OFMF_RETURN_IF_ERROR(WriteFully(fd_, bytes.data(), bytes.size()));
+  size_ += bytes.size();
+  return Status::Ok();
+}
+
+Status Journal::Fsync() {
+  if (fd_ < 0) return Status::FailedPrecondition("journal closed");
+  if (::fsync(fd_) != 0) {
+    return Status::Internal("journal fsync failed: " + std::string(std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+Status Journal::TruncateTo(std::uint64_t size) {
+  if (fd_ < 0) return Status::FailedPrecondition("journal closed");
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Status::Internal("journal truncate failed: " + std::string(std::strerror(errno)));
+  }
+  if (::lseek(fd_, static_cast<off_t>(size), SEEK_SET) < 0) {
+    return Status::Internal("journal seek failed after truncate");
+  }
+  size_ = size;
+  return Status::Ok();
+}
+
+std::string Journal::EncodeFrame(std::string_view payload) {
+  std::string frame;
+  frame.reserve(payload.size() + 8);
+  PutU32Le(frame, static_cast<std::uint32_t>(payload.size()));
+  PutU32Le(frame, Crc32(payload));
+  frame.append(payload);
+  return frame;
+}
+
+Result<Journal::Scan> Journal::ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("no journal at " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+
+  Scan scan;
+  if (bytes.size() < kMagicSize ||
+      std::memcmp(bytes.data(), kMagic, kMagicSize) != 0) {
+    scan.torn_tail = true;  // never even finished writing the header
+    return scan;
+  }
+  std::size_t pos = kMagicSize;
+  scan.valid_bytes = kMagicSize;
+  while (pos + 8 <= bytes.size()) {
+    const std::uint32_t length = GetU32Le(bytes.data() + pos);
+    const std::uint32_t crc = GetU32Le(bytes.data() + pos + 4);
+    if (length > kMaxFrameBytes || pos + 8 + length > bytes.size()) {
+      scan.torn_tail = true;  // frame promised more bytes than the file holds
+      return scan;
+    }
+    const std::string_view payload(bytes.data() + pos + 8, length);
+    if (Crc32(payload) != crc) {
+      scan.torn_tail = true;  // bit rot or a torn write inside the frame
+      return scan;
+    }
+    scan.records.emplace_back(payload);
+    pos += 8 + length;
+    scan.valid_bytes = pos;
+  }
+  if (pos != bytes.size()) scan.torn_tail = true;  // dangling partial header
+  return scan;
+}
+
+}  // namespace ofmf::store

@@ -1,0 +1,83 @@
+// Append-only journal file for the management-plane write-ahead log.
+//
+// On-disk layout: an 8-byte magic ("OFMFWAL1"), then a sequence of frames
+//   [u32 payload length (LE)] [u32 CRC32 of payload (LE)] [payload bytes]
+// The payload is one serialized journal record (compact JSON). A reader
+// walks frames until the first one that is short (torn tail: the file ends
+// mid-frame) or fails its CRC (corrupt frame), and keeps exactly the prefix
+// before it — the classic redo-log contract: whatever survives is a valid
+// prefix of the mutation history, never a mix.
+//
+// The class itself is mechanical (open/append/fsync/truncate); crash, torn-
+// write and short-fsync *simulation* lives in PersistentStore, which owns
+// the fault-injection points and the notion of "synced bytes".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace ofmf::store {
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) of `bytes`.
+std::uint32_t Crc32(std::string_view bytes);
+
+class Journal {
+ public:
+  /// Opens `path` for appending. A missing or empty file is initialized with
+  /// the magic header (fsynced); an existing file must start with the magic.
+  /// Appends always go to the current end of file.
+  static Result<std::unique_ptr<Journal>> Open(const std::string& path);
+
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Appends raw bytes at the end of the file (no framing — callers frame
+  /// via EncodeFrame; raw access is what lets the store simulate torn
+  /// writes by persisting only a prefix of a batch).
+  Status AppendRaw(std::string_view bytes);
+
+  Status Fsync();
+
+  /// Truncates the file to `size` bytes (crash simulation: everything past
+  /// the last synced byte vanishes) and repositions the append offset.
+  Status TruncateTo(std::uint64_t size);
+
+  std::uint64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  /// Frames one record payload: length + CRC32 + bytes.
+  static std::string EncodeFrame(std::string_view payload);
+
+  struct Scan {
+    std::vector<std::string> records;  // payloads of every intact frame
+    std::uint64_t valid_bytes = 0;     // magic + intact frames; truncate here
+    bool torn_tail = false;            // file ended in a short/corrupt frame
+  };
+
+  /// Reads every intact frame of `path`, stopping at the first torn or
+  /// CRC-failing frame. NotFound when the file does not exist; a file too
+  /// short for (or not matching) the magic yields valid_bytes = 0 and
+  /// torn_tail = true rather than an error.
+  static Result<Scan> ReadAll(const std::string& path);
+
+  static constexpr char kMagic[9] = "OFMFWAL1";
+  static constexpr std::uint64_t kMagicSize = 8;
+  /// Upper bound on a single frame payload; a corrupt length field past this
+  /// is treated as a torn tail instead of a multi-gigabyte allocation.
+  static constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+ private:
+  Journal(std::string path, int fd, std::uint64_t size);
+
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace ofmf::store

@@ -147,7 +147,8 @@ TEST_F(AutoHealerTest, TransientAgentFaultHealRetriesAndSucceeds) {
                   .ok());
   // The first heal's delete (agent call 2) lands but its re-create (call 3)
   // hits a crashed agent: half-healed, the guard must survive for a retry.
-  faults->ArmNthCall("agent.IB", FaultKind::kCrash, 3);
+  // ArmNthCall counts from the moment of arming, so the re-create is call 2.
+  faults->ArmNthCall("agent.IB", FaultKind::kCrash, 2);
   ASSERT_TRUE(graph_.SetLinkUp("n1", 0, false).ok());
   auto report = healer.Poll();
   ASSERT_TRUE(report.ok());

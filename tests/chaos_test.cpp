@@ -7,6 +7,8 @@
 #include <gmock/gmock.h>
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <set>
 #include <string>
@@ -20,11 +22,20 @@
 #include "http/resilience.hpp"
 #include "ofmf/service.hpp"
 #include "ofmf/uris.hpp"
+#include "store/store.hpp"
 
 namespace ofmf {
 namespace {
 
 using json::Json;
+
+/// Churn length, overridable for soak runs: OFMF_CHAOS_ITERS=5000 ctest ...
+int ChaosIters() {
+  const char* raw = std::getenv("OFMF_CHAOS_ITERS");
+  if (raw == nullptr) return 200;
+  const int parsed = std::atoi(raw);
+  return parsed > 0 ? parsed : 200;
+}
 
 class ChaosTest : public ::testing::Test {
  protected:
@@ -140,7 +151,8 @@ TEST_F(ChaosTest, ComposeChurnUnderLossyTransportLeaksNothing) {
 
   std::vector<std::string> live;  // systems this client KNOWS it composed
   int composed = 0, compose_failed = 0, expanded = 0, decomposed = 0;
-  for (int i = 0; i < 200; ++i) {
+  const int iters = ChaosIters();
+  for (int i = 0; i < iters; ++i) {
     switch (i % 3) {
       case 0: {  // compose one compute block's worth
         composability::CompositionRequest request;
@@ -171,8 +183,8 @@ TEST_F(ChaosTest, ComposeChurnUnderLossyTransportLeaksNothing) {
   }
   // The retry stack should absorb nearly all injected faults; composes only
   // fail hard when 5 straight attempts are unlucky or the pool is empty.
-  EXPECT_GT(composed, 20);
-  EXPECT_GT(chaos_->total_fires(), 50u);
+  EXPECT_GT(composed, iters / 10);
+  EXPECT_GT(chaos_->total_fires(), static_cast<std::uint64_t>(iters) / 4);
   CheckInvariants();
 
   // Quiesce and drain: every system the SERVER knows about (including any
@@ -217,6 +229,88 @@ TEST_F(ChaosTest, AgentCrashWindowBreakerReclosesAndReportIsPublished) {
     }
   }
   EXPECT_GE(opens, 1.0);
+}
+
+TEST_F(ChaosTest, CrashMidChurnThenRecoveryRestoresConsistency) {
+  // Durable churn: the store's journal commits crash (injected) somewhere in
+  // the middle of lossy compose/decompose traffic. A successor service
+  // recovering from the surviving prefix must come up with the composition
+  // invariants intact and keep serving.
+  const std::string dir = ::testing::TempDir() + "ofmf_chaos_store";
+  std::filesystem::remove_all(dir);
+  store::StoreOptions options;
+  options.dir = dir;
+  options.group_commit_records = 4;  // commits interleave tightly with churn
+  auto persistent = store::PersistentStore::Open(options);
+  ASSERT_TRUE(persistent.ok());
+  auto store_faults = std::make_shared<FaultInjector>(31337);
+  (*persistent)->set_fault_injector(store_faults);
+  ASSERT_TRUE(ofmf_.EnableDurability(std::move(*persistent)).ok());
+
+  chaos_->ArmProbability("chaos.rsp", FaultKind::kDropResponse, 0.05);
+  store_faults->ArmNthCall("store.commit.crash", FaultKind::kCrash, 12);
+
+  std::vector<std::string> live;
+  const int iters = std::min(ChaosIters(), 120);
+  for (int i = 0; i < iters; ++i) {
+    if (i % 3 != 2) {
+      composability::CompositionRequest request;
+      request.name = "job" + std::to_string(i);
+      request.cores = 8;
+      if (auto system = manager_->Compose(request); system.ok()) {
+        live.push_back(system->system_uri);
+      }
+    } else if (live.size() > 1 && manager_->Decompose(live.front()).ok()) {
+      live.erase(live.begin());
+    }
+  }
+  ASSERT_TRUE(ofmf_.store()->crashed()) << "the injected commit crash never fired";
+
+  // Successor process: recover from what actually reached the journal, let
+  // the agent re-publish its live fabric, reconcile, and check ground truth.
+  core::OfmfService successor;
+  ASSERT_TRUE(successor.Bootstrap().ok());
+  auto reopened = store::PersistentStore::Open(options);
+  ASSERT_TRUE(reopened.ok());
+  auto report = successor.EnableDurability(std::move(*reopened));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->had_snapshot);
+  ASSERT_TRUE(
+      successor.RegisterAgent(std::make_shared<agents::IbAgent>("IB", *sm_)).ok());
+  auto reconciled = successor.ReconcileWithAgents();
+  ASSERT_TRUE(reconciled.ok());
+
+  auto systems = successor.tree().Members(core::kSystems);
+  ASSERT_TRUE(systems.ok());
+  std::set<std::string> claimed;
+  for (const std::string& system_uri : *systems) {
+    auto blocks = successor.composition().BlocksOf(system_uri);
+    ASSERT_TRUE(blocks.ok()) << system_uri;
+    ASSERT_FALSE(blocks->empty()) << system_uri << " recovered half-composed";
+    for (const std::string& block_uri : *blocks) {
+      EXPECT_TRUE(claimed.insert(block_uri).second)
+          << block_uri << " claimed by two recovered systems";
+      EXPECT_EQ(*successor.composition().BlockState(block_uri), "Composed");
+    }
+  }
+  const std::vector<std::string> free = successor.composition().FreeBlockUris();
+  for (const std::string& block_uri : free) {
+    EXPECT_EQ(claimed.count(block_uri), 0u) << block_uri;
+  }
+  EXPECT_EQ(claimed.size() + free.size(), all_blocks_.size());
+
+  // Still a live control plane: composition works post-recovery.
+  if (!free.empty()) {
+    composability::OfmfClient direct(
+        std::make_unique<http::InProcessClient>(successor.Handler()));
+    auto post_recovery = direct.Post(
+        core::kSystems,
+        Json::Obj({{"Name", "post-recovery"},
+                   {"Links",
+                    Json::Obj({{"ResourceBlocks",
+                                Json::Arr({Json::Obj({{"@odata.id", free[0]}})})}})}}));
+    EXPECT_TRUE(post_recovery.ok());
+  }
 }
 
 TEST_F(ChaosTest, LinkFlapHealsAndGraphReconverges) {

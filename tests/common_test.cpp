@@ -319,6 +319,32 @@ TEST(HostlistTest, CompressKeepsDistinctZeroPadWidthsApart) {
   EXPECT_THAT(sorted, ElementsAre("n01", "n02", "n1", "n2"));
 }
 
+TEST(HostlistTest, ExpandDegenerateRanges) {
+  // lo == hi is a legal single-element range, padding preserved.
+  auto hosts = ExpandHostlist("node[5-5]");
+  ASSERT_TRUE(hosts.ok());
+  EXPECT_THAT(*hosts, ElementsAre("node5"));
+  hosts = ExpandHostlist("node[007-007]");
+  ASSERT_TRUE(hosts.ok());
+  EXPECT_THAT(*hosts, ElementsAre("node007"));
+  hosts = ExpandHostlist("n[0-0],n[00-00]");
+  ASSERT_TRUE(hosts.ok());
+  EXPECT_THAT(*hosts, ElementsAre("n0", "n00"));
+}
+
+TEST(HostlistTest, DegenerateRangeSurvivesCompressExpand) {
+  // A one-host "range" and its bare spelling are the same host; whichever
+  // form Compress picks must expand back to exactly that host.
+  for (const char* expression : {"node[5-5]", "node[042-042]", "gpu[9-9]-ib"}) {
+    auto hosts = ExpandHostlist(expression);
+    ASSERT_TRUE(hosts.ok()) << expression;
+    ASSERT_EQ(hosts->size(), 1u) << expression;
+    auto round = ExpandHostlist(CompressHostlist(*hosts));
+    ASSERT_TRUE(round.ok()) << expression;
+    EXPECT_EQ(*round, *hosts) << expression;
+  }
+}
+
 TEST(HostlistTest, LowestHostMatchesPaperRule) {
   auto hosts = ExpandHostlist("node[010-012,002]");
   ASSERT_TRUE(hosts.ok());
@@ -346,7 +372,10 @@ INSTANTIATE_TEST_SUITE_P(
     Corpus, HostlistRoundTrip,
     ::testing::Values("node[001-128]", "a1,a2,a3", "gpu[1-4],cpu[01-16],login",
                       "n[1,3,5,7,9]", "single", "x[09-11]",
-                      "rack1-node[1-3],rack2-node[1-3]"));
+                      "rack1-node[1-3],rack2-node[1-3]",
+                      // degenerate one-element ranges, padded and bare
+                      "node[5-5]", "node[007-007]", "n[0-0],m[00-00]",
+                      "edge[5-5,7-7,9]"));
 
 // ----------------------------------------------------------------- Clock ---
 

@@ -114,6 +114,83 @@ TEST(QueryTest, PagingSkipBeyondEndYieldsEmpty) {
   EXPECT_EQ(c.GetInt("Members@odata.count"), 3);
 }
 
+TEST(QueryTest, PagingTopZeroIsEmptyPageWithoutNextLink) {
+  // $top=0 is a legal "count only" probe: zero members, the true count, and
+  // NO nextLink — a link would never advance $skip and loop the client.
+  Json c = Collection(5);
+  QueryOptions opts;
+  opts.top = 0;
+  ApplyPaging(c, opts, "/u");
+  EXPECT_TRUE(c.at("Members").as_array().empty());
+  EXPECT_EQ(c.GetInt("Members@odata.count"), 5);
+  EXPECT_FALSE(c.Contains("@odata.nextLink"));
+}
+
+TEST(QueryTest, PagingTopZeroWithSkipStillEmptyAndCounted) {
+  Json c = Collection(5);
+  QueryOptions opts;
+  opts.top = 0;
+  opts.skip = 3;
+  ApplyPaging(c, opts, "/u");
+  EXPECT_TRUE(c.at("Members").as_array().empty());
+  EXPECT_EQ(c.GetInt("Members@odata.count"), 5);
+  EXPECT_FALSE(c.Contains("@odata.nextLink"));
+}
+
+TEST(QueryTest, PagingSkipExactlyAtEndYieldsEmptyNoNextLink) {
+  Json c = Collection(4);
+  QueryOptions opts;
+  opts.skip = 4;  // == size: boundary, not "past" it
+  opts.top = 2;
+  ApplyPaging(c, opts, "/u");
+  EXPECT_TRUE(c.at("Members").as_array().empty());
+  EXPECT_EQ(c.GetInt("Members@odata.count"), 4);
+  EXPECT_FALSE(c.Contains("@odata.nextLink"));
+}
+
+TEST(QueryTest, PagingNextLinkStaysValidWhenCollectionShrinks) {
+  // Page 1 of a 6-member collection hands out $skip=2&$top=2; before the
+  // client follows it, the collection shrinks to 3 members (systems were
+  // decomposed). The stale link must still produce a sane page: the current
+  // count, the one remaining member in the window, and no further link.
+  Json page1 = Collection(6);
+  QueryOptions opts;
+  opts.top = 2;
+  ApplyPaging(page1, opts, "/u");
+  EXPECT_EQ(page1.GetString("@odata.nextLink"), "/u?$skip=2&$top=2");
+
+  Json shrunk = Collection(3);
+  QueryOptions stale;
+  stale.skip = 2;
+  stale.top = 2;
+  ApplyPaging(shrunk, stale, "/u");
+  EXPECT_EQ(shrunk.GetInt("Members@odata.count"), 3);
+  ASSERT_EQ(shrunk.at("Members").as_array().size(), 1u);
+  EXPECT_EQ(shrunk.at("Members").as_array()[0].GetString("@odata.id"), "/m/2");
+  EXPECT_FALSE(shrunk.Contains("@odata.nextLink"));
+}
+
+TEST(QueryTest, PagingNextLinkChainCoversGrowingCollection) {
+  // The collection grows between pages; following the chain never repeats a
+  // member and each response's count reflects the collection it was cut from.
+  QueryOptions opts;
+  opts.top = 2;
+  Json page1 = Collection(4);
+  ApplyPaging(page1, opts, "/u");
+  ASSERT_EQ(page1.at("Members").as_array().size(), 2u);
+  EXPECT_EQ(page1.GetInt("Members@odata.count"), 4);
+
+  Json page2 = Collection(5);  // one member appended since page 1
+  QueryOptions next;
+  next.skip = 2;
+  next.top = 2;
+  ApplyPaging(page2, next, "/u");
+  ASSERT_EQ(page2.at("Members").as_array().size(), 2u);
+  EXPECT_EQ(page2.at("Members").as_array()[0].GetString("@odata.id"), "/m/2");
+  EXPECT_EQ(page2.GetInt("Members@odata.count"), 5);
+  EXPECT_EQ(page2.GetString("@odata.nextLink"), "/u?$skip=4&$top=2");
+}
+
 TEST(QueryTest, NoOptionsStillStampsCount) {
   Json c = Collection(2);
   ApplyPaging(c, QueryOptions{}, "/u");
