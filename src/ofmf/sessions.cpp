@@ -35,11 +35,13 @@ Status SessionService::Bootstrap() {
 }
 
 void SessionService::AddUser(const std::string& user, const std::string& password) {
+  std::lock_guard<std::mutex> lock(mu_);
   users_[user] = password;
 }
 
 Result<SessionInfo> SessionService::CreateSession(const std::string& user,
                                                   const std::string& password) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (user.empty()) return Status::InvalidArgument("UserName must be non-empty");
   auto it = users_.find(user);
   if (it == users_.end() || it->second != password) {
@@ -61,6 +63,7 @@ Result<SessionInfo> SessionService::CreateSession(const std::string& user,
 }
 
 Status SessionService::DeleteSession(const std::string& session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   const std::string uri = std::string(kSessions) + "/" + session_id;
   OFMF_RETURN_IF_ERROR(tree_.Delete(uri));
   OFMF_RETURN_IF_ERROR(tree_.RemoveMember(kSessions, uri));
@@ -70,6 +73,7 @@ Status SessionService::DeleteSession(const std::string& session_id) {
 }
 
 std::vector<SessionInfo> SessionService::ExportSessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<SessionInfo> sessions;
   sessions.reserve(sessions_by_token_.size());
   for (const auto& [token, session] : sessions_by_token_) sessions.push_back(session);
@@ -77,6 +81,7 @@ std::vector<SessionInfo> SessionService::ExportSessions() const {
 }
 
 void SessionService::RestoreSession(const SessionInfo& session) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (session.id.empty() || session.token.empty()) return;
   char* end = nullptr;
   const unsigned long long numeric = std::strtoull(session.id.c_str(), &end, 10);
@@ -89,6 +94,7 @@ void SessionService::RestoreSession(const SessionInfo& session) {
 }
 
 std::optional<SessionInfo> SessionService::Authenticate(const std::string& token) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = sessions_by_token_.find(token);
   if (it == sessions_by_token_.end()) return std::nullopt;
   return it->second;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -52,10 +53,18 @@ class SessionService {
   bool auth_required() const { return auth_required_; }
   void set_auth_required(bool required) { auth_required_ = required; }
 
-  std::size_t session_count() const { return sessions_by_token_.size(); }
+  std::size_t session_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sessions_by_token_.size();
+  }
 
  private:
   redfish::ResourceTree& tree_;
+  /// Guards the maps and counters below: Authenticate runs on every request
+  /// thread, and compaction exports sessions from connection threads while
+  /// other connections create/delete them. Acquired before the tree's lock
+  /// (CreateSession/DeleteSession mutate the tree under mu_), never after.
+  mutable std::mutex mu_;
   std::map<std::string, std::string> users_;  // user -> password
   std::map<std::string, SessionInfo> sessions_by_token_;
   Rng rng_{0xC0FFEE};

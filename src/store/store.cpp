@@ -98,7 +98,11 @@ std::vector<std::pair<std::uint64_t, std::string>> PersistentStore::ListJournalF
   for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
     const std::string name = entry.path().filename().string();
     unsigned long long generation = 0;
-    if (std::sscanf(name.c_str(), "journal-%8llu.wal", &generation) == 1) {
+    // Round-trip the parsed generation through JournalPathFor: sscanf alone
+    // would accept strays like journal-1.wal.bak and let Recover replay (and
+    // Compact delete) files that are not journal generations.
+    if (std::sscanf(name.c_str(), "journal-%llu.wal", &generation) == 1 &&
+        fs::path(JournalPathFor(generation)).filename().string() == name) {
       files.emplace_back(generation, entry.path().string());
     }
   }
@@ -189,7 +193,17 @@ Status PersistentStore::CommitLocked() {
     return Status::Unavailable("store crashed (injected) mid-write: torn tail");
   }
 
-  OFMF_RETURN_IF_ERROR(journal_->AppendRaw(batch));
+  if (Status appended = journal_->AppendRaw(batch); !appended.ok()) {
+    // Real I/O failure (disk full, EIO): the batch may be partially on disk
+    // and can never be trusted. Roll the file back to its last synced byte
+    // and mark the store dead — serving on while silently non-durable is
+    // worse than failing loudly — and account for the loss.
+    ++stats_.io_errors;
+    stats_.dropped_after_crash += records;
+    SimulateCrashLocked();
+    OFMF_ERROR << "journal append failed, store is now dead: " << appended.message();
+    return appended;
+  }
   ++stats_.commits;
   stats_.committed += records;
   if (options_.fsync_on_commit) {
@@ -199,7 +213,16 @@ Status PersistentStore::CommitLocked() {
       // vanish if a crash lands before the next successful fsync.
       return Status::Ok();
     }
-    OFMF_RETURN_IF_ERROR(journal_->Fsync());
+    if (Status synced = journal_->Fsync(); !synced.ok()) {
+      // The batch reached the file but fsync failed, so the kernel makes no
+      // promise it will ever reach the platter. Same treatment as a failed
+      // write: truncate to the synced prefix, die loudly, count the loss.
+      ++stats_.io_errors;
+      stats_.dropped_after_crash += records;
+      SimulateCrashLocked();
+      OFMF_ERROR << "journal fsync failed, store is now dead: " << synced.message();
+      return synced;
+    }
     ++stats_.fsyncs;
   }
   synced_bytes_ = journal_->size();
@@ -221,6 +244,13 @@ bool PersistentStore::compaction_due() const {
 
 Status PersistentStore::Compact(const std::function<json::Json()>& export_state,
                                 const std::vector<DurableSession>& sessions) {
+  // Handle() triggers compaction from per-connection threads whenever it is
+  // due; two interleaved compactions would clobber each other's carry_ and
+  // could rotate an older snapshot over a newer one after deleting the
+  // journal generations backing it. One compaction at a time; a loser just
+  // skips — the winner's snapshot subsumes (or carries) its records.
+  std::unique_lock<std::mutex> compact_lock(compact_mu_, std::try_to_lock);
+  if (!compact_lock.owns_lock()) return Status::Ok();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (dead_) return Status::Unavailable("store crashed (injected)");
@@ -333,8 +363,17 @@ Status PersistentStore::Compact(const std::function<json::Json()>& export_state,
 
 Result<PersistentStore::RecoveredState> PersistentStore::Recover(
     redfish::ResourceTree& tree) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (dead_) return Status::Unavailable("store crashed (injected)");
+  // Recover is a startup-time, single-caller operation (documented: call
+  // once, before attaching LogMutation). mu_ is taken only around the
+  // store's own journal state, never across tree calls — the mutation-log
+  // path locks tree-then-store, so holding mu_ while replaying into the
+  // tree would invert that order.
+  std::uint64_t active_generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dead_) return Status::Unavailable("store crashed (injected)");
+    active_generation = generation_;
+  }
   Stopwatch timer;
   RecoveredState recovered;
 
@@ -344,47 +383,72 @@ Result<PersistentStore::RecoveredState> PersistentStore::Recover(
     if (in) {
       std::string bytes((std::istreambuf_iterator<char>(in)),
                         std::istreambuf_iterator<char>());
+      std::string corrupt;  // when non-empty: why the snapshot can't be trusted
+      Journal::Scan scan;
       if (bytes.size() <= kSnapshotMagicSize + 8 ||
           std::memcmp(bytes.data(), kSnapshotMagic, kSnapshotMagicSize) != 0) {
-        return Status::Internal("snapshot has a bad magic header");
-      }
-      const Journal::Scan scan = [&] {
-        // Reuse the frame parser by viewing the snapshot body as one frame.
-        Journal::Scan s;
-        const char* p = bytes.data() + kSnapshotMagicSize;
-        const std::uint32_t length =
-            static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
-            (static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8) |
-            (static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16) |
-            (static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24);
-        const std::uint32_t crc =
-            static_cast<std::uint32_t>(static_cast<unsigned char>(p[4])) |
-            (static_cast<std::uint32_t>(static_cast<unsigned char>(p[5])) << 8) |
-            (static_cast<std::uint32_t>(static_cast<unsigned char>(p[6])) << 16) |
-            (static_cast<std::uint32_t>(static_cast<unsigned char>(p[7])) << 24);
-        if (kSnapshotMagicSize + 8 + length > bytes.size()) {
-          s.torn_tail = true;
+        corrupt = "bad magic header";
+      } else {
+        scan = [&] {
+          // Reuse the frame parser by viewing the snapshot body as one frame.
+          Journal::Scan s;
+          const char* p = bytes.data() + kSnapshotMagicSize;
+          const std::uint32_t length =
+              static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+              (static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8) |
+              (static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16) |
+              (static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24);
+          const std::uint32_t crc =
+              static_cast<std::uint32_t>(static_cast<unsigned char>(p[4])) |
+              (static_cast<std::uint32_t>(static_cast<unsigned char>(p[5])) << 8) |
+              (static_cast<std::uint32_t>(static_cast<unsigned char>(p[6])) << 16) |
+              (static_cast<std::uint32_t>(static_cast<unsigned char>(p[7])) << 24);
+          if (kSnapshotMagicSize + 8 + length > bytes.size()) {
+            s.torn_tail = true;
+            return s;
+          }
+          const std::string_view payload(p + 8, length);
+          if (Crc32(payload) != crc) {
+            s.torn_tail = true;
+            return s;
+          }
+          s.records.emplace_back(payload);
           return s;
-        }
-        const std::string_view payload(p + 8, length);
-        if (Crc32(payload) != crc) {
-          s.torn_tail = true;
-          return s;
-        }
-        s.records.emplace_back(payload);
-        return s;
-      }();
-      if (scan.torn_tail || scan.records.empty()) {
-        return Status::Internal("snapshot failed its CRC check");
+        }();
+        if (scan.torn_tail || scan.records.empty()) corrupt = "failed its CRC check";
       }
-      OFMF_ASSIGN_OR_RETURN(json::Json doc, json::Parse(scan.records.front()));
-      OFMF_RETURN_IF_ERROR(tree.ImportState(doc));
-      recovered.report.had_snapshot = true;
-      const json::Json& sessions = doc.at("sessions");
-      if (sessions.is_array()) {
-        for (const json::Json& entry : sessions.as_array()) {
-          recovered.sessions.push_back({entry.GetString("id"), entry.GetString("user"),
-                                        entry.GetString("token")});
+      if (!corrupt.empty()) {
+        const std::string path = snapshot_path();
+        OFMF_ERROR << "snapshot " << path << " " << corrupt
+                   << (options_.recover_without_snapshot
+                           ? "; setting it aside and recovering from journals alone"
+                           : "; refusing to recover");
+        if (!options_.recover_without_snapshot) {
+          // Refuse by default: journals alone may not reach back past the
+          // last compaction, so silently continuing could resurrect a stale
+          // tree. The message names the file and the explicit way out.
+          return Status::Internal(
+              "snapshot " + path + " " + corrupt +
+              "; restore it from a copy, or set "
+              "StoreOptions::recover_without_snapshot to set it aside and "
+              "rebuild from the surviving journal generations alone");
+        }
+        // Opt-in degraded path: keep the bad snapshot for forensics (never
+        // deleted, and the .corrupt name hides it from future recoveries)
+        // and fall through to journal-only replay.
+        std::error_code ec;
+        fs::rename(path, path + ".corrupt", ec);
+        recovered.report.snapshot_discarded = true;
+      } else {
+        OFMF_ASSIGN_OR_RETURN(json::Json doc, json::Parse(scan.records.front()));
+        OFMF_RETURN_IF_ERROR(tree.ImportState(doc));
+        recovered.report.had_snapshot = true;
+        const json::Json& sessions = doc.at("sessions");
+        if (sessions.is_array()) {
+          for (const json::Json& entry : sessions.as_array()) {
+            recovered.sessions.push_back({entry.GetString("id"), entry.GetString("user"),
+                                          entry.GetString("token")});
+          }
         }
       }
     }
@@ -415,7 +479,8 @@ Result<PersistentStore::RecoveredState> PersistentStore::Recover(
     if (scan.torn_tail) {
       recovered.report.torn_tail = true;
       stop = true;
-      if (generation == generation_) {
+      if (generation == active_generation) {
+        std::lock_guard<std::mutex> lock(mu_);
         OFMF_RETURN_IF_ERROR(journal_->TruncateTo(
             std::max<std::uint64_t>(scan.valid_bytes, Journal::kMagicSize)));
         synced_bytes_ = journal_->size();

@@ -57,6 +57,11 @@ struct StoreOptions {
   /// Compaction is suggested (compaction_due()) past either threshold.
   std::uint64_t compact_after_records = 8192;
   std::uint64_t compact_after_bytes = 8ull * 1024 * 1024;
+  /// Opt-in last resort: when the snapshot fails its magic/CRC check,
+  /// set it aside (snapshot.snap.corrupt) and recover from the surviving
+  /// journal generations alone instead of refusing to start. Off by
+  /// default because journals alone may predate the last compaction.
+  bool recover_without_snapshot = false;
 };
 
 struct StoreStats {
@@ -66,6 +71,7 @@ struct StoreStats {
   std::uint64_t fsyncs = 0;
   std::uint64_t compactions = 0;
   std::uint64_t dropped_after_crash = 0;  // records lost to the dead store
+  std::uint64_t io_errors = 0;  // real (non-injected) write/fsync failures
 };
 
 /// Session secrets ride in the journal/snapshot, never in the Redfish tree
@@ -78,6 +84,7 @@ struct DurableSession {
 
 struct RecoveryReport {
   bool had_snapshot = false;
+  bool snapshot_discarded = false;  // corrupt snapshot set aside (opt-in)
   bool torn_tail = false;       // replay stopped at a torn/corrupt frame
   std::size_t resources = 0;    // tree entries after recovery
   std::size_t records_replayed = 0;
@@ -151,6 +158,10 @@ class PersistentStore {
   StoreOptions options_;
   std::shared_ptr<FaultInjector> faults_;
 
+  /// Held for the whole of Compact(): two concurrent compactions would race
+  /// carry_/generation rotation and can lose committed records. Acquired
+  /// before mu_ (mu_ is dropped during the export); never the reverse.
+  std::mutex compact_mu_;
   mutable std::mutex mu_;
   std::unique_ptr<Journal> journal_;  // active generation
   std::uint64_t generation_ = 0;

@@ -7,12 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/faults.hpp"
@@ -279,6 +281,134 @@ TEST(StoreTest, CompactionSnapshotsRotatesAndDeletesOldGenerations) {
   ASSERT_TRUE(state.ok());
   EXPECT_TRUE(state->report.had_snapshot);
   EXPECT_EQ(state->report.records_replayed, 1u);
+  EXPECT_EQ(TreeBytes(recovered), TreeBytes(tree));
+}
+
+TEST(StoreTest, StrayJournalLookalikeFilesAreIgnored) {
+  const std::string dir = FreshDir("stray");
+  auto store = PersistentStore::Open(Options(dir));
+  ASSERT_TRUE(store.ok());
+  // Files whose names merely resemble a generation must be neither replayed
+  // by Recover nor deleted by Compact's rotation.
+  { std::ofstream(dir + "/journal-00000001.wal.bak") << "operator backup"; }
+  { std::ofstream(dir + "/journal-1.wal") << "unpadded, not ours"; }
+
+  redfish::ResourceTree tree;
+  Attach(tree, **store);
+  ASSERT_TRUE(tree.Create("/redfish/v1/Chassis/c1", "#Chassis.v1_21_0.Chassis",
+                          Json::Obj({{"Id", "c1"}}))
+                  .ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+
+  redfish::ResourceTree recovered;
+  auto state = (*store)->Recover(recovered);
+  ASSERT_TRUE(state.ok()) << state.status().message();
+  EXPECT_EQ(state->report.records_replayed, 1u);
+  EXPECT_EQ(TreeBytes(recovered), TreeBytes(tree));
+
+  ASSERT_TRUE((*store)->Compact([&] { return tree.ExportState(); }, {}).ok());
+  EXPECT_TRUE(fs::exists(dir + "/journal-00000001.wal.bak"));
+  EXPECT_TRUE(fs::exists(dir + "/journal-1.wal"));
+}
+
+TEST(StoreTest, CorruptSnapshotRefusesByDefaultAndDegradesWhenAsked) {
+  const std::string dir = FreshDir("corrupt_snapshot");
+  {
+    auto store = PersistentStore::Open(Options(dir));
+    ASSERT_TRUE(store.ok());
+    redfish::ResourceTree tree;
+    Attach(tree, **store);
+    ASSERT_TRUE(tree.Create("/redfish/v1/Chassis/c1", "#Chassis.v1_21_0.Chassis",
+                            Json::Obj({{"Id", "c1"}}))
+                    .ok());
+    ASSERT_TRUE((*store)->Compact([&] { return tree.ExportState(); }, {}).ok());
+    // Post-snapshot delta: lives only in the fresh journal generation.
+    ASSERT_TRUE(tree.Create("/redfish/v1/Chassis/c2", "#Chassis.v1_21_0.Chassis",
+                            Json::Obj({{"Id", "c2"}}))
+                    .ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+
+  // Flip one payload byte: the snapshot CRC must catch the rot.
+  const std::string snapshot = dir + "/snapshot.snap";
+  {
+    std::ifstream in(snapshot, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    ASSERT_FALSE(bytes.empty());
+    bytes.back() = static_cast<char>(bytes.back() ^ 0x40);
+    std::ofstream out(snapshot, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  {
+    // Default: refuse, naming the corrupt file, rather than silently serving
+    // a tree that lost everything up to the last compaction.
+    auto store = PersistentStore::Open(Options(dir));
+    ASSERT_TRUE(store.ok());
+    redfish::ResourceTree recovered;
+    auto state = (*store)->Recover(recovered);
+    ASSERT_FALSE(state.ok());
+    EXPECT_THAT(state.status().message(), ::testing::HasSubstr(snapshot));
+    EXPECT_TRUE(fs::exists(snapshot));  // left in place for the operator
+  }
+
+  {
+    // Opt-in: the bad snapshot is set aside and the surviving journal
+    // generations replay alone — c2 (post-compaction) comes back, c1 (its
+    // record was rotated away with the old generation) is gone.
+    StoreOptions degraded = Options(dir);
+    degraded.recover_without_snapshot = true;
+    auto store = PersistentStore::Open(degraded);
+    ASSERT_TRUE(store.ok());
+    redfish::ResourceTree recovered;
+    auto state = (*store)->Recover(recovered);
+    ASSERT_TRUE(state.ok()) << state.status().message();
+    EXPECT_TRUE(state->report.snapshot_discarded);
+    EXPECT_FALSE(state->report.had_snapshot);
+    EXPECT_TRUE(recovered.Exists("/redfish/v1/Chassis/c2"));
+    EXPECT_FALSE(recovered.Exists("/redfish/v1/Chassis/c1"));
+    EXPECT_FALSE(fs::exists(snapshot));
+    EXPECT_TRUE(fs::exists(snapshot + ".corrupt"));  // kept for forensics
+  }
+}
+
+TEST(StoreTest, ConcurrentCompactionsAndAppendsLoseNothing) {
+  const std::string dir = FreshDir("concurrent_compact");
+  StoreOptions options = Options(dir);
+  options.fsync_on_commit = false;  // platter durability is not under test
+  auto store = PersistentStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  redfish::ResourceTree tree;
+  Attach(tree, **store);
+
+  // Race appends against repeated compactions from several threads, the way
+  // per-connection Handle() threads race when compaction_due() flips true.
+  std::atomic<int> next{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        const int id = next.fetch_add(1);
+        ASSERT_TRUE(tree.Create("/redfish/v1/Chassis/c" + std::to_string(id),
+                                "#Chassis.v1_21_0.Chassis",
+                                Json::Obj({{"Id", std::to_string(id)}}))
+                        .ok());
+        if (i % 10 == 0) {
+          ASSERT_TRUE(
+              (*store)->Compact([&] { return tree.ExportState(); }, {}).ok());
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  ASSERT_TRUE((*store)->Flush().ok());
+  EXPECT_FALSE((*store)->crashed());
+
+  redfish::ResourceTree recovered;
+  auto state = (*store)->Recover(recovered);
+  ASSERT_TRUE(state.ok()) << state.status().message();
+  EXPECT_EQ(recovered.size(), tree.size());
   EXPECT_EQ(TreeBytes(recovered), TreeBytes(tree));
 }
 
