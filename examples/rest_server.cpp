@@ -8,6 +8,11 @@
 //       # durable: journal + snapshots in /var/lib/ofmf, serve until
 //       # SIGINT/SIGTERM, flush the store, exit. Start it again with the same
 //       # --store-dir and the tree (sessions included) comes back.
+//   $ ./examples/rest_server 8080 30 --trace-sample 1.0 --slow-ms 50
+//       # trace every request; requests slower than 50 ms dump their whole
+//       # span tree to stderr via OFMF_WARN. Scrape
+//       # /redfish/v1/TelemetryService/MetricReports/RequestLatency for
+//       # p50/p95/p99, or POST Actions/OfmfService.MetricsDump for raw JSON.
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -19,6 +24,7 @@
 #include <thread>
 
 #include "agents/nvmeof_agent.hpp"
+#include "common/trace.hpp"
 #include "composability/client.hpp"
 #include "json/serialize.hpp"
 #include "ofmf/service.hpp"
@@ -39,10 +45,16 @@ int main(int argc, char** argv) {
   std::uint16_t port = 0;
   int linger_seconds = 0;
   std::string store_dir;
+  double trace_sample = 0.0;
+  int slow_ms = 0;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--store-dir") == 0 && i + 1 < argc) {
       store_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-sample") == 0 && i + 1 < argc) {
+      trace_sample = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--slow-ms") == 0 && i + 1 < argc) {
+      slow_ms = std::atoi(argv[++i]);
     } else if (positional == 0) {
       port = static_cast<std::uint16_t>(std::atoi(argv[i]));
       ++positional;
@@ -50,6 +62,17 @@ int main(int argc, char** argv) {
       linger_seconds = std::atoi(argv[i]);
       ++positional;
     }
+  }
+
+  if (trace_sample > 0.0) {
+    trace::TraceRecorder::instance().set_sampling(trace_sample);
+    std::printf("tracing %.0f%% of requests", trace_sample * 100.0);
+    if (slow_ms > 0) {
+      trace::TraceRecorder::instance().set_slow_threshold_ns(
+          static_cast<std::uint64_t>(slow_ms) * 1000000ull);
+      std::printf("; dumping span trees for requests over %d ms", slow_ms);
+    }
+    std::printf("\n");
   }
 
   // Fabric + NVMe-oF target inventory.

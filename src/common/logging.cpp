@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/trace.hpp"
+
 namespace ofmf {
 
 const char* to_string(LogLevel level) {
@@ -19,20 +21,19 @@ Logger& Logger::instance() {
   return logger;
 }
 
+std::string LogLinePrefix() {
+  char prefix[48];
+  std::snprintf(prefix, sizeof prefix, "[%10.3fs] [T%u] ",
+                static_cast<double>(trace::MonotonicNowNs()) / 1e9,
+                trace::ThreadOrdinal());
+  return prefix;
+}
+
 Logger::Logger() : level_(LogLevel::kWarn) {
   sink_ = [](LogLevel level, const std::string& message) {
-    std::fprintf(stderr, "[%s] %s\n", to_string(level), message.c_str());
+    std::fprintf(stderr, "%s[%s] %s\n", LogLinePrefix().c_str(), to_string(level),
+                 message.c_str());
   };
-}
-
-void Logger::set_level(LogLevel level) {
-  std::lock_guard<std::mutex> lock(mu_);
-  level_ = level;
-}
-
-LogLevel Logger::level() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return level_;
 }
 
 Logger::Sink Logger::set_sink(Sink sink) {
@@ -43,10 +44,10 @@ Logger::Sink Logger::set_sink(Sink sink) {
 }
 
 void Logger::Log(LogLevel level, const std::string& message) {
+  if (level < this->level()) return;
   Sink sink;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (level < level_) return;
     sink = sink_;
   }
   if (sink) sink(level, message);

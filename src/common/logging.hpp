@@ -3,6 +3,7 @@
 // for instance, are part of the paper's error-handling story).
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <mutex>
 #include <sstream>
@@ -14,16 +15,23 @@ enum class LogLevel { kDebug = 0, kInfo, kWarn, kError };
 
 const char* to_string(LogLevel level);
 
+/// Prefix the default stderr sink stamps on every line: monotonic seconds
+/// since process start (the span clock, so logs and traces correlate) plus
+/// the small per-thread ordinal, e.g. "[   1.042s] [T3] ". Custom sinks
+/// receive the bare message and may call this themselves.
+std::string LogLinePrefix();
+
 /// Process-global logger. Cheap enough for simulation use; callers that log
-/// in hot loops should guard with `Logger::enabled(level)`.
+/// in hot loops should guard with `Logger::enabled(level)` — the level is a
+/// relaxed atomic, so a suppressed line costs one load and no lock.
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;
 
   static Logger& instance();
 
-  void set_level(LogLevel level);
-  LogLevel level() const;
+  void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
   bool enabled(LogLevel level) const { return level >= this->level(); }
 
   /// Replaces the sink; returns the previous one so tests can restore it.
@@ -33,8 +41,8 @@ class Logger {
 
  private:
   Logger();
-  mutable std::mutex mu_;
-  LogLevel level_;
+  mutable std::mutex mu_;  // guards sink_ only; level_ is lock-free
+  std::atomic<LogLevel> level_;
   Sink sink_;
 };
 

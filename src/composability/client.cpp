@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <random>
 
+#include "common/trace.hpp"
 #include "json/parse.hpp"
 #include "odata/annotations.hpp"
 
@@ -28,6 +29,13 @@ OfmfClient::OfmfClient(std::unique_ptr<http::HttpClient> transport)
 
 http::Request OfmfClient::Decorate(http::Request request) const {
   if (!token_.empty()) request.headers.Set("X-Auth-Token", token_);
+  // Stamp the ambient trace identity alongside the auth token so every hop
+  // this client makes joins the caller's trace (the server adopts these).
+  const trace::TraceContext ctx = trace::Current();
+  if (ctx.active()) {
+    request.headers.Set(trace::kTraceIdHeader, trace::IdToHex(ctx.trace_id));
+    request.headers.Set(trace::kSpanIdHeader, trace::IdToHex(ctx.span_id));
+  }
   return request;
 }
 
@@ -105,6 +113,11 @@ void OfmfClient::Remember(const std::string& target, std::string etag,
 }
 
 Result<json::Json> OfmfClient::Get(const std::string& uri) {
+  // Entry-point span: joins the caller's trace when one is ambient, otherwise
+  // asks the sampler to mint one — an OfmfClient call is where a management
+  // operation begins. Opened before Decorate() so the stamp sees it.
+  trace::Span span("client.get", trace::TraceContext{});
+  if (span.active()) span.Note(uri);
   http::Request request = Decorate(http::MakeRequest(http::Method::kGet, uri));
   auto cached = etag_cache_.find(uri);
   if (cached != etag_cache_.end()) {
@@ -127,6 +140,8 @@ Result<json::Json> OfmfClient::Get(const std::string& uri) {
 }
 
 Result<std::string> OfmfClient::Post(const std::string& uri, const json::Json& body) {
+  trace::Span span("client.post", trace::TraceContext{});
+  if (span.active()) span.Note(uri);
   http::Request request = Decorate(http::MakeJsonRequest(http::Method::kPost, uri, body));
   request.headers.Set("X-Request-Id", NextRequestId());
   auto response = transport_->Send(request);
@@ -139,6 +154,8 @@ Result<std::string> OfmfClient::Post(const std::string& uri, const json::Json& b
 }
 
 Result<json::Json> OfmfClient::PostForBody(const std::string& uri, const json::Json& body) {
+  trace::Span span("client.action", trace::TraceContext{});
+  if (span.active()) span.Note(uri);
   http::Request request = Decorate(http::MakeJsonRequest(http::Method::kPost, uri, body));
   request.headers.Set("X-Request-Id", NextRequestId());
   auto response = transport_->Send(request);
@@ -152,6 +169,8 @@ Result<json::Json> OfmfClient::PostForBody(const std::string& uri, const json::J
 }
 
 Result<json::Json> OfmfClient::Patch(const std::string& uri, const json::Json& body) {
+  trace::Span span("client.patch", trace::TraceContext{});
+  if (span.active()) span.Note(uri);
   auto response =
       transport_->Send(Decorate(http::MakeJsonRequest(http::Method::kPatch, uri, body)));
   if (!response.ok()) return response.status();
@@ -161,6 +180,8 @@ Result<json::Json> OfmfClient::Patch(const std::string& uri, const json::Json& b
 }
 
 Status OfmfClient::Delete(const std::string& uri) {
+  trace::Span span("client.delete", trace::TraceContext{});
+  if (span.active()) span.Note(uri);
   auto response =
       transport_->Send(Decorate(http::MakeRequest(http::Method::kDelete, uri)));
   if (!response.ok()) return response.status();

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/clock.hpp"
+#include "common/trace.hpp"
 
 namespace ofmf::http {
 
@@ -85,7 +86,26 @@ Result<Response> RetryingClient::Send(const Request& request) {
       ++stats_.attempts;
       if (attempt > 1) ++stats_.retries;
     }
-    Result<Response> result = inner_->Send(request);
+    // Each attempt is its own span, so a retried call shows up as sibling
+    // spans under the caller; re-stamping X-Span-Id makes the server side
+    // parent under the attempt, not the original request.
+    Result<Response> result = [&]() -> Result<Response> {
+      trace::Span attempt_span("retry.attempt");
+      if (!attempt_span.active()) return inner_->Send(request);
+      attempt_span.Note("attempt " + std::to_string(attempt));
+      Request stamped = request;
+      stamped.headers.Set(trace::kTraceIdHeader,
+                          trace::IdToHex(attempt_span.context().trace_id));
+      stamped.headers.Set(trace::kSpanIdHeader,
+                          trace::IdToHex(attempt_span.context().span_id));
+      Result<Response> sent = inner_->Send(stamped);
+      if (!sent.ok()) {
+        attempt_span.Note("error: " + sent.status().message());
+      } else if (RetryableStatus(sent->status)) {
+        attempt_span.Note("retryable status " + std::to_string(sent->status));
+      }
+      return sent;
+    }();
 
     bool transient = false;
     int retry_after_ms = 0;

@@ -13,6 +13,7 @@
 
 #include "common/logging.hpp"
 #include "common/strings.hpp"
+#include "common/trace.hpp"
 #include "http/wire.hpp"
 
 namespace ofmf::http {
@@ -88,6 +89,7 @@ void TcpServer::Stop() {
   {
     std::lock_guard<std::mutex> lock(threads_mu_);
     threads.swap(connection_threads_);
+    finished_.clear();
   }
   for (std::thread& t : threads) {
     if (t.joinable()) t.join();
@@ -104,8 +106,26 @@ void TcpServer::AcceptLoop() {
       continue;
     }
     std::lock_guard<std::mutex> lock(threads_mu_);
-    connection_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+    ReapFinishedLocked();
+    connection_threads_.emplace_back([this, fd] {
+      ServeConnection(fd);
+      std::lock_guard<std::mutex> exit_lock(threads_mu_);
+      finished_.push_back(std::this_thread::get_id());
+    });
   }
+}
+
+void TcpServer::ReapFinishedLocked() {
+  for (const std::thread::id id : finished_) {
+    for (auto it = connection_threads_.begin(); it != connection_threads_.end(); ++it) {
+      if (it->get_id() == id) {
+        it->join();
+        connection_threads_.erase(it);
+        break;
+      }
+    }
+  }
+  finished_.clear();
 }
 
 void TcpServer::ServeConnection(int fd) {
@@ -128,6 +148,20 @@ void TcpServer::ServeConnection(int fd) {
       response = MakeTextResponse(400, request.status().message());
       close_after = true;
     } else {
+      // Adopt the caller's wire identity (or mint a fresh trace when sampling
+      // says so) so the whole server-side handling nests under one span even
+      // though each connection runs on its own thread. Skipped entirely when
+      // tracing is off — the wire path must not pay for header parsing.
+      trace::TraceContext remote;
+      if (trace::TraceRecorder::instance().enabled()) {
+        remote.trace_id =
+            trace::HexToId(request->headers.GetOr(trace::kTraceIdHeader, ""));
+        if (remote.trace_id != 0) {
+          remote.span_id =
+              trace::HexToId(request->headers.GetOr(trace::kSpanIdHeader, ""));
+        }
+      }
+      trace::Span span("tcp.serve", remote);
       response = handler_(*request);
       close_after =
           strings::EqualsIgnoreCase(request->headers.GetOr("Connection", ""), "close");

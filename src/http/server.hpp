@@ -61,13 +61,18 @@ class TcpServer {
  private:
   void AcceptLoop();
   void ServeConnection(int fd);
+  void ReapFinishedLocked();
 
   // Atomic: Stop() closes and resets the fd while AcceptLoop blocks on it.
   std::atomic<int> listen_fd_{-1};
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::thread accept_thread_;
+  // Connection threads register themselves in finished_ on exit and the
+  // accept loop joins them on the next accept, so a long-lived server does
+  // not accumulate one dead joinable thread per past connection.
   std::vector<std::thread> connection_threads_;
+  std::vector<std::thread::id> finished_;
   std::mutex threads_mu_;
   ServerHandler handler_;
 };

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <set>
 
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "common/strings.hpp"
 #include "json/pointer.hpp"
 #include "odata/annotations.hpp"
@@ -145,22 +147,42 @@ Result<std::string> CompositionService::Compose(
     }
   }
 
+  static metrics::Histogram& compose_latency =
+      metrics::Registry::instance().histogram("compose.total.ns");
+  static metrics::Histogram& claim_latency =
+      metrics::Registry::instance().histogram("compose.claim.ns");
+  static metrics::Histogram& create_latency =
+      metrics::Registry::instance().histogram("compose.create.ns");
+  metrics::ScopedTimer total_timer(compose_latency);
+
   // Claim phase: CAS each block Unused -> Composed. On the first failure,
   // everything already claimed is rolled back and the error surfaces; no
   // partially composed state survives.
   std::vector<std::string> claimed;
   claimed.reserve(block_uris.size());
-  for (const std::string& uri : block_uris) {
-    const Status claim = ClaimBlock(uri);
-    if (!claim.ok()) {
-      ReleaseBlocks(claimed);
-      return claim;
+  {
+    trace::Span claim_span("compose.claim");
+    if (claim_span.active()) {
+      claim_span.Note(std::to_string(block_uris.size()) + " blocks");
     }
-    claimed.push_back(uri);
+    metrics::ScopedTimer claim_timer(claim_latency);
+    for (const std::string& uri : block_uris) {
+      const Status claim = ClaimBlock(uri);
+      if (!claim.ok()) {
+        if (claim_span.active()) claim_span.Note("error: " + claim.message());
+        ReleaseBlocks(claimed);
+        return claim;
+      }
+      claimed.push_back(uri);
+    }
   }
+
+  trace::Span create_span("compose.create");
+  metrics::ScopedTimer create_timer(create_latency);
 
   const std::string id = "composed-" + std::to_string(next_system_id_++);
   const std::string system_uri = std::string(kSystems) + "/" + id;
+  if (create_span.active()) create_span.Note(system_uri);
   const auto abort_compose = [&](const Status& failure) {
     if (tree_.Exists(system_uri)) {
       (void)tree_.RemoveMember(kSystems, system_uri);
@@ -198,6 +220,11 @@ Result<std::string> CompositionService::Compose(
 }
 
 Status CompositionService::Decompose(const std::string& system_uri) {
+  static metrics::Histogram& decompose_latency =
+      metrics::Registry::instance().histogram("decompose.total.ns");
+  metrics::ScopedTimer timer(decompose_latency);
+  trace::Span span("decompose");
+  if (span.active()) span.Note(system_uri);
   Result<std::vector<std::string>> blocks = BlocksOf(system_uri);
   if (!blocks.ok()) {
     // Already gone: the desired end state holds, so a replayed DELETE (lost

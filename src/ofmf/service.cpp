@@ -1,11 +1,15 @@
 #include "ofmf/service.hpp"
 
+#include <array>
 #include <chrono>
 #include <iterator>
 #include <set>
+#include <string_view>
 #include <thread>
 
+#include "common/metrics.hpp"
 #include "common/strings.hpp"
+#include "common/trace.hpp"
 #include "http/uri.hpp"
 #include "json/pointer.hpp"
 #include "odata/annotations.hpp"
@@ -14,6 +18,55 @@
 #include "redfish/errors.hpp"
 
 namespace ofmf::core {
+namespace {
+
+// Per-endpoint HTTP latency histograms, keyed (method, top-level segment).
+// The MetricReports subtree is deliberately unclassified: a metrics scrape
+// must not move the counters it is reporting, or the report could never be
+// ETag-stable. Resolved Histogram pointers are cached in an atomic table so
+// the hot path never takes the registry mutex.
+metrics::Histogram* EndpointHistogram(http::Method method, const std::string& path) {
+  static constexpr const char* kSegments[] = {
+      "ServiceRoot",   "Systems",          "Fabrics",
+      "Chassis",       "SessionService",   "EventService",
+      "TaskService",   "TelemetryService", "AggregationService",
+      "CompositionService", "StorageServices", "Other"};
+  constexpr std::size_t kNumSegments = std::size(kSegments);
+  constexpr std::size_t kNumMethods = 7;  // http::Method enumerator count
+
+  if (path.rfind(kMetricReports, 0) == 0) return nullptr;
+  std::size_t segment = kNumSegments - 1;  // "Other"
+  const std::string_view prefix = "/redfish/v1";
+  if (path == prefix || path == "/redfish/v1/") {
+    segment = 0;
+  } else if (path.rfind(prefix, 0) == 0 && path.size() > prefix.size() &&
+             path[prefix.size()] == '/') {
+    const std::size_t begin = prefix.size() + 1;
+    const std::size_t end = path.find('/', begin);
+    const std::string_view name(path.data() + begin,
+                                (end == std::string::npos ? path.size() : end) - begin);
+    for (std::size_t i = 1; i + 1 < kNumSegments; ++i) {
+      if (name == kSegments[i]) {
+        segment = i;
+        break;
+      }
+    }
+  }
+  static std::array<std::array<std::atomic<metrics::Histogram*>, kNumSegments>,
+                    kNumMethods>
+      table{};
+  std::atomic<metrics::Histogram*>& slot =
+      table[static_cast<std::size_t>(method) % kNumMethods][segment];
+  metrics::Histogram* hist = slot.load(std::memory_order_acquire);
+  if (hist == nullptr) {
+    hist = &metrics::Registry::instance().histogram(
+        std::string("http.latency.") + http::to_string(method) + "." + kSegments[segment]);
+    slot.store(hist, std::memory_order_release);  // benign race: same pointer
+  }
+  return hist;
+}
+
+}  // namespace
 
 OfmfService::OfmfService()
     : rest_(tree_, redfish::SchemaRegistry::BuiltIn()),
@@ -164,6 +217,52 @@ void OfmfService::WireRoutes() {
                       {"Issues", json::Json(std::move(issues))}}));
       });
 
+  // One-shot observability dump: every histogram (with percentiles), every
+  // counter, the trace-recorder stats, and the read-path cache counters in
+  // one JSON document. Benches and operators scrape this instead of stitching
+  // MetricReports together.
+  rest_.RegisterAction(
+      "OfmfService.MetricsDump",
+      [this](const std::string&, const json::Json&) -> http::Response {
+        json::Array histograms;
+        for (const metrics::Registry::NamedHistogram& entry :
+             metrics::Registry::instance().HistogramSnapshots()) {
+          histograms.push_back(json::Json::Obj(
+              {{"Name", entry.name},
+               {"Count", static_cast<std::int64_t>(entry.snap.count)},
+               {"Sum", static_cast<std::int64_t>(entry.snap.sum)},
+               {"Mean", entry.snap.mean()},
+               {"P50", entry.snap.Percentile(0.50)},
+               {"P95", entry.snap.Percentile(0.95)},
+               {"P99", entry.snap.Percentile(0.99)}}));
+        }
+        json::Array counters;
+        for (const auto& [name, value] : metrics::Registry::instance().CounterValues()) {
+          counters.push_back(json::Json::Obj(
+              {{"Name", name}, {"Value", static_cast<std::int64_t>(value)}}));
+        }
+        const trace::TraceStats tstats = trace::TraceRecorder::instance().stats();
+        const redfish::ResponseCacheStats cstats = rest_.response_cache().stats();
+        return http::MakeJsonResponse(
+            200,
+            json::Json::Obj(
+                {{"Histograms", json::Json(std::move(histograms))},
+                 {"Counters", json::Json(std::move(counters))},
+                 {"Trace",
+                  json::Json::Obj(
+                      {{"SampledTraces", static_cast<std::int64_t>(tstats.sampled_traces)},
+                       {"SkippedTraces", static_cast<std::int64_t>(tstats.skipped_traces)},
+                       {"SpansRecorded", static_cast<std::int64_t>(tstats.spans_recorded)},
+                       {"SpansEvicted", static_cast<std::int64_t>(tstats.spans_evicted)},
+                       {"SlowTraces", static_cast<std::int64_t>(tstats.slow_traces)}})},
+                 {"ResponseCache",
+                  json::Json::Obj(
+                      {{"Hits", static_cast<std::int64_t>(cstats.hits)},
+                       {"Misses", static_cast<std::int64_t>(cstats.misses)},
+                       {"Evictions", static_cast<std::int64_t>(cstats.evictions)},
+                       {"Invalidations", static_cast<std::int64_t>(cstats.invalidations)},
+                       {"HitRate", cstats.hit_rate()}})}}));
+      });
 }
 
 std::optional<http::Response> OfmfService::Authenticate(const http::Request& request) {
@@ -368,42 +467,60 @@ void OfmfService::NoteAgentOutcome(const std::string& fabric_id, const Status& s
   }
   const BreakerState after = breaker.state();
   if (before != BreakerState::kOpen && after == BreakerState::kOpen) {
+    metrics::Registry::instance().counter("breaker.opened").Increment();
     DegradeFabric(fabric_id);
   } else if (before != BreakerState::kClosed && after == BreakerState::kClosed) {
+    metrics::Registry::instance().counter("breaker.closed").Increment();
     RestoreFabric(fabric_id);
   }
 }
 
 Result<std::string> OfmfService::GuardedAgentCreate(
     const std::string& fabric_id, const std::function<Result<std::string>()>& call) {
+  trace::Span span("agent.call");
+  if (span.active()) span.Note("fabric " + fabric_id);
+  static metrics::Histogram& latency =
+      metrics::Registry::instance().histogram("agent.call.ns");
+  metrics::ScopedTimer timer(latency);
   auto breaker = BreakerForFabric(fabric_id);
   if (breaker.ok() && !(*breaker)->Allow()) {
+    if (span.active()) span.Note("rejected: circuit open");
     return Status::Unavailable("circuit open for fabric " + fabric_id +
                                "; serving degraded inventory");
   }
   const Status injected = InjectedAgentFault(fabric_id);
   if (!injected.ok()) {
+    if (span.active()) span.Note("error: " + injected.message());
     NoteAgentOutcome(fabric_id, injected);
     return injected;
   }
   Result<std::string> result = call();
+  if (span.active() && !result.ok()) span.Note("error: " + result.status().message());
   NoteAgentOutcome(fabric_id, result.status());
   return result;
 }
 
 Status OfmfService::GuardedAgentDelete(const std::string& fabric_id,
                                        const std::function<Status()>& call) {
+  trace::Span span("agent.call");
+  if (span.active()) span.Note("fabric " + fabric_id + " delete");
+  static metrics::Histogram& latency =
+      metrics::Registry::instance().histogram("agent.call.ns");
+  metrics::ScopedTimer timer(latency);
   auto breaker = BreakerForFabric(fabric_id);
   if (breaker.ok() && !(*breaker)->Allow()) {
+    if (span.active()) span.Note("rejected: circuit open");
     return Status::Unavailable("circuit open for fabric " + fabric_id +
                                "; serving degraded inventory");
   }
   const Status injected = InjectedAgentFault(fabric_id);
   if (!injected.ok()) {
+    if (span.active()) span.Note("error: " + injected.message());
     NoteAgentOutcome(fabric_id, injected);
     return injected;
   }
   const Status result = call();
+  if (span.active() && !result.ok()) span.Note("error: " + result.message());
   NoteAgentOutcome(fabric_id, result);
   return result;
 }
@@ -590,9 +707,58 @@ std::size_t OfmfService::ProcessPendingWork() {
 }
 
 http::Response OfmfService::Handle(const http::Request& request) {
+  // Adopt the wire trace identity (InProcess callers skip tcp.serve, so this
+  // is their entry point too; under TCP the ambient tcp.serve span wins and
+  // http.handle nests beneath it). Sampling 0 means tracing is off for this
+  // node, so the header scan is skipped — that keeps the idle hot path to
+  // one relaxed load.
+  trace::TraceContext remote;
+  if (trace::TraceRecorder::instance().enabled()) {
+    remote.trace_id =
+        trace::HexToId(request.headers.GetOr(trace::kTraceIdHeader, ""));
+    if (remote.trace_id != 0) {
+      remote.span_id =
+          trace::HexToId(request.headers.GetOr(trace::kSpanIdHeader, ""));
+    }
+  }
+  trace::Span span("http.handle", remote);
+  if (span.active()) {
+    span.Note(std::string(http::to_string(request.method)) + " " + request.path);
+  }
+  http::Response response;
+  {
+    metrics::ScopedTimer timer(metrics::Registry::instance().enabled()
+                                   ? EndpointHistogram(request.method, request.path)
+                                   : nullptr);
+    response = HandleInner(request);
+  }
+  if (span.active()) {
+    // Echo the trace id so a client can quote it when reporting a slow call.
+    response.headers.Set(trace::kTraceIdHeader, trace::IdToHex(span.context().trace_id));
+    if (response.status >= 500) span.Note("HTTP " + std::to_string(response.status));
+  }
+  PeriodicReportRefresh();
+  return response;
+}
+
+void OfmfService::PeriodicReportRefresh() {
+  if (!metrics::Registry::instance().enabled()) return;
+  // Per-thread stride: no shared counter on the hot path, and each serving
+  // thread refreshes once per kReportRefreshInterval requests it handles.
+  thread_local std::uint64_t handled = 0;
+  if ((++handled & (kReportRefreshInterval - 1)) != 0) return;
+  (void)telemetry_.UpdateResponseCacheReport(rest_.response_cache().stats());
+  (void)telemetry_.UpdateResilienceReport(CollectResilience());
+  (void)telemetry_.UpdateRequestLatencyReport();
+}
+
+http::Response OfmfService::HandleInner(const http::Request& request) {
   // Auth runs first: the replay cache below must never answer an
   // unauthenticated request with another principal's cached response.
-  if (std::optional<http::Response> denied = Authenticate(request)) return *denied;
+  {
+    trace::Span auth_span("auth");
+    if (std::optional<http::Response> denied = Authenticate(request)) return *denied;
+  }
 
   // Idempotency dedupe: a retried POST carrying the same X-Request-Id as an
   // earlier *successful* attempt gets that attempt's response replayed
@@ -658,6 +824,15 @@ http::Response OfmfService::Dispatch(const http::Request& request) {
   if ((request.method == http::Method::kGet || request.method == http::Method::kHead) &&
       http::NormalizePath(request.path) == TelemetryService::ResilienceReportUri()) {
     (void)telemetry_.UpdateResilienceReport(CollectResilience());
+  }
+  // And for the latency-histogram report. Reading the report does not move
+  // any histogram (the MetricReports subtree is excluded from the per-
+  // endpoint timers), so back-to-back scrapes with no traffic in between
+  // keep the same ETag and the second one is a 304.
+  if ((request.method == http::Method::kGet || request.method == http::Method::kHead) &&
+      http::NormalizePath(request.path) ==
+          TelemetryService::RequestLatencyReportUri()) {
+    (void)telemetry_.UpdateRequestLatencyReport();
   }
 
   // Asynchronous composition: Redfish's "Prefer: respond-async". The POST

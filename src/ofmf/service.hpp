@@ -6,6 +6,7 @@
 // agents register and publish inventory under /redfish/v1/Fabrics.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <map>
@@ -71,6 +72,10 @@ class OfmfService {
     return [this](const http::Request& request) { return Handle(request); };
   }
 
+  /// Per-thread request stride between piggybacked MetricReport refreshes
+  /// (power of two; see PeriodicReportRefresh).
+  static constexpr std::uint64_t kReportRefreshInterval = 1024;
+
   redfish::ResourceTree& tree() { return tree_; }
   redfish::RedfishService& rest() { return rest_; }
   SessionService& sessions() { return sessions_; }
@@ -134,7 +139,20 @@ class OfmfService {
  private:
   Status BootstrapServiceRoot();
   void WireRoutes();
+  /// Handle() minus the instrumentation wrapper (span, latency histogram,
+  /// periodic telemetry refresh): auth, replay cache, dispatch, upkeep.
+  http::Response HandleInner(const http::Request& request);
   http::Response Dispatch(const http::Request& request);
+
+  /// Every kReportRefreshInterval-th request a thread handles piggybacks a
+  /// refresh of the internal MetricReports (ResponseCache, Resilience,
+  /// RequestLatency), so the reports stay current without a background
+  /// thread. The stride is per thread (a thread-local counter keeps the hot
+  /// path free of shared-cache-line traffic), the registry-disabled
+  /// configuration skips it entirely, and scrape GETs refresh lazily anyway
+  /// — the periodic pass only serves passive ETag pollers. The quiet-update
+  /// fingerprints make a refresh free when nothing moved.
+  void PeriodicReportRefresh();
 
   /// Authentication gate, run by Handle() before anything else (including
   /// the replay-cache lookup, so a cached response can never leak past a

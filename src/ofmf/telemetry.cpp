@@ -1,5 +1,6 @@
 #include "ofmf/telemetry.hpp"
 
+#include "common/metrics.hpp"
 #include "ofmf/uris.hpp"
 
 namespace ofmf::core {
@@ -170,6 +171,80 @@ Status TelemetryService::UpdateResilienceReport(const ResilienceSnapshot& snapsh
   }
   resilience_report_exists_ = true;
   last_resilience_fingerprint_ = std::move(fingerprint);
+  return Status::Ok();
+}
+
+std::string TelemetryService::RequestLatencyReportUri() {
+  return std::string(kMetricReports) + "/RequestLatency";
+}
+
+Status TelemetryService::UpdateRequestLatencyReport() {
+  const std::vector<metrics::Registry::NamedHistogram> histograms =
+      metrics::Registry::instance().HistogramSnapshots();
+  const std::vector<std::pair<std::string, std::uint64_t>> counters =
+      metrics::Registry::instance().CounterValues();
+
+  // (count, sum) pins every histogram's contents; timestamps stay out of the
+  // fingerprint so a no-traffic scrape is a pure no-op (ETag-stable -> 304).
+  std::string fingerprint;
+  for (const metrics::Registry::NamedHistogram& entry : histograms) {
+    fingerprint += entry.name + ":" + std::to_string(entry.snap.count) + ":" +
+                   std::to_string(entry.snap.sum) + "|";
+  }
+  for (const auto& [name, value] : counters) {
+    fingerprint += name + "=" + std::to_string(value) + "|";
+  }
+  std::lock_guard<std::mutex> lock(latency_report_mu_);
+  if (latency_report_exists_ && fingerprint == last_latency_fingerprint_) {
+    return Status::Ok();
+  }
+
+  const std::string timestamp = FormatSimTimestamp(clock_.now());
+  const auto metric = [&](const std::string& id, double value,
+                          const std::string& property) {
+    return json::Json::Obj({{"MetricId", id},
+                            {"MetricValue", value},
+                            {"MetricProperty", property},
+                            {"Timestamp", timestamp}});
+  };
+  json::Array values;
+  for (const metrics::Registry::NamedHistogram& entry : histograms) {
+    // Latency series record nanoseconds by convention; report milliseconds.
+    // Size-valued series (".records", ".bytes") pass through unscaled.
+    const bool is_ns = (entry.name.size() >= 3 &&
+                        entry.name.compare(entry.name.size() - 3, 3, ".ns") == 0) ||
+                       entry.name.rfind("http.latency.", 0) == 0;
+    const double scale = is_ns ? 1e-6 : 1.0;
+    const std::string property = is_ns ? "milliseconds" : "units";
+    values.push_back(metric(entry.name + ".count",
+                            static_cast<double>(entry.snap.count), "samples"));
+    values.push_back(metric(entry.name + ".p50",
+                            entry.snap.Percentile(0.50) * scale, property));
+    values.push_back(metric(entry.name + ".p95",
+                            entry.snap.Percentile(0.95) * scale, property));
+    values.push_back(metric(entry.name + ".p99",
+                            entry.snap.Percentile(0.99) * scale, property));
+    values.push_back(metric(entry.name + ".mean", entry.snap.mean() * scale, property));
+  }
+  for (const auto& [name, value] : counters) {
+    values.push_back(metric(name, static_cast<double>(value), "count"));
+  }
+  json::Json payload = json::Json::Obj({
+      {"Id", "RequestLatency"},
+      {"Name", "Request latency and stage-timing histograms"},
+      {"ReportSequence", 0},
+      {"MetricValues", json::Json(std::move(values))},
+  });
+  const std::string uri = RequestLatencyReportUri();
+  if (latency_report_exists_ || tree_.Exists(uri)) {
+    OFMF_RETURN_IF_ERROR(tree_.Replace(uri, std::move(payload)));
+  } else {
+    OFMF_RETURN_IF_ERROR(
+        tree_.Create(uri, "#MetricReport.v1_4_2.MetricReport", std::move(payload)));
+    OFMF_RETURN_IF_ERROR(tree_.AddMember(kMetricReports, uri));
+  }
+  latency_report_exists_ = true;
+  last_latency_fingerprint_ = std::move(fingerprint);
   return Status::Ok();
 }
 

@@ -68,6 +68,18 @@ class TelemetryService {
   /// URI of the resilience (breaker/retry) report.
   static std::string ResilienceReportUri();
 
+  /// Creates-or-replaces the "RequestLatency" MetricReport from the global
+  /// metrics registry: per-endpoint HTTP latency, compose/decompose stage
+  /// timings, journal fsync/batch, and agent-call histograms, each reported
+  /// as count plus p50/p95/p99 (milliseconds for the *.ns series). Quiet:
+  /// the fingerprint covers only (count, sum) pairs and counter values, so a
+  /// scrape with no intervening traffic leaves the report — and its ETag —
+  /// untouched.
+  Status UpdateRequestLatencyReport();
+
+  /// URI of the latency-histogram report.
+  static std::string RequestLatencyReportUri();
+
  private:
   redfish::ResourceTree& tree_;
   EventService& events_;
@@ -80,6 +92,10 @@ class TelemetryService {
   std::mutex resilience_report_mu_;
   std::string last_resilience_fingerprint_;
   bool resilience_report_exists_ = false;
+
+  std::mutex latency_report_mu_;
+  std::string last_latency_fingerprint_;
+  bool latency_report_exists_ = false;
 };
 
 }  // namespace ofmf::core

@@ -1,6 +1,7 @@
 #include "redfish/service.hpp"
 
 #include "common/strings.hpp"
+#include "common/trace.hpp"
 #include "http/uri.hpp"
 #include "json/serialize.hpp"
 #include "odata/annotations.hpp"
@@ -87,6 +88,10 @@ std::string RedfishService::TypeOf(const std::string& uri) const {
 }
 
 http::Response RedfishService::Handle(const http::Request& request) {
+  trace::Span span("rest.handle");
+  if (span.active()) {
+    span.Note(std::string(http::to_string(request.method)) + " " + request.path);
+  }
   if (middleware_) {
     if (std::optional<http::Response> early = middleware_(request)) return *early;
   }
@@ -263,7 +268,10 @@ http::Response RedfishService::HandlePost(const http::Request& request) {
     return ErrorResponse(405, "Base.1.0.ActionNotSupported",
                          "resource does not support POST");
   }
-  Result<json::Json> body = request.JsonBody();
+  Result<json::Json> body = [&] {
+    trace::Span parse_span("rest.parse");
+    return request.JsonBody();
+  }();
   if (!body.ok()) return ErrorResponse(body.status());
 
   const auto& [type, factory] = factory_it->second;
@@ -271,7 +279,11 @@ http::Response RedfishService::HandlePost(const http::Request& request) {
     const Status valid = registry_.ValidateCreate(type, *body);
     if (!valid.ok()) return ErrorResponse(valid);
   }
-  Result<std::string> created_uri = factory(*body);
+  Result<std::string> created_uri = [&] {
+    trace::Span create_span("rest.create");
+    if (create_span.active()) create_span.Note(request.path);
+    return factory(*body);
+  }();
   if (!created_uri.ok()) return ErrorResponse(created_uri.status());
 
   Result<json::Json> created = tree_.Get(*created_uri);

@@ -12,6 +12,8 @@
 
 #include "common/clock.hpp"
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "json/parse.hpp"
 #include "json/serialize.hpp"
 
@@ -167,6 +169,19 @@ Status PersistentStore::CommitLocked() {
   if (dead_) return Status::Unavailable("store crashed (injected)");
   if (pending_.empty()) return Status::Ok();
 
+  // One commit = one span (child of whatever mutation triggered it) plus a
+  // batch-size sample, so group-commit effectiveness shows up in telemetry.
+  trace::Span commit_span("journal.commit");
+  static metrics::Histogram& batch_records =
+      metrics::Registry::instance().histogram("journal.batch.records");
+  static metrics::Histogram& commit_latency =
+      metrics::Registry::instance().histogram("journal.commit.ns");
+  metrics::ScopedTimer commit_timer(commit_latency);
+  if (metrics::Registry::instance().enabled()) batch_records.Record(pending_.size());
+  if (commit_span.active()) {
+    commit_span.Note(std::to_string(pending_.size()) + " records");
+  }
+
   std::string batch;
   batch.reserve(pending_bytes_);
   for (const std::string& frame : pending_) batch.append(frame);
@@ -213,6 +228,10 @@ Status PersistentStore::CommitLocked() {
       // vanish if a crash lands before the next successful fsync.
       return Status::Ok();
     }
+    trace::Span fsync_span("journal.fsync");
+    static metrics::Histogram& fsync_latency =
+        metrics::Registry::instance().histogram("journal.fsync.ns");
+    metrics::ScopedTimer fsync_timer(fsync_latency);
     if (Status synced = journal_->Fsync(); !synced.ok()) {
       // The batch reached the file but fsync failed, so the kernel makes no
       // promise it will ever reach the platter. Same treatment as a failed

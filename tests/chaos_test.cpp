@@ -198,6 +198,22 @@ TEST_F(ChaosTest, ComposeChurnUnderLossyTransportLeaksNothing) {
   }
   EXPECT_EQ(ofmf_.tree().Members(core::kSystems)->size(), 0u);
   EXPECT_EQ(ofmf_.composition().FreeBlockUris().size(), all_blocks_.size());
+
+  // The churn must leave legible latency telemetry behind: the
+  // RequestLatency MetricReport carries non-zero p50/p99 for the Systems
+  // endpoint the churn hammered (GET of the report refreshes it lazily).
+  auto latency_report = client_->Get(core::TelemetryService::RequestLatencyReportUri());
+  ASSERT_TRUE(latency_report.ok()) << latency_report.status().message();
+  double systems_p50 = 0.0, systems_p99 = 0.0;
+  for (const Json& value : latency_report->at("MetricValues").as_array()) {
+    const std::string id = value.GetString("MetricId");
+    if (id == "http.latency.POST.Systems.p50") systems_p50 = value.GetDouble("MetricValue");
+    if (id == "http.latency.POST.Systems.p99") systems_p99 = value.GetDouble("MetricValue");
+  }
+  EXPECT_GT(systems_p50, 0.0);
+  EXPECT_GT(systems_p99, 0.0);
+  EXPECT_GE(systems_p99, systems_p50);
+
   SUCCEED() << "composed=" << composed << " failed=" << compose_failed
             << " expanded=" << expanded << " decomposed=" << decomposed;
 }
