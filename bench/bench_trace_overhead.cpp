@@ -7,8 +7,11 @@
 // (~100 ns of histogram updates and gated trace checks) amortizes against a
 // ~100 us wire round trip.
 //
-// A second, informational section times the same cached GET in-process
-// (Handle() called directly, no sockets). That run is a microbenchmark of the
+// Two informational sections accompany it: the same GET over a pooled
+// keep-alive connection (the reactor-era client default; ~6x faster round
+// trip, so the same sub-microsecond cost reads as a bigger percentage of a
+// noisier denominator), and the same cached GET in-process
+// (Handle() called directly, no sockets). The latter is a microbenchmark of the
 // raw instrumentation cost itself: the whole operation is under a
 // microsecond, so even a perfectly-tuned ~50 ns of always-on timing reads as
 // several percent. It is reported to keep the absolute cost honest, but it
@@ -164,10 +167,22 @@ int main(int argc, char** argv) {
               smoke ? " (smoke)" : "", kBudgetPct);
 
   // The budgeted path: authenticated cached GET over TCP, fresh connection
-  // per request, exactly what a Redfish poller sees.
+  // per request — the wire shape the 2% bound was defined against (a poller
+  // that cannot reuse connections). The client pool is disabled explicitly:
+  // pooled keep-alive requests finish in ~16 us, where scheduler noise on a
+  // full round trip swamps a sub-microsecond instrumentation cost, so that
+  // path is reported below for scale but carries no budget.
   http::TcpClient wire(server.port());
+  wire.set_keep_alive(false);
   const Section wire_section = Measure("wire", wire, get, wire_iters, wire_rounds);
   const double wire_off_pct = wire_section.overhead_pct(Config::kTracedOff);
+
+  // Informational: the same GET on a pooled keep-alive connection (the
+  // default TcpClient behaviour since the reactor).
+  std::printf("\n");
+  http::TcpClient pooled(server.port());
+  const Section pooled_section =
+      Measure("wire keep-alive", pooled, get, wire_iters, wire_rounds);
 
   // Informational: the same GET as a direct Handle() call. Quantifies the raw
   // per-request instrumentation cost (tens of ns) against a sub-us operation;
@@ -188,6 +203,13 @@ int main(int argc, char** argv) {
        {"wire_traced_off_overhead_pct", wire_off_pct},
        {"wire_sampled_us", wire_section.median_us[2]},
        {"wire_sampled_overhead_pct", wire_section.overhead_pct(Config::kSampled)},
+       {"wire_keepalive_baseline_us", pooled_section.median_us[0]},
+       {"wire_keepalive_traced_off_us", pooled_section.median_us[1]},
+       {"wire_keepalive_traced_off_overhead_pct",
+        pooled_section.overhead_pct(Config::kTracedOff)},
+       {"wire_keepalive_sampled_us", pooled_section.median_us[2]},
+       {"wire_keepalive_sampled_overhead_pct",
+        pooled_section.overhead_pct(Config::kSampled)},
        {"inprocess_iterations", local_iters},
        {"inprocess_rounds", local_rounds},
        {"inprocess_baseline_us", local_section.median_us[0]},

@@ -8,6 +8,9 @@
 //       # durable: journal + snapshots in /var/lib/ofmf, serve until
 //       # SIGINT/SIGTERM, flush the store, exit. Start it again with the same
 //       # --store-dir and the tree (sessions included) comes back.
+//   $ ./examples/rest_server 8080 30 --workers 8 --max-conns 4096 --idle-timeout-ms 15000
+//       # reactor tuning: worker threads handling requests, concurrent
+//       # connection cap, and how long an idle keep-alive connection lives.
 //   $ ./examples/rest_server 8080 30 --trace-sample 1.0 --slow-ms 50
 //       # trace every request; requests slower than 50 ms dump their whole
 //       # span tree to stderr via OFMF_WARN. Scrape
@@ -47,6 +50,7 @@ int main(int argc, char** argv) {
   std::string store_dir;
   double trace_sample = 0.0;
   int slow_ms = 0;
+  http::ServerOptions server_options;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--store-dir") == 0 && i + 1 < argc) {
@@ -55,6 +59,12 @@ int main(int argc, char** argv) {
       trace_sample = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--slow-ms") == 0 && i + 1 < argc) {
       slow_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      server_options.workers = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--max-conns") == 0 && i + 1 < argc) {
+      server_options.max_connections = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--idle-timeout-ms") == 0 && i + 1 < argc) {
+      server_options.idle_timeout_ms = std::atoi(argv[++i]);
     } else if (positional == 0) {
       port = static_cast<std::uint16_t>(std::atoi(argv[i]));
       ++positional;
@@ -126,7 +136,7 @@ int main(int argc, char** argv) {
   }
 
   http::TcpServer server;
-  if (!server.Start(ofmf.Handler(), port).ok()) {
+  if (!server.Start(ofmf.Handler(), port, server_options).ok()) {
     std::fprintf(stderr, "failed to bind port %u\n", port);
     return 1;
   }
@@ -151,6 +161,9 @@ int main(int argc, char** argv) {
            (linger_seconds == 0 || std::chrono::steady_clock::now() < deadline)) {
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
     }
+    // Drain first (new mutations get 503 + Retry-After while in-flight
+    // handlers finish), then stop the reactor, then flush the store.
+    ofmf.BeginDrain();
     server.Stop();
     if (ofmf.durable()) {
       const Status flushed = ofmf.FlushStore();

@@ -4,7 +4,8 @@
 
 namespace ofmf {
 
-ThreadPool::ThreadPool(std::size_t thread_count) {
+ThreadPool::ThreadPool(std::size_t thread_count, std::size_t max_queued)
+    : max_queued_(max_queued) {
   thread_count = std::max<std::size_t>(1, thread_count);
   workers_.reserve(thread_count);
   for (std::size_t i = 0; i < thread_count; ++i) {
@@ -21,9 +22,31 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+bool ThreadPool::TrySubmit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return false;
+    if (max_queued_ != 0 && queue_.size() >= max_queued_) return false;
+    queue_.emplace_back(std::move(fn));
+  }
+  cv_.notify_one();
+  return true;
+}
+
 void ThreadPool::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
   drain_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+bool ThreadPool::DrainFor(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return drain_cv_.wait_for(lock, timeout,
+                            [this] { return queue_.empty() && active_ == 0; });
+}
+
+std::size_t ThreadPool::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
 }
 
 void ThreadPool::WorkerLoop() {

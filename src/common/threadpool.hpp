@@ -1,8 +1,11 @@
 // Fixed-size thread pool. Used by the Slurm simulator to model the paper's
-// "Prolog and Epilog scripts are designed to run in parallel" behaviour and
-// by the OFMF event-delivery fan-out.
+// "Prolog and Epilog scripts are designed to run in parallel" behaviour, by
+// the OFMF event-delivery fan-out, and as the worker pool the HTTP reactor
+// dispatches parsed requests onto (bounded queue, so a burst of slow
+// handlers turns into 503s instead of unbounded memory).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -16,7 +19,10 @@ namespace ofmf {
 
 class ThreadPool {
  public:
-  explicit ThreadPool(std::size_t thread_count);
+  /// `max_queued` bounds the number of not-yet-started tasks TrySubmit will
+  /// accept; 0 (the default) means unbounded. Submit() ignores the bound —
+  /// existing fan-out callers rely on never being refused.
+  explicit ThreadPool(std::size_t thread_count, std::size_t max_queued = 0);
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -35,19 +41,32 @@ class ThreadPool {
     return result;
   }
 
+  /// Enqueues `fn` unless the queue already holds `max_queued` waiting
+  /// tasks; returns false (without blocking) when full. Fire-and-forget: the
+  /// caller gets no future, so completion must be signalled out of band.
+  bool TrySubmit(std::function<void()> fn);
+
   /// Blocks until every queued task has finished.
   void Drain();
 
+  /// Drain() with a deadline: waits up to `timeout` for the queue and all
+  /// in-flight tasks to finish. Returns true when drained, false when the
+  /// deadline passed with work still outstanding (a stuck handler); the pool
+  /// stays usable either way.
+  bool DrainFor(std::chrono::milliseconds timeout);
+
   std::size_t thread_count() const { return workers_.size(); }
+  std::size_t queued() const;
 
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable drain_cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
+  std::size_t max_queued_ = 0;
   std::size_t active_ = 0;
   bool stopping_ = false;
 };

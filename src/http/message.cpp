@@ -45,7 +45,9 @@ std::string ReasonPhrase(int status) {
     case 405: return "Method Not Allowed";
     case 409: return "Conflict";
     case 412: return "Precondition Failed";
+    case 413: return "Content Too Large";
     case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 501: return "Not Implemented";
     case 502: return "Bad Gateway";

@@ -3,11 +3,16 @@
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <array>
 #include <cerrno>
 #include <cstring>
 
@@ -17,6 +22,30 @@
 #include "http/wire.hpp"
 
 namespace ofmf::http {
+
+namespace {
+
+// epoll_event.data.u64 tags for the two non-connection fds the loop owns.
+constexpr std::uint64_t kListenTag = 0;
+constexpr std::uint64_t kWakeTag = 1;
+
+constexpr int kAcceptBackoffInitialMs = 10;
+constexpr int kAcceptBackoffMaxMs = 1000;
+
+bool ResourceExhaustion(int err) {
+  return err == EMFILE || err == ENFILE || err == ENOBUFS || err == ENOMEM;
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+std::chrono::steady_clock::time_point Now() {
+  return std::chrono::steady_clock::now();
+}
+
+}  // namespace
 
 Result<Response> HttpClient::Get(const std::string& target) {
   return Send(MakeRequest(Method::kGet, target));
@@ -39,13 +68,41 @@ Result<Response> InProcessClient::Send(const Request& request) {
   return handler_(request);
 }
 
+// ------------------------------------------------------------- TcpServer ---
+
+/// Per-connection state. Owned and touched exclusively by the loop thread;
+/// workers refer to a connection only by its id.
+struct TcpServer::Conn {
+  int fd = -1;
+  std::uint64_t id = 0;
+  WireParser parser{WireParser::Mode::kRequest};
+  std::string outbox;        // serialized responses awaiting the wire
+  std::size_t out_off = 0;   // bytes of outbox already sent
+  std::uint32_t mask = 0;    // epoll interest currently installed
+  std::size_t requests = 0;  // requests taken off this connection
+  bool busy = false;         // a request is with the worker pool
+  bool discard = false;      // parse error / limit breach: ignore further input
+  bool close_after = false;  // close once outbox drains
+  bool saw_eof = false;      // peer half-closed its write side
+  std::chrono::steady_clock::time_point idle_deadline{};
+};
+
 TcpServer::TcpServer() = default;
 
 TcpServer::~TcpServer() { Stop(); }
 
-Status TcpServer::Start(ServerHandler handler, std::uint16_t port) {
+Status TcpServer::Start(ServerHandler handler, std::uint16_t port,
+                        ServerOptions options) {
   if (running_.load()) return Status::FailedPrecondition("server already running");
   handler_ = std::move(handler);
+  options_ = options;
+  if (options_.workers == 0) {
+    options_.workers = std::max<std::size_t>(4, std::thread::hardware_concurrency());
+  }
+  if (options_.max_queued_requests == 0) {
+    options_.max_queued_requests = options_.workers * 64;
+  }
+  if (options_.max_connections == 0) options_.max_connections = 1024;
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) return Status::Internal("socket(): " + std::string(std::strerror(errno)));
@@ -62,127 +119,523 @@ Status TcpServer::Start(ServerHandler handler, std::uint16_t port) {
     listen_fd_ = -1;
     return Status::Unavailable("bind(): " + std::string(std::strerror(errno)));
   }
-  if (::listen(listen_fd_, 64) < 0) {
+  if (::listen(listen_fd_, 1024) < 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
     return Status::Internal("listen(): " + std::string(std::strerror(errno)));
   }
+  SetNonBlocking(listen_fd_);
   socklen_t addr_len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
   port_ = ntohs(addr.sin_port);
 
+  epoll_fd_ = ::epoll_create1(0);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    epoll_fd_ = wake_fd_ = -1;
+    return Status::Internal("epoll/eventfd: " + detail);
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = kWakeTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  accept_registered_ = true;
+  accept_paused_full_ = false;
+  in_accept_backoff_ = false;
+  accept_backoff_ms_ = 0;
+  stop_requested_.store(false);
+  pool_ = std::make_unique<ThreadPool>(options_.workers, options_.max_queued_requests);
+
   running_.store(true);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  loop_thread_ = std::thread([this] { LoopMain(); });
   return Status::Ok();
 }
 
 void TcpServer::Stop() {
   if (!running_.exchange(false)) return;
-  // Shut down the listener to unblock accept().
+  stop_requested_.store(true);
+  Wake();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  if (pool_) {
+    // In-flight handlers finish on the worker pool; their responses are
+    // dropped (the loop already closed every connection fd). The deadline
+    // bounds how long a stuck handler can delay shutdown.
+    if (!pool_->DrainFor(std::chrono::milliseconds(options_.drain_timeout_ms))) {
+      OFMF_WARN << "TcpServer::Stop(): handlers still running after "
+                << options_.drain_timeout_ms << " ms drain deadline";
+    }
+    pool_.reset();
+  }
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+}
+
+ServerStats TcpServer::stats() const {
+  ServerStats s;
+  s.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  s.connections_closed = closed_.load(std::memory_order_relaxed);
+  s.requests_served = served_.load(std::memory_order_relaxed);
+  s.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  s.limit_rejections = limit_rejections_.load(std::memory_order_relaxed);
+  s.overload_rejections = overload_rejections_.load(std::memory_order_relaxed);
+  s.idle_closed = idle_closed_.load(std::memory_order_relaxed);
+  s.accept_failures = accept_failures_.load(std::memory_order_relaxed);
+  s.accept_backoff_bursts = accept_backoff_bursts_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void TcpServer::Wake() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void TcpServer::LoopMain() {
+  const auto sweep_interval = std::chrono::milliseconds(
+      options_.idle_timeout_ms > 0
+          ? std::clamp(options_.idle_timeout_ms / 4, 10, 500)
+          : 500);
+  next_idle_sweep_ = Now() + sweep_interval;
+
+  std::array<epoll_event, 256> events;
+  while (true) {
+    const int timeout = LoopTimeoutMs(Now());
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), timeout);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (stop_requested_.load()) break;
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == kListenTag) {
+        HandleAccept();
+      } else if (tag == kWakeTag) {
+        std::uint64_t drained = 0;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        if (stop_requested_.load()) break;
+        HandleCompletions();
+      } else {
+        HandleConnEvent(tag, events[i].events);
+      }
+    }
+    if (stop_requested_.load()) break;
+    const auto now = Now();
+    if (options_.idle_timeout_ms > 0 && now >= next_idle_sweep_) {
+      SweepIdle(now);
+      next_idle_sweep_ = now + sweep_interval;
+    }
+    RearmAcceptIfDue(now);
+  }
+
+  // Shutdown: close every connection fd (this is what unblocks Stop() even
+  // with idle keep-alive peers — nothing here ever blocks in recv), then the
+  // listener. Worker completions that arrive afterwards find no connection
+  // and are dropped.
+  for (auto& [id, conn] : conns_) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    ::close(conn->fd);
+    closed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  conns_.clear();
   if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> threads;
-  {
-    std::lock_guard<std::mutex> lock(threads_mu_);
-    threads.swap(connection_threads_);
-    finished_.clear();
-  }
-  for (std::thread& t : threads) {
-    if (t.joinable()) t.join();
-  }
 }
 
-void TcpServer::AcceptLoop() {
-  while (running_.load()) {
+int TcpServer::LoopTimeoutMs(std::chrono::steady_clock::time_point now) const {
+  auto until = [&now](std::chrono::steady_clock::time_point when) {
+    const auto delta =
+        std::chrono::duration_cast<std::chrono::milliseconds>(when - now).count();
+    return delta < 0 ? static_cast<long long>(0) : static_cast<long long>(delta);
+  };
+  long long best = -1;
+  if (options_.idle_timeout_ms > 0) best = until(next_idle_sweep_);
+  if (in_accept_backoff_ && !accept_registered_ && !accept_paused_full_) {
+    const long long t = until(accept_rearm_at_);
+    best = best < 0 ? t : std::min(best, t);
+  }
+  if (best < 0) return -1;
+  return static_cast<int>(std::min<long long>(best, 60000)) + 1;
+}
+
+void TcpServer::HandleAccept() {
+  while (true) {
+    if (conns_.size() >= options_.max_connections) {
+      if (accept_registered_) {
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        accept_registered_ = false;
+      }
+      accept_paused_full_ = true;
+      return;
+    }
     sockaddr_in peer{};
     socklen_t peer_len = sizeof(peer);
-    const int fd = ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &peer_len);
+    const int fd = ::accept4(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &peer_len,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
-      if (!running_.load()) return;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Burst over; a later failure starts (and logs) a fresh backoff.
+        in_accept_backoff_ = false;
+        accept_backoff_ms_ = 0;
+        return;
+      }
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      accept_failures_.fetch_add(1, std::memory_order_relaxed);
+      // EMFILE/ENFILE and friends persist until fds free up: sleeping the
+      // listener (deregister + timed rearm) instead of `continue` is what
+      // keeps the loop from spinning at 100% CPU. Unknown errnos get the
+      // same treatment — anything persistent would spin identically.
+      EnterAcceptBackoff(errno);
+      return;
+    }
+    in_accept_backoff_ = false;
+    accept_backoff_ms_ = 0;
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    const int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    conn->parser.set_limits(options_.max_header_bytes, options_.max_body_bytes);
+    conn->idle_deadline = Now() + std::chrono::milliseconds(options_.idle_timeout_ms);
+    conn->mask = EPOLLIN;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
       continue;
     }
-    std::lock_guard<std::mutex> lock(threads_mu_);
-    ReapFinishedLocked();
-    connection_threads_.emplace_back([this, fd] {
-      ServeConnection(fd);
-      std::lock_guard<std::mutex> exit_lock(threads_mu_);
-      finished_.push_back(std::this_thread::get_id());
-    });
+    conns_[conn->id] = std::move(conn);
   }
 }
 
-void TcpServer::ReapFinishedLocked() {
-  for (const std::thread::id id : finished_) {
-    for (auto it = connection_threads_.begin(); it != connection_threads_.end(); ++it) {
-      if (it->get_id() == id) {
-        it->join();
-        connection_threads_.erase(it);
-        break;
-      }
-    }
+void TcpServer::EnterAcceptBackoff(int err) {
+  accept_backoff_ms_ = in_accept_backoff_
+                           ? std::min(accept_backoff_ms_ * 2, kAcceptBackoffMaxMs)
+                           : kAcceptBackoffInitialMs;
+  if (!in_accept_backoff_) {
+    // Log once per burst, not once per failure: a persistent EMFILE would
+    // otherwise flood the log at the retry rate.
+    OFMF_WARN << "accept() failing (" << std::strerror(err) << "); pausing accepts, "
+              << "retrying in " << accept_backoff_ms_ << " ms"
+              << (ResourceExhaustion(err) ? " (fd exhaustion)" : "");
+    in_accept_backoff_ = true;
+    accept_backoff_bursts_.fetch_add(1, std::memory_order_relaxed);
   }
-  finished_.clear();
+  if (accept_registered_) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    accept_registered_ = false;
+  }
+  accept_rearm_at_ = Now() + std::chrono::milliseconds(accept_backoff_ms_);
 }
 
-void TcpServer::ServeConnection(int fd) {
-  WireParser parser(WireParser::Mode::kRequest);
-  char buffer[16384];
-  while (running_.load()) {
-    while (!parser.HasMessage()) {
-      const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-      if (n <= 0) {
-        ::close(fd);
-        return;
-      }
-      parser.Feed(std::string_view(buffer, static_cast<std::size_t>(n)));
-      if (parser.Broken()) break;
+void TcpServer::RearmAcceptIfDue(std::chrono::steady_clock::time_point now) {
+  if (accept_registered_ || accept_paused_full_ || !in_accept_backoff_) return;
+  if (now < accept_rearm_at_) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0) {
+    accept_registered_ = true;
+  }
+}
+
+void TcpServer::HandleConnEvent(std::uint64_t id, std::uint32_t events) {
+  {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    Conn& c = *it->second;
+    if ((events & (EPOLLHUP | EPOLLERR)) != 0 && (events & EPOLLIN) == 0) {
+      CloseConn(id);
+      return;
     }
-    Result<Request> request = parser.TakeRequest();
-    Response response;
-    bool close_after = false;
-    if (!request.ok()) {
-      response = MakeTextResponse(400, request.status().message());
-      close_after = true;
-    } else {
-      // Adopt the caller's wire identity (or mint a fresh trace when sampling
-      // says so) so the whole server-side handling nests under one span even
-      // though each connection runs on its own thread. Skipped entirely when
-      // tracing is off — the wire path must not pay for header parsing.
-      trace::TraceContext remote;
-      if (trace::TraceRecorder::instance().enabled()) {
-        remote.trace_id =
-            trace::HexToId(request->headers.GetOr(trace::kTraceIdHeader, ""));
-        if (remote.trace_id != 0) {
-          remote.span_id =
-              trace::HexToId(request->headers.GetOr(trace::kSpanIdHeader, ""));
+    if ((events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
+      char buffer[16384];
+      while (true) {
+        const ssize_t n = ::recv(c.fd, buffer, sizeof(buffer), 0);
+        if (n > 0) {
+          c.idle_deadline =
+              Now() + std::chrono::milliseconds(options_.idle_timeout_ms);
+          if (!c.discard) {
+            c.parser.Feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+          }
+          if (static_cast<std::size_t>(n) < sizeof(buffer)) break;
+          continue;
         }
-      }
-      trace::Span span("tcp.serve", remote);
-      response = handler_(*request);
-      close_after =
-          strings::EqualsIgnoreCase(request->headers.GetOr("Connection", ""), "close");
-    }
-    response.headers.Set("Connection", close_after ? "close" : "keep-alive");
-    const std::string wire = SerializeResponse(response);
-    std::size_t sent = 0;
-    while (sent < wire.size()) {
-      const ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
-      if (n <= 0) {
-        ::close(fd);
+        if (n == 0) {
+          c.saw_eof = true;
+          break;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        CloseConn(id);
         return;
       }
-      sent += static_cast<std::size_t>(n);
     }
-    if (close_after) break;
   }
-  ::close(fd);
+  ServiceConn(id);
 }
 
-Result<Response> TcpClient::Send(const Request& request) {
+void TcpServer::ServiceConn(std::uint64_t id) {
+  while (true) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    Conn& c = *it->second;
+
+    // 1. Drain pending output first: responses go out in request order.
+    if (c.out_off < c.outbox.size()) {
+      if (!WriteSome(c)) {
+        CloseConn(id);
+        return;
+      }
+      if (c.out_off < c.outbox.size()) break;  // EAGAIN: wait for EPOLLOUT
+      c.outbox.clear();
+      c.out_off = 0;
+      c.idle_deadline = Now() + std::chrono::milliseconds(options_.idle_timeout_ms);
+      if (c.close_after) {
+        CloseConn(id);
+        return;
+      }
+    }
+
+    if (c.busy || c.discard) break;
+
+    // 2. Limit breaches answer 431/413 and doom the connection. Detected
+    //    before HasMessage(): an oversized Content-Length is rejected
+    //    without ever buffering the body.
+    if (c.parser.overflow() != WireParser::Overflow::kNone) {
+      limit_rejections_.fetch_add(1, std::memory_order_relaxed);
+      const bool header = c.parser.overflow() == WireParser::Overflow::kHeader;
+      c.discard = true;
+      QueueResponse(c,
+                    MakeTextResponse(header ? 431 : 413,
+                                     header ? "request header block exceeds limit"
+                                            : "request body exceeds limit"),
+                    true);
+      continue;
+    }
+
+    // 3. Dispatch the next complete request (one in flight per connection;
+    //    pipelined successors wait buffered until this response is on the
+    //    wire).
+    if (!c.parser.HasMessage()) {
+      if (c.saw_eof) {
+        CloseConn(id);
+        return;
+      }
+      break;
+    }
+    Result<Request> request = c.parser.TakeRequest();
+    if (!request.ok()) {
+      parse_errors_.fetch_add(1, std::memory_order_relaxed);
+      // A broken parse poisons the framing: drop every consumed-but-unparsed
+      // byte so pipelined garbage can never be misread as a fresh request,
+      // answer 400, and close.
+      c.discard = true;
+      c.parser.Reset();
+      QueueResponse(c, MakeTextResponse(400, request.status().message()), true);
+      continue;
+    }
+    ++c.requests;
+    c.busy = true;
+    DispatchRequest(c, std::move(*request));
+    if (c.busy) break;  // with the workers; completion resumes the pump
+    // Overload 503 was queued synchronously; loop around to flush it.
+  }
+
+  auto it = conns_.find(id);
+  if (it != conns_.end()) SyncInterest(*it->second);
+}
+
+void TcpServer::DispatchRequest(Conn& conn, Request request) {
+  const std::uint64_t id = conn.id;
+  auto work = [this, id, request = std::move(request)]() mutable {
+    // Adopt the caller's wire identity (or mint a fresh trace when sampling
+    // says so). The ambient TraceContext is installed per-dispatch — worker
+    // threads are pooled, so nothing trace-related may persist on the
+    // thread. Skipped entirely when tracing is off: the wire path must not
+    // pay for header parsing.
+    trace::TraceContext remote;
+    if (trace::TraceRecorder::instance().enabled()) {
+      remote.trace_id = trace::HexToId(request.headers.GetOr(trace::kTraceIdHeader, ""));
+      if (remote.trace_id != 0) {
+        remote.span_id = trace::HexToId(request.headers.GetOr(trace::kSpanIdHeader, ""));
+      }
+    }
+    Response response;
+    {
+      trace::Span span("tcp.serve", remote);
+      response = handler_(request);
+    }
+    const bool close_after =
+        strings::EqualsIgnoreCase(request.headers.GetOr("Connection", ""), "close");
+    bool need_wake;
+    {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      // A non-empty queue already has an unconsumed eventfd tick in flight;
+      // skipping the redundant write lets a busy loop drain completions in
+      // batches instead of taking one wakeup syscall per response.
+      need_wake = done_.empty();
+      done_.push_back(Completion{id, std::move(response), close_after});
+    }
+    if (need_wake) Wake();
+  };
+  if (!pool_->TrySubmit(std::move(work))) {
+    overload_rejections_.fetch_add(1, std::memory_order_relaxed);
+    conn.busy = false;
+    Response overloaded = MakeTextResponse(503, "request queue full");
+    overloaded.headers.Set("Retry-After", "1");
+    QueueResponse(conn, std::move(overloaded), false);
+  }
+}
+
+void TcpServer::QueueResponse(Conn& conn, Response response, bool close_after) {
+  bool final_close = close_after || conn.saw_eof || conn.discard;
+  if (options_.max_requests_per_connection > 0 &&
+      conn.requests >= options_.max_requests_per_connection) {
+    final_close = true;
+  }
+  response.headers.Set("Connection", final_close ? "close" : "keep-alive");
+  conn.outbox += SerializeResponse(response);
+  conn.close_after = final_close;
+  served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool TcpServer::WriteSome(Conn& conn) {
+  while (conn.out_off < conn.outbox.size()) {
+    const ssize_t n = ::send(conn.fd, conn.outbox.data() + conn.out_off,
+                             conn.outbox.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void TcpServer::SyncInterest(Conn& conn) {
+  std::uint32_t want = 0;
+  // Backpressure: once a client runs ahead of its in-flight request (bytes
+  // already buffered beyond it), the loop stops reading until the response
+  // is out, bounding per-connection buffering no matter how fast the client
+  // pipelines. A busy connection whose socket is merely quiet keeps EPOLLIN:
+  // the well-behaved request-response cadence then never toggles epoll
+  // interest at all (at most one extra read burst lands before the disarm).
+  const bool read_paused = conn.discard || conn.saw_eof ||
+                           (conn.busy && conn.parser.buffered_bytes() > 0);
+  if (!read_paused) want |= EPOLLIN;
+  if (conn.out_off < conn.outbox.size()) want |= EPOLLOUT;
+  if (want == conn.mask) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.u64 = conn.id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+  conn.mask = want;
+}
+
+void TcpServer::HandleCompletions() {
+  std::vector<Completion> done;
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    done.swap(done_);
+  }
+  for (Completion& completion : done) {
+    auto it = conns_.find(completion.conn_id);
+    if (it == conns_.end()) continue;  // connection died while handling
+    Conn& c = *it->second;
+    c.busy = false;
+    QueueResponse(c, std::move(completion.response), completion.close_after);
+    ServiceConn(completion.conn_id);
+  }
+}
+
+void TcpServer::SweepIdle(std::chrono::steady_clock::time_point now) {
+  std::vector<std::uint64_t> expired;
+  for (const auto& [id, conn] : conns_) {
+    if (conn->busy || conn->out_off < conn->outbox.size()) continue;
+    if (now >= conn->idle_deadline) expired.push_back(id);
+  }
+  for (const std::uint64_t id : expired) {
+    idle_closed_.fetch_add(1, std::memory_order_relaxed);
+    CloseConn(id);
+  }
+}
+
+void TcpServer::CloseConn(std::uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
+  ::close(it->second->fd);
+  conns_.erase(it);
+  closed_.fetch_add(1, std::memory_order_relaxed);
+  if (accept_paused_full_ && conns_.size() < options_.max_connections) {
+    accept_paused_full_ = false;
+    if (!in_accept_backoff_) {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.u64 = kListenTag;
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0) {
+        accept_registered_ = true;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- TcpClient ---
+
+TcpClient::~TcpClient() {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  for (const int fd : idle_fds_) ::close(fd);
+  idle_fds_.clear();
+}
+
+int TcpClient::AcquirePooled() {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  while (!idle_fds_.empty()) {
+    const int fd = idle_fds_.back();  // most recently used: most likely alive
+    idle_fds_.pop_back();
+    // Cheap liveness probe: a closed peer shows up as EOF or an error; a
+    // healthy idle connection has nothing to read.
+    char probe = 0;
+    const ssize_t n = ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return fd;
+    ::close(fd);  // dead, or desynced (unexpected bytes)
+  }
+  return -1;
+}
+
+void TcpClient::Release(int fd) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  idle_fds_.push_back(fd);
+  while (idle_fds_.size() > kMaxPooledConnections) {
+    ::close(idle_fds_.front());  // evict least recently used
+    idle_fds_.pop_front();
+  }
+}
+
+Result<int> TcpClient::Connect() {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Status::Internal("socket(): " + std::string(std::strerror(errno)));
 
@@ -228,16 +681,51 @@ Result<Response> TcpClient::Send(const Request& request) {
     ::close(fd);
     return Status::Unavailable("connect(): " + std::string(std::strerror(errno)));
   }
+  const int nodelay = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+  return fd;
+}
 
+Result<Response> TcpClient::Send(const Request& request) {
+  // Stale-connection retry-once: a pooled socket the server closed between
+  // requests (idle timeout, restart, max-requests cap) fails before any
+  // response byte arrives; one retry on a fresh connection is safe because
+  // the request was provably never processed.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    bool reused = false;
+    int fd = AcquirePooled();
+    if (fd >= 0) {
+      reused = true;
+      reused_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      auto connected = Connect();
+      if (!connected.ok()) return connected.status();
+      fd = *connected;
+      opened_.fetch_add(1, std::memory_order_relaxed);
+    }
+    bool stale = false;
+    Result<Response> response = SendOnce(request, fd, reused, &stale);
+    if (stale && attempt == 0) continue;
+    return response;
+  }
+  return Status::Unavailable("stale pooled connection (retry exhausted)");
+}
+
+Result<Response> TcpClient::SendOnce(const Request& request, int fd, bool reused_fd,
+                                     bool* stale) {
+  *stale = false;
   Request to_send = request;
   to_send.headers.Set("Host", "127.0.0.1:" + std::to_string(port_));
-  to_send.headers.Set("Connection", "close");
+  if (!strings::EqualsIgnoreCase(to_send.headers.GetOr("Connection", ""), "close")) {
+    to_send.headers.Set("Connection", keep_alive_ ? "keep-alive" : "close");
+  }
   const std::string wire = SerializeRequest(to_send);
   std::size_t sent = 0;
   while (sent < wire.size()) {
     const ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) {
       ::close(fd);
+      *stale = reused_fd;
       return Status::Unavailable("send(): " + std::string(std::strerror(errno)));
     }
     sent += static_cast<std::size_t>(n);
@@ -247,23 +735,40 @@ Result<Response> TcpClient::Send(const Request& request) {
   // A HEAD response advertises the GET's Content-Length but carries no body.
   parser.set_bodyless_response(request.method == Method::kHead);
   char buffer[16384];
+  bool received_any = false;
   while (!parser.HasMessage()) {
     const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
     if (n < 0) {
       const bool timed_out = errno == EAGAIN || errno == EWOULDBLOCK;
       ::close(fd);
       if (timed_out) {
+        // Never the stale path: the server may have executed the request, so
+        // re-sending is RetryingClient's policy decision, not the pool's.
         return Status::Timeout("recv(): timed out after " + std::to_string(timeout_ms_) +
                                " ms");
       }
+      *stale = reused_fd && !received_any;
       return Status::Unavailable("recv(): " + std::string(std::strerror(errno)));
     }
     if (n == 0) break;  // peer closed; parser may or may not hold a message
+    received_any = true;
     parser.Feed(std::string_view(buffer, static_cast<std::size_t>(n)));
   }
-  ::close(fd);
-  if (!parser.HasMessage()) return Status::Unavailable("connection closed mid-response");
-  return parser.TakeResponse();
+  if (!parser.HasMessage()) {
+    ::close(fd);
+    *stale = reused_fd && !received_any;
+    return Status::Unavailable("connection closed mid-response");
+  }
+  Result<Response> response = parser.TakeResponse();
+  const bool server_close =
+      !response.ok() ||
+      strings::EqualsIgnoreCase(response->headers.GetOr("Connection", ""), "close");
+  if (keep_alive_ && !server_close && parser.buffered_bytes() == 0) {
+    Release(fd);  // healthy keep-alive exchange: park it for the next request
+  } else {
+    ::close(fd);
+  }
+  return response;
 }
 
 }  // namespace ofmf::http

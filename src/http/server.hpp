@@ -2,18 +2,30 @@
 // Composability Manager program against; InProcessClient binds directly to a
 // handler (tests, simulation), TcpServer/TcpClient speak real HTTP/1.1 over
 // loopback sockets (examples, interop).
+//
+// TcpServer is a non-blocking epoll reactor: one event loop owns the listen
+// fd and every connection fd, parses requests incrementally, and dispatches
+// each complete request to a bounded worker pool; workers hand finished
+// responses back to the loop through an eventfd. Handler code never runs on
+// the loop thread and never touches a socket. See DESIGN.md "HTTP reactor".
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.hpp"
+#include "common/threadpool.hpp"
 #include "http/message.hpp"
+#include "http/wire.hpp"
 
 namespace ofmf::http {
 
@@ -42,8 +54,52 @@ class InProcessClient : public HttpClient {
   ServerHandler handler_;
 };
 
-/// Blocking TCP server on 127.0.0.1 with a small accept/worker thread set.
-/// Keep-alive supported; one request at a time per connection.
+/// Tuning knobs for TcpServer. The defaults suit the examples and tests;
+/// rest_server exposes the interesting ones as flags.
+struct ServerOptions {
+  /// Worker threads handling parsed requests; 0 means
+  /// max(4, hardware_concurrency).
+  std::size_t workers = 0;
+  /// Open connections the reactor will hold at once. At the cap the listen
+  /// fd leaves the epoll set until a connection closes, so the kernel backlog
+  /// absorbs the burst instead of the accept loop churning.
+  std::size_t max_connections = 1024;
+  /// Keep-alive connections idle longer than this are closed by the loop's
+  /// timer sweep (0 disables). "Idle" covers a peer trickling a partial
+  /// request: the clock resets on received bytes, not parsed messages.
+  int idle_timeout_ms = 60000;
+  /// Requests served on one connection before the server answers with
+  /// Connection: close (0 = unlimited). Bounds per-connection state reuse.
+  std::size_t max_requests_per_connection = 0;
+  /// Request-size caps enforced by the per-connection WireParser; breaches
+  /// answer 431 (header) or 413 (body) and close.
+  std::size_t max_header_bytes = 16 * 1024;
+  std::size_t max_body_bytes = 8 * 1024 * 1024;
+  /// Parsed requests waiting for a worker; at the cap new requests get an
+  /// immediate 503 + Retry-After from the loop (0 means workers * 64).
+  std::size_t max_queued_requests = 0;
+  /// Stop(): how long to wait for in-flight handlers after the loop exits.
+  int drain_timeout_ms = 2000;
+};
+
+/// Monotonic counters the reactor maintains (relaxed atomics; exact values
+/// are only meaningful after Stop() or from the loop's own thread, but
+/// cross-thread reads are safe for tests and telemetry).
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t requests_served = 0;     // responses queued for the wire
+  std::uint64_t parse_errors = 0;        // 400s from broken framing
+  std::uint64_t limit_rejections = 0;    // 431/413
+  std::uint64_t overload_rejections = 0; // 503: worker queue full
+  std::uint64_t idle_closed = 0;         // reaped by the idle sweep
+  std::uint64_t accept_failures = 0;     // accept() errors (EMFILE, ...)
+  std::uint64_t accept_backoff_bursts = 0;  // resource-exhaustion backoffs
+};
+
+/// Non-blocking epoll reactor HTTP/1.1 server on 127.0.0.1. Keep-alive and
+/// pipelining supported; requests on one connection are served in order, one
+/// at a time. Handlers run on a bounded worker pool, never on the loop.
 class TcpServer {
  public:
   TcpServer();
@@ -51,48 +107,119 @@ class TcpServer {
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
-  /// Binds an ephemeral (or given) port and starts the accept thread.
-  Status Start(ServerHandler handler, std::uint16_t port = 0);
+  /// Binds an ephemeral (or given) port and starts the reactor loop.
+  Status Start(ServerHandler handler, std::uint16_t port = 0,
+               ServerOptions options = {});
+  /// Wakes the loop via the shutdown eventfd, closes every connection fd
+  /// (including idle keep-alive ones blocked in the kernel — nothing here
+  /// ever blocks in recv), then drains the worker pool with a deadline.
   void Stop();
 
   std::uint16_t port() const { return port_; }
   bool running() const { return running_.load(); }
+  ServerStats stats() const;
 
  private:
-  void AcceptLoop();
-  void ServeConnection(int fd);
-  void ReapFinishedLocked();
+  struct Conn;
 
-  // Atomic: Stop() closes and resets the fd while AcceptLoop blocks on it.
-  std::atomic<int> listen_fd_{-1};
-  std::uint16_t port_ = 0;
-  std::atomic<bool> running_{false};
-  std::thread accept_thread_;
-  // Connection threads register themselves in finished_ on exit and the
-  // accept loop joins them on the next accept, so a long-lived server does
-  // not accumulate one dead joinable thread per past connection.
-  std::vector<std::thread> connection_threads_;
-  std::vector<std::thread::id> finished_;
-  std::mutex threads_mu_;
+  void LoopMain();
+  void HandleAccept();
+  void HandleConnEvent(std::uint64_t id, std::uint32_t events);
+  /// Per-connection pump: flush output, then take/dispatch buffered
+  /// requests, until blocked (EAGAIN), waiting on a worker, or closed.
+  void ServiceConn(std::uint64_t id);
+  void DispatchRequest(Conn& conn, Request request);
+  void QueueResponse(Conn& conn, Response response, bool close_after);
+  bool WriteSome(Conn& conn);
+  void SyncInterest(Conn& conn);
+  void CloseConn(std::uint64_t id);
+  void HandleCompletions();
+  void SweepIdle(std::chrono::steady_clock::time_point now);
+  void EnterAcceptBackoff(int err);
+  void RearmAcceptIfDue(std::chrono::steady_clock::time_point now);
+  int LoopTimeoutMs(std::chrono::steady_clock::time_point now) const;
+  void Wake();
+
+  // --- set in Start(), read-only afterwards -------------------------------
+  ServerOptions options_;
   ServerHandler handler_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: worker completions + shutdown
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::thread loop_thread_;
+
+  // --- loop-thread-only state ---------------------------------------------
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  std::uint64_t next_conn_id_ = 2;  // 0 = listen fd, 1 = wake fd
+  bool accept_registered_ = false;
+  bool accept_paused_full_ = false;  // at max_connections
+  bool in_accept_backoff_ = false;   // resource-exhaustion backoff active
+  int accept_backoff_ms_ = 0;
+  std::chrono::steady_clock::time_point accept_rearm_at_{};
+  std::chrono::steady_clock::time_point next_idle_sweep_{};
+
+  // --- worker -> loop completion channel ----------------------------------
+  struct Completion {
+    std::uint64_t conn_id;
+    Response response;
+    bool close_after;
+  };
+  std::mutex done_mu_;
+  std::vector<Completion> done_;
+
+  // --- stats (relaxed atomics, updated by loop and workers) ---------------
+  std::atomic<std::uint64_t> accepted_{0}, closed_{0}, served_{0},
+      parse_errors_{0}, limit_rejections_{0}, overload_rejections_{0},
+      idle_closed_{0}, accept_failures_{0}, accept_backoff_bursts_{0};
 };
 
-/// One-connection-per-request blocking client against 127.0.0.1:port.
-/// Connect/send/recv are bounded by `timeout_ms` so a hung or half-dead
-/// server yields Status::Timeout instead of wedging the caller forever
-/// (0 disables the bound).
+/// Blocking client against 127.0.0.1:port with a keep-alive connection pool:
+/// an LRU of idle sockets to the endpoint is reused across Send() calls, so
+/// manager poll loops and agent calls skip the per-request connect/teardown.
+/// A reused socket the server has since closed (idle timeout, restart) is
+/// retried once on a fresh connection. Connect/send/recv are bounded by
+/// `timeout_ms` so a hung or half-dead server yields Status::Timeout instead
+/// of wedging the caller forever (0 disables the bound). Thread-safe: the
+/// pool is locked, and each in-flight request owns its socket exclusively.
 class TcpClient : public HttpClient {
  public:
   explicit TcpClient(std::uint16_t port, int timeout_ms = 30000)
       : port_(port), timeout_ms_(timeout_ms) {}
+  ~TcpClient() override;
   Result<Response> Send(const Request& request) override;
 
   void set_timeout_ms(int timeout_ms) { timeout_ms_ = timeout_ms; }
   int timeout_ms() const { return timeout_ms_; }
 
+  /// Disable to restore the one-connection-per-request behaviour (each
+  /// request stamps Connection: close). Benchmark baseline; on by default.
+  void set_keep_alive(bool keep_alive) { keep_alive_ = keep_alive; }
+
+  /// Pool effectiveness counters: fresh connects vs pooled reuses.
+  std::uint64_t connections_opened() const { return opened_.load(); }
+  std::uint64_t connections_reused() const { return reused_.load(); }
+
+  static constexpr std::size_t kMaxPooledConnections = 8;
+
  private:
+  Result<int> Connect();
+  int AcquirePooled();
+  void Release(int fd);
+  Result<Response> SendOnce(const Request& request, int fd, bool reused_fd,
+                            bool* stale);
+
   std::uint16_t port_;
   int timeout_ms_;
+  bool keep_alive_ = true;
+  std::mutex pool_mu_;
+  std::deque<int> idle_fds_;  // back = most recently used
+  std::atomic<std::uint64_t> opened_{0};
+  std::atomic<std::uint64_t> reused_{0};
 };
 
 }  // namespace ofmf::http

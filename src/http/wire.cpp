@@ -66,51 +66,88 @@ std::string SerializeResponse(const Response& response) {
   return out;
 }
 
-void WireParser::Feed(std::string_view bytes) { buffer_.append(bytes); }
+void WireParser::Feed(std::string_view bytes) {
+  if (overflow_ != Overflow::kNone) return;  // doomed connection: cap memory
+  buffer_.append(bytes);
+  Reframe();
+}
 
-bool WireParser::HeadersComplete(std::size_t& header_end,
-                                 std::size_t& content_length) const {
-  header_end = buffer_.find("\r\n\r\n");
-  if (header_end == std::string::npos) return false;
-  content_length = 0;
-  // Scan header block for Content-Length (case-insensitive).
-  const std::string_view block(buffer_.data(), header_end);
-  std::size_t pos = block.find("\r\n");
-  while (pos != std::string_view::npos && pos < block.size()) {
-    std::size_t eol = block.find("\r\n", pos + 2);
-    if (eol == std::string_view::npos) eol = block.size();
-    const std::string_view line = block.substr(pos + 2, eol - pos - 2);
-    const std::size_t colon = line.find(':');
-    if (colon != std::string_view::npos) {
-      const std::string name(strings::Trim(line.substr(0, colon)));
-      if (strings::EqualsIgnoreCase(name, "Content-Length")) {
-        const std::string value(strings::Trim(line.substr(colon + 1)));
-        content_length = std::strtoull(value.c_str(), nullptr, 10);
+void WireParser::Reframe() {
+  if (overflow_ != Overflow::kNone) return;
+  if (!framed_) {
+    // Resume the terminator search just before the previous end so a
+    // "\r\n\r\n" split across Feed() calls is still found.
+    const std::size_t from = scan_pos_ > 3 ? scan_pos_ - 3 : 0;
+    const std::size_t end = buffer_.find("\r\n\r\n", from);
+    if (end == std::string::npos) {
+      scan_pos_ = buffer_.size();
+      if (max_header_bytes_ != 0 && buffer_.size() > max_header_bytes_) {
+        overflow_ = Overflow::kHeader;
+        buffer_.clear();
       }
+      return;
     }
-    pos = eol;
+    header_end_ = end;
+    framed_ = true;
+    // Scan the header block for Content-Length (case-insensitive).
+    content_length_ = 0;
+    const std::string_view block(buffer_.data(), header_end_);
+    std::size_t pos = block.find("\r\n");
+    while (pos != std::string_view::npos && pos < block.size()) {
+      std::size_t eol = block.find("\r\n", pos + 2);
+      if (eol == std::string_view::npos) eol = block.size();
+      const std::string_view line = block.substr(pos + 2, eol - pos - 2);
+      const std::size_t colon = line.find(':');
+      if (colon != std::string_view::npos) {
+        const std::string name(strings::Trim(line.substr(0, colon)));
+        if (strings::EqualsIgnoreCase(name, "Content-Length")) {
+          const std::string value(strings::Trim(line.substr(colon + 1)));
+          content_length_ = std::strtoull(value.c_str(), nullptr, 10);
+        }
+      }
+      pos = eol;
+    }
   }
-  return true;
+  if (max_header_bytes_ != 0 && header_end_ + 4 > max_header_bytes_) {
+    overflow_ = Overflow::kHeader;
+    buffer_.clear();
+    return;
+  }
+  const bool bodyless = mode_ == Mode::kResponse && bodyless_response_;
+  if (!bodyless && max_body_bytes_ != 0 && content_length_ > max_body_bytes_) {
+    overflow_ = Overflow::kBody;
+    buffer_.clear();
+  }
 }
 
 bool WireParser::HasMessage() const {
-  std::size_t header_end = 0;
-  std::size_t content_length = 0;
-  if (!HeadersComplete(header_end, content_length)) return false;
-  if (mode_ == Mode::kResponse && bodyless_response_) content_length = 0;
-  return buffer_.size() >= header_end + 4 + content_length;
+  if (!framed_) return false;
+  const std::size_t body = mode_ == Mode::kResponse && bodyless_response_
+                               ? 0
+                               : content_length_;
+  return buffer_.size() >= header_end_ + 4 + body;
+}
+
+void WireParser::Reset() {
+  buffer_.clear();
+  broken_ = false;
+  overflow_ = Overflow::kNone;
+  framed_ = false;
+  header_end_ = 0;
+  content_length_ = 0;
+  scan_pos_ = 0;
 }
 
 Result<Request> WireParser::TakeRequest() {
-  std::size_t header_end = 0;
-  std::size_t content_length = 0;
-  if (!HeadersComplete(header_end, content_length) ||
-      buffer_.size() < header_end + 4 + content_length) {
+  if (!HasMessage()) {
     return Status::FailedPrecondition("no complete message buffered");
   }
-  const std::string head = buffer_.substr(0, header_end);
-  const std::string body = buffer_.substr(header_end + 4, content_length);
-  buffer_.erase(0, header_end + 4 + content_length);
+  const std::string head = buffer_.substr(0, header_end_);
+  const std::string body = buffer_.substr(header_end_ + 4, content_length_);
+  buffer_.erase(0, header_end_ + 4 + content_length_);
+  framed_ = false;
+  scan_pos_ = 0;
+  Reframe();  // leftover pipelined bytes may already frame the next message
 
   const std::size_t line_end = head.find("\r\n");
   const std::string start_line = head.substr(0, line_end);
@@ -138,18 +175,16 @@ Result<Request> WireParser::TakeRequest() {
 }
 
 Result<Response> WireParser::TakeResponse() {
-  std::size_t header_end = 0;
-  std::size_t content_length = 0;
-  if (!HeadersComplete(header_end, content_length)) {
+  if (!HasMessage()) {
     return Status::FailedPrecondition("no complete message buffered");
   }
-  if (bodyless_response_) content_length = 0;  // HEAD: headers only
-  if (buffer_.size() < header_end + 4 + content_length) {
-    return Status::FailedPrecondition("no complete message buffered");
-  }
-  const std::string head = buffer_.substr(0, header_end);
-  const std::string body = buffer_.substr(header_end + 4, content_length);
-  buffer_.erase(0, header_end + 4 + content_length);
+  const std::size_t body_len = bodyless_response_ ? 0 : content_length_;
+  const std::string head = buffer_.substr(0, header_end_);
+  const std::string body = buffer_.substr(header_end_ + 4, body_len);
+  buffer_.erase(0, header_end_ + 4 + body_len);
+  framed_ = false;
+  scan_pos_ = 0;
+  Reframe();
 
   const std::size_t line_end = head.find("\r\n");
   const std::string start_line = head.substr(0, line_end);

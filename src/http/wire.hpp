@@ -3,6 +3,7 @@
 // always length-framed here).
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "common/result.hpp"
@@ -14,10 +15,20 @@ std::string SerializeRequest(const Request& request);
 std::string SerializeResponse(const Response& response);
 
 /// Incremental parser usable for both directions. Feed bytes; poll for a
-/// complete message.
+/// complete message. Framing is computed incrementally: the header-terminator
+/// search resumes where the last Feed() left off and the parsed
+/// (header_end, content_length) pair is cached until the message is taken,
+/// so feeding a large body in small chunks costs O(bytes), not O(bytes^2).
 class WireParser {
  public:
   enum class Mode { kRequest, kResponse };
+
+  /// Which configured limit an incoming message breached. A server maps
+  /// kHeader to 431 (Request Header Fields Too Large) and kBody to 413
+  /// (Content Too Large); once set, further Feed() bytes are discarded so a
+  /// misbehaving peer cannot grow the buffer.
+  enum class Overflow { kNone, kHeader, kBody };
+
   explicit WireParser(Mode mode) : mode_(mode) {}
 
   /// HEAD-response mode (RFC 9110 §9.3.2): the peer sends Content-Length
@@ -25,7 +36,17 @@ class WireParser {
   /// Set before Feed() when the request that elicited the response was HEAD.
   void set_bodyless_response(bool bodyless) { bodyless_response_ = bodyless; }
 
-  /// Appends raw bytes from the peer.
+  /// Caps enforced during Feed(). 0 (the default) means unlimited — clients
+  /// parsing trusted responses leave them off; servers set both. The header
+  /// limit counts the whole header block including the blank-line terminator;
+  /// the body limit checks the declared Content-Length, so an oversized
+  /// message is rejected before its body is buffered.
+  void set_limits(std::size_t max_header_bytes, std::size_t max_body_bytes) {
+    max_header_bytes_ = max_header_bytes;
+    max_body_bytes_ = max_body_bytes;
+  }
+
+  /// Appends raw bytes from the peer (dropped once an overflow is flagged).
   void Feed(std::string_view bytes);
 
   /// True once a full message (headers + body) is buffered.
@@ -39,13 +60,38 @@ class WireParser {
   /// Parse failure detected (malformed start line / headers).
   bool Broken() const { return broken_; }
 
+  /// Limit breach detected (see set_limits).
+  Overflow overflow() const { return overflow_; }
+
+  /// Bytes currently buffered (leftover pipelined input after a Take, or a
+  /// partial message). A client uses this to detect protocol desync before
+  /// returning a connection to a keep-alive pool.
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+
+  /// Discards all buffered bytes and clears broken/overflow state. Used when
+  /// a connection is being abandoned after a parse error so stale pipelined
+  /// bytes can never be misread as the start of a fresh message.
+  void Reset();
+
  private:
-  bool HeadersComplete(std::size_t& header_end, std::size_t& content_length) const;
+  /// Re-derives framing (header_end_/content_length_) and overflow state for
+  /// the bytes currently buffered. Called after every append and after every
+  /// Take so HasMessage() stays O(1).
+  void Reframe();
 
   Mode mode_;
   std::string buffer_;
   bool bodyless_response_ = false;
-  mutable bool broken_ = false;
+  bool broken_ = false;
+  Overflow overflow_ = Overflow::kNone;
+  std::size_t max_header_bytes_ = 0;
+  std::size_t max_body_bytes_ = 0;
+
+  // Cached framing of the message at the front of buffer_.
+  bool framed_ = false;             // header_end_/content_length_ are valid
+  std::size_t header_end_ = 0;      // offset of the "\r\n\r\n" terminator
+  std::size_t content_length_ = 0;  // declared body size
+  std::size_t scan_pos_ = 0;        // resume point for the terminator search
 };
 
 }  // namespace ofmf::http

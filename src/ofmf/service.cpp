@@ -753,6 +753,16 @@ void OfmfService::PeriodicReportRefresh() {
 }
 
 http::Response OfmfService::HandleInner(const http::Request& request) {
+  // Graceful drain: once shutdown has begun, mutations are refused with 503
+  // + Retry-After so a retrying client fails over instead of racing the
+  // store flush. Reads keep working — monitoring may scrape to the end.
+  if (draining_.load(std::memory_order_relaxed) &&
+      request.method != http::Method::kGet && request.method != http::Method::kHead) {
+    http::Response refused = redfish::ErrorResponse(
+        503, "Base.1.0.ServiceShuttingDown", "service is draining for shutdown");
+    refused.headers.Set("Retry-After", "5");
+    return refused;
+  }
   // Auth runs first: the replay cache below must never answer an
   // unauthenticated request with another principal's cached response.
   {

@@ -65,6 +65,14 @@ class OfmfService {
   /// URI); the composition runs at the next ProcessPendingWork().
   http::Response Handle(const http::Request& request);
 
+  /// Graceful shutdown, phase one: refuse new mutations with 503 +
+  /// Retry-After (reads still served) while in-flight work finishes. Called
+  /// before TcpServer::Stop() + FlushStore() so a retrying client observes a
+  /// clean failover window instead of racing the store flush.
+  void BeginDrain() { draining_.store(true, std::memory_order_relaxed); }
+  void EndDrain() { draining_.store(false, std::memory_order_relaxed); }
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
   /// Executes deferred (task-backed) operations; returns how many ran.
   std::size_t ProcessPendingWork();
   std::size_t pending_work() const { return pending_work_.size(); }
@@ -185,6 +193,7 @@ class OfmfService {
   std::map<std::string, std::shared_ptr<FabricAgent>> agents_by_fabric_;
   std::deque<std::function<void()>> pending_work_;
   bool bootstrapped_ = false;
+  std::atomic<bool> draining_{false};
 
   std::shared_ptr<FaultInjector> faults_;
   std::shared_ptr<store::PersistentStore> store_;

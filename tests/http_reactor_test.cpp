@@ -1,0 +1,576 @@
+// Regression tests for the epoll-reactor TcpServer and the keep-alive
+// TcpClient pool: the idle-keep-alive Stop() hang, the EMFILE accept spin,
+// the unbounded request buffer, and the broken-parse connection-discard bug,
+// plus pipelining/split-read/keep-alive-reuse/Stop-during-inflight coverage.
+// All of these run under the TSan/ASan CI jobs.
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "http/message.hpp"
+#include "http/server.hpp"
+#include "http/wire.hpp"
+
+namespace ofmf::http {
+namespace {
+
+using ::testing::HasSubstr;
+
+int ConnectLoopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+      << std::strerror(errno);
+  return fd;
+}
+
+void SendAll(int fd, const std::string& wire) {
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(wire.size()));
+}
+
+/// Reads responses off `fd` until `count` parsed or the peer closes.
+std::vector<Response> ReadResponses(int fd, std::size_t count,
+                                    std::size_t read_chunk = 4096) {
+  WireParser parser(WireParser::Mode::kResponse);
+  std::vector<Response> responses;
+  std::vector<char> buffer(read_chunk);
+  while (responses.size() < count) {
+    const ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
+    if (n <= 0) break;
+    parser.Feed(std::string_view(buffer.data(), static_cast<std::size_t>(n)));
+    while (parser.HasMessage()) {
+      auto response = parser.TakeResponse();
+      if (!response.ok()) return responses;
+      responses.push_back(*response);
+    }
+  }
+  return responses;
+}
+
+ServerHandler EchoHandler() {
+  return [](const Request& request) {
+    return MakeTextResponse(200, "r:" + request.path);
+  };
+}
+
+// ------------------------------------------------- Stop() responsiveness ---
+
+// Seed bug: connection threads blocked in ::recv on idle keep-alive
+// connections; Stop() closed only the listen fd, then joined those threads
+// forever. The reactor never blocks in recv, so Stop() must return promptly
+// no matter how many idle keep-alive connections are open.
+TEST(ReactorTest, StopReturnsPromptlyWithIdleKeepAliveConnections) {
+  TcpServer server;
+  ASSERT_TRUE(server.Start(EchoHandler()).ok());
+
+  // One connection that completed a keep-alive exchange, one that never
+  // sent a byte — both sit idle in the server.
+  const int active = ConnectLoopback(server.port());
+  Request request = MakeRequest(Method::kGet, "/a");
+  request.headers.Set("Connection", "keep-alive");
+  SendAll(active, SerializeRequest(request));
+  ASSERT_EQ(ReadResponses(active, 1).size(), 1u);
+  const int silent = ConnectLoopback(server.port());
+  // Wait until the loop has actually accepted the silent connection —
+  // otherwise Stop() races the backlog and the kernel answers RST, not FIN.
+  while (server.stats().connections_accepted < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  server.Stop();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 2000);
+
+  // Both fds observe the server-side close.
+  char byte = 0;
+  EXPECT_EQ(::recv(active, &byte, 1, 0), 0);
+  EXPECT_EQ(::recv(silent, &byte, 1, 0), 0);
+  ::close(active);
+  ::close(silent);
+}
+
+TEST(ReactorTest, StopDuringInflightRequestDoesNotHangOrCrash) {
+  TcpServer server;
+  std::atomic<int> entered{0};
+  ASSERT_TRUE(server
+                  .Start([&](const Request&) {
+                    entered.fetch_add(1);
+                    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+                    return MakeTextResponse(200, "slow");
+                  })
+                  .ok());
+  std::vector<std::thread> clients;
+  std::atomic<int> finished{0};
+  for (int i = 0; i < 4; ++i) {
+    clients.emplace_back([&] {
+      TcpClient client(server.port(), 2000);
+      (void)client.Get("/slow");  // response or transport error; must not hang
+      finished.fetch_add(1);
+    });
+  }
+  while (entered.load() == 0) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const auto t0 = std::chrono::steady_clock::now();
+  server.Stop();
+  const auto stop_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_LT(stop_ms, 2000);
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(finished.load(), 4);
+}
+
+// ------------------------------------------------------ accept() backoff ---
+
+// Seed bug: AcceptLoop() `continue`d on every accept() failure, so a
+// persistent EMFILE spun the accept thread at 100% CPU. The reactor must
+// back off (bounded failure count) and recover once fds free up.
+TEST(ReactorTest, AcceptBackoffUnderFdExhaustionAndRecovery) {
+  TcpServer server;
+  ASSERT_TRUE(server.Start(EchoHandler()).ok());
+
+  // Client socket first — once the fd table is full we cannot make one.
+  const int client = ConnectLoopback(server.port());
+  // Drain the accept of that first connection so the EMFILE window below
+  // only ever sees the second, unacceptable connection.
+  Request warm = MakeRequest(Method::kGet, "/warm");
+  SendAll(client, SerializeRequest(warm));
+  ASSERT_EQ(ReadResponses(client, 1).size(), 1u);
+  const int pending = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(pending, 0);
+
+  // Exhaust the process fd table (soft limit lowered so this stays cheap).
+  rlimit saved{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &saved), 0);
+  rlimit tight = saved;
+  tight.rlim_cur = 512;
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &tight), 0);
+  std::vector<int> hogs;
+  while (true) {
+    const int fd = ::dup(0);
+    if (fd < 0) break;
+    hogs.push_back(fd);
+  }
+
+  // The kernel completes this handshake via the listen backlog; the
+  // server's accept() then fails EMFILE for the whole window.
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(pending, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const ServerStats during = server.stats();
+  EXPECT_GE(during.accept_backoff_bursts, 1u);
+  // Without backoff a 300 ms EMFILE window records millions of failures;
+  // with 10ms-doubling backoff it records a handful.
+  EXPECT_LE(during.accept_failures, 30u);
+  EXPECT_EQ(during.connections_accepted, 1u);
+
+  // Free the fds: the next rearm must accept the pending connection.
+  for (const int fd : hogs) ::close(fd);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &saved), 0);
+  Request request = MakeRequest(Method::kGet, "/after");
+  SendAll(pending, SerializeRequest(request));
+  const std::vector<Response> responses = ReadResponses(pending, 1);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].body, "r:/after");
+  ::close(pending);
+  ::close(client);
+  server.Stop();
+}
+
+// ------------------------------------------------------- request limits ---
+
+TEST(ReactorTest, OversizedHeaderBlockGets431AndClose) {
+  ServerOptions options;
+  options.max_header_bytes = 1024;
+  TcpServer server;
+  ASSERT_TRUE(server.Start(EchoHandler(), 0, options).ok());
+
+  const int fd = ConnectLoopback(server.port());
+  Request request = MakeRequest(Method::kGet, "/x");
+  request.headers.Set("X-Padding", std::string(4096, 'p'));
+  SendAll(fd, SerializeRequest(request));
+  const std::vector<Response> responses = ReadResponses(fd, 1);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, 431);
+  EXPECT_EQ(responses[0].headers.Get("Connection"), "close");
+  char byte = 0;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);  // connection closed
+  ::close(fd);
+  EXPECT_GE(server.stats().limit_rejections, 1u);
+  server.Stop();
+}
+
+// A client streaming header bytes forever (no terminator) used to grow the
+// parser buffer without bound; now the cap trips mid-stream.
+TEST(ReactorTest, EndlessHeaderStreamIsCappedNotBuffered) {
+  ServerOptions options;
+  options.max_header_bytes = 2048;
+  TcpServer server;
+  ASSERT_TRUE(server.Start(EchoHandler(), 0, options).ok());
+
+  const int fd = ConnectLoopback(server.port());
+  SendAll(fd, "GET /x HTTP/1.1\r\n");
+  for (int i = 0; i < 64; ++i) {
+    const std::string line = "X-H" + std::to_string(i) + ": " + std::string(100, 'v') + "\r\n";
+    if (::send(fd, line.data(), line.size(), MSG_NOSIGNAL) <= 0) break;  // server hung up
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const std::vector<Response> responses = ReadResponses(fd, 1);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, 431);
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(ReactorTest, OversizedBodyGets413BeforeBufferingIt) {
+  ServerOptions options;
+  options.max_body_bytes = 1024;
+  TcpServer server;
+  ASSERT_TRUE(server.Start(EchoHandler(), 0, options).ok());
+
+  const int fd = ConnectLoopback(server.port());
+  // Declare a 1 MiB body but send only the headers: the 413 must arrive
+  // from the Content-Length alone.
+  std::string head = "POST /x HTTP/1.1\r\nContent-Length: 1048576\r\n\r\n";
+  SendAll(fd, head);
+  const std::vector<Response> responses = ReadResponses(fd, 1);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, 413);
+  EXPECT_EQ(responses[0].headers.Get("Connection"), "close");
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(ReactorTest, RequestExactlyAtBodyLimitIsServed) {
+  ServerOptions options;
+  options.max_body_bytes = 1024;
+  TcpServer server;
+  std::atomic<std::size_t> seen_body{0};
+  ASSERT_TRUE(server
+                  .Start([&](const Request& request) {
+                    seen_body.store(request.body.size());
+                    return MakeTextResponse(200, "ok");
+                  },
+                  0, options)
+                  .ok());
+  const int fd = ConnectLoopback(server.port());
+  Request request = MakeRequest(Method::kPost, "/x");
+  request.body = std::string(1024, 'b');  // exactly the cap
+  SendAll(fd, SerializeRequest(request));
+  const std::vector<Response> responses = ReadResponses(fd, 1);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, 200);
+  EXPECT_EQ(seen_body.load(), 1024u);
+  ::close(fd);
+  server.Stop();
+}
+
+// Parser-level exactness: the caps are inclusive (== limit passes).
+TEST(ReactorTest, WireParserLimitBoundariesAreExact) {
+  Request request = MakeRequest(Method::kGet, "/x");
+  const std::string wire = SerializeRequest(request);
+  const std::size_t header_bytes = wire.size();  // no body: whole thing is header
+
+  WireParser at_limit(WireParser::Mode::kRequest);
+  at_limit.set_limits(header_bytes, 0);
+  at_limit.Feed(wire);
+  EXPECT_EQ(at_limit.overflow(), WireParser::Overflow::kNone);
+  EXPECT_TRUE(at_limit.HasMessage());
+
+  WireParser over_limit(WireParser::Mode::kRequest);
+  over_limit.set_limits(header_bytes - 1, 0);
+  over_limit.Feed(wire);
+  EXPECT_EQ(over_limit.overflow(), WireParser::Overflow::kHeader);
+  EXPECT_FALSE(over_limit.HasMessage());
+
+  Request with_body = MakeRequest(Method::kPost, "/x");
+  with_body.body = std::string(64, 'b');
+  WireParser body_at(WireParser::Mode::kRequest);
+  body_at.set_limits(0, 64);
+  body_at.Feed(SerializeRequest(with_body));
+  EXPECT_EQ(body_at.overflow(), WireParser::Overflow::kNone);
+  EXPECT_TRUE(body_at.HasMessage());
+
+  WireParser body_over(WireParser::Mode::kRequest);
+  body_over.set_limits(0, 63);
+  body_over.Feed(SerializeRequest(with_body));
+  EXPECT_EQ(body_over.overflow(), WireParser::Overflow::kBody);
+}
+
+// ------------------------------------------------ parse-error discipline ---
+
+// Seed bug: after a broken parse the connection kept its buffered bytes and
+// close_after was only computed on the success path. The reactor must send
+// one 400 with Connection: close and discard everything after the garbage.
+TEST(ReactorTest, PipelinedGarbageAfterValidRequestDiscardsConnection) {
+  TcpServer server;
+  std::atomic<int> served{0};
+  ASSERT_TRUE(server
+                  .Start([&](const Request& request) {
+                    served.fetch_add(1);
+                    return MakeTextResponse(200, "r:" + request.path);
+                  })
+                  .ok());
+  const int fd = ConnectLoopback(server.port());
+  Request good = MakeRequest(Method::kGet, "/good");
+  good.headers.Set("Connection", "keep-alive");
+  // Garbage that frames like a message (has the blank-line terminator) but
+  // fails the request-line parse, followed by a request that must NOT run.
+  Request never = MakeRequest(Method::kGet, "/never");
+  const std::string wire = SerializeRequest(good) + "BOGUS-LINE\r\n\r\n" +
+                           SerializeRequest(never);
+  SendAll(fd, wire);
+  const std::vector<Response> responses = ReadResponses(fd, 3);
+  ASSERT_EQ(responses.size(), 2u);  // 200, then 400, then close — no third
+  EXPECT_EQ(responses[0].status, 200);
+  EXPECT_EQ(responses[0].body, "r:/good");
+  EXPECT_EQ(responses[1].status, 400);
+  EXPECT_EQ(responses[1].headers.Get("Connection"), "close");
+  char byte = 0;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+  ::close(fd);
+  EXPECT_EQ(served.load(), 1);  // /never was discarded with the connection
+
+  // The server survives: a fresh connection still works.
+  const int fresh = ConnectLoopback(server.port());
+  SendAll(fresh, SerializeRequest(MakeRequest(Method::kGet, "/again")));
+  EXPECT_EQ(ReadResponses(fresh, 1).size(), 1u);
+  ::close(fresh);
+  server.Stop();
+}
+
+// --------------------------------------------------- pipelining + reads ---
+
+TEST(ReactorTest, TwoRequestsInOneSendAreServedInOrder) {
+  TcpServer server;
+  ASSERT_TRUE(server.Start(EchoHandler()).ok());
+  const int fd = ConnectLoopback(server.port());
+  Request a = MakeRequest(Method::kGet, "/a");
+  a.headers.Set("Connection", "keep-alive");
+  Request b = MakeRequest(Method::kGet, "/b");
+  SendAll(fd, SerializeRequest(a) + SerializeRequest(b));
+  const std::vector<Response> responses = ReadResponses(fd, 2);
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].body, "r:/a");
+  EXPECT_EQ(responses[1].body, "r:/b");
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(ReactorTest, ResponseSplitAcrossManySmallReadsParses) {
+  TcpServer server;
+  ASSERT_TRUE(server.Start([](const Request&) {
+    return MakeTextResponse(200, std::string(8192, 'x'));
+  }).ok());
+  const int fd = ConnectLoopback(server.port());
+  SendAll(fd, SerializeRequest(MakeRequest(Method::kGet, "/big")));
+  // 7-byte reads: headers and body arrive in hundreds of fragments.
+  const std::vector<Response> responses = ReadResponses(fd, 1, 7);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].body.size(), 8192u);
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(ReactorTest, KeepAliveServes100SequentialRequestsOnOneFd) {
+  TcpServer server;
+  ASSERT_TRUE(server.Start(EchoHandler()).ok());
+  const int fd = ConnectLoopback(server.port());
+  for (int i = 0; i < 100; ++i) {
+    Request request = MakeRequest(Method::kGet, "/seq/" + std::to_string(i));
+    request.headers.Set("Connection", "keep-alive");
+    SendAll(fd, SerializeRequest(request));
+    const std::vector<Response> responses = ReadResponses(fd, 1);
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_EQ(responses[0].body, "r:/seq/" + std::to_string(i));
+  }
+  ::close(fd);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.connections_accepted, 1u);
+  EXPECT_EQ(stats.requests_served, 100u);
+  server.Stop();
+}
+
+// ---------------------------------------------------- client-side pool ---
+
+TEST(ReactorTest, TcpClientPoolReusesOneConnection) {
+  TcpServer server;
+  ASSERT_TRUE(server.Start(EchoHandler()).ok());
+  TcpClient client(server.port());
+  for (int i = 0; i < 100; ++i) {
+    auto response = client.Get("/p/" + std::to_string(i));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->status, 200);
+  }
+  EXPECT_EQ(client.connections_opened(), 1u);
+  EXPECT_EQ(client.connections_reused(), 99u);
+  EXPECT_EQ(server.stats().connections_accepted, 1u);
+  server.Stop();
+}
+
+TEST(ReactorTest, TcpClientRetriesOnceOnStalePooledConnection) {
+  ServerOptions options;
+  options.idle_timeout_ms = 50;  // server reaps the pooled fd between calls
+  TcpServer server;
+  ASSERT_TRUE(server.Start(EchoHandler(), 0, options).ok());
+  TcpClient client(server.port());
+  ASSERT_TRUE(client.Get("/one").ok());
+  // Wait until the server's idle sweep has definitely closed the connection.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (server.stats().idle_closed == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server.stats().idle_closed, 1u);
+  auto response = client.Get("/two");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(client.connections_opened(), 2u);  // stale fd detected, reconnected
+  server.Stop();
+}
+
+TEST(ReactorTest, MaxRequestsPerConnectionForcesClose) {
+  ServerOptions options;
+  options.max_requests_per_connection = 2;
+  TcpServer server;
+  ASSERT_TRUE(server.Start(EchoHandler(), 0, options).ok());
+  const int fd = ConnectLoopback(server.port());
+  Request request = MakeRequest(Method::kGet, "/x");
+  request.headers.Set("Connection", "keep-alive");
+  SendAll(fd, SerializeRequest(request));
+  std::vector<Response> first = ReadResponses(fd, 1);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].headers.Get("Connection"), "keep-alive");
+  SendAll(fd, SerializeRequest(request));
+  std::vector<Response> second = ReadResponses(fd, 1);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].headers.Get("Connection"), "close");
+  char byte = 0;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(ReactorTest, IdleConnectionsAreReaped) {
+  ServerOptions options;
+  options.idle_timeout_ms = 50;
+  TcpServer server;
+  ASSERT_TRUE(server.Start(EchoHandler(), 0, options).ok());
+  const int fd = ConnectLoopback(server.port());
+  // Never send a byte: the idle sweep must close us.
+  char byte = 0;
+  const ssize_t n = ::recv(fd, &byte, 1, 0);  // blocks until server closes
+  EXPECT_EQ(n, 0);
+  EXPECT_GE(server.stats().idle_closed, 1u);
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(ReactorTest, WorkerQueueFullAnswers503RetryAfter) {
+  ServerOptions options;
+  options.workers = 1;
+  options.max_queued_requests = 1;
+  TcpServer server;
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<int> entered{0};
+  ASSERT_TRUE(server
+                  .Start([&](const Request&) {
+                    entered.fetch_add(1);
+                    gate.wait();
+                    return MakeTextResponse(200, "done");
+                  },
+                  0, options)
+                  .ok());
+  // First request occupies the single worker.
+  std::thread blocked([&] {
+    TcpClient client(server.port(), 5000);
+    auto response = client.Get("/block");
+    EXPECT_TRUE(response.ok());
+  });
+  while (entered.load() == 0) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // Second fills the queue slot.
+  std::thread queued([&] {
+    TcpClient client(server.port(), 5000);
+    auto response = client.Get("/queued");
+    EXPECT_TRUE(response.ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Third must be refused immediately by the loop.
+  TcpClient client(server.port(), 5000);
+  auto refused = client.Get("/refused");
+  ASSERT_TRUE(refused.ok()) << refused.status().ToString();
+  EXPECT_EQ(refused->status, 503);
+  EXPECT_EQ(refused->headers.Get("Retry-After"), "1");
+  release.set_value();
+  blocked.join();
+  queued.join();
+  EXPECT_GE(server.stats().overload_rejections, 1u);
+  server.Stop();
+}
+
+// A half-closed client (shutdown(SHUT_WR) after the request) still gets its
+// response: EOF while a request is in flight must not kill the connection.
+TEST(ReactorTest, HalfCloseAfterRequestStillGetsResponse) {
+  TcpServer server;
+  ASSERT_TRUE(server.Start([](const Request&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    return MakeTextResponse(200, "late");
+  }).ok());
+  const int fd = ConnectLoopback(server.port());
+  SendAll(fd, SerializeRequest(MakeRequest(Method::kGet, "/halfclose")));
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+  const std::vector<Response> responses = ReadResponses(fd, 1);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].body, "late");
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(ReactorTest, ConcurrentKeepAliveClientsUnderChurn) {
+  TcpServer server;
+  ASSERT_TRUE(server.Start(EchoHandler()).ok());
+  std::vector<std::thread> threads;
+  std::atomic<int> successes{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      TcpClient client(server.port());
+      for (int i = 0; i < 50; ++i) {
+        auto response = client.Get("/c/" + std::to_string(t) + "/" + std::to_string(i));
+        if (response.ok() && response->status == 200) successes.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(successes.load(), 8 * 50);
+  // Pooling means connection count is bounded by the client count, not the
+  // request count.
+  EXPECT_LE(server.stats().connections_accepted, 16u);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace ofmf::http

@@ -561,6 +561,26 @@ TEST_F(OfmfTest, PushDeliveryRetriesFlakySink) {
   EXPECT_EQ(calls, -99);  // exactly one attempt
 }
 
+// -------------------------------------------------------- Graceful drain ---
+
+TEST_F(OfmfTest, DrainRefusesMutationsButServesReads) {
+  ofmf_.BeginDrain();
+  const http::Response refused =
+      DoJson(http::Method::kPost, kSessions,
+             Json::Obj({{"UserName", "admin"}, {"Password", "ofmf"}}));
+  EXPECT_EQ(refused.status, 503);
+  EXPECT_EQ(refused.headers.Get("Retry-After"), "5");
+  EXPECT_THAT(refused.body, HasSubstr("ServiceShuttingDown"));
+  // Reads keep working through the drain window.
+  EXPECT_EQ(Do(http::Method::kGet, kServiceRoot).status, 200);
+
+  ofmf_.EndDrain();
+  EXPECT_EQ(DoJson(http::Method::kPost, kSessions,
+                   Json::Obj({{"UserName", "admin"}, {"Password", "ofmf"}}))
+                .status,
+            201);
+}
+
 // ----------------------------------------------------------- Wire access ---
 
 TEST_F(OfmfTest, FullServiceOverTcp) {
