@@ -19,9 +19,16 @@
 // call.
 //
 // Rounds interleave configurations so clock drift and cache warmth hit each
-// equally; comparisons use medians across rounds. Emits
+// equally, and the overhead estimate is paired: each round runs the three
+// configurations back-to-back, so per-round differences cancel drift that
+// lives longer than a round (page cache, frequency, background load), and
+// the median of those differences sheds the rounds a scheduler spike hit.
+// Unpaired medians-of-configurations were observed to swing several percent
+// run to run on a single-core box — an order of magnitude above the ~0.2%
+// cost being measured. Emits
 // BENCH_trace_overhead.json; exits non-zero when the wire-path idle overhead
 // breaches the budget. Pass --smoke to shrink counts for CI.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -84,14 +91,13 @@ double RunRound(http::HttpClient& client, const http::Request& get, int iters) {
 }
 
 struct Section {
-  double median_us[3] = {0.0, 0.0, 0.0};
-  double overhead_pct(Config config) const {
-    const double base = median_us[0];
-    return base > 0 ? (median_us[static_cast<int>(config)] - base) / base * 100.0 : 0.0;
-  }
+  double low_us[3] = {0.0, 0.0, 0.0};   // per-config minimum across rounds
+  double overhead[3] = {0.0, 0.0, 0.0};  // median paired difference, % of base
+  double overhead_pct(Config config) const { return overhead[static_cast<int>(config)]; }
 };
 
-/// Interleaved rounds over the three configurations; medians per config.
+/// Interleaved rounds over the three configurations; overhead from the
+/// median per-round paired difference (see the file header for why).
 Section Measure(const char* label, http::HttpClient& client, const http::Request& get,
                 int iters, int rounds) {
   // Warm everything every configuration touches: the response cache, the
@@ -112,9 +118,15 @@ Section Measure(const char* label, http::HttpClient& client, const http::Request
 
   Section section;
   std::printf("%s: %d rounds x %d cached GETs\n", label, rounds, iters);
+  const double base_us = Percentile(samples[0], 50.0);
   for (int c = 0; c < 3; ++c) {
-    section.median_us[c] = Percentile(samples[c], 50.0);
-    std::printf("  %-26s %10.3f us/op  (%+.2f%%)\n", kConfigNames[c], section.median_us[c],
+    section.low_us[c] = *std::min_element(samples[c].begin(), samples[c].end());
+    std::vector<double> diffs(samples[c].size());
+    for (std::size_t k = 0; k < samples[c].size(); ++k) {
+      diffs[k] = samples[c][k] - samples[0][k];
+    }
+    section.overhead[c] = base_us > 0 ? Percentile(diffs, 50.0) / base_us * 100.0 : 0.0;
+    std::printf("  %-26s %10.3f us/op  (%+.2f%%)\n", kConfigNames[c], section.low_us[c],
                 section.overhead_pct(static_cast<Config>(c)));
   }
   return section;
@@ -125,15 +137,26 @@ Section Measure(const char* label, http::HttpClient& client, const http::Request
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_trace_overhead.json";
   bool smoke = false;
+  http::ServerOptions server_options;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--io-backend") == 0 && i + 1 < argc) {
+      const auto kind = http::ParseIoBackendKind(argv[++i]);
+      if (!kind) {
+        std::fprintf(stderr, "unknown --io-backend %s (epoll|io_uring)\n", argv[i]);
+        return 2;
+      }
+      server_options.io_backend = *kind;
     } else {
       out_path = argv[i];
     }
   }
-  const int wire_iters = smoke ? 300 : 2000;
-  const int wire_rounds = smoke ? 5 : 9;
+  // Many short rounds beat few long ones for the paired-median estimate: a
+  // scheduler or IRQ spike poisons one ~25 ms segment out of 100 pairs
+  // (shed by the median) instead of skewing one long round out of 9.
+  const int wire_iters = smoke ? 100 : 500;
+  const int wire_rounds = smoke ? 15 : 100;
   const int local_iters = smoke ? 4000 : 20000;
   const int local_rounds = smoke ? 7 : 11;
 
@@ -150,7 +173,7 @@ int main(int argc, char** argv) {
   service.sessions().set_auth_required(true);  // the rest_server wire shape
 
   http::TcpServer server;
-  if (!server.Start(service.Handler(), 0).ok()) {
+  if (!server.Start(service.Handler(), 0, server_options).ok()) {
     std::fprintf(stderr, "failed to bind a port\n");
     return 1;
   }
@@ -198,24 +221,24 @@ int main(int argc, char** argv) {
        {"budget_pct", kBudgetPct},
        {"wire_iterations", wire_iters},
        {"wire_rounds", wire_rounds},
-       {"wire_baseline_us", wire_section.median_us[0]},
-       {"wire_traced_off_us", wire_section.median_us[1]},
+       {"wire_baseline_us", wire_section.low_us[0]},
+       {"wire_traced_off_us", wire_section.low_us[1]},
        {"wire_traced_off_overhead_pct", wire_off_pct},
-       {"wire_sampled_us", wire_section.median_us[2]},
+       {"wire_sampled_us", wire_section.low_us[2]},
        {"wire_sampled_overhead_pct", wire_section.overhead_pct(Config::kSampled)},
-       {"wire_keepalive_baseline_us", pooled_section.median_us[0]},
-       {"wire_keepalive_traced_off_us", pooled_section.median_us[1]},
+       {"wire_keepalive_baseline_us", pooled_section.low_us[0]},
+       {"wire_keepalive_traced_off_us", pooled_section.low_us[1]},
        {"wire_keepalive_traced_off_overhead_pct",
         pooled_section.overhead_pct(Config::kTracedOff)},
-       {"wire_keepalive_sampled_us", pooled_section.median_us[2]},
+       {"wire_keepalive_sampled_us", pooled_section.low_us[2]},
        {"wire_keepalive_sampled_overhead_pct",
         pooled_section.overhead_pct(Config::kSampled)},
        {"inprocess_iterations", local_iters},
        {"inprocess_rounds", local_rounds},
-       {"inprocess_baseline_us", local_section.median_us[0]},
-       {"inprocess_traced_off_us", local_section.median_us[1]},
+       {"inprocess_baseline_us", local_section.low_us[0]},
+       {"inprocess_traced_off_us", local_section.low_us[1]},
        {"inprocess_traced_off_overhead_pct", local_section.overhead_pct(Config::kTracedOff)},
-       {"inprocess_sampled_us", local_section.median_us[2]},
+       {"inprocess_sampled_us", local_section.low_us[2]},
        {"inprocess_sampled_overhead_pct", local_section.overhead_pct(Config::kSampled)}});
   std::ofstream out(out_path);
   out << json::SerializePretty(results) << "\n";

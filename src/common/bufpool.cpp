@@ -1,0 +1,80 @@
+#include "common/bufpool.hpp"
+
+namespace ofmf::common {
+
+namespace {
+
+std::size_t ClassBytes(std::size_t index) {
+  return BufferPool::kMinSlabBytes << index;
+}
+
+}  // namespace
+
+std::size_t BufferPool::ClassIndex(std::size_t n) {
+  std::size_t index = 0;
+  while (ClassBytes(index) < n) ++index;
+  return index;
+}
+
+BufferPool::Slab BufferPool::Acquire(std::size_t min_capacity) {
+  if (min_capacity > kMaxSlabBytes) {
+    // Oversize one-off (a body near the 8 MiB server cap): plain allocation,
+    // plain deletion — parking it would pin pathological amounts of memory.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.acquired;
+      ++stats_.dropped;
+    }
+    auto* raw = new std::string();
+    raw->resize(min_capacity);
+    return Slab(raw, [](std::string* s) { delete s; });
+  }
+  const std::size_t index = ClassIndex(min_capacity);
+  std::string* raw = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.acquired;
+    auto& free = classes_[index].free;
+    if (!free.empty()) {
+      ++stats_.reused;
+      raw = free.back().release();
+      free.pop_back();
+    }
+  }
+  if (raw == nullptr) {
+    raw = new std::string();
+    raw->resize(ClassBytes(index));
+  }
+  return Slab(raw, [this, index](std::string* s) { Return(s, index); });
+}
+
+void BufferPool::Return(std::string* slab, std::size_t class_index) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& free = classes_[class_index].free;
+    if (free.size() < kMaxFreePerClass) {
+      ++stats_.returned;
+      free.emplace_back(slab);
+      return;
+    }
+    ++stats_.dropped;
+  }
+  delete slab;
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BufferPool::Trim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (SizeClass& size_class : classes_) size_class.free.clear();
+}
+
+BufferPool& BufferPool::Instance() {
+  static BufferPool* pool = new BufferPool();
+  return *pool;
+}
+
+}  // namespace ofmf::common

@@ -1,0 +1,90 @@
+// Power-of-two slab pool for transport buffers.
+//
+// The HTTP reactor churns through one read buffer per connection and one
+// body slab per large message; allocating those from the general-purpose
+// heap means a malloc/free (and, past the glibc mmap threshold, a fresh
+// mmap + page-fault storm) per request. The pool recycles slabs in
+// power-of-two size classes instead, the same buddy-style discipline
+// fabric providers use for registered-memory caches: a freed slab of class
+// k is handed verbatim to the next Acquire of class k.
+//
+// Ownership is reference-counted: Acquire() returns a shared_ptr whose
+// deleter returns the slab to the pool. Aliases of that control block —
+// e.g. an http::Body viewing a sub-range of a parser slab — keep the slab
+// checked out until the last reference drops, so "return to pool" can never
+// race a live view (the double-free / use-after-return class of bugs is
+// structurally excluded; zero_copy_test exercises this under ASan).
+//
+// Slabs are handed out sized (string::size() == capacity of the class) with
+// unspecified contents; callers treat them as raw byte buffers and track
+// their own fill level.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ofmf::common {
+
+struct BufferPoolStats {
+  std::uint64_t acquired = 0;   // total Acquire() calls
+  std::uint64_t reused = 0;     // served from the free list
+  std::uint64_t returned = 0;   // slabs parked back on the free list
+  std::uint64_t dropped = 0;    // freed instead of parked (class full/oversize)
+  double reuse_rate() const {
+    return acquired == 0 ? 0.0
+                         : static_cast<double>(reused) / static_cast<double>(acquired);
+  }
+};
+
+class BufferPool {
+ public:
+  using Slab = std::shared_ptr<std::string>;
+
+  BufferPool() = default;
+  ~BufferPool() = default;
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// A slab with size() >= min_capacity, rounded up to the class size
+  /// (power of two, at least kMinSlabBytes). Contents are unspecified. The
+  /// last reference dropping (including Body aliases) parks the slab for
+  /// reuse. Requests beyond kMaxSlabBytes are served unpooled.
+  Slab Acquire(std::size_t min_capacity);
+
+  BufferPoolStats stats() const;
+
+  /// Frees every parked slab (tests; bounds RSS after a burst).
+  void Trim();
+
+  /// Process-wide pool shared by the HTTP transports. Intentionally leaked:
+  /// slab deleters may run during static destruction (e.g. a Response held
+  /// by a test fixture), and a destroyed pool must never be touched.
+  static BufferPool& Instance();
+
+  static constexpr std::size_t kMinSlabBytes = 4096;
+  static constexpr std::size_t kMaxSlabBytes = 8 * 1024 * 1024;
+  /// Slabs parked per size class before further returns are freed. Bounds
+  /// worst-case retention at sum(class_size * kMaxFreePerClass).
+  static constexpr std::size_t kMaxFreePerClass = 16;
+
+ private:
+  struct SizeClass {
+    std::vector<std::unique_ptr<std::string>> free;
+  };
+
+  /// Index of the smallest class with size >= n (n <= kMaxSlabBytes).
+  static std::size_t ClassIndex(std::size_t n);
+
+  void Return(std::string* slab, std::size_t class_index);
+
+  static constexpr std::size_t kNumClasses = 12;  // 4 KiB ... 8 MiB
+
+  mutable std::mutex mu_;
+  SizeClass classes_[kNumClasses];
+  BufferPoolStats stats_;
+};
+
+}  // namespace ofmf::common

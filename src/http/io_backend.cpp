@@ -1,0 +1,121 @@
+#include "http/io_backend.hpp"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+namespace ofmf::http {
+
+const char* to_string(IoBackendKind kind) {
+  switch (kind) {
+    case IoBackendKind::kEpoll: return "epoll";
+    case IoBackendKind::kUring: return "io_uring";
+  }
+  return "?";
+}
+
+std::optional<IoBackendKind> ParseIoBackendKind(std::string_view name) {
+  if (name == "epoll") return IoBackendKind::kEpoll;
+  if (name == "io_uring" || name == "uring") return IoBackendKind::kUring;
+  return std::nullopt;
+}
+
+namespace {
+
+class EpollBackend final : public IoBackend {
+ public:
+  ~EpollBackend() override {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  }
+
+  Status Init() override {
+    epoll_fd_ = ::epoll_create1(0);
+    if (epoll_fd_ < 0) {
+      return Status::Internal("epoll_create1(): " + std::string(std::strerror(errno)));
+    }
+    return Status::Ok();
+  }
+
+  const char* name() const override { return "epoll"; }
+
+  Status Add(int fd, std::uint64_t tag, std::uint32_t interest) override {
+    return Ctl(EPOLL_CTL_ADD, fd, tag, interest);
+  }
+
+  Status Modify(int fd, std::uint64_t tag, std::uint32_t interest) override {
+    return Ctl(EPOLL_CTL_MOD, fd, tag, interest);
+  }
+
+  void Remove(int fd, std::uint64_t /*tag*/) override {
+    ctl_calls_.fetch_add(1, std::memory_order_relaxed);
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+
+  int Wait(Event* out, int max_events, int timeout_ms) override {
+    wait_calls_.fetch_add(1, std::memory_order_relaxed);
+    epoll_event events[kMaxBatch];
+    if (max_events > kMaxBatch) max_events = kMaxBatch;
+    const int n = ::epoll_wait(epoll_fd_, events, max_events, timeout_ms);
+    if (n <= 0) return 0;
+    for (int i = 0; i < n; ++i) {
+      Event& ev = out[i];
+      ev = Event{};
+      ev.tag = events[i].data.u64;
+      ev.readable = (events[i].events & EPOLLIN) != 0;
+      ev.writable = (events[i].events & EPOLLOUT) != 0;
+      ev.hangup = (events[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+    }
+    return n;
+  }
+
+  Counters counters() const override {
+    return Counters{wait_calls_.load(std::memory_order_relaxed),
+                    ctl_calls_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  static constexpr int kMaxBatch = 256;
+
+  Status Ctl(int op, int fd, std::uint64_t tag, std::uint32_t interest) {
+    ctl_calls_.fetch_add(1, std::memory_order_relaxed);
+    epoll_event ev{};
+    if ((interest & (kReadable | kAccept)) != 0) ev.events |= EPOLLIN;
+    if ((interest & kWritable) != 0) ev.events |= EPOLLOUT;
+    ev.data.u64 = tag;
+    if (::epoll_ctl(epoll_fd_, op, fd, &ev) < 0) {
+      return Status::Internal("epoll_ctl(): " + std::string(std::strerror(errno)));
+    }
+    return Status::Ok();
+  }
+
+  int epoll_fd_ = -1;
+  std::atomic<std::uint64_t> wait_calls_{0};
+  std::atomic<std::uint64_t> ctl_calls_{0};
+};
+
+}  // namespace
+
+// Defined in io_backend_uring.cpp (stubbed to Unavailable on non-Linux or
+// when the syscall numbers are absent at build time).
+std::unique_ptr<IoBackend> MakeUringBackend();
+
+std::unique_ptr<IoBackend> MakeIoBackend(IoBackendKind kind) {
+  switch (kind) {
+    case IoBackendKind::kEpoll: return std::make_unique<EpollBackend>();
+    case IoBackendKind::kUring: return MakeUringBackend();
+  }
+  return std::make_unique<EpollBackend>();
+}
+
+bool IoUringSupported() {
+  static const bool supported = [] {
+    auto backend = MakeUringBackend();
+    return backend->Init().ok();
+  }();
+  return supported;
+}
+
+}  // namespace ofmf::http

@@ -1,0 +1,94 @@
+// Readiness/submission backends for the TcpServer reactor loop.
+//
+// The reactor's logic (parse, dispatch, backpressure, idle sweeps) is
+// backend-agnostic; what varies is how the loop learns that an fd needs
+// service. IoBackend abstracts exactly that seam:
+//
+//   - EpollBackend: level-triggered epoll, the portable default. One
+//     epoll_ctl syscall per interest change, one epoll_wait per loop turn.
+//   - UringBackend (io_backend_uring.cpp): io_uring with multishot poll for
+//     connection fds and multishot accept for the listener. Interest
+//     changes are SQEs batched in user space and submitted together with
+//     the next wait, so a loop turn costs one io_uring_enter regardless of
+//     how many fds were (re)armed, and accepted connections arrive as
+//     completions carrying the new fd — no accept4 syscall at all.
+//
+// Both backends deliver poll(2)-style semantics: error/hangup conditions
+// are always reported regardless of the requested interest mask, and
+// arming (or re-arming) an fd checks current readiness, so no
+// level-triggered event is ever lost across a Modify.
+//
+// Events carry either readiness bits (readable/writable/hangup) or, for a
+// completion-mode accept, the accepted fd (or the accept errno). Callers
+// must handle both styles; EpollBackend only ever produces readiness.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.hpp"
+
+namespace ofmf::http {
+
+enum class IoBackendKind { kEpoll, kUring };
+
+const char* to_string(IoBackendKind kind);
+/// "epoll", "io_uring"/"uring", or nullopt.
+std::optional<IoBackendKind> ParseIoBackendKind(std::string_view name);
+
+class IoBackend {
+ public:
+  // Interest bits for Add/Modify. kAccept marks the listening socket; a
+  // completion-capable backend arms multishot accept for it instead of
+  // readiness polling.
+  static constexpr std::uint32_t kReadable = 1u << 0;
+  static constexpr std::uint32_t kWritable = 1u << 1;
+  static constexpr std::uint32_t kAccept = 1u << 2;
+
+  struct Event {
+    std::uint64_t tag = 0;
+    bool readable = false;
+    bool writable = false;
+    bool hangup = false;   // EPOLLERR/EPOLLHUP-class condition
+    int accepted_fd = -1;  // completion-mode accept: the new connection fd
+    int accept_error = 0;  // completion-mode accept failure (errno value)
+  };
+
+  /// Syscall accounting for the bench's syscalls/request metric.
+  struct Counters {
+    std::uint64_t wait_calls = 0;  // blocking waits (epoll_wait / enter)
+    std::uint64_t ctl_calls = 0;   // interest changes (epoll_ctl) or
+                                   // overflow-forced submit-only enters
+  };
+
+  virtual ~IoBackend() = default;
+
+  virtual Status Init() = 0;
+  virtual const char* name() const = 0;
+
+  /// Registers `fd` under `tag` with the given interest. An interest of 0
+  /// still reports hangup/error conditions (poll(2) semantics).
+  virtual Status Add(int fd, std::uint64_t tag, std::uint32_t interest) = 0;
+  virtual Status Modify(int fd, std::uint64_t tag, std::uint32_t interest) = 0;
+  virtual void Remove(int fd, std::uint64_t tag) = 0;
+
+  /// Blocks up to timeout_ms (-1 = indefinitely) for events; returns the
+  /// number written to `out` (0 on timeout or EINTR). Queued interest
+  /// changes are flushed to the kernel before blocking.
+  virtual int Wait(Event* out, int max_events, int timeout_ms) = 0;
+
+  virtual Counters counters() const = 0;
+};
+
+/// The backend is constructed cheaply; Init() acquires kernel resources and
+/// may fail (e.g. io_uring unavailable) — callers fall back to epoll then.
+std::unique_ptr<IoBackend> MakeIoBackend(IoBackendKind kind);
+
+/// One-shot cached probe: can an io_uring ring be created (and does it
+/// carry the features the backend needs) on this kernel?
+bool IoUringSupported();
+
+}  // namespace ofmf::http

@@ -1,0 +1,398 @@
+// io_uring IoBackend: multishot poll readiness for connection fds, multishot
+// accept completions for the listener, interest changes batched as SQEs and
+// submitted together with the next wait. Raw syscalls against
+// <linux/io_uring.h> — no liburing dependency.
+//
+// Design notes:
+//  - Connection fds use IORING_OP_POLL_ADD | IORING_POLL_ADD_MULTI. Arming
+//    checks current readiness (poll(2) semantics), so Modify — cancel old op,
+//    arm new mask — can never lose a level-triggered event. Error/hangup is
+//    always reported regardless of the requested mask, matching epoll.
+//  - The listener uses IORING_OP_ACCEPT | IORING_ACCEPT_MULTISHOT: each CQE
+//    carries an accepted fd, eliminating the accept4 syscall. On a kernel
+//    that rejects multishot accept (pre-5.19: -EINVAL) the listener falls
+//    back to multishot poll readiness transparently — the reactor handles
+//    both delivery styles.
+//  - user_data packs (tag << 16 | generation). Modify/Remove bump the
+//    generation so CQEs from a cancelled op are recognized as stale and
+//    dropped; IORING_OP_ASYNC_CANCEL completions carry a sentinel and are
+//    ignored outright.
+//  - One io_uring_enter per loop turn: queued SQEs are submitted by the
+//    same call that blocks for completions (IORING_ENTER_GETEVENTS, with
+//    IORING_ENTER_EXT_ARG carrying the timeout). A full SQ forces an early
+//    submit-only enter, counted under ctl_calls.
+#include "http/io_backend.hpp"
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#endif
+
+#if defined(__linux__) && defined(__NR_io_uring_setup) && defined(__NR_io_uring_enter)
+#define OFMF_HAVE_IO_URING 1
+#include <linux/io_uring.h>
+#include <linux/time_types.h>
+#include <poll.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+#endif
+
+namespace ofmf::http {
+
+#if defined(OFMF_HAVE_IO_URING)
+
+namespace {
+
+int SysIoUringSetup(unsigned entries, io_uring_params* params) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, params));
+}
+
+int SysIoUringEnter(int ring_fd, unsigned to_submit, unsigned min_complete,
+                    unsigned flags, const void* arg, std::size_t arg_size) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, ring_fd, to_submit,
+                                    min_complete, flags, arg, arg_size));
+}
+
+class UringBackend final : public IoBackend {
+ public:
+  ~UringBackend() override {
+    if (sqes_ != nullptr) ::munmap(sqes_, sqes_bytes_);
+    if (cq_ring_ != nullptr && cq_ring_ != sq_ring_) ::munmap(cq_ring_, cq_ring_bytes_);
+    if (sq_ring_ != nullptr) ::munmap(sq_ring_, sq_ring_bytes_);
+    if (ring_fd_ >= 0) ::close(ring_fd_);
+  }
+
+  Status Init() override {
+    io_uring_params params{};
+    params.flags = IORING_SETUP_CLAMP;
+    ring_fd_ = SysIoUringSetup(kEntries, &params);
+    if (ring_fd_ < 0) {
+      return Status::Unavailable("io_uring_setup(): " +
+                                 std::string(std::strerror(errno)));
+    }
+    // EXT_ARG (5.11) carries the wait timeout; NODROP (5.5) turns CQ
+    // overflow into kernel-side buffering instead of lost completions.
+    // Anything older falls back to epoll.
+    constexpr unsigned kRequired = IORING_FEAT_EXT_ARG | IORING_FEAT_NODROP;
+    if ((params.features & kRequired) != kRequired) {
+      return Status::Unavailable("io_uring lacks EXT_ARG/NODROP features");
+    }
+
+    sq_ring_bytes_ = params.sq_off.array + params.sq_entries * sizeof(std::uint32_t);
+    cq_ring_bytes_ = params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+    const bool single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap) {
+      sq_ring_bytes_ = cq_ring_bytes_ = std::max(sq_ring_bytes_, cq_ring_bytes_);
+    }
+    sq_ring_ = ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_ring_ == MAP_FAILED) {
+      sq_ring_ = nullptr;
+      return Status::Unavailable("io_uring mmap(sq): " +
+                                 std::string(std::strerror(errno)));
+    }
+    if (single_mmap) {
+      cq_ring_ = sq_ring_;
+    } else {
+      cq_ring_ = ::mmap(nullptr, cq_ring_bytes_, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+      if (cq_ring_ == MAP_FAILED) {
+        cq_ring_ = nullptr;
+        return Status::Unavailable("io_uring mmap(cq): " +
+                                   std::string(std::strerror(errno)));
+      }
+    }
+    sqes_bytes_ = params.sq_entries * sizeof(io_uring_sqe);
+    sqes_ = static_cast<io_uring_sqe*>(::mmap(nullptr, sqes_bytes_,
+                                              PROT_READ | PROT_WRITE,
+                                              MAP_SHARED | MAP_POPULATE, ring_fd_,
+                                              IORING_OFF_SQES));
+    if (sqes_ == MAP_FAILED) {
+      sqes_ = nullptr;
+      return Status::Unavailable("io_uring mmap(sqes): " +
+                                 std::string(std::strerror(errno)));
+    }
+
+    auto* sq = static_cast<char*>(sq_ring_);
+    sq_head_ = reinterpret_cast<std::uint32_t*>(sq + params.sq_off.head);
+    sq_tail_ = reinterpret_cast<std::uint32_t*>(sq + params.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<std::uint32_t*>(sq + params.sq_off.ring_mask);
+    sq_entries_ = *reinterpret_cast<std::uint32_t*>(sq + params.sq_off.ring_entries);
+    sq_flags_ = reinterpret_cast<std::uint32_t*>(sq + params.sq_off.flags);
+    sq_array_ = reinterpret_cast<std::uint32_t*>(sq + params.sq_off.array);
+
+    auto* cq = static_cast<char*>(cq_ring_);
+    cq_head_ = reinterpret_cast<std::uint32_t*>(cq + params.cq_off.head);
+    cq_tail_ = reinterpret_cast<std::uint32_t*>(cq + params.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<std::uint32_t*>(cq + params.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<io_uring_cqe*>(cq + params.cq_off.cqes);
+    return Status::Ok();
+  }
+
+  const char* name() const override { return "io_uring"; }
+
+  Status Add(int fd, std::uint64_t tag, std::uint32_t interest) override {
+    FdState& state = states_[tag];
+    state.fd = fd;
+    state.interest = interest;
+    state.generation = NextGeneration(state.generation);
+    Arm(tag, state);
+    return Status::Ok();
+  }
+
+  Status Modify(int fd, std::uint64_t tag, std::uint32_t interest) override {
+    auto it = states_.find(tag);
+    if (it == states_.end()) return Add(fd, tag, interest);
+    FdState& state = it->second;
+    if (state.armed) QueueCancel(tag, state.generation);
+    state.fd = fd;
+    state.interest = interest;
+    state.generation = NextGeneration(state.generation);
+    Arm(tag, state);
+    return Status::Ok();
+  }
+
+  void Remove(int /*fd*/, std::uint64_t tag) override {
+    auto it = states_.find(tag);
+    if (it == states_.end()) return;
+    if (it->second.armed) QueueCancel(tag, it->second.generation);
+    states_.erase(it);
+  }
+
+  int Wait(Event* out, int max_events, int timeout_ms) override {
+    int n = DrainCq(out, max_events);
+    if (n > 0) return n;
+    // Nothing pending: submit queued SQEs and block in one enter call.
+    wait_calls_.fetch_add(1, std::memory_order_relaxed);
+    unsigned flags = IORING_ENTER_GETEVENTS;
+    io_uring_getevents_arg arg{};
+    __kernel_timespec ts{};
+    const void* arg_ptr = nullptr;
+    std::size_t arg_size = 0;
+    if (timeout_ms >= 0) {
+      ts.tv_sec = timeout_ms / 1000;
+      ts.tv_nsec = static_cast<long long>(timeout_ms % 1000) * 1000000;
+      arg.ts = reinterpret_cast<std::uint64_t>(&ts);
+      arg_ptr = &arg;
+      arg_size = sizeof(arg);
+      flags |= IORING_ENTER_EXT_ARG;
+    }
+    const unsigned to_submit = pending_submit_;
+    pending_submit_ = 0;
+    const int rc = SysIoUringEnter(ring_fd_, to_submit, 1, flags, arg_ptr, arg_size);
+    if (rc < 0 && errno != ETIME && errno != EINTR && errno != EBUSY) {
+      // Unexpected; surface as "no events" — the loop re-enters.
+      return 0;
+    }
+    return DrainCq(out, max_events);
+  }
+
+  Counters counters() const override {
+    return Counters{wait_calls_.load(std::memory_order_relaxed),
+                    ctl_calls_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  static constexpr unsigned kEntries = 512;
+  // ASYNC_CANCEL completions carry this; they are bookkeeping, not events.
+  static constexpr std::uint64_t kIgnoreData = ~0ull;
+
+  struct FdState {
+    int fd = -1;
+    std::uint32_t interest = 0;
+    std::uint16_t generation = 0;
+    bool armed = false;
+    bool accept_as_poll = false;   // multishot accept unsupported: use poll
+    bool accept_saw_fd = false;    // distinguishes arm-rejection -EINVAL
+  };
+
+  static std::uint64_t PackData(std::uint64_t tag, std::uint16_t generation) {
+    return (tag << 16) | generation;
+  }
+
+  static std::uint16_t NextGeneration(std::uint16_t generation) {
+    return static_cast<std::uint16_t>(generation + 1);
+  }
+
+  io_uring_sqe* GetSqe() {
+    const std::uint32_t head = __atomic_load_n(sq_head_, __ATOMIC_ACQUIRE);
+    if (sq_tail_local_ - head >= sq_entries_) {
+      // SQ full mid-turn: flush what we have so the next slot frees up.
+      ctl_calls_.fetch_add(1, std::memory_order_relaxed);
+      const unsigned to_submit = pending_submit_;
+      pending_submit_ = 0;
+      SysIoUringEnter(ring_fd_, to_submit, 0, 0, nullptr, 0);
+    }
+    const std::uint32_t idx = sq_tail_local_ & sq_mask_;
+    io_uring_sqe* sqe = &sqes_[idx];
+    std::memset(sqe, 0, sizeof(*sqe));
+    sq_array_[idx] = idx;
+    ++sq_tail_local_;
+    __atomic_store_n(sq_tail_, sq_tail_local_, __ATOMIC_RELEASE);
+    ++pending_submit_;
+    return sqe;
+  }
+
+  void Arm(std::uint64_t tag, FdState& state) {
+    io_uring_sqe* sqe = GetSqe();
+    sqe->fd = state.fd;
+    sqe->user_data = PackData(tag, state.generation);
+    if ((state.interest & kAccept) != 0 && !state.accept_as_poll) {
+      sqe->opcode = IORING_OP_ACCEPT;
+      sqe->ioprio = IORING_ACCEPT_MULTISHOT;
+      sqe->accept_flags = SOCK_NONBLOCK | SOCK_CLOEXEC;
+    } else {
+      sqe->opcode = IORING_OP_POLL_ADD;
+      sqe->len = IORING_POLL_ADD_MULTI;
+      std::uint32_t mask = 0;
+      if ((state.interest & (kReadable | kAccept)) != 0) mask |= POLLIN;
+      if ((state.interest & kWritable) != 0) mask |= POLLOUT;
+      sqe->poll32_events = mask;
+    }
+    state.armed = true;
+  }
+
+  void QueueCancel(std::uint64_t tag, std::uint16_t generation) {
+    io_uring_sqe* sqe = GetSqe();
+    sqe->opcode = IORING_OP_ASYNC_CANCEL;
+    sqe->fd = -1;
+    sqe->addr = PackData(tag, generation);
+    sqe->user_data = kIgnoreData;
+  }
+
+  int DrainCq(Event* out, int max_events) {
+    int produced = 0;
+    std::uint32_t head = __atomic_load_n(cq_head_, __ATOMIC_RELAXED);
+    while (produced < max_events) {
+      const std::uint32_t tail = __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE);
+      if (head == tail) break;
+      const io_uring_cqe& cqe = cqes_[head & cq_mask_];
+      ++head;
+      __atomic_store_n(cq_head_, head, __ATOMIC_RELEASE);
+      if (Translate(cqe, &out[produced])) ++produced;
+    }
+    return produced;
+  }
+
+  /// Maps a CQE onto an Event; false for bookkeeping/stale completions.
+  bool Translate(const io_uring_cqe& cqe, Event* out) {
+    if (cqe.user_data == kIgnoreData) return false;
+    const std::uint64_t tag = cqe.user_data >> 16;
+    const auto generation = static_cast<std::uint16_t>(cqe.user_data & 0xffff);
+    auto it = states_.find(tag);
+    if (it == states_.end() || it->second.generation != generation) return false;
+    FdState& state = it->second;
+    if ((cqe.flags & IORING_CQE_F_MORE) == 0) state.armed = false;
+
+    *out = Event{};
+    out->tag = tag;
+    if ((state.interest & kAccept) != 0 && !state.accept_as_poll) {
+      if (cqe.res == -EINVAL && !state.accept_saw_fd) {
+        // Kernel without multishot accept: re-arm as readiness poll and
+        // report readable so the reactor falls back to accept4.
+        state.accept_as_poll = true;
+        state.generation = NextGeneration(state.generation);
+        Arm(tag, state);
+        return false;
+      }
+      if (cqe.res >= 0) {
+        state.accept_saw_fd = true;
+        out->accepted_fd = cqe.res;
+        if (!state.armed) {
+          // Multishot terminated without error (e.g. overflow backstop).
+          state.generation = NextGeneration(state.generation);
+          Arm(tag, state);
+        }
+        return true;
+      }
+      if (cqe.res == -ECANCELED) return false;
+      // The accept stream died (EMFILE and friends): report the errno and
+      // leave re-arming to the reactor's backoff logic.
+      out->accept_error = -cqe.res;
+      return true;
+    }
+    if (cqe.res < 0) {
+      if (cqe.res == -ECANCELED) return false;
+      out->hangup = true;
+      return true;
+    }
+    const auto mask = static_cast<std::uint32_t>(cqe.res);
+    out->readable = (mask & POLLIN) != 0;
+    out->writable = (mask & POLLOUT) != 0;
+    out->hangup = (mask & (POLLERR | POLLHUP)) != 0;
+    if (!state.armed) {
+      state.generation = NextGeneration(state.generation);
+      Arm(tag, state);
+    }
+    return true;
+  }
+
+  int ring_fd_ = -1;
+  void* sq_ring_ = nullptr;
+  void* cq_ring_ = nullptr;
+  io_uring_sqe* sqes_ = nullptr;
+  std::size_t sq_ring_bytes_ = 0;
+  std::size_t cq_ring_bytes_ = 0;
+  std::size_t sqes_bytes_ = 0;
+
+  std::uint32_t* sq_head_ = nullptr;
+  std::uint32_t* sq_tail_ = nullptr;
+  std::uint32_t* sq_flags_ = nullptr;
+  std::uint32_t* sq_array_ = nullptr;
+  std::uint32_t sq_mask_ = 0;
+  std::uint32_t sq_entries_ = 0;
+  std::uint32_t sq_tail_local_ = 0;
+
+  std::uint32_t* cq_head_ = nullptr;
+  std::uint32_t* cq_tail_ = nullptr;
+  std::uint32_t cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+
+  unsigned pending_submit_ = 0;
+  std::unordered_map<std::uint64_t, FdState> states_;
+  std::atomic<std::uint64_t> wait_calls_{0};
+  std::atomic<std::uint64_t> ctl_calls_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<IoBackend> MakeUringBackend() {
+  return std::make_unique<UringBackend>();
+}
+
+#else  // !OFMF_HAVE_IO_URING
+
+namespace {
+
+class UringUnavailableBackend final : public IoBackend {
+ public:
+  Status Init() override {
+    return Status::Unavailable("io_uring not available on this platform");
+  }
+  const char* name() const override { return "io_uring(unavailable)"; }
+  Status Add(int, std::uint64_t, std::uint32_t) override {
+    return Status::Unavailable("io_uring not available");
+  }
+  Status Modify(int, std::uint64_t, std::uint32_t) override {
+    return Status::Unavailable("io_uring not available");
+  }
+  void Remove(int, std::uint64_t) override {}
+  int Wait(Event*, int, int) override { return 0; }
+  Counters counters() const override { return Counters{}; }
+};
+
+}  // namespace
+
+std::unique_ptr<IoBackend> MakeUringBackend() {
+  return std::make_unique<UringUnavailableBackend>();
+}
+
+#endif  // OFMF_HAVE_IO_URING
+
+}  // namespace ofmf::http

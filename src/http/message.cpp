@@ -1,5 +1,7 @@
 #include "http/message.hpp"
 
+#include <ostream>
+
 #include "common/strings.hpp"
 #include "http/uri.hpp"
 #include "json/parse.hpp"
@@ -58,13 +60,19 @@ std::string ReasonPhrase(int status) {
   }
 }
 
+std::ostream& operator<<(std::ostream& os, const Body& body) {
+  return os << body.view();
+}
+
 void HeaderMap::Set(const std::string& name, std::string value) {
   Remove(name);
   entries_.emplace_back(name, std::move(value));
+  ++version_;
 }
 
 void HeaderMap::Add(const std::string& name, std::string value) {
   entries_.emplace_back(name, std::move(value));
+  ++version_;
 }
 
 std::optional<std::string> HeaderMap::Get(const std::string& name) const {
@@ -87,11 +95,12 @@ void HeaderMap::Remove(const std::string& name) {
   std::erase_if(entries_, [&](const auto& kv) {
     return strings::EqualsIgnoreCase(kv.first, name);
   });
+  ++version_;
 }
 
 Result<json::Json> Request::JsonBody() const {
   if (body.empty()) return Status::InvalidArgument("request body is empty");
-  return json::Parse(body);
+  return json::Parse(body.view());
 }
 
 Request MakeRequest(Method method, const std::string& target) {

@@ -4,9 +4,13 @@
 // transport (tests, simulation) and the real TCP transport (examples).
 #pragma once
 
+#include <cstdint>
+#include <iosfwd>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.hpp"
@@ -21,6 +25,76 @@ std::optional<Method> ParseMethod(const std::string& name);
 
 /// Reason phrase for common status codes ("404" -> "Not Found").
 std::string ReasonPhrase(int status);
+
+/// Message payload as a view into a shared immutable slab. A cache hit, a
+/// parser extraction, and the wire outbox all reference the same bytes; the
+/// slab is freed (or returned to its pool) when the last view drops. The
+/// owned-string constructors/assignments cover the common produce-a-body
+/// case, so handler code keeps writing `response.body = serialize(...)`.
+class Body {
+ public:
+  Body() = default;
+  Body(std::string text)  // NOLINT(google-explicit-constructor)
+      : size_(text.size()),
+        slab_(size_ == 0 ? nullptr
+                         : std::make_shared<const std::string>(std::move(text))) {}
+  Body(const char* text) : Body(std::string(text)) {}  // NOLINT
+  /// Zero-copy: view the whole slab.
+  explicit Body(std::shared_ptr<const std::string> slab)
+      : size_(slab ? slab->size() : 0), slab_(std::move(slab)) {}
+  /// Zero-copy: view [offset, offset+size) of `slab`. The range must lie
+  /// inside the slab for the slab's lifetime (slabs are immutable once
+  /// shared; see DESIGN.md "Zero-copy data path").
+  Body(std::shared_ptr<const std::string> slab, std::size_t offset, std::size_t size)
+      : offset_(offset), size_(size), slab_(std::move(slab)) {}
+
+  Body& operator=(std::string text) {
+    *this = Body(std::move(text));
+    return *this;
+  }
+  Body& operator=(const char* text) {
+    *this = Body(std::string(text));
+    return *this;
+  }
+
+  std::string_view view() const {
+    return slab_ ? std::string_view(slab_->data() + offset_, size_) : std::string_view{};
+  }
+  operator std::string_view() const { return view(); }  // NOLINT
+
+  const char* data() const { return slab_ ? slab_->data() + offset_ : nullptr; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void clear() { *this = Body(); }
+  std::size_t find(std::string_view needle, std::size_t pos = 0) const {
+    return view().find(needle, pos);
+  }
+  /// Materializes a copy (call sites that genuinely need an owned string).
+  std::string str() const { return std::string(view()); }
+
+  /// The backing slab (null for an empty body). Two bodies sharing a slab
+  /// pointer provably share bytes — the zero-copy assertion in tests.
+  const std::shared_ptr<const std::string>& slab() const { return slab_; }
+  std::size_t slab_offset() const { return offset_; }
+
+  // Exact-match overloads for every common right-hand side: Body converts
+  // both from and to string-like types, so a single generic comparison would
+  // be ambiguous (two user conversions of equal rank). C++20 rewriting
+  // supplies the reversed and != forms.
+  friend bool operator==(const Body& a, const Body& b) { return a.view() == b.view(); }
+  friend bool operator==(const Body& a, std::string_view b) { return a.view() == b; }
+  friend bool operator==(const Body& a, const std::string& b) { return a.view() == b; }
+  friend bool operator==(const Body& a, const char* b) {
+    return a.view() == std::string_view(b);
+  }
+
+ private:
+  std::size_t offset_ = 0;
+  std::size_t size_ = 0;
+  std::shared_ptr<const std::string> slab_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Body& body);
 
 /// Case-insensitive (per RFC 9110) header multimap with last-write-wins Set.
 class HeaderMap {
@@ -38,8 +112,15 @@ class HeaderMap {
   }
   std::size_t size() const { return entries_.size(); }
 
+  /// Bumped by every mutation. A pre-serialized header slab attached to a
+  /// Response records the version it was built against; any later Set/Add/
+  /// Remove (e.g. the trace id stamped after the handler ran) silently
+  /// invalidates the slab instead of putting stale headers on the wire.
+  std::uint32_t version() const { return version_; }
+
  private:
   std::vector<std::pair<std::string, std::string>> entries_;
+  std::uint32_t version_ = 0;
 };
 
 struct Request {
@@ -48,7 +129,7 @@ struct Request {
   std::string path;    // decoded path component
   std::map<std::string, std::string> query;
   HeaderMap headers;
-  std::string body;
+  Body body;
 
   /// Parses the body as JSON (InvalidArgument on malformed input).
   Result<json::Json> JsonBody() const;
@@ -57,9 +138,32 @@ struct Request {
 struct Response {
   int status = 200;
   HeaderMap headers;
-  std::string body;
+  Body body;
 
   bool ok() const { return status >= 200 && status < 300; }
+
+  /// Attaches a pre-serialized header block: status line + header lines +
+  /// Content-Length, with NO Connection header and NO terminating blank
+  /// line (the transport appends its own Connection fragment). `headers`
+  /// must still be populated equivalently — in-process clients read the map,
+  /// the wire reads the slab.
+  void set_wire_head(std::shared_ptr<const std::string> head) {
+    wire_head_ = std::move(head);
+    wire_head_version_ = headers.version();
+  }
+
+  /// The attached head slab, or null if absent or stale (any header map
+  /// mutation since attach invalidates it — the transport then serializes
+  /// the map as usual).
+  std::shared_ptr<const std::string> wire_head() const {
+    return wire_head_ != nullptr && wire_head_version_ == headers.version()
+               ? wire_head_
+               : nullptr;
+  }
+
+ private:
+  std::shared_ptr<const std::string> wire_head_;
+  std::uint32_t wire_head_version_ = 0;
 };
 
 /// Builds a request with `target` split into path + query.

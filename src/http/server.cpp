@@ -5,10 +5,10 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
-#include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/time.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -25,7 +25,7 @@ namespace ofmf::http {
 
 namespace {
 
-// epoll_event.data.u64 tags for the two non-connection fds the loop owns.
+// Event tags for the two non-connection fds the loop owns.
 constexpr std::uint64_t kListenTag = 0;
 constexpr std::uint64_t kWakeTag = 1;
 
@@ -72,14 +72,30 @@ Result<Response> InProcessClient::Send(const Request& request) {
 
 /// Per-connection state. Owned and touched exclusively by the loop thread;
 /// workers refer to a connection only by its id.
+///
+/// The outbox is a scatter-gather segment list, not a byte string: each
+/// segment references bytes owned elsewhere (a cached head slab, a body
+/// slab, or static Connection fragments). `owner` keeps the backing slab
+/// alive while the segment is queued — nullptr marks static-storage bytes.
+/// Invariants: `out_off` indexes into the FRONT segment only; segments are
+/// popped strictly in order (one-in-flight response ordering is preserved
+/// because QueueResponse appends atomically per response); the bytes a
+/// segment references are immutable for the segment's lifetime.
 struct TcpServer::Conn {
+  struct OutChunk {
+    std::shared_ptr<const std::string> owner;  // null for static fragments
+    const char* data = nullptr;
+    std::size_t size = 0;
+  };
+
   int fd = -1;
   std::uint64_t id = 0;
   WireParser parser{WireParser::Mode::kRequest};
-  std::string outbox;        // serialized responses awaiting the wire
-  std::size_t out_off = 0;   // bytes of outbox already sent
-  std::uint32_t mask = 0;    // epoll interest currently installed
-  std::size_t requests = 0;  // requests taken off this connection
+  std::deque<OutChunk> outbox;   // response segments awaiting the wire
+  std::size_t out_off = 0;       // sent bytes of the front segment
+  std::size_t out_bytes = 0;     // total unsent bytes across segments
+  std::uint32_t mask = 0;        // backend interest currently installed
+  std::size_t requests = 0;      // requests taken off this connection
   bool busy = false;         // a request is with the worker pool
   bool discard = false;      // parse error / limit breach: ignore further input
   bool close_after = false;  // close once outbox drains
@@ -129,23 +145,30 @@ Status TcpServer::Start(ServerHandler handler, std::uint16_t port,
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
   port_ = ntohs(addr.sin_port);
 
-  epoll_fd_ = ::epoll_create1(0);
+  backend_ = MakeIoBackend(options_.io_backend);
+  Status backend_status = backend_->Init();
+  if (!backend_status.ok() && options_.io_backend == IoBackendKind::kUring) {
+    // Graceful runtime fallback: a kernel without (usable) io_uring still
+    // serves traffic, just through the portable backend.
+    OFMF_WARN << "io_uring backend unavailable (" << backend_status.message()
+              << "); falling back to epoll";
+    options_.io_backend = IoBackendKind::kEpoll;
+    backend_ = MakeIoBackend(IoBackendKind::kEpoll);
+    backend_status = backend_->Init();
+  }
   wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  if (epoll_fd_ < 0 || wake_fd_ < 0) {
-    const std::string detail = std::strerror(errno);
+  if (!backend_status.ok() || wake_fd_ < 0) {
+    const std::string detail =
+        backend_status.ok() ? std::strerror(errno) : backend_status.message();
     ::close(listen_fd_);
     listen_fd_ = -1;
-    if (epoll_fd_ >= 0) ::close(epoll_fd_);
     if (wake_fd_ >= 0) ::close(wake_fd_);
-    epoll_fd_ = wake_fd_ = -1;
-    return Status::Internal("epoll/eventfd: " + detail);
+    wake_fd_ = -1;
+    backend_.reset();
+    return Status::Internal("io backend/eventfd: " + detail);
   }
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.u64 = kListenTag;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
-  ev.data.u64 = kWakeTag;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  backend_->Add(listen_fd_, kListenTag, IoBackend::kAccept);
+  backend_->Add(wake_fd_, kWakeTag, IoBackend::kReadable);
 
   accept_registered_ = true;
   accept_paused_full_ = false;
@@ -178,10 +201,7 @@ void TcpServer::Stop() {
     ::close(wake_fd_);
     wake_fd_ = -1;
   }
-  if (epoll_fd_ >= 0) {
-    ::close(epoll_fd_);
-    epoll_fd_ = -1;
-  }
+  backend_.reset();
 }
 
 ServerStats TcpServer::stats() const {
@@ -195,6 +215,13 @@ ServerStats TcpServer::stats() const {
   s.idle_closed = idle_closed_.load(std::memory_order_relaxed);
   s.accept_failures = accept_failures_.load(std::memory_order_relaxed);
   s.accept_backoff_bursts = accept_backoff_bursts_.load(std::memory_order_relaxed);
+  s.io_recv_calls = recv_calls_.load(std::memory_order_relaxed);
+  s.io_send_calls = send_calls_.load(std::memory_order_relaxed);
+  if (backend_) {
+    const IoBackend::Counters counters = backend_->counters();
+    s.backend_wait_calls = counters.wait_calls;
+    s.backend_ctl_calls = counters.ctl_calls;
+  }
   return s;
 }
 
@@ -210,20 +237,16 @@ void TcpServer::LoopMain() {
           : 500);
   next_idle_sweep_ = Now() + sweep_interval;
 
-  std::array<epoll_event, 256> events;
+  std::array<IoBackend::Event, 256> events;
   while (true) {
     const int timeout = LoopTimeoutMs(Now());
-    const int n = ::epoll_wait(epoll_fd_, events.data(),
-                               static_cast<int>(events.size()), timeout);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
+    const int n = backend_->Wait(events.data(), static_cast<int>(events.size()),
+                                 timeout);
     if (stop_requested_.load()) break;
     for (int i = 0; i < n; ++i) {
-      const std::uint64_t tag = events[i].data.u64;
+      const std::uint64_t tag = events[i].tag;
       if (tag == kListenTag) {
-        HandleAccept();
+        HandleAccept(events[i]);
       } else if (tag == kWakeTag) {
         std::uint64_t drained = 0;
         while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
@@ -231,7 +254,7 @@ void TcpServer::LoopMain() {
         if (stop_requested_.load()) break;
         HandleCompletions();
       } else {
-        HandleConnEvent(tag, events[i].events);
+        HandleConnEvent(tag, events[i]);
       }
     }
     if (stop_requested_.load()) break;
@@ -248,7 +271,7 @@ void TcpServer::LoopMain() {
   // listener. Worker completions that arrive afterwards find no connection
   // and are dropped.
   for (auto& [id, conn] : conns_) {
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    backend_->Remove(conn->fd, id);
     ::close(conn->fd);
     closed_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -275,11 +298,36 @@ int TcpServer::LoopTimeoutMs(std::chrono::steady_clock::time_point now) const {
   return static_cast<int>(std::min<long long>(best, 60000)) + 1;
 }
 
-void TcpServer::HandleAccept() {
+void TcpServer::HandleAccept(const IoBackend::Event& event) {
+  // Completion-mode delivery (io_uring multishot accept): the event carries
+  // either a ready connection fd or the accept errno — no accept4 call.
+  if (event.accept_error != 0) {
+    if (event.accept_error != EINTR && event.accept_error != ECONNABORTED) {
+      accept_failures_.fetch_add(1, std::memory_order_relaxed);
+      EnterAcceptBackoff(event.accept_error);
+    }
+    return;
+  }
+  if (event.accepted_fd >= 0) {
+    if (conns_.size() >= options_.max_connections) {
+      ::close(event.accepted_fd);
+      if (accept_registered_) {
+        backend_->Remove(listen_fd_, kListenTag);
+        accept_registered_ = false;
+      }
+      accept_paused_full_ = true;
+      return;
+    }
+    AdoptAccepted(event.accepted_fd);
+    return;
+  }
+
+  // Readiness-mode delivery (epoll, or io_uring poll fallback): drain the
+  // kernel backlog with accept4.
   while (true) {
     if (conns_.size() >= options_.max_connections) {
       if (accept_registered_) {
-        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        backend_->Remove(listen_fd_, kListenTag);
         accept_registered_ = false;
       }
       accept_paused_full_ = true;
@@ -305,27 +353,29 @@ void TcpServer::HandleAccept() {
       EnterAcceptBackoff(errno);
       return;
     }
-    in_accept_backoff_ = false;
-    accept_backoff_ms_ = 0;
-    accepted_.fetch_add(1, std::memory_order_relaxed);
-    const int nodelay = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
-
-    auto conn = std::make_unique<Conn>();
-    conn->fd = fd;
-    conn->id = next_conn_id_++;
-    conn->parser.set_limits(options_.max_header_bytes, options_.max_body_bytes);
-    conn->idle_deadline = Now() + std::chrono::milliseconds(options_.idle_timeout_ms);
-    conn->mask = EPOLLIN;
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.u64 = conn->id;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
-      ::close(fd);
-      continue;
-    }
-    conns_[conn->id] = std::move(conn);
+    AdoptAccepted(fd);
   }
+}
+
+void TcpServer::AdoptAccepted(int fd) {
+  in_accept_backoff_ = false;
+  accept_backoff_ms_ = 0;
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  SetNonBlocking(fd);  // idempotent for accept4/multishot-accept fds
+  const int nodelay = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  conn->id = next_conn_id_++;
+  conn->parser.set_limits(options_.max_header_bytes, options_.max_body_bytes);
+  conn->idle_deadline = Now() + std::chrono::milliseconds(options_.idle_timeout_ms);
+  conn->mask = IoBackend::kReadable;
+  if (!backend_->Add(fd, conn->id, IoBackend::kReadable).ok()) {
+    ::close(fd);
+    return;
+  }
+  conns_[conn->id] = std::move(conn);
 }
 
 void TcpServer::EnterAcceptBackoff(int err) {
@@ -342,7 +392,7 @@ void TcpServer::EnterAcceptBackoff(int err) {
     accept_backoff_bursts_.fetch_add(1, std::memory_order_relaxed);
   }
   if (accept_registered_) {
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    backend_->Remove(listen_fd_, kListenTag);
     accept_registered_ = false;
   }
   accept_rearm_at_ = Now() + std::chrono::milliseconds(accept_backoff_ms_);
@@ -351,34 +401,36 @@ void TcpServer::EnterAcceptBackoff(int err) {
 void TcpServer::RearmAcceptIfDue(std::chrono::steady_clock::time_point now) {
   if (accept_registered_ || accept_paused_full_ || !in_accept_backoff_) return;
   if (now < accept_rearm_at_) return;
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.u64 = kListenTag;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0) {
+  if (backend_->Add(listen_fd_, kListenTag, IoBackend::kAccept).ok()) {
     accept_registered_ = true;
   }
 }
 
-void TcpServer::HandleConnEvent(std::uint64_t id, std::uint32_t events) {
+void TcpServer::HandleConnEvent(std::uint64_t id, const IoBackend::Event& event) {
   {
     auto it = conns_.find(id);
     if (it == conns_.end()) return;
     Conn& c = *it->second;
-    if ((events & (EPOLLHUP | EPOLLERR)) != 0 && (events & EPOLLIN) == 0) {
+    if (event.hangup && !event.readable) {
       CloseConn(id);
       return;
     }
-    if ((events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
-      char buffer[16384];
+    if (event.readable || event.hangup) {
       while (true) {
-        const ssize_t n = ::recv(c.fd, buffer, sizeof(buffer), 0);
+        // Receive straight into the parser's pooled slab: no intermediate
+        // stack buffer, no Feed() memcpy. Doomed connections drain into a
+        // scratch buffer instead so the parser stops allocating for them.
+        char scratch[16384];
+        char* dst = scratch;
+        std::size_t cap = sizeof(scratch);
+        if (!c.discard) dst = c.parser.BeginFill(16384, &cap);
+        const ssize_t n = ::recv(c.fd, dst, cap, 0);
+        recv_calls_.fetch_add(1, std::memory_order_relaxed);
         if (n > 0) {
           c.idle_deadline =
               Now() + std::chrono::milliseconds(options_.idle_timeout_ms);
-          if (!c.discard) {
-            c.parser.Feed(std::string_view(buffer, static_cast<std::size_t>(n)));
-          }
-          if (static_cast<std::size_t>(n) < sizeof(buffer)) break;
+          if (!c.discard) c.parser.CommitFill(static_cast<std::size_t>(n));
+          if (static_cast<std::size_t>(n) < cap) break;
           continue;
         }
         if (n == 0) {
@@ -402,14 +454,12 @@ void TcpServer::ServiceConn(std::uint64_t id) {
     Conn& c = *it->second;
 
     // 1. Drain pending output first: responses go out in request order.
-    if (c.out_off < c.outbox.size()) {
+    if (!c.outbox.empty()) {
       if (!WriteSome(c)) {
         CloseConn(id);
         return;
       }
-      if (c.out_off < c.outbox.size()) break;  // EAGAIN: wait for EPOLLOUT
-      c.outbox.clear();
-      c.out_off = 0;
+      if (!c.outbox.empty()) break;  // EAGAIN: wait for writability
       c.idle_deadline = Now() + std::chrono::milliseconds(options_.idle_timeout_ms);
       if (c.close_after) {
         CloseConn(id);
@@ -509,23 +559,76 @@ void TcpServer::DispatchRequest(Conn& conn, Request request) {
 }
 
 void TcpServer::QueueResponse(Conn& conn, Response response, bool close_after) {
+  // The Connection header lives in a static fragment appended between the
+  // head slab and the body, so a pre-serialized cached head stays valid for
+  // both keep-alive and close responses.
+  static const std::string kKeepAliveFragment = "Connection: keep-alive\r\n\r\n";
+  static const std::string kCloseFragment = "Connection: close\r\n\r\n";
+
   bool final_close = close_after || conn.saw_eof || conn.discard;
   if (options_.max_requests_per_connection > 0 &&
       conn.requests >= options_.max_requests_per_connection) {
     final_close = true;
   }
-  response.headers.Set("Connection", final_close ? "close" : "keep-alive");
-  conn.outbox += SerializeResponse(response);
+
+  // Head: the pre-serialized slab when the handler attached one and the
+  // headers were not mutated since (wire_head() returns null otherwise);
+  // serialize on the spot as the fallback.
+  std::shared_ptr<const std::string> head = response.wire_head();
+  if (!head) {
+    head = std::make_shared<const std::string>(
+        SerializeResponseHead(response, response.body.size()));
+  }
+  conn.outbox.push_back(Conn::OutChunk{head, head->data(), head->size()});
+  const std::string& fragment = final_close ? kCloseFragment : kKeepAliveFragment;
+  conn.outbox.push_back(Conn::OutChunk{nullptr, fragment.data(), fragment.size()});
+  conn.out_bytes += head->size() + fragment.size();
+  if (!response.body.empty()) {
+    // The body rides as a reference to its slab — zero-copy from the cache
+    // (or handler) all the way to sendmsg.
+    conn.outbox.push_back(
+        Conn::OutChunk{response.body.slab(), response.body.data(), response.body.size()});
+    conn.out_bytes += response.body.size();
+  }
   conn.close_after = final_close;
   served_.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool TcpServer::WriteSome(Conn& conn) {
-  while (conn.out_off < conn.outbox.size()) {
-    const ssize_t n = ::send(conn.fd, conn.outbox.data() + conn.out_off,
-                             conn.outbox.size() - conn.out_off, MSG_NOSIGNAL);
+  // Scatter-gather flush: up to kMaxIov outbox segments per sendmsg, the
+  // front one adjusted by out_off. Partial writes advance across iovec
+  // boundaries without copying or re-slicing segments.
+  constexpr std::size_t kMaxIov = 64;
+  while (!conn.outbox.empty()) {
+    iovec iov[kMaxIov];
+    std::size_t iovcnt = 0;
+    for (const Conn::OutChunk& chunk : conn.outbox) {
+      if (iovcnt == kMaxIov) break;
+      const std::size_t skip = iovcnt == 0 ? conn.out_off : 0;
+      iov[iovcnt].iov_base = const_cast<char*>(chunk.data + skip);
+      iov[iovcnt].iov_len = chunk.size - skip;
+      ++iovcnt;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = iovcnt;
+    send_calls_.fetch_add(1, std::memory_order_relaxed);
+    const ssize_t n = ::sendmsg(conn.fd, &msg, MSG_NOSIGNAL);
     if (n > 0) {
-      conn.out_off += static_cast<std::size_t>(n);
+      std::size_t advanced = static_cast<std::size_t>(n);
+      conn.out_bytes -= advanced;
+      while (advanced > 0) {
+        Conn::OutChunk& front = conn.outbox.front();
+        const std::size_t remaining = front.size - conn.out_off;
+        if (advanced >= remaining) {
+          advanced -= remaining;
+          conn.out_off = 0;
+          conn.outbox.pop_front();
+        } else {
+          conn.out_off += advanced;
+          advanced = 0;
+        }
+      }
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
@@ -545,13 +648,10 @@ void TcpServer::SyncInterest(Conn& conn) {
   // interest at all (at most one extra read burst lands before the disarm).
   const bool read_paused = conn.discard || conn.saw_eof ||
                            (conn.busy && conn.parser.buffered_bytes() > 0);
-  if (!read_paused) want |= EPOLLIN;
-  if (conn.out_off < conn.outbox.size()) want |= EPOLLOUT;
+  if (!read_paused) want |= IoBackend::kReadable;
+  if (!conn.outbox.empty()) want |= IoBackend::kWritable;
   if (want == conn.mask) return;
-  epoll_event ev{};
-  ev.events = want;
-  ev.data.u64 = conn.id;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+  backend_->Modify(conn.fd, conn.id, want);
   conn.mask = want;
 }
 
@@ -574,7 +674,7 @@ void TcpServer::HandleCompletions() {
 void TcpServer::SweepIdle(std::chrono::steady_clock::time_point now) {
   std::vector<std::uint64_t> expired;
   for (const auto& [id, conn] : conns_) {
-    if (conn->busy || conn->out_off < conn->outbox.size()) continue;
+    if (conn->busy || !conn->outbox.empty()) continue;
     if (now >= conn->idle_deadline) expired.push_back(id);
   }
   for (const std::uint64_t id : expired) {
@@ -586,17 +686,14 @@ void TcpServer::SweepIdle(std::chrono::steady_clock::time_point now) {
 void TcpServer::CloseConn(std::uint64_t id) {
   auto it = conns_.find(id);
   if (it == conns_.end()) return;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
+  backend_->Remove(it->second->fd, id);
   ::close(it->second->fd);
   conns_.erase(it);
   closed_.fetch_add(1, std::memory_order_relaxed);
   if (accept_paused_full_ && conns_.size() < options_.max_connections) {
     accept_paused_full_ = false;
     if (!in_accept_backoff_) {
-      epoll_event ev{};
-      ev.events = EPOLLIN;
-      ev.data.u64 = kListenTag;
-      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0) {
+      if (backend_->Add(listen_fd_, kListenTag, IoBackend::kAccept).ok()) {
         accept_registered_ = true;
       }
     }
@@ -719,14 +816,35 @@ Result<Response> TcpClient::SendOnce(const Request& request, int fd, bool reused
   if (!strings::EqualsIgnoreCase(to_send.headers.GetOr("Connection", ""), "close")) {
     to_send.headers.Set("Connection", keep_alive_ ? "keep-alive" : "close");
   }
-  const std::string wire = SerializeRequest(to_send);
+  // Two-segment gather send: serialized head + body reference, no
+  // head-plus-body concatenation in user space.
+  const std::string head = SerializeRequestHead(to_send);
+  iovec iov[2];
+  iov[0].iov_base = const_cast<char*>(head.data());
+  iov[0].iov_len = head.size();
+  iov[1].iov_base = const_cast<char*>(to_send.body.data());
+  iov[1].iov_len = to_send.body.size();
   std::size_t sent = 0;
-  while (sent < wire.size()) {
-    const ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+  const std::size_t total = head.size() + to_send.body.size();
+  while (sent < total) {
+    msghdr msg{};
+    if (sent < head.size()) {
+      iov[0].iov_base = const_cast<char*>(head.data() + sent);
+      iov[0].iov_len = head.size() - sent;
+      msg.msg_iov = iov;
+      msg.msg_iovlen = to_send.body.empty() ? 1 : 2;
+    } else {
+      iov[1].iov_base = const_cast<char*>(to_send.body.data() + (sent - head.size()));
+      iov[1].iov_len = to_send.body.size() - (sent - head.size());
+      msg.msg_iov = iov + 1;
+      msg.msg_iovlen = 1;
+    }
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
     if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
       ::close(fd);
       *stale = reused_fd;
-      return Status::Unavailable("send(): " + std::string(std::strerror(errno)));
+      return Status::Unavailable("sendmsg(): " + std::string(std::strerror(errno)));
     }
     sent += static_cast<std::size_t>(n);
   }
@@ -734,11 +852,13 @@ Result<Response> TcpClient::SendOnce(const Request& request, int fd, bool reused
   WireParser parser(WireParser::Mode::kResponse);
   // A HEAD response advertises the GET's Content-Length but carries no body.
   parser.set_bodyless_response(request.method == Method::kHead);
-  char buffer[16384];
   bool received_any = false;
   while (!parser.HasMessage()) {
-    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    std::size_t cap = 0;
+    char* dst = parser.BeginFill(16384, &cap);
+    const ssize_t n = ::recv(fd, dst, cap, 0);
     if (n < 0) {
+      if (errno == EINTR) continue;
       const bool timed_out = errno == EAGAIN || errno == EWOULDBLOCK;
       ::close(fd);
       if (timed_out) {
@@ -752,7 +872,7 @@ Result<Response> TcpClient::SendOnce(const Request& request, int fd, bool reused
     }
     if (n == 0) break;  // peer closed; parser may or may not hold a message
     received_any = true;
-    parser.Feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+    parser.CommitFill(static_cast<std::size_t>(n));
   }
   if (!parser.HasMessage()) {
     ::close(fd);

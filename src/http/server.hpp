@@ -3,11 +3,16 @@
 // handler (tests, simulation), TcpServer/TcpClient speak real HTTP/1.1 over
 // loopback sockets (examples, interop).
 //
-// TcpServer is a non-blocking epoll reactor: one event loop owns the listen
-// fd and every connection fd, parses requests incrementally, and dispatches
-// each complete request to a bounded worker pool; workers hand finished
-// responses back to the loop through an eventfd. Handler code never runs on
-// the loop thread and never touches a socket. See DESIGN.md "HTTP reactor".
+// TcpServer is a non-blocking reactor: one event loop owns the listen fd and
+// every connection fd, parses requests incrementally, and dispatches each
+// complete request to a bounded worker pool; workers hand finished responses
+// back to the loop through an eventfd. Handler code never runs on the loop
+// thread and never touches a socket. Readiness delivery is pluggable via
+// IoBackend (epoll by default, io_uring when selected and supported), and
+// responses leave through a zero-copy scatter-gather outbox: per-connection
+// (owner, data, size) segments flushed with sendmsg, so a cached body slab
+// is never concatenated or copied. See DESIGN.md "HTTP reactor" and
+// "Zero-copy data path".
 #pragma once
 
 #include <atomic>
@@ -24,6 +29,7 @@
 
 #include "common/result.hpp"
 #include "common/threadpool.hpp"
+#include "http/io_backend.hpp"
 #include "http/message.hpp"
 #include "http/wire.hpp"
 
@@ -80,6 +86,9 @@ struct ServerOptions {
   std::size_t max_queued_requests = 0;
   /// Stop(): how long to wait for in-flight handlers after the loop exits.
   int drain_timeout_ms = 2000;
+  /// Readiness backend. kUring falls back to epoll at Start() when the
+  /// kernel lacks io_uring (logged, not an error).
+  IoBackendKind io_backend = IoBackendKind::kEpoll;
 };
 
 /// Monotonic counters the reactor maintains (relaxed atomics; exact values
@@ -95,6 +104,11 @@ struct ServerStats {
   std::uint64_t idle_closed = 0;         // reaped by the idle sweep
   std::uint64_t accept_failures = 0;     // accept() errors (EMFILE, ...)
   std::uint64_t accept_backoff_bursts = 0;  // resource-exhaustion backoffs
+  // Syscall accounting for the zero-copy bench (syscalls/request).
+  std::uint64_t io_recv_calls = 0;       // recv() syscalls issued by the loop
+  std::uint64_t io_send_calls = 0;       // sendmsg() syscalls issued
+  std::uint64_t backend_wait_calls = 0;  // blocking waits (epoll_wait/enter)
+  std::uint64_t backend_ctl_calls = 0;   // interest-change syscalls
 };
 
 /// Non-blocking epoll reactor HTTP/1.1 server on 127.0.0.1. Keep-alive and
@@ -118,13 +132,17 @@ class TcpServer {
   std::uint16_t port() const { return port_; }
   bool running() const { return running_.load(); }
   ServerStats stats() const;
+  /// The backend actually in use (after any fallback); "" before Start().
+  const char* backend_name() const { return backend_ ? backend_->name() : ""; }
 
  private:
   struct Conn;
 
   void LoopMain();
-  void HandleAccept();
-  void HandleConnEvent(std::uint64_t id, std::uint32_t events);
+  void HandleAccept(const IoBackend::Event& event);
+  /// Registers a connection the backend (or accept4) just produced.
+  void AdoptAccepted(int fd);
+  void HandleConnEvent(std::uint64_t id, const IoBackend::Event& event);
   /// Per-connection pump: flush output, then take/dispatch buffered
   /// requests, until blocked (EAGAIN), waiting on a worker, or closed.
   void ServiceConn(std::uint64_t id);
@@ -145,8 +163,8 @@ class TcpServer {
   ServerHandler handler_;
   std::uint16_t port_ = 0;
   int listen_fd_ = -1;
-  int epoll_fd_ = -1;
   int wake_fd_ = -1;  // eventfd: worker completions + shutdown
+  std::unique_ptr<IoBackend> backend_;
   std::unique_ptr<ThreadPool> pool_;
 
   std::atomic<bool> running_{false};
@@ -175,7 +193,8 @@ class TcpServer {
   // --- stats (relaxed atomics, updated by loop and workers) ---------------
   std::atomic<std::uint64_t> accepted_{0}, closed_{0}, served_{0},
       parse_errors_{0}, limit_rejections_{0}, overload_rejections_{0},
-      idle_closed_{0}, accept_failures_{0}, accept_backoff_bursts_{0};
+      idle_closed_{0}, accept_failures_{0}, accept_backoff_bursts_{0},
+      recv_calls_{0}, send_calls_{0};
 };
 
 /// Blocking client against 127.0.0.1:port with a keep-alive connection pool:

@@ -785,7 +785,7 @@ http::Response OfmfService::HandleInner(const http::Request& request) {
           ? std::string()
           : request.headers.GetOr("X-Auth-Token", "") + "\n" + request_id;
   const std::size_t body_hash =
-      request_id.empty() ? 0 : std::hash<std::string>{}(request.body);
+      request_id.empty() ? 0 : std::hash<std::string_view>{}(request.body.view());
   if (!replay_key.empty()) {
     std::lock_guard<std::mutex> lock(replay_mu_);
     auto it = replayed_posts_.find(replay_key);

@@ -49,9 +49,9 @@ std::uint64_t ResponseCache::BeginRead(const std::string& uri) const {
   return shard.generation;
 }
 
-std::optional<std::string> ResponseCache::Lookup(const std::string& uri,
-                                                 const std::string& etag,
-                                                 const std::string& query) {
+std::optional<CachedResponse> ResponseCache::Lookup(const std::string& uri,
+                                                    const std::string& etag,
+                                                    const std::string& query) {
   if (!enabled()) return std::nullopt;
   Shard& shard = ShardFor(uri);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -62,11 +62,11 @@ std::optional<std::string> ResponseCache::Lookup(const std::string& uri,
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
   ++shard.stats.hits;
-  return it->second.body;
+  return it->second.payload;  // shared slabs: refcount bump, no byte copy
 }
 
 void ResponseCache::Insert(const std::string& uri, const std::string& etag,
-                           const std::string& query, std::string body,
+                           const std::string& query, CachedResponse entry,
                            std::uint64_t read_generation) {
   if (!enabled()) return;
   Shard& shard = ShardFor(uri);
@@ -88,7 +88,7 @@ void ResponseCache::Insert(const std::string& uri, const std::string& etag,
     ++shard.stats.evictions;
   }
   shard.lru.push_front(key);
-  shard.entries[key] = Entry{std::move(body), shard.lru.begin()};
+  shard.entries[key] = Entry{std::move(entry), shard.lru.begin()};
 }
 
 void ResponseCache::InvalidateUriInShard(Shard& shard, const std::string& uri) {

@@ -21,11 +21,25 @@
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 
 namespace ofmf::redfish {
+
+/// A cache entry handed to readers: the serialized body plus the
+/// pre-serialized header blocks for the 200 and 304 answers, all as shared
+/// immutable slabs. A hit serializes nothing — the transport writes the
+/// head slab and the body slab straight to the wire, and every concurrent
+/// hit references the same bytes (zero-copy; see DESIGN.md "Zero-copy data
+/// path"). The heads carry no Connection header and no terminating blank
+/// line; the transport appends its own fragment.
+struct CachedResponse {
+  std::shared_ptr<const std::string> body;
+  std::shared_ptr<const std::string> head200;
+  std::shared_ptr<const std::string> head304;
+};
 
 struct ResponseCacheStats {
   std::uint64_t hits = 0;
@@ -47,16 +61,17 @@ class ResponseCache {
   /// two rejects the insert.
   std::uint64_t BeginRead(const std::string& uri) const;
 
-  /// Cached serialized body for (uri, etag, query), or nullopt. Hits refresh
-  /// LRU position. `uri` must already be normalized.
-  std::optional<std::string> Lookup(const std::string& uri, const std::string& etag,
-                                    const std::string& query);
+  /// Cached entry for (uri, etag, query), or nullopt. Hits refresh LRU
+  /// position and share the stored slabs — no body copy. `uri` must already
+  /// be normalized.
+  std::optional<CachedResponse> Lookup(const std::string& uri, const std::string& etag,
+                                       const std::string& query);
 
-  /// Stores a serialized body. Dropped (not an error) when the cache is
-  /// disabled, the entry was invalidated after `read_generation`, or the key
-  /// already landed via a concurrent reader.
+  /// Stores a serialized body with its pre-serialized heads. Dropped (not an
+  /// error) when the cache is disabled, the entry was invalidated after
+  /// `read_generation`, or the key already landed via a concurrent reader.
   void Insert(const std::string& uri, const std::string& etag, const std::string& query,
-              std::string body, std::uint64_t read_generation);
+              CachedResponse entry, std::uint64_t read_generation);
 
   /// Drops every entry for `changed_uri` and for each of its ancestors
   /// (collection bodies embed member state). Bumps the generation fences.
@@ -77,7 +92,7 @@ class ResponseCache {
 
  private:
   struct Entry {
-    std::string body;
+    CachedResponse payload;
     std::list<std::string>::iterator lru_it;  // position in Shard::lru
   };
 

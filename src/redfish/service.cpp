@@ -3,6 +3,7 @@
 #include "common/strings.hpp"
 #include "common/trace.hpp"
 #include "http/uri.hpp"
+#include "http/wire.hpp"
 #include "json/serialize.hpp"
 #include "odata/annotations.hpp"
 #include "odata/filter.hpp"
@@ -163,19 +164,28 @@ http::Response RedfishService::HandleGet(const http::Request& request) {
 
   const std::string& etag = snapshot->etag;
 
-  // Conditional GET.
+  const std::string query = NormalizeQuery(request.query);
+
+  // Conditional GET: a cache hit answers with the pre-serialized 304 head.
   const std::string if_none_match = request.headers.GetOr("If-None-Match", "");
   if (!if_none_match.empty() && ETagMatches(if_none_match, etag)) {
-    return NotModifiedResponse(etag);
+    http::Response not_modified = NotModifiedResponse(etag);
+    if (std::optional<CachedResponse> cached = cache_.Lookup(path, etag, query)) {
+      not_modified.set_wire_head(cached->head304);
+    }
+    return not_modified;
   }
 
-  const std::string query = NormalizeQuery(request.query);
-  if (std::optional<std::string> cached = cache_.Lookup(path, etag, query)) {
+  if (std::optional<CachedResponse> cached = cache_.Lookup(path, etag, query)) {
+    // Zero-copy hit: the response views the cached slab, and the attached
+    // head slab means the transport serializes nothing. The header map is
+    // still populated for in-process callers.
     http::Response response;
     response.status = 200;
-    response.body = std::move(*cached);
+    response.body = http::Body(cached->body);
     response.headers.Set("Content-Type", "application/json");
     SetGetHeaders(response, etag);
+    response.set_wire_head(cached->head200);
     return response;
   }
 
@@ -183,14 +193,23 @@ http::Response RedfishService::HandleGet(const http::Request& request) {
   Result<json::Json> payload = BuildGetPayload(path, snapshot, *options, cacheable);
   if (!payload.ok()) return ErrorResponse(payload.status());
 
-  std::string body = json::Serialize(*payload);
-  if (cacheable) cache_.Insert(path, etag, query, body, read_generation);
+  auto body_slab = std::make_shared<const std::string>(json::Serialize(*payload));
 
   http::Response response;
   response.status = 200;
-  response.body = std::move(body);
+  response.body = http::Body(body_slab);
   response.headers.Set("Content-Type", "application/json");
   SetGetHeaders(response, etag);
+  auto head200 = std::make_shared<const std::string>(
+      http::SerializeResponseHead(response, body_slab->size()));
+  if (cacheable) {
+    const http::Response not_modified = NotModifiedResponse(etag);
+    auto head304 = std::make_shared<const std::string>(
+        http::SerializeResponseHead(not_modified, 0));
+    cache_.Insert(path, etag, query, CachedResponse{body_slab, head200, head304},
+                  read_generation);
+  }
+  response.set_wire_head(std::move(head200));
   return response;
 }
 
@@ -218,8 +237,8 @@ http::Response RedfishService::HandleHead(const http::Request& request) {
   // without building or serializing a body that would be thrown away.
   const std::string query = NormalizeQuery(request.query);
   std::size_t content_length = 0;
-  if (std::optional<std::string> cached = cache_.Lookup(path, etag, query)) {
-    content_length = cached->size();
+  if (std::optional<CachedResponse> cached = cache_.Lookup(path, etag, query)) {
+    content_length = cached->body->size();
   } else {
     http::Request as_get = request;
     as_get.method = http::Method::kGet;
