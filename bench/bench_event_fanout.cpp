@@ -1,0 +1,260 @@
+// Event fan-out bench: sustained publish churn across ~10k push subscribers
+// with one deliberately black-holed endpoint (slow, always failing). The two
+// budgets the async engine must hold, enforced with a non-zero exit in full
+// mode:
+//   1. publisher-path latency: Publish only enqueues, so its p99 stays in
+//      the low milliseconds no matter how many subscribers exist or how dead
+//      one of them is — and it performs ZERO network sends (asserted via the
+//      engine's publish-path probe, not assumed);
+//   2. healthy-subscriber delivery lag: every event reaches every healthy
+//      subscriber within the lag budget, measured per delivered batch from a
+//      publish timestamp embedded in the event to its arrival at the sink.
+// The black-holed endpoint is kept affordable by the per-subscriber breaker:
+// the bench reports how many probes it actually cost.
+//
+// Emits BENCH_event_fanout.json. --smoke shrinks the fleet for CI and skips
+// budget enforcement.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "http/message.hpp"
+#include "http/server.hpp"
+#include "json/serialize.hpp"
+#include "ofmf/service.hpp"
+#include "ofmf/uris.hpp"
+
+using namespace ofmf;
+using json::Json;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t index = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+/// Shared by every healthy sink: arrival lag per delivered batch, measured
+/// against the newest "pub:<ns>" timestamp the batch carries in a Message.
+class LagRecorder {
+ public:
+  void Record(std::string_view body) {
+    const std::size_t at = body.rfind("pub:");
+    if (at == std::string::npos) return;
+    const std::int64_t published_ns = std::strtoll(body.data() + at + 4, nullptr, 10);
+    const double lag_ms = static_cast<double>(NowNs() - published_ns) / 1e6;
+    std::lock_guard<std::mutex> lock(mu_);
+    lags_ms_.push_back(lag_ms);
+  }
+  std::vector<double> Take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(lags_ms_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<double> lags_ms_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_event_fanout.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+  const std::size_t subscribers = smoke ? 1000 : 10000;
+  const std::size_t events = smoke ? 64 : 256;
+  constexpr double kPublishP99BudgetMs = 5.0;
+  constexpr double kHealthyLagP99BudgetMs = 2000.0;
+
+  core::OfmfService ofmf;
+  if (!ofmf.Bootstrap().ok()) {
+    std::fprintf(stderr, "bootstrap failed\n");
+    return 1;
+  }
+
+  // The black hole is slow AND always failing — the worst kind of peer: it
+  // eats a worker for 2 ms per probe. The breaker must keep those probes to
+  // one per cooldown instead of letting the endpoint tax every batch.
+  auto lags = std::make_shared<LagRecorder>();
+  auto blackhole_probes = std::make_shared<std::atomic<std::uint64_t>>(0);
+  ofmf.events().set_client_factory(
+      [lags, blackhole_probes](const std::string& destination)
+          -> std::unique_ptr<http::HttpClient> {
+        if (destination.find("blackhole") != std::string::npos) {
+          return std::make_unique<http::InProcessClient>([blackhole_probes](
+                                                             const http::Request&) {
+            blackhole_probes->fetch_add(1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            return http::MakeTextResponse(503, "black hole");
+          });
+        }
+        return std::make_unique<http::InProcessClient>(
+            [lags](const http::Request& request) {
+              lags->Record(request.body.view());
+              return http::MakeEmptyResponse(204);
+            });
+      });
+  core::DeliveryConfig config;
+  config.workers = 8;
+  // Throughput-oriented batching: the drain moves ~2.5M event deliveries, so
+  // per-batch fixed costs (lock cycle, client call, envelope) dominate lag.
+  config.batch_max_events = 256;
+  config.retry_attempts = 2;
+  config.base_backoff_ms = 2;
+  config.max_backoff_ms = 20;
+  config.breaker_cooldown_ms = 5;
+  ofmf.events().ConfigureDelivery(config);
+
+  std::printf("event fan-out bench%s: %zu subscribers (one black-holed), "
+              "%zu events, %zu workers\n",
+              smoke ? " (smoke)" : "", subscribers, events, config.workers);
+
+  const auto subscribe_t0 = Clock::now();
+  for (std::size_t i = 0; i < subscribers; ++i) {
+    const std::string destination = i == 0
+                                        ? "http://blackhole/events"
+                                        : "http://sub" + std::to_string(i) + "/events";
+    auto uri = ofmf.events().Subscribe(
+        Json::Obj({{"Destination", destination}, {"Protocol", "Redfish"}}));
+    if (!uri.ok()) {
+      std::fprintf(stderr, "subscribe %zu failed\n", i);
+      return 1;
+    }
+  }
+  const double subscribe_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - subscribe_t0).count();
+
+  // Sustained churn: back-to-back publishes while 8 workers fan the backlog
+  // out underneath. Each Publish is timed individually for the p99.
+  std::vector<double> publish_ms;
+  publish_ms.reserve(events);
+  const auto churn_t0 = Clock::now();
+  for (std::size_t i = 0; i < events; ++i) {
+    core::Event event;
+    event.event_type = "Alert";
+    event.message_id = "Bench.1.0.Churn" + std::to_string(i);
+    event.message = "pub:" + std::to_string(NowNs());
+    event.origin = core::kServiceRoot;
+    const auto t0 = Clock::now();
+    ofmf.events().Publish(event);
+    publish_ms.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+  }
+  const bool drained = ofmf.events().FlushDelivery(smoke ? 60000 : 300000);
+  const double total_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - churn_t0).count();
+
+  std::vector<double> lag_ms = lags->Take();
+  std::sort(publish_ms.begin(), publish_ms.end());
+  std::sort(lag_ms.begin(), lag_ms.end());
+  const double publish_p50 = Percentile(publish_ms, 0.50);
+  const double publish_p99 = Percentile(publish_ms, 0.99);
+  const double publish_max = publish_ms.empty() ? 0.0 : publish_ms.back();
+  const double lag_p50 = Percentile(lag_ms, 0.50);
+  const double lag_p99 = Percentile(lag_ms, 0.99);
+  const double lag_max = lag_ms.empty() ? 0.0 : lag_ms.back();
+
+  const core::DeliverySnapshot snapshot = ofmf.events().CollectDelivery();
+  const std::uint64_t expected_healthy =
+      static_cast<std::uint64_t>(subscribers - 1) * events;
+  const std::uint64_t publish_sends = ofmf.events().publish_path_sends();
+
+  std::printf("  subscribe: %zu subs in %.0f ms\n", subscribers, subscribe_ms);
+  std::printf("  publish:   p50 %.3f ms  p99 %.3f ms  max %.3f ms (budget p99 <= %.1f)\n",
+              publish_p50, publish_p99, publish_max, kPublishP99BudgetMs);
+  std::printf("  lag:       p50 %.1f ms  p99 %.1f ms  max %.1f ms (budget p99 <= %.0f)\n",
+              lag_p50, lag_p99, lag_max, kHealthyLagP99BudgetMs);
+  std::printf("  delivered: %llu/%llu healthy events in %.0f ms, %llu batches "
+              "(%llu coalesced)\n",
+              static_cast<unsigned long long>(snapshot.delivered),
+              static_cast<unsigned long long>(expected_healthy), total_ms,
+              static_cast<unsigned long long>(snapshot.batches),
+              static_cast<unsigned long long>(snapshot.coalesced));
+  std::printf("  blackhole: %llu probes for %zu events (breaker-capped), "
+              "%llu given up\n",
+              static_cast<unsigned long long>(blackhole_probes->load()), events,
+              static_cast<unsigned long long>(snapshot.failures));
+  std::printf("  publish-path network sends: %llu (must be 0)\n",
+              static_cast<unsigned long long>(publish_sends));
+
+  const bool bar_applies = !smoke;
+  const bool publish_ok = publish_p99 <= kPublishP99BudgetMs;
+  const bool lag_ok = lag_p99 <= kHealthyLagP99BudgetMs;
+  const bool complete = drained && snapshot.delivered == expected_healthy;
+  Json results = Json::Obj(
+      {{"smoke", smoke},
+       {"subscribers", static_cast<std::int64_t>(subscribers)},
+       {"events", static_cast<std::int64_t>(events)},
+       {"subscribe_ms", subscribe_ms},
+       {"publish_p50_ms", publish_p50},
+       {"publish_p99_ms", publish_p99},
+       {"publish_max_ms", publish_max},
+       {"publish_p99_budget_ms", kPublishP99BudgetMs},
+       {"healthy_lag_p50_ms", lag_p50},
+       {"healthy_lag_p99_ms", lag_p99},
+       {"healthy_lag_max_ms", lag_max},
+       {"healthy_lag_p99_budget_ms", kHealthyLagP99BudgetMs},
+       {"delivered", static_cast<std::int64_t>(snapshot.delivered)},
+       {"expected_healthy", static_cast<std::int64_t>(expected_healthy)},
+       {"batches", static_cast<std::int64_t>(snapshot.batches)},
+       {"coalesced", static_cast<std::int64_t>(snapshot.coalesced)},
+       {"blackhole_probes", static_cast<std::int64_t>(blackhole_probes->load())},
+       {"blackhole_given_up", static_cast<std::int64_t>(snapshot.failures)},
+       {"publish_path_sends", static_cast<std::int64_t>(publish_sends)},
+       {"drain_ms", total_ms},
+       {"publish_budget_met", !bar_applies || publish_ok},
+       {"lag_budget_met", !bar_applies || lag_ok}});
+  std::ofstream out(out_path);
+  out << json::SerializePretty(results) << "\n";
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (publish_sends != 0) {
+    std::fprintf(stderr, "FAIL: Publish performed %llu network sends; the "
+                 "publish path must only enqueue\n",
+                 static_cast<unsigned long long>(publish_sends));
+    return 1;
+  }
+  if (!complete) {
+    std::fprintf(stderr, "FAIL: healthy delivery incomplete (%llu/%llu, drained=%d)\n",
+                 static_cast<unsigned long long>(snapshot.delivered),
+                 static_cast<unsigned long long>(expected_healthy), drained);
+    return 1;
+  }
+  if (bar_applies && !publish_ok) {
+    std::fprintf(stderr, "FAIL: publish p99 %.3f ms, budget %.1f ms\n", publish_p99,
+                 kPublishP99BudgetMs);
+    return 1;
+  }
+  if (bar_applies && !lag_ok) {
+    std::fprintf(stderr, "FAIL: healthy lag p99 %.1f ms, budget %.0f ms\n", lag_p99,
+                 kHealthyLagP99BudgetMs);
+    return 1;
+  }
+  return 0;
+}

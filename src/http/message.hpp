@@ -13,7 +13,10 @@
 #include <string_view>
 #include <vector>
 
+#include <functional>
+
 #include "common/result.hpp"
+#include "http/stream.hpp"
 #include "json/value.hpp"
 
 namespace ofmf::http {
@@ -161,9 +164,26 @@ struct Response {
                : nullptr;
   }
 
+  /// Invoked with a StreamWriter once the head is queued on a streaming
+  /// transport. Runs on the reactor loop thread — it must only hand the
+  /// writer off (e.g. register it with a producer), never block.
+  using StreamOpenHook = std::function<void(StreamWriter)>;
+
+  /// Marks this response as streaming (SSE and friends): the TCP transport
+  /// sends the status line + headers with NO Content-Length, keeps the
+  /// connection open, and calls `on_open` with a writer for incremental
+  /// chunks. The handler must set Content-Type itself. Transports without a
+  /// long-lived connection (InProcessClient) return the response as-is and
+  /// never call the hook.
+  void set_stream(StreamOpenHook on_open) {
+    stream_open_ = std::make_shared<StreamOpenHook>(std::move(on_open));
+  }
+  const StreamOpenHook* stream_open() const { return stream_open_.get(); }
+
  private:
   std::shared_ptr<const std::string> wire_head_;
   std::uint32_t wire_head_version_ = 0;
+  std::shared_ptr<StreamOpenHook> stream_open_;  // shared: Response is copied
 };
 
 /// Builds a request with `target` split into path + query.

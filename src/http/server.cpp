@@ -100,8 +100,54 @@ struct TcpServer::Conn {
   bool discard = false;      // parse error / limit breach: ignore further input
   bool close_after = false;  // close once outbox drains
   bool saw_eof = false;      // peer half-closed its write side
+  bool streaming = false;    // long-lived stream (SSE): no request pump
+  std::shared_ptr<StreamWriter::Shared> stream;  // producer-facing state
   std::chrono::steady_clock::time_point idle_deadline{};
 };
+
+// ---------------------------------------------------------- StreamWriter ---
+
+bool StreamWriter::Write(std::string chunk) const {
+  if (!shared_ || shared_->closed.load(std::memory_order_acquire)) return false;
+  if (chunk.empty()) return true;
+  StreamWriter::Channel& channel = *shared_->channel;
+  std::lock_guard<std::mutex> lock(channel.mu);
+  if (channel.stopped || shared_->closed.load(std::memory_order_acquire)) return false;
+  shared_->pending.fetch_add(chunk.size(), std::memory_order_relaxed);
+  const bool wake = channel.ops.empty();
+  channel.ops.push_back(Op{shared_, std::move(chunk), false});
+  if (wake && channel.wake_fd >= 0) {
+    // Under the channel mutex so the write can never race Stop() closing
+    // the eventfd; batched like the completion channel (one tick while the
+    // queue is non-empty).
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(channel.wake_fd, &one, sizeof(one));
+  }
+  return true;
+}
+
+void StreamWriter::Close() const {
+  if (!shared_) return;
+  StreamWriter::Channel& channel = *shared_->channel;
+  std::lock_guard<std::mutex> lock(channel.mu);
+  if (channel.stopped) return;
+  const bool wake = channel.ops.empty();
+  channel.ops.push_back(Op{shared_, std::string(), true});
+  if (wake && channel.wake_fd >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(channel.wake_fd, &one, sizeof(one));
+  }
+}
+
+bool StreamWriter::closed() const {
+  return !shared_ || shared_->closed.load(std::memory_order_acquire);
+}
+
+std::size_t StreamWriter::buffered_bytes() const {
+  if (!shared_) return 0;
+  return shared_->pending.load(std::memory_order_relaxed) +
+         shared_->queued.load(std::memory_order_relaxed);
+}
 
 TcpServer::TcpServer() = default;
 
@@ -170,6 +216,9 @@ Status TcpServer::Start(ServerHandler handler, std::uint16_t port,
   backend_->Add(listen_fd_, kListenTag, IoBackend::kAccept);
   backend_->Add(wake_fd_, kWakeTag, IoBackend::kReadable);
 
+  stream_channel_ = std::make_shared<StreamWriter::Channel>();
+  stream_channel_->wake_fd = wake_fd_;
+
   accept_registered_ = true;
   accept_paused_full_ = false;
   in_accept_backoff_ = false;
@@ -187,6 +236,15 @@ void TcpServer::Stop() {
   stop_requested_.store(true);
   Wake();
   if (loop_thread_.joinable()) loop_thread_.join();
+  if (stream_channel_) {
+    // Writers holding a StreamWriter observe `stopped` under the channel
+    // mutex; clearing wake_fd here (before the close below) guarantees no
+    // producer ever writes to a recycled fd.
+    std::lock_guard<std::mutex> lock(stream_channel_->mu);
+    stream_channel_->stopped = true;
+    stream_channel_->wake_fd = -1;
+    stream_channel_->ops.clear();
+  }
   if (pool_) {
     // In-flight handlers finish on the worker pool; their responses are
     // dropped (the loop already closed every connection fd). The deadline
@@ -213,6 +271,7 @@ ServerStats TcpServer::stats() const {
   s.limit_rejections = limit_rejections_.load(std::memory_order_relaxed);
   s.overload_rejections = overload_rejections_.load(std::memory_order_relaxed);
   s.idle_closed = idle_closed_.load(std::memory_order_relaxed);
+  s.streams_opened = streams_opened_.load(std::memory_order_relaxed);
   s.accept_failures = accept_failures_.load(std::memory_order_relaxed);
   s.accept_backoff_bursts = accept_backoff_bursts_.load(std::memory_order_relaxed);
   s.io_recv_calls = recv_calls_.load(std::memory_order_relaxed);
@@ -253,6 +312,7 @@ void TcpServer::LoopMain() {
         }
         if (stop_requested_.load()) break;
         HandleCompletions();
+        DrainStreamOps();
       } else {
         HandleConnEvent(tag, events[i]);
       }
@@ -271,6 +331,7 @@ void TcpServer::LoopMain() {
   // listener. Worker completions that arrive afterwards find no connection
   // and are dropped.
   for (auto& [id, conn] : conns_) {
+    MarkStreamClosed(*conn);
     backend_->Remove(conn->fd, id);
     ::close(conn->fd);
     closed_.fetch_add(1, std::memory_order_relaxed);
@@ -467,6 +528,17 @@ void TcpServer::ServiceConn(std::uint64_t id) {
       }
     }
 
+    // A streaming connection has no request pump: chunks arrive through
+    // DrainStreamOps, and the only events that matter here are peer EOF
+    // (detected by the scratch-drain reads) and writability.
+    if (c.streaming) {
+      if (c.saw_eof) {
+        CloseConn(id);
+        return;
+      }
+      break;
+    }
+
     if (c.busy || c.discard) break;
 
     // 2. Limit breaches answer 431/413 and doom the connection. Detected
@@ -513,7 +585,11 @@ void TcpServer::ServiceConn(std::uint64_t id) {
   }
 
   auto it = conns_.find(id);
-  if (it != conns_.end()) SyncInterest(*it->second);
+  if (it != conns_.end()) {
+    Conn& c = *it->second;
+    if (c.stream) c.stream->queued.store(c.out_bytes, std::memory_order_relaxed);
+    SyncInterest(c);
+  }
 }
 
 void TcpServer::DispatchRequest(Conn& conn, Request request) {
@@ -571,6 +647,14 @@ void TcpServer::QueueResponse(Conn& conn, Response response, bool close_after) {
     final_close = true;
   }
 
+  // A streaming response converts the connection instead of completing an
+  // exchange — unless it is already doomed, in which case the handler's
+  // response goes out as a plain final body and the hook is never invoked.
+  if (response.stream_open() != nullptr && !final_close) {
+    BeginStream(conn, response);
+    return;
+  }
+
   // Head: the pre-serialized slab when the handler attached one and the
   // headers were not mutated since (wire_head() returns null otherwise);
   // serialize on the spot as the fallback.
@@ -592,6 +676,74 @@ void TcpServer::QueueResponse(Conn& conn, Response response, bool close_after) {
   }
   conn.close_after = final_close;
   served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TcpServer::BeginStream(Conn& conn, const Response& response) {
+  // Status line + headers with NO Content-Length: the stream ends when the
+  // connection does. Streaming heads are never cached, so they serialize on
+  // the spot from the header map.
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     ReasonPhrase(response.status) + "\r\n";
+  for (const auto& [name, value] : response.headers.entries()) {
+    head += name;
+    head += ": ";
+    head += value;
+    head += "\r\n";
+  }
+  head += "Connection: keep-alive\r\n\r\n";
+  auto slab = std::make_shared<const std::string>(std::move(head));
+  conn.outbox.push_back(Conn::OutChunk{slab, slab->data(), slab->size()});
+  conn.out_bytes += slab->size();
+  conn.streaming = true;
+  conn.discard = true;  // further request bytes drain into scratch
+  conn.close_after = false;
+
+  auto shared = std::make_shared<StreamWriter::Shared>();
+  shared->channel = stream_channel_;
+  shared->conn_id = conn.id;
+  shared->queued.store(conn.out_bytes, std::memory_order_relaxed);
+  conn.stream = shared;
+  streams_opened_.fetch_add(1, std::memory_order_relaxed);
+  served_.fetch_add(1, std::memory_order_relaxed);
+  // The hook only hands the writer off to a producer; it runs on the loop
+  // thread and must not block (see Response::set_stream).
+  (*response.stream_open())(StreamWriter(std::move(shared)));
+}
+
+void TcpServer::DrainStreamOps() {
+  if (!stream_channel_) return;
+  std::vector<StreamWriter::Op> ops;
+  {
+    std::lock_guard<std::mutex> lock(stream_channel_->mu);
+    ops.swap(stream_channel_->ops);
+  }
+  if (ops.empty()) return;
+  std::vector<std::uint64_t> touched;
+  for (StreamWriter::Op& op : ops) {
+    if (!op.shared) continue;
+    op.shared->pending.fetch_sub(op.data.size(), std::memory_order_relaxed);
+    auto it = conns_.find(op.shared->conn_id);
+    if (it == conns_.end() || !it->second->streaming) continue;
+    Conn& c = *it->second;
+    if (op.close) c.close_after = true;
+    if (!op.data.empty()) {
+      auto slab = std::make_shared<const std::string>(std::move(op.data));
+      c.outbox.push_back(Conn::OutChunk{slab, slab->data(), slab->size()});
+      c.out_bytes += slab->size();
+    }
+    if (std::find(touched.begin(), touched.end(), c.id) == touched.end()) {
+      touched.push_back(c.id);
+    }
+  }
+  for (const std::uint64_t id : touched) ServiceConn(id);
+}
+
+void TcpServer::MarkStreamClosed(Conn& conn) {
+  if (!conn.stream) return;
+  conn.stream->closed.store(true, std::memory_order_release);
+  conn.stream->pending.store(0, std::memory_order_relaxed);
+  conn.stream->queued.store(0, std::memory_order_relaxed);
+  conn.stream.reset();
 }
 
 bool TcpServer::WriteSome(Conn& conn) {
@@ -646,7 +798,9 @@ void TcpServer::SyncInterest(Conn& conn) {
   // pipelines. A busy connection whose socket is merely quiet keeps EPOLLIN:
   // the well-behaved request-response cadence then never toggles epoll
   // interest at all (at most one extra read burst lands before the disarm).
-  const bool read_paused = conn.discard || conn.saw_eof ||
+  // Streaming connections keep reading (into the scratch drain) so peer
+  // disconnect surfaces as EOF instead of lingering until a failed write.
+  const bool read_paused = (conn.discard && !conn.streaming) || conn.saw_eof ||
                            (conn.busy && conn.parser.buffered_bytes() > 0);
   if (!read_paused) want |= IoBackend::kReadable;
   if (!conn.outbox.empty()) want |= IoBackend::kWritable;
@@ -674,7 +828,7 @@ void TcpServer::HandleCompletions() {
 void TcpServer::SweepIdle(std::chrono::steady_clock::time_point now) {
   std::vector<std::uint64_t> expired;
   for (const auto& [id, conn] : conns_) {
-    if (conn->busy || !conn->outbox.empty()) continue;
+    if (conn->busy || !conn->outbox.empty() || conn->streaming) continue;
     if (now >= conn->idle_deadline) expired.push_back(id);
   }
   for (const std::uint64_t id : expired) {
@@ -686,6 +840,7 @@ void TcpServer::SweepIdle(std::chrono::steady_clock::time_point now) {
 void TcpServer::CloseConn(std::uint64_t id) {
   auto it = conns_.find(id);
   if (it == conns_.end()) return;
+  MarkStreamClosed(*it->second);
   backend_->Remove(it->second->fd, id);
   ::close(it->second->fd);
   conns_.erase(it);

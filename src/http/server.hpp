@@ -31,6 +31,7 @@
 #include "common/threadpool.hpp"
 #include "http/io_backend.hpp"
 #include "http/message.hpp"
+#include "http/stream.hpp"
 #include "http/wire.hpp"
 
 namespace ofmf::http {
@@ -102,6 +103,7 @@ struct ServerStats {
   std::uint64_t limit_rejections = 0;    // 431/413
   std::uint64_t overload_rejections = 0; // 503: worker queue full
   std::uint64_t idle_closed = 0;         // reaped by the idle sweep
+  std::uint64_t streams_opened = 0;      // streaming (SSE) responses started
   std::uint64_t accept_failures = 0;     // accept() errors (EMFILE, ...)
   std::uint64_t accept_backoff_bursts = 0;  // resource-exhaustion backoffs
   // Syscall accounting for the zero-copy bench (syscalls/request).
@@ -152,6 +154,11 @@ class TcpServer {
   void SyncInterest(Conn& conn);
   void CloseConn(std::uint64_t id);
   void HandleCompletions();
+  /// Moves producer-pushed stream chunks from the wake channel into their
+  /// connections' outboxes and flushes (see http/stream.hpp).
+  void DrainStreamOps();
+  void BeginStream(Conn& conn, const Response& response);
+  void MarkStreamClosed(Conn& conn);
   void SweepIdle(std::chrono::steady_clock::time_point now);
   void EnterAcceptBackoff(int err);
   void RearmAcceptIfDue(std::chrono::steady_clock::time_point now);
@@ -190,11 +197,14 @@ class TcpServer {
   std::mutex done_mu_;
   std::vector<Completion> done_;
 
+  // --- producer -> loop stream channel (long-lived SSE connections) -------
+  std::shared_ptr<StreamWriter::Channel> stream_channel_;
+
   // --- stats (relaxed atomics, updated by loop and workers) ---------------
   std::atomic<std::uint64_t> accepted_{0}, closed_{0}, served_{0},
       parse_errors_{0}, limit_rejections_{0}, overload_rejections_{0},
       idle_closed_{0}, accept_failures_{0}, accept_backoff_bursts_{0},
-      recv_calls_{0}, send_calls_{0};
+      recv_calls_{0}, send_calls_{0}, streams_opened_{0};
 };
 
 /// Blocking client against 127.0.0.1:port with a keep-alive connection pool:

@@ -1,0 +1,76 @@
+#include "http/sse.hpp"
+
+namespace ofmf::http {
+
+std::string FormatSseFrame(std::uint64_t id, std::string_view data) {
+  std::string frame;
+  frame.reserve(data.size() + 32);
+  frame += "id: ";
+  frame += std::to_string(id);
+  frame += '\n';
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t nl = data.find('\n', start);
+    frame += "data: ";
+    if (nl == std::string_view::npos) {
+      frame.append(data.substr(start));
+      frame += '\n';
+      break;
+    }
+    frame.append(data.substr(start, nl - start));
+    frame += '\n';
+    start = nl + 1;
+  }
+  frame += '\n';
+  return frame;
+}
+
+std::string SseKeepAliveFrame() { return ": keep-alive\n\n"; }
+
+std::vector<SseEvent> SseParser::Feed(std::string_view chunk) {
+  buffer_.append(chunk.data(), chunk.size());
+  std::vector<SseEvent> events;
+  std::size_t frame_start = 0;
+  while (true) {
+    const std::size_t end = buffer_.find("\n\n", frame_start);
+    if (end == std::string::npos) break;
+    const std::string_view frame(buffer_.data() + frame_start, end - frame_start);
+    SseEvent event;
+    bool has_field = false;
+    std::size_t line_start = 0;
+    while (line_start <= frame.size()) {
+      std::size_t line_end = frame.find('\n', line_start);
+      if (line_end == std::string_view::npos) line_end = frame.size();
+      std::string_view line = frame.substr(line_start, line_end - line_start);
+      line_start = line_end + 1;
+      if (line.empty()) continue;
+      if (line.front() == ':') continue;  // comment / keep-alive
+      std::string_view field = line;
+      std::string_view value;
+      const std::size_t colon = line.find(':');
+      if (colon != std::string_view::npos) {
+        field = line.substr(0, colon);
+        value = line.substr(colon + 1);
+        if (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+      }
+      if (field == "id") {
+        event.id.assign(value);
+        has_field = true;
+      } else if (field == "event") {
+        event.event.assign(value);
+        has_field = true;
+      } else if (field == "data") {
+        if (!event.data.empty()) event.data += '\n';
+        event.data.append(value);
+        has_field = true;
+      }
+      if (line_end == frame.size()) break;
+    }
+    if (has_field) events.push_back(std::move(event));
+    frame_start = end + 2;
+  }
+  buffer_.erase(0, frame_start);
+  return events;
+}
+
+}  // namespace ofmf::http

@@ -1,0 +1,42 @@
+// Server-Sent Events wire format (WHATWG HTML §9.2 "Server-sent events").
+// The EventService's streaming subscriptions serialize Redfish Event
+// records as SSE frames over a StreamWriter; SseParser is the matching
+// incremental decoder used by tests and in-process consumers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ofmf::http {
+
+/// One decoded SSE frame. `data` joins multi-line data fields with '\n'.
+struct SseEvent {
+  std::string id;
+  std::string event;
+  std::string data;
+};
+
+/// Serializes one frame: "id: <id>\ndata: <line>\n...\n\n". Newlines inside
+/// `data` are split across multiple data: fields per the spec.
+std::string FormatSseFrame(std::uint64_t id, std::string_view data);
+
+/// A comment-only keep-alive frame (": keep-alive\n\n").
+std::string SseKeepAliveFrame();
+
+/// Incremental SSE decoder: feed arbitrary byte chunks, get completed
+/// frames. Comment lines (leading ':') are ignored. Unterminated input is
+/// buffered until the blank-line frame terminator arrives.
+class SseParser {
+ public:
+  std::vector<SseEvent> Feed(std::string_view chunk);
+
+  /// Bytes buffered waiting for a frame terminator.
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+}  // namespace ofmf::http

@@ -1,0 +1,83 @@
+// Streaming connections: the reactor's first non-request/response shape.
+// A handler marks its Response as streaming (Response::set_stream); instead
+// of closing the exchange after one body, the reactor sends the head with no
+// Content-Length, keeps the fd open, and hands the handler a StreamWriter.
+// Producer threads push chunks through a locked wake channel; the loop
+// drains them into the connection's scatter-gather outbox. Server-Sent
+// Events (src/http/sse.hpp) is the first consumer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ofmf::http {
+
+class TcpServer;
+
+/// Thread-safe handle for incremental writes to a long-lived streaming
+/// connection. Produced by the reactor when a handler marks its Response as
+/// streaming; usable from any thread until the peer disconnects or the
+/// server stops. Write() never blocks on the socket and never touches it
+/// directly: chunks travel to the reactor loop over a wake channel and ride
+/// the connection's outbox. buffered_bytes() exposes the unsent backlog so
+/// producers can apply backpressure (pause, coalesce, drop) instead of
+/// growing the outbox without bound.
+class StreamWriter {
+ public:
+  StreamWriter() = default;
+
+  /// Queues `chunk` for the wire. Returns false once the stream is closed
+  /// (peer disconnect, server stop) — the producer should detach.
+  bool Write(std::string chunk) const;
+
+  /// Asks the loop to close the connection after flushing queued output.
+  void Close() const;
+
+  bool closed() const;
+  /// Bytes accepted by Write() but not yet handed to the kernel (channel
+  /// backlog plus the connection outbox; the outbox figure briefly includes
+  /// the response head).
+  std::size_t buffered_bytes() const;
+  bool valid() const { return shared_ != nullptr; }
+
+ private:
+  friend class TcpServer;
+
+  struct Shared;
+
+  struct Op {
+    std::shared_ptr<Shared> shared;
+    std::string data;
+    bool close = false;
+  };
+
+  /// One per server: producer threads push ops under the mutex, the loop
+  /// drains on eventfd wake. The eventfd write happens under the mutex so it
+  /// can never race the server closing the fd at Stop().
+  struct Channel {
+    std::mutex mu;
+    bool stopped = false;
+    int wake_fd = -1;
+    std::vector<Op> ops;
+  };
+
+  struct Shared {
+    std::shared_ptr<Channel> channel;
+    std::uint64_t conn_id = 0;
+    std::atomic<bool> closed{false};
+    /// Bytes pushed into the channel but not yet drained by the loop.
+    std::atomic<std::size_t> pending{0};
+    /// Loop-maintained snapshot of the connection's unsent outbox bytes.
+    std::atomic<std::size_t> queued{0};
+  };
+
+  explicit StreamWriter(std::shared_ptr<Shared> shared) : shared_(std::move(shared)) {}
+
+  std::shared_ptr<Shared> shared_;
+};
+
+}  // namespace ofmf::http

@@ -605,6 +605,10 @@ Result<store::RecoveryReport> OfmfService::EnableDurability(
       sessions_.RestoreSession({session.id, session.user, session.token,
                                 std::string(kSessions) + "/" + session.id});
     }
+    // Durable event state first (sequence counter, retained log, cursors),
+    // so adopted subscriptions resume from their recovered cursor instead
+    // of the frontier.
+    events_.RestoreDurableEventState(recovered.events);
     (void)events_.AdoptSubscriptionsFromTree();
     // Cached responses were built from the pre-recovery (bootstrap) tree and
     // ImportState fires no change events, so invalidate wholesale.
@@ -623,6 +627,18 @@ Result<store::RecoveryReport> OfmfService::EnableDurability(
       adopted_uris_.insert(mutation.uri);
     }
     store_->LogMutation(mutation);
+  });
+
+  // Event durability: every published event record and every delivery-
+  // cursor advance is journaled. The sinks run under the event-service or
+  // delivery-engine lock respectively and only append to the store (lock
+  // order service -> engine -> store; LogEvent/LogEventCursor never call
+  // back out).
+  events_.set_event_journal([this](std::uint64_t sequence, const json::Json& record) {
+    store_->LogEvent(sequence, record);
+  });
+  events_.set_cursor_journal([this](const std::string& uri, std::uint64_t sequence) {
+    store_->LogEventCursor(uri, sequence);
   });
 
   // Baseline: fold the recovered (or freshly bootstrapped) tree and any
@@ -692,7 +708,8 @@ Status OfmfService::CompactStore() {
   for (const SessionInfo& session : sessions_.ExportSessions()) {
     sessions.push_back({session.id, session.user, session.token});
   }
-  return store_->Compact([this] { return tree_.ExportState(); }, sessions);
+  return store_->Compact([this] { return tree_.ExportState(); }, sessions,
+                         events_.ExportDurableEventState());
 }
 
 std::size_t OfmfService::ProcessPendingWork() {
@@ -750,6 +767,7 @@ void OfmfService::PeriodicReportRefresh() {
   (void)telemetry_.UpdateResponseCacheReport(rest_.response_cache().stats());
   (void)telemetry_.UpdateResilienceReport(CollectResilience());
   (void)telemetry_.UpdateRequestLatencyReport();
+  (void)telemetry_.UpdateEventDeliveryReport(events_.CollectDelivery());
 }
 
 http::Response OfmfService::HandleInner(const http::Request& request) {
@@ -835,6 +853,11 @@ http::Response OfmfService::Dispatch(const http::Request& request) {
       http::NormalizePath(request.path) == TelemetryService::ResilienceReportUri()) {
     (void)telemetry_.UpdateResilienceReport(CollectResilience());
   }
+  // And for the event fan-out delivery report.
+  if ((request.method == http::Method::kGet || request.method == http::Method::kHead) &&
+      http::NormalizePath(request.path) == TelemetryService::EventDeliveryReportUri()) {
+    (void)telemetry_.UpdateEventDeliveryReport(events_.CollectDelivery());
+  }
   // And for the latency-histogram report. Reading the report does not move
   // any histogram (the MetricReports subtree is excluded from the per-
   // endpoint timers), so back-to-back scrapes with no traffic in between
@@ -843,6 +866,32 @@ http::Response OfmfService::Dispatch(const http::Request& request) {
       http::NormalizePath(request.path) ==
           TelemetryService::RequestLatencyReportUri()) {
     (void)telemetry_.UpdateRequestLatencyReport();
+  }
+
+  // Server-Sent-Events streaming subscription: the reactor's first
+  // long-lived, non-request/response connection type. The response carries
+  // an open hook instead of a body; the reactor writes the head, then runs
+  // the hook on its loop thread, which hands the StreamWriter to the
+  // EventService. Events flow as SSE frames through the scatter-gather
+  // outbox from then on. Transports without a streamable connection (the
+  // in-process client) just see the head. Optional ?EventTypes=a,b filters.
+  if (request.method == http::Method::kGet &&
+      http::NormalizePath(request.path) == kEventServiceSse) {
+    std::vector<std::string> event_types;
+    const auto filter = request.query.find("EventTypes");
+    if (filter != request.query.end()) {
+      for (const std::string& type : strings::Split(filter->second, ',')) {
+        if (!type.empty()) event_types.push_back(type);
+      }
+    }
+    http::Response response;
+    response.status = 200;
+    response.headers.Set("Content-Type", "text/event-stream");
+    response.headers.Set("Cache-Control", "no-cache");
+    response.set_stream([this, event_types](http::StreamWriter writer) {
+      (void)events_.AttachStream(std::move(writer), event_types);
+    });
+    return response;
   }
 
   // Asynchronous composition: Redfish's "Prefer: respond-async". The POST

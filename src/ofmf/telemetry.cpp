@@ -174,6 +174,103 @@ Status TelemetryService::UpdateResilienceReport(const ResilienceSnapshot& snapsh
   return Status::Ok();
 }
 
+std::string TelemetryService::EventDeliveryReportUri() {
+  return std::string(kMetricReports) + "/EventDelivery";
+}
+
+Status TelemetryService::UpdateEventDeliveryReport(const DeliverySnapshot& snapshot) {
+  // Fingerprint excludes timestamps so an unchanged snapshot leaves the
+  // report's version (and every cached response of it) alone.
+  std::string fingerprint = std::to_string(snapshot.last_sequence) + "|" +
+                            std::to_string(snapshot.total_queued) + "|" +
+                            std::to_string(snapshot.delivered) + "|" +
+                            std::to_string(snapshot.dropped) + "|" +
+                            std::to_string(snapshot.retries) + "|" +
+                            std::to_string(snapshot.failures) + "|" +
+                            std::to_string(snapshot.breakers_open);
+  for (const SubscriberSnapshot& subscriber : snapshot.subscribers) {
+    fingerprint += "|" + subscriber.uri + ":" +
+                   std::to_string(subscriber.queue_depth) + ":" +
+                   std::to_string(subscriber.delivered) + ":" +
+                   std::to_string(subscriber.dropped) + ":" +
+                   std::to_string(subscriber.retries) + ":" +
+                   std::to_string(subscriber.failures) + ":" +
+                   std::to_string(subscriber.cursor_lag) + ":" +
+                   to_string(subscriber.breaker_state);
+  }
+  std::lock_guard<std::mutex> lock(delivery_report_mu_);
+  if (delivery_report_exists_ && fingerprint == last_delivery_fingerprint_) {
+    return Status::Ok();
+  }
+
+  const std::string timestamp = FormatSimTimestamp(clock_.now());
+  const auto counter = [&](const std::string& id, double value,
+                           const std::string& property) {
+    return json::Json::Obj({{"MetricId", id},
+                            {"MetricValue", value},
+                            {"MetricProperty", property},
+                            {"Timestamp", timestamp}});
+  };
+  json::Array values;
+  const char* engine = "event delivery engine";
+  values.push_back(counter("EventsDelivered", static_cast<double>(snapshot.delivered), engine));
+  values.push_back(counter("DeliveryBatches", static_cast<double>(snapshot.batches), engine));
+  values.push_back(counter("EventsCoalesced", static_cast<double>(snapshot.coalesced), engine));
+  values.push_back(counter("EventsDropped", static_cast<double>(snapshot.dropped), engine));
+  values.push_back(counter("DeliveryRetries", static_cast<double>(snapshot.retries), engine));
+  values.push_back(counter("DeliveryFailures", static_cast<double>(snapshot.failures), engine));
+  values.push_back(counter("QueuedEvents", static_cast<double>(snapshot.total_queued), engine));
+  values.push_back(counter("MaxQueueDepth", static_cast<double>(snapshot.max_queue_depth), engine));
+  values.push_back(counter("MaxCursorLag", static_cast<double>(snapshot.max_cursor_lag), engine));
+  values.push_back(counter("BreakersOpen", static_cast<double>(snapshot.breakers_open), engine));
+  values.push_back(counter("StreamSubscribers", static_cast<double>(snapshot.streams), engine));
+  json::Array subscribers;
+  for (const SubscriberSnapshot& subscriber : snapshot.subscribers) {
+    values.push_back(counter("QueueDepth." + subscriber.uri,
+                             static_cast<double>(subscriber.queue_depth),
+                             subscriber.uri));
+    values.push_back(counter("CursorLag." + subscriber.uri,
+                             static_cast<double>(subscriber.cursor_lag),
+                             subscriber.uri));
+    subscribers.push_back(json::Json::Obj(
+        {{"Subscription", subscriber.uri},
+         {"Destination", subscriber.destination},
+         {"Stream", subscriber.stream},
+         {"QueueDepth", static_cast<std::int64_t>(subscriber.queue_depth)},
+         {"Delivered", static_cast<std::int64_t>(subscriber.delivered)},
+         {"Dropped", static_cast<std::int64_t>(subscriber.dropped)},
+         {"Retries", static_cast<std::int64_t>(subscriber.retries)},
+         {"Failures", static_cast<std::int64_t>(subscriber.failures)},
+         {"AckedSequence", static_cast<std::int64_t>(subscriber.acked_sequence)},
+         {"CursorLag", static_cast<std::int64_t>(subscriber.cursor_lag)},
+         {"BreakerState", to_string(subscriber.breaker_state)}}));
+  }
+  json::Json payload = json::Json::Obj({
+      {"Id", "EventDelivery"},
+      {"Name", "Event fan-out delivery state"},
+      {"ReportSequence", 0},
+      {"MetricValues", json::Json(std::move(values))},
+      {"Oem",
+       json::Json::Obj(
+           {{"Ofmf",
+             json::Json::Obj({{"LastSequence",
+                               static_cast<std::int64_t>(snapshot.last_sequence)},
+                              {"Subscribers",
+                               json::Json(std::move(subscribers))}})}})},
+  });
+  const std::string uri = EventDeliveryReportUri();
+  if (delivery_report_exists_ || tree_.Exists(uri)) {
+    OFMF_RETURN_IF_ERROR(tree_.Replace(uri, std::move(payload)));
+  } else {
+    OFMF_RETURN_IF_ERROR(
+        tree_.Create(uri, "#MetricReport.v1_4_2.MetricReport", std::move(payload)));
+    OFMF_RETURN_IF_ERROR(tree_.AddMember(kMetricReports, uri));
+  }
+  delivery_report_exists_ = true;
+  last_delivery_fingerprint_ = std::move(fingerprint);
+  return Status::Ok();
+}
+
 std::string TelemetryService::RequestLatencyReportUri() {
   return std::string(kMetricReports) + "/RequestLatency";
 }

@@ -80,6 +80,16 @@ class TelemetryService {
   /// URI of the latency-histogram report.
   static std::string RequestLatencyReportUri();
 
+  /// Creates-or-replaces the "EventDelivery" MetricReport with the event
+  /// fan-out engine's state: per-subscriber queue depth, drops, retries,
+  /// failures, cursor lag, and breaker state, plus fleet-wide totals.
+  /// Quiet like the other service-internal reports: no event, no-op when
+  /// nothing moved.
+  Status UpdateEventDeliveryReport(const DeliverySnapshot& snapshot);
+
+  /// URI of the event fan-out delivery report.
+  static std::string EventDeliveryReportUri();
+
  private:
   redfish::ResourceTree& tree_;
   EventService& events_;
@@ -96,6 +106,10 @@ class TelemetryService {
   std::mutex latency_report_mu_;
   std::string last_latency_fingerprint_;
   bool latency_report_exists_ = false;
+
+  std::mutex delivery_report_mu_;
+  std::string last_delivery_fingerprint_;
+  bool delivery_report_exists_ = false;
 };
 
 }  // namespace ofmf::core

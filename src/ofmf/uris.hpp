@@ -15,6 +15,7 @@ inline constexpr const char* kSessionService = "/redfish/v1/SessionService";
 inline constexpr const char* kSessions = "/redfish/v1/SessionService/Sessions";
 inline constexpr const char* kEventService = "/redfish/v1/EventService";
 inline constexpr const char* kSubscriptions = "/redfish/v1/EventService/Subscriptions";
+inline constexpr const char* kEventServiceSse = "/redfish/v1/EventService/SSE";
 inline constexpr const char* kTaskService = "/redfish/v1/TaskService";
 inline constexpr const char* kTasks = "/redfish/v1/TaskService/Tasks";
 inline constexpr const char* kTelemetryService = "/redfish/v1/TelemetryService";

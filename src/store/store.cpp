@@ -9,6 +9,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 
 #include "common/clock.hpp"
 #include "common/logging.hpp"
@@ -55,6 +56,16 @@ std::string EncodeSession(const DurableSession& session) {
                                           {"id", session.id},
                                           {"user", session.user},
                                           {"token", session.token}}));
+}
+
+std::string EncodeEvent(std::uint64_t sequence, const json::Json& record) {
+  return json::Serialize(json::Json::Obj(
+      {{"op", "evt"}, {"seq", static_cast<std::int64_t>(sequence)}, {"rec", record}}));
+}
+
+std::string EncodeCursor(const std::string& uri, std::uint64_t sequence) {
+  return json::Serialize(json::Json::Obj(
+      {{"op", "cur"}, {"uri", uri}, {"seq", static_cast<std::int64_t>(sequence)}}));
 }
 
 }  // namespace
@@ -140,6 +151,15 @@ void PersistentStore::LogMutation(const redfish::ResourceTree::Mutation& mutatio
 
 void PersistentStore::LogSession(const DurableSession& session) {
   AppendRecord(EncodeSession(session));
+}
+
+void PersistentStore::LogEvent(std::uint64_t sequence, const json::Json& record) {
+  AppendRecord(EncodeEvent(sequence, record));
+}
+
+void PersistentStore::LogEventCursor(const std::string& subscription_uri,
+                                     std::uint64_t sequence) {
+  AppendRecord(EncodeCursor(subscription_uri, sequence));
 }
 
 void PersistentStore::AppendRecord(std::string payload) {
@@ -263,6 +283,12 @@ bool PersistentStore::compaction_due() const {
 
 Status PersistentStore::Compact(const std::function<json::Json()>& export_state,
                                 const std::vector<DurableSession>& sessions) {
+  return Compact(export_state, sessions, DurableEventState{});
+}
+
+Status PersistentStore::Compact(const std::function<json::Json()>& export_state,
+                                const std::vector<DurableSession>& sessions,
+                                const DurableEventState& events) {
   // Handle() triggers compaction from per-connection threads whenever it is
   // due; two interleaved compactions would clobber each other's carry_ and
   // could rotate an older snapshot over a newer one after deleting the
@@ -294,6 +320,19 @@ Status PersistentStore::Compact(const std::function<json::Json()>& export_state,
         {{"id", session.id}, {"user", session.user}, {"token", session.token}}));
   }
   doc.as_object().Set("sessions", json::Json(std::move(session_records)));
+  doc.as_object().Set("eventseq", static_cast<std::int64_t>(events.next_sequence));
+  json::Array event_records;
+  for (const auto& [sequence, record] : events.events) {
+    event_records.push_back(json::Json::Obj(
+        {{"seq", static_cast<std::int64_t>(sequence)}, {"rec", record}}));
+  }
+  doc.as_object().Set("events", json::Json(std::move(event_records)));
+  json::Array cursor_records;
+  for (const auto& [uri, sequence] : events.cursors) {
+    cursor_records.push_back(json::Json::Obj(
+        {{"uri", uri}, {"seq", static_cast<std::int64_t>(sequence)}}));
+  }
+  doc.as_object().Set("cursors", json::Json(std::move(cursor_records)));
   const std::string serialized = json::Serialize(doc);
 
   std::lock_guard<std::mutex> lock(mu_);
@@ -395,6 +434,12 @@ Result<PersistentStore::RecoveredState> PersistentStore::Recover(
   }
   Stopwatch timer;
   RecoveredState recovered;
+  // Cursor records are last-wins (snapshot first, then journal order); fold
+  // through a map and flatten at the end.
+  std::map<std::string, std::uint64_t> cursors;
+  auto note_sequence = [&recovered](std::uint64_t sequence) {
+    recovered.events.next_sequence = std::max(recovered.events.next_sequence, sequence);
+  };
 
   // 1. Snapshot (when present and intact).
   {
@@ -469,6 +514,23 @@ Result<PersistentStore::RecoveredState> PersistentStore::Recover(
                                           entry.GetString("token")});
           }
         }
+        note_sequence(static_cast<std::uint64_t>(doc.GetInt("eventseq", 0)));
+        const json::Json& events = doc.at("events");
+        if (events.is_array()) {
+          for (const json::Json& entry : events.as_array()) {
+            const auto sequence = static_cast<std::uint64_t>(entry.GetInt("seq", 0));
+            recovered.events.events.emplace_back(sequence, entry.at("rec"));
+            note_sequence(sequence);
+          }
+        }
+        const json::Json& snapshot_cursors = doc.at("cursors");
+        if (snapshot_cursors.is_array()) {
+          for (const json::Json& entry : snapshot_cursors.as_array()) {
+            const auto sequence = static_cast<std::uint64_t>(entry.GetInt("seq", 0));
+            cursors[entry.GetString("uri")] = sequence;
+            note_sequence(sequence);
+          }
+        }
       }
     }
   }
@@ -492,6 +554,14 @@ Result<PersistentStore::RecoveredState> PersistentStore::Recover(
       } else if (op == "sess") {
         recovered.sessions.push_back(
             {doc.GetString("id"), doc.GetString("user"), doc.GetString("token")});
+      } else if (op == "evt") {
+        const auto sequence = static_cast<std::uint64_t>(doc.GetInt("seq", 0));
+        recovered.events.events.emplace_back(sequence, doc.at("rec"));
+        note_sequence(sequence);
+      } else if (op == "cur") {
+        const auto sequence = static_cast<std::uint64_t>(doc.GetInt("seq", 0));
+        cursors[doc.GetString("uri")] = sequence;
+        note_sequence(sequence);
       }  // unknown ops are skipped: forward compatibility
       ++recovered.report.records_replayed;
     }
@@ -510,6 +580,7 @@ Result<PersistentStore::RecoveredState> PersistentStore::Recover(
     }
   }
 
+  recovered.events.cursors.assign(cursors.begin(), cursors.end());
   recovered.report.resources = tree.size();
   recovered.report.sessions = recovered.sessions.size();
   recovered.report.recover_seconds = timer.ElapsedSeconds();

@@ -82,6 +82,21 @@ struct DurableSession {
   std::string token;
 };
 
+/// Durable event-delivery state: the publisher's sequence counter, the
+/// bounded tail of published event records, and each subscription's
+/// acknowledged-delivery cursor. Journaled incrementally ("evt"/"cur"
+/// records) and folded into every snapshot, so after crash recovery the
+/// EventService resumes each subscription at its cursor — acknowledged
+/// events are never redelivered and unacknowledged ones are never lost.
+struct DurableEventState {
+  std::uint64_t next_sequence = 0;  // highest sequence ever assigned
+  /// Published event records (sequence -> serialized Event document),
+  /// oldest first. Bounded by the EventService's retention window.
+  std::vector<std::pair<std::uint64_t, json::Json>> events;
+  /// Subscription URI -> highest acknowledged sequence.
+  std::vector<std::pair<std::string, std::uint64_t>> cursors;
+};
+
 struct RecoveryReport {
   bool had_snapshot = false;
   bool snapshot_discarded = false;  // corrupt snapshot set aside (opt-in)
@@ -112,6 +127,16 @@ class PersistentStore {
   /// Journals a session secret (replayed to the SessionService on recovery).
   void LogSession(const DurableSession& session);
 
+  /// Journals one published event record (sequence + serialized document).
+  /// Replay feeds the EventService's retained log, so events published but
+  /// not yet acknowledged by every subscriber survive a crash.
+  void LogEvent(std::uint64_t sequence, const json::Json& record);
+
+  /// Journals a subscription's delivery cursor: every event with a sequence
+  /// <= `sequence` has been acknowledged by the destination. Last record
+  /// wins on replay.
+  void LogEventCursor(const std::string& subscription_uri, std::uint64_t sequence);
+
   /// Commits everything buffered (group commit now).
   Status Flush();
 
@@ -126,10 +151,15 @@ class PersistentStore {
   /// idempotent, so the overlap is harmless and nothing is lost to rotation.
   Status Compact(const std::function<json::Json()>& export_state,
                  const std::vector<DurableSession>& sessions);
+  /// As above, additionally folding event-delivery state into the snapshot.
+  Status Compact(const std::function<json::Json()>& export_state,
+                 const std::vector<DurableSession>& sessions,
+                 const DurableEventState& events);
 
   struct RecoveredState {
     RecoveryReport report;
     std::vector<DurableSession> sessions;
+    DurableEventState events;
   };
 
   /// Loads the snapshot and replays the journal into `tree` (wholesale; the

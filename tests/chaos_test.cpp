@@ -7,6 +7,7 @@
 #include <gmock/gmock.h>
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
@@ -327,6 +328,71 @@ TEST_F(ChaosTest, CrashMidChurnThenRecoveryRestoresConsistency) {
                                 Json::Arr({Json::Obj({{"@odata.id", free[0]}})})}})}}));
     EXPECT_TRUE(post_recovery.ok());
   }
+}
+
+TEST_F(ChaosTest, SubscriberFlappingUnderChurnStaysFaultIsolated) {
+  // Event subscribers come and go mid-churn while their endpoint fails every
+  // third push. Fault isolation means none of that may leak back into the
+  // control plane: composition invariants hold, the publish path performs no
+  // network sends, and healthy pushes still land.
+  auto delivered = std::make_shared<std::atomic<int>>(0);
+  auto push_calls = std::make_shared<std::atomic<int>>(0);
+  ofmf_.events().set_client_factory([delivered, push_calls](const std::string&) {
+    return std::make_unique<http::InProcessClient>(
+        [delivered, push_calls](const http::Request&) {
+          if (++*push_calls % 3 == 0) return http::MakeTextResponse(503, "flap");
+          ++*delivered;
+          return http::MakeEmptyResponse(204);
+        });
+  });
+  core::DeliveryConfig delivery;
+  delivery.base_backoff_ms = 1;
+  delivery.max_backoff_ms = 4;
+  delivery.breaker_cooldown_ms = 2;
+  ofmf_.events().ConfigureDelivery(delivery);
+
+  chaos_->ArmProbability("chaos.rsp", FaultKind::kDropResponse, 0.05);
+
+  std::vector<std::string> live;
+  std::vector<std::string> subscriptions;
+  int next_subscriber = 0;
+  const int iters = std::min(ChaosIters(), 150);
+  for (int i = 0; i < iters; ++i) {
+    if (i % 5 == 0) {  // a new push subscriber joins mid-churn
+      auto uri = ofmf_.events().Subscribe(Json::Obj(
+          {{"Destination", "http://flap" + std::to_string(next_subscriber++) + "/events"},
+           {"Protocol", "Redfish"}}));
+      ASSERT_TRUE(uri.ok());
+      subscriptions.push_back(*uri);
+    }
+    if (i % 7 == 6 && !subscriptions.empty()) {  // and an old one leaves
+      ASSERT_TRUE(ofmf_.events().Unsubscribe(subscriptions.front()).ok());
+      subscriptions.erase(subscriptions.begin());
+    }
+    if (i % 3 != 2) {
+      composability::CompositionRequest request;
+      request.name = "job" + std::to_string(i);
+      request.cores = 8;
+      if (auto system = manager_->Compose(request); system.ok()) {
+        live.push_back(system->system_uri);
+      }
+    } else if (live.size() > 1 && manager_->Decompose(live.front()).ok()) {
+      live.erase(live.begin());
+    }
+    if (i % 10 == 9) CheckInvariants();
+  }
+
+  chaos_->set_enabled(false);
+  ASSERT_TRUE(ofmf_.events().FlushDelivery(15000));
+  CheckInvariants();
+
+  // Fault isolation, measured: no publish ever touched the network, the
+  // flaky endpoints never wedged the engine, and healthy pushes got through.
+  EXPECT_EQ(ofmf_.events().publish_path_sends(), 0u);
+  EXPECT_GT(delivered->load(), 0);
+  const core::DeliverySnapshot snapshot = ofmf_.events().CollectDelivery();
+  EXPECT_EQ(snapshot.total_queued, 0u);
+  EXPECT_GT(snapshot.delivered, 0u);
 }
 
 TEST_F(ChaosTest, LinkFlapHealsAndGraphReconverges) {

@@ -174,12 +174,14 @@ TEST_F(OfmfTest, PushDeliveryFailuresCounted) {
                   .Subscribe(*Parse(
                       R"({"Destination":"http://10.0.0.1/sink","Protocol":"Redfish"})"))
                   .ok());
-  // No client factory installed -> delivery failure counted.
+  // No client factory installed -> delivery failure counted once the
+  // asynchronous engine exhausts its retry budget.
   Event event;
   event.event_type = "Alert";
   event.message_id = "Test.1.0.Alert";
   event.origin = kServiceRoot;
   ofmf_.events().Publish(event);
+  ASSERT_TRUE(ofmf_.events().FlushDelivery(5000));
   EXPECT_EQ(ofmf_.events().delivery_failures(), 1u);
 }
 
@@ -497,9 +499,12 @@ TEST_F(OfmfTest, AuditActionFlagsInjectedViolations) {
 // -------------------------------------------------- Push event delivery ---
 
 TEST_F(OfmfTest, PushDeliveryThroughClientFactory) {
-  // A second OFMF-ish sink service receives pushed events.
+  // A second OFMF-ish sink service receives pushed events (on a delivery
+  // worker thread, hence the lock).
+  std::mutex received_mu;
   std::vector<Json> received;
   http::ServerHandler sink = [&](const http::Request& request) {
+    std::lock_guard<std::mutex> lock(received_mu);
     received.push_back(*Parse(request.body));
     return http::MakeEmptyResponse(204);
   };
@@ -518,6 +523,8 @@ TEST_F(OfmfTest, PushDeliveryThroughClientFactory) {
   event.message = "pushed";
   event.origin = kServiceRoot;
   ofmf_.events().Publish(event);
+  ASSERT_TRUE(ofmf_.events().FlushDelivery(5000));
+  std::lock_guard<std::mutex> lock(received_mu);
   ASSERT_EQ(received.size(), 1u);
   EXPECT_EQ(received[0].at("Events").as_array()[0].GetString("MessageId"),
             "Test.1.0.Pushed");
@@ -525,12 +532,11 @@ TEST_F(OfmfTest, PushDeliveryThroughClientFactory) {
 }
 
 TEST_F(OfmfTest, PushDeliveryRetriesFlakySink) {
-  int calls = 0;
+  std::atomic<int> calls{0};
   http::ServerHandler flaky = [&](const http::Request&) {
-    ++calls;
     // Fail twice, then accept.
-    return calls < 3 ? http::MakeTextResponse(503, "busy")
-                     : http::MakeEmptyResponse(204);
+    return ++calls < 3 ? http::MakeTextResponse(503, "busy")
+                       : http::MakeEmptyResponse(204);
   };
   ofmf_.events().set_client_factory(
       [&](const std::string&) -> std::unique_ptr<http::HttpClient> {
@@ -545,20 +551,24 @@ TEST_F(OfmfTest, PushDeliveryRetriesFlakySink) {
   event.message_id = "Test.1.0.Retry";
   event.origin = kServiceRoot;
   ofmf_.events().Publish(event);
-  EXPECT_EQ(calls, 3);  // two failures + final success
+  ASSERT_TRUE(ofmf_.events().FlushDelivery(5000));
+  EXPECT_EQ(calls.load(), 3);  // two failures + final success
   EXPECT_EQ(ofmf_.events().delivery_failures(), 0u);
   EXPECT_EQ(ofmf_.events().delivery_retries(), 2u);
 
   // A sink that never recovers exhausts the attempts and counts a failure.
   calls = -100;  // stays < 3 for the whole retry budget
   ofmf_.events().Publish(event);
+  ASSERT_TRUE(ofmf_.events().FlushDelivery(5000));
   EXPECT_EQ(ofmf_.events().delivery_failures(), 1u);
 
-  // Retry budget is configurable and clamped to >= 1.
+  // Retry budget is configurable and clamped to >= 1. The breaker opened on
+  // the failures above, so the single attempt lands after its cooldown.
   ofmf_.events().set_retry_attempts(0);
   calls = -100;
   ofmf_.events().Publish(event);
-  EXPECT_EQ(calls, -99);  // exactly one attempt
+  ASSERT_TRUE(ofmf_.events().FlushDelivery(5000));
+  EXPECT_EQ(calls.load(), -99);  // exactly one attempt
 }
 
 // -------------------------------------------------------- Graceful drain ---
