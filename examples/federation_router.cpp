@@ -1,0 +1,193 @@
+// Federated OFMF in one process: a directory service, two OFMF shards, and
+// the router front tier, all on real TCP sockets. A wire client then talks
+// only to the router and sees one logical Redfish service — aggregated
+// collections, transparent single-resource routing, and a cross-shard
+// composition carried out by the router's two-phase claim.
+//
+//   $ ./examples/federation_router            # self-driving demo, ephemeral ports
+//   $ ./examples/federation_router 8000 7000  # router on :8000, directory on :7000,
+//       # serve until SIGINT/SIGTERM; start shards separately with
+//       #   ./examples/rest_server 8081 0 --shard-id s1 --directory 7000
+//       #   ./examples/rest_server 8082 0 --shard-id s2 --directory 7000
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "composability/client.hpp"
+#include "federation/directory.hpp"
+#include "federation/directory_client.hpp"
+#include "federation/router.hpp"
+#include "json/pointer.hpp"
+#include "json/serialize.hpp"
+#include "ofmf/service.hpp"
+#include "ofmf/uris.hpp"
+
+using namespace ofmf;
+using json::Json;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleStopSignal(int) { g_stop = 1; }
+
+// One shard: an OfmfService with its own identity and a few resource blocks,
+// served on an ephemeral port.
+struct Shard {
+  std::string id;
+  core::OfmfService service;
+  http::TcpServer server;
+
+  bool Start(const std::string& shard_id, const std::string& block_prefix) {
+    id = shard_id;
+    if (!service.Bootstrap().ok()) return false;
+    service.set_shard_identity(shard_id);
+    for (int i = 0; i < 2; ++i) {
+      core::BlockCapability block;
+      block.id = block_prefix + std::to_string(i);
+      block.block_type = "Compute";
+      block.cores = 16;
+      block.memory_gib = 64;
+      (void)service.composition().RegisterBlock(block);
+    }
+    (void)service.CreateFabricSkeleton("fabric-" + shard_id, "NVMeoF", shard_id);
+    return service.tree().Exists(core::kServiceRoot) &&
+           server.Start(service.Handler(), 0).ok();
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint16_t router_port = 0;
+  std::uint16_t directory_port = 0;
+  if (argc > 1) router_port = static_cast<std::uint16_t>(std::atoi(argv[1]));
+  if (argc > 2) directory_port = static_cast<std::uint16_t>(std::atoi(argv[2]));
+
+  // Directory tier.
+  federation::DirectoryService directory;
+  http::TcpServer directory_server;
+  if (!directory_server.Start(directory.Handler(), directory_port).ok()) {
+    std::fprintf(stderr, "failed to bind directory port %u\n", directory_port);
+    return 1;
+  }
+  std::printf("directory on http://127.0.0.1:%u%s\n", directory_server.port(),
+              federation::kDirectoryTablePath);
+
+  // Router tier.
+  federation::FederationRouter router(
+      std::make_shared<federation::DirectoryClient>(directory_server.port()));
+  http::TcpServer router_server;
+  if (!router_server.Start(router.Handler(), router_port).ok()) {
+    std::fprintf(stderr, "failed to bind router port %u\n", router_port);
+    return 1;
+  }
+  std::printf("router on http://127.0.0.1:%u/redfish/v1\n\n", router_server.port());
+
+  if (argc > 1) {
+    // Hosted mode: serve until a signal; shards register themselves.
+    std::signal(SIGINT, HandleStopSignal);
+    std::signal(SIGTERM, HandleStopSignal);
+    std::printf("register shards with:\n"
+                "  ./examples/rest_server 8081 0 --shard-id s1 --directory %u\n",
+                directory_server.port());
+    while (g_stop == 0) std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    router_server.Stop();
+    directory_server.Stop();
+    return 0;
+  }
+
+  // Self-driving demo: two in-process shards with disjoint block inventories.
+  Shard s1, s2;
+  if (!s1.Start("s1", "cpu") || !s2.Start("s2", "gpu")) return 1;
+  federation::DirectoryClient announcer(directory_server.port());
+  if (!announcer.Register("s1", s1.server.port()).ok()) return 1;
+  if (!announcer.Register("s2", s2.server.port()).ok()) return 1;
+  std::printf("shard s1 on :%u (blocks cpu0, cpu1), shard s2 on :%u (gpu0, gpu1)\n\n",
+              s1.server.port(), s2.server.port());
+
+  composability::OfmfClient client(
+      std::make_unique<http::TcpClient>(router_server.port()));
+
+  // One service root, annotated with the federation view.
+  const Json root = *client.Get(core::kServiceRoot);
+  const Json* federation_view =
+      json::ResolvePointerRef(root, "/Oem/Ofmf/Federation");
+  if (federation_view != nullptr) {
+    std::printf("GET /redfish/v1 -> epoch %lld, %lld/%lld shards alive\n",
+                static_cast<long long>(federation_view->GetInt("Epoch")),
+                static_cast<long long>(federation_view->GetInt("AliveShards")),
+                static_cast<long long>(federation_view->GetInt("Shards")));
+  }
+
+  // Aggregated collections: members from both shards in one page.
+  for (const char* collection :
+       {core::kFabrics, core::kResourceBlocks}) {
+    const auto members = *client.Members(collection);
+    std::printf("GET %s -> %zu members:", collection, members.size());
+    for (const std::string& member : members) std::printf(" %s", member.c_str());
+    std::printf("\n");
+  }
+
+  // Cross-shard composition: one block from each shard. The router claims
+  // both by wire ETag-CAS, then POSTs the system to cpu0's home shard.
+  const std::string cpu0 = std::string(core::kResourceBlocks) + "/cpu0";
+  const std::string gpu0 = std::string(core::kResourceBlocks) + "/gpu0";
+  const auto system_uri = client.Post(
+      core::kSystems,
+      Json::Obj({{"Name", "federated-job"},
+                 {"Links",
+                  Json::Obj({{"ResourceBlocks",
+                              Json::Arr({Json::Obj({{"@odata.id", cpu0}}),
+                                         Json::Obj({{"@odata.id", gpu0}})})}})}}));
+  if (!system_uri.ok()) {
+    std::fprintf(stderr, "cross-shard compose failed: %s\n",
+                 system_uri.status().message().c_str());
+    return 1;
+  }
+  std::printf("\ncross-shard compose -> %s\n", system_uri->c_str());
+  const Json system = *client.Get(*system_uri);
+  std::printf("  system %s: TotalCores=%lld, TotalSystemMemoryGiB=%g\n",
+              system.GetString("Id").c_str(),
+              static_cast<long long>(json::ResolvePointerRef(system, "/ProcessorSummary")
+                                         ->GetInt("CoreCount")),
+              json::ResolvePointerRef(system, "/MemorySummary")
+                  ->GetDouble("TotalSystemMemoryGiB"));
+
+  // Both blocks are Composed now — on their own shards.
+  for (const std::string& uri : {cpu0, gpu0}) {
+    const Json block = *client.Get(uri);
+    std::printf("  %s: %s\n", uri.c_str(),
+                json::ResolvePointerRef(block, "/CompositionStatus")
+                    ->GetString("CompositionState")
+                    .c_str());
+  }
+
+  // Decompose through the router: remote claims are released too.
+  if (!client.Delete(*system_uri).ok()) return 1;
+  const Json released = *client.Get(gpu0);
+  std::printf("decomposed %s; gpu0 back to %s\n", system_uri->c_str(),
+              json::ResolvePointerRef(released, "/CompositionStatus")
+                  ->GetString("CompositionState")
+                  .c_str());
+
+  const auto stats = router.stats();
+  std::printf("\nrouter stats: %llu forwards, %llu aggregations, %llu probes, "
+              "%llu cross-shard composes, %llu rollbacks\n",
+              static_cast<unsigned long long>(stats.forwarded),
+              static_cast<unsigned long long>(stats.aggregations),
+              static_cast<unsigned long long>(stats.probes),
+              static_cast<unsigned long long>(stats.cross_shard_composes),
+              static_cast<unsigned long long>(stats.compose_rollbacks));
+
+  router_server.Stop();
+  directory_server.Stop();
+  s1.server.Stop();
+  s2.server.Stop();
+  std::printf("all tiers stopped.\n");
+  return 0;
+}

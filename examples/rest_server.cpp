@@ -20,6 +20,12 @@
 //       # span tree to stderr via OFMF_WARN. Scrape
 //       # /redfish/v1/TelemetryService/MetricReports/RequestLatency for
 //       # p50/p95/p99, or POST Actions/OfmfService.MetricsDump for raw JSON.
+//   $ ./examples/rest_server 8081 0 --shard-id s1 --directory 7000
+//       # run as one shard of a federated deployment: system ids are
+//       # namespaced "composed-s1-N", the ServiceRoot carries
+//       # Oem.Ofmf.ShardId, and the process registers with the directory
+//       # service on :7000 and heartbeats it until shutdown. Auth is left to
+//       # the router tier in this mode. See examples/federation_router.
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -33,6 +39,7 @@
 #include "agents/nvmeof_agent.hpp"
 #include "common/trace.hpp"
 #include "composability/client.hpp"
+#include "federation/directory_client.hpp"
 #include "json/serialize.hpp"
 #include "ofmf/service.hpp"
 #include "ofmf/uris.hpp"
@@ -52,6 +59,8 @@ int main(int argc, char** argv) {
   std::uint16_t port = 0;
   int linger_seconds = 0;
   std::string store_dir;
+  std::string shard_id;
+  std::uint16_t directory_port = 0;
   double trace_sample = 0.0;
   int slow_ms = 0;
   http::ServerOptions server_options;
@@ -59,6 +68,10 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--store-dir") == 0 && i + 1 < argc) {
       store_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--shard-id") == 0 && i + 1 < argc) {
+      shard_id = argv[++i];
+    } else if (std::strcmp(argv[i], "--directory") == 0 && i + 1 < argc) {
+      directory_port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--trace-sample") == 0 && i + 1 < argc) {
       trace_sample = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--slow-ms") == 0 && i + 1 < argc) {
@@ -134,7 +147,13 @@ int main(int argc, char** argv) {
                 report->records_replayed, report->resources, report->sessions,
                 report->recover_seconds * 1000.0);
   }
-  ofmf.sessions().set_auth_required(true);  // full auth on the wire
+  if (!shard_id.empty()) {
+    // Shard mode: the router tier fronts this instance, so authentication
+    // lives there; the shard serves the router's forwarded requests as-is.
+    ofmf.set_shard_identity(shard_id);
+  } else {
+    ofmf.sessions().set_auth_required(true);  // full auth on the wire
+  }
   (void)ofmf.RegisterAgent(std::make_shared<agents::NvmeofAgent>("NVMeoF", nvme));
   if (ofmf.durable()) {
     auto reconciled = ofmf.ReconcileWithAgents();
@@ -156,6 +175,40 @@ int main(int argc, char** argv) {
               server.port(), server.backend_name());
   std::printf("credentials: admin / ofmf (POST %s)\n\n", core::kSessions);
 
+  // Federation: announce this shard to the directory and keep heartbeating
+  // it so the routing table holds us alive. A heartbeat answered with
+  // NotFound means the directory restarted — re-register.
+  std::atomic<bool> heartbeat_stop{false};
+  std::thread heartbeat;
+  std::unique_ptr<federation::DirectoryClient> directory;
+  if (!shard_id.empty() && directory_port != 0) {
+    directory = std::make_unique<federation::DirectoryClient>(directory_port);
+    const auto registered = directory->Register(shard_id, server.port());
+    if (!registered.ok()) {
+      std::fprintf(stderr, "directory register failed: %s\n",
+                   registered.status().message().c_str());
+    } else {
+      std::printf("shard %s registered with directory :%u (epoch %llu)\n",
+                  shard_id.c_str(), directory_port,
+                  static_cast<unsigned long long>(*registered));
+    }
+    heartbeat = std::thread([&] {
+      while (!heartbeat_stop.load(std::memory_order_relaxed)) {
+        const Status beat = directory->Heartbeat(shard_id);
+        if (beat.code() == ErrorCode::kNotFound) {
+          (void)directory->Register(shard_id, server.port());
+        }
+        for (int i = 0; i < 10 && !heartbeat_stop.load(std::memory_order_relaxed); ++i) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+      }
+    });
+  }
+  const auto stop_heartbeat = [&] {
+    heartbeat_stop.store(true, std::memory_order_relaxed);
+    if (heartbeat.joinable()) heartbeat.join();
+  };
+
   if (linger_seconds > 0 || !store_dir.empty()) {
     std::signal(SIGINT, HandleStopSignal);
     std::signal(SIGTERM, HandleStopSignal);
@@ -176,6 +229,7 @@ int main(int argc, char** argv) {
     }
     // Drain first (new mutations get 503 + Retry-After while in-flight
     // handlers finish), then stop the reactor, then flush the store.
+    stop_heartbeat();
     ofmf.BeginDrain();
     server.Stop();
     if (ofmf.durable()) {
@@ -225,6 +279,7 @@ int main(int argc, char** argv) {
     std::printf("storage connection created: %s\n", connection->c_str());
   }
   if (ofmf.durable()) (void)ofmf.FlushStore();
+  stop_heartbeat();
   server.Stop();
   std::printf("server stopped.\n");
   return 0;

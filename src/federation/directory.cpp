@@ -1,0 +1,141 @@
+#include "federation/directory.hpp"
+
+#include <algorithm>
+
+#include "json/parse.hpp"
+
+namespace ofmf::federation {
+
+DirectoryService::DirectoryService(DirectoryOptions options)
+    : options_(options) {}
+
+std::uint64_t DirectoryService::Register(const std::string& shard_id,
+                                         std::uint16_t port) {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  RefreshLivenessLocked(now);
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const Entry& e) { return e.info.id == shard_id; });
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.info = ShardInfo{shard_id, port, true};
+    entry.last_heartbeat = now;
+    entries_.push_back(std::move(entry));
+    std::sort(entries_.begin(), entries_.end(),
+              [](const Entry& a, const Entry& b) { return a.info.id < b.info.id; });
+    ++epoch_;
+  } else {
+    // Re-registration: refresh liveness; a port change (shard restarted on a
+    // new ephemeral port) is a membership change and bumps the epoch.
+    it->last_heartbeat = now;
+    if (it->info.port != port || !it->info.alive) {
+      it->info.port = port;
+      it->info.alive = true;
+      ++epoch_;
+    }
+  }
+  return epoch_;
+}
+
+Status DirectoryService::Heartbeat(const std::string& shard_id) {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const Entry& e) { return e.info.id == shard_id; });
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown shard " + shard_id + "; re-register");
+  }
+  it->last_heartbeat = now;
+  if (!it->info.alive) {
+    it->info.alive = true;
+    ++epoch_;
+  }
+  RefreshLivenessLocked(now);
+  return Status::Ok();
+}
+
+void DirectoryService::RefreshLivenessLocked(
+    std::chrono::steady_clock::time_point now) {
+  const auto timeout = std::chrono::milliseconds(options_.heartbeat_timeout_ms);
+  bool flipped = false;
+  for (auto& e : entries_) {
+    const bool fresh = now - e.last_heartbeat <= timeout;
+    if (e.info.alive != fresh) {
+      e.info.alive = fresh;
+      flipped = true;
+    }
+  }
+  if (flipped) ++epoch_;
+}
+
+RoutingTable DirectoryService::TableLocked() {
+  RoutingTable table;
+  table.epoch = epoch_;
+  table.shards.reserve(entries_.size());
+  for (const auto& e : entries_) table.shards.push_back(e.info);
+  return table;
+}
+
+RoutingTable DirectoryService::Table() {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  RefreshLivenessLocked(now);
+  return TableLocked();
+}
+
+std::uint64_t DirectoryService::epoch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RefreshLivenessLocked(std::chrono::steady_clock::now());
+  return epoch_;
+}
+
+http::ServerHandler DirectoryService::Handler() {
+  return [this](const http::Request& req) -> http::Response {
+    if (req.path == kDirectoryTablePath && req.method == http::Method::kGet) {
+      RoutingTable table = Table();
+      const std::string etag = "\"" + std::to_string(table.epoch) + "\"";
+      if (req.headers.GetOr("If-None-Match", "") == etag) {
+        http::Response resp = http::MakeEmptyResponse(304);
+        resp.headers.Set("ETag", etag);
+        return resp;
+      }
+      http::Response resp = http::MakeJsonResponse(200, table.ToJson());
+      resp.headers.Set("ETag", etag);
+      return resp;
+    }
+    if (req.method == http::Method::kPost &&
+        (req.path == kDirectoryShardsPath || req.path == kDirectoryHeartbeatPath)) {
+      auto body = req.JsonBody();
+      if (!body.ok() || !body.value().is_object()) {
+        return http::MakeJsonResponse(
+            400, json::Json::Obj({{"error", "body must be a JSON object"}}));
+      }
+      const std::string shard_id = body.value().GetString("ShardId");
+      if (shard_id.empty()) {
+        return http::MakeJsonResponse(
+            400, json::Json::Obj({{"error", "ShardId required"}}));
+      }
+      if (req.path == kDirectoryShardsPath) {
+        const auto port = body.value().GetInt("Port", 0);
+        if (port <= 0 || port > 65535) {
+          return http::MakeJsonResponse(
+              400, json::Json::Obj({{"error", "Port required"}}));
+        }
+        const std::uint64_t epoch =
+            Register(shard_id, static_cast<std::uint16_t>(port));
+        return http::MakeJsonResponse(
+            200, json::Json::Obj({{"Epoch", static_cast<long long>(epoch)}}));
+      }
+      const Status status = Heartbeat(shard_id);
+      if (!status.ok()) {
+        return http::MakeJsonResponse(
+            404, json::Json::Obj({{"error", status.message()}}));
+      }
+      return http::MakeJsonResponse(200, json::Json::Obj({{"Ok", true}}));
+    }
+    return http::MakeJsonResponse(
+        404, json::Json::Obj({{"error", "no such directory endpoint"}}));
+  };
+}
+
+}  // namespace ofmf::federation

@@ -1,0 +1,70 @@
+// DirectoryService: the DirMan-style runtime directory for a federated OFMF.
+// Shards register themselves and heartbeat; routers fetch the epoch-versioned
+// RoutingTable and revalidate it cheaply with the epoch as an ETag (304 on
+// match). Liveness is evaluated lazily from heartbeat age — there is no
+// background thread — and any flip bumps the epoch so cached tables expire.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "federation/routing.hpp"
+#include "http/server.hpp"
+
+namespace ofmf::federation {
+
+struct DirectoryOptions {
+  /// A shard missing heartbeats for longer than this is marked dead in the
+  /// table (and revived by its next heartbeat); each flip bumps the epoch.
+  int heartbeat_timeout_ms = 5000;
+};
+
+/// Paths served by Handler(). Deliberately outside /redfish — the directory
+/// is internal control plane, not a Redfish resource.
+inline constexpr char kDirectoryTablePath[] = "/directory/table";
+inline constexpr char kDirectoryShardsPath[] = "/directory/shards";
+inline constexpr char kDirectoryHeartbeatPath[] = "/directory/heartbeat";
+
+class DirectoryService {
+ public:
+  explicit DirectoryService(DirectoryOptions options = {});
+
+  /// Registers (or re-registers, e.g. after restart on a new port) a shard.
+  /// Registration counts as a heartbeat. Returns the new epoch.
+  std::uint64_t Register(const std::string& shard_id, std::uint16_t port);
+
+  /// Refreshes the shard's liveness clock. Unknown shards get kNotFound so a
+  /// restarted directory tells them to re-register.
+  Status Heartbeat(const std::string& shard_id);
+
+  /// Current table with liveness freshly evaluated (may bump the epoch).
+  RoutingTable Table();
+
+  std::uint64_t epoch();
+
+  /// HTTP face: GET /directory/table (ETag/If-None-Match revalidation),
+  /// POST /directory/shards {ShardId, Port}, POST /directory/heartbeat
+  /// {ShardId}. Anything else is 404.
+  http::ServerHandler Handler();
+
+ private:
+  struct Entry {
+    ShardInfo info;
+    std::chrono::steady_clock::time_point last_heartbeat;
+  };
+
+  /// Re-evaluates liveness under mu_; bumps epoch_ on any flip.
+  void RefreshLivenessLocked(std::chrono::steady_clock::time_point now);
+  RoutingTable TableLocked();
+
+  DirectoryOptions options_;
+  std::mutex mu_;
+  std::uint64_t epoch_ = 0;
+  std::vector<Entry> entries_;  // sorted by shard id
+};
+
+}  // namespace ofmf::federation

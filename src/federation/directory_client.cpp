@@ -1,0 +1,91 @@
+#include "federation/directory_client.hpp"
+
+#include "federation/directory.hpp"
+#include "json/parse.hpp"
+
+namespace ofmf::federation {
+
+DirectoryClient::DirectoryClient(std::uint16_t directory_port, int max_age_ms)
+    : client_(std::make_unique<http::TcpClient>(directory_port, 5000)),
+      max_age_ms_(max_age_ms) {}
+
+DirectoryClient::DirectoryClient(std::unique_ptr<http::HttpClient> client,
+                                 int max_age_ms)
+    : client_(std::move(client)), max_age_ms_(max_age_ms) {}
+
+Result<std::uint64_t> DirectoryClient::Register(const std::string& shard_id,
+                                                std::uint16_t port) {
+  auto resp = client_->PostJson(
+      kDirectoryShardsPath,
+      json::Json::Obj({{"ShardId", shard_id}, {"Port", static_cast<int>(port)}}));
+  if (!resp.ok()) return resp.status();
+  if (!resp.value().ok()) {
+    return Status::Unavailable("directory register failed: HTTP " +
+                               std::to_string(resp.value().status));
+  }
+  auto body = json::Parse(resp.value().body.view());
+  if (!body.ok()) return body.status();
+  Invalidate();  // membership changed; refetch on next Table()
+  return static_cast<std::uint64_t>(body.value().GetInt("Epoch", 0));
+}
+
+Status DirectoryClient::Heartbeat(const std::string& shard_id) {
+  auto resp = client_->PostJson(kDirectoryHeartbeatPath,
+                                json::Json::Obj({{"ShardId", shard_id}}));
+  if (!resp.ok()) return resp.status();
+  if (resp.value().status == 404) {
+    return Status::NotFound("directory does not know shard " + shard_id);
+  }
+  if (!resp.value().ok()) {
+    return Status::Unavailable("directory heartbeat failed: HTTP " +
+                               std::to_string(resp.value().status));
+  }
+  return Status::Ok();
+}
+
+Result<RoutingTable> DirectoryClient::Table() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto now = std::chrono::steady_clock::now();
+  if (have_cache_ &&
+      now - fetched_at_ < std::chrono::milliseconds(max_age_ms_)) {
+    return cache_;
+  }
+  http::Request req = http::MakeRequest(http::Method::kGet, kDirectoryTablePath);
+  if (have_cache_ && !etag_.empty()) {
+    req.headers.Set("If-None-Match", etag_);
+    ++revalidations_;
+  }
+  auto resp = client_->Send(req);
+  if (!resp.ok()) {
+    // Directory unreachable: serve the stale cache if we have one.
+    if (have_cache_) return cache_;
+    return resp.status();
+  }
+  if (resp.value().status == 304 && have_cache_) {
+    ++not_modified_;
+    fetched_at_ = now;
+    return cache_;
+  }
+  if (!resp.value().ok()) {
+    if (have_cache_) return cache_;
+    return Status::Unavailable("directory table fetch failed: HTTP " +
+                               std::to_string(resp.value().status));
+  }
+  auto body = json::Parse(resp.value().body.view());
+  if (!body.ok()) return body.status();
+  auto table = RoutingTable::FromJson(body.value());
+  if (!table.ok()) return table.status();
+  cache_ = std::move(table.value());
+  etag_ = resp.value().headers.GetOr("ETag", "");
+  fetched_at_ = now;
+  have_cache_ = true;
+  return cache_;
+}
+
+void DirectoryClient::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  have_cache_ = false;
+  etag_.clear();
+}
+
+}  // namespace ofmf::federation

@@ -1,0 +1,805 @@
+#include "federation/router.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+#include "http/uri.hpp"
+#include "json/parse.hpp"
+#include "json/pointer.hpp"
+#include "json/serialize.hpp"
+#include "odata/annotations.hpp"
+#include "ofmf/uris.hpp"
+#include "redfish/errors.hpp"
+
+namespace ofmf::federation {
+namespace {
+
+using core::kFabrics;
+using core::kResourceBlocks;
+using core::kServiceRoot;
+using core::kSystems;
+
+/// Collections whose members are spread across shards and whose GETs are
+/// served by scatter-gather. Everything else forwards to a single shard.
+const char* const kAggregatedCollections[] = {
+    core::kFabrics,         core::kSystems,         core::kChassis,
+    core::kStorageServices, core::kResourceBlocks,
+};
+
+bool IsAggregatedCollection(const std::string& path) {
+  for (const char* c : kAggregatedCollections) {
+    if (path == c) return true;
+  }
+  return false;
+}
+
+/// The aggregated collection `path` is a member of, or empty. Longest match
+/// first so /CompositionService/ResourceBlocks/x does not match a shorter
+/// prefix.
+std::string CollectionOf(const std::string& path) {
+  std::string best;
+  for (const char* c : kAggregatedCollections) {
+    const std::string prefix = std::string(c) + "/";
+    if (strings::StartsWith(path, prefix) && std::string(c).size() > best.size()) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::string BuildTarget(const std::string& path,
+                        const std::map<std::string, std::string>& query) {
+  if (query.empty()) return path;
+  std::string target = path;
+  char sep = '?';
+  for (const auto& [key, value] : query) {
+    target += sep;
+    sep = '&';
+    target += key;  // OData option names ($top, $filter) are URI-safe as-is
+    target += '=';
+    target += http::PercentEncode(value);
+  }
+  return target;
+}
+
+/// Parses a "$fedskip" continuation token: "<shard-id>:<per-shard-offset>".
+std::optional<std::pair<std::string, long long>> ParseFedSkip(const std::string& value) {
+  const std::size_t colon = value.rfind(':');
+  if (colon == std::string::npos || colon == 0) return std::nullopt;
+  const std::string offset = value.substr(colon + 1);
+  if (offset.empty() || !strings::IsDigits(offset)) return std::nullopt;
+  return std::make_pair(value.substr(0, colon), std::stoll(offset));
+}
+
+Result<json::Json> ParseCollectionDoc(const http::Response& response) {
+  if (!response.ok()) {
+    return Status::Unavailable("shard answered HTTP " + std::to_string(response.status));
+  }
+  auto doc = json::Parse(response.body.view());
+  if (!doc.ok() || !doc.value().is_object()) {
+    return Status::Internal("shard returned malformed collection body");
+  }
+  return doc;
+}
+
+long long CountOf(const json::Json& doc) {
+  const json::Json& members = doc.at("Members");
+  const long long fallback =
+      members.is_array() ? static_cast<long long>(members.as_array().size()) : 0;
+  return doc.GetInt("Members@odata.count", fallback);
+}
+
+}  // namespace
+
+FederationRouter::FederationRouter(std::shared_ptr<DirectoryClient> directory,
+                                   RouterOptions options)
+    : directory_(std::move(directory)), options_(options) {}
+
+RouterStats FederationRouter::stats() const {
+  RouterStats stats;
+  stats.forwarded = forwarded_.load(std::memory_order_relaxed);
+  stats.aggregations = aggregations_.load(std::memory_order_relaxed);
+  stats.degraded_aggregations = degraded_.load(std::memory_order_relaxed);
+  stats.probes = probes_.load(std::memory_order_relaxed);
+  stats.cross_shard_composes = composes_.load(std::memory_order_relaxed);
+  stats.compose_rollbacks = rollbacks_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+Result<RoutingTable> FederationRouter::TableNow() {
+  auto table = directory_->Table();
+  if (!table.ok()) return table.status();
+  if (table.value().shards.empty()) {
+    return Status::Unavailable("no shards registered with the directory");
+  }
+  return table;
+}
+
+HashRing FederationRouter::RingFor(const RoutingTable& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!have_ring_ || ring_epoch_ != table.epoch) {
+    ring_ = HashRing(table);
+    ring_epoch_ = table.epoch;
+    have_ring_ = true;
+  }
+  return ring_;
+}
+
+std::shared_ptr<http::TcpClient> FederationRouter::ClientFor(const ShardInfo& shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = clients_.find(shard.id);
+  if (it != clients_.end() && client_ports_[shard.id] == shard.port) {
+    return it->second;
+  }
+  auto client =
+      std::make_shared<http::TcpClient>(shard.port, options_.downstream_timeout_ms);
+  clients_[shard.id] = client;
+  client_ports_[shard.id] = shard.port;
+  return client;
+}
+
+Result<http::Response> FederationRouter::SendToShard(const ShardInfo& shard,
+                                                     const http::Request& request) {
+  std::shared_ptr<FaultInjector> faults;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    faults = faults_;
+  }
+  if (faults) {
+    const FaultDecision decision = faults->Evaluate("federation.shard." + shard.id);
+    switch (decision.kind) {
+      case FaultKind::kDelay:
+        std::this_thread::sleep_for(std::chrono::milliseconds(decision.delay_ms));
+        break;
+      case FaultKind::kDropConnection:
+      case FaultKind::kCrash:
+        return Status::Unavailable("shard " + shard.id + " unreachable (injected)");
+      case FaultKind::kErrorStatus:
+        return http::MakeJsonResponse(
+            decision.http_status,
+            redfish::MakeErrorBody("Base.1.0.GeneralError", "injected shard error"));
+      case FaultKind::kDropResponse: {
+        auto ignored = ClientFor(shard)->Send(request);
+        (void)ignored;
+        return Status::Unavailable("shard " + shard.id + " response lost (injected)");
+      }
+      default:
+        break;
+    }
+  }
+  return ClientFor(shard)->Send(request);
+}
+
+http::Response FederationRouter::ForwardTo(const ShardInfo& shard,
+                                           const http::Request& request) {
+  auto resp = SendToShard(shard, request);
+  if (!resp.ok()) {
+    return redfish::ErrorResponse(Status::Unavailable(
+        "shard " + shard.id + " unavailable: " + resp.status().message()));
+  }
+  forwarded_.fetch_add(1, std::memory_order_relaxed);
+  return std::move(resp.value());
+}
+
+const ShardInfo* FederationRouter::DefaultShard(const RoutingTable& table,
+                                                const HashRing& ring) {
+  const auto owner = ring.OwnerOf(kRootKey);
+  if (owner) {
+    const ShardInfo* shard = table.Find(*owner);
+    if (shard != nullptr && shard->alive) return shard;
+  }
+  for (const auto& shard : table.shards) {
+    if (shard.alive) return &shard;
+  }
+  return nullptr;
+}
+
+http::Response FederationRouter::Route(const http::Request& request) {
+  auto table_result = TableNow();
+  if (!table_result.ok()) {
+    return redfish::ErrorResponse(Status::Unavailable(
+        "federation directory unavailable: " + table_result.status().message()));
+  }
+  const RoutingTable& table = table_result.value();
+  const HashRing ring = RingFor(table);
+  const std::string path = http::NormalizePath(request.path);
+
+  // Composition is the one cross-shard mutation: intercept it before
+  // single-shard routing.
+  if (request.method == http::Method::kPost && path == kSystems) {
+    return ComposeRoute(request, table);
+  }
+  if (request.method == http::Method::kDelete &&
+      strings::StartsWith(path, std::string(kSystems) + "/")) {
+    return DecomposeRoute(request, table);
+  }
+
+  // Fabric-pinned paths: the consistent hash names the owner directly.
+  if (const auto key = ShardKeyForPath(path)) {
+    const auto owner = ring.OwnerOf(*key);
+    const ShardInfo* shard = owner ? table.Find(*owner) : nullptr;
+    if (shard == nullptr) {
+      return redfish::ErrorResponse(Status::Unavailable("no shard owns " + *key));
+    }
+    if (!shard->alive) {
+      return redfish::ErrorResponse(Status::Unavailable(
+          "shard " + shard->id + " owning " + *key + " is down"));
+    }
+    return ForwardTo(*shard, request);
+  }
+
+  // Whole aggregated collections: scatter-gather (GET/HEAD only; collection
+  // POSTs other than compose go to the default shard below).
+  if ((request.method == http::Method::kGet || request.method == http::Method::kHead) &&
+      IsAggregatedCollection(path)) {
+    return AggregateCollection(request, table);
+  }
+
+  // A member of an aggregated collection: owner discovered by probing.
+  if (!CollectionOf(path).empty()) {
+    auto shard = ResolveResourceShard(path, table);
+    if (!shard.ok()) return redfish::ErrorResponse(shard.status());
+    http::Response response = ForwardTo(shard.value(), request);
+    if (response.status == 404) {
+      // Stale location (resource deleted or moved): forget it.
+      std::lock_guard<std::mutex> lock(mu_);
+      locations_.erase(path);
+    }
+    return response;
+  }
+
+  // Everything else (service root, service docs, sessions, subscriptions,
+  // telemetry) lives on the deterministic default shard.
+  const ShardInfo* shard = DefaultShard(table, ring);
+  if (shard == nullptr) {
+    return redfish::ErrorResponse(Status::Unavailable("no alive shards"));
+  }
+  http::Response response = ForwardTo(*shard, request);
+  if (path == kServiceRoot && request.method == http::Method::kGet && response.ok()) {
+    // Annotate the root with the federation view so clients can see the
+    // deployment shape without talking to the directory.
+    auto doc = json::Parse(response.body.view());
+    if (doc.ok() && doc.value().is_object()) {
+      json::Json& oem = doc.value()["Oem"];
+      if (!oem.is_object()) oem = json::Json::MakeObject();
+      json::Json& ofmf = oem["Ofmf"];
+      if (!ofmf.is_object()) ofmf = json::Json::MakeObject();
+      ofmf.as_object().Set(
+          "Federation",
+          json::Json::Obj({{"Epoch", static_cast<long long>(table.epoch)},
+                           {"Shards", static_cast<long long>(table.shards.size())},
+                           {"AliveShards", static_cast<long long>(table.AliveCount())}}));
+      response.headers.Remove("ETag");  // body diverges from the shard's ETag
+      response = http::MakeJsonResponse(response.status, doc.value());
+    }
+  }
+  return response;
+}
+
+Result<long long> FederationRouter::FetchCount(
+    const ShardInfo& shard, const std::string& path,
+    const std::map<std::string, std::string>& base_query) {
+  std::map<std::string, std::string> query = base_query;
+  query["$top"] = "0";
+  auto resp = SendToShard(shard, http::MakeRequest(http::Method::kGet,
+                                                   BuildTarget(path, query)));
+  if (!resp.ok()) return resp.status();
+  auto doc = ParseCollectionDoc(resp.value());
+  if (!doc.ok()) return doc.status();
+  const long long count = CountOf(doc.value());
+  CacheCount(path, shard.id, count);
+  return count;
+}
+
+http::Response FederationRouter::AggregateCollection(const http::Request& request,
+                                                     const RoutingTable& table) {
+  aggregations_.fetch_add(1, std::memory_order_relaxed);
+  const std::string path = http::NormalizePath(request.path);
+
+  // Paging options. $fedskip is the router's own stable continuation token
+  // (shard id + per-shard offset); a raw global $skip is translated on the
+  // fly using each shard's live count.
+  std::optional<long long> top;
+  long long global_skip = 0;
+  std::optional<std::pair<std::string, long long>> fedskip;
+  std::map<std::string, std::string> base_query = request.query;
+  if (auto it = request.query.find("$top"); it != request.query.end()) {
+    if (!strings::IsDigits(it->second) || it->second.empty()) {
+      return redfish::ErrorResponse(Status::InvalidArgument("$top must be a non-negative integer"));
+    }
+    top = std::stoll(it->second);
+  }
+  if (auto it = request.query.find("$skip"); it != request.query.end()) {
+    if (!strings::IsDigits(it->second) || it->second.empty()) {
+      return redfish::ErrorResponse(Status::InvalidArgument("$skip must be a non-negative integer"));
+    }
+    global_skip = std::stoll(it->second);
+  }
+  if (auto it = request.query.find("$fedskip"); it != request.query.end()) {
+    fedskip = ParseFedSkip(it->second);
+    if (!fedskip) {
+      return redfish::ErrorResponse(
+          Status::InvalidArgument("$fedskip must be <shard-id>:<offset>"));
+    }
+    global_skip = 0;  // the token already encodes the position
+  }
+  base_query.erase("$top");
+  base_query.erase("$skip");
+  base_query.erase("$fedskip");
+  const bool paged = top.has_value() || global_skip > 0 || fedskip.has_value();
+
+  std::vector<ShardPage> pages(table.shards.size());
+  json::Array members;
+  long long total = 0;
+  long long omitted_members = 0;
+  json::Array omitted_shards;
+  std::optional<std::pair<std::string, long long>> resume;
+
+  if (!paged) {
+    // Plain GET: fan out to every shard concurrently and concatenate.
+    std::vector<std::thread> threads;
+    threads.reserve(table.shards.size());
+    for (std::size_t i = 0; i < table.shards.size(); ++i) {
+      threads.emplace_back([this, &table, &pages, &base_query, &path, i] {
+        const ShardInfo& shard = table.shards[i];
+        ShardPage& page = pages[i];
+        page.shard_id = shard.id;
+        if (!shard.alive) return;
+        auto resp = SendToShard(
+            shard, http::MakeRequest(http::Method::kGet, BuildTarget(path, base_query)));
+        if (!resp.ok()) return;
+        auto doc = ParseCollectionDoc(resp.value());
+        if (!doc.ok()) return;
+        page.ok = true;
+        page.have_doc = true;
+        page.count = CountOf(doc.value());
+        page.doc = std::move(doc.value());
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (auto& page : pages) {
+      if (page.ok) CacheCount(path, page.shard_id, page.count);
+    }
+  } else {
+    // Paged GET: deterministic sequential walk in sorted-shard-id order, so
+    // the continuation token stays stable while shard sizes change.
+    long long remaining_skip = global_skip;
+    bool started = !fedskip.has_value();
+    for (std::size_t i = 0; i < table.shards.size(); ++i) {
+      const ShardInfo& shard = table.shards[i];
+      ShardPage& page = pages[i];
+      page.shard_id = shard.id;
+      long long per_shard_skip = 0;
+      if (!started) {
+        if (fedskip && shard.id == fedskip->first) {
+          started = true;
+          per_shard_skip = fedskip->second;
+        } else {
+          // Before the continuation point: already consumed; count only.
+          if (shard.alive) {
+            auto count = FetchCount(shard, path, base_query);
+            if (count.ok()) {
+              page.ok = true;
+              page.count = count.value();
+              continue;
+            }
+          }
+          continue;  // dead/unreachable: merged below as omitted
+        }
+      }
+      const bool page_full = top.has_value() && top.value() == 0;
+      if (!shard.alive) continue;
+      if (page_full) {
+        auto count = FetchCount(shard, path, base_query);
+        if (!count.ok()) continue;
+        page.ok = true;
+        page.count = count.value();
+        const bool at_token = fedskip && shard.id == fedskip->first;
+        const long long pos = at_token ? std::min(fedskip->second, page.count) : 0;
+        if (page.count > pos && !resume) resume = {shard.id, pos};
+        continue;
+      }
+      std::map<std::string, std::string> query = base_query;
+      const long long eff_skip = per_shard_skip + remaining_skip;
+      if (eff_skip > 0) query["$skip"] = std::to_string(eff_skip);
+      if (top) query["$top"] = std::to_string(top.value());
+      auto resp = SendToShard(
+          shard, http::MakeRequest(http::Method::kGet, BuildTarget(path, query)));
+      if (!resp.ok()) continue;
+      auto doc = ParseCollectionDoc(resp.value());
+      if (!doc.ok()) continue;
+      page.ok = true;
+      page.have_doc = true;
+      page.count = CountOf(doc.value());
+      page.doc = std::move(doc.value());
+      CacheCount(path, shard.id, page.count);
+      const json::Json* shard_members = json::ResolvePointerRef(page.doc, "/Members");
+      const long long taken =
+          shard_members != nullptr && shard_members->is_array()
+              ? static_cast<long long>(shard_members->as_array().size())
+              : 0;
+      remaining_skip = std::max(0ll, remaining_skip - std::max(0ll, page.count - per_shard_skip));
+      if (top) *top = std::max(0ll, top.value() - taken);
+      const long long consumed = std::min(eff_skip, page.count) + taken;
+      if (consumed < page.count && !resume) resume = {shard.id, consumed};
+    }
+  }
+
+  // Merge. The envelope comes from the first full shard doc; Members are
+  // concatenated in shard order; the count is the federation-wide total.
+  json::Json merged;
+  std::size_t ok_pages = 0;
+  for (auto& page : pages) {
+    if (!page.ok) {
+      const auto cached = CachedCount(path, page.shard_id);
+      omitted_members += cached.value_or(0);
+      omitted_shards.push_back(json::Json(page.shard_id));
+      continue;
+    }
+    ++ok_pages;
+    total += page.count;
+    if (!page.have_doc) continue;
+    if (merged.is_null()) merged = page.doc;  // envelope template (copy)
+    if (page.doc.is_object() && page.doc.at("Members").is_array()) {
+      for (json::Json& member : page.doc["Members"].as_array()) {
+        members.push_back(std::move(member));
+      }
+    }
+  }
+  if (ok_pages == 0) {
+    return redfish::ErrorResponse(
+        Status::Unavailable("no shard reachable for " + path));
+  }
+  if (merged.is_null()) {
+    // Every contributing shard answered count-only ($top=0 page): synthesize
+    // the envelope.
+    merged = json::Json::Obj({{"@odata.id", path},
+                              {"Name", "Federated collection"},
+                              {"Members", json::Json::MakeArray()}});
+  }
+  auto& obj = merged.as_object();
+  obj.Set("Members", json::Json(std::move(members)));
+  obj.Set("Members@odata.count", static_cast<std::int64_t>(total));
+  obj.Erase("@odata.etag");      // a merged body has no single source version
+  obj.Erase("@odata.nextLink");  // shard-local links are meaningless here
+  if (resume) {
+    std::map<std::string, std::string> next_query = base_query;
+    // Preserve the client's original page size in the continuation.
+    if (auto it = request.query.find("$top"); it != request.query.end()) {
+      next_query["$top"] = it->second;
+    }
+    next_query["$fedskip"] = resume->first + ":" + std::to_string(resume->second);
+    obj.Set("@odata.nextLink", BuildTarget(path, next_query));
+  }
+  if (!omitted_shards.empty()) {
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+    json::Json& oem = merged["Oem"];
+    if (!oem.is_object()) oem = json::Json::MakeObject();
+    json::Json& ofmf = oem["Ofmf"];
+    if (!ofmf.is_object()) ofmf = json::Json::MakeObject();
+    ofmf.as_object().Set("MembersOmittedCount",
+                         static_cast<std::int64_t>(omitted_members));
+    ofmf.as_object().Set("DegradedShards", json::Json(std::move(omitted_shards)));
+  }
+  return http::MakeJsonResponse(200, merged);
+}
+
+Result<ShardInfo> FederationRouter::ResolveResourceShard(const std::string& uri,
+                                                         const RoutingTable& table) {
+  std::string cached_id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = locations_.find(uri);
+    if (it != locations_.end()) cached_id = it->second;
+  }
+  if (!cached_id.empty()) {
+    const ShardInfo* shard = table.Find(cached_id);
+    if (shard != nullptr && shard->alive) return *shard;
+  }
+  // Probe shards in table order; the first non-404 answer owns the URI.
+  bool all_reachable = true;
+  for (const auto& shard : table.shards) {
+    if (!shard.alive) {
+      all_reachable = false;
+      continue;
+    }
+    probes_.fetch_add(1, std::memory_order_relaxed);
+    auto resp = SendToShard(shard, http::MakeRequest(http::Method::kGet, uri));
+    if (!resp.ok()) {
+      all_reachable = false;
+      continue;
+    }
+    if (resp.value().status != 404) {
+      CacheLocation(uri, shard.id);
+      return shard;
+    }
+  }
+  if (!all_reachable) {
+    return Status::Unavailable(uri + " not found on reachable shards; " +
+                               "one or more shards are down");
+  }
+  return Status::NotFound(uri + " not found on any shard");
+}
+
+namespace {
+
+/// Canonicalizes a claimed block's payload before it travels in the compose
+/// body: the post-claim state plus no volatile fields (@odata.etag), so a
+/// claim taken fresh and a claim re-validated on retry produce byte-identical
+/// compose bodies — the home shard's replay cache keys on the body hash.
+json::Json NormalizeClaimedPayload(json::Json doc, const std::string& txn) {
+  if (!doc.is_object()) return doc;
+  doc.as_object().Erase("@odata.etag");
+  (void)json::SetPointer(doc, "/CompositionStatus",
+                         json::Json::Obj({{"CompositionState", "Composed"},
+                                          {"NumberOfCompositions", 1}}));
+  (void)json::SetPointer(doc, "/Oem/Ofmf/ClaimedBy", json::Json(txn));
+  return doc;
+}
+
+}  // namespace
+
+Result<json::Json> FederationRouter::ClaimBlockOnShard(const ShardInfo& shard,
+                                                       const std::string& uri,
+                                                       const std::string& txn) {
+  for (int attempt = 0; attempt < options_.claim_attempts; ++attempt) {
+    auto read = SendToShard(shard, http::MakeRequest(http::Method::kGet, uri));
+    if (!read.ok()) return read.status();
+    if (read.value().status == 404) {
+      return Status::NotFound("block " + uri + " not found on shard " + shard.id);
+    }
+    if (!read.value().ok()) {
+      return Status::Unavailable("block read failed: HTTP " +
+                                 std::to_string(read.value().status));
+    }
+    auto doc = json::Parse(read.value().body.view());
+    if (!doc.ok() || !doc.value().is_object()) {
+      return Status::Internal("malformed block payload from shard " + shard.id);
+    }
+    const std::string state =
+        doc.value().at("CompositionStatus").GetString("CompositionState");
+    const std::string claimed_by =
+        doc.value().at("Oem").at("Ofmf").GetString("ClaimedBy");
+    if (state == "Composed" && claimed_by == txn) {
+      // Lost-response retry: the claim already held.
+      return NormalizeClaimedPayload(std::move(doc.value()), txn);
+    }
+    if (state != "Unused") {
+      return Status::FailedPrecondition("block " + uri + " is " + state);
+    }
+    const std::string etag = read.value().headers.GetOr("ETag", "");
+    http::Request claim = http::MakeJsonRequest(
+        http::Method::kPatch, uri,
+        json::Json::Obj(
+            {{"CompositionStatus",
+              json::Json::Obj({{"CompositionState", "Composed"},
+                               {"NumberOfCompositions", 1}})},
+             {"Oem", json::Json::Obj({{"Ofmf",
+                                       json::Json::Obj({{"ClaimedBy", txn}})}})}}));
+    if (!etag.empty()) claim.headers.Set("If-Match", etag);
+    auto patched = SendToShard(shard, claim);
+    if (!patched.ok()) return patched.status();
+    if (patched.value().ok()) {
+      return NormalizeClaimedPayload(std::move(doc.value()), txn);
+    }
+    if (patched.value().status != 412) {
+      return Status::FailedPrecondition("claim of " + uri + " rejected: HTTP " +
+                                        std::to_string(patched.value().status));
+    }
+    // 412: someone advanced the block between our read and patch; re-read.
+  }
+  return Status::FailedPrecondition("block " + uri + " is contended; claim lost repeatedly");
+}
+
+void FederationRouter::ReleaseClaims(
+    const std::vector<std::pair<ShardInfo, std::string>>& claimed, bool is_rollback) {
+  if (is_rollback && !claimed.empty()) {
+    rollbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (const auto& [shard, uri] : claimed) {
+    http::Request release = http::MakeJsonRequest(
+        http::Method::kPatch, uri,
+        json::Json::Obj(
+            {{"CompositionStatus",
+              json::Json::Obj({{"CompositionState", "Unused"},
+                               {"NumberOfCompositions", 0}})},
+             {"Oem", json::Json::Obj({{"Ofmf",
+                                       json::Json::Obj({{"ClaimedBy", ""}})}})}}));
+    auto resp = SendToShard(shard, release);
+    if (!resp.ok() || !resp.value().ok()) {
+      OFMF_WARN << "federation: failed to release claim on " << uri << " (shard "
+                << shard.id << "); operator or shard recovery must reap it";
+    }
+  }
+}
+
+http::Response FederationRouter::ComposeRoute(const http::Request& request,
+                                              const RoutingTable& table) {
+  auto body = request.JsonBody();
+  if (!body.ok() || !body.value().is_object()) {
+    return redfish::ErrorResponse(Status::InvalidArgument("compose body must be JSON"));
+  }
+  const json::Json* blocks =
+      json::ResolvePointerRef(body.value(), "/Links/ResourceBlocks");
+  if (blocks == nullptr || !blocks->is_array() || blocks->as_array().empty()) {
+    return redfish::ErrorResponse(
+        Status::InvalidArgument("composition requires Links.ResourceBlocks references"));
+  }
+  std::vector<std::string> uris;
+  for (const json::Json& entry : blocks->as_array()) {
+    const std::string uri = odata::IdOf(entry);
+    if (uri.empty()) {
+      return redfish::ErrorResponse(
+          Status::InvalidArgument("block reference missing @odata.id"));
+    }
+    uris.push_back(uri);
+  }
+
+  // Locate every block's shard up front.
+  std::vector<ShardInfo> owners;
+  owners.reserve(uris.size());
+  for (const std::string& uri : uris) {
+    auto shard = ResolveResourceShard(uri, table);
+    if (!shard.ok()) return redfish::ErrorResponse(shard.status());
+    owners.push_back(shard.value());
+  }
+  const ShardInfo home = owners.front();
+  bool cross_shard = false;
+  for (const auto& owner : owners) {
+    if (owner.id != home.id) cross_shard = true;
+  }
+  if (!cross_shard) {
+    // Single-shard composition: the shard's own transactional Compose path
+    // handles claims and rollback; just forward.
+    http::Response response = ForwardTo(home, request);
+    const std::string location = response.headers.GetOr("Location", "");
+    if (response.status == 201 && !location.empty()) CacheLocation(location, home.id);
+    return response;
+  }
+
+  composes_.fetch_add(1, std::memory_order_relaxed);
+  std::string txn = request.headers.GetOr("X-Request-Id", "");
+  if (txn.empty()) {
+    txn = "fedtxn-" + std::to_string(txn_counter_.fetch_add(1)) + "-" +
+          std::to_string(std::chrono::steady_clock::now().time_since_epoch().count());
+  }
+
+  // Phase 1: claim every block by wire ETag-CAS, in sorted-URI order so two
+  // racing routers contend in the same order instead of deadlocking into
+  // mutual partial claims.
+  std::vector<std::size_t> order(uris.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return uris[a] < uris[b]; });
+  std::vector<std::pair<ShardInfo, std::string>> claimed;
+  std::vector<json::Json> payloads(uris.size());
+  for (const std::size_t i : order) {
+    auto payload = ClaimBlockOnShard(owners[i], uris[i], txn);
+    if (!payload.ok()) {
+      ReleaseClaims(claimed);
+      return redfish::ErrorResponse(payload.status());
+    }
+    claimed.emplace_back(owners[i], uris[i]);
+    payloads[i] = std::move(payload.value());
+  }
+
+  // Phase 2: idempotent POST to the home shard (owner of the first block).
+  // Its local blocks are pre-claimed; remote blocks travel as URI + payload
+  // so the system's capability summaries include them.
+  json::Array local_refs;
+  json::Array remote_blocks;
+  for (std::size_t i = 0; i < uris.size(); ++i) {
+    if (owners[i].id == home.id) {
+      local_refs.push_back(odata::Ref(uris[i]));
+    } else {
+      remote_blocks.push_back(json::Json::Obj({{"Uri", uris[i]},
+                                               {"ShardId", owners[i].id},
+                                               {"Payload", payloads[i]}}));
+    }
+  }
+  json::Json compose_body = body.value();
+  auto& compose_obj = compose_body.as_object();
+  json::Json links = json::Json::Obj({{"ResourceBlocks", json::Json(std::move(local_refs))}});
+  compose_obj.Set("Links", std::move(links));
+  json::Json& oem = compose_body["Oem"];
+  if (!oem.is_object()) oem = json::Json::MakeObject();
+  json::Json& ofmf = oem["Ofmf"];
+  if (!ofmf.is_object()) ofmf = json::Json::MakeObject();
+  ofmf.as_object().Set(
+      "Federation",
+      json::Json::Obj({{"PreClaimed", true},
+                       {"Txn", txn},
+                       {"RemoteBlocks", json::Json(std::move(remote_blocks))}}));
+
+  http::Request compose = http::MakeJsonRequest(http::Method::kPost, kSystems, compose_body);
+  compose.headers.Set("X-Request-Id", txn);
+  auto composed = SendToShard(home, compose);
+  if (!composed.ok() || composed.value().status >= 500) {
+    // The home shard may be gone mid-POST; unwind every claim so no block
+    // leaks. (A lost *response* for a system that WAS created is retried by
+    // the client with the same X-Request-Id and answered from the home
+    // shard's replay cache.)
+    ReleaseClaims(claimed);
+    const Status failure =
+        composed.ok() ? Status::Unavailable("home shard " + home.id + " answered HTTP " +
+                                            std::to_string(composed.value().status))
+                      : Status::Unavailable("home shard " + home.id +
+                                            " unavailable: " + composed.status().message());
+    return redfish::ErrorResponse(failure);
+  }
+  if (!composed.value().ok()) {
+    // 4xx from the home shard (validation, conflict): claims must not leak.
+    ReleaseClaims(claimed);
+    return std::move(composed.value());
+  }
+  const std::string location = composed.value().headers.GetOr("Location", "");
+  if (!location.empty()) CacheLocation(location, home.id);
+  return std::move(composed.value());
+}
+
+http::Response FederationRouter::DecomposeRoute(const http::Request& request,
+                                                const RoutingTable& table) {
+  const std::string path = http::NormalizePath(request.path);
+  auto shard = ResolveResourceShard(path, table);
+  if (!shard.ok()) {
+    if (shard.status().code() == ErrorCode::kNotFound) {
+      // Idempotent like the shard-local path: deleting an already-deleted
+      // system converges.
+      return http::MakeEmptyResponse(204);
+    }
+    return redfish::ErrorResponse(shard.status());
+  }
+  // Read the system first: a federated system lists its remote blocks in
+  // Oem.Ofmf.Federation.RemoteBlocks, which the router must release after
+  // the home shard frees its local ones.
+  std::vector<std::pair<ShardInfo, std::string>> remote;
+  auto read = SendToShard(shard.value(), http::MakeRequest(http::Method::kGet, path));
+  if (read.ok() && read.value().ok()) {
+    auto doc = json::Parse(read.value().body.view());
+    if (doc.ok()) {
+      const json::Json* remote_blocks = json::ResolvePointerRef(
+          doc.value(), "/Oem/Ofmf/Federation/RemoteBlocks");
+      if (remote_blocks != nullptr && remote_blocks->is_array()) {
+        for (const json::Json& entry : remote_blocks->as_array()) {
+          const std::string uri = entry.GetString("Uri");
+          const std::string shard_id = entry.GetString("ShardId");
+          const ShardInfo* owner = table.Find(shard_id);
+          if (!uri.empty() && owner != nullptr) remote.emplace_back(*owner, uri);
+        }
+      }
+    }
+  }
+  http::Response response = ForwardTo(shard.value(), request);
+  if ((response.ok() || response.status == 404) && !remote.empty()) {
+    ReleaseClaims(remote, /*is_rollback=*/false);
+  }
+  if (response.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    locations_.erase(path);
+  }
+  return response;
+}
+
+void FederationRouter::CacheLocation(const std::string& uri, const std::string& shard_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  locations_[uri] = shard_id;
+}
+
+void FederationRouter::CacheCount(const std::string& path, const std::string& shard_id,
+                                  long long count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counts_[path + "|" + shard_id] = count;
+}
+
+std::optional<long long> FederationRouter::CachedCount(const std::string& path,
+                                                       const std::string& shard_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counts_.find(path + "|" + shard_id);
+  if (it == counts_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace ofmf::federation

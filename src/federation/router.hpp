@@ -1,0 +1,130 @@
+// FederationRouter: the stateless front tier of a federated OFMF. It
+// terminates Redfish on the epoll reactor (Handler() plugs straight into
+// TcpServer), routes each URI to the owning shard over pooled keep-alive
+// TcpClients, aggregates collection GETs with scatter-gather fan-out, and
+// forwards cross-shard composition as a two-phase claim (wire ETag-CAS on
+// every block, then an idempotent POST to the home shard) with rollback on
+// partial failure. See DESIGN.md "Federation".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/faults.hpp"
+#include "federation/directory_client.hpp"
+#include "federation/routing.hpp"
+#include "http/server.hpp"
+
+namespace ofmf::federation {
+
+struct RouterOptions {
+  /// Per-request bound on each downstream shard call.
+  int downstream_timeout_ms = 5000;
+  /// ETag-CAS attempts per block claim before giving up (matches the
+  /// shard-local ClaimBlock retry budget).
+  int claim_attempts = 4;
+};
+
+struct RouterStats {
+  std::uint64_t forwarded = 0;          // single-shard forwards
+  std::uint64_t aggregations = 0;       // scatter-gather collection GETs
+  std::uint64_t degraded_aggregations = 0;  // ... with shards omitted
+  std::uint64_t probes = 0;             // ownership-probe GETs issued
+  std::uint64_t cross_shard_composes = 0;
+  std::uint64_t compose_rollbacks = 0;  // two-phase unwinds executed
+};
+
+class FederationRouter {
+ public:
+  explicit FederationRouter(std::shared_ptr<DirectoryClient> directory,
+                            RouterOptions options = {});
+
+  http::Response Route(const http::Request& request);
+  http::ServerHandler Handler() {
+    return [this](const http::Request& request) { return Route(request); };
+  }
+
+  /// Downstream sends to shard S probe fault point "federation.shard.<S>"
+  /// first (kDropConnection/kCrash: the send never happens — a dead shard;
+  /// kErrorStatus: the shard answers that status; kDelay: added latency).
+  void set_fault_injector(std::shared_ptr<FaultInjector> faults) {
+    std::lock_guard<std::mutex> lock(mu_);
+    faults_ = std::move(faults);
+  }
+
+  RouterStats stats() const;
+
+ private:
+  struct ShardPage {
+    bool ok = false;
+    std::string shard_id;
+    long long count = 0;
+    bool have_doc = false;
+    json::Json doc;  // full collection doc (Members intact) when have_doc
+  };
+
+  Result<RoutingTable> TableNow();
+  /// Ring for the current epoch (rebuilt only on epoch change).
+  HashRing RingFor(const RoutingTable& table);
+  std::shared_ptr<http::TcpClient> ClientFor(const ShardInfo& shard);
+  /// One downstream call, through the shard's fault point.
+  Result<http::Response> SendToShard(const ShardInfo& shard, const http::Request& request);
+
+  http::Response ForwardTo(const ShardInfo& shard, const http::Request& request);
+  /// The shard serving non-sharded traffic (service root, sessions,
+  /// subscriptions): ring owner of kRootKey, else first alive shard.
+  const ShardInfo* DefaultShard(const RoutingTable& table, const HashRing& ring);
+
+  http::Response AggregateCollection(const http::Request& request,
+                                     const RoutingTable& table);
+  /// Count-only fetch ($top=0) for shards outside the requested page window.
+  Result<long long> FetchCount(const ShardInfo& shard, const std::string& path,
+                               const std::map<std::string, std::string>& base_query);
+
+  /// Owner of a URI the ring cannot place (systems, blocks, chassis):
+  /// location cache, then GET-probe shards in table order.
+  Result<ShardInfo> ResolveResourceShard(const std::string& uri,
+                                         const RoutingTable& table);
+
+  http::Response ComposeRoute(const http::Request& request, const RoutingTable& table);
+  http::Response DecomposeRoute(const http::Request& request, const RoutingTable& table);
+  /// Phase-1 claim of one block by wire ETag-CAS; idempotent under `txn`
+  /// (a block already Composed with ClaimedBy == txn counts as claimed).
+  /// Returns the block's payload on success (capabilities travel to the
+  /// home shard so its summaries include remote blocks).
+  Result<json::Json> ClaimBlockOnShard(const ShardInfo& shard, const std::string& uri,
+                                       const std::string& txn);
+  /// Release PATCHes (unconditional) on every claimed block. `is_rollback`
+  /// distinguishes a failed-compose unwind from a decompose release in stats.
+  void ReleaseClaims(const std::vector<std::pair<ShardInfo, std::string>>& claimed,
+                     bool is_rollback = true);
+
+  void CacheLocation(const std::string& uri, const std::string& shard_id);
+  void CacheCount(const std::string& path, const std::string& shard_id, long long count);
+  std::optional<long long> CachedCount(const std::string& path, const std::string& shard_id);
+
+  std::shared_ptr<DirectoryClient> directory_;
+  RouterOptions options_;
+
+  mutable std::mutex mu_;
+  std::shared_ptr<FaultInjector> faults_;
+  std::uint64_t ring_epoch_ = 0;
+  bool have_ring_ = false;
+  HashRing ring_;
+  std::map<std::string, std::shared_ptr<http::TcpClient>> clients_;  // shard id -> client
+  std::map<std::string, std::uint16_t> client_ports_;
+  std::map<std::string, std::string> locations_;  // resource uri -> shard id
+  std::map<std::string, long long> counts_;       // path|shard -> last known count
+  std::atomic<std::uint64_t> txn_counter_{1};
+
+  std::atomic<std::uint64_t> forwarded_{0}, aggregations_{0}, degraded_{0},
+      probes_{0}, composes_{0}, rollbacks_{0};
+};
+
+}  // namespace ofmf::federation

@@ -1,0 +1,100 @@
+#include "federation/routing.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace ofmf::federation {
+
+json::Json RoutingTable::ToJson() const {
+  json::Array members;
+  members.reserve(shards.size());
+  for (const auto& s : shards) {
+    members.push_back(json::Json::Obj({{"ShardId", s.id},
+                                       {"Port", static_cast<int>(s.port)},
+                                       {"Alive", s.alive}}));
+  }
+  return json::Json::Obj({{"Epoch", static_cast<long long>(epoch)},
+                          {"Shards", json::Json(std::move(members))}});
+}
+
+Result<RoutingTable> RoutingTable::FromJson(const json::Json& doc) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("routing table must be an object");
+  }
+  RoutingTable table;
+  table.epoch = static_cast<std::uint64_t>(doc.GetInt("Epoch", 0));
+  const json::Json& shards = doc.at("Shards");
+  if (!shards.is_array()) {
+    return Status::InvalidArgument("routing table missing Shards array");
+  }
+  for (const auto& entry : shards.as_array()) {
+    ShardInfo info;
+    info.id = entry.GetString("ShardId");
+    info.port = static_cast<std::uint16_t>(entry.GetInt("Port", 0));
+    info.alive = entry.GetBool("Alive", true);
+    if (info.id.empty() || info.port == 0) {
+      return Status::InvalidArgument("shard entry needs ShardId and Port");
+    }
+    table.shards.push_back(std::move(info));
+  }
+  std::sort(table.shards.begin(), table.shards.end(),
+            [](const ShardInfo& a, const ShardInfo& b) { return a.id < b.id; });
+  return table;
+}
+
+const ShardInfo* RoutingTable::Find(std::string_view shard_id) const {
+  for (const auto& s : shards) {
+    if (s.id == shard_id) return &s;
+  }
+  return nullptr;
+}
+
+std::size_t RoutingTable::AliveCount() const {
+  std::size_t n = 0;
+  for (const auto& s : shards) n += s.alive ? 1 : 0;
+  return n;
+}
+
+std::uint64_t HashKey(std::string_view key) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+HashRing::HashRing(const RoutingTable& table) {
+  ids_.reserve(table.shards.size());
+  for (const auto& s : table.shards) ids_.push_back(s.id);
+  ring_.reserve(ids_.size() * kVnodesPerShard);
+  for (std::uint32_t i = 0; i < ids_.size(); ++i) {
+    for (int v = 0; v < kVnodesPerShard; ++v) {
+      ring_.emplace_back(HashKey(ids_[i] + "#" + std::to_string(v)), i);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::optional<std::string> HashRing::OwnerOf(std::string_view key) const {
+  if (ring_.empty()) return std::nullopt;
+  const std::uint64_t h = HashKey(key);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const auto& entry, std::uint64_t value) { return entry.first < value; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap
+  return ids_[it->second];
+}
+
+std::optional<std::string> ShardKeyForPath(std::string_view path) {
+  constexpr std::string_view kFabricsPrefix = "/redfish/v1/Fabrics/";
+  if (!strings::StartsWith(path, kFabricsPrefix)) return std::nullopt;
+  std::string_view rest = path.substr(kFabricsPrefix.size());
+  const std::size_t slash = rest.find('/');
+  std::string_view fabric = slash == std::string_view::npos ? rest : rest.substr(0, slash);
+  if (fabric.empty()) return std::nullopt;
+  return "fabric:" + std::string(fabric);
+}
+
+}  // namespace ofmf::federation

@@ -1,0 +1,75 @@
+// Federation routing: the shared vocabulary between the DirectoryService and
+// the FederationRouter. A RoutingTable is an epoch-versioned snapshot of the
+// shard membership; HashRing places ownership keys ("fabric:<id>", "root") on
+// a consistent-hash ring over *all registered* shards, so a shard's keys do
+// not migrate when it merely flaps — liveness gates degradation and fan-out,
+// never key placement. See DESIGN.md "Federation".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "json/value.hpp"
+
+namespace ofmf::federation {
+
+/// One registered OFMF shard (an OfmfService instance behind a TcpServer).
+struct ShardInfo {
+  std::string id;       // stable operator-chosen identity ("shard-a")
+  std::uint16_t port;   // loopback port its reactor listens on
+  bool alive = true;    // heartbeat freshness at snapshot time
+};
+
+/// Epoch-versioned shard membership. The epoch advances on registration and
+/// on liveness flips; routers cache the table and revalidate with the epoch
+/// as an ETag. Shards are kept sorted by id so serialization, ring placement
+/// and the cross-shard paging walk are all deterministic.
+struct RoutingTable {
+  std::uint64_t epoch = 0;
+  std::vector<ShardInfo> shards;  // sorted by id
+
+  json::Json ToJson() const;
+  static Result<RoutingTable> FromJson(const json::Json& doc);
+
+  const ShardInfo* Find(std::string_view shard_id) const;
+  std::size_t AliveCount() const;
+};
+
+/// Consistent-hash ring over a RoutingTable's shards. Placement depends only
+/// on membership (shard ids), never on liveness, so a dead shard's keys stay
+/// put and surface as 503/degraded rather than silently rehoming.
+class HashRing {
+ public:
+  static constexpr int kVnodesPerShard = 128;
+
+  HashRing() = default;
+  explicit HashRing(const RoutingTable& table);
+
+  /// Shard id owning `key`, or nullopt when the ring is empty.
+  std::optional<std::string> OwnerOf(std::string_view key) const;
+
+  bool empty() const { return ring_.empty(); }
+
+ private:
+  // (hash, shard index into ids_), sorted by hash.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;
+  std::vector<std::string> ids_;
+};
+
+/// FNV-1a 64-bit; stable across builds so routing tables survive restarts.
+std::uint64_t HashKey(std::string_view key);
+
+/// Ownership key for a Redfish path, when the path itself pins one:
+/// /redfish/v1/Fabrics/<id>[/...] -> "fabric:<id>". Paths whose owner can
+/// only be discovered by probing (systems, blocks, chassis) return nullopt.
+std::optional<std::string> ShardKeyForPath(std::string_view path);
+
+/// Ownership key for non-sharded, forward-to-one-shard traffic (service
+/// root, session service, event subscriptions posted at the router).
+inline constexpr std::string_view kRootKey = "root";
+
+}  // namespace ofmf::federation

@@ -180,7 +180,7 @@ Result<std::string> CompositionService::Compose(
   trace::Span create_span("compose.create");
   metrics::ScopedTimer create_timer(create_latency);
 
-  const std::string id = "composed-" + std::to_string(next_system_id_++);
+  const std::string id = NextSystemId();
   const std::string system_uri = std::string(kSystems) + "/" + id;
   if (create_span.active()) create_span.Note(system_uri);
   const auto abort_compose = [&](const Status& failure) {
@@ -214,6 +214,94 @@ Result<std::string> CompositionService::Compose(
   event.message_id = "CompositionService.1.0.SystemComposed";
   event.message = "composed system " + id + " from " +
                   std::to_string(block_uris.size()) + " blocks";
+  event.origin = system_uri;
+  events_.Publish(event);
+  return system_uri;
+}
+
+std::string CompositionService::NextSystemId() {
+  std::string id = "composed-";
+  if (!system_id_prefix_.empty()) id += system_id_prefix_ + "-";
+  id += std::to_string(next_system_id_++);
+  return id;
+}
+
+Result<std::string> CompositionService::ComposeAdopted(
+    const std::string& name, const std::vector<std::string>& local_block_uris,
+    const std::vector<RemoteBlock>& remote_blocks, const std::string& txn) {
+  if (local_block_uris.empty() && remote_blocks.empty()) {
+    return Status::InvalidArgument("federated composition requires at least one block");
+  }
+  for (std::size_t i = 0; i < local_block_uris.size(); ++i) {
+    for (std::size_t j = i + 1; j < local_block_uris.size(); ++j) {
+      if (local_block_uris[i] == local_block_uris[j]) {
+        return Status::InvalidArgument("block " + local_block_uris[i] + " listed twice");
+      }
+    }
+  }
+  // Verify the router's wire claims: every local block must exist and hold
+  // Composed (the router CAS-claimed it through the Redfish PATCH path
+  // before this call). No claims are taken here — and none are released on
+  // failure, because the router owns the two-phase rollback.
+  for (const std::string& uri : local_block_uris) {
+    OFMF_ASSIGN_OR_RETURN(json::Json block, tree_.Get(uri));
+    const std::string state =
+        block.at("CompositionStatus").GetString("CompositionState");
+    if (state != "Composed") {
+      return Status::FailedPrecondition(
+          "block " + uri + " is " + state +
+          "; federated composition requires pre-claimed blocks");
+    }
+  }
+
+  const std::string id = NextSystemId();
+  const std::string system_uri = std::string(kSystems) + "/" + id;
+  const auto abort_compose = [&](const Status& failure) {
+    if (tree_.Exists(system_uri)) {
+      (void)tree_.RemoveMember(kSystems, system_uri);
+      (void)tree_.Delete(system_uri);
+    }
+    return failure;
+  };
+
+  json::Array remote_json;
+  remote_json.reserve(remote_blocks.size());
+  for (const RemoteBlock& remote : remote_blocks) {
+    remote_json.push_back(json::Json::Obj({{"Uri", remote.uri},
+                                           {"ShardId", remote.shard_id},
+                                           {"Payload", remote.payload}}));
+  }
+  json::Json payload = json::Json::Obj({
+      {"Id", id},
+      {"Name", name},
+      {"SystemType", "Composed"},
+      {"PowerState", "On"},
+      {"Status", json::Json::Obj({{"State", "Enabled"}, {"Health", "OK"}})},
+      {"Links",
+       json::Json::Obj({{"ResourceBlocks", odata::RefArray(local_block_uris)}})},
+      {"Oem",
+       json::Json::Obj(
+           {{"Ofmf",
+             json::Json::Obj(
+                 {{"Federation",
+                   json::Json::Obj({{"Txn", txn},
+                                    {"RemoteBlocks",
+                                     json::Json(std::move(remote_json))}})}})}})},
+  });
+  const Status created = tree_.Create(
+      system_uri, "#ComputerSystem.v1_20_0.ComputerSystem", std::move(payload));
+  if (!created.ok()) return abort_compose(created);
+  const Status membered = tree_.AddMember(kSystems, system_uri);
+  if (!membered.ok()) return abort_compose(membered);
+  const Status summarized = RefreshSummaries(system_uri);
+  if (!summarized.ok()) return abort_compose(summarized);
+
+  Event event;
+  event.event_type = "ResourceAdded";
+  event.message_id = "CompositionService.1.0.SystemComposed";
+  event.message = "composed federated system " + id + " from " +
+                  std::to_string(local_block_uris.size()) + " local and " +
+                  std::to_string(remote_blocks.size()) + " remote blocks";
   event.origin = system_uri;
   events_.Publish(event);
   return system_uri;
@@ -317,13 +405,16 @@ Result<CompositionService::CompositionRecovery> CompositionService::RecoverConsi
 
   std::vector<std::string> systems;
   std::uint64_t max_id = 0;
+  const std::string id_prefix =
+      system_id_prefix_.empty() ? "composed-" : "composed-" + system_id_prefix_ + "-";
   for (const std::string& uri : tree_.UrisUnder(kSystems)) {
     if (uri == kSystems) continue;
     const std::size_t slash = uri.rfind('/');
     const std::string id = uri.substr(slash + 1);
-    if (strings::StartsWith(id, "composed-")) {
+    if (strings::StartsWith(id, id_prefix)) {
       char* end = nullptr;
-      const unsigned long long n = std::strtoull(id.c_str() + 9, &end, 10);
+      const unsigned long long n =
+          std::strtoull(id.c_str() + id_prefix.size(), &end, 10);
       if (end != nullptr && *end == '\0' && n > max_id) max_id = n;
     }
     systems.push_back(uri);
@@ -334,8 +425,13 @@ Result<CompositionService::CompositionRecovery> CompositionService::RecoverConsi
   for (const std::string& system_uri : systems) {
     const Result<json::Json> system = tree_.GetRaw(system_uri);
     if (!system.ok() || system->GetString("SystemType") != "Composed") continue;
+    // A federated system (router two-phase compose) may hold zero LOCAL
+    // blocks — its remote blocks live on other shards and are not checkable
+    // here — so emptiness alone is not "half-composed" for it.
+    const bool federated =
+        json::ResolvePointerRef(*system, "/Oem/Ofmf/Federation") != nullptr;
     const Result<std::vector<std::string>> blocks = BlocksOf(system_uri);
-    bool intact = blocks.ok() && !blocks->empty();
+    bool intact = blocks.ok() && (federated || !blocks->empty());
     if (intact) {
       for (const std::string& block_uri : *blocks) {
         const Result<std::string> state = BlockState(block_uri);
@@ -365,11 +461,18 @@ Result<CompositionService::CompositionRecovery> CompositionService::RecoverConsi
 
   for (const std::string& block_uri : tree_.UrisUnder(kResourceBlocks)) {
     if (block_uri == kResourceBlocks || held.count(block_uri) != 0) continue;
-    const Result<std::string> state = BlockState(block_uri);
-    if (state.ok() && *state == "Composed") {
-      OFMF_RETURN_IF_ERROR(SetBlockState(block_uri, "Unused"));
-      ++recovery.claims_released;
+    const Result<json::Json> block = tree_.Get(block_uri);
+    if (!block.ok()) continue;
+    if (block->at("CompositionStatus").GetString("CompositionState") != "Composed") {
+      continue;
     }
+    // A claim stamped with a federation transaction id (Oem.Ofmf.ClaimedBy)
+    // belongs to a system on ANOTHER shard: the router's two-phase compose
+    // took it over the wire, and only the router (rollback) or a federated
+    // decompose releases it. Local recovery must not free it.
+    if (!block->at("Oem").at("Ofmf").GetString("ClaimedBy").empty()) continue;
+    OFMF_RETURN_IF_ERROR(SetBlockState(block_uri, "Unused"));
+    ++recovery.claims_released;
   }
   return recovery;
 }
@@ -387,6 +490,20 @@ Status CompositionService::RefreshSummaries(const std::string& system_uri) {
     memory_gib += capability.memory_gib;
     gpus += capability.gpus;
     storage_gib += capability.storage_gib;
+  }
+  // Adopted remote blocks (federated composition) contribute their claimed
+  // capability payloads; they are not resolvable through this shard's tree.
+  OFMF_ASSIGN_OR_RETURN(json::Json system, tree_.GetRaw(system_uri));
+  const json::Json* remote =
+      json::ResolvePointerRef(system, "/Oem/Ofmf/Federation/RemoteBlocks");
+  if (remote != nullptr && remote->is_array()) {
+    for (const json::Json& entry : remote->as_array()) {
+      const BlockCapability capability = CapabilityFromPayload(entry.at("Payload"));
+      cores += capability.cores;
+      memory_gib += capability.memory_gib;
+      gpus += capability.gpus;
+      storage_gib += capability.storage_gib;
+    }
   }
   return tree_.Patch(
       system_uri,

@@ -34,6 +34,15 @@ struct BlockCapability {
 /// Parses a ResourceBlock payload back into capability form.
 BlockCapability CapabilityFromPayload(const json::Json& block);
 
+/// A block owned by another shard, adopted into a federated composition.
+/// The payload is the block's full ResourceBlock document as read by the
+/// router at claim time (capability source for the system's summaries).
+struct RemoteBlock {
+  std::string uri;
+  std::string shard_id;
+  json::Json payload;
+};
+
 class CompositionService {
  public:
   CompositionService(redfish::ResourceTree& tree, EventService& events);
@@ -52,6 +61,21 @@ class CompositionService {
   /// /redfish/v1/Systems/<id> URI.
   Result<std::string> Compose(const std::string& name,
                               const std::vector<std::string>& block_uris);
+
+  /// Federated composition (the router's two-phase path). Every local block
+  /// must ALREADY hold a Composed claim — the router claimed it over the
+  /// wire by ETag-CAS before calling — and remote blocks are recorded
+  /// (URI + shard + payload) under the system's Oem.Ofmf.Federation so
+  /// capability summaries include them. Takes no claims and releases none
+  /// on failure: the router owns claim rollback end to end.
+  Result<std::string> ComposeAdopted(const std::string& name,
+                                     const std::vector<std::string>& local_block_uris,
+                                     const std::vector<RemoteBlock>& remote_blocks,
+                                     const std::string& txn);
+
+  /// Namespaces system ids as "composed-<prefix>-<n>" so two shards never
+  /// mint the same /redfish/v1/Systems URI (set from the shard identity).
+  void set_system_id_prefix(const std::string& prefix) { system_id_prefix_ = prefix; }
 
   /// Frees every block of a composed system and deletes it. Idempotent:
   /// decomposing a system that no longer exists succeeds (the desired end
@@ -97,12 +121,16 @@ class CompositionService {
   Status ClaimBlock(const std::string& block_uri);
   /// Rollback helper: returns each claimed block to Unused.
   void ReleaseBlocks(const std::vector<std::string>& block_uris);
-  /// Recomputes a composed system's Processor/Memory summaries from blocks.
+  /// Recomputes a composed system's Processor/Memory summaries from its
+  /// local blocks plus any adopted remote-block payloads.
   Status RefreshSummaries(const std::string& system_uri);
+  /// "composed-[<prefix>-]<n>" with the counter advanced.
+  std::string NextSystemId();
 
   redfish::ResourceTree& tree_;
   EventService& events_;
   std::uint64_t next_system_id_ = 1;
+  std::string system_id_prefix_;
 };
 
 }  // namespace ofmf::core

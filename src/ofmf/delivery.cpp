@@ -1,14 +1,58 @@
 #include "ofmf/delivery.hpp"
 
 #include <algorithm>
+#include <map>
 
 #include "common/logging.hpp"
+#include "common/strings.hpp"
 #include "http/sse.hpp"
+#include "http/uri.hpp"
 #include "json/serialize.hpp"
 
 namespace ofmf::core {
 
 namespace {
+
+/// Adapter the default wire factory hands out: rewrites the full-URL
+/// destination target ("http://127.0.0.1:9001/events") into the origin-form
+/// target TcpClient speaks, and delegates to the shared pooled client.
+class PooledEndpointClient : public http::HttpClient {
+ public:
+  PooledEndpointClient(std::shared_ptr<http::TcpClient> inner, std::string url_prefix)
+      : inner_(std::move(inner)), url_prefix_(std::move(url_prefix)) {}
+
+  Result<http::Response> Send(const http::Request& request) override {
+    http::Request wire = request;
+    std::string target = request.target.empty() ? request.path : request.target;
+    if (strings::StartsWith(target, url_prefix_)) {
+      target = target.substr(url_prefix_.size());
+    }
+    if (target.empty() || target.front() != '/') target.insert(0, "/");
+    const http::ParsedUri parsed = http::ParseUriTarget(target);
+    wire.target = std::move(target);
+    wire.path = parsed.path;
+    wire.query = parsed.query;
+    return inner_->Send(wire);
+  }
+
+ private:
+  std::shared_ptr<http::TcpClient> inner_;
+  std::string url_prefix_;  // "http://<host>:<port>"
+};
+
+/// One pooled TcpClient per loopback port, shared across every subscriber
+/// delivering to that endpoint (weak registry: the pool dies with its last
+/// subscriber instead of accreting sockets for retired ports).
+std::shared_ptr<http::TcpClient> SharedClientForPort(std::uint16_t port) {
+  static std::mutex registry_mu;
+  static std::map<std::uint16_t, std::weak_ptr<http::TcpClient>> registry;
+  std::lock_guard<std::mutex> lock(registry_mu);
+  std::weak_ptr<http::TcpClient>& slot = registry[port];
+  if (auto existing = slot.lock()) return existing;
+  auto created = std::make_shared<http::TcpClient>(port, 5000);
+  slot = created;
+  return created;
+}
 
 /// Placeholder spliced out of the serialized batch envelope and replaced
 /// with the items' pre-serialized Events entries. Alphanumeric so the
@@ -94,6 +138,29 @@ void DeliveryEngine::Configure(const DeliveryConfig& config) {
 DeliveryConfig DeliveryEngine::config() const {
   std::lock_guard<std::mutex> lock(mu_);
   return config_;
+}
+
+ClientFactory DefaultWireClientFactory() {
+  return [](const std::string& destination) -> std::unique_ptr<http::HttpClient> {
+    for (const char* scheme : {"http://127.0.0.1:", "http://localhost:"}) {
+      if (!strings::StartsWith(destination, scheme)) continue;
+      const std::size_t port_begin = std::string(scheme).size();
+      std::size_t port_end = destination.find('/', port_begin);
+      if (port_end == std::string::npos) port_end = destination.size();
+      const std::string port_text =
+          destination.substr(port_begin, port_end - port_begin);
+      if (port_text.empty() || port_text.size() > 5 ||
+          !strings::IsDigits(port_text)) {
+        return nullptr;
+      }
+      const unsigned long port = std::stoul(port_text);
+      if (port == 0 || port > 65535) return nullptr;
+      return std::make_unique<PooledEndpointClient>(
+          SharedClientForPort(static_cast<std::uint16_t>(port)),
+          destination.substr(0, port_end));
+    }
+    return nullptr;
+  };
 }
 
 void DeliveryEngine::set_client_factory(ClientFactory factory) {

@@ -55,6 +55,15 @@ namespace ofmf::core {
 using ClientFactory =
     std::function<std::unique_ptr<http::HttpClient>(const std::string& destination)>;
 
+/// Default ClientFactory for real subscriber endpoints: a destination of the
+/// form "http://127.0.0.1:<port>/..." (or localhost) gets a thin adapter
+/// over a SHARED keep-alive-pooled TcpClient per port — every batch POST to
+/// that endpoint reuses warm pooled connections instead of opening a fresh
+/// one per batch, and subscribers pointed at the same endpoint share the
+/// pool. Non-loopback or unparseable destinations yield nullptr, preserving
+/// the no-transport behaviour tests rely on for synthetic hosts.
+ClientFactory DefaultWireClientFactory();
+
 struct DeliveryConfig {
   /// Per-subscriber queue bound; overflow drops the oldest unsent event.
   std::size_t queue_capacity = 1024;

@@ -64,6 +64,9 @@ EventService::EventService(redfish::ResourceTree& tree, SimClock& clock)
     : tree_(tree), clock_(clock) {
   tree_token_ = tree_.Subscribe(
       [this](const redfish::ChangeEvent& change) { OnTreeChange(change); });
+  // Real loopback endpoints deliver over shared pooled keep-alive TcpClients
+  // out of the box; tests and simulations override with their own factory.
+  delivery_.set_client_factory(DefaultWireClientFactory());
   // Per-subscriber queue overflows surface as meta-events. The sink runs on
   // the engine's dispatcher thread with no engine lock held, so re-entering
   // Publish here is safe.

@@ -128,6 +128,18 @@ Status OfmfService::Bootstrap() {
   return Status::Ok();
 }
 
+void OfmfService::set_shard_identity(const std::string& shard_id) {
+  shard_id_ = shard_id;
+  composition_.set_system_id_prefix(shard_id);
+  if (bootstrapped_ && !shard_id.empty()) {
+    (void)tree_.Patch(
+        kServiceRoot,
+        json::Json::Obj(
+            {{"Oem", json::Json::Obj({{"Ofmf", json::Json::Obj(
+                                                   {{"ShardId", shard_id}})}})}}));
+  }
+}
+
 void OfmfService::WireRoutes() {
   // Event subscriptions.
   rest_.RegisterFactory(kSubscriptions, "EventDestination",
@@ -150,22 +162,51 @@ void OfmfService::WireRoutes() {
             200, json::Json::Obj({{"Events", json::Json(std::move(events))}}));
       });
 
-  // Composition: POST Systems with block links; DELETE decomposes.
+  // Composition: POST Systems with block links; DELETE decomposes. A body
+  // carrying Oem.Ofmf.Federation.PreClaimed is the federation router's
+  // two-phase path: local blocks were already claimed over the wire, remote
+  // blocks arrive as captured payloads, and the adopted composition takes
+  // (and on failure releases) no claims of its own.
   rest_.RegisterFactory(
       kSystems, "ComputerSystem", [this](const json::Json& body) -> Result<std::string> {
+        const json::Json* federation =
+            json::ResolvePointerRef(body, "/Oem/Ofmf/Federation");
+        const bool pre_claimed =
+            federation != nullptr && federation->GetBool("PreClaimed", false);
         const json::Json* blocks =
             json::ResolvePointerRef(body, "/Links/ResourceBlocks");
-        if (blocks == nullptr || !blocks->is_array() || blocks->as_array().empty()) {
+        if (!pre_claimed &&
+            (blocks == nullptr || !blocks->is_array() || blocks->as_array().empty())) {
           return Status::InvalidArgument(
               "composition requires Links.ResourceBlocks references");
         }
         std::vector<std::string> uris;
-        for (const json::Json& entry : blocks->as_array()) {
-          const std::string uri = odata::IdOf(entry);
-          if (uri.empty()) return Status::InvalidArgument("block reference missing @odata.id");
-          uris.push_back(uri);
+        if (blocks != nullptr && blocks->is_array()) {
+          for (const json::Json& entry : blocks->as_array()) {
+            const std::string uri = odata::IdOf(entry);
+            if (uri.empty()) return Status::InvalidArgument("block reference missing @odata.id");
+            uris.push_back(uri);
+          }
         }
-        return composition_.Compose(body.GetString("Name", "composed-system"), uris);
+        const std::string name = body.GetString("Name", "composed-system");
+        if (!pre_claimed) return composition_.Compose(name, uris);
+        std::vector<RemoteBlock> remote;
+        const json::Json* remote_blocks =
+            json::ResolvePointerRef(*federation, "/RemoteBlocks");
+        if (remote_blocks != nullptr && remote_blocks->is_array()) {
+          for (const json::Json& entry : remote_blocks->as_array()) {
+            RemoteBlock block;
+            block.uri = entry.GetString("Uri");
+            block.shard_id = entry.GetString("ShardId");
+            block.payload = entry.at("Payload");
+            if (block.uri.empty()) {
+              return Status::InvalidArgument("remote block entry missing Uri");
+            }
+            remote.push_back(std::move(block));
+          }
+        }
+        return composition_.ComposeAdopted(name, uris, remote,
+                                           federation->GetString("Txn"));
       });
   rest_.RegisterDeleteHook(kSystems, [this](const std::string& uri) {
     if (uri == kSystems) return Status::PermissionDenied("collection cannot be deleted");

@@ -73,6 +73,13 @@ class OfmfService {
   void EndDrain() { draining_.store(false, std::memory_order_relaxed); }
   bool draining() const { return draining_.load(std::memory_order_relaxed); }
 
+  /// Marks this instance as one shard of a federated deployment: system ids
+  /// become "composed-<shard_id>-<n>" (so shards never mint colliding
+  /// /redfish/v1/Systems URIs) and the ServiceRoot is stamped with
+  /// Oem.Ofmf.ShardId. Call after Bootstrap(), before serving traffic.
+  void set_shard_identity(const std::string& shard_id);
+  const std::string& shard_id() const { return shard_id_; }
+
   /// Executes deferred (task-backed) operations; returns how many ran.
   std::size_t ProcessPendingWork();
   std::size_t pending_work() const { return pending_work_.size(); }
@@ -193,6 +200,7 @@ class OfmfService {
   std::map<std::string, std::shared_ptr<FabricAgent>> agents_by_fabric_;
   std::deque<std::function<void()>> pending_work_;
   bool bootstrapped_ = false;
+  std::string shard_id_;
   std::atomic<bool> draining_{false};
 
   std::shared_ptr<FaultInjector> faults_;

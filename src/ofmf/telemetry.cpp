@@ -191,11 +191,15 @@ Status TelemetryService::UpdateEventDeliveryReport(const DeliverySnapshot& snaps
   for (const SubscriberSnapshot& subscriber : snapshot.subscribers) {
     fingerprint += "|" + subscriber.uri + ":" +
                    std::to_string(subscriber.queue_depth) + ":" +
+                   std::to_string(subscriber.enqueued) + ":" +
                    std::to_string(subscriber.delivered) + ":" +
+                   std::to_string(subscriber.batches) + ":" +
+                   std::to_string(subscriber.coalesced) + ":" +
                    std::to_string(subscriber.dropped) + ":" +
                    std::to_string(subscriber.retries) + ":" +
                    std::to_string(subscriber.failures) + ":" +
                    std::to_string(subscriber.cursor_lag) + ":" +
+                   std::to_string(subscriber.breaker_stats.opens) + ":" +
                    to_string(subscriber.breaker_state);
   }
   std::lock_guard<std::mutex> lock(delivery_report_mu_);
@@ -232,18 +236,40 @@ Status TelemetryService::UpdateEventDeliveryReport(const DeliverySnapshot& snaps
     values.push_back(counter("CursorLag." + subscriber.uri,
                              static_cast<double>(subscriber.cursor_lag),
                              subscriber.uri));
+    values.push_back(counter("Queued." + subscriber.uri,
+                             static_cast<double>(subscriber.enqueued),
+                             subscriber.uri));
+    values.push_back(counter("Delivered." + subscriber.uri,
+                             static_cast<double>(subscriber.delivered),
+                             subscriber.uri));
+    values.push_back(counter("Dropped." + subscriber.uri,
+                             static_cast<double>(subscriber.dropped),
+                             subscriber.uri));
+    values.push_back(counter("Retries." + subscriber.uri,
+                             static_cast<double>(subscriber.retries),
+                             subscriber.uri));
+    values.push_back(counter("BreakerOpen." + subscriber.uri,
+                             subscriber.breaker_state == BreakerState::kClosed ? 0.0 : 1.0,
+                             subscriber.uri));
     subscribers.push_back(json::Json::Obj(
         {{"Subscription", subscriber.uri},
          {"Destination", subscriber.destination},
          {"Stream", subscriber.stream},
          {"QueueDepth", static_cast<std::int64_t>(subscriber.queue_depth)},
+         {"Enqueued", static_cast<std::int64_t>(subscriber.enqueued)},
          {"Delivered", static_cast<std::int64_t>(subscriber.delivered)},
+         {"Batches", static_cast<std::int64_t>(subscriber.batches)},
+         {"Coalesced", static_cast<std::int64_t>(subscriber.coalesced)},
          {"Dropped", static_cast<std::int64_t>(subscriber.dropped)},
          {"Retries", static_cast<std::int64_t>(subscriber.retries)},
          {"Failures", static_cast<std::int64_t>(subscriber.failures)},
          {"AckedSequence", static_cast<std::int64_t>(subscriber.acked_sequence)},
          {"CursorLag", static_cast<std::int64_t>(subscriber.cursor_lag)},
-         {"BreakerState", to_string(subscriber.breaker_state)}}));
+         {"BreakerState", to_string(subscriber.breaker_state)},
+         {"BreakerOpens", static_cast<std::int64_t>(subscriber.breaker_stats.opens)},
+         {"BreakerCloses", static_cast<std::int64_t>(subscriber.breaker_stats.closes)},
+         {"BreakerRejected",
+          static_cast<std::int64_t>(subscriber.breaker_stats.rejected)}}));
   }
   json::Json payload = json::Json::Obj({
       {"Id", "EventDelivery"},
