@@ -1,0 +1,264 @@
+// Federation observability overhead bench: the price of fleet-wide tracing
+// and telemetry on the router's hot path. A directory + two shards + router
+// deployment serves the same federated cached GET under three configurations:
+//
+//   baseline     — metrics registry disabled, trace sampling 0 (everything
+//                  the observability work added is compiled in but off)
+//   idle         — registry enabled, sampling 0: the production default.
+//                  This is the budgeted config — the trace+telemetry
+//                  machinery must cost <= 2% vs the sampling-off baseline.
+//   sampled      — registry enabled, sampling 1.0: every request mints a
+//                  trace, stamps wire headers on the shard leg and records
+//                  the span tree. Informational; full sampling is a debug
+//                  posture, not the production default.
+//
+// The driver calls router->Route() directly: the Route() wrapper is exactly
+// where the adopt-or-mint span, the metrics taps and the telemetry intercept
+// live, and the shard leg still crosses a real TCP hop through the pooled
+// keep-alive clients — the federated cached-GET path under test. Rounds
+// interleave the configurations and the overhead estimate is the median
+// paired per-round difference (bench_trace_overhead's estimator: unpaired
+// medians swing several percent run-to-run, an order of magnitude above the
+// cost being measured).
+//
+// Emits BENCH_federation_trace.json; exits non-zero when the idle overhead
+// breaches the 2% budget (skipped under --smoke, which shrinks counts for CI).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/metrics.hpp"
+#include "common/stats.hpp"
+#include "common/trace.hpp"
+#include "federation/directory.hpp"
+#include "federation/directory_client.hpp"
+#include "federation/router.hpp"
+#include "http/message.hpp"
+#include "http/server.hpp"
+#include "json/serialize.hpp"
+#include "ofmf/service.hpp"
+#include "ofmf/uris.hpp"
+
+using namespace ofmf;
+using json::Json;
+
+namespace {
+
+constexpr double kBudgetPct = 2.0;
+constexpr std::size_t kShardCount = 2;
+constexpr std::size_t kFabricsPerShard = 4;
+constexpr std::size_t kShardWorkers = 4;
+
+enum class Config { kBaseline, kIdle, kSampled };
+
+constexpr const char* kConfigNames[] = {"baseline (all off)",
+                                        "instrumented, sampling 0",
+                                        "instrumented, sampling 1"};
+
+void Apply(Config config) {
+  switch (config) {
+    case Config::kBaseline:
+      metrics::Registry::instance().set_enabled(false);
+      trace::TraceRecorder::instance().set_sampling(0.0);
+      break;
+    case Config::kIdle:
+      metrics::Registry::instance().set_enabled(true);
+      trace::TraceRecorder::instance().set_sampling(0.0);
+      break;
+    case Config::kSampled:
+      metrics::Registry::instance().set_enabled(true);
+      trace::TraceRecorder::instance().set_sampling(1.0);
+      break;
+  }
+}
+
+struct BenchShard {
+  std::string id;
+  core::OfmfService service;
+  http::TcpServer server;
+};
+
+/// Directory + shards + router, with fabrics placed on their ring owners and
+/// the paths interleaved shard-by-shard (same placement walk as
+/// bench_federation) so the driver's rotation hits the shards evenly.
+struct Deployment {
+  federation::DirectoryService directory;
+  std::vector<std::unique_ptr<BenchShard>> shards;
+  std::unique_ptr<federation::FederationRouter> router;
+  std::vector<std::string> fabric_paths;
+
+  bool Start() {
+    for (std::size_t s = 0; s < kShardCount; ++s) {
+      auto shard = std::make_unique<BenchShard>();
+      shard->id = "s" + std::to_string(s + 1);
+      if (!shard->service.Bootstrap().ok()) return false;
+      shard->service.set_shard_identity(shard->id);
+      http::ServerOptions options;
+      options.workers = kShardWorkers;
+      if (!shard->server.Start(shard->service.Handler(), 0, options).ok()) {
+        return false;
+      }
+      directory.Register(shard->id, shard->server.port());
+      shards.push_back(std::move(shard));
+    }
+
+    const federation::HashRing ring(directory.Table());
+    std::vector<std::vector<std::string>> per_shard(kShardCount);
+    for (int candidate = 0;; ++candidate) {
+      const std::string fabric_id = "fab" + std::to_string(candidate);
+      const auto owner = ring.OwnerOf("fabric:" + fabric_id);
+      if (!owner) return false;
+      std::size_t index = 0;
+      while (index < shards.size() && shards[index]->id != *owner) ++index;
+      if (per_shard[index].size() >= kFabricsPerShard) {
+        bool done = true;
+        for (const auto& paths : per_shard) {
+          if (paths.size() < kFabricsPerShard) done = false;
+        }
+        if (done) break;
+        continue;
+      }
+      if (!shards[index]->service
+               .CreateFabricSkeleton(fabric_id, "NVMeoF", *owner)
+               .ok()) {
+        return false;
+      }
+      per_shard[index].push_back(core::FabricUri(fabric_id));
+    }
+    for (std::size_t i = 0; i < kFabricsPerShard; ++i) {
+      for (std::size_t s = 0; s < kShardCount; ++s) {
+        fabric_paths.push_back(per_shard[s][i]);
+      }
+    }
+
+    router = std::make_unique<federation::FederationRouter>(
+        std::make_shared<federation::DirectoryClient>(
+            std::make_unique<http::InProcessClient>(directory.Handler())));
+    return true;
+  }
+
+  void Stop() {
+    for (auto& shard : shards) shard->server.Stop();
+  }
+};
+
+/// Mean microseconds per federated GET over one timed round, rotating the
+/// interleaved fabric paths.
+double RunRound(Deployment& deployment, int iters) {
+  Stopwatch timer;
+  for (int i = 0; i < iters; ++i) {
+    const auto& path =
+        deployment.fabric_paths[static_cast<std::size_t>(i) %
+                                deployment.fabric_paths.size()];
+    const http::Response response =
+        deployment.router->Route(http::MakeRequest(http::Method::kGet, path));
+    if (response.status != 200) {
+      std::fprintf(stderr, "federated GET %s failed: %d\n", path.c_str(),
+                   response.status);
+      std::exit(1);
+    }
+  }
+  return timer.ElapsedSeconds() / iters * 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_federation_trace.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  // Many short rounds beat few long ones for the paired-median estimate: a
+  // scheduler spike poisons one short segment (shed by the median) instead
+  // of skewing a long round.
+  const int iters = smoke ? 60 : 300;
+  const int rounds = smoke ? 12 : 80;
+
+  Deployment deployment;
+  if (!deployment.Start()) {
+    std::fprintf(stderr, "failed to start the federated deployment\n");
+    return 1;
+  }
+
+  std::printf("federation trace/telemetry overhead bench%s: router + %zu shards\n"
+              "(budget: idle instrumentation < %.1f%% on the federated "
+              "cached-GET path)\n\n",
+              smoke ? " (smoke)" : "", kShardCount, kBudgetPct);
+
+  // Warm everything every configuration touches: the directory table and
+  // ring, the router's pooled keep-alive connections, the shard-side
+  // response caches (the "cached" in cached-GET), the recorder ring.
+  Apply(Config::kSampled);
+  (void)RunRound(deployment, iters / 4 + 8);
+  trace::TraceRecorder::instance().Clear();
+
+  std::vector<double> samples[3];
+  for (int round = 0; round < rounds; ++round) {
+    for (const Config config :
+         {Config::kBaseline, Config::kIdle, Config::kSampled}) {
+      Apply(config);
+      samples[static_cast<int>(config)].push_back(RunRound(deployment, iters));
+    }
+  }
+  deployment.Stop();
+
+  // Leave the process-wide knobs in their defaults.
+  metrics::Registry::instance().set_enabled(true);
+  trace::TraceRecorder::instance().set_sampling(0.0);
+  trace::TraceRecorder::instance().Clear();
+
+  std::printf("federated cached GET: %d rounds x %d requests\n", rounds, iters);
+  const double base_us = Percentile(samples[0], 50.0);
+  double low_us[3] = {0.0, 0.0, 0.0};
+  double overhead_pct[3] = {0.0, 0.0, 0.0};
+  for (int c = 0; c < 3; ++c) {
+    low_us[c] = *std::min_element(samples[c].begin(), samples[c].end());
+    std::vector<double> diffs(samples[c].size());
+    for (std::size_t k = 0; k < samples[c].size(); ++k) {
+      diffs[k] = samples[c][k] - samples[0][k];
+    }
+    overhead_pct[c] = base_us > 0 ? Percentile(diffs, 50.0) / base_us * 100.0 : 0.0;
+    std::printf("  %-26s %10.3f us/op  (%+.2f%%)\n", kConfigNames[c], low_us[c],
+                overhead_pct[c]);
+  }
+  const double idle_pct = overhead_pct[static_cast<int>(Config::kIdle)];
+  const double sampled_pct = overhead_pct[static_cast<int>(Config::kSampled)];
+
+  const bool bar_applies = !smoke;
+  const bool bar_met = idle_pct < kBudgetPct;
+  Json results = Json::Obj(
+      {{"smoke", smoke},
+       {"budget_pct", kBudgetPct},
+       {"shards", static_cast<std::int64_t>(kShardCount)},
+       {"iterations", static_cast<std::int64_t>(iters)},
+       {"rounds", static_cast<std::int64_t>(rounds)},
+       {"baseline_us", low_us[0]},
+       {"idle_us", low_us[1]},
+       {"idle_overhead_pct", idle_pct},
+       {"sampled_us", low_us[2]},
+       {"sampled_overhead_pct", sampled_pct},
+       {"budget_met", !bar_applies || bar_met}});
+  std::ofstream out(out_path);
+  out << json::SerializePretty(results) << "\n";
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (bar_applies && !bar_met) {
+    std::fprintf(stderr,
+                 "FAIL: idle trace+telemetry costs %.2f%% on the federated "
+                 "cached-GET path (budget %.1f%%)\n",
+                 idle_pct, kBudgetPct);
+    return 1;
+  }
+  return 0;
+}

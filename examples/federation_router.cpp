@@ -9,6 +9,12 @@
 //       # serve until SIGINT/SIGTERM; start shards separately with
 //       #   ./examples/rest_server 8081 0 --shard-id s1 --directory 7000
 //       #   ./examples/rest_server 8082 0 --shard-id s2 --directory 7000
+//
+// Observability flags (either mode):
+//   --trace-sample <p>   sample fraction of requests into the trace ring
+//                        (enables cross-process trace assembly / TraceDump)
+//   --slow-ms <n>        dump the assembled cross-process trace tree of any
+//                        federated request slower than n ms via OFMF_WARN
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -18,6 +24,7 @@
 #include <string>
 #include <thread>
 
+#include "common/trace.hpp"
 #include "composability/client.hpp"
 #include "federation/directory.hpp"
 #include "federation/directory_client.hpp"
@@ -65,8 +72,34 @@ struct Shard {
 int main(int argc, char** argv) {
   std::uint16_t router_port = 0;
   std::uint16_t directory_port = 0;
-  if (argc > 1) router_port = static_cast<std::uint16_t>(std::atoi(argv[1]));
-  if (argc > 2) directory_port = static_cast<std::uint16_t>(std::atoi(argv[2]));
+  double trace_sample = 0.0;
+  federation::RouterOptions router_options;
+  int positional = 0;
+  bool hosted = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace-sample" && i + 1 < argc) {
+      trace_sample = std::atof(argv[++i]);
+    } else if (arg == "--slow-ms" && i + 1 < argc) {
+      router_options.slow_trace_ms = std::atoi(argv[++i]);
+    } else if (positional == 0) {
+      router_port = static_cast<std::uint16_t>(std::atoi(argv[i]));
+      hosted = true;
+      ++positional;
+    } else if (positional == 1) {
+      directory_port = static_cast<std::uint16_t>(std::atoi(argv[i]));
+      ++positional;
+    }
+  }
+  if (trace_sample > 0.0) {
+    trace::TraceRecorder::instance().set_sampling(trace_sample);
+    // Retain slow local trees for TraceDump once anything is slower than the
+    // dump threshold (error trees are always retained).
+    if (router_options.slow_trace_ms > 0) {
+      trace::TraceRecorder::instance().set_retain_threshold_ns(
+          static_cast<std::uint64_t>(router_options.slow_trace_ms) * 1000000ull);
+    }
+  }
 
   // Directory tier.
   federation::DirectoryService directory;
@@ -80,7 +113,8 @@ int main(int argc, char** argv) {
 
   // Router tier.
   federation::FederationRouter router(
-      std::make_shared<federation::DirectoryClient>(directory_server.port()));
+      std::make_shared<federation::DirectoryClient>(directory_server.port()),
+      router_options);
   http::TcpServer router_server;
   if (!router_server.Start(router.Handler(), router_port).ok()) {
     std::fprintf(stderr, "failed to bind router port %u\n", router_port);
@@ -88,7 +122,7 @@ int main(int argc, char** argv) {
   }
   std::printf("router on http://127.0.0.1:%u/redfish/v1\n\n", router_server.port());
 
-  if (argc > 1) {
+  if (hosted) {
     // Hosted mode: serve until a signal; shards register themselves.
     std::signal(SIGINT, HandleStopSignal);
     std::signal(SIGTERM, HandleStopSignal);
@@ -183,6 +217,23 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.probes),
               static_cast<unsigned long long>(stats.cross_shard_composes),
               static_cast<unsigned long long>(stats.compose_rollbacks));
+
+  // Fleet observability: the router serves the merged TelemetryService
+  // itself (per-shard liveness here; merged histograms on the other reports).
+  const auto health =
+      client.Get(std::string(core::kMetricReports) + "/FleetHealth");
+  if (health.ok()) {
+    const Json* shards = json::ResolvePointerRef(*health, "/Oem/Ofmf/Shards");
+    std::printf("GET %s/FleetHealth -> %zu shard(s):", core::kMetricReports,
+                shards != nullptr ? shards->as_array().size() : 0);
+    if (shards != nullptr) {
+      for (const Json& shard : shards->as_array()) {
+        std::printf(" %s=%s", shard.GetString("ShardId").c_str(),
+                    shard.GetBool("Alive") ? "alive" : "down");
+      }
+    }
+    std::printf("\n");
+  }
 
   router_server.Stop();
   directory_server.Stop();

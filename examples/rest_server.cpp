@@ -105,6 +105,11 @@ int main(int argc, char** argv) {
     if (slow_ms > 0) {
       trace::TraceRecorder::instance().set_slow_threshold_ns(
           static_cast<std::uint64_t>(slow_ms) * 1000000ull);
+      // Retain those trees too, so a federation router can fetch this
+      // shard's fragment via Actions/OfmfService.TraceDump and stitch it
+      // into the cross-process tree (error trees are always retained).
+      trace::TraceRecorder::instance().set_retain_threshold_ns(
+          static_cast<std::uint64_t>(slow_ms) * 1000000ull);
       std::printf("; dumping span trees for requests over %d ms", slow_ms);
     }
     std::printf("\n");
@@ -194,7 +199,10 @@ int main(int argc, char** argv) {
     }
     heartbeat = std::thread([&] {
       while (!heartbeat_stop.load(std::memory_order_relaxed)) {
-        const Status beat = directory->Heartbeat(shard_id);
+        // Each beat carries the shard's self-reported health (breaker
+        // states, replay count, cache hit rate) so the router's FleetHealth
+        // report sees it without an extra round-trip.
+        const Status beat = directory->Heartbeat(shard_id, ofmf.HealthStats());
         if (beat.code() == ErrorCode::kNotFound) {
           (void)directory->Register(shard_id, server.port());
         }

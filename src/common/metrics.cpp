@@ -129,6 +129,18 @@ double Histogram::Snapshot::Percentile(double p) const {
   return static_cast<double>(1ull << std::min<std::size_t>(kBuckets - 1, 63));
 }
 
+void Histogram::Snapshot::Merge(const Snapshot& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+  sum += other.sum;
+  count = DerivedCount();
+}
+
+std::uint64_t Histogram::Snapshot::DerivedCount() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : buckets) total += n;
+  return total;
+}
+
 Registry& Registry::instance() {
   static Registry registry;
   return registry;

@@ -41,6 +41,13 @@ class Histogram {
     double mean() const {
       return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
     }
+
+    /// Bucket-wise accumulation for fleet aggregation: buckets and sums add,
+    /// and `count` is re-derived from the merged buckets — never trusted from
+    /// the other snapshot — so a merge of merges stays self-consistent.
+    void Merge(const Snapshot& other);
+    /// Sum of the buckets (the authoritative sample count).
+    std::uint64_t DerivedCount() const;
   };
   Snapshot snapshot() const;
   void Reset();

@@ -13,6 +13,7 @@ namespace ofmf::trace {
 namespace {
 
 thread_local TraceContext tls_context;
+thread_local std::string_view tls_origin;
 
 /// splitmix64 finalizer — cheap, well-mixed, and stateless.
 std::uint64_t Mix(std::uint64_t z) {
@@ -35,6 +36,14 @@ std::uint64_t ProcessSeed() {
 }  // namespace
 
 TraceContext Current() { return tls_context; }
+
+ScopedOrigin::ScopedOrigin(std::string_view label) : prev_(tls_origin) {
+  tls_origin = label;
+}
+
+ScopedOrigin::~ScopedOrigin() { tls_origin = prev_; }
+
+std::string_view CurrentOrigin() { return tls_origin; }
 
 std::uint64_t NewId() {
   static std::atomic<std::uint64_t> counter{0};
@@ -111,12 +120,31 @@ bool TraceRecorder::SampleNewTrace() {
   return true;
 }
 
-void TraceRecorder::Record(SpanRecord span) {
-  const bool slow_root = span.parent_span_id == 0 && slow_threshold_ns() != 0 &&
+void TraceRecorder::Record(SpanRecord span, bool local_root) {
+  // A span with no recorded parent on this node tops this process's fragment
+  // of the trace: a true root (parent 0) or an adopted wire identity. Both
+  // drive the slow dump and retention, so shard-side fragments of a slow
+  // federated request surface on the shard too.
+  const bool root_like = local_root || span.parent_span_id == 0;
+  const bool slow_root = root_like && slow_threshold_ns() != 0 &&
                          span.duration_ns >= slow_threshold_ns();
   const std::uint64_t trace_id = span.trace_id;
+  const std::uint64_t duration_ns = span.duration_ns;
+  const std::uint64_t retain_ns = retain_threshold_ns();
   {
     std::lock_guard<std::mutex> lock(mu_);
+    const bool had_error =
+        span.error ||
+        std::find(error_traces_.begin(), error_traces_.end(), trace_id) !=
+            error_traces_.end();
+    if (span.error &&
+        std::find(error_traces_.begin(), error_traces_.end(), trace_id) ==
+            error_traces_.end()) {
+      error_traces_.push_back(trace_id);
+      if (error_traces_.size() > 4 * kRetainedTraces) {
+        error_traces_.erase(error_traces_.begin());
+      }
+    }
     if (ring_.size() < kRingCapacity) {
       ring_.push_back(std::move(span));
     } else {
@@ -125,6 +153,9 @@ void TraceRecorder::Record(SpanRecord span) {
       wrapped_ = true;
     }
     next_ = (next_ + 1) % kRingCapacity;
+    if (root_like && (had_error || (retain_ns != 0 && duration_ns >= retain_ns))) {
+      RetainLocked(trace_id);
+    }
   }
   spans_recorded_.fetch_add(1, std::memory_order_relaxed);
   if (slow_root) {
@@ -132,6 +163,47 @@ void TraceRecorder::Record(SpanRecord span) {
     OFMF_WARN << "slow request trace " << IdToHex(trace_id) << ":\n"
               << FormatTraceTree(TraceSpans(trace_id));
   }
+}
+
+void TraceRecorder::RetainLocked(std::uint64_t trace_id) {
+  // Collect this trace's spans still in the ring.
+  std::vector<SpanRecord> spans;
+  for (const SpanRecord& span : ring_) {
+    if (span.trace_id == trace_id) spans.push_back(span);
+  }
+  if (spans.empty()) return;
+  auto it = std::find_if(retained_.begin(), retained_.end(),
+                         [&](const auto& e) { return e.first == trace_id; });
+  if (it != retained_.end()) {
+    // Re-retain (another fragment of the same trace finished on this node):
+    // merge in any spans the first retain had not seen yet.
+    for (SpanRecord& span : spans) {
+      const bool known = std::any_of(
+          it->second.begin(), it->second.end(),
+          [&](const SpanRecord& have) { return have.span_id == span.span_id; });
+      if (!known) it->second.push_back(std::move(span));
+    }
+    return;
+  }
+  retained_.emplace_back(trace_id, std::move(spans));
+  retained_count_.fetch_add(1, std::memory_order_relaxed);
+  if (retained_.size() > kRetainedTraces) retained_.erase(retained_.begin());
+}
+
+std::vector<SpanRecord> TraceRecorder::RetainedTrace(std::uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, spans] : retained_) {
+    if (id == trace_id) return spans;
+  }
+  return {};
+}
+
+std::vector<std::uint64_t> TraceRecorder::RetainedTraceIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::uint64_t> ids;
+  ids.reserve(retained_.size());
+  for (const auto& [id, spans] : retained_) ids.push_back(id);
+  return ids;
 }
 
 std::vector<SpanRecord> TraceRecorder::Snapshot() const {
@@ -158,6 +230,7 @@ TraceStats TraceRecorder::stats() const {
   stats.spans_recorded = spans_recorded_.load(std::memory_order_relaxed);
   stats.spans_evicted = spans_evicted_.load(std::memory_order_relaxed);
   stats.slow_traces = slow_traces_.load(std::memory_order_relaxed);
+  stats.retained_traces = retained_count_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -166,6 +239,8 @@ void TraceRecorder::Clear() {
   ring_.clear();
   next_ = 0;
   wrapped_ = false;
+  error_traces_.clear();
+  retained_.clear();
 }
 
 void Span::Start(const char* name, TraceContext parent) {
@@ -175,6 +250,7 @@ void Span::Start(const char* name, TraceContext parent) {
   rec_.parent_span_id = parent.span_id;
   rec_.span_id = NewId();
   rec_.name = name;
+  rec_.origin = tls_origin;
   rec_.thread_id = ThreadOrdinal();
   rec_.start_ns = MonotonicNowNs();
   tls_context = TraceContext{rec_.trace_id, rec_.span_id};
@@ -201,6 +277,11 @@ void Span::Note(const std::string& note) {
   rec_.note += note;
 }
 
+void Span::SetError() {
+  if (!active_) return;
+  rec_.error = true;
+}
+
 TraceContext Span::context() const {
   if (!active_) return {};
   return TraceContext{rec_.trace_id, rec_.span_id};
@@ -211,7 +292,7 @@ void Span::End() {
   active_ = false;
   rec_.duration_ns = MonotonicNowNs() - rec_.start_ns;
   tls_context = prev_;
-  TraceRecorder::instance().Record(std::move(rec_));
+  TraceRecorder::instance().Record(std::move(rec_), /*local_root=*/!prev_.active());
 }
 
 std::string FormatTraceTree(std::vector<SpanRecord> spans) {
@@ -235,11 +316,13 @@ std::string FormatTraceTree(std::vector<SpanRecord> spans) {
   std::string out;
   const std::function<void(const SpanRecord&, int)> print = [&](const SpanRecord& span,
                                                                 int depth) {
-    char line[160];
-    std::snprintf(line, sizeof line, "%*s%s%s%s%s %.3f ms [T%u]\n", depth * 2, "",
-                  span.name.c_str(), span.note.empty() ? "" : " (",
+    char line[200];
+    std::snprintf(line, sizeof line, "%*s%s%s%s%s %.3f ms [%s%sT%u]%s\n", depth * 2,
+                  "", span.name.c_str(), span.note.empty() ? "" : " (",
                   span.note.c_str(), span.note.empty() ? "" : ")",
-                  static_cast<double>(span.duration_ns) / 1e6, span.thread_id);
+                  static_cast<double>(span.duration_ns) / 1e6, span.origin.c_str(),
+                  span.origin.empty() ? "" : " ", span.thread_id,
+                  span.error ? " !" : "");
     out += line;
     auto it = children.find(span.span_id);
     if (it == children.end()) return;

@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace ofmf::trace {
@@ -48,9 +50,11 @@ struct SpanRecord {
   std::uint64_t parent_span_id = 0;  // 0 = root of its trace
   std::string name;
   std::string note;  // free-form annotation ("POST /redfish/v1/Systems", error text)
+  std::string origin;  // node label (shard id / "router") at record time
   std::uint64_t start_ns = 0;
   std::uint64_t duration_ns = 0;
   std::uint32_t thread_id = 0;  // small per-process thread ordinal
+  bool error = false;  // marked failed (5xx, transport error)
 };
 
 struct TraceStats {
@@ -59,6 +63,7 @@ struct TraceStats {
   std::uint64_t spans_recorded = 0;
   std::uint64_t spans_evicted = 0;  // ring slots overwritten before a scrape
   std::uint64_t slow_traces = 0;    // slow-request dumps emitted
+  std::uint64_t retained_traces = 0;  // trees kept for TraceDump
 };
 
 /// Process-global span sink: sampling knob, bounded ring of finished spans,
@@ -86,39 +91,68 @@ class TraceRecorder {
     return slow_threshold_ns_.load(std::memory_order_relaxed);
   }
 
+  /// Local-root trees (the span that restored an empty ambient context —
+  /// i.e. this process's fragment of a possibly cross-process trace) slower
+  /// than this are retained for TraceDump; 0 (default) retains only error
+  /// trees. Error trees (any span marked failed) are always retained.
+  void set_retain_threshold_ns(std::uint64_t ns) {
+    retain_threshold_ns_.store(ns, std::memory_order_relaxed);
+  }
+  std::uint64_t retain_threshold_ns() const {
+    return retain_threshold_ns_.load(std::memory_order_relaxed);
+  }
+
   /// Coin flip for a new root span (per-trace decision; children inherit).
   bool SampleNewTrace();
 
   /// Accepts a finished span; evicts the oldest when the ring is full. Also
-  /// emits the slow-request dump when `span` is a root over the threshold.
-  void Record(SpanRecord span);
+  /// emits the slow-request dump when a local root finishes over the slow
+  /// threshold, and retains the trace's span tree when it qualifies
+  /// (see set_retain_threshold_ns). `local_root` marks a span that had no
+  /// ambient parent on this thread — the top of this process's fragment.
+  void Record(SpanRecord span, bool local_root = false);
 
   /// Ring contents, oldest first.
   std::vector<SpanRecord> Snapshot() const;
   /// Spans of one trace still in the ring, oldest first.
   std::vector<SpanRecord> TraceSpans(std::uint64_t trace_id) const;
 
+  /// Retained (slow/error) span tree for `trace_id`; empty when not retained.
+  std::vector<SpanRecord> RetainedTrace(std::uint64_t trace_id) const;
+  /// Ids of currently retained traces, oldest first.
+  std::vector<std::uint64_t> RetainedTraceIds() const;
+
   TraceStats stats() const;
   void Clear();
 
   static constexpr std::size_t kRingCapacity = 8192;
+  static constexpr std::size_t kRetainedTraces = 64;
 
  private:
   TraceRecorder() = default;
 
+  void RetainLocked(std::uint64_t trace_id);
+
   std::atomic<double> sampling_{0.0};
   std::atomic<std::uint64_t> slow_threshold_ns_{0};
+  std::atomic<std::uint64_t> retain_threshold_ns_{0};
 
   std::atomic<std::uint64_t> sampled_traces_{0};
   std::atomic<std::uint64_t> skipped_traces_{0};
   std::atomic<std::uint64_t> spans_recorded_{0};
   std::atomic<std::uint64_t> spans_evicted_{0};
   std::atomic<std::uint64_t> slow_traces_{0};
+  std::atomic<std::uint64_t> retained_count_{0};
 
   mutable std::mutex mu_;
   std::vector<SpanRecord> ring_;  // circular once it reaches capacity
   std::size_t next_ = 0;
   bool wrapped_ = false;
+  /// Traces that saw an error span; the local root's completion retains them.
+  std::vector<std::uint64_t> error_traces_;  // bounded FIFO
+  /// FIFO of retained trees, keyed by trace id (newest retain wins; a
+  /// re-retain of the same trace merges in any newly finished spans).
+  std::vector<std::pair<std::uint64_t, std::vector<SpanRecord>>> retained_;
 };
 
 /// RAII span. The plain constructor opens a child of the ambient context and
@@ -137,6 +171,9 @@ class Span {
   bool active() const { return active_; }
   /// Appends an annotation ("; "-joined). No-op when inactive.
   void Note(const std::string& note);
+  /// Marks this span failed; the recorder always retains error trees so
+  /// TraceDump can serve them after the fact. No-op when inactive.
+  void SetError();
   /// {trace_id, this span's id} for stamping the wire; {} when inactive.
   TraceContext context() const;
   /// Records the span now instead of at scope exit (idempotent).
@@ -149,6 +186,27 @@ class Span {
   TraceContext prev_;  // ambient context to restore on End()
   SpanRecord rec_;
 };
+
+/// RAII thread-local node label stamped into every span a thread records
+/// while it is in scope ("router", a shard id). Lets an assembled
+/// cross-process tree attribute each span to the node that produced it —
+/// essential in tests and benches where several logical nodes share one
+/// process (and one TraceRecorder). The label must outlive the scope
+/// (callers pass members / string literals); cost is two thread-local
+/// stores, so it is safe on hot paths even with tracing off.
+class ScopedOrigin {
+ public:
+  explicit ScopedOrigin(std::string_view label);
+  ~ScopedOrigin();
+  ScopedOrigin(const ScopedOrigin&) = delete;
+  ScopedOrigin& operator=(const ScopedOrigin&) = delete;
+
+ private:
+  std::string_view prev_;
+};
+
+/// The calling thread's current origin label ("" when none).
+std::string_view CurrentOrigin();
 
 /// Collision-resistant non-zero 64-bit id (process-seeded, counter-mixed).
 std::uint64_t NewId();

@@ -18,7 +18,9 @@ std::uint64_t DirectoryService::Register(const std::string& shard_id,
                          [&](const Entry& e) { return e.info.id == shard_id; });
   if (it == entries_.end()) {
     Entry entry;
-    entry.info = ShardInfo{shard_id, port, true};
+    entry.info.id = shard_id;
+    entry.info.port = port;
+    entry.info.alive = true;
     entry.last_heartbeat = now;
     entries_.push_back(std::move(entry));
     std::sort(entries_.begin(), entries_.end(),
@@ -37,7 +39,8 @@ std::uint64_t DirectoryService::Register(const std::string& shard_id,
   return epoch_;
 }
 
-Status DirectoryService::Heartbeat(const std::string& shard_id) {
+Status DirectoryService::Heartbeat(const std::string& shard_id,
+                                   const json::Json& stats) {
   const auto now = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lock(mu_);
   auto it = std::find_if(entries_.begin(), entries_.end(),
@@ -46,6 +49,7 @@ Status DirectoryService::Heartbeat(const std::string& shard_id) {
     return Status::NotFound("unknown shard " + shard_id + "; re-register");
   }
   it->last_heartbeat = now;
+  if (stats.is_object()) it->info.stats = stats;
   if (!it->info.alive) {
     it->info.alive = true;
     ++epoch_;
@@ -68,11 +72,19 @@ void DirectoryService::RefreshLivenessLocked(
   if (flipped) ++epoch_;
 }
 
-RoutingTable DirectoryService::TableLocked() {
+RoutingTable DirectoryService::TableLocked(
+    std::chrono::steady_clock::time_point now) {
   RoutingTable table;
   table.epoch = epoch_;
   table.shards.reserve(entries_.size());
-  for (const auto& e : entries_) table.shards.push_back(e.info);
+  for (const auto& e : entries_) {
+    ShardInfo info = e.info;
+    info.heartbeat_age_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                now - e.last_heartbeat)
+                                .count();
+    if (info.heartbeat_age_ms < 0) info.heartbeat_age_ms = 0;
+    table.shards.push_back(std::move(info));
+  }
   return table;
 }
 
@@ -80,7 +92,7 @@ RoutingTable DirectoryService::Table() {
   const auto now = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lock(mu_);
   RefreshLivenessLocked(now);
-  return TableLocked();
+  return TableLocked(now);
 }
 
 std::uint64_t DirectoryService::epoch() {
@@ -126,7 +138,7 @@ http::ServerHandler DirectoryService::Handler() {
         return http::MakeJsonResponse(
             200, json::Json::Obj({{"Epoch", static_cast<long long>(epoch)}}));
       }
-      const Status status = Heartbeat(shard_id);
+      const Status status = Heartbeat(shard_id, body.value().at("Stats"));
       if (!status.ok()) {
         return http::MakeJsonResponse(
             404, json::Json::Obj({{"error", status.message()}}));

@@ -38,8 +38,12 @@ class DirectoryService {
   std::uint64_t Register(const std::string& shard_id, std::uint16_t port);
 
   /// Refreshes the shard's liveness clock. Unknown shards get kNotFound so a
-  /// restarted directory tells them to re-register.
-  Status Heartbeat(const std::string& shard_id);
+  /// restarted directory tells them to re-register. `stats` is an optional
+  /// self-reported health object (breakers open, cache hit rate, ...) kept
+  /// with the entry — it survives the shard going dark, so FleetHealth can
+  /// show last known coarse state for an unreachable shard.
+  Status Heartbeat(const std::string& shard_id,
+                   const json::Json& stats = json::Json());
 
   /// Current table with liveness freshly evaluated (may bump the epoch).
   RoutingTable Table();
@@ -48,7 +52,7 @@ class DirectoryService {
 
   /// HTTP face: GET /directory/table (ETag/If-None-Match revalidation),
   /// POST /directory/shards {ShardId, Port}, POST /directory/heartbeat
-  /// {ShardId}. Anything else is 404.
+  /// {ShardId[, Stats]}. Anything else is 404.
   http::ServerHandler Handler();
 
  private:
@@ -59,7 +63,7 @@ class DirectoryService {
 
   /// Re-evaluates liveness under mu_; bumps epoch_ on any flip.
   void RefreshLivenessLocked(std::chrono::steady_clock::time_point now);
-  RoutingTable TableLocked();
+  RoutingTable TableLocked(std::chrono::steady_clock::time_point now);
 
   DirectoryOptions options_;
   std::mutex mu_;

@@ -23,7 +23,10 @@ class DirectoryClient {
   DirectoryClient(std::unique_ptr<http::HttpClient> client, int max_age_ms = 250);
 
   Result<std::uint64_t> Register(const std::string& shard_id, std::uint16_t port);
-  Status Heartbeat(const std::string& shard_id);
+  /// `stats` is an optional self-reported health object forwarded to the
+  /// directory (see DirectoryService::Heartbeat).
+  Status Heartbeat(const std::string& shard_id,
+                   const json::Json& stats = json::Json());
 
   /// Cached table; revalidates via ETag when older than max_age_ms. Returns
   /// the stale cache (if any) when the directory is unreachable, so a router

@@ -1,0 +1,82 @@
+// Fleet telemetry aggregation for the federation router. Shards expose a
+// one-shot MetricsDump (histograms with raw log2 buckets, counters, cache /
+// trace / delivery / resilience sections); the router scatter-gathers those
+// dumps and this module merges them into fleet-wide metrics: histograms add
+// bucket-wise (percentiles are recomputed from the merged buckets — they do
+// not compose), counters and scalar sections add. The report builders below
+// synthesize router-served MetricReport documents from the merged state and
+// the routing table (the router has no ResourceTree of its own).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "federation/routing.hpp"
+#include "json/value.hpp"
+
+namespace ofmf::federation {
+
+/// Accumulator over per-shard MetricsDump documents.
+class FleetMetrics {
+ public:
+  /// Folds one shard's MetricsDump in. Histogram entries without a Buckets
+  /// array are skipped (their percentiles cannot be merged honestly).
+  void Absorb(const std::string& shard_id, const json::Json& dump);
+
+  const std::vector<std::string>& shards() const { return shards_; }
+  const std::map<std::string, metrics::Histogram::Snapshot>& histograms() const {
+    return histograms_;
+  }
+  const std::map<std::string, std::uint64_t>& counters() const { return counters_; }
+
+  /// Summed scalar sections, keyed "Section.Field" ("ResponseCache.Hits",
+  /// "EventDelivery.Dropped", "Resilience.BreakersOpen", ...). Rates are
+  /// excluded — recompute them from the summed numerators/denominators.
+  const std::map<std::string, std::uint64_t>& scalars() const { return scalars_; }
+  std::uint64_t scalar(const std::string& key) const;
+
+  /// Per-shard Resilience sections, verbatim, for per-shard breaker detail.
+  const std::vector<std::pair<std::string, json::Json>>& shard_resilience() const {
+    return resilience_;
+  }
+
+  /// Merged dump in the same shape as a shard MetricsDump, plus "Shards".
+  json::Json ToJson() const;
+
+ private:
+  std::vector<std::string> shards_;
+  std::map<std::string, metrics::Histogram::Snapshot> histograms_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, std::uint64_t> scalars_;
+  std::vector<std::pair<std::string, json::Json>> resilience_;
+};
+
+/// Router-side inputs to the FleetHealth report that no shard can see.
+struct FleetHealthInputs {
+  std::uint64_t degraded_responses = 0;  // scatter-gathers that omitted shards
+  std::uint64_t members_omitted = 0;     // members those responses lost
+};
+
+/// #MetricReport documents served directly by the router (each carries its
+/// own @odata.id/@odata.type since no tree decorates it).
+json::Json FleetRequestLatencyReport(const FleetMetrics& fleet);
+json::Json FleetResponseCacheReport(const FleetMetrics& fleet);
+json::Json FleetResilienceReport(const FleetMetrics& fleet);
+json::Json FleetEventDeliveryReport(const FleetMetrics& fleet);
+/// Per-shard liveness / heartbeat age / self-reported breaker state from the
+/// routing table, plus the router's own degradation counters.
+json::Json FleetHealthReport(const RoutingTable& table, const FleetHealthInputs& inputs);
+
+/// The TelemetryService + MetricReports collection documents the router
+/// serves at /redfish/v1/TelemetryService[/MetricReports].
+json::Json FleetTelemetryServiceDoc();
+json::Json FleetMetricReportsDoc();
+
+/// Names of the fleet reports, in collection order.
+const std::vector<std::string>& FleetReportNames();
+
+}  // namespace ofmf::federation

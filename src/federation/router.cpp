@@ -4,7 +4,10 @@
 #include <chrono>
 #include <thread>
 
+#include <set>
+
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "common/strings.hpp"
 #include "http/uri.hpp"
 #include "json/parse.hpp"
@@ -103,6 +106,7 @@ RouterStats FederationRouter::stats() const {
   stats.forwarded = forwarded_.load(std::memory_order_relaxed);
   stats.aggregations = aggregations_.load(std::memory_order_relaxed);
   stats.degraded_aggregations = degraded_.load(std::memory_order_relaxed);
+  stats.members_omitted = omitted_members_.load(std::memory_order_relaxed);
   stats.probes = probes_.load(std::memory_order_relaxed);
   stats.cross_shard_composes = composes_.load(std::memory_order_relaxed);
   stats.compose_rollbacks = rollbacks_.load(std::memory_order_relaxed);
@@ -143,6 +147,18 @@ std::shared_ptr<http::TcpClient> FederationRouter::ClientFor(const ShardInfo& sh
 
 Result<http::Response> FederationRouter::SendToShard(const ShardInfo& shard,
                                                      const http::Request& request) {
+  // Stamp the ambient trace identity on every outbound attempt (each caller
+  // span — claim, forward, fetch leg — is the parent the shard adopts). The
+  // request is only copied when a trace is actually active.
+  const trace::TraceContext ctx = trace::Current();
+  http::Request traced;
+  const http::Request* to_send = &request;
+  if (ctx.active()) {
+    traced = request;
+    traced.headers.Set(trace::kTraceIdHeader, trace::IdToHex(ctx.trace_id));
+    traced.headers.Set(trace::kSpanIdHeader, trace::IdToHex(ctx.span_id));
+    to_send = &traced;
+  }
   std::shared_ptr<FaultInjector> faults;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -162,7 +178,7 @@ Result<http::Response> FederationRouter::SendToShard(const ShardInfo& shard,
             decision.http_status,
             redfish::MakeErrorBody("Base.1.0.GeneralError", "injected shard error"));
       case FaultKind::kDropResponse: {
-        auto ignored = ClientFor(shard)->Send(request);
+        auto ignored = ClientFor(shard)->Send(*to_send);
         (void)ignored;
         return Status::Unavailable("shard " + shard.id + " response lost (injected)");
       }
@@ -170,7 +186,7 @@ Result<http::Response> FederationRouter::SendToShard(const ShardInfo& shard,
         break;
     }
   }
-  return ClientFor(shard)->Send(request);
+  return ClientFor(shard)->Send(*to_send);
 }
 
 http::Response FederationRouter::ForwardTo(const ShardInfo& shard,
@@ -198,6 +214,54 @@ const ShardInfo* FederationRouter::DefaultShard(const RoutingTable& table,
 }
 
 http::Response FederationRouter::Route(const http::Request& request) {
+  // Every span this request records — here and on worker threads that
+  // re-install it — is attributed to the router node.
+  trace::ScopedOrigin origin("router");
+  // Adopt the wire trace identity or mint one, exactly like a shard's
+  // http.handle entry point; sampling 0 skips even the header scan.
+  trace::TraceContext remote;
+  if (trace::TraceRecorder::instance().enabled()) {
+    remote.trace_id =
+        trace::HexToId(request.headers.GetOr(trace::kTraceIdHeader, ""));
+    if (remote.trace_id != 0) {
+      remote.span_id =
+          trace::HexToId(request.headers.GetOr(trace::kSpanIdHeader, ""));
+    }
+  }
+  trace::Span span("router.route", remote);
+  if (span.active()) {
+    span.Note(std::string(http::to_string(request.method)) + " " + request.path);
+  }
+  const bool watch_slow = span.active() && options_.slow_trace_ms > 0;
+  const std::uint64_t start_ns = watch_slow ? trace::MonotonicNowNs() : 0;
+  http::Response response = RouteInner(request);
+  if (span.active()) {
+    const std::uint64_t trace_id = span.context().trace_id;
+    response.headers.Set(trace::kTraceIdHeader, trace::IdToHex(trace_id));
+    if (response.status >= 500) {
+      span.Note("HTTP " + std::to_string(response.status));
+      span.SetError();
+    }
+    span.End();  // record now so the assembled dump below sees this span
+    if (watch_slow) {
+      const std::uint64_t elapsed_ns = trace::MonotonicNowNs() - start_ns;
+      if (elapsed_ns >=
+          static_cast<std::uint64_t>(options_.slow_trace_ms) * 1000000ull) {
+        auto table = TableNow();
+        const json::Json assembled =
+            table.ok() ? AssembleTrace(trace_id, table.value())
+                       : AssembleTrace(trace_id, RoutingTable{});
+        OFMF_WARN << "router: slow federated request ("
+                  << elapsed_ns / 1000000 << " ms) trace "
+                  << trace::IdToHex(trace_id) << "\n"
+                  << assembled.GetString("Tree");
+      }
+    }
+  }
+  return response;
+}
+
+http::Response FederationRouter::RouteInner(const http::Request& request) {
   auto table_result = TableNow();
   if (!table_result.ok()) {
     return redfish::ErrorResponse(Status::Unavailable(
@@ -206,6 +270,12 @@ http::Response FederationRouter::Route(const http::Request& request) {
   const RoutingTable& table = table_result.value();
   const HashRing ring = RingFor(table);
   const std::string path = http::NormalizePath(request.path);
+
+  // Fleet observability (merged telemetry, assembled traces) is served by
+  // the router itself, never forwarded.
+  if (auto intercepted = TelemetryIntercept(request, table, path)) {
+    return std::move(*intercepted);
+  }
 
   // Composition is the one cross-shard mutation: intercept it before
   // single-shard routing.
@@ -298,6 +368,11 @@ http::Response FederationRouter::AggregateCollection(const http::Request& reques
                                                      const RoutingTable& table) {
   aggregations_.fetch_add(1, std::memory_order_relaxed);
   const std::string path = http::NormalizePath(request.path);
+  // One aggregate span parents every scatter leg; its context is captured by
+  // value because ambient trace state does not cross std::thread.
+  trace::Span agg_span("router.aggregate");
+  if (agg_span.active()) agg_span.Note(path);
+  const trace::TraceContext agg_ctx = agg_span.context();
 
   // Paging options. $fedskip is the router's own stable continuation token
   // (shard id + per-shard offset); a raw global $skip is translated on the
@@ -343,16 +418,31 @@ http::Response FederationRouter::AggregateCollection(const http::Request& reques
     std::vector<std::thread> threads;
     threads.reserve(table.shards.size());
     for (std::size_t i = 0; i < table.shards.size(); ++i) {
-      threads.emplace_back([this, &table, &pages, &base_query, &path, i] {
+      threads.emplace_back([this, &table, &pages, &base_query, &path, i, agg_ctx] {
         const ShardInfo& shard = table.shards[i];
         ShardPage& page = pages[i];
         page.shard_id = shard.id;
         if (!shard.alive) return;
+        // Sibling span per leg, adopted from the captured aggregate context
+        // (worker threads carry no ambient context of their own — the guard
+        // keeps an untraced request from minting a trace per leg).
+        trace::ScopedOrigin origin("router");
+        std::optional<trace::Span> leg;
+        if (agg_ctx.active()) {
+          leg.emplace("router.fetch", agg_ctx);
+          leg->Note(shard.id);
+        }
         auto resp = SendToShard(
             shard, http::MakeRequest(http::Method::kGet, BuildTarget(path, base_query)));
-        if (!resp.ok()) return;
+        if (!resp.ok()) {
+          if (leg) leg->SetError();
+          return;
+        }
         auto doc = ParseCollectionDoc(resp.value());
-        if (!doc.ok()) return;
+        if (!doc.ok()) {
+          if (leg) leg->SetError();
+          return;
+        }
         page.ok = true;
         page.have_doc = true;
         page.count = CountOf(doc.value());
@@ -476,6 +566,24 @@ http::Response FederationRouter::AggregateCollection(const http::Request& reques
   }
   if (!omitted_shards.empty()) {
     degraded_.fetch_add(1, std::memory_order_relaxed);
+    omitted_members_.fetch_add(static_cast<std::uint64_t>(omitted_members),
+                               std::memory_order_relaxed);
+    metrics::Registry::instance().counter("federation.degraded_responses").Increment();
+    metrics::Registry::instance()
+        .counter("federation.members_omitted")
+        .Increment(static_cast<std::uint64_t>(omitted_members));
+    std::string omitted_ids;
+    for (const json::Json& shard : omitted_shards) {
+      if (!omitted_ids.empty()) omitted_ids += ", ";
+      omitted_ids += shard.as_string();
+    }
+    OFMF_WARN << "federation: degraded aggregation of " << path
+              << " omitted shard(s) " << omitted_ids << " (" << omitted_members
+              << " member(s) last known there)";
+    if (agg_span.active()) {
+      agg_span.Note("degraded: " + omitted_ids);
+      agg_span.SetError();
+    }
     json::Json& oem = merged["Oem"];
     if (!oem.is_object()) oem = json::Json::MakeObject();
     json::Json& ofmf = oem["Ofmf"];
@@ -545,7 +653,14 @@ json::Json NormalizeClaimedPayload(json::Json doc, const std::string& txn) {
 Result<json::Json> FederationRouter::ClaimBlockOnShard(const ShardInfo& shard,
                                                        const std::string& uri,
                                                        const std::string& txn) {
+  // Every read/CAS attempt below is stamped with this span's identity, so
+  // the shard-side PATCH spans hang off compose.claim in the assembled tree.
+  trace::Span span("compose.claim");
+  if (span.active()) span.Note(uri + " @ " + shard.id);
   for (int attempt = 0; attempt < options_.claim_attempts; ++attempt) {
+    if (attempt > 0 && span.active()) {
+      span.Note("attempt " + std::to_string(attempt + 1));
+    }
     auto read = SendToShard(shard, http::MakeRequest(http::Method::kGet, uri));
     if (!read.ok()) return read.status();
     if (read.value().status == 404) {
@@ -568,6 +683,7 @@ Result<json::Json> FederationRouter::ClaimBlockOnShard(const ShardInfo& shard,
       return NormalizeClaimedPayload(std::move(doc.value()), txn);
     }
     if (state != "Unused") {
+      span.SetError();
       return Status::FailedPrecondition("block " + uri + " is " + state);
     }
     const std::string etag = read.value().headers.GetOr("ETag", "");
@@ -586,11 +702,13 @@ Result<json::Json> FederationRouter::ClaimBlockOnShard(const ShardInfo& shard,
       return NormalizeClaimedPayload(std::move(doc.value()), txn);
     }
     if (patched.value().status != 412) {
+      span.SetError();
       return Status::FailedPrecondition("claim of " + uri + " rejected: HTTP " +
                                         std::to_string(patched.value().status));
     }
     // 412: someone advanced the block between our read and patch; re-read.
   }
+  span.SetError();
   return Status::FailedPrecondition("block " + uri + " is contended; claim lost repeatedly");
 }
 
@@ -600,6 +718,13 @@ void FederationRouter::ReleaseClaims(
     rollbacks_.fetch_add(1, std::memory_order_relaxed);
   }
   for (const auto& [shard, uri] : claimed) {
+    // One span per release PATCH; rollbacks are errors by definition (the
+    // trace that needed one is always retained for TraceDump).
+    trace::Span span(is_rollback ? "compose.rollback" : "compose.release");
+    if (span.active()) {
+      span.Note(uri + " @ " + shard.id);
+      if (is_rollback) span.SetError();
+    }
     http::Request release = http::MakeJsonRequest(
         http::Method::kPatch, uri,
         json::Json::Obj(
@@ -661,11 +786,13 @@ http::Response FederationRouter::ComposeRoute(const http::Request& request,
   }
 
   composes_.fetch_add(1, std::memory_order_relaxed);
+  trace::Span span("router.compose");
   std::string txn = request.headers.GetOr("X-Request-Id", "");
   if (txn.empty()) {
     txn = "fedtxn-" + std::to_string(txn_counter_.fetch_add(1)) + "-" +
           std::to_string(std::chrono::steady_clock::now().time_since_epoch().count());
   }
+  if (span.active()) span.Note(txn);
 
   // Phase 1: claim every block by wire ETag-CAS, in sorted-URI order so two
   // racing routers contend in the same order instead of deadlocking into
@@ -716,7 +843,13 @@ http::Response FederationRouter::ComposeRoute(const http::Request& request,
 
   http::Request compose = http::MakeJsonRequest(http::Method::kPost, kSystems, compose_body);
   compose.headers.Set("X-Request-Id", txn);
+  trace::Span forward("compose.forward");
+  if (forward.active()) forward.Note(home.id);
   auto composed = SendToShard(home, compose);
+  if (!composed.ok() || composed.value().status >= 500) forward.SetError();
+  // End before any rollback so compose.rollback spans are its siblings, not
+  // its children.
+  forward.End();
   if (!composed.ok() || composed.value().status >= 500) {
     // The home shard may be gone mid-POST; unwind every claim so no block
     // leaks. (A lost *response* for a system that WAS created is retried by
@@ -792,6 +925,222 @@ void FederationRouter::CacheCount(const std::string& path, const std::string& sh
                                   long long count) {
   std::lock_guard<std::mutex> lock(mu_);
   counts_[path + "|" + shard_id] = count;
+}
+
+std::optional<http::Response> FederationRouter::TelemetryIntercept(
+    const http::Request& request, const RoutingTable& table, const std::string& path) {
+  static const std::string kActionsPrefix = std::string(kServiceRoot) + "/Actions/";
+  if (request.method == http::Method::kGet || request.method == http::Method::kHead) {
+    if (path == core::kTelemetryService) {
+      return http::MakeJsonResponse(200, FleetTelemetryServiceDoc());
+    }
+    if (path == core::kMetricReports) {
+      return http::MakeJsonResponse(200, FleetMetricReportsDoc());
+    }
+    const std::string reports_prefix = std::string(core::kMetricReports) + "/";
+    if (strings::StartsWith(path, reports_prefix)) {
+      const std::string name = path.substr(reports_prefix.size());
+      const auto& names = FleetReportNames();
+      if (std::find(names.begin(), names.end(), name) == names.end()) {
+        return redfish::ErrorResponse(
+            Status::NotFound("no fleet MetricReport named " + name));
+      }
+      if (name == "FleetHealth") {
+        // Health needs no shard round-trips: liveness / heartbeat age /
+        // self-reported stats all live in the routing table.
+        FleetHealthInputs inputs;
+        inputs.degraded_responses = degraded_.load(std::memory_order_relaxed);
+        inputs.members_omitted = omitted_members_.load(std::memory_order_relaxed);
+        return http::MakeJsonResponse(200, FleetHealthReport(table, inputs));
+      }
+      const FleetMetrics fleet = GatherFleetMetrics(table);
+      if (name == "RequestLatency") {
+        return http::MakeJsonResponse(200, FleetRequestLatencyReport(fleet));
+      }
+      if (name == "ResponseCache") {
+        return http::MakeJsonResponse(200, FleetResponseCacheReport(fleet));
+      }
+      if (name == "Resilience") {
+        return http::MakeJsonResponse(200, FleetResilienceReport(fleet));
+      }
+      return http::MakeJsonResponse(200, FleetEventDeliveryReport(fleet));
+    }
+    return std::nullopt;
+  }
+  if (request.method != http::Method::kPost) return std::nullopt;
+  if (path == kActionsPrefix + "OfmfService.MetricsDump") {
+    return http::MakeJsonResponse(200, GatherFleetMetrics(table).ToJson());
+  }
+  if (path == kActionsPrefix + "OfmfService.TraceDump") {
+    // Accept the trace id as a JSON body ({"TraceId": "<hex>"}) or the
+    // ?trace= query shortcut, mirroring the shard-side action.
+    std::string trace_hex;
+    if (!request.body.view().empty()) {
+      auto body = request.JsonBody();
+      if (body.ok() && body.value().is_object()) {
+        trace_hex = body.value().GetString("TraceId");
+      }
+    }
+    if (trace_hex.empty()) {
+      const auto trace_param = request.query.find("trace");
+      if (trace_param != request.query.end()) trace_hex = trace_param->second;
+    }
+    if (trace_hex.empty()) {
+      // No id: merged listing of retained traces, router + every live shard.
+      std::set<std::string> ids;
+      for (const std::uint64_t id : trace::TraceRecorder::instance().RetainedTraceIds()) {
+        ids.insert(trace::IdToHex(id));
+      }
+      const http::Request dump = http::MakeJsonRequest(
+          http::Method::kPost, kActionsPrefix + "OfmfService.TraceDump",
+          json::Json::MakeObject());
+      for (const ShardInfo& shard : table.shards) {
+        if (!shard.alive) continue;
+        auto resp = SendToShard(shard, dump);
+        if (!resp.ok() || !resp.value().ok()) continue;
+        auto doc = json::Parse(resp.value().body.view());
+        if (!doc.ok()) continue;
+        const json::Json& retained = doc.value().at("RetainedTraces");
+        if (!retained.is_array()) continue;
+        for (const json::Json& id : retained.as_array()) {
+          if (id.is_string()) ids.insert(id.as_string());
+        }
+      }
+      json::Array out;
+      for (const std::string& id : ids) out.push_back(json::Json(id));
+      return http::MakeJsonResponse(
+          200, json::Json::Obj({{"ShardId", "router"},
+                                {"RetainedTraces", json::Json(std::move(out))}}));
+    }
+    const std::uint64_t trace_id = trace::HexToId(trace_hex);
+    if (trace_id == 0) {
+      return redfish::ErrorResponse(
+          Status::InvalidArgument("TraceId must be 16 hex digits"));
+    }
+    return http::MakeJsonResponse(200, AssembleTrace(trace_id, table));
+  }
+  return std::nullopt;
+}
+
+FleetMetrics FederationRouter::GatherFleetMetrics(const RoutingTable& table) {
+  static const std::string kDumpTarget =
+      std::string(kServiceRoot) + "/Actions/OfmfService.MetricsDump";
+  // Scatter the one-shot dump action to every live shard; gather into docs
+  // and fold sequentially (FleetMetrics itself is not thread-safe).
+  const trace::TraceContext ctx = trace::Current();
+  std::vector<std::optional<json::Json>> docs(table.shards.size());
+  std::vector<std::thread> threads;
+  threads.reserve(table.shards.size());
+  for (std::size_t i = 0; i < table.shards.size(); ++i) {
+    threads.emplace_back([this, &table, &docs, i, ctx] {
+      const ShardInfo& shard = table.shards[i];
+      if (!shard.alive) return;
+      trace::ScopedOrigin origin("router");
+      std::optional<trace::Span> leg;
+      if (ctx.active()) {
+        leg.emplace("router.metrics_fetch", ctx);
+        leg->Note(shard.id);
+      }
+      auto resp = SendToShard(
+          shard, http::MakeRequest(http::Method::kPost, kDumpTarget));
+      if (!resp.ok() || !resp.value().ok()) {
+        if (leg) leg->SetError();
+        return;
+      }
+      auto doc = json::Parse(resp.value().body.view());
+      if (!doc.ok() || !doc.value().is_object()) {
+        if (leg) leg->SetError();
+        return;
+      }
+      docs[i] = std::move(doc.value());
+    });
+  }
+  for (auto& t : threads) t.join();
+  FleetMetrics fleet;
+  for (std::size_t i = 0; i < table.shards.size(); ++i) {
+    if (docs[i]) fleet.Absorb(table.shards[i].id, *docs[i]);
+  }
+  return fleet;
+}
+
+std::vector<trace::SpanRecord> FederationRouter::AssembleTraceSpans(
+    std::uint64_t trace_id, const RoutingTable& table) {
+  trace::TraceRecorder& recorder = trace::TraceRecorder::instance();
+  std::vector<trace::SpanRecord> spans = recorder.RetainedTrace(trace_id);
+  if (spans.empty()) spans = recorder.TraceSpans(trace_id);
+  for (trace::SpanRecord& span : spans) {
+    if (span.origin.empty()) span.origin = "router";
+  }
+  // Spans dedup by id: in single-process deployments (tests, benches) the
+  // router and every shard share one recorder, so its fragment and theirs
+  // overlap completely.
+  std::set<std::uint64_t> seen;
+  for (const trace::SpanRecord& span : spans) seen.insert(span.span_id);
+
+  const http::Request dump = http::MakeJsonRequest(
+      http::Method::kPost, std::string(kServiceRoot) + "/Actions/OfmfService.TraceDump",
+      json::Json::Obj({{"TraceId", trace::IdToHex(trace_id)}}));
+  for (const ShardInfo& shard : table.shards) {
+    if (!shard.alive) continue;
+    auto resp = SendToShard(shard, dump);
+    if (!resp.ok() || !resp.value().ok()) continue;
+    auto doc = json::Parse(resp.value().body.view());
+    if (!doc.ok() || !doc.value().is_object()) continue;
+    const json::Json& fragment = doc.value().at("Spans");
+    if (!fragment.is_array()) continue;
+    for (const json::Json& entry : fragment.as_array()) {
+      if (!entry.is_object()) continue;
+      trace::SpanRecord span;
+      span.trace_id = trace_id;
+      span.span_id = trace::HexToId(entry.GetString("SpanId"));
+      span.parent_span_id = trace::HexToId(entry.GetString("ParentSpanId"));
+      span.name = entry.GetString("Name");
+      span.note = entry.GetString("Note");
+      span.origin = entry.GetString("Origin");
+      if (span.origin.empty()) span.origin = shard.id;
+      span.start_ns = static_cast<std::uint64_t>(entry.GetInt("StartNs", 0));
+      span.duration_ns = static_cast<std::uint64_t>(entry.GetInt("DurationNs", 0));
+      span.thread_id = static_cast<std::uint32_t>(entry.GetInt("Thread", 0));
+      span.error = entry.GetBool("Error", false);
+      if (span.span_id == 0 || !seen.insert(span.span_id).second) continue;
+      spans.push_back(std::move(span));
+    }
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const trace::SpanRecord& a, const trace::SpanRecord& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return spans;
+}
+
+json::Json FederationRouter::AssembleTrace(std::uint64_t trace_id,
+                                           const RoutingTable& table) {
+  std::vector<trace::SpanRecord> spans = AssembleTraceSpans(trace_id, table);
+  std::vector<std::string> nodes;
+  for (const trace::SpanRecord& span : spans) {
+    if (std::find(nodes.begin(), nodes.end(), span.origin) == nodes.end()) {
+      nodes.push_back(span.origin);
+    }
+  }
+  json::Array node_arr;
+  for (const std::string& node : nodes) node_arr.push_back(json::Json(node));
+  json::Array span_arr;
+  for (const trace::SpanRecord& s : spans) {
+    span_arr.push_back(json::Json::Obj(
+        {{"SpanId", trace::IdToHex(s.span_id)},
+         {"ParentSpanId", trace::IdToHex(s.parent_span_id)},
+         {"Name", s.name},
+         {"Note", s.note},
+         {"Origin", s.origin},
+         {"StartNs", static_cast<std::int64_t>(s.start_ns)},
+         {"DurationNs", static_cast<std::int64_t>(s.duration_ns)},
+         {"Thread", static_cast<std::int64_t>(s.thread_id)},
+         {"Error", s.error}}));
+  }
+  return json::Json::Obj({{"TraceId", trace::IdToHex(trace_id)},
+                          {"Nodes", json::Json(std::move(node_arr))},
+                          {"Spans", json::Json(std::move(span_arr))},
+                          {"Tree", trace::FormatTraceTree(std::move(spans))}});
 }
 
 std::optional<long long> FederationRouter::CachedCount(const std::string& path,

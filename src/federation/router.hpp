@@ -17,7 +17,9 @@
 #include <vector>
 
 #include "common/faults.hpp"
+#include "common/trace.hpp"
 #include "federation/directory_client.hpp"
+#include "federation/fleet.hpp"
 #include "federation/routing.hpp"
 #include "http/server.hpp"
 
@@ -29,12 +31,17 @@ struct RouterOptions {
   /// ETag-CAS attempts per block claim before giving up (matches the
   /// shard-local ClaimBlock retry budget).
   int claim_attempts = 4;
+  /// Requests slower than this dump the *assembled* cross-process trace tree
+  /// (router spans stitched with every shard's TraceDump fragment) via
+  /// OFMF_WARN; 0 (default) disables. Only meaningful with sampling on.
+  int slow_trace_ms = 0;
 };
 
 struct RouterStats {
   std::uint64_t forwarded = 0;          // single-shard forwards
   std::uint64_t aggregations = 0;       // scatter-gather collection GETs
   std::uint64_t degraded_aggregations = 0;  // ... with shards omitted
+  std::uint64_t members_omitted = 0;    // members lost to degraded responses
   std::uint64_t probes = 0;             // ownership-probe GETs issued
   std::uint64_t cross_shard_composes = 0;
   std::uint64_t compose_rollbacks = 0;  // two-phase unwinds executed
@@ -60,6 +67,12 @@ class FederationRouter {
 
   RouterStats stats() const;
 
+  /// Stitches the router's spans for `trace_id` with every live shard's
+  /// TraceDump fragment into one deduped, start-ordered span set, and
+  /// renders it as {TraceId, Nodes, Spans, Tree}. Served by the router's
+  /// own Actions/OfmfService.TraceDump and used by the slow-request dump.
+  json::Json AssembleTrace(std::uint64_t trace_id, const RoutingTable& table);
+
  private:
   struct ShardPage {
     bool ok = false;
@@ -68,6 +81,21 @@ class FederationRouter {
     bool have_doc = false;
     json::Json doc;  // full collection doc (Members intact) when have_doc
   };
+
+  /// Route() minus the tracing wrapper (wire adoption, router.route span,
+  /// trace-id echo, slow-trace assembly).
+  http::Response RouteInner(const http::Request& request);
+
+  /// Router-served observability endpoints: the fleet TelemetryService
+  /// (merged MetricReports + FleetHealth), the fleet MetricsDump, and the
+  /// assembled TraceDump. nullopt = not one of ours, route normally.
+  std::optional<http::Response> TelemetryIntercept(const http::Request& request,
+                                                   const RoutingTable& table,
+                                                   const std::string& path);
+  /// Scatter-gathers every live shard's MetricsDump into one FleetMetrics.
+  FleetMetrics GatherFleetMetrics(const RoutingTable& table);
+  std::vector<trace::SpanRecord> AssembleTraceSpans(std::uint64_t trace_id,
+                                                    const RoutingTable& table);
 
   Result<RoutingTable> TableNow();
   /// Ring for the current epoch (rebuilt only on epoch change).
@@ -124,7 +152,7 @@ class FederationRouter {
   std::atomic<std::uint64_t> txn_counter_{1};
 
   std::atomic<std::uint64_t> forwarded_{0}, aggregations_{0}, degraded_{0},
-      probes_{0}, composes_{0}, rollbacks_{0};
+      omitted_members_{0}, probes_{0}, composes_{0}, rollbacks_{0};
 };
 
 }  // namespace ofmf::federation

@@ -10,9 +10,15 @@ json::Json RoutingTable::ToJson() const {
   json::Array members;
   members.reserve(shards.size());
   for (const auto& s : shards) {
-    members.push_back(json::Json::Obj({{"ShardId", s.id},
-                                       {"Port", static_cast<int>(s.port)},
-                                       {"Alive", s.alive}}));
+    json::Json entry = json::Json::Obj({{"ShardId", s.id},
+                                        {"Port", static_cast<int>(s.port)},
+                                        {"Alive", s.alive}});
+    if (s.heartbeat_age_ms >= 0) {
+      entry.as_object().Set("HeartbeatAgeMs",
+                            static_cast<std::int64_t>(s.heartbeat_age_ms));
+    }
+    if (s.stats.is_object()) entry.as_object().Set("Stats", s.stats);
+    members.push_back(std::move(entry));
   }
   return json::Json::Obj({{"Epoch", static_cast<long long>(epoch)},
                           {"Shards", json::Json(std::move(members))}});
@@ -33,6 +39,8 @@ Result<RoutingTable> RoutingTable::FromJson(const json::Json& doc) {
     info.id = entry.GetString("ShardId");
     info.port = static_cast<std::uint16_t>(entry.GetInt("Port", 0));
     info.alive = entry.GetBool("Alive", true);
+    info.heartbeat_age_ms = entry.GetInt("HeartbeatAgeMs", -1);
+    if (entry.at("Stats").is_object()) info.stats = entry.at("Stats");
     if (info.id.empty() || info.port == 0) {
       return Status::InvalidArgument("shard entry needs ShardId and Port");
     }

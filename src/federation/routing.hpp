@@ -19,9 +19,20 @@ namespace ofmf::federation {
 
 /// One registered OFMF shard (an OfmfService instance behind a TcpServer).
 struct ShardInfo {
+  ShardInfo() = default;
+  ShardInfo(std::string id_in, std::uint16_t port_in, bool alive_in = true)
+      : id(std::move(id_in)), port(port_in), alive(alive_in) {}
+
   std::string id;       // stable operator-chosen identity ("shard-a")
-  std::uint16_t port;   // loopback port its reactor listens on
+  std::uint16_t port = 0;  // loopback port its reactor listens on
   bool alive = true;    // heartbeat freshness at snapshot time
+  /// Age of the last heartbeat at snapshot time; -1 = unknown (e.g. a table
+  /// built by hand in tests).
+  std::int64_t heartbeat_age_ms = -1;
+  /// Last self-reported shard stats, carried on the heartbeat POST (optional
+  /// object: breakers open, cache hit rate, ...). Survives the shard going
+  /// dark, so fleet health can still show the last known coarse state.
+  json::Json stats;
 };
 
 /// Epoch-versioned shard membership. The epoch advances on registration and

@@ -5,6 +5,7 @@
 
 #include "common/logging.hpp"
 #include "common/strings.hpp"
+#include "common/trace.hpp"
 #include "http/sse.hpp"
 #include "http/uri.hpp"
 #include "json/serialize.hpp"
@@ -92,10 +93,11 @@ std::string BuildBatchBody(const std::vector<DeliveryItemPtr>& batch) {
 }  // namespace
 
 DeliveryItem::DeliveryItem(std::uint64_t sequence_in, std::string event_type_in,
-                           json::Json record_in)
+                           json::Json record_in, std::uint64_t trace_id_in)
     : sequence(sequence_in),
       event_type(std::move(event_type_in)),
-      record(std::move(record_in)) {}
+      record(std::move(record_in)),
+      trace_id(trace_id_in) {}
 
 const std::string& DeliveryItem::sse_frame() const {
   std::call_once(frame_once_, [this] {
@@ -505,6 +507,13 @@ void DeliveryEngine::DeliverHttp(std::unique_lock<std::mutex>& lock, const SubPt
     http::Request request = http::MakeRequest(http::Method::kPost, destination);
     request.body = BuildBatchBody(batch);
     request.headers.Set("Content-Type", "application/json");
+    // Propagate the publishing request's trace: the first record's trace id
+    // wins for the whole batch (one header, many records — good enough to
+    // tie a webhook POST back to the request that caused it).
+    if (!batch.empty() && batch.front()->trace_id != 0) {
+      request.headers.Set(trace::kTraceIdHeader,
+                          trace::IdToHex(batch.front()->trace_id));
+    }
     // The network happens HERE — on an engine worker with no engine or
     // EventService lock held. The marker counter proves the publish path
     // never reaches this line.

@@ -124,11 +124,16 @@ struct DeliverySnapshot {
 /// in. `record` is the full single-event Redfish Event document (its
 /// "Events" array holds one entry); batching concatenates those arrays.
 struct DeliveryItem {
-  DeliveryItem(std::uint64_t sequence, std::string event_type, json::Json record);
+  DeliveryItem(std::uint64_t sequence, std::string event_type, json::Json record,
+               std::uint64_t trace_id = 0);
 
   const std::uint64_t sequence;
   const std::string event_type;
   const json::Json record;
+  /// Trace that published this event (0 = unsampled). Batch POSTs carry the
+  /// first record's trace as X-Trace-Id so a webhook receiver can tie the
+  /// delivery back to the originating request's trace.
+  const std::uint64_t trace_id;
 
   /// The SSE frame for this event, serialized once on first use.
   const std::string& sse_frame() const;

@@ -6,6 +6,7 @@
 
 #include "common/logging.hpp"
 #include "common/strings.hpp"
+#include "common/trace.hpp"
 #include "ofmf/uris.hpp"
 
 namespace ofmf::core {
@@ -222,7 +223,8 @@ void EventService::Publish(const Event& event) {
     json::Json record = event.ToJson(sequence, clock_.now());
     if (event_journal_) event_journal_(sequence, record);
     const DeliveryItemPtr item = std::make_shared<const DeliveryItem>(
-        sequence, event.event_type, std::move(record));
+        sequence, event.event_type, std::move(record),
+        trace::Current().trace_id);
     event_log_.push_back(item);
     while (event_log_.size() > kEventLogRetention) event_log_.pop_front();
 

@@ -268,6 +268,16 @@ void OfmfService::WireRoutes() {
         json::Array histograms;
         for (const metrics::Registry::NamedHistogram& entry :
              metrics::Registry::instance().HistogramSnapshots()) {
+          // Raw log2 buckets travel with every histogram so the federation
+          // router can merge shard dumps bucket-wise (percentiles do not
+          // compose; buckets do).
+          // Pre-sized assignment, not push_back: GCC 12's
+          // -Wmaybe-uninitialized false-positives on vector relocation of
+          // the Json variant at -O2.
+          json::Array buckets(entry.snap.buckets.size());
+          for (std::size_t i = 0; i < entry.snap.buckets.size(); ++i) {
+            buckets[i] = static_cast<std::int64_t>(entry.snap.buckets[i]);
+          }
           histograms.push_back(json::Json::Obj(
               {{"Name", entry.name},
                {"Count", static_cast<std::int64_t>(entry.snap.count)},
@@ -275,7 +285,8 @@ void OfmfService::WireRoutes() {
                {"Mean", entry.snap.mean()},
                {"P50", entry.snap.Percentile(0.50)},
                {"P95", entry.snap.Percentile(0.95)},
-               {"P99", entry.snap.Percentile(0.99)}}));
+               {"P99", entry.snap.Percentile(0.99)},
+               {"Buckets", json::Json(std::move(buckets))}}));
         }
         json::Array counters;
         for (const auto& [name, value] : metrics::Registry::instance().CounterValues()) {
@@ -284,10 +295,12 @@ void OfmfService::WireRoutes() {
         }
         const trace::TraceStats tstats = trace::TraceRecorder::instance().stats();
         const redfish::ResponseCacheStats cstats = rest_.response_cache().stats();
+        const DeliverySnapshot dstats = events_.CollectDelivery();
         return http::MakeJsonResponse(
             200,
             json::Json::Obj(
-                {{"Histograms", json::Json(std::move(histograms))},
+                {{"ShardId", shard_id_.empty() ? "ofmf" : shard_id_},
+                 {"Histograms", json::Json(std::move(histograms))},
                  {"Counters", json::Json(std::move(counters))},
                  {"Trace",
                   json::Json::Obj(
@@ -295,14 +308,77 @@ void OfmfService::WireRoutes() {
                        {"SkippedTraces", static_cast<std::int64_t>(tstats.skipped_traces)},
                        {"SpansRecorded", static_cast<std::int64_t>(tstats.spans_recorded)},
                        {"SpansEvicted", static_cast<std::int64_t>(tstats.spans_evicted)},
-                       {"SlowTraces", static_cast<std::int64_t>(tstats.slow_traces)}})},
+                       {"SlowTraces", static_cast<std::int64_t>(tstats.slow_traces)},
+                       {"RetainedTraces",
+                        static_cast<std::int64_t>(tstats.retained_traces)}})},
                  {"ResponseCache",
                   json::Json::Obj(
                       {{"Hits", static_cast<std::int64_t>(cstats.hits)},
                        {"Misses", static_cast<std::int64_t>(cstats.misses)},
                        {"Evictions", static_cast<std::int64_t>(cstats.evictions)},
                        {"Invalidations", static_cast<std::int64_t>(cstats.invalidations)},
-                       {"HitRate", cstats.hit_rate()}})}}));
+                       {"HitRate", cstats.hit_rate()}})},
+                 // The two sections below exist for the federation router's
+                 // fleet aggregation (counters add across shards).
+                 {"EventDelivery",
+                  json::Json::Obj(
+                      {{"Delivered", static_cast<std::int64_t>(dstats.delivered)},
+                       {"Batches", static_cast<std::int64_t>(dstats.batches)},
+                       {"Coalesced", static_cast<std::int64_t>(dstats.coalesced)},
+                       {"Dropped", static_cast<std::int64_t>(dstats.dropped)},
+                       {"Retries", static_cast<std::int64_t>(dstats.retries)},
+                       {"Failures", static_cast<std::int64_t>(dstats.failures)},
+                       {"QueuedEvents", static_cast<std::int64_t>(dstats.total_queued)},
+                       {"BreakersOpen", static_cast<std::int64_t>(dstats.breakers_open)},
+                       {"Streams", static_cast<std::int64_t>(dstats.streams)},
+                       {"LastSequence",
+                        static_cast<std::int64_t>(dstats.last_sequence)}})},
+                 {"Resilience", HealthStats()}}));
+      });
+
+  // This process's fragment of a (possibly cross-process) trace: the span
+  // tree retained for a slow/error trace id, or the ring's spans as a
+  // best-effort fallback. No TraceId lists the retained ids. The federation
+  // router fetches these per shard and stitches them into one tree.
+  rest_.RegisterAction(
+      "OfmfService.TraceDump",
+      [this](const std::string&, const json::Json& body) -> http::Response {
+        trace::TraceRecorder& recorder = trace::TraceRecorder::instance();
+        const std::string origin_default = shard_id_.empty() ? "ofmf" : shard_id_;
+        const std::string trace_hex = body.GetString("TraceId");
+        if (trace_hex.empty()) {
+          json::Array ids;
+          for (const std::uint64_t id : recorder.RetainedTraceIds()) {
+            ids.push_back(json::Json(trace::IdToHex(id)));
+          }
+          return http::MakeJsonResponse(
+              200, json::Json::Obj({{"ShardId", origin_default},
+                                    {"RetainedTraces", json::Json(std::move(ids))}}));
+        }
+        const std::uint64_t trace_id = trace::HexToId(trace_hex);
+        if (trace_id == 0) {
+          return redfish::ErrorResponse(
+              Status::InvalidArgument("TraceId must be 16 hex digits"));
+        }
+        std::vector<trace::SpanRecord> spans = recorder.RetainedTrace(trace_id);
+        if (spans.empty()) spans = recorder.TraceSpans(trace_id);
+        json::Array out;
+        for (const trace::SpanRecord& s : spans) {
+          out.push_back(json::Json::Obj(
+              {{"SpanId", trace::IdToHex(s.span_id)},
+               {"ParentSpanId", trace::IdToHex(s.parent_span_id)},
+               {"Name", s.name},
+               {"Note", s.note},
+               {"Origin", s.origin.empty() ? origin_default : s.origin},
+               {"StartNs", static_cast<std::int64_t>(s.start_ns)},
+               {"DurationNs", static_cast<std::int64_t>(s.duration_ns)},
+               {"Thread", static_cast<std::int64_t>(s.thread_id)},
+               {"Error", s.error}}));
+        }
+        return http::MakeJsonResponse(
+            200, json::Json::Obj({{"TraceId", trace::IdToHex(trace_id)},
+                                  {"ShardId", origin_default},
+                                  {"Spans", json::Json(std::move(out))}}));
       });
 }
 
@@ -462,6 +538,26 @@ ResilienceSnapshot OfmfService::CollectResilience() const {
     snapshot.replayed_posts = replay_hits_;
   }
   return snapshot;
+}
+
+json::Json OfmfService::HealthStats() {
+  const ResilienceSnapshot resilience = CollectResilience();
+  std::int64_t open = 0;
+  json::Array breakers;
+  for (const ResilienceSnapshot::FabricBreaker& breaker : resilience.breakers) {
+    if (breaker.state != BreakerState::kClosed) ++open;
+    breakers.push_back(json::Json::Obj({{"FabricId", breaker.fabric_id},
+                                        {"State", to_string(breaker.state)},
+                                        {"Degraded", breaker.degraded}}));
+  }
+  const redfish::ResponseCacheStats cache = rest_.response_cache().stats();
+  return json::Json::Obj({
+      {"BreakersOpen", open},
+      {"BreakersTotal", static_cast<std::int64_t>(resilience.breakers.size())},
+      {"Breakers", json::Json(std::move(breakers))},
+      {"ReplayedPosts", static_cast<std::int64_t>(resilience.replayed_posts)},
+      {"CacheHitRate", cache.hit_rate()},
+  });
 }
 
 Status OfmfService::InjectedAgentFault(const std::string& fabric_id) {
@@ -765,6 +861,11 @@ std::size_t OfmfService::ProcessPendingWork() {
 }
 
 http::Response OfmfService::Handle(const http::Request& request) {
+  // Label every span this request records with the shard's identity, so an
+  // assembled cross-process trace attributes each fragment to its node even
+  // when several shards share one process (tests, benches).
+  trace::ScopedOrigin origin(shard_id_.empty() ? std::string_view("ofmf")
+                                               : std::string_view(shard_id_));
   // Adopt the wire trace identity (InProcess callers skip tcp.serve, so this
   // is their entry point too; under TCP the ambient tcp.serve span wins and
   // http.handle nests beneath it). Sampling 0 means tracing is off for this
@@ -793,7 +894,10 @@ http::Response OfmfService::Handle(const http::Request& request) {
   if (span.active()) {
     // Echo the trace id so a client can quote it when reporting a slow call.
     response.headers.Set(trace::kTraceIdHeader, trace::IdToHex(span.context().trace_id));
-    if (response.status >= 500) span.Note("HTTP " + std::to_string(response.status));
+    if (response.status >= 500) {
+      span.Note("HTTP " + std::to_string(response.status));
+      span.SetError();  // error trees are always retained for TraceDump
+    }
   }
   PeriodicReportRefresh();
   return response;
@@ -882,6 +986,19 @@ http::Response OfmfService::HandleInner(const http::Request& request) {
 }
 
 http::Response OfmfService::Dispatch(const http::Request& request) {
+  // TraceDump convenience: ?trace=<id> folds into the action body (action
+  // handlers only see the body). An explicit body wins over the query.
+  if (request.method == http::Method::kPost && request.body.view().empty()) {
+    const auto trace_param = request.query.find("trace");
+    if (trace_param != request.query.end() &&
+        strings::EndsWith(http::NormalizePath(request.path),
+                          "/Actions/OfmfService.TraceDump")) {
+      const http::Request rewritten = http::MakeJsonRequest(
+          http::Method::kPost, request.path,
+          json::Json::Obj({{"TraceId", trace_param->second}}));
+      return rest_.Handle(rewritten);
+    }
+  }
   // Lazy refresh of the read-path cache counters: reading the ResponseCache
   // MetricReport first syncs it from the live cache (no-op when the counters
   // have not moved since the last sync; other telemetry reads are untouched).

@@ -151,6 +151,12 @@ class OfmfService {
   /// Current breaker + replay counters (feeds the Resilience MetricReport).
   ResilienceSnapshot CollectResilience() const;
 
+  /// Coarse self-reported health (breaker states, replay counter, cache hit
+  /// rate) in JSON form. Shards attach this to their directory heartbeats so
+  /// the router's FleetHealth report can show per-shard state — including
+  /// the last known state of a shard that has since gone dark.
+  json::Json HealthStats();
+
  private:
   Status BootstrapServiceRoot();
   void WireRoutes();

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/faults.hpp"
+#include "common/trace.hpp"
 #include "federation/directory.hpp"
 #include "federation/directory_client.hpp"
 #include "federation/router.hpp"
@@ -472,6 +473,181 @@ TEST_F(FederationFixture, ComposeRetryWithSameRequestIdIsIdempotent) {
   // Exactly one system exists; the retry re-claimed idempotently (ClaimedBy
   // matches the transaction) and was answered from the replay cache.
   EXPECT_EQ(GetJson(core::kSystems).GetInt("Members@odata.count"), 1);
+}
+
+// ------------------------------------- cross-process traces + fleet tele --
+
+/// Resets process-global trace state on scope exit so a failing assertion
+/// cannot leak sampling into unrelated tests.
+struct TraceSamplingGuard {
+  ~TraceSamplingGuard() {
+    trace::TraceRecorder::instance().set_sampling(0.0);
+    trace::TraceRecorder::instance().set_retain_threshold_ns(0);
+    trace::TraceRecorder::instance().Clear();
+  }
+};
+
+std::string TraceDumpTarget() {
+  return std::string(core::kServiceRoot) + "/Actions/OfmfService.TraceDump";
+}
+
+TEST_F(FederationFixture, CrossShardComposeProducesOneConnectedTrace) {
+  TraceSamplingGuard guard;
+  trace::TraceRecorder::instance().Clear();
+  trace::TraceRecorder::instance().set_sampling(1.0);
+  StartShards(2, 2);
+
+  const http::Response composed =
+      Route(http::MakeJsonRequest(http::Method::kPost, core::kSystems,
+                                  ComposeBody({BlockUri("s1", 0), BlockUri("s2", 0)})));
+  ASSERT_EQ(composed.status, 201) << composed.body.view();
+  const std::string trace_hex = composed.headers.GetOr(trace::kTraceIdHeader, "");
+  ASSERT_EQ(trace_hex.size(), 16u) << "router must echo the minted trace id";
+
+  const http::Response dumped =
+      Route(http::MakeJsonRequest(http::Method::kPost, TraceDumpTarget(),
+                                  Json::Obj({{"TraceId", trace_hex}})));
+  ASSERT_EQ(dumped.status, 200) << dumped.body.view();
+  auto doc = json::Parse(dumped.body.view());
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().GetString("TraceId"), trace_hex);
+
+  // Spans from all three processes (router + both shards), attributed by
+  // origin, assembled into ONE tree: exactly one root, no orphans.
+  const Json& spans = doc.value().at("Spans");
+  ASSERT_TRUE(spans.is_array());
+  std::set<std::string> span_ids, origins, names;
+  for (const Json& span : spans.as_array()) {
+    span_ids.insert(span.GetString("SpanId"));
+    origins.insert(span.GetString("Origin"));
+    names.insert(span.GetString("Name"));
+  }
+  int roots = 0;
+  for (const Json& span : spans.as_array()) {
+    const std::string parent = span.GetString("ParentSpanId");
+    if (parent == trace::IdToHex(0)) {
+      ++roots;
+    } else {
+      EXPECT_TRUE(span_ids.count(parent))
+          << span.GetString("Name") << " is orphaned from parent " << parent;
+    }
+  }
+  EXPECT_EQ(roots, 1) << "assembled spans must form one connected tree";
+  EXPECT_GE(origins.size(), 3u) << "router and both shards must contribute";
+  EXPECT_TRUE(origins.count("router"));
+  EXPECT_TRUE(origins.count("s1"));
+  EXPECT_TRUE(origins.count("s2"));
+  for (const char* required :
+       {"router.route", "router.compose", "compose.claim", "compose.forward"}) {
+    EXPECT_TRUE(names.count(required)) << "missing span " << required;
+  }
+  EXPECT_FALSE(doc.value().GetString("Tree").empty());
+}
+
+TEST_F(FederationFixture, FaultInjectedRollbackShowsCausalityInAssembledTrace) {
+  TraceSamplingGuard guard;
+  trace::TraceRecorder::instance().Clear();
+  trace::TraceRecorder::instance().set_sampling(1.0);
+  StartShards(2, 2);
+  const std::string home_block = BlockUri("s1", 1);
+  const std::string remote_block = BlockUri("s2", 1);
+  (void)GetJson(home_block);
+  (void)GetJson(remote_block);
+  // Home shard dies exactly at the phase-2 compose POST (3rd downstream
+  // call): both claims land, the forward fails, the rollback runs.
+  faults_->ArmWindow("federation.shard.s1", FaultKind::kDropConnection, 3, 1000);
+  const http::Response composed =
+      Route(http::MakeJsonRequest(http::Method::kPost, core::kSystems,
+                                  ComposeBody({home_block, remote_block})));
+  EXPECT_EQ(composed.status, 503) << composed.body.view();
+  faults_->Disarm("federation.shard.s1");
+  const std::string trace_hex = composed.headers.GetOr(trace::kTraceIdHeader, "");
+  ASSERT_EQ(trace_hex.size(), 16u);
+
+  // The ?trace= query shortcut works on the router's dump action too.
+  const http::Response dumped = Route(
+      http::MakeRequest(http::Method::kPost, TraceDumpTarget() + "?trace=" + trace_hex));
+  ASSERT_EQ(dumped.status, 200) << dumped.body.view();
+  auto doc = json::Parse(dumped.body.view());
+  ASSERT_TRUE(doc.ok());
+
+  // claim -> forward -> rollback causality, with the failure marked.
+  std::int64_t claim_start = -1, forward_start = -1, rollback_start = -1;
+  std::set<std::string> origins;
+  for (const Json& span : doc.value().at("Spans").as_array()) {
+    const std::string name = span.GetString("Name");
+    const std::int64_t start = span.GetInt("StartNs");
+    origins.insert(span.GetString("Origin"));
+    if (name == "compose.claim" && claim_start < 0) claim_start = start;
+    if (name == "compose.forward") {
+      forward_start = start;
+      EXPECT_TRUE(span.GetBool("Error")) << "failed forward must be marked";
+    }
+    if (name == "compose.rollback" && rollback_start < 0) {
+      rollback_start = start;
+      EXPECT_TRUE(span.GetBool("Error"));
+    }
+  }
+  ASSERT_GE(claim_start, 0) << "no compose.claim span assembled";
+  ASSERT_GE(forward_start, 0) << "no compose.forward span assembled";
+  ASSERT_GE(rollback_start, 0) << "no compose.rollback span assembled";
+  EXPECT_LE(claim_start, forward_start);
+  EXPECT_LE(forward_start, rollback_start);
+  EXPECT_GE(origins.size(), 3u) << "router and both shards must contribute";
+}
+
+TEST_F(FederationFixture, FleetTelemetryMergesShardDumpsAndServesHealth) {
+  StartShards(2, 2);
+  (void)GetJson(core::kResourceBlocks);  // some shard traffic to count
+
+  // FleetHealth is served by the router from the routing table alone.
+  const Json health = GetJson(std::string(core::kMetricReports) + "/FleetHealth");
+  EXPECT_EQ(health.GetString("Id"), "FleetHealth");
+  const Json* health_shards = json::ResolvePointerRef(health, "/Oem/Ofmf/Shards");
+  ASSERT_NE(health_shards, nullptr);
+  ASSERT_EQ(health_shards->as_array().size(), 2u);
+  for (const Json& shard : health_shards->as_array()) {
+    EXPECT_TRUE(shard.GetBool("Alive")) << shard.GetString("ShardId");
+  }
+
+  // The merged MetricsDump names both contributing shards and recomputes
+  // the fleet cache hit rate from the summed counters.
+  const http::Response dump = Route(http::MakeRequest(
+      http::Method::kPost,
+      std::string(core::kServiceRoot) + "/Actions/OfmfService.MetricsDump"));
+  ASSERT_EQ(dump.status, 200) << dump.body.view();
+  auto merged = json::Parse(dump.body.view());
+  ASSERT_TRUE(merged.ok());
+  std::set<std::string> contributing;
+  for (const Json& shard : merged.value().at("Shards").as_array()) {
+    contributing.insert(shard.as_string());
+  }
+  EXPECT_EQ(contributing, (std::set<std::string>{"s1", "s2"}));
+  EXPECT_TRUE(merged.value().at("ResponseCache").is_object());
+
+  // The router's own TelemetryService lists all five fleet reports and
+  // serves the histogram-merged latency report.
+  const Json reports = GetJson(core::kMetricReports);
+  EXPECT_EQ(reports.GetInt("Members@odata.count"), 5);
+  const Json latency = GetJson(std::string(core::kMetricReports) + "/RequestLatency");
+  EXPECT_EQ(latency.GetString("Id"), "RequestLatency");
+  ASSERT_TRUE(latency.at("MetricValues").is_array());
+  GetJson(std::string(core::kMetricReports) + "/NoSuchReport", 404);
+}
+
+TEST(DirectoryTest, HeartbeatCarriesOptionalStatsIntoTable) {
+  DirectoryService directory;
+  directory.Register("s1", 8081);
+  ASSERT_TRUE(
+      directory.Heartbeat("s1", Json::Obj({{"BreakersOpen", 2}})).ok());
+  const RoutingTable table = directory.Table();
+  ASSERT_NE(table.Find("s1"), nullptr);
+  EXPECT_EQ(table.Find("s1")->stats.GetInt("BreakersOpen"), 2);
+  EXPECT_GE(table.Find("s1")->heartbeat_age_ms, 0);
+  // The stats survive the JSON round-trip routers receive the table through.
+  const auto parsed = RoutingTable::FromJson(table.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("s1")->stats.GetInt("BreakersOpen"), 2);
 }
 
 // --------------------------------------------- pooled event delivery wire --

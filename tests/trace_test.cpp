@@ -6,6 +6,7 @@
 #include <gmock/gmock.h>
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <map>
@@ -46,6 +47,7 @@ class TraceTest : public ::testing::Test {
   static void ResetObservability() {
     trace::TraceRecorder::instance().set_sampling(0.0);
     trace::TraceRecorder::instance().set_slow_threshold_ns(0);
+    trace::TraceRecorder::instance().set_retain_threshold_ns(0);
     trace::TraceRecorder::instance().Clear();
     metrics::Registry::instance().set_enabled(true);
   }
@@ -239,6 +241,85 @@ TEST_F(TraceTest, HistogramPercentilesCountAndReset) {
   const auto zero = hist.snapshot();
   EXPECT_EQ(zero.count, 0u);
   EXPECT_EQ(zero.Percentile(0.99), 0.0);
+}
+
+TEST_F(TraceTest, HistogramMergeSumsBucketsAndDerivesCount) {
+  metrics::Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.Record(1000);    // ~1 us
+  for (int i = 0; i < 50; ++i) b.Record(1000);
+  for (int i = 0; i < 10; ++i) b.Record(1000000);  // ~1 ms tail
+
+  const auto snap_a = a.snapshot();
+  const auto snap_b = b.snapshot();
+  auto merged = a.snapshot();
+  merged.Merge(snap_b);
+
+  // Buckets and sums add; the count is re-derived from the merged buckets so
+  // a merge of already-merged snapshots stays self-consistent.
+  std::uint64_t derived = 0;
+  for (std::size_t i = 0; i < metrics::Histogram::kBuckets; ++i) {
+    EXPECT_EQ(merged.buckets[i], snap_a.buckets[i] + snap_b.buckets[i])
+        << "bucket " << i;
+    derived += merged.buckets[i];
+  }
+  EXPECT_EQ(merged.count, derived);
+  EXPECT_EQ(merged.count, 160u);
+  EXPECT_EQ(merged.sum, snap_a.sum + snap_b.sum);
+  EXPECT_EQ(merged.DerivedCount(), merged.count);
+
+  // Percentiles recompute from the merged buckets (they never average).
+  EXPECT_GE(merged.Percentile(0.50), 512.0);
+  EXPECT_LE(merged.Percentile(0.50), 2048.0);
+  EXPECT_GE(merged.Percentile(0.99), 524288.0);
+  EXPECT_LE(merged.Percentile(0.99), 2097152.0);
+
+  auto twice = merged;
+  twice.Merge(merged);
+  EXPECT_EQ(twice.count, 2 * merged.count);
+  EXPECT_EQ(twice.sum, 2 * merged.sum);
+}
+
+TEST_F(TraceTest, ErrorAndSlowTreesAreRetainedForTraceDump) {
+  auto& recorder = trace::TraceRecorder::instance();
+  recorder.set_sampling(1.0);
+
+  // Default retain threshold 0: plain traces vanish with the ring, error
+  // trees are kept.
+  std::uint64_t ok_id = 0, err_id = 0;
+  {
+    trace::Span root("ok.root", trace::TraceContext{});
+    ok_id = root.context().trace_id;
+  }
+  {
+    trace::Span root("bad.root", trace::TraceContext{});
+    err_id = root.context().trace_id;
+    trace::Span child("bad.child");
+    child.SetError();
+  }
+  EXPECT_TRUE(recorder.RetainedTrace(ok_id).empty());
+  const auto retained = recorder.RetainedTrace(err_id);
+  ASSERT_FALSE(retained.empty());
+  EXPECT_EQ(Names(retained).count("bad.child"), 1u);
+  const auto ids = recorder.RetainedTraceIds();
+  EXPECT_NE(std::find(ids.begin(), ids.end(), err_id), ids.end());
+
+  // A retain threshold keeps slow (non-error) local-root trees too.
+  recorder.set_retain_threshold_ns(1);
+  std::uint64_t slow_id = 0;
+  {
+    trace::Span root("slow.root", trace::TraceContext{});
+    slow_id = root.context().trace_id;
+  }
+  recorder.set_retain_threshold_ns(0);
+  EXPECT_FALSE(recorder.RetainedTrace(slow_id).empty());
+
+  // Bounded FIFO: flooding with fresh error trees evicts the oldest.
+  for (std::size_t i = 0; i < trace::TraceRecorder::kRetainedTraces + 4; ++i) {
+    trace::Span root("err.flood", trace::TraceContext{});
+    root.SetError();
+  }
+  EXPECT_LE(recorder.RetainedTraceIds().size(), trace::TraceRecorder::kRetainedTraces);
+  EXPECT_TRUE(recorder.RetainedTrace(err_id).empty()) << "oldest tree must be evicted";
 }
 
 TEST_F(TraceTest, ScopedTimerHonorsDisabledRegistry) {
