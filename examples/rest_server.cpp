@@ -20,6 +20,14 @@
 //       # span tree to stderr via OFMF_WARN. Scrape
 //       # /redfish/v1/TelemetryService/MetricReports/RequestLatency for
 //       # p50/p95/p99, or POST Actions/OfmfService.MetricsDump for raw JSON.
+//   $ ./examples/rest_server 8080 30 --qos --tenant hpc,Guaranteed,8,0,0,alice
+//       (repeat --tenant: e.g. --tenant batch,BestEffort,1,50,100,bob)
+//       # multi-tenant QoS: requests are classified by session tenant and
+//       # dispatched by deficit-round-robin over per-tenant queues (weight 8
+//       # vs 1 here); tenant "batch" is also token-bucket limited to 50 rps
+//       # with burst 100 (breach -> 429 + Retry-After). Scrape
+//       # /redfish/v1/TelemetryService/MetricReports/TenantQoS for the
+//       # per-tenant scheduler counters and latency percentiles.
 //   $ ./examples/rest_server 8081 0 --shard-id s1 --directory 7000
 //       # run as one shard of a federated deployment: system ids are
 //       # namespaced "composed-s1-N", the ServiceRoot carries
@@ -36,7 +44,10 @@
 #include <string>
 #include <thread>
 
+#include <vector>
+
 #include "agents/nvmeof_agent.hpp"
+#include "common/strings.hpp"
 #include "common/trace.hpp"
 #include "composability/client.hpp"
 #include "federation/directory_client.hpp"
@@ -63,11 +74,17 @@ int main(int argc, char** argv) {
   std::uint16_t directory_port = 0;
   double trace_sample = 0.0;
   int slow_ms = 0;
+  bool qos = false;
+  std::vector<std::string> tenant_specs;
   http::ServerOptions server_options;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--store-dir") == 0 && i + 1 < argc) {
       store_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--qos") == 0) {
+      qos = true;
+    } else if (std::strcmp(argv[i], "--tenant") == 0 && i + 1 < argc) {
+      tenant_specs.push_back(argv[++i]);
     } else if (std::strcmp(argv[i], "--shard-id") == 0 && i + 1 < argc) {
       shard_id = argv[++i];
     } else if (std::strcmp(argv[i], "--directory") == 0 && i + 1 < argc) {
@@ -159,6 +176,55 @@ int main(int argc, char** argv) {
   } else {
     ofmf.sessions().set_auth_required(true);  // full auth on the wire
   }
+  // Tenant accounts: "--tenant id,qos_class,weight,rate_rps,burst,user+user".
+  // Users bound here get their sessions classified into the tenant's DRR
+  // queue; equivalent to POSTing the tenant to /redfish/v1/SessionService/
+  // Tenants at runtime.
+  for (const std::string& spec : tenant_specs) {
+    const std::vector<std::string> fields = strings::Split(spec, ',');
+    core::TenantInfo tenant;
+    tenant.id = fields.empty() ? "" : fields[0];
+    if (fields.size() > 1 && !fields[1].empty()) tenant.qos_class = fields[1];
+    if (fields.size() > 2) tenant.weight = static_cast<std::uint32_t>(std::atoi(fields[2].c_str()));
+    if (fields.size() > 3) tenant.rate_rps = std::atof(fields[3].c_str());
+    if (fields.size() > 4) tenant.burst = std::atof(fields[4].c_str());
+    if (fields.size() > 5) tenant.users = strings::Split(fields[5], '+');
+    // Demo accounts: each tenant user can log in with password == username
+    // (matching the built-in admin/ofmf convention for a demo server).
+    for (const std::string& user : tenant.users) {
+      ofmf.sessions().AddUser(user, user);
+    }
+    const auto created = ofmf.sessions().CreateTenant(tenant);
+    if (!created.ok()) {
+      std::fprintf(stderr, "bad --tenant %s: %s\n", spec.c_str(),
+                   created.status().message().c_str());
+      return 2;
+    }
+    std::printf("tenant %s: class=%s weight=%u rate=%.0f/s burst=%.0f\n",
+                created->id.c_str(), created->qos_class.c_str(), created->weight,
+                created->rate_rps, created->burst);
+  }
+  if (qos) {
+    // Weighted-fair dispatch: the reactor asks this classifier for each
+    // parsed request's tenant. Unauthenticated / unbound traffic shares the
+    // weight-1 "default" queue, so a flooding tenant cannot starve it.
+    server_options.tenant_classifier =
+        [&ofmf](const http::Request& request) {
+          qos::TenantSpec spec;
+          const std::string tenant = ofmf.sessions().TenantOfToken(
+              request.headers.GetOr("X-Auth-Token", ""));
+          spec.id = tenant.empty() ? "default" : tenant;
+          if (!tenant.empty()) {
+            const auto info = ofmf.sessions().GetTenant(tenant);
+            if (info.ok()) {
+              spec.weight = info->weight;
+              spec.rate_rps = info->rate_rps;
+              spec.burst = info->burst;
+            }
+          }
+          return spec;
+        };
+  }
   (void)ofmf.RegisterAgent(std::make_shared<agents::NvmeofAgent>("NVMeoF", nvme));
   if (ofmf.durable()) {
     auto reconciled = ofmf.ReconcileWithAgents();
@@ -175,6 +241,11 @@ int main(int argc, char** argv) {
   if (!server.Start(ofmf.Handler(), port, server_options).ok()) {
     std::fprintf(stderr, "failed to bind port %u\n", port);
     return 1;
+  }
+  if (qos) {
+    // The TenantQoS MetricReport pulls the reactor's per-tenant scheduler
+    // counters through this hook (refreshed lazily on GET of the report).
+    ofmf.telemetry().SetTenantQosSource([&server] { return server.TenantQosStats(); });
   }
   std::printf("OFMF listening on http://127.0.0.1:%u/redfish/v1 (%s backend)\n",
               server.port(), server.backend_name());

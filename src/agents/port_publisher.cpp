@@ -43,8 +43,36 @@ Status PublishSwitchPorts(core::OfmfService& ofmf, const std::string& fabric_uri
                    {"Status",
                     Json::Obj({{"State", "Enabled"},
                                {"Health", link.up ? "OK" : "Critical"}})},
-                   {"Oem", Json::Obj({{"Ofmf", Json::Obj({{"Peer", peer}})}})}})));
+                   {"Oem",
+                    Json::Obj({{"Ofmf",
+                                Json::Obj({{"Peer", peer},
+                                           {"Utilization",
+                                            graph.Utilization(switch_name, port)},
+                                           {"Congested",
+                                            graph.Utilization(switch_name, port) >=
+                                                kCongestedUtilization}})}})}})));
     OFMF_RETURN_IF_ERROR(tree.AddMember(ports_uri, uri));
+  }
+  return Status::Ok();
+}
+
+Status SyncPortUtilization(core::OfmfService& ofmf, const std::string& fabric_uri,
+                           const fabricsim::FabricGraph& graph,
+                           const std::string& switch_name) {
+  auto& tree = ofmf.tree();
+  for (const fabricsim::LinkState& link : graph.LinksAt(switch_name)) {
+    const bool we_are_a = link.id.a == switch_name;
+    const int port = we_are_a ? link.id.a_port : link.id.b_port;
+    const std::string uri = PortUri(fabric_uri, switch_name, port);
+    if (!tree.Exists(uri)) continue;
+    const double utilization = graph.Utilization(switch_name, port);
+    OFMF_RETURN_IF_ERROR(tree.Patch(
+        uri,
+        Json::Obj({{"Oem",
+                    Json::Obj({{"Ofmf",
+                                Json::Obj({{"Utilization", utilization},
+                                           {"Congested",
+                                            utilization >= kCongestedUtilization}})}})}})));
   }
   return Status::Ok();
 }

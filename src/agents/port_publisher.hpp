@@ -11,11 +11,23 @@
 
 namespace ofmf::agents {
 
+/// Utilization at or above this fraction marks a Port Oem.Ofmf.Congested.
+inline constexpr double kCongestedUtilization = 0.8;
+
 /// Creates <fabric>/Switches/<switch>/Ports and a Port resource per wired
 /// port of `switch_name`. `protocol` is the PortProtocol value ("CXL", ...).
+/// Each Port carries Oem.Ofmf.{Utilization,Congested} from the graph's
+/// congestion model.
 Status PublishSwitchPorts(core::OfmfService& ofmf, const std::string& fabric_uri,
                           const fabricsim::FabricGraph& graph,
                           const std::string& switch_name, const std::string& protocol);
+
+/// Re-reads the congestion model and patches Oem.Ofmf.{Utilization,
+/// Congested} on every published Port of `switch_name` (call after traffic
+/// hints move the load counters).
+Status SyncPortUtilization(core::OfmfService& ofmf, const std::string& fabric_uri,
+                           const fabricsim::FabricGraph& graph,
+                           const std::string& switch_name);
 
 /// Patches the Port resources on both ends of `change` (when they exist).
 void SyncPortLinkState(core::OfmfService& ofmf, const std::string& fabric_uri,

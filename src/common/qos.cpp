@@ -1,0 +1,256 @@
+#include "common/qos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/clock.hpp"
+
+namespace ofmf::qos {
+
+double DeriveRetryAfterSeconds(std::size_t queue_depth, double drain_rate_per_sec) {
+  const double rate = drain_rate_per_sec > 0.0 ? drain_rate_per_sec : 1.0;
+  // +1: the shedded request itself must also fit once it returns.
+  return (static_cast<double>(queue_depth) + 1.0) / rate;
+}
+
+int RetryAfterHeaderSeconds(double seconds) {
+  if (!(seconds > 0.0)) return 1;
+  const double ceiled = std::ceil(seconds);
+  return static_cast<int>(std::clamp(ceiled, 1.0, 60.0));
+}
+
+// ----------------------------------------------------- DrainRateEstimator ---
+
+void DrainRateEstimator::NoteCompletions(std::size_t count, std::int64_t now_ns) {
+  pending_ += count;
+  if (last_ns_ == 0) {
+    last_ns_ = now_ns;
+    return;
+  }
+  const std::int64_t elapsed = now_ns - last_ns_;
+  // Batch samples until a measurable window has passed: sub-millisecond
+  // windows would make the EWMA a noise amplifier.
+  if (elapsed < 10 * kNanosPerMilli) return;
+  const double rate =
+      static_cast<double>(pending_) * static_cast<double>(kNanosPerSecond) /
+      static_cast<double>(elapsed);
+  ewma_per_sec_ = primed_ ? 0.7 * ewma_per_sec_ + 0.3 * rate : rate;
+  primed_ = true;
+  pending_ = 0;
+  last_ns_ = now_ns;
+}
+
+double DrainRateEstimator::rate_per_sec() const {
+  if (!primed_ || ewma_per_sec_ <= 0.0) return fallback_per_sec_;
+  return ewma_per_sec_;
+}
+
+// ------------------------------------------------------------ TokenBucket ---
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst)
+    : rate_per_sec_(rate_per_sec),
+      burst_(burst > 0.0 ? burst : std::max(1.0, rate_per_sec)),
+      tokens_(burst_) {}
+
+void TokenBucket::Refill(std::int64_t now_ns) {
+  if (!anchored_) {
+    anchored_ = true;
+    last_ns_ = now_ns;
+    return;
+  }
+  if (now_ns <= last_ns_) {
+    // Clock went backwards (or stood still): re-anchor without minting
+    // tokens. A forward jump is taken at face value — the bucket simply
+    // fills to its burst cap, which is the defined steady-state anyway.
+    last_ns_ = now_ns;
+    return;
+  }
+  const double elapsed_s = static_cast<double>(now_ns - last_ns_) /
+                           static_cast<double>(kNanosPerSecond);
+  const double refilled = elapsed_s * rate_per_sec_;
+  tokens_ = std::min(burst_, tokens_ + refilled);
+  // Refill pays the rejection debt first conceptually: debt shrinks at the
+  // same rate tokens appear, so a quoted Retry-After honored by the client
+  // finds its promised token actually available.
+  debt_ = std::max(0.0, debt_ - refilled);
+  last_ns_ = now_ns;
+}
+
+bool TokenBucket::TryConsume(double cost, std::int64_t now_ns) {
+  if (unlimited()) return true;
+  Refill(now_ns);
+  if (tokens_ >= cost) {
+    tokens_ -= cost;
+    debt_ = 0.0;
+    return true;
+  }
+  debt_ += cost;
+  return false;
+}
+
+double TokenBucket::RetryAfterSeconds() const {
+  if (unlimited()) return 0.0;
+  // Tokens owed: everything promised to earlier rejections in this dry
+  // spell (debt_ already includes the request just rejected), minus what
+  // the bucket holds now.
+  const double needed = std::max(0.0, debt_ - tokens_);
+  if (needed <= 0.0) return 0.0;
+  return needed / rate_per_sec_;
+}
+
+// ---------------------------------------------------------- FairScheduler ---
+
+FairScheduler::Tenant& FairScheduler::TenantFor(const std::string& id) {
+  auto it = tenants_.find(id);
+  if (it != tenants_.end()) return it->second;
+  Tenant tenant;
+  tenant.spec.id = id;
+  return tenants_.emplace(id, std::move(tenant)).first->second;
+}
+
+void FairScheduler::ConfigureTenant(const TenantSpec& spec) {
+  Tenant& tenant = TenantFor(spec.id);
+  const bool bucket_changed = tenant.spec.rate_rps != spec.rate_rps ||
+                              tenant.spec.burst != spec.burst;
+  tenant.spec = spec;
+  if (bucket_changed) tenant.bucket = TokenBucket(spec.rate_rps, spec.burst);
+}
+
+void FairScheduler::Activate(Tenant& tenant, const std::string& id) {
+  if (tenant.in_round) return;
+  tenant.in_round = true;
+  tenant.deficit = 0.0;
+  if (tenant.spec.weight == 0) {
+    active_background_.push_back(id);
+  } else {
+    active_.push_back(id);
+  }
+}
+
+FairScheduler::Admission FairScheduler::Enqueue(const std::string& tenant_id,
+                                                std::uint64_t cookie,
+                                                std::function<void()> work,
+                                                std::int64_t now_ns) {
+  Tenant& tenant = TenantFor(tenant_id);
+  if (!tenant.bucket.TryConsume(1.0, now_ns)) {
+    ++tenant.rate_limited;
+    return Admission{Admit::kRateLimited, tenant.bucket.RetryAfterSeconds()};
+  }
+  const std::size_t bound =
+      tenant.spec.max_queue != 0 ? tenant.spec.max_queue : default_max_queue_;
+  if (tenant.queue.size() >= bound) {
+    ++tenant.queue_rejected;
+    return Admission{Admit::kQueueFull, 0.0};
+  }
+  tenant.queue.push_back(Item{tenant_id, cookie, std::move(work)});
+  ++tenant.admitted;
+  ++queued_total_;
+  Activate(tenant, tenant_id);
+  return Admission{Admit::kAccepted, 0.0};
+}
+
+FairScheduler::Item FairScheduler::Dequeue() {
+  // Weighted tenants first. The tenant at the head of the round earns
+  // `weight` credits when its credit runs out and keeps dispatching (one
+  // item per Dequeue call, staying at the head) until the credit is spent,
+  // then rotates to the back — so per full round a backlogged tenant sends
+  // `weight` items. An emptied queue leaves the round and forfeits leftover
+  // deficit, the standard DRR anti-burst rule.
+  std::size_t creditless_rotations = 0;
+  while (!active_.empty() && creditless_rotations <= active_.size()) {
+    const std::string id = active_.front();
+    Tenant& tenant = tenants_.at(id);
+    if (tenant.queue.empty()) {
+      active_.pop_front();
+      tenant.in_round = false;
+      tenant.deficit = 0.0;
+      continue;
+    }
+    if (tenant.deficit < 1.0) {
+      tenant.deficit += static_cast<double>(tenant.spec.weight);
+      if (tenant.deficit < 1.0) {
+        // Only reachable when a live tenant was re-configured to weight 0:
+        // rotate it like background traffic, bounded so a round of all-zero
+        // weights falls through instead of spinning.
+        active_.pop_front();
+        active_.push_back(id);
+        ++creditless_rotations;
+        continue;
+      }
+    }
+    creditless_rotations = 0;
+    tenant.deficit -= 1.0;
+    Item item = std::move(tenant.queue.front());
+    tenant.queue.pop_front();
+    ++tenant.dispatched;
+    --queued_total_;
+    if (tenant.queue.empty()) {
+      active_.pop_front();
+      tenant.in_round = false;
+      tenant.deficit = 0.0;
+    } else if (tenant.deficit < 1.0) {
+      active_.pop_front();
+      active_.push_back(id);
+    }
+    return item;
+  }
+  if (!active_.empty()) {
+    // Every tenant still in the weighted round was demoted to weight 0
+    // mid-backlog; serve round-robin so nothing starves behind a
+    // reconfiguration.
+    const std::string id = active_.front();
+    Tenant& tenant = tenants_.at(id);
+    Item item = std::move(tenant.queue.front());
+    tenant.queue.pop_front();
+    ++tenant.dispatched;
+    --queued_total_;
+    active_.pop_front();
+    if (tenant.queue.empty()) {
+      tenant.in_round = false;
+    } else {
+      active_.push_back(id);
+    }
+    return item;
+  }
+  // Background (zero-weight) tenants: plain round-robin, only reached when
+  // no weighted tenant had backlog.
+  while (!active_background_.empty()) {
+    const std::string id = active_background_.front();
+    active_background_.pop_front();
+    Tenant& tenant = tenants_.at(id);
+    if (tenant.queue.empty()) {
+      tenant.in_round = false;
+      continue;
+    }
+    Item item = std::move(tenant.queue.front());
+    tenant.queue.pop_front();
+    ++tenant.dispatched;
+    --queued_total_;
+    if (tenant.queue.empty()) {
+      tenant.in_round = false;
+    } else {
+      active_background_.push_back(id);
+    }
+    return item;
+  }
+  return Item{};
+}
+
+std::vector<TenantStats> FairScheduler::Stats() const {
+  std::vector<TenantStats> stats;
+  stats.reserve(tenants_.size());
+  for (const auto& [id, tenant] : tenants_) {
+    TenantStats s;
+    s.id = id;
+    s.weight = tenant.spec.weight;
+    s.queued = tenant.queue.size();
+    s.admitted = tenant.admitted;
+    s.dispatched = tenant.dispatched;
+    s.rate_limited = tenant.rate_limited;
+    s.queue_rejected = tenant.queue_rejected;
+    stats.push_back(std::move(s));
+  }
+  return stats;
+}
+
+}  // namespace ofmf::qos

@@ -1,0 +1,186 @@
+// Multi-tenant QoS primitives for the management plane: a token bucket for
+// per-tenant admission (429 + Retry-After derived from refill time, never a
+// constant), a deficit-round-robin scheduler over per-tenant bounded queues
+// (weighted fairness for the reactor's dispatch path), and the shared
+// Retry-After derivation the overload 503 path reuses. Everything here is
+// clock-agnostic — callers pass nanosecond timestamps (common/clock SimTime
+// in tests, steady_clock in the reactor) — and single-threaded by design:
+// the reactor owns its scheduler from the loop thread, tests drive a
+// SimClock. See DESIGN.md "Multi-tenant QoS".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ofmf::qos {
+
+/// Derives a Retry-After hint (seconds) from backlog and drain rate: the
+/// time the current queue needs to drain. Never constant across depths —
+/// a shedded client behind a deep queue waits longer than one behind a
+/// shallow one, so the herd does not return in one synchronized burst.
+double DeriveRetryAfterSeconds(std::size_t queue_depth, double drain_rate_per_sec);
+
+/// Clamps a fractional Retry-After to the integral header value: ceil,
+/// floor 1 (RFC 9110 allows 0 but a 0 invites an immediate hammer), cap 60.
+int RetryAfterHeaderSeconds(double seconds);
+
+/// EWMA of completion throughput, fed by the reactor loop each time a batch
+/// of worker completions lands. Supplies the drain rate for the 503 path.
+class DrainRateEstimator {
+ public:
+  /// `fallback_per_sec` is reported until the first real sample arrives.
+  explicit DrainRateEstimator(double fallback_per_sec = 100.0)
+      : fallback_per_sec_(fallback_per_sec) {}
+
+  void NoteCompletions(std::size_t count, std::int64_t now_ns);
+  double rate_per_sec() const;
+
+ private:
+  double fallback_per_sec_;
+  double ewma_per_sec_ = 0.0;
+  bool primed_ = false;
+  std::int64_t last_ns_ = 0;
+  std::size_t pending_ = 0;
+};
+
+/// Classic token bucket with two QoS-specific twists:
+///  - clock-jump safety: a timestamp earlier than the last refill is treated
+///    as zero elapsed time (the bucket re-anchors) instead of minting a
+///    negative or enormous refill;
+///  - rejection debt: consecutive rejections inside one dry spell are each
+///    quoted the refill time for one MORE token than the previous one, so a
+///    flood's Retry-After values spread the herd out over the refill horizon
+///    (monotonically non-decreasing at a frozen clock) instead of telling
+///    every client the same instant.
+/// rate 0 disables limiting (TryConsume always succeeds).
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  /// `burst` tokens of capacity, refilled at `rate_per_sec`. burst <= 0
+  /// defaults to max(1, rate).
+  TokenBucket(double rate_per_sec, double burst);
+
+  /// Takes `cost` tokens at `now_ns` if available. A success clears the
+  /// rejection debt; a failure grows it.
+  bool TryConsume(double cost, std::int64_t now_ns);
+
+  /// Seconds until the failed request (plus every rejection quoted before
+  /// it in this dry spell) could be admitted. Meaningful after a TryConsume
+  /// returned false; 0 when the bucket is unlimited.
+  double RetryAfterSeconds() const;
+
+  double tokens() const { return tokens_; }
+  double rate_per_sec() const { return rate_per_sec_; }
+  double burst() const { return burst_; }
+  bool unlimited() const { return rate_per_sec_ <= 0.0; }
+
+ private:
+  void Refill(std::int64_t now_ns);
+
+  double rate_per_sec_ = 0.0;  // 0 = unlimited
+  double burst_ = 0.0;
+  double tokens_ = 0.0;
+  double debt_ = 0.0;  // tokens promised to already-rejected clients
+  std::int64_t last_ns_ = 0;
+  bool anchored_ = false;  // first TryConsume anchors last_ns_
+};
+
+/// Per-tenant scheduling parameters. Unknown tenants fall back to the
+/// scheduler's default spec (weight 1, unlimited rate).
+struct TenantSpec {
+  std::string id;
+  std::uint32_t weight = 1;  // DRR share; 0 = background (served only idle)
+  double rate_rps = 0.0;     // token-bucket rate; 0 = unlimited
+  double burst = 0.0;        // bucket capacity; <=0 defaults to max(1, rate)
+  std::size_t max_queue = 0; // per-tenant queue bound; 0 = scheduler default
+};
+
+/// Point-in-time per-tenant counters (feeds the TenantQoS MetricReport).
+struct TenantStats {
+  std::string id;
+  std::uint32_t weight = 0;
+  std::size_t queued = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t dispatched = 0;
+  std::uint64_t rate_limited = 0;
+  std::uint64_t queue_rejected = 0;
+};
+
+/// Deficit-round-robin weighted-fair scheduler over per-tenant bounded
+/// queues. Single-threaded: the owner (the reactor loop) calls Enqueue when
+/// a request arrives and Dequeue whenever worker capacity frees up.
+///
+/// Fairness: each round a backlogged tenant earns `weight` credits and
+/// dispatches one item per credit, so long-run throughput shares follow the
+/// weights no matter how unbalanced the arrival rates are. Zero-weight
+/// tenants earn no credits and are served round-robin only when every
+/// weighted queue is empty (strict background class — they can be starved
+/// by design, never deadlocked when the system is idle).
+class FairScheduler {
+ public:
+  struct Item {
+    std::string tenant;
+    std::uint64_t cookie = 0;  // caller-owned id (the reactor's conn id)
+    std::function<void()> work;
+  };
+
+  enum class Admit {
+    kAccepted,     // queued; Dequeue will surface it in DRR order
+    kRateLimited,  // token bucket dry: answer 429 + retry_after_s
+    kQueueFull,    // tenant queue at bound: answer 503 + derived Retry-After
+  };
+
+  struct Admission {
+    Admit verdict = Admit::kAccepted;
+    double retry_after_s = 0.0;  // set for kRateLimited
+  };
+
+  explicit FairScheduler(std::size_t default_max_queue = 256)
+      : default_max_queue_(default_max_queue == 0 ? 256 : default_max_queue) {}
+
+  /// Installs (or updates) a tenant's spec. Existing queue contents and
+  /// counters survive a re-configure; the token bucket is rebuilt only when
+  /// rate/burst changed.
+  void ConfigureTenant(const TenantSpec& spec);
+
+  Admission Enqueue(const std::string& tenant, std::uint64_t cookie,
+                    std::function<void()> work, std::int64_t now_ns);
+
+  /// Next item in DRR order; item.work is empty when nothing is queued.
+  Item Dequeue();
+
+  bool empty() const { return queued_total_ == 0; }
+  std::size_t queued() const { return queued_total_; }
+
+  std::vector<TenantStats> Stats() const;
+
+ private:
+  struct Tenant {
+    TenantSpec spec;
+    TokenBucket bucket;
+    std::deque<Item> queue;
+    double deficit = 0.0;
+    bool in_round = false;  // on the active list
+    std::uint64_t admitted = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t rate_limited = 0;
+    std::uint64_t queue_rejected = 0;
+  };
+
+  Tenant& TenantFor(const std::string& id);
+  void Activate(Tenant& tenant, const std::string& id);
+
+  std::size_t default_max_queue_;
+  std::map<std::string, Tenant> tenants_;
+  // Round-robin order among backlogged tenants; ids, front = next served.
+  std::deque<std::string> active_;
+  std::deque<std::string> active_background_;  // zero-weight backlog
+  std::size_t queued_total_ = 0;
+};
+
+}  // namespace ofmf::qos

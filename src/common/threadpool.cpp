@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/logging.hpp"
+
 namespace ofmf {
 
 ThreadPool::ThreadPool(std::size_t thread_count, std::size_t max_queued)
@@ -26,11 +28,40 @@ bool ThreadPool::TrySubmit(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) return false;
-    if (max_queued_ != 0 && queue_.size() >= max_queued_) return false;
+    if (max_queued_ != 0 && queue_.size() >= max_queued_) {
+      ++rejected_;
+      return false;
+    }
     queue_.emplace_back(std::move(fn));
+    NoteEnqueuedLocked();
   }
   cv_.notify_one();
   return true;
+}
+
+void ThreadPool::NoteEnqueuedLocked() {
+  ++submitted_;
+  const std::size_t depth = queue_.size();
+  if (depth > high_water_) high_water_ = depth;
+  if (warn_queue_depth_ == 0) return;
+  if (depth < warn_queue_depth_ / 2) warn_armed_ = true;
+  if (depth >= warn_queue_depth_ && warn_armed_) {
+    // Once per excursion: an unbounded Submit burst logs when it crosses
+    // the threshold, not on every enqueue of the burst.
+    warn_armed_ = false;
+    OFMF_WARN << "ThreadPool queue depth " << depth << " reached warn threshold "
+              << warn_queue_depth_ << " (" << workers_.size() << " workers)";
+  }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.queued = queue_.size();
+  s.high_water = high_water_;
+  s.submitted = submitted_;
+  s.rejected = rejected_;
+  return s;
 }
 
 void ThreadPool::Drain() {

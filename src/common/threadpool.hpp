@@ -8,6 +8,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -21,7 +22,13 @@ class ThreadPool {
  public:
   /// `max_queued` bounds the number of not-yet-started tasks TrySubmit will
   /// accept; 0 (the default) means unbounded. Submit() ignores the bound —
-  /// existing fan-out callers rely on never being refused.
+  /// existing fan-out callers rely on never being refused — but every
+  /// enqueue feeds the depth stats, and crossing `warn_queue_depth` logs a
+  /// warning once per excursion, so an unbounded Submit burst is at least
+  /// visible. (Audit note: as of the QoS PR the HTTP reactor is the only
+  /// ThreadPool client in src/, and it already uses TrySubmit; Submit()'s
+  /// remaining callers are tests and the Slurm prolog/epilog simulation,
+  /// where unbounded is the intended semantics.)
   explicit ThreadPool(std::size_t thread_count, std::size_t max_queued = 0);
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
@@ -36,10 +43,25 @@ class ThreadPool {
     {
       std::lock_guard<std::mutex> lock(mu_);
       queue_.emplace_back([task]() { (*task)(); });
+      NoteEnqueuedLocked();
     }
     cv_.notify_one();
     return result;
   }
+
+  /// Depth/pressure counters (all monotonic except `queued`).
+  struct Stats {
+    std::size_t queued = 0;       // tasks waiting right now
+    std::size_t high_water = 0;   // deepest the queue has ever been
+    std::uint64_t submitted = 0;  // accepted enqueues (Submit + TrySubmit)
+    std::uint64_t rejected = 0;   // TrySubmit refusals (bound hit)
+  };
+  Stats stats() const;
+
+  /// Queue depth at or above which an enqueue logs a warning (once per
+  /// excursion above the threshold; re-arms when the queue drains below
+  /// half of it). 0 disables.
+  void set_warn_queue_depth(std::size_t depth) { warn_queue_depth_ = depth; }
 
   /// Enqueues `fn` unless the queue already holds `max_queued` waiting
   /// tasks; returns false (without blocking) when full. Fire-and-forget: the
@@ -60,6 +82,9 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
+  /// Bumps submitted/high-water and fires the high-water warning. Call with
+  /// mu_ held, after the enqueue.
+  void NoteEnqueuedLocked();
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -69,6 +94,11 @@ class ThreadPool {
   std::size_t max_queued_ = 0;
   std::size_t active_ = 0;
   bool stopping_ = false;
+  std::size_t high_water_ = 0;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::size_t warn_queue_depth_ = 0;
+  bool warn_armed_ = true;
 };
 
 }  // namespace ofmf

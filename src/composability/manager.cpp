@@ -13,6 +13,7 @@ const char* to_string(Policy policy) {
     case Policy::kBestFit: return "best-fit";
     case Policy::kLocalityAware: return "locality-aware";
     case Policy::kEnergyAware: return "energy-aware";
+    case Policy::kCongestionAware: return "congestion-aware";
   }
   return "?";
 }
@@ -90,6 +91,18 @@ Result<std::vector<BlockView>> ComposabilityManager::SelectBlocks(
     return Status::InvalidArgument("composition request asks for no resources");
   }
 
+  // Congestion bound: blocks behind a path hotter than the request allows
+  // are not candidates at all, under any policy.
+  if (request.max_path_utilization < 1e9) {
+    free_blocks.erase(
+        std::remove_if(free_blocks.begin(), free_blocks.end(),
+                       [&](const BlockView& block) {
+                         return block.capability.path_utilization >
+                                request.max_path_utilization;
+                       }),
+        free_blocks.end());
+  }
+
   // Policy-specific candidate ordering.
   switch (request.policy) {
     case Policy::kFirstFit:
@@ -124,6 +137,17 @@ Result<std::vector<BlockView>> ComposabilityManager::SelectBlocks(
                   const double wb =
                       b.capability.active_watts / std::max(1.0, CapacityWeight(b.capability));
                   return wa < wb;
+                });
+      break;
+    case Policy::kCongestionAware:
+      // Coolest fabric paths first; capacity breaks ties so the choice is
+      // stable when a whole pool is idle.
+      std::sort(free_blocks.begin(), free_blocks.end(),
+                [](const BlockView& a, const BlockView& b) {
+                  if (a.capability.path_utilization != b.capability.path_utilization) {
+                    return a.capability.path_utilization < b.capability.path_utilization;
+                  }
+                  return CapacityWeight(a.capability) < CapacityWeight(b.capability);
                 });
       break;
   }

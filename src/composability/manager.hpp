@@ -13,7 +13,7 @@
 
 namespace ofmf::composability {
 
-enum class Policy { kFirstFit, kBestFit, kLocalityAware, kEnergyAware };
+enum class Policy { kFirstFit, kBestFit, kLocalityAware, kEnergyAware, kCongestionAware };
 
 const char* to_string(Policy policy);
 
@@ -25,6 +25,10 @@ struct CompositionRequest {
   double storage_gib = 0.0;
   std::string locality_hint;  // used by kLocalityAware
   Policy policy = Policy::kFirstFit;
+  // Blocks whose fabric path sits above this utilization are never chosen
+  // (1e9 = unbounded). kCongestionAware additionally orders candidates by
+  // utilization so uncongested paths win even under the bound.
+  double max_path_utilization = 1e9;
 };
 
 struct BlockView {

@@ -116,8 +116,8 @@ std::optional<std::string> FabricGraph::PeerOf(const std::string& vertex, int po
   return link.id.a == vertex ? link.id.b : link.id.a;
 }
 
-Result<PathInfo> FabricGraph::ShortestPath(const std::string& from,
-                                           const std::string& to) const {
+Result<PathInfo> FabricGraph::RoutePath(const std::string& from, const std::string& to,
+                                        bool congestion_aware) const {
   if (vertices_.count(from) == 0) return Status::NotFound("unknown vertex: " + from);
   if (vertices_.count(to) == 0) return Status::NotFound("unknown vertex: " + to);
 
@@ -128,6 +128,15 @@ Result<PathInfo> FabricGraph::ShortestPath(const std::string& from,
     adjacency[link.id.a].push_back(&link);
     adjacency[link.id.b].push_back(&link);
   }
+
+  // Congestion-aware cost: a link's latency inflated by its utilization, so
+  // a saturated short-cut loses to a lightly longer detour. The factor 4
+  // makes a fully-utilized link cost 5x its idle latency.
+  const auto cost_of = [&](const LinkState& link) {
+    if (!congestion_aware) return link.quality.latency_ns;
+    const double util = UtilizationOnIndex(LinkIndexOf(link.id));
+    return link.quality.latency_ns * (1.0 + 4.0 * util);
+  };
 
   std::map<std::string, double> dist;
   std::map<std::string, std::pair<std::string, const LinkState*>> prev;
@@ -143,7 +152,7 @@ Result<PathInfo> FabricGraph::ShortestPath(const std::string& from,
     if (name == to) break;
     for (const LinkState* link : adjacency[name]) {
       const std::string& peer = link->id.a == name ? link->id.b : link->id.a;
-      const double next = d + link->quality.latency_ns;
+      const double next = d + cost_of(*link);
       auto found = dist.find(peer);
       if (found == dist.end() || next < found->second) {
         dist[peer] = next;
@@ -157,19 +166,31 @@ Result<PathInfo> FabricGraph::ShortestPath(const std::string& from,
     return Status::NotFound("no live path from " + from + " to " + to);
   }
   PathInfo path;
-  path.total_latency_ns = dist[to];
   path.min_bandwidth_gbps = std::numeric_limits<double>::infinity();
   std::string cursor = to;
   while (cursor != from) {
     path.hops.push_back(cursor);
     const auto& [parent, link] = prev[cursor];
+    path.total_latency_ns += link->quality.latency_ns;
     path.min_bandwidth_gbps = std::min(path.min_bandwidth_gbps, link->quality.bandwidth_gbps);
+    path.max_utilization =
+        std::max(path.max_utilization, UtilizationOnIndex(LinkIndexOf(link->id)));
     cursor = parent;
   }
   path.hops.push_back(from);
   std::reverse(path.hops.begin(), path.hops.end());
   if (path.hops.size() == 1) path.min_bandwidth_gbps = 0.0;
   return path;
+}
+
+Result<PathInfo> FabricGraph::ShortestPath(const std::string& from,
+                                           const std::string& to) const {
+  return RoutePath(from, to, /*congestion_aware=*/false);
+}
+
+Result<PathInfo> FabricGraph::LeastCongestedPath(const std::string& from,
+                                                 const std::string& to) const {
+  return RoutePath(from, to, /*congestion_aware=*/true);
 }
 
 bool FabricGraph::Reachable(const std::string& from, const std::string& to) const {
@@ -191,6 +212,68 @@ int FabricGraph::LinkIndexOf(const LinkId& id) const {
     if (links_[i].id == id) return static_cast<int>(i);
   }
   return -1;
+}
+
+int FabricGraph::LinkIndexAt(const std::string& vertex, int port) const {
+  auto it = vertices_.find(vertex);
+  if (it == vertices_.end() || port < 0 || port >= it->second.port_count) return -1;
+  return it->second.port_links[static_cast<std::size_t>(port)];
+}
+
+double FabricGraph::UtilizationOnIndex(int index) const {
+  if (index < 0) return 0.0;
+  const LinkState& link = links_[static_cast<std::size_t>(index)];
+  if (link.quality.bandwidth_gbps <= 0.0) return 0.0;
+  return std::max(0.0, (link.offered_gbps + CommittedOnIndex(index)) /
+                           link.quality.bandwidth_gbps);
+}
+
+Status FabricGraph::AddTraffic(const std::string& vertex, int port, double delta_gbps) {
+  if (vertices_.count(vertex) == 0) return Status::NotFound("unknown vertex: " + vertex);
+  const int index = LinkIndexAt(vertex, port);
+  if (index < 0) {
+    return Status::NotFound("no link on " + vertex + ":" + std::to_string(port));
+  }
+  LinkState& link = links_[static_cast<std::size_t>(index)];
+  link.offered_gbps = std::max(0.0, link.offered_gbps + delta_gbps);
+  return Status::Ok();
+}
+
+Status FabricGraph::AddPathTraffic(const std::string& from, const std::string& to,
+                                   double delta_gbps) {
+  OFMF_ASSIGN_OR_RETURN(PathInfo path, ShortestPath(from, to));
+  for (std::size_t i = 0; i + 1 < path.hops.size(); ++i) {
+    // The shortest path picked the lowest-latency live link between each
+    // consecutive hop pair; load the same one.
+    int best = -1;
+    double best_latency = 0.0;
+    for (std::size_t j = 0; j < links_.size(); ++j) {
+      const LinkState& link = links_[j];
+      if (!link.up) continue;
+      const bool connects =
+          (link.id.a == path.hops[i] && link.id.b == path.hops[i + 1]) ||
+          (link.id.a == path.hops[i + 1] && link.id.b == path.hops[i]);
+      if (!connects) continue;
+      if (best < 0 || link.quality.latency_ns < best_latency) {
+        best = static_cast<int>(j);
+        best_latency = link.quality.latency_ns;
+      }
+    }
+    if (best < 0) return Status::Internal("path hop without a live link");
+    LinkState& link = links_[static_cast<std::size_t>(best)];
+    link.offered_gbps = std::max(0.0, link.offered_gbps + delta_gbps);
+  }
+  return Status::Ok();
+}
+
+double FabricGraph::OfferedGbps(const std::string& vertex, int port) const {
+  const int index = LinkIndexAt(vertex, port);
+  if (index < 0) return 0.0;
+  return links_[static_cast<std::size_t>(index)].offered_gbps;
+}
+
+double FabricGraph::Utilization(const std::string& vertex, int port) const {
+  return UtilizationOnIndex(LinkIndexAt(vertex, port));
 }
 
 double FabricGraph::CommittedOnIndex(int index) const {

@@ -36,6 +36,9 @@ struct LinkState {
   LinkId id;
   LinkQuality quality;
   bool up = true;
+  // Offered (best-effort) load from traffic hints, on top of any committed
+  // reservations. Utilization = (offered + committed) / bandwidth.
+  double offered_gbps = 0.0;
 };
 
 struct LinkChange {
@@ -47,6 +50,7 @@ struct PathInfo {
   std::vector<std::string> hops;  // vertex names, endpoints included
   double total_latency_ns = 0.0;
   double min_bandwidth_gbps = 0.0;
+  double max_utilization = 0.0;  // worst (offered+committed)/bandwidth on the path
 };
 
 class FabricGraph {
@@ -74,7 +78,36 @@ class FabricGraph {
   /// Lowest-latency path over live links (Dijkstra). NotFound if unreachable.
   Result<PathInfo> ShortestPath(const std::string& from, const std::string& to) const;
 
+  /// Congestion-aware routing: Dijkstra over live links with each link's
+  /// latency inflated by its utilization (cost = latency * (1 + 4*util)), so
+  /// a lightly longer detour beats a saturated short-cut. NotFound if
+  /// unreachable.
+  Result<PathInfo> LeastCongestedPath(const std::string& from, const std::string& to) const;
+
   bool Reachable(const std::string& from, const std::string& to) const;
+
+  // --- Link congestion model ---------------------------------------------
+  // Attached resources report traffic hints ("this flow pushes ~N Gbps");
+  // the graph accumulates them per link as offered load. Utilization is the
+  // fraction of a link's bandwidth consumed by offered load plus committed
+  // reservations — what agents surface on Port payloads and what placement
+  // reads to avoid congested paths.
+
+  /// Adjusts the offered load on the link at (vertex, port) by `delta_gbps`
+  /// (negative to retire a flow; clamps at zero).
+  Status AddTraffic(const std::string& vertex, int port, double delta_gbps);
+
+  /// Applies `delta_gbps` of offered load to every link on the current
+  /// lowest-latency live path from `from` to `to` (a flow-level hint).
+  Status AddPathTraffic(const std::string& from, const std::string& to,
+                        double delta_gbps);
+
+  /// Offered (hint) load on the link at (vertex, port); 0 if none.
+  double OfferedGbps(const std::string& vertex, int port) const;
+
+  /// (offered + committed) / bandwidth for the link at (vertex, port);
+  /// 0 when unwired. May exceed 1.0 when the link is oversubscribed.
+  double Utilization(const std::string& vertex, int port) const;
 
   /// Peer of (vertex, port) if connected and regardless of link state.
   std::optional<std::string> PeerOf(const std::string& vertex, int port) const;
@@ -124,6 +157,13 @@ class FabricGraph {
   void Notify(const LinkChange& change);
   /// Index into links_ for a LinkId; -1 when unknown.
   int LinkIndexOf(const LinkId& id) const;
+  /// Index into links_ for the link wired at (vertex, port); -1 when none.
+  int LinkIndexAt(const std::string& vertex, int port) const;
+  /// (offered + committed) / bandwidth for links_[index]; 0 when index < 0.
+  double UtilizationOnIndex(int index) const;
+  /// Dijkstra core shared by ShortestPath / LeastCongestedPath.
+  Result<PathInfo> RoutePath(const std::string& from, const std::string& to,
+                             bool congestion_aware) const;
   /// Sum of committed bandwidth on links_[index] across healthy reservations.
   double CommittedOnIndex(int index) const;
   Status PinReservation(Reservation& reservation);

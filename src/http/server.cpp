@@ -45,6 +45,12 @@ std::chrono::steady_clock::time_point Now() {
   return std::chrono::steady_clock::now();
 }
 
+std::int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 Result<Response> HttpClient::Get(const std::string& target) {
@@ -225,6 +231,16 @@ Status TcpServer::Start(ServerHandler handler, std::uint16_t port,
   accept_backoff_ms_ = 0;
   stop_requested_.store(false);
   pool_ = std::make_unique<ThreadPool>(options_.workers, options_.max_queued_requests);
+  pool_->set_warn_queue_depth(options_.max_queued_requests);
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    scheduler_ = options_.tenant_classifier
+                     ? std::make_unique<qos::FairScheduler>(options_.qos_queue_per_tenant)
+                     : nullptr;
+  }
+  drain_rate_ = qos::DrainRateEstimator(
+      static_cast<double>(options_.workers) * 100.0);
+  qos_inflight_ = 0;
 
   running_.store(true);
   loop_thread_ = std::thread([this] { LoopMain(); });
@@ -262,6 +278,12 @@ void TcpServer::Stop() {
   backend_.reset();
 }
 
+std::vector<qos::TenantStats> TcpServer::TenantQosStats() const {
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  if (!scheduler_) return {};
+  return scheduler_->Stats();
+}
+
 ServerStats TcpServer::stats() const {
   ServerStats s;
   s.connections_accepted = accepted_.load(std::memory_order_relaxed);
@@ -270,6 +292,8 @@ ServerStats TcpServer::stats() const {
   s.parse_errors = parse_errors_.load(std::memory_order_relaxed);
   s.limit_rejections = limit_rejections_.load(std::memory_order_relaxed);
   s.overload_rejections = overload_rejections_.load(std::memory_order_relaxed);
+  s.rate_limited_rejections = rate_limited_.load(std::memory_order_relaxed);
+  if (pool_) s.worker_queue_high_water = pool_->stats().high_water;
   s.idle_closed = idle_closed_.load(std::memory_order_relaxed);
   s.streams_opened = streams_opened_.load(std::memory_order_relaxed);
   s.accept_failures = accept_failures_.load(std::memory_order_relaxed);
@@ -592,8 +616,70 @@ void TcpServer::ServiceConn(std::uint64_t id) {
   }
 }
 
+Response TcpServer::MakeOverloadResponse() {
+  // Retry-After proportional to how long the present backlog needs to
+  // drain: clients shed from a deep queue are told to stay away longer than
+  // ones shed from a shallow one, so the herd trickles back instead of
+  // returning in one synchronized burst (the old constant "1" did exactly
+  // that, and disagreed with BeginDrain's horizon for no reason).
+  std::size_t depth = pool_ ? pool_->stats().queued : 0;
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    if (scheduler_) depth += scheduler_->queued();
+  }
+  const double seconds =
+      qos::DeriveRetryAfterSeconds(depth, drain_rate_.rate_per_sec());
+  Response overloaded = MakeTextResponse(503, "request queue full");
+  overloaded.headers.Set("Retry-After",
+                         std::to_string(qos::RetryAfterHeaderSeconds(seconds)));
+  return overloaded;
+}
+
+std::vector<std::uint64_t> TcpServer::PumpScheduler() {
+  // Moves admitted requests to the worker pool in DRR order while the pool
+  // has room. Runs on the loop thread; sched_mu_ is only held against
+  // cross-thread stats readers.
+  std::vector<std::uint64_t> rejected;
+  while (true) {
+    // Feed the pool only up to one task per worker. Any deeper and the
+    // excess sits in the pool's FIFO where DRR ordering no longer applies —
+    // a flood tenant's backlog would queue ahead of later-arriving light
+    // tenants, which is exactly what weighted fairness must prevent. The
+    // backlog stays in the scheduler; completions re-pump.
+    if (qos_inflight_ >= options_.workers) break;
+    qos::FairScheduler::Item item;
+    {
+      std::lock_guard<std::mutex> lock(sched_mu_);
+      if (!scheduler_ || scheduler_->empty()) break;
+      item = scheduler_->Dequeue();
+    }
+    if (!item.work) break;
+    if (pool_->TrySubmit(std::move(item.work))) {
+      ++qos_inflight_;
+    } else {
+      // Lost a race to the bound (should not happen: the loop is the only
+      // producer); shed this request like a FIFO overload.
+      overload_rejections_.fetch_add(1, std::memory_order_relaxed);
+      auto it = conns_.find(item.cookie);
+      if (it != conns_.end()) {
+        it->second->busy = false;
+        QueueResponse(*it->second, MakeOverloadResponse(), false);
+        rejected.push_back(item.cookie);
+      }
+      break;
+    }
+  }
+  return rejected;
+}
+
 void TcpServer::DispatchRequest(Conn& conn, Request request) {
   const std::uint64_t id = conn.id;
+  // Tenant classification happens before the request moves into the worker
+  // closure (the classifier is a cheap token -> tenant lookup; it runs on
+  // the loop thread like the rest of admission).
+  qos::TenantSpec tenant;
+  const bool qos_enabled = static_cast<bool>(options_.tenant_classifier);
+  if (qos_enabled) tenant = options_.tenant_classifier(request);
   auto work = [this, id, request = std::move(request)]() mutable {
     // Adopt the caller's wire identity (or mint a fresh trace when sampling
     // says so). The ambient TraceContext is installed per-dispatch — worker
@@ -625,12 +711,48 @@ void TcpServer::DispatchRequest(Conn& conn, Request request) {
     }
     if (need_wake) Wake();
   };
+
+  if (qos_enabled) {
+    qos::FairScheduler::Admission admission;
+    {
+      std::lock_guard<std::mutex> lock(sched_mu_);
+      scheduler_->ConfigureTenant(tenant);
+      admission = scheduler_->Enqueue(tenant.id, id, std::move(work), NowNs());
+    }
+    switch (admission.verdict) {
+      case qos::FairScheduler::Admit::kAccepted: {
+        const std::vector<std::uint64_t> shed = PumpScheduler();
+        // Shed connections other than this one need their 503 flushed;
+        // this one is flushed by our caller's pump (busy was reset).
+        for (const std::uint64_t cookie : shed) {
+          if (cookie != id) ServiceConn(cookie);
+        }
+        return;
+      }
+      case qos::FairScheduler::Admit::kRateLimited: {
+        rate_limited_.fetch_add(1, std::memory_order_relaxed);
+        conn.busy = false;
+        Response limited = MakeTextResponse(429, "tenant rate limit exceeded");
+        limited.headers.Set(
+            "Retry-After",
+            std::to_string(qos::RetryAfterHeaderSeconds(admission.retry_after_s)));
+        QueueResponse(conn, std::move(limited), false);
+        return;
+      }
+      case qos::FairScheduler::Admit::kQueueFull: {
+        overload_rejections_.fetch_add(1, std::memory_order_relaxed);
+        conn.busy = false;
+        QueueResponse(conn, MakeOverloadResponse(), false);
+        return;
+      }
+    }
+    return;
+  }
+
   if (!pool_->TrySubmit(std::move(work))) {
     overload_rejections_.fetch_add(1, std::memory_order_relaxed);
     conn.busy = false;
-    Response overloaded = MakeTextResponse(503, "request queue full");
-    overloaded.headers.Set("Retry-After", "1");
-    QueueResponse(conn, std::move(overloaded), false);
+    QueueResponse(conn, MakeOverloadResponse(), false);
   }
 }
 
@@ -815,6 +937,12 @@ void TcpServer::HandleCompletions() {
     std::lock_guard<std::mutex> lock(done_mu_);
     done.swap(done_);
   }
+  if (!done.empty()) drain_rate_.NoteCompletions(done.size(), NowNs());
+  // Every completion under QoS dispatch frees an in-flight pump slot (all
+  // worker tasks flow through the scheduler when a classifier is set).
+  if (options_.tenant_classifier) {
+    qos_inflight_ -= std::min(qos_inflight_, done.size());
+  }
   for (Completion& completion : done) {
     auto it = conns_.find(completion.conn_id);
     if (it == conns_.end()) continue;  // connection died while handling
@@ -823,6 +951,8 @@ void TcpServer::HandleCompletions() {
     QueueResponse(c, std::move(completion.response), completion.close_after);
     ServiceConn(completion.conn_id);
   }
+  // Worker slots just freed: move the next DRR round into the pool.
+  for (const std::uint64_t cookie : PumpScheduler()) ServiceConn(cookie);
 }
 
 void TcpServer::SweepIdle(std::chrono::steady_clock::time_point now) {

@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/qos.hpp"
 #include "common/result.hpp"
 #include "common/threadpool.hpp"
 #include "http/io_backend.hpp"
@@ -87,6 +88,16 @@ struct ServerOptions {
   std::size_t max_queued_requests = 0;
   /// Stop(): how long to wait for in-flight handlers after the loop exits.
   int drain_timeout_ms = 2000;
+  /// Multi-tenant QoS. With a classifier installed, every parsed request is
+  /// tagged with its tenant and dispatch to the worker pool goes through a
+  /// deficit-round-robin scheduler over per-tenant bounded queues with
+  /// per-tenant token buckets: a bucket breach answers 429 + Retry-After
+  /// derived from the refill time, a full tenant queue answers 503 with the
+  /// drain-rate-derived Retry-After. Null classifier = the legacy FIFO path
+  /// (single shared queue, the noisy-neighbor baseline).
+  std::function<qos::TenantSpec(const Request&)> tenant_classifier;
+  /// Per-tenant queue bound for specs that leave max_queue at 0.
+  std::size_t qos_queue_per_tenant = 256;
   /// Readiness backend. kUring falls back to epoll at Start() when the
   /// kernel lacks io_uring (logged, not an error).
   IoBackendKind io_backend = IoBackendKind::kEpoll;
@@ -101,7 +112,9 @@ struct ServerStats {
   std::uint64_t requests_served = 0;     // responses queued for the wire
   std::uint64_t parse_errors = 0;        // 400s from broken framing
   std::uint64_t limit_rejections = 0;    // 431/413
-  std::uint64_t overload_rejections = 0; // 503: worker queue full
+  std::uint64_t overload_rejections = 0; // 503: worker or tenant queue full
+  std::uint64_t rate_limited_rejections = 0;  // 429: tenant token bucket dry
+  std::size_t worker_queue_high_water = 0;    // deepest the pool queue got
   std::uint64_t idle_closed = 0;         // reaped by the idle sweep
   std::uint64_t streams_opened = 0;      // streaming (SSE) responses started
   std::uint64_t accept_failures = 0;     // accept() errors (EMFILE, ...)
@@ -134,6 +147,9 @@ class TcpServer {
   std::uint16_t port() const { return port_; }
   bool running() const { return running_.load(); }
   ServerStats stats() const;
+  /// Per-tenant scheduler counters (empty when QoS is off). Safe from any
+  /// thread; feeds the TenantQoS MetricReport.
+  std::vector<qos::TenantStats> TenantQosStats() const;
   /// The backend actually in use (after any fallback); "" before Start().
   const char* backend_name() const { return backend_ ? backend_->name() : ""; }
 
@@ -149,6 +165,13 @@ class TcpServer {
   /// requests, until blocked (EAGAIN), waiting on a worker, or closed.
   void ServiceConn(std::uint64_t id);
   void DispatchRequest(Conn& conn, Request request);
+  /// Moves scheduler items to the worker pool while it has room. Returns
+  /// conn ids that were overload-rejected instead (TrySubmit race); the
+  /// caller must ServiceConn them from a safe (non-reentrant) point.
+  std::vector<std::uint64_t> PumpScheduler();
+  /// Queue-full 503 with Retry-After derived from backlog / drain rate
+  /// (shared by the FIFO and per-tenant paths; never a constant).
+  Response MakeOverloadResponse();
   void QueueResponse(Conn& conn, Response response, bool close_after);
   bool WriteSome(Conn& conn);
   void SyncInterest(Conn& conn);
@@ -178,6 +201,16 @@ class TcpServer {
   std::atomic<bool> stop_requested_{false};
   std::thread loop_thread_;
 
+  // --- QoS scheduler: written by the loop thread only; the mutex exists so
+  // --- TenantQosStats() can read counters from other threads --------------
+  mutable std::mutex sched_mu_;
+  std::unique_ptr<qos::FairScheduler> scheduler_;  // null = FIFO dispatch
+  qos::DrainRateEstimator drain_rate_;             // loop-thread-only
+  // Tasks handed to the pool but not yet completed (loop-thread-only).
+  // PumpScheduler keeps this at <= workers so the dispatch backlog waits in
+  // the scheduler, in DRR order, instead of in the pool's FIFO.
+  std::size_t qos_inflight_ = 0;
+
   // --- loop-thread-only state ---------------------------------------------
   std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
   std::uint64_t next_conn_id_ = 2;  // 0 = listen fd, 1 = wake fd
@@ -204,7 +237,7 @@ class TcpServer {
   std::atomic<std::uint64_t> accepted_{0}, closed_{0}, served_{0},
       parse_errors_{0}, limit_rejections_{0}, overload_rejections_{0},
       idle_closed_{0}, accept_failures_{0}, accept_backoff_bursts_{0},
-      recv_calls_{0}, send_calls_{0}, streams_opened_{0};
+      recv_calls_{0}, send_calls_{0}, streams_opened_{0}, rate_limited_{0};
 };
 
 /// Blocking client against 127.0.0.1:port with a keep-alive connection pool:

@@ -30,7 +30,8 @@ json::Json BlockCapability::ToPayload() const {
                                                   {"StorageGiB", storage_gib},
                                                   {"Locality", locality},
                                                   {"IdleWatts", idle_watts},
-                                                  {"ActiveWatts", active_watts}})}})},
+                                                  {"ActiveWatts", active_watts},
+                                                  {"PathUtilization", path_utilization}})}})},
   });
 }
 
@@ -49,6 +50,7 @@ BlockCapability CapabilityFromPayload(const json::Json& block) {
   capability.locality = oem.GetString("Locality");
   capability.idle_watts = oem.GetDouble("IdleWatts");
   capability.active_watts = oem.GetDouble("ActiveWatts");
+  capability.path_utilization = oem.GetDouble("PathUtilization");
   return capability;
 }
 
@@ -91,6 +93,45 @@ Status CompositionService::UnregisterBlock(const std::string& block_uri) {
 Result<std::string> CompositionService::BlockState(const std::string& block_uri) const {
   OFMF_ASSIGN_OR_RETURN(json::Json block, tree_.Get(block_uri));
   return block.at("CompositionStatus").GetString("CompositionState");
+}
+
+Status CompositionService::SetBlockPathUtilization(const std::string& block_uri,
+                                                   double utilization) {
+  if (!tree_.Exists(block_uri)) return Status::NotFound("no block: " + block_uri);
+  return tree_.Patch(
+      block_uri,
+      json::Json::Obj(
+          {{"Oem",
+            json::Json::Obj({{"Ofmf", json::Json::Obj({{"PathUtilization",
+                                                        utilization}})}})}}));
+}
+
+double CompositionService::UtilizationLimitFor(const std::string& qos_class) {
+  if (qos_class == "Guaranteed") return 0.5;
+  if (qos_class == "Burstable") return 0.85;
+  return 1e9;  // BestEffort / unknown: unbounded
+}
+
+Result<CompositionService::QosPlacementCheck> CompositionService::EvaluateQosPlacement(
+    const std::vector<std::string>& block_uris, const std::string& qos_class) const {
+  QosPlacementCheck check;
+  check.limit = UtilizationLimitFor(qos_class);
+  std::string worst_block;
+  for (const std::string& uri : block_uris) {
+    OFMF_ASSIGN_OR_RETURN(json::Json block, tree_.Get(uri));
+    const double utilization = CapabilityFromPayload(block).path_utilization;
+    if (utilization > check.worst_utilization) {
+      check.worst_utilization = utilization;
+      worst_block = uri;
+    }
+  }
+  if (check.worst_utilization > check.limit) {
+    check.satisfied = false;
+    check.reason = "QoS class '" + qos_class + "' needs path utilization <= " +
+                   std::to_string(check.limit) + " but " + worst_block +
+                   " sits at " + std::to_string(check.worst_utilization);
+  }
+  return check;
 }
 
 Status CompositionService::SetBlockState(const std::string& block_uri,

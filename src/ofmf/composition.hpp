@@ -27,6 +27,10 @@ struct BlockCapability {
   std::string locality;
   double idle_watts = 0.0;
   double active_watts = 0.0;
+  // Worst utilization on the fabric path from this block to the compute
+  // attach point (0..1+, from the fabricsim congestion model; agents keep it
+  // current). Placement prefers low values; the QoS gate bounds it.
+  double path_utilization = 0.0;
 
   json::Json ToPayload() const;
 };
@@ -93,6 +97,31 @@ class CompositionService {
   Result<std::vector<std::string>> BlocksOf(const std::string& system_uri) const;
 
   Result<std::string> BlockState(const std::string& block_uri) const;
+
+  /// Refreshes a registered block's Oem.Ofmf.PathUtilization (agents call
+  /// this as the fabric congestion model moves).
+  Status SetBlockPathUtilization(const std::string& block_uri, double utilization);
+
+  // --- QoS-gated placement -----------------------------------------------
+  // A tenant's QoS class bounds how congested a composed system's fabric
+  // paths may be: "Guaranteed" <= 0.5, "Burstable" <= 0.85, anything else
+  // (BestEffort, unknown, or no tenant) is unbounded.
+
+  /// Worst-path-utilization ceiling for `qos_class` (1e9 = unbounded).
+  static double UtilizationLimitFor(const std::string& qos_class);
+
+  struct QosPlacementCheck {
+    bool satisfied = true;
+    double worst_utilization = 0.0;
+    double limit = 0.0;
+    std::string reason;  // human-readable when !satisfied
+  };
+
+  /// Evaluates whether composing over `block_uris` meets `qos_class` right
+  /// now (reads each block's Oem.Ofmf.PathUtilization). Never places; the
+  /// caller decides to compose, queue, or reject.
+  Result<QosPlacementCheck> EvaluateQosPlacement(
+      const std::vector<std::string>& block_uris, const std::string& qos_class) const;
 
   /// Outcome of the post-recovery consistency pass.
   struct CompositionRecovery {

@@ -235,6 +235,19 @@ void OfmfService::WireRoutes() {
     return sessions_.DeleteSession(uri.substr(slash + 1));
   });
 
+  // Tenant accounts: POST a tenant (id + QoS class + DRR weight + rate
+  // limits + member users) to the Tenants collection; DELETE unbinds its
+  // users and falls back to best-effort scheduling for their sessions.
+  rest_.RegisterFactory(kTenants, "OfmfTenant",
+                        [this](const json::Json& body) {
+                          return sessions_.CreateTenantFromPayload(body);
+                        });
+  rest_.RegisterDeleteHook(kTenants, [this](const std::string& uri) {
+    if (uri == kTenants) return Status::PermissionDenied("collection cannot be deleted");
+    const std::size_t slash = uri.rfind('/');
+    return sessions_.DeleteTenant(uri.substr(slash + 1));
+  });
+
   // Self-check: POST /redfish/v1/Actions/OfmfService.Audit runs the
   // whole-tree conformance audit and returns the report.
   rest_.RegisterAction(
@@ -738,9 +751,14 @@ Result<store::RecoveryReport> OfmfService::EnableDurability(
       recovered.report.had_snapshot || recovered.report.records_replayed > 0;
   if (restarted) {
     // The tree is now the pre-crash one; rebuild everything derived from it.
+    // Tenants first: RestoreSession re-derives each session's tenant from
+    // the user bindings the tenant resources carry.
+    (void)sessions_.AdoptTenantsFromTree();
     for (const store::DurableSession& session : recovered.sessions) {
+      // The tenant field is re-derived inside RestoreSession from the user's
+      // tenant binding (tokens persist; tenant membership lives in the tree).
       sessions_.RestoreSession({session.id, session.user, session.token,
-                                std::string(kSessions) + "/" + session.id});
+                                std::string(kSessions) + "/" + session.id, ""});
     }
     // Durable event state first (sequence counter, retained log, cursors),
     // so adopted subscriptions resume from their recovered cursor instead
@@ -889,7 +907,20 @@ http::Response OfmfService::Handle(const http::Request& request) {
     metrics::ScopedTimer timer(metrics::Registry::instance().enabled()
                                    ? EndpointHistogram(request.method, request.path)
                                    : nullptr);
-    response = HandleInner(request);
+    // Per-tenant latency: only authenticated traffic carries a tenant, so
+    // the token-less hot path (benches, bootstrap probes) pays nothing.
+    const std::string& token = request.headers.GetOr("X-Auth-Token", "");
+    if (metrics::Registry::instance().enabled() && !token.empty()) {
+      const std::uint64_t start_ns = metrics::FastNowNs();
+      response = HandleInner(request);
+      const std::string tenant = sessions_.TenantOfToken(token);
+      metrics::Registry::instance()
+          .histogram("http.tenant." + (tenant.empty() ? "default" : tenant) +
+                     ".latency.ns")
+          .Record(metrics::FastNowNs() - start_ns);
+    } else {
+      response = HandleInner(request);
+    }
   }
   if (span.active()) {
     // Echo the trace id so a client can quote it when reporting a slow call.
@@ -913,6 +944,7 @@ void OfmfService::PeriodicReportRefresh() {
   (void)telemetry_.UpdateResilienceReport(CollectResilience());
   (void)telemetry_.UpdateRequestLatencyReport();
   (void)telemetry_.UpdateEventDeliveryReport(events_.CollectDelivery());
+  (void)telemetry_.UpdateTenantQosReport();
 }
 
 http::Response OfmfService::HandleInner(const http::Request& request) {
@@ -1025,6 +1057,11 @@ http::Response OfmfService::Dispatch(const http::Request& request) {
           TelemetryService::RequestLatencyReportUri()) {
     (void)telemetry_.UpdateRequestLatencyReport();
   }
+  // And for the per-tenant fair-scheduling report.
+  if ((request.method == http::Method::kGet || request.method == http::Method::kHead) &&
+      http::NormalizePath(request.path) == TelemetryService::TenantQosReportUri()) {
+    (void)telemetry_.UpdateTenantQosReport();
+  }
 
   // Server-Sent-Events streaming subscription: the reactor's first
   // long-lived, non-request/response connection type. The response carries
@@ -1050,6 +1087,83 @@ http::Response OfmfService::Dispatch(const http::Request& request) {
       (void)events_.AttachStream(std::move(writer), event_types);
     });
     return response;
+  }
+
+  // QoS-gated composition: the requesting tenant's QoS class bounds how
+  // congested the composed system's fabric paths may be
+  // (CompositionService::UtilizationLimitFor). An unsatisfiable Compose is
+  // never silently placed: async-preferring clients get it queued as a Task
+  // that re-evaluates the gate when it runs (congestion may have drained by
+  // then); synchronous clients get an explicit 503 + Retry-After.
+  if (request.method == http::Method::kPost &&
+      http::NormalizePath(request.path) == kSystems) {
+    Result<json::Json> body = request.JsonBody();
+    const json::Json* blocks =
+        body.ok() ? json::ResolvePointerRef(*body, "/Links/ResourceBlocks") : nullptr;
+    std::vector<std::string> block_uris;
+    if (blocks != nullptr && blocks->is_array()) {
+      for (const json::Json& entry : blocks->as_array()) {
+        const std::string uri = odata::IdOf(entry);
+        if (!uri.empty()) block_uris.push_back(uri);
+      }
+    }
+    std::string qos_class = "BestEffort";
+    const std::string tenant =
+        sessions_.TenantOfToken(request.headers.GetOr("X-Auth-Token", ""));
+    if (!tenant.empty()) {
+      Result<TenantInfo> info = sessions_.GetTenant(tenant);
+      if (info.ok()) qos_class = info->qos_class;
+    }
+    // Unknown blocks fall through: the composition factory reports NotFound
+    // with its usual shape.
+    Result<CompositionService::QosPlacementCheck> check =
+        block_uris.empty() ? CompositionService::QosPlacementCheck{}
+                           : composition_.EvaluateQosPlacement(block_uris, qos_class);
+    if (check.ok() && !check->satisfied) {
+      const bool wants_async =
+          request.headers.GetOr("Prefer", "").find("respond-async") != std::string::npos;
+      if (!wants_async) {
+        http::Response refused = redfish::ErrorResponse(
+            503, "Base.1.0.InsufficientResources",
+            "composition deferred: " + check->reason);
+        refused.headers.Set("Retry-After", "5");
+        return refused;
+      }
+      Result<std::string> task_uri = tasks_.CreateTask(
+          "compose " + body->GetString("Name", "system") + " (awaiting QoS headroom)");
+      if (!task_uri.ok()) return redfish::ErrorResponse(task_uri.status());
+      (void)tasks_.SetState(*task_uri, TaskState::kRunning);
+      const json::Json captured_body = *body;
+      const std::string captured_task = *task_uri;
+      const std::vector<std::string> captured_blocks = block_uris;
+      const std::string captured_class = qos_class;
+      pending_work_.push_back([this, captured_body, captured_task, captured_blocks,
+                               captured_class] {
+        Result<CompositionService::QosPlacementCheck> recheck =
+            composition_.EvaluateQosPlacement(captured_blocks, captured_class);
+        if (!recheck.ok() || !recheck->satisfied) {
+          (void)tasks_.SetState(
+              captured_task, TaskState::kException,
+              recheck.ok() ? "QoS still unsatisfiable: " + recheck->reason
+                           : recheck.status().message());
+          return;
+        }
+        http::Request inner =
+            http::MakeJsonRequest(http::Method::kPost, kSystems, captured_body);
+        const http::Response response = rest_.Handle(inner);
+        if (response.status == 201) {
+          (void)tasks_.SetState(captured_task, TaskState::kCompleted,
+                                "composed " + response.headers.GetOr("Location", ""));
+        } else {
+          (void)tasks_.SetState(captured_task, TaskState::kException,
+                                "composition failed with HTTP " +
+                                    std::to_string(response.status));
+        }
+      });
+      http::Response accepted = http::MakeJsonResponse(202, *tree_.Get(*task_uri));
+      accepted.headers.Set("Location", *task_uri);
+      return accepted;
+    }
   }
 
   // Asynchronous composition: Redfish's "Prefer: respond-async". The POST

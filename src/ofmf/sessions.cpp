@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "json/pointer.hpp"
 #include "ofmf/uris.hpp"
 
 namespace ofmf::core {
@@ -16,7 +17,60 @@ std::string HexToken(Rng& rng) {
   return buffer;
 }
 
+std::string TenantUri(const std::string& tenant_id) {
+  return std::string(kTenants) + "/" + tenant_id;
+}
+
 }  // namespace
+
+bool ConstantTimeEquals(const std::string& expected, const std::string& provided) {
+  // The loop walks every byte of `expected` regardless of where (or
+  // whether) a mismatch occurs; `provided` bytes past its end read as a
+  // sentinel that keeps the accumulator non-zero. Work is a function of the
+  // stored token's (fixed) length only.
+  unsigned char diff = expected.size() == provided.size() ? 0 : 1;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const unsigned char theirs =
+        i < provided.size() ? static_cast<unsigned char>(provided[i]) : 0xFF;
+    diff = static_cast<unsigned char>(
+        diff | (static_cast<unsigned char>(expected[i]) ^ theirs));
+  }
+  return diff == 0;
+}
+
+json::Json TenantInfo::ToPayload() const {
+  json::Array user_refs;
+  for (const std::string& user : users) user_refs.push_back(json::Json(user));
+  return json::Json::Obj(
+      {{"Id", id},
+       {"Name", id + " tenant"},
+       {"Oem",
+        json::Json::Obj(
+            {{"Ofmf",
+              json::Json::Obj({{"QoSClass", qos_class},
+                               {"Weight", static_cast<std::int64_t>(weight)},
+                               {"RateLimitRps", rate_rps},
+                               {"BurstSize", burst},
+                               {"Users", json::Json(std::move(user_refs))}})}})}});
+}
+
+std::string SessionService::TokenDigest(const std::string& token) {
+  // FNV-1a over the token, twice with different offset bases for 128 bits
+  // of key space. Collisions among 128-bit random tokens are negligible,
+  // and CreateSession re-mints on the off chance anyway.
+  auto fnv = [&token](std::uint64_t hash) {
+    for (const char c : token) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 0x100000001B3ULL;
+    }
+    return hash;
+  };
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%016llx%016llx",
+                static_cast<unsigned long long>(fnv(0xCBF29CE484222325ULL)),
+                static_cast<unsigned long long>(fnv(0x9747B28C0DFE0221ULL)));
+  return buffer;
+}
 
 SessionService::SessionService(redfish::ResourceTree& tree) : tree_(tree) {
   users_["admin"] = "ofmf";
@@ -29,9 +83,15 @@ Status SessionService::Bootstrap() {
                        {"Name", "Session Service"},
                        {"ServiceEnabled", true},
                        {"SessionTimeout", 1800},
-                       {"Sessions", json::Json::Obj({{"@odata.id", kSessions}})}})));
-  return tree_.CreateCollection(kSessions, "#SessionCollection.SessionCollection",
-                                "Sessions");
+                       {"Sessions", json::Json::Obj({{"@odata.id", kSessions}})},
+                       {"Oem", json::Json::Obj(
+                                   {{"Ofmf", json::Json::Obj(
+                                                 {{"Tenants", json::Json::Obj(
+                                                       {{"@odata.id", kTenants}})}})}})}})));
+  OFMF_RETURN_IF_ERROR(tree_.CreateCollection(
+      kSessions, "#SessionCollection.SessionCollection", "Sessions"));
+  return tree_.CreateCollection(kTenants, "#OfmfTenantCollection.OfmfTenantCollection",
+                                "Tenants");
 }
 
 void SessionService::AddUser(const std::string& user, const std::string& password) {
@@ -44,21 +104,27 @@ Result<SessionInfo> SessionService::CreateSession(const std::string& user,
   std::lock_guard<std::mutex> lock(mu_);
   if (user.empty()) return Status::InvalidArgument("UserName must be non-empty");
   auto it = users_.find(user);
-  if (it == users_.end() || it->second != password) {
+  if (it == users_.end() || !ConstantTimeEquals(it->second, password)) {
     return Status::PermissionDenied("invalid credentials for user " + user);
   }
   SessionInfo session;
   session.id = std::to_string(next_id_++);
   session.user = user;
   session.token = HexToken(rng_);
+  // Digest collision with a live session: re-mint rather than overwrite.
+  while (sessions_by_digest_.count(TokenDigest(session.token)) != 0) {
+    session.token = HexToken(rng_);
+  }
   session.uri = std::string(kSessions) + "/" + session.id;
+  const auto tenant = tenant_of_user_.find(user);
+  if (tenant != tenant_of_user_.end()) session.tenant = tenant->second;
 
   OFMF_RETURN_IF_ERROR(tree_.Create(
       session.uri, "#Session.v1_5_0.Session",
       json::Json::Obj({{"Id", session.id}, {"Name", "Session " + session.id},
                        {"UserName", user}})));
   OFMF_RETURN_IF_ERROR(tree_.AddMember(kSessions, session.uri));
-  sessions_by_token_[session.token] = session;
+  sessions_by_digest_[TokenDigest(session.token)] = session;
   return session;
 }
 
@@ -67,7 +133,7 @@ Status SessionService::DeleteSession(const std::string& session_id) {
   const std::string uri = std::string(kSessions) + "/" + session_id;
   OFMF_RETURN_IF_ERROR(tree_.Delete(uri));
   OFMF_RETURN_IF_ERROR(tree_.RemoveMember(kSessions, uri));
-  std::erase_if(sessions_by_token_,
+  std::erase_if(sessions_by_digest_,
                 [&](const auto& entry) { return entry.second.id == session_id; });
   return Status::Ok();
 }
@@ -75,8 +141,8 @@ Status SessionService::DeleteSession(const std::string& session_id) {
 std::vector<SessionInfo> SessionService::ExportSessions() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<SessionInfo> sessions;
-  sessions.reserve(sessions_by_token_.size());
-  for (const auto& [token, session] : sessions_by_token_) sessions.push_back(session);
+  sessions.reserve(sessions_by_digest_.size());
+  for (const auto& [digest, session] : sessions_by_digest_) sessions.push_back(session);
   return sessions;
 }
 
@@ -90,14 +156,144 @@ void SessionService::RestoreSession(const SessionInfo& session) {
   if (!tree_.Exists(uri)) return;
   SessionInfo adopted = session;
   adopted.uri = uri;
-  sessions_by_token_[adopted.token] = std::move(adopted);
+  // Re-derive the tenant binding: the journal's session record carries no
+  // tenant, but the tenant resources (journaled via the tree) do. Requires
+  // AdoptTenantsFromTree() to have run first.
+  const auto tenant = tenant_of_user_.find(adopted.user);
+  if (tenant != tenant_of_user_.end()) adopted.tenant = tenant->second;
+  sessions_by_digest_[TokenDigest(adopted.token)] = std::move(adopted);
 }
 
 std::optional<SessionInfo> SessionService::Authenticate(const std::string& token) const {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = sessions_by_token_.find(token);
-  if (it == sessions_by_token_.end()) return std::nullopt;
+  auto it = sessions_by_digest_.find(TokenDigest(token));
+  if (it == sessions_by_digest_.end()) return std::nullopt;
+  // The digest narrowed the candidate set; the authenticating comparison
+  // itself must not leak the mismatch position through timing.
+  if (!ConstantTimeEquals(it->second.token, token)) return std::nullopt;
   return it->second;
+}
+
+std::string SessionService::TenantOfToken(const std::string& token) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_by_digest_.find(TokenDigest(token));
+  if (it == sessions_by_digest_.end()) return "";
+  if (!ConstantTimeEquals(it->second.token, token)) return "";
+  return it->second.tenant;
+}
+
+// ------------------------------------------------------------------ tenants
+
+Result<TenantInfo> SessionService::CreateTenantLocked(const TenantInfo& tenant) {
+  if (tenant.id.empty()) return Status::InvalidArgument("tenant Id must be non-empty");
+  if (tenants_.count(tenant.id) != 0) {
+    return Status::FailedPrecondition("tenant " + tenant.id + " already exists");
+  }
+  TenantInfo created = tenant;
+  created.uri = TenantUri(created.id);
+  OFMF_RETURN_IF_ERROR(
+      tree_.Create(created.uri, "#OfmfTenant.v1_0_0.OfmfTenant", created.ToPayload()));
+  OFMF_RETURN_IF_ERROR(tree_.AddMember(kTenants, created.uri));
+  for (const std::string& user : created.users) tenant_of_user_[user] = created.id;
+  tenants_[created.id] = created;
+  return created;
+}
+
+Result<TenantInfo> SessionService::CreateTenant(const TenantInfo& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CreateTenantLocked(tenant);
+}
+
+Result<std::string> SessionService::CreateTenantFromPayload(const json::Json& body) {
+  TenantInfo tenant;
+  tenant.id = body.GetString("Id");
+  const json::Json* oem = json::ResolvePointerRef(body, "/Oem/Ofmf");
+  if (oem != nullptr) {
+    tenant.qos_class = oem->GetString("QoSClass", tenant.qos_class);
+    tenant.weight = static_cast<std::uint32_t>(
+        oem->GetInt("Weight", static_cast<std::int64_t>(tenant.weight)));
+    tenant.rate_rps = oem->GetDouble("RateLimitRps", tenant.rate_rps);
+    tenant.burst = oem->GetDouble("BurstSize", tenant.burst);
+    const json::Json* users = json::ResolvePointerRef(*oem, "/Users");
+    if (users != nullptr && users->is_array()) {
+      for (const json::Json& user : users->as_array()) {
+        if (user.is_string()) tenant.users.push_back(user.as_string());
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  OFMF_ASSIGN_OR_RETURN(TenantInfo created, CreateTenantLocked(tenant));
+  return created.uri;
+}
+
+Status SessionService::DeleteTenant(const std::string& tenant_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant_id);
+  if (it == tenants_.end()) return Status::NotFound("no tenant " + tenant_id);
+  const std::string uri = TenantUri(tenant_id);
+  OFMF_RETURN_IF_ERROR(tree_.Delete(uri));
+  OFMF_RETURN_IF_ERROR(tree_.RemoveMember(kTenants, uri));
+  std::erase_if(tenant_of_user_,
+                [&](const auto& entry) { return entry.second == tenant_id; });
+  // Live sessions of the deleted tenant fall back to the default class.
+  for (auto& [digest, session] : sessions_by_digest_) {
+    if (session.tenant == tenant_id) session.tenant.clear();
+  }
+  tenants_.erase(it);
+  return Status::Ok();
+}
+
+Result<TenantInfo> SessionService::GetTenant(const std::string& tenant_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant_id);
+  if (it == tenants_.end()) return Status::NotFound("no tenant " + tenant_id);
+  return it->second;
+}
+
+std::vector<TenantInfo> SessionService::Tenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TenantInfo> tenants;
+  tenants.reserve(tenants_.size());
+  for (const auto& [id, tenant] : tenants_) tenants.push_back(tenant);
+  return tenants;
+}
+
+std::string SessionService::TenantOfUser(const std::string& user) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenant_of_user_.find(user);
+  return it == tenant_of_user_.end() ? "" : it->second;
+}
+
+std::size_t SessionService::AdoptTenantsFromTree() {
+  const Result<std::vector<std::string>> members = tree_.Members(kTenants);
+  std::lock_guard<std::mutex> lock(mu_);
+  tenants_.clear();
+  tenant_of_user_.clear();
+  if (!members.ok()) return 0;
+  for (const std::string& uri : *members) {
+    const Result<json::Json> payload = tree_.GetRaw(uri);
+    if (!payload.ok()) continue;
+    TenantInfo tenant;
+    tenant.id = payload->GetString("Id");
+    if (tenant.id.empty()) continue;
+    tenant.uri = uri;
+    const json::Json* oem = json::ResolvePointerRef(*payload, "/Oem/Ofmf");
+    if (oem != nullptr) {
+      tenant.qos_class = oem->GetString("QoSClass", tenant.qos_class);
+      tenant.weight = static_cast<std::uint32_t>(oem->GetInt("Weight", 1));
+      tenant.rate_rps = oem->GetDouble("RateLimitRps", 0.0);
+      tenant.burst = oem->GetDouble("BurstSize", 0.0);
+      const json::Json* users = json::ResolvePointerRef(*oem, "/Users");
+      if (users != nullptr && users->is_array()) {
+        for (const json::Json& user : users->as_array()) {
+          if (user.is_string()) tenant.users.push_back(user.as_string());
+        }
+      }
+    }
+    for (const std::string& user : tenant.users) tenant_of_user_[user] = tenant.id;
+    tenants_[tenant.id] = std::move(tenant);
+  }
+  return tenants_.size();
 }
 
 }  // namespace ofmf::core

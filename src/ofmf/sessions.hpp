@@ -1,8 +1,13 @@
 // Redfish SessionService: POST to Sessions with UserName/Password yields an
 // X-Auth-Token; when authentication is enabled, every other request must
-// present a live token.
+// present a live token. Tenancy lives here too: tenants (QoS class, DRR
+// weight, token-bucket rate) are resources under
+// /redfish/v1/SessionService/Tenants, users bind to tenants, and every
+// session carries its user's tenant — which is what the reactor's
+// weighted-fair scheduler keys on.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -21,24 +26,72 @@ struct SessionInfo {
   std::string user;
   std::string token;
   std::string uri;
+  std::string tenant;  // tenant id; "" = default (unbound user)
 };
+
+/// A tenant/account: QoS class plus the scheduling parameters the reactor
+/// derives from it. Persisted as a tree resource (so the journal/snapshot
+/// machinery carries it across crashes); tokens never appear in it.
+struct TenantInfo {
+  std::string id;
+  std::string qos_class = "BestEffort";  // "Guaranteed" | "Burstable" | "BestEffort"
+  std::uint32_t weight = 1;              // DRR share; 0 = background
+  double rate_rps = 0.0;                 // token-bucket rate; 0 = unlimited
+  double burst = 0.0;                    // bucket capacity; <=0 = max(1, rate)
+  std::vector<std::string> users;        // users bound to this tenant
+  std::string uri;
+
+  json::Json ToPayload() const;
+};
+
+/// Timing-safe string equality: examines every byte of `expected` and never
+/// branches on where a mismatch sits, so an attacker probing the auth path
+/// cannot binary-search a token byte by byte. Length mismatch is still
+/// detected (folded into the same accumulator).
+bool ConstantTimeEquals(const std::string& expected, const std::string& provided);
 
 class SessionService {
  public:
   explicit SessionService(redfish::ResourceTree& tree);
 
-  /// Installs /redfish/v1/SessionService and the Sessions collection.
+  /// Installs /redfish/v1/SessionService, the Sessions collection, and the
+  /// Tenants collection.
   Status Bootstrap();
 
   /// Validates credentials (any non-empty user with password "ofmf" or a
-  /// user registered via AddUser) and mints a session + token.
+  /// user registered via AddUser) and mints a session + token. The session
+  /// adopts the user's tenant binding at creation time.
   Result<SessionInfo> CreateSession(const std::string& user, const std::string& password);
   Status DeleteSession(const std::string& session_id);
 
-  /// Token -> session (nullopt when unknown).
+  /// Token -> session (nullopt when unknown). The map is keyed by a token
+  /// digest and the final equality check is constant-time, so lookup timing
+  /// reveals nothing about how close a guessed token is to a live one.
   std::optional<SessionInfo> Authenticate(const std::string& token) const;
 
+  /// Tenant id for a presented token; "" for unknown tokens and unbound
+  /// users (the reactor's classifier and per-tenant metrics key on this).
+  std::string TenantOfToken(const std::string& token) const;
+
   void AddUser(const std::string& user, const std::string& password);
+
+  // ------------------------------------------------------------- tenants --
+
+  /// Creates the tenant resource and binds its users. The tree mutation is
+  /// journaled like any other, which is what persists tenants.
+  Result<TenantInfo> CreateTenant(const TenantInfo& tenant);
+  /// POST-factory form (Redfish payload in, member URI out).
+  Result<std::string> CreateTenantFromPayload(const json::Json& body);
+  Status DeleteTenant(const std::string& tenant_id);
+  Result<TenantInfo> GetTenant(const std::string& tenant_id) const;
+  std::vector<TenantInfo> Tenants() const;
+  std::string TenantOfUser(const std::string& user) const;
+
+  /// Rebuilds the tenant registry and user bindings from the recovered
+  /// tree (crash recovery; mirrors EventService::AdoptSubscriptionsFromTree).
+  /// Returns how many tenants were adopted. Run before RestoreSession so
+  /// restored sessions re-bind to their tenants.
+  std::size_t AdoptTenantsFromTree();
 
   /// Every live session, tokens included (feeds the durability snapshot;
   /// tokens never appear in the Redfish tree itself).
@@ -55,10 +108,16 @@ class SessionService {
 
   std::size_t session_count() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return sessions_by_token_.size();
+    return sessions_by_digest_.size();
   }
 
  private:
+  /// Non-reversible map key for a token. Not a password hash (tokens are
+  /// 128-bit random, not guessable secrets needing stretching); the digest
+  /// only keeps raw tokens out of the lookup key comparison path.
+  static std::string TokenDigest(const std::string& token);
+  Result<TenantInfo> CreateTenantLocked(const TenantInfo& tenant);
+
   redfish::ResourceTree& tree_;
   /// Guards the maps and counters below: Authenticate runs on every request
   /// thread, and compaction exports sessions from connection threads while
@@ -66,7 +125,11 @@ class SessionService {
   /// (CreateSession/DeleteSession mutate the tree under mu_), never after.
   mutable std::mutex mu_;
   std::map<std::string, std::string> users_;  // user -> password
-  std::map<std::string, SessionInfo> sessions_by_token_;
+  /// TokenDigest(token) -> session. Authenticate digests the presented
+  /// token, finds the bucket, then confirms with ConstantTimeEquals.
+  std::map<std::string, SessionInfo> sessions_by_digest_;
+  std::map<std::string, TenantInfo> tenants_;        // tenant id -> info
+  std::map<std::string, std::string> tenant_of_user_;  // user -> tenant id
   Rng rng_{0xC0FFEE};
   std::uint64_t next_id_ = 1;
   bool auth_required_ = false;

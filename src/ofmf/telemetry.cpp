@@ -371,6 +371,116 @@ Status TelemetryService::UpdateRequestLatencyReport() {
   return Status::Ok();
 }
 
+std::string TelemetryService::TenantQosReportUri() {
+  return std::string(kMetricReports) + "/TenantQoS";
+}
+
+void TelemetryService::SetTenantQosSource(
+    std::function<std::vector<qos::TenantStats>()> source) {
+  std::lock_guard<std::mutex> lock(tenant_report_mu_);
+  tenant_qos_source_ = std::move(source);
+}
+
+Status TelemetryService::UpdateTenantQosReport() {
+  std::function<std::vector<qos::TenantStats>()> source;
+  {
+    std::lock_guard<std::mutex> lock(tenant_report_mu_);
+    source = tenant_qos_source_;
+  }
+  std::vector<qos::TenantStats> tenants;
+  if (source) tenants = source();
+
+  // Per-tenant latency lives in the shared registry under a fixed prefix so
+  // the reactor never needs a back-pointer into telemetry.
+  static constexpr const char* kTenantLatencyPrefix = "http.tenant.";
+  std::vector<metrics::Registry::NamedHistogram> latency;
+  for (metrics::Registry::NamedHistogram& entry :
+       metrics::Registry::instance().HistogramSnapshots()) {
+    if (entry.name.rfind(kTenantLatencyPrefix, 0) == 0) {
+      latency.push_back(std::move(entry));
+    }
+  }
+
+  std::string fingerprint;
+  for (const qos::TenantStats& tenant : tenants) {
+    fingerprint += tenant.id + ":" + std::to_string(tenant.weight) + ":" +
+                   std::to_string(tenant.queued) + ":" +
+                   std::to_string(tenant.admitted) + ":" +
+                   std::to_string(tenant.dispatched) + ":" +
+                   std::to_string(tenant.rate_limited) + ":" +
+                   std::to_string(tenant.queue_rejected) + "|";
+  }
+  for (const metrics::Registry::NamedHistogram& entry : latency) {
+    fingerprint += entry.name + ":" + std::to_string(entry.snap.count) + ":" +
+                   std::to_string(entry.snap.sum) + "|";
+  }
+  std::lock_guard<std::mutex> lock(tenant_report_mu_);
+  if (tenant_report_exists_ && fingerprint == last_tenant_fingerprint_) {
+    return Status::Ok();
+  }
+
+  const std::string timestamp = FormatSimTimestamp(clock_.now());
+  const auto counter = [&](const std::string& id, double value,
+                           const std::string& property) {
+    return json::Json::Obj({{"MetricId", id},
+                            {"MetricValue", value},
+                            {"MetricProperty", property},
+                            {"Timestamp", timestamp}});
+  };
+  json::Array values;
+  json::Array tenant_objs;
+  for (const qos::TenantStats& tenant : tenants) {
+    values.push_back(counter("QueueDepth." + tenant.id,
+                             static_cast<double>(tenant.queued), tenant.id));
+    values.push_back(counter("Admitted." + tenant.id,
+                             static_cast<double>(tenant.admitted), tenant.id));
+    values.push_back(counter("Dispatched." + tenant.id,
+                             static_cast<double>(tenant.dispatched), tenant.id));
+    values.push_back(counter("RateLimited." + tenant.id,
+                             static_cast<double>(tenant.rate_limited), tenant.id));
+    values.push_back(counter("QueueRejected." + tenant.id,
+                             static_cast<double>(tenant.queue_rejected), tenant.id));
+    tenant_objs.push_back(json::Json::Obj(
+        {{"Tenant", tenant.id},
+         {"Weight", static_cast<std::int64_t>(tenant.weight)},
+         {"QueueDepth", static_cast<std::int64_t>(tenant.queued)},
+         {"Admitted", static_cast<std::int64_t>(tenant.admitted)},
+         {"Dispatched", static_cast<std::int64_t>(tenant.dispatched)},
+         {"RateLimited", static_cast<std::int64_t>(tenant.rate_limited)},
+         {"QueueRejected", static_cast<std::int64_t>(tenant.queue_rejected)}}));
+  }
+  for (const metrics::Registry::NamedHistogram& entry : latency) {
+    values.push_back(counter(entry.name + ".count",
+                             static_cast<double>(entry.snap.count), "samples"));
+    values.push_back(counter(entry.name + ".p50",
+                             entry.snap.Percentile(0.50) * 1e-6, "milliseconds"));
+    values.push_back(counter(entry.name + ".p95",
+                             entry.snap.Percentile(0.95) * 1e-6, "milliseconds"));
+    values.push_back(counter(entry.name + ".p99",
+                             entry.snap.Percentile(0.99) * 1e-6, "milliseconds"));
+  }
+  json::Json payload = json::Json::Obj({
+      {"Id", "TenantQoS"},
+      {"Name", "Per-tenant fair-scheduling and admission state"},
+      {"ReportSequence", 0},
+      {"MetricValues", json::Json(std::move(values))},
+      {"Oem",
+       json::Json::Obj({{"Ofmf", json::Json::Obj({{"Tenants", json::Json(std::move(
+                                                       tenant_objs))}})}})},
+  });
+  const std::string uri = TenantQosReportUri();
+  if (tenant_report_exists_ || tree_.Exists(uri)) {
+    OFMF_RETURN_IF_ERROR(tree_.Replace(uri, std::move(payload)));
+  } else {
+    OFMF_RETURN_IF_ERROR(
+        tree_.Create(uri, "#MetricReport.v1_4_2.MetricReport", std::move(payload)));
+    OFMF_RETURN_IF_ERROR(tree_.AddMember(kMetricReports, uri));
+  }
+  tenant_report_exists_ = true;
+  last_tenant_fingerprint_ = std::move(fingerprint);
+  return Status::Ok();
+}
+
 Result<json::Json> TelemetryService::GetReport(const std::string& report_id) const {
   return tree_.Get(std::string(kMetricReports) + "/" + report_id);
 }

@@ -4,11 +4,13 @@
 // MetricReport events.
 #pragma once
 
+#include <functional>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/qos.hpp"
 #include "common/result.hpp"
 #include "json/value.hpp"
 #include "ofmf/breaker.hpp"
@@ -90,6 +92,21 @@ class TelemetryService {
   /// URI of the event fan-out delivery report.
   static std::string EventDeliveryReportUri();
 
+  /// Where the TenantQoS report pulls scheduler counters from (the reactor's
+  /// TcpServer::TenantQosStats, wired by whoever owns both). Null = the
+  /// report carries only the per-tenant latency histograms.
+  void SetTenantQosSource(std::function<std::vector<qos::TenantStats>()> source);
+
+  /// Creates-or-replaces the "TenantQoS" MetricReport: per-tenant scheduler
+  /// counters (admitted/dispatched/429s/queue depth, DRR weight) from the
+  /// source plus per-tenant request-latency percentiles from the metrics
+  /// registry ("http.tenant.<id>.latency.ns"). Quiet like the other
+  /// service-internal reports: no event, no-op when nothing moved.
+  Status UpdateTenantQosReport();
+
+  /// URI of the multi-tenant QoS report.
+  static std::string TenantQosReportUri();
+
  private:
   redfish::ResourceTree& tree_;
   EventService& events_;
@@ -110,6 +127,11 @@ class TelemetryService {
   std::mutex delivery_report_mu_;
   std::string last_delivery_fingerprint_;
   bool delivery_report_exists_ = false;
+
+  std::mutex tenant_report_mu_;
+  std::function<std::vector<qos::TenantStats>()> tenant_qos_source_;
+  std::string last_tenant_fingerprint_;
+  bool tenant_report_exists_ = false;
 };
 
 }  // namespace ofmf::core

@@ -13,6 +13,7 @@ inline constexpr const char* kChassis = "/redfish/v1/Chassis";
 inline constexpr const char* kStorageServices = "/redfish/v1/StorageServices";
 inline constexpr const char* kSessionService = "/redfish/v1/SessionService";
 inline constexpr const char* kSessions = "/redfish/v1/SessionService/Sessions";
+inline constexpr const char* kTenants = "/redfish/v1/SessionService/Tenants";
 inline constexpr const char* kEventService = "/redfish/v1/EventService";
 inline constexpr const char* kSubscriptions = "/redfish/v1/EventService/Subscriptions";
 inline constexpr const char* kEventServiceSse = "/redfish/v1/EventService/SSE";

@@ -11,8 +11,10 @@
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
+#include <random>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "agents/ib_agent.hpp"
@@ -416,6 +418,58 @@ TEST_F(ChaosTest, LinkFlapHealsAndGraphReconverges) {
   for (const auto& link : graph_.Links()) live_after += link.up ? 1 : 0;
   EXPECT_EQ(live_after, live_before);
   EXPECT_EQ(flapper.flaps(), 1u);
+}
+
+TEST_F(ChaosTest, SessionChurnAcrossTenantsKeepsBindingsConsistent) {
+  // Three tenants, one bound user each. Threads then churn sessions for a
+  // random mix of bound and unbound users while others authenticate — the
+  // token→tenant mapping the reactor's classifier relies on must never skew.
+  for (int i = 0; i < 3; ++i) {
+    core::TenantInfo tenant;
+    tenant.id = "t" + std::to_string(i);
+    tenant.qos_class = i == 0 ? "Guaranteed" : "BestEffort";
+    tenant.weight = static_cast<std::uint32_t>(i + 1);
+    tenant.users = {"u" + std::to_string(i)};
+    ASSERT_TRUE(ofmf_.sessions().CreateTenant(tenant).ok());
+    ofmf_.sessions().AddUser("u" + std::to_string(i), "pw");
+  }
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      std::mt19937 rng(static_cast<unsigned>(20260807 + t));
+      for (int i = 0; i < 200; ++i) {
+        const int pick = static_cast<int>(rng() % 4);
+        const std::string user = pick == 3 ? "admin" : "u" + std::to_string(pick);
+        const std::string expected = pick == 3 ? "" : "t" + std::to_string(pick);
+        auto session =
+            ofmf_.sessions().CreateSession(user, pick == 3 ? "ofmf" : "pw");
+        if (!session.ok()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        if (session->tenant != expected ||
+            ofmf_.sessions().TenantOfToken(session->token) != expected) {
+          mismatches.fetch_add(1);
+        }
+        if (rng() % 2 == 0) {
+          if (!ofmf_.sessions().DeleteSession(session->id).ok()) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  // Quiesced ground truth: every surviving session still carries its user's
+  // binding and authenticates to the same tenant.
+  for (const core::SessionInfo& session : ofmf_.sessions().ExportSessions()) {
+    EXPECT_EQ(session.tenant, ofmf_.sessions().TenantOfUser(session.user));
+    auto live = ofmf_.sessions().Authenticate(session.token);
+    ASSERT_TRUE(live.has_value());
+    EXPECT_EQ(live->tenant, session.tenant);
+  }
 }
 
 }  // namespace

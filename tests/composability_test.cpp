@@ -169,6 +169,45 @@ TEST_F(ComposabilityTest, EnergyAwarePrefersEfficientBlocks) {
   EXPECT_THAT(composed->block_uris[0], ::testing::HasSubstr("frugal"));
 }
 
+TEST_F(ComposabilityTest, CongestionAwarePolicyPassesOverCongestedBlocks) {
+  // Two candidate sets that both satisfy the request; the hot one sits
+  // behind a nearly saturated fabric path and must be passed over.
+  BlockCapability hot = Block("hot", "Compute", 28, 64);
+  hot.path_utilization = 0.9;
+  Register(hot);
+  BlockCapability cool = Block("cool", "Compute", 28, 64);
+  cool.path_utilization = 0.1;
+  Register(cool);
+  CompositionRequest request;
+  request.cores = 20;
+  request.memory_gib = 32;
+  request.policy = Policy::kCongestionAware;
+  auto composed = manager_->Compose(request);
+  ASSERT_TRUE(composed.ok()) << composed.status().ToString();
+  ASSERT_EQ(composed->block_uris.size(), 1u);
+  EXPECT_THAT(composed->block_uris[0], ::testing::HasSubstr("cool"));
+}
+
+TEST_F(ComposabilityTest, MaxPathUtilizationBoundFiltersCandidates) {
+  BlockCapability hot = Block("hot", "Compute", 28, 64);
+  hot.path_utilization = 0.9;
+  Register(hot);
+  CompositionRequest request;
+  request.cores = 20;
+  request.memory_gib = 32;
+  request.max_path_utilization = 0.5;
+  // Only the congested block exists: the bound leaves no candidates at all,
+  // even though capacity-wise the pool could cover the request.
+  EXPECT_EQ(manager_->Compose(request).status().code(), ErrorCode::kResourceExhausted);
+  BlockCapability cool = Block("cool", "Compute", 28, 64);
+  cool.path_utilization = 0.2;
+  Register(cool);
+  auto composed = manager_->Compose(request);
+  ASSERT_TRUE(composed.ok()) << composed.status().ToString();
+  ASSERT_EQ(composed->block_uris.size(), 1u);
+  EXPECT_THAT(composed->block_uris[0], ::testing::HasSubstr("cool"));
+}
+
 TEST_F(ComposabilityTest, GpuAndStorageDimensionsCovered) {
   Register(Block("cpu-0", "Compute", 28, 64));
   Register(Block("gpu-0", "Processor", 0, 0, 4));
@@ -289,6 +328,7 @@ TEST(StrandedSimTest, StaticRejectsWhenNodesRunOut) {
 TEST(StrandedSimTest, PolicyNames) {
   EXPECT_STREQ(to_string(Policy::kBestFit), "best-fit");
   EXPECT_STREQ(to_string(Policy::kEnergyAware), "energy-aware");
+  EXPECT_STREQ(to_string(Policy::kCongestionAware), "congestion-aware");
 }
 
 }  // namespace

@@ -93,6 +93,54 @@ TEST(GraphTest, LinkChangeNotifications) {
   EXPECT_THAT(events[1], ::testing::HasSubstr("up"));
 }
 
+TEST(GraphTest, TrafficAccountingClampsAndReportsUtilization) {
+  Dumbbell d;
+  EXPECT_DOUBLE_EQ(d.graph.OfferedGbps("sw0", 1), 0.0);
+  EXPECT_DOUBLE_EQ(d.graph.Utilization("sw0", 1), 0.0);
+  ASSERT_TRUE(d.graph.AddTraffic("sw0", 1, 100.0).ok());
+  EXPECT_DOUBLE_EQ(d.graph.OfferedGbps("sw0", 1), 100.0);
+  // Fast trunk bandwidth is 200 Gb/s, so 100 offered = 0.5 utilization —
+  // visible from both ends of the link.
+  EXPECT_DOUBLE_EQ(d.graph.Utilization("sw0", 1), 0.5);
+  EXPECT_DOUBLE_EQ(d.graph.Utilization("sw1", 1), 0.5);
+  // Removing more than was offered clamps at zero rather than going negative.
+  ASSERT_TRUE(d.graph.AddTraffic("sw0", 1, -500.0).ok());
+  EXPECT_DOUBLE_EQ(d.graph.OfferedGbps("sw0", 1), 0.0);
+  EXPECT_FALSE(d.graph.AddTraffic("ghost", 0, 1.0).ok());
+  EXPECT_FALSE(d.graph.AddTraffic("sw0", 99, 1.0).ok());
+}
+
+TEST(GraphTest, LeastCongestedPathDetoursAroundHotTrunk) {
+  Dumbbell d;
+  // Load the fast trunk to 80% utilization. Latency routing still prefers it,
+  // but congestion-aware routing pays 50 * (1 + 4*0.8) = 210 ns effective and
+  // detours over the idle 80 ns backup trunk.
+  ASSERT_TRUE(d.graph.AddTraffic("sw0", 1, 160.0).ok());
+  auto shortest = d.graph.ShortestPath("hostA", "memB");
+  ASSERT_TRUE(shortest.ok());
+  EXPECT_DOUBLE_EQ(shortest->total_latency_ns, 250.0);
+  EXPECT_DOUBLE_EQ(shortest->max_utilization, 0.8);
+  auto detour = d.graph.LeastCongestedPath("hostA", "memB");
+  ASSERT_TRUE(detour.ok());
+  EXPECT_DOUBLE_EQ(detour->total_latency_ns, 280.0);  // via the backup trunk
+  EXPECT_DOUBLE_EQ(detour->max_utilization, 0.0);
+  // Drain the trunk: both routing modes agree again.
+  ASSERT_TRUE(d.graph.AddTraffic("sw0", 1, -160.0).ok());
+  auto agreed = d.graph.LeastCongestedPath("hostA", "memB");
+  ASSERT_TRUE(agreed.ok());
+  EXPECT_DOUBLE_EQ(agreed->total_latency_ns, 250.0);
+}
+
+TEST(GraphTest, AddPathTrafficLoadsEveryHopOfTheRoute) {
+  Dumbbell d;
+  ASSERT_TRUE(d.graph.AddPathTraffic("hostA", "memB", 50.0).ok());
+  EXPECT_DOUBLE_EQ(d.graph.OfferedGbps("hostA", 0), 50.0);
+  EXPECT_DOUBLE_EQ(d.graph.OfferedGbps("sw0", 1), 50.0);   // fast trunk carries it
+  EXPECT_DOUBLE_EQ(d.graph.OfferedGbps("sw0", 2), 0.0);    // backup stays idle
+  EXPECT_DOUBLE_EQ(d.graph.OfferedGbps("sw1", 0), 50.0);
+  EXPECT_FALSE(d.graph.AddPathTraffic("hostA", "ghost", 1.0).ok());
+}
+
 TEST(GraphTest, FailVertexDownsAllLinks) {
   Dumbbell d;
   ASSERT_TRUE(d.graph.FailVertex("sw1").ok());

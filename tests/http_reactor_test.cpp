@@ -15,12 +15,14 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <future>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/qos.hpp"
 #include "http/message.hpp"
 #include "http/server.hpp"
 #include "http/wire.hpp"
@@ -560,11 +562,154 @@ TEST_P(ReactorTest, WorkerQueueFullAnswers503RetryAfter) {
   auto refused = client.Get("/refused");
   ASSERT_TRUE(refused.ok()) << refused.status().ToString();
   EXPECT_EQ(refused->status, 503);
+  // Retry-After is derived from queue depth / drain rate: a 2-deep backlog
+  // against the fresh estimator's 100/s fallback rounds up to 1 s.
   EXPECT_EQ(refused->headers.Get("Retry-After"), "1");
   release.set_value();
   blocked.join();
   queued.join();
   EXPECT_GE(server.stats().overload_rejections, 1u);
+  server.Stop();
+}
+
+// Regression for the hardcoded "Retry-After: 1": the overload hint must
+// scale with the backlog, so clients shed behind a deep queue are told to
+// come back later than clients shed behind a shallow one.
+TEST_P(ReactorTest, OverloadRetryAfterScalesWithQueueDepth) {
+  ServerOptions options = Options();
+  options.workers = 1;
+  options.max_queued_requests = 150;
+  options.max_connections = 400;
+  TcpServer server;
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<int> entered{0};
+  ASSERT_TRUE(server
+                  .Start([&](const Request&) {
+                    entered.fetch_add(1);
+                    gate.wait();
+                    return MakeTextResponse(200, "done");
+                  },
+                  0, options)
+                  .ok());
+  // Park one request on the single worker, then pile ~150 more into the
+  // dispatch queue from individual connections.
+  std::vector<int> fds;
+  for (int i = 0; i < 151; ++i) {
+    const int fd = ConnectLoopback(server.port());
+    SendAll(fd, SerializeRequest(MakeRequest(Method::kGet, "/pile")));
+    fds.push_back(fd);
+    if (i == 0) {
+      while (entered.load() == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
+  }
+  // Let the loop ingest the backlog, then get shed at full depth: with ~150
+  // queued against the 100/s fallback drain rate the derived hint must
+  // exceed the shallow-queue value of 1 s.
+  Response refused;
+  for (int attempt = 0; attempt < 200 && refused.status != 503; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    TcpClient client(server.port(), 5000);
+    auto response = client.Get("/refused");
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    refused = *response;
+  }
+  ASSERT_EQ(refused.status, 503);
+  EXPECT_GE(std::atoi(refused.headers.GetOr("Retry-After", "0").c_str()), 2);
+  release.set_value();
+  for (const int fd : fds) ::close(fd);
+  server.Stop();
+}
+
+// End-to-end token-bucket admission: a tenant over its rate gets 429 with a
+// Retry-After derived from refill time — and successive rejections quote
+// non-decreasing (and eventually growing) waits, never one constant.
+TEST_P(ReactorTest, QosRateLimitBreachAnswers429WithDerivedRetryAfter) {
+  ServerOptions options = Options();
+  options.tenant_classifier = [](const Request& request) {
+    qos::TenantSpec spec;
+    spec.id = request.headers.GetOr("X-Tenant", "default");
+    if (spec.id == "limited") {
+      spec.rate_rps = 1.0;
+      spec.burst = 1.0;
+    }
+    return spec;
+  };
+  TcpServer server;
+  ASSERT_TRUE(server.Start(EchoHandler(), 0, options).ok());
+  TcpClient client(server.port(), 5000);
+  Request request = MakeRequest(Method::kGet, "/limited");
+  request.headers.Set("X-Tenant", "limited");
+  auto first = client.Send(request);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->status, 200);
+  std::vector<int> retry_afters;
+  for (int i = 0; i < 4; ++i) {
+    auto rejected = client.Send(request);
+    ASSERT_TRUE(rejected.ok());
+    ASSERT_EQ(rejected->status, 429) << "request " << i;
+    const std::string header = rejected->headers.GetOr("Retry-After", "");
+    ASSERT_FALSE(header.empty());
+    retry_afters.push_back(std::atoi(header.c_str()));
+  }
+  for (std::size_t i = 1; i < retry_afters.size(); ++i) {
+    EXPECT_GE(retry_afters[i], retry_afters[i - 1]);
+  }
+  EXPECT_GT(retry_afters.back(), retry_afters.front());
+  // An unlimited tenant on the same server is untouched.
+  Request open = MakeRequest(Method::kGet, "/open");
+  open.headers.Set("X-Tenant", "open");
+  auto fine = client.Send(open);
+  ASSERT_TRUE(fine.ok());
+  EXPECT_EQ(fine->status, 200);
+  EXPECT_GE(server.stats().rate_limited_rejections, 4u);
+  const auto tenants = server.TenantQosStats();
+  bool saw_limited = false;
+  for (const auto& tenant : tenants) {
+    if (tenant.id == "limited") {
+      saw_limited = true;
+      EXPECT_GE(tenant.rate_limited, 4u);
+    }
+  }
+  EXPECT_TRUE(saw_limited);
+  server.Stop();
+}
+
+// With the classifier installed, requests flow through the DRR scheduler:
+// every request from every tenant still completes (no starvation, no loss).
+TEST_P(ReactorTest, QosSchedulerCompletesAllTenantsRequests) {
+  ServerOptions options = Options();
+  options.workers = 2;
+  options.tenant_classifier = [](const Request& request) {
+    qos::TenantSpec spec;
+    spec.id = request.headers.GetOr("X-Tenant", "default");
+    spec.weight = spec.id == "heavy" ? 4 : 1;
+    return spec;
+  };
+  TcpServer server;
+  ASSERT_TRUE(server.Start(EchoHandler(), 0, options).ok());
+  std::atomic<int> completed{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 3; ++t) {
+    clients.emplace_back([&, t] {
+      TcpClient client(server.port(), 5000);
+      Request request = MakeRequest(Method::kGet, "/work");
+      request.headers.Set("X-Tenant", t == 0 ? "heavy" : "light" + std::to_string(t));
+      for (int i = 0; i < 25; ++i) {
+        auto response = client.Send(request);
+        if (response.ok() && response->status == 200) completed.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  EXPECT_EQ(completed.load(), 75);
+  const auto tenants = server.TenantQosStats();
+  EXPECT_GE(tenants.size(), 3u);
+  std::uint64_t dispatched = 0;
+  for (const auto& tenant : tenants) dispatched += tenant.dispatched;
+  EXPECT_EQ(dispatched, 75u);
   server.Stop();
 }
 

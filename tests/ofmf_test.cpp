@@ -438,6 +438,141 @@ TEST_F(OfmfTest, AsyncComposeFailureMarksTaskException) {
   EXPECT_EQ(*ofmf_.tasks().GetState(task_uri), TaskState::kException);
 }
 
+// ----------------------------------------------------- Tenants and QoS ---
+
+TEST(ConstantTimeEqualsTest, MatchesOnlyExactStrings) {
+  EXPECT_TRUE(ConstantTimeEquals("", ""));
+  EXPECT_TRUE(ConstantTimeEquals("abcdef0123456789", "abcdef0123456789"));
+  EXPECT_FALSE(ConstantTimeEquals("abcdef", "abcdeg"));  // last byte differs
+  EXPECT_FALSE(ConstantTimeEquals("abcdef", "bbcdef"));  // first byte differs
+  EXPECT_FALSE(ConstantTimeEquals("abcdef", "abcde"));   // provided shorter
+  EXPECT_FALSE(ConstantTimeEquals("abcdef", "abcdefg"));  // provided longer
+  EXPECT_FALSE(ConstantTimeEquals("abcdef", ""));
+  EXPECT_FALSE(ConstantTimeEquals("", "a"));
+}
+
+TEST_F(OfmfTest, TenantLifecycleViaRestAndSessionBinding) {
+  const http::Response created = DoJson(
+      http::Method::kPost, kTenants,
+      Json::Obj({{"Id", "acme"},
+                 {"Oem",
+                  Json::Obj({{"Ofmf",
+                              Json::Obj({{"QoSClass", "Guaranteed"},
+                                         {"Weight", std::int64_t{3}},
+                                         {"RateLimitRps", 10.0},
+                                         {"BurstSize", 5.0},
+                                         {"Users", Json::Arr({Json(std::string(
+                                                       "alice"))})}})}})}}));
+  ASSERT_EQ(created.status, 201);
+  const std::string uri = created.headers.GetOr("Location", "");
+  EXPECT_THAT(uri, HasSubstr("/SessionService/Tenants/acme"));
+  auto tenant = ofmf_.sessions().GetTenant("acme");
+  ASSERT_TRUE(tenant.ok());
+  EXPECT_EQ(tenant->qos_class, "Guaranteed");
+  EXPECT_EQ(tenant->weight, 3u);
+  EXPECT_DOUBLE_EQ(tenant->rate_rps, 10.0);
+
+  // A session minted for a bound user carries the tenant; the token maps
+  // back to it (this is what the reactor's classifier keys on).
+  ofmf_.sessions().AddUser("alice", "secret");
+  auto session = ofmf_.sessions().CreateSession("alice", "secret");
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(session->tenant, "acme");
+  EXPECT_EQ(ofmf_.sessions().TenantOfToken(session->token), "acme");
+  // Unbound users and unknown tokens map to the default tenant.
+  auto admin = ofmf_.sessions().CreateSession("admin", "ofmf");
+  ASSERT_TRUE(admin.ok());
+  EXPECT_EQ(admin->tenant, "");
+  EXPECT_EQ(ofmf_.sessions().TenantOfToken("bogus"), "");
+
+  EXPECT_EQ(Do(http::Method::kDelete, uri).status, 204);
+  EXPECT_FALSE(ofmf_.sessions().GetTenant("acme").ok());
+}
+
+http::Request ComposeRequest(const std::string& name, const std::string& block_uri) {
+  return http::MakeJsonRequest(
+      http::Method::kPost, kSystems,
+      Json::Obj({{"Name", name},
+                 {"Links",
+                  Json::Obj({{"ResourceBlocks",
+                              Json::Arr({Json::Obj({{"@odata.id", block_uri}})})}})}}));
+}
+
+class ComposeQosGateTest : public OfmfTest {
+ protected:
+  /// One congested compute block plus a Guaranteed-class tenant whose user
+  /// "alice" is logged in; returns alice's token.
+  std::string SetUpCongestedPool(double utilization = 0.9) {
+    BlockCapability block = MakeComputeBlock("hot", 28, 64);
+    block.path_utilization = utilization;
+    EXPECT_TRUE(ofmf_.composition().RegisterBlock(block).ok());
+    TenantInfo tenant;
+    tenant.id = "gold";
+    tenant.qos_class = "Guaranteed";
+    tenant.users = {"alice"};
+    EXPECT_TRUE(ofmf_.sessions().CreateTenant(tenant).ok());
+    ofmf_.sessions().AddUser("alice", "secret");
+    auto session = ofmf_.sessions().CreateSession("alice", "secret");
+    EXPECT_TRUE(session.ok());
+    return session->token;
+  }
+
+  std::string HotBlockUri() const { return std::string(kResourceBlocks) + "/hot"; }
+};
+
+TEST_F(ComposeQosGateTest, SyncComposeOverCongestedPathAnswers503) {
+  const std::string token = SetUpCongestedPool();
+  http::Request request = ComposeRequest("latency-job", HotBlockUri());
+  request.headers.Set("X-Auth-Token", token);
+  const http::Response refused = ofmf_.Handle(request);
+  ASSERT_EQ(refused.status, 503);
+  EXPECT_FALSE(refused.headers.GetOr("Retry-After", "").empty());
+  EXPECT_THAT(refused.body, HasSubstr("InsufficientResources"));
+  // Nothing placed, nothing queued: the block is still free.
+  EXPECT_EQ(ofmf_.pending_work(), 0u);
+  EXPECT_EQ(*ofmf_.composition().BlockState(HotBlockUri()), "Unused");
+}
+
+TEST_F(ComposeQosGateTest, BestEffortTenantPlacesDespiteCongestion) {
+  (void)SetUpCongestedPool();
+  // No token → default tenant → BestEffort → utilization limit never binds.
+  const http::Response placed = ofmf_.Handle(ComposeRequest("batch-job", HotBlockUri()));
+  EXPECT_EQ(placed.status, 201);
+}
+
+TEST_F(ComposeQosGateTest, AsyncComposeQueuesAndFailsWhileStillCongested) {
+  const std::string token = SetUpCongestedPool();
+  http::Request request = ComposeRequest("latency-job", HotBlockUri());
+  request.headers.Set("X-Auth-Token", token);
+  request.headers.Set("Prefer", "respond-async");
+  const http::Response accepted = ofmf_.Handle(request);
+  ASSERT_EQ(accepted.status, 202);
+  const std::string task_uri = accepted.headers.GetOr("Location", "");
+  ASSERT_THAT(task_uri, HasSubstr("/TaskService/Tasks/"));
+  EXPECT_EQ(*ofmf_.tasks().GetState(task_uri), TaskState::kRunning);
+  // The path is still hot when the task runs: the compose is refused loudly,
+  // not placed silently.
+  EXPECT_EQ(ofmf_.ProcessPendingWork(), 1u);
+  EXPECT_EQ(*ofmf_.tasks().GetState(task_uri), TaskState::kException);
+  EXPECT_EQ(*ofmf_.composition().BlockState(HotBlockUri()), "Unused");
+}
+
+TEST_F(ComposeQosGateTest, AsyncComposeCompletesOnceCongestionDrains) {
+  const std::string token = SetUpCongestedPool();
+  http::Request request = ComposeRequest("latency-job", HotBlockUri());
+  request.headers.Set("X-Auth-Token", token);
+  request.headers.Set("Prefer", "respond-async");
+  const http::Response accepted = ofmf_.Handle(request);
+  ASSERT_EQ(accepted.status, 202);
+  const std::string task_uri = accepted.headers.GetOr("Location", "");
+  // Congestion drains before the task runs — the re-evaluated gate passes
+  // and the queued compose goes through.
+  ASSERT_TRUE(ofmf_.composition().SetBlockPathUtilization(HotBlockUri(), 0.1).ok());
+  EXPECT_EQ(ofmf_.ProcessPendingWork(), 1u);
+  EXPECT_EQ(*ofmf_.tasks().GetState(task_uri), TaskState::kCompleted);
+  EXPECT_EQ(*ofmf_.composition().BlockState(HotBlockUri()), "Composed");
+}
+
 TEST_F(OfmfTest, SyncComposeUnaffectedByPreferHeaderAbsence) {
   ASSERT_TRUE(ofmf_.composition().RegisterBlock(MakeComputeBlock("b0", 28, 64)).ok());
   const http::Response response = DoJson(

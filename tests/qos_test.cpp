@@ -1,0 +1,287 @@
+// Unit tests for the multi-tenant QoS primitives: token-bucket admission
+// (burst edges, clock jumps, Retry-After monotonicity), the shared
+// Retry-After derivation the 503/429 paths use, the drain-rate estimator,
+// and the deficit-round-robin fair scheduler (weight ratios, zero-weight
+// background tenants, queue bounds).
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/qos.hpp"
+
+namespace ofmf::qos {
+namespace {
+
+// --------------------------------------------------------- Retry-After ----
+
+TEST(RetryAfterTest, DerivedFromDepthAndDrainRate) {
+  // Deeper queues quote longer waits: the herd is spread, not synchronized.
+  EXPECT_LT(DeriveRetryAfterSeconds(0, 100.0), DeriveRetryAfterSeconds(50, 100.0));
+  EXPECT_LT(DeriveRetryAfterSeconds(50, 100.0), DeriveRetryAfterSeconds(500, 100.0));
+  // Faster drain shortens the quote at equal depth.
+  EXPECT_GT(DeriveRetryAfterSeconds(100, 10.0), DeriveRetryAfterSeconds(100, 1000.0));
+  EXPECT_DOUBLE_EQ(DeriveRetryAfterSeconds(99, 100.0), 1.0);
+}
+
+TEST(RetryAfterTest, HeaderValueIsCeiledAndClamped) {
+  EXPECT_EQ(RetryAfterHeaderSeconds(0.0), 1);    // floor 1: never invite a hammer
+  EXPECT_EQ(RetryAfterHeaderSeconds(0.02), 1);
+  EXPECT_EQ(RetryAfterHeaderSeconds(1.2), 2);    // ceil
+  EXPECT_EQ(RetryAfterHeaderSeconds(59.5), 60);
+  EXPECT_EQ(RetryAfterHeaderSeconds(1e9), 60);   // cap
+}
+
+TEST(DrainRateEstimatorTest, FallbackUntilPrimedThenTracksThroughput) {
+  DrainRateEstimator estimator(200.0);
+  EXPECT_DOUBLE_EQ(estimator.rate_per_sec(), 200.0);
+  // 50 completions over 100 ms -> 500/s; EWMA pulls toward it. (Anchor at a
+  // nonzero timestamp: ns 0 is the estimator's "not yet anchored" sentinel,
+  // which real steady_clock feeds never produce.)
+  std::int64_t now = Seconds(1);
+  estimator.NoteCompletions(0, now);  // anchor
+  now += 100 * kNanosPerMilli;
+  estimator.NoteCompletions(50, now);
+  EXPECT_GT(estimator.rate_per_sec(), 200.0);
+  for (int i = 0; i < 20; ++i) {
+    now += 100 * kNanosPerMilli;
+    estimator.NoteCompletions(50, now);
+  }
+  EXPECT_NEAR(estimator.rate_per_sec(), 500.0, 50.0);
+}
+
+// --------------------------------------------------------- token bucket ----
+
+TEST(TokenBucketTest, BurstExactlyAtCapacityAdmitsThenRejects) {
+  SimClock clock;
+  TokenBucket bucket(/*rate_per_sec=*/10.0, /*burst=*/5.0);
+  // Exactly `burst` requests pass back-to-back at a frozen clock...
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(bucket.TryConsume(1.0, clock.now())) << "request " << i;
+  }
+  // ...and the very next one is rejected: capacity is a hard edge.
+  EXPECT_FALSE(bucket.TryConsume(1.0, clock.now()));
+  EXPECT_GT(bucket.RetryAfterSeconds(), 0.0);
+}
+
+TEST(TokenBucketTest, RefillRestoresTokensAtRate) {
+  SimClock clock;
+  TokenBucket bucket(10.0, 5.0);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(bucket.TryConsume(1.0, clock.now()));
+  ASSERT_FALSE(bucket.TryConsume(1.0, clock.now()));
+  // 10/s refill: 300 ms mints 3 tokens.
+  clock.Advance(300 * kNanosPerMilli);
+  EXPECT_TRUE(bucket.TryConsume(1.0, clock.now()));
+  EXPECT_TRUE(bucket.TryConsume(1.0, clock.now()));
+  EXPECT_TRUE(bucket.TryConsume(1.0, clock.now()));
+  EXPECT_FALSE(bucket.TryConsume(1.0, clock.now()));
+}
+
+TEST(TokenBucketTest, RefillNeverOverflowsBurst) {
+  SimClock clock;
+  TokenBucket bucket(10.0, 5.0);
+  ASSERT_TRUE(bucket.TryConsume(1.0, clock.now()));
+  clock.Advance(Seconds(3600));  // an hour mints 36000 tokens; capacity holds 5
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(bucket.TryConsume(1.0, clock.now())) << "token " << i;
+  }
+  EXPECT_FALSE(bucket.TryConsume(1.0, clock.now()));
+}
+
+TEST(TokenBucketTest, ClockJumpBackwardsReAnchorsInsteadOfMinting) {
+  SimClock clock;
+  clock.AdvanceTo(Seconds(100));
+  TokenBucket bucket(10.0, 5.0);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(bucket.TryConsume(1.0, clock.now()));
+  ASSERT_FALSE(bucket.TryConsume(1.0, clock.now()));
+  // A timestamp EARLIER than the last refill (clock jump / reordered caller)
+  // must not mint a negative or enormous refill: still rejected.
+  EXPECT_FALSE(bucket.TryConsume(1.0, Seconds(50)));
+  EXPECT_FALSE(bucket.TryConsume(1.0, Seconds(1)));
+  // The bucket re-anchored at the earlier timestamp; time flowing again from
+  // there refills normally.
+  EXPECT_TRUE(bucket.TryConsume(1.0, Seconds(1) + 100 * kNanosPerMilli));
+}
+
+TEST(TokenBucketTest, RetryAfterMonotoneNonDecreasingAcrossAFlood) {
+  // Each rejection in one dry spell is quoted the refill time for one more
+  // token than the previous rejection, so a flood's Retry-After values climb
+  // instead of telling every client the same instant.
+  SimClock clock;
+  TokenBucket bucket(2.0, 2.0);
+  while (bucket.TryConsume(1.0, clock.now())) {
+  }
+  double last = 0.0;
+  std::vector<double> quotes;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_FALSE(bucket.TryConsume(1.0, clock.now()));
+    const double quote = bucket.RetryAfterSeconds();
+    EXPECT_GE(quote, last) << "rejection " << i;
+    quotes.push_back(quote);
+    last = quote;
+  }
+  // Non-constant overall: the last client waits strictly longer than the first.
+  EXPECT_GT(quotes.back(), quotes.front());
+}
+
+TEST(TokenBucketTest, SuccessClearsRejectionDebt) {
+  SimClock clock;
+  TokenBucket bucket(10.0, 1.0);
+  ASSERT_TRUE(bucket.TryConsume(1.0, clock.now()));
+  for (int i = 0; i < 5; ++i) ASSERT_FALSE(bucket.TryConsume(1.0, clock.now()));
+  const double inflated = bucket.RetryAfterSeconds();
+  EXPECT_GT(inflated, 0.1);
+  clock.Advance(Seconds(10));  // long quiet spell: bucket refills, debt decays
+  ASSERT_TRUE(bucket.TryConsume(1.0, clock.now()));
+  // A fresh dry spell starts from a small quote again, not the old debt.
+  ASSERT_FALSE(bucket.TryConsume(1.0, clock.now()));
+  EXPECT_LT(bucket.RetryAfterSeconds(), inflated);
+}
+
+TEST(TokenBucketTest, ZeroRateIsUnlimited) {
+  TokenBucket bucket(0.0, 0.0);
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(bucket.TryConsume(1.0, 0));
+  EXPECT_DOUBLE_EQ(bucket.RetryAfterSeconds(), 0.0);
+}
+
+// ------------------------------------------------------- fair scheduler ----
+
+/// Enqueues `count` no-op items for `tenant` (all admitted or the test fails).
+void Fill(FairScheduler& scheduler, const std::string& tenant, int count,
+          std::int64_t now_ns = 0) {
+  for (int i = 0; i < count; ++i) {
+    const auto admission = scheduler.Enqueue(tenant, 0, [] {}, now_ns);
+    ASSERT_EQ(admission.verdict, FairScheduler::Admit::kAccepted)
+        << tenant << " item " << i;
+  }
+}
+
+/// Dispatches `rounds` items and counts how many each tenant got.
+std::map<std::string, int> DispatchCounts(FairScheduler& scheduler, int rounds) {
+  std::map<std::string, int> counts;
+  for (int i = 0; i < rounds; ++i) {
+    FairScheduler::Item item = scheduler.Dequeue();
+    if (!item.work) break;
+    ++counts[item.tenant];
+  }
+  return counts;
+}
+
+TEST(FairSchedulerTest, DispatchFollowsWeightRatio) {
+  FairScheduler scheduler;
+  scheduler.ConfigureTenant({.id = "gold", .weight = 3});
+  scheduler.ConfigureTenant({.id = "bronze", .weight = 1});
+  Fill(scheduler, "gold", 100);
+  Fill(scheduler, "bronze", 100);
+  const auto counts = DispatchCounts(scheduler, 80);
+  // 3:1 share over full rounds (allow one round of rounding slack).
+  EXPECT_NEAR(counts.at("gold"), 60, 3);
+  EXPECT_NEAR(counts.at("bronze"), 20, 3);
+}
+
+TEST(FairSchedulerTest, BackloggedTenantCannotStarveLightTenant) {
+  FairScheduler scheduler(/*default_max_queue=*/1024);
+  scheduler.ConfigureTenant({.id = "flood", .weight = 1});
+  scheduler.ConfigureTenant({.id = "quiet", .weight = 1});
+  Fill(scheduler, "flood", 500);
+  Fill(scheduler, "quiet", 5);
+  // Equal weights: the quiet tenant's 5 items all surface within the first
+  // ~10 dispatches even though 500 flood items arrived first.
+  const auto counts = DispatchCounts(scheduler, 12);
+  EXPECT_EQ(counts.at("quiet"), 5);
+}
+
+TEST(FairSchedulerTest, ZeroWeightTenantServedOnlyWhenWeightedQueuesEmpty) {
+  FairScheduler scheduler;
+  scheduler.ConfigureTenant({.id = "bg", .weight = 0});
+  scheduler.ConfigureTenant({.id = "fg", .weight = 1});
+  Fill(scheduler, "bg", 3);
+  Fill(scheduler, "fg", 3);
+  std::vector<std::string> order;
+  for (int i = 0; i < 6; ++i) {
+    FairScheduler::Item item = scheduler.Dequeue();
+    ASSERT_TRUE(static_cast<bool>(item.work));
+    order.push_back(item.tenant);
+  }
+  EXPECT_THAT(order, ::testing::ElementsAre("fg", "fg", "fg", "bg", "bg", "bg"));
+  EXPECT_TRUE(scheduler.empty());
+}
+
+TEST(FairSchedulerTest, ZeroWeightTenantNeverDeadlocksWhenIdle) {
+  FairScheduler scheduler;
+  scheduler.ConfigureTenant({.id = "bg", .weight = 0});
+  Fill(scheduler, "bg", 2);
+  EXPECT_EQ(scheduler.Dequeue().tenant, "bg");
+  EXPECT_EQ(scheduler.Dequeue().tenant, "bg");
+  EXPECT_FALSE(static_cast<bool>(scheduler.Dequeue().work));
+}
+
+TEST(FairSchedulerTest, QueueBoundRejectsWithQueueFull) {
+  FairScheduler scheduler;
+  scheduler.ConfigureTenant({.id = "t", .weight = 1, .max_queue = 4});
+  Fill(scheduler, "t", 4);
+  const auto rejected = scheduler.Enqueue("t", 0, [] {}, 0);
+  EXPECT_EQ(rejected.verdict, FairScheduler::Admit::kQueueFull);
+  // Other tenants are unaffected by one tenant's full queue.
+  const auto other = scheduler.Enqueue("other", 0, [] {}, 0);
+  EXPECT_EQ(other.verdict, FairScheduler::Admit::kAccepted);
+  const auto stats = scheduler.Stats();
+  for (const TenantStats& tenant : stats) {
+    if (tenant.id == "t") {
+      EXPECT_EQ(tenant.queue_rejected, 1u);
+    }
+  }
+}
+
+TEST(FairSchedulerTest, RateLimitedTenantGets429WithClimbingRetryAfter) {
+  SimClock clock;
+  FairScheduler scheduler;
+  scheduler.ConfigureTenant({.id = "t", .weight = 1, .rate_rps = 5.0, .burst = 2.0});
+  Fill(scheduler, "t", 2, clock.now());
+  double last = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    const auto admission = scheduler.Enqueue("t", 0, [] {}, clock.now());
+    ASSERT_EQ(admission.verdict, FairScheduler::Admit::kRateLimited) << i;
+    EXPECT_GE(admission.retry_after_s, last);
+    last = admission.retry_after_s;
+  }
+  EXPECT_GT(last, 0.0);
+  // After the refill horizon the tenant is admitted again.
+  clock.Advance(Seconds(2));
+  const auto admitted = scheduler.Enqueue("t", 0, [] {}, clock.now());
+  EXPECT_EQ(admitted.verdict, FairScheduler::Admit::kAccepted);
+}
+
+TEST(FairSchedulerTest, ReconfigureToZeroWeightMidBacklogStillDrains) {
+  // A tenant demoted to weight 0 while backlogged must neither spin the
+  // scheduler nor strand its queued items forever once the system is idle.
+  FairScheduler scheduler;
+  scheduler.ConfigureTenant({.id = "t", .weight = 2});
+  Fill(scheduler, "t", 4);
+  EXPECT_TRUE(static_cast<bool>(scheduler.Dequeue().work));
+  scheduler.ConfigureTenant({.id = "t", .weight = 0});
+  int drained = 0;
+  while (static_cast<bool>(scheduler.Dequeue().work)) ++drained;
+  EXPECT_EQ(drained, 3);
+  EXPECT_TRUE(scheduler.empty());
+}
+
+TEST(FairSchedulerTest, StatsTrackAdmissionAndDispatch) {
+  FairScheduler scheduler;
+  scheduler.ConfigureTenant({.id = "a", .weight = 2});
+  Fill(scheduler, "a", 3);
+  (void)scheduler.Dequeue();
+  const auto stats = scheduler.Stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].id, "a");
+  EXPECT_EQ(stats[0].weight, 2u);
+  EXPECT_EQ(stats[0].admitted, 3u);
+  EXPECT_EQ(stats[0].dispatched, 1u);
+  EXPECT_EQ(stats[0].queued, 2u);
+}
+
+}  // namespace
+}  // namespace ofmf::qos

@@ -631,6 +631,47 @@ TEST_F(DurableServiceTest, RestartPreservesEtagsSessionsAndIdCounters) {
   EXPECT_NE(*next, old_system);
 }
 
+TEST_F(DurableServiceTest, RestartPreservesTenantsAndSessionTenantBinding) {
+  const std::string dir = FreshDir("service_tenants");
+  std::string token;
+  {
+    auto service = StartService(dir);
+    core::TenantInfo tenant;
+    tenant.id = "gold";
+    tenant.qos_class = "Guaranteed";
+    tenant.weight = 3;
+    tenant.rate_rps = 10.0;
+    tenant.users = {"alice"};
+    ASSERT_TRUE(service->sessions().CreateTenant(tenant).ok());
+    service->sessions().AddUser("alice", "secret");
+    // Login over HTTP: that path journals the token alongside the Session
+    // resource, so it must survive the restart.
+    const http::Response login = service->Handle(http::MakeJsonRequest(
+        http::Method::kPost, core::kSessions,
+        Json::Obj({{"UserName", "alice"}, {"Password", "secret"}})));
+    ASSERT_EQ(login.status, 201);
+    token = login.headers.GetOr("X-Auth-Token", "");
+    ASSERT_FALSE(token.empty());
+    ASSERT_EQ(service->sessions().TenantOfToken(token), "gold");
+    ASSERT_TRUE(service->FlushStore().ok());
+  }
+
+  auto service = StartService(dir);
+  // The tenant resource came back through the journal with every QoS knob.
+  auto tenant = service->sessions().GetTenant("gold");
+  ASSERT_TRUE(tenant.ok());
+  EXPECT_EQ(tenant->qos_class, "Guaranteed");
+  EXPECT_EQ(tenant->weight, 3u);
+  EXPECT_DOUBLE_EQ(tenant->rate_rps, 10.0);
+  // The restored session re-derived its tenant binding (tenants are adopted
+  // before sessions during recovery), so the reactor's classifier still maps
+  // the old token to the right scheduling queue.
+  auto session = service->sessions().Authenticate(token);
+  ASSERT_TRUE(session.has_value());
+  EXPECT_EQ(session->tenant, "gold");
+  EXPECT_EQ(service->sessions().TenantOfToken(token), "gold");
+}
+
 TEST_F(DurableServiceTest, ReconcileRollsBackHalfComposedAndReleasesLeaks) {
   const std::string dir = FreshDir("service_reconcile");
   {
